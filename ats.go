@@ -1,0 +1,378 @@
+// Package ats is the public API of the adaptive threshold sampling
+// library, a Go implementation of Ting, "Adaptive Threshold Sampling"
+// (SIGMOD 2022; arXiv:1708.04970).
+//
+// Adaptive threshold sampling draws a sample by giving every stream item an
+// independent random priority and keeping the items whose priority falls
+// below a threshold. The threshold is allowed to adapt to the data — to
+// enforce a memory budget, track a sliding window, learn the top-k items,
+// and so on — and the paper's substitutability theory guarantees that the
+// ordinary fixed-threshold (Poisson sampling) estimators remain unbiased.
+//
+// The package re-exports the samplers and estimators from the internal
+// packages under one import path:
+//
+//	import "ats"
+//
+//	sk := ats.NewBottomK(100, 42)
+//	for _, it := range items {
+//	    sk.Add(it.Key, it.Weight, it.Value)
+//	}
+//	total, varEst := sk.SubsetSum(nil)
+//
+// See the examples directory for runnable end-to-end programs and
+// cmd/atsbench for the harness that regenerates every table and figure of
+// the paper.
+package ats
+
+import (
+	"ats/internal/aqp"
+	"ats/internal/bottomk"
+	"ats/internal/budget"
+	"ats/internal/core"
+	"ats/internal/decay"
+	"ats/internal/distinct"
+	"ats/internal/estimator"
+	"ats/internal/groupby"
+	"ats/internal/history"
+	"ats/internal/mest"
+	"ats/internal/multiobj"
+	"ats/internal/reservoir"
+	"ats/internal/stratified"
+	"ats/internal/stream"
+	"ats/internal/topk"
+	"ats/internal/varopt"
+	"ats/internal/varsize"
+	"ats/internal/window"
+)
+
+// ---- Core framework ----
+
+// Rule is an adaptive thresholding rule mapping a priority vector to a
+// per-item threshold vector; see the core framework for composition and
+// recalibration helpers.
+type Rule = core.Rule
+
+// Dist is a priority distribution (CDF + quantile).
+type Dist = core.Dist
+
+// Uniform01 is the Uniform(0,1) priority distribution.
+type Uniform01 = core.Uniform01
+
+// InverseWeight is the priority-sampling distribution R = U/w.
+type InverseWeight = core.InverseWeight
+
+// Exponential is the Exponential(rate) priority distribution.
+type Exponential = core.Exponential
+
+// FixedRule returns the constant-threshold (Poisson sampling) rule.
+func FixedRule(t float64) Rule { return core.FixedRule(t) }
+
+// BottomKRule returns the bottom-k thresholding rule (threshold = (k+1)-th
+// smallest priority).
+func BottomKRule(k int) Rule { return core.BottomKRule(k) }
+
+// BudgetRule returns the §3.1 variable item-size rule for the given sizes
+// and byte budget.
+func BudgetRule(sizes []int, budget int) Rule { return core.BudgetRule(sizes, budget) }
+
+// MinRules composes rules by per-item minimum (preserves substitutability).
+func MinRules(rules ...Rule) Rule { return core.MinRules(rules...) }
+
+// MaxRules composes rules by per-item maximum (preserves
+// 1-substitutability).
+func MaxRules(rules ...Rule) Rule { return core.MaxRules(rules...) }
+
+// Recalibrate computes the §2.5 recalibrated thresholds with respect to an
+// index set.
+func Recalibrate(rule Rule, priorities []float64, lambda []int) []float64 {
+	return core.Recalibrate(rule, priorities, lambda)
+}
+
+// CheckSubstitutable verifies the substitutability condition on one
+// realized priority vector.
+func CheckSubstitutable(rule Rule, priorities []float64) bool {
+	return core.CheckSubstitutable(rule, priorities)
+}
+
+// InclusionProb returns min(1, w*t), the pseudo-inclusion probability of a
+// weight-w item under threshold t with R = U/w priorities.
+func InclusionProb(w, t float64) float64 { return core.InclusionProb(w, t) }
+
+// ---- Estimators ----
+
+// Sampled is a sampled value with its pseudo-inclusion probability.
+type Sampled = estimator.Sampled
+
+// SubsetSum returns the Horvitz-Thompson estimate Σ x_i/P_i.
+func SubsetSum(sample []Sampled) float64 { return estimator.SubsetSum(sample) }
+
+// HTVarianceEstimate returns the unbiased variance estimate of the HT sum.
+func HTVarianceEstimate(sample []Sampled) float64 { return estimator.HTVarianceEstimate(sample) }
+
+// PairSample is a sampled (X, Y) pair for Kendall's tau estimation.
+type PairSample = estimator.PairSample
+
+// KendallTau returns the pseudo-HT estimate of Kendall's tau for a
+// population of n items (requires a 2-substitutable threshold).
+func KendallTau(sample []PairSample, n int) float64 { return estimator.KendallTau(sample, n) }
+
+// PowerSums accumulates HT power sums for moment estimation (mean,
+// variance, skew, kurtosis).
+type PowerSums = estimator.PowerSums
+
+// ---- Samplers ----
+
+// BottomK is a bottom-k / priority sampling sketch.
+type BottomK = bottomk.Sketch
+
+// BottomKEntry is one retained item of a BottomK sketch.
+type BottomKEntry = bottomk.Entry
+
+// NewBottomK returns a bottom-k sketch with sample size k; sketches
+// sharing a seed are coordinated and mergeable.
+func NewBottomK(k int, seed uint64) *BottomK { return bottomk.New(k, seed) }
+
+// BudgetSampler keeps the maximal prefix (in priority order) of a stream
+// of variable-size items that fits in a byte budget (§3.1).
+type BudgetSampler = budget.Sampler
+
+// NewBudgetSampler returns a budget sampler with the given byte budget.
+func NewBudgetSampler(bytes int, seed uint64) *BudgetSampler { return budget.New(bytes, seed) }
+
+// WindowSampler is the Gemulla & Lehner sliding-window sketch with both
+// the original and the paper's improved extraction thresholds (§3.2).
+type WindowSampler = window.Sampler
+
+// NewWindowSampler returns a sliding-window sampler with sample parameter
+// k and window length delta.
+func NewWindowSampler(k int, delta float64, seed uint64) *WindowSampler {
+	return window.New(k, delta, seed)
+}
+
+// TopKSampler is the paper's adaptive top-k sampler (§3.3).
+type TopKSampler = topk.Sampler
+
+// NewTopKSampler returns an adaptive top-k sampler targeting the k most
+// frequent items.
+func NewTopKSampler(k int, seed uint64) *TopKSampler { return topk.New(k, seed) }
+
+// FrequentItems is a Misra-Gries-style frequent items sketch
+// (DataSketches-like), the baseline of Figure 3.
+type FrequentItems = topk.FrequentItems
+
+// NewFrequentItems returns a FrequentItems sketch with the given allocated
+// table size.
+func NewFrequentItems(maxMapSize int) *FrequentItems { return topk.NewFrequentItems(maxMapSize) }
+
+// SpaceSaving is the classic Space-Saving sketch, a second frequent-items
+// baseline.
+type SpaceSaving = topk.SpaceSaving
+
+// NewSpaceSaving returns a Space-Saving sketch with m counters.
+func NewSpaceSaving(m int) *SpaceSaving { return topk.NewSpaceSaving(m) }
+
+// DistinctSketch is a KMV/bottom-k distinct counting sketch.
+type DistinctSketch = distinct.Sketch
+
+// NewDistinctSketch returns a distinct counting sketch of size k.
+func NewDistinctSketch(k int, seed uint64) *DistinctSketch { return distinct.NewSketch(k, seed) }
+
+// UnionEstimateTheta estimates the union cardinality with the Theta-sketch
+// rule (threshold = min of input thresholds).
+func UnionEstimateTheta(sketches ...*DistinctSketch) float64 {
+	return distinct.UnionEstimateTheta(sketches...)
+}
+
+// UnionEstimateLCS estimates the union cardinality with the paper's
+// adaptive-threshold (LCS) rule, which keeps every stored point.
+func UnionEstimateLCS(sketches ...*DistinctSketch) float64 {
+	return distinct.UnionEstimateLCS(sketches...)
+}
+
+// UnionEstimateBottomK estimates the union cardinality with the basic
+// bottom-k-of-union rule.
+func UnionEstimateBottomK(sketches ...*DistinctSketch) float64 {
+	return distinct.UnionEstimateBottomK(sketches...)
+}
+
+// JaccardEstimate estimates the Jaccard similarity of the sets summarized
+// by two coordinated distinct sketches (the classic bottom-k/MinHash
+// resemblance estimator).
+func JaccardEstimate(a, b *DistinctSketch) float64 { return distinct.Jaccard(a, b) }
+
+// WeightedDistinctSketch answers both subset-sum and distinct-count
+// queries from a single weighted coordinated sample (§3.4).
+type WeightedDistinctSketch = distinct.WeightedSketch
+
+// NewWeightedDistinctSketch returns a weighted distinct sketch of size k.
+func NewWeightedDistinctSketch(k int, seed uint64) *WeightedDistinctSketch {
+	return distinct.NewWeightedSketch(k, seed)
+}
+
+// GroupByCounter estimates per-group distinct counts with m dedicated
+// sketches plus a shared sample pool (§3.6).
+type GroupByCounter = groupby.Counter
+
+// NewGroupByCounter returns a group-by distinct counter with m dedicated
+// sketches of size k.
+func NewGroupByCounter(m, k int, seed uint64) *GroupByCounter { return groupby.New(m, k, seed) }
+
+// StratifiedItem is a record with one stratum label per dimension for
+// multi-stratified sampling (§3.7).
+type StratifiedItem = stratified.Item
+
+// StratifiedDesign is a fitted multi-stratified sample.
+type StratifiedDesign = stratified.Design
+
+// FitStratified draws a sample that is simultaneously stratified along
+// dims dimensions and fits the item budget.
+func FitStratified(items []StratifiedItem, dims, budget int, seed uint64) StratifiedDesign {
+	return stratified.Fit(items, dims, budget, seed)
+}
+
+// MultiObjectiveItem is a record with per-objective weights and values
+// (§3.8).
+type MultiObjectiveItem = multiobj.Item
+
+// MultiObjectiveSketch holds coordinated per-objective bottom-k samples
+// over shared uniforms.
+type MultiObjectiveSketch = multiobj.Sketch
+
+// NewMultiObjectiveSketch returns a multi-objective sketch with c
+// objectives and per-objective sample size k.
+func NewMultiObjectiveSketch(k, c int, seed uint64) *MultiObjectiveSketch {
+	return multiobj.New(k, c, seed)
+}
+
+// VarianceSizedSampler grows its sample until the estimated variance of
+// the HT total meets an absolute target (§3.9).
+type VarianceSizedSampler = varsize.Sampler
+
+// NewVarianceSizedSampler returns a sampler targeting absolute standard
+// error delta with the given oversampling factor (>= 1).
+func NewVarianceSizedSampler(delta, overshoot float64, seed uint64) *VarianceSizedSampler {
+	return varsize.New(delta, overshoot, seed)
+}
+
+// AQPTable is a priority-ordered physical layout supporting early-stopping
+// aggregate queries (§3.10).
+type AQPTable = aqp.Table
+
+// AQPRow is one stored row of an AQPTable.
+type AQPRow = aqp.Row
+
+// NewAQPTable builds a priority-ordered table from parallel key, weight
+// and value columns.
+func NewAQPTable(keys []uint64, weights, values []float64, seed uint64) *AQPTable {
+	return aqp.NewTable(keys, weights, values, seed)
+}
+
+// ---- Workloads (exposed for examples and downstream benchmarking) ----
+
+// RNG is a deterministic xoshiro256** generator.
+type RNG = stream.RNG
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return stream.NewRNG(seed) }
+
+// PitmanYor is the Pitman-Yor(1, beta) preferential attachment stream used
+// by the top-k experiment.
+type PitmanYor = stream.PitmanYor
+
+// NewPitmanYor returns a Pitman-Yor(1, beta) stream generator.
+func NewPitmanYor(beta float64, seed uint64) *PitmanYor { return stream.NewPitmanYor(beta, seed) }
+
+// HashU01 maps a key to a uniform (0,1) priority, coordinated by seed.
+func HashU01(key, seed uint64) float64 { return stream.HashU01(key, seed) }
+
+// ---- Baselines and extensions ----
+
+// VarOpt is the variance-optimal fixed-size weighted sampler of Cohen et
+// al. (SODA 2009), the strong baseline referenced in §1.1.
+type VarOpt = varopt.Sketch
+
+// VarOptEntry is one retained item of a VarOpt sketch.
+type VarOptEntry = varopt.Entry
+
+// NewVarOpt returns an empty VarOpt_k sketch.
+func NewVarOpt(k int, seed uint64) *VarOpt { return varopt.New(k, seed) }
+
+// HistorySampler archives every item that was ever in a bottom-k sketch,
+// enabling unbiased aggregates over any prefix window [0, t] (§2.7).
+type HistorySampler = history.Sampler
+
+// HistoryEntry is one archived item of a HistorySampler.
+type HistoryEntry = history.Entry
+
+// NewHistorySampler returns a history sampler with sketch size k.
+func NewHistorySampler(k int, seed uint64) *HistorySampler { return history.New(k, seed) }
+
+// DecaySampler maintains a bottom-k sample under exponential time decay
+// using the priority-threshold duality of §2.9.
+type DecaySampler = decay.Sampler
+
+// DecayEntry is one retained item of a DecaySampler.
+type DecayEntry = decay.Entry
+
+// NewDecaySampler returns a time-decayed sampler keeping k items with
+// decay rate lambda per unit time.
+func NewDecaySampler(k int, lambda float64, seed uint64) *DecaySampler {
+	return decay.New(k, lambda, seed)
+}
+
+// MPoint is a sampled observation for M-estimation (value + inclusion
+// probability).
+type MPoint = mest.Point
+
+// WeightedMean returns the HT-weighted mean of a sample (§4 M-estimation).
+func WeightedMean(points []MPoint) float64 { return mest.Mean(points) }
+
+// WeightedQuantile returns the HT-weighted q-quantile of a sample.
+func WeightedQuantile(points []MPoint, q float64) float64 { return mest.Quantile(points, q) }
+
+// UnbiasedVariance returns the pseudo-HT U-statistic estimate of the
+// population variance (divisor n-1) from a 2-substitutable sample
+// (§2.6.2).
+func UnbiasedVariance(sample []Sampled, n int) float64 {
+	return estimator.UnbiasedVariance(sample, n)
+}
+
+// UnbiasedThirdMoment returns the pseudo-HT degree-3 U-statistic (Fisher's
+// k3) from a 3-substitutable sample.
+func UnbiasedThirdMoment(sample []Sampled, n int) float64 {
+	return estimator.UnbiasedThirdMoment(sample, n)
+}
+
+// KendallTauExact computes Kendall's tau over a full population (test and
+// example baseline).
+func KendallTauExact(xs, ys []float64) float64 { return estimator.KendallTauExact(xs, ys) }
+
+// KendallTauVariance returns the unbiased pseudo-HT variance estimate for
+// the KendallTau estimator (requires a 4-substitutable threshold).
+func KendallTauVariance(sample []PairSample, n int) float64 {
+	return estimator.KendallTauVariance(sample, n)
+}
+
+// WeightedReservoir is Efraimidis-Spirakis weighted reservoir sampling —
+// exactly bottom-k adaptive threshold sampling with Exponential(w)
+// priorities (cited as [13] in the paper; see Theorem 12).
+type WeightedReservoir = reservoir.Sketch
+
+// WeightedReservoirEntry is one retained item of a WeightedReservoir.
+type WeightedReservoirEntry = reservoir.Entry
+
+// NewWeightedReservoir returns an empty Efraimidis-Spirakis reservoir of
+// size k.
+func NewWeightedReservoir(k int, seed uint64) *WeightedReservoir { return reservoir.New(k, seed) }
+
+// UnbiasedSpaceSaving is the Unbiased Space Saving sketch of [30]
+// (Ting, SIGMOD 2018) — §3.3 describes the adaptive top-k sampler as its
+// thresholding-based variation.
+type UnbiasedSpaceSaving = topk.UnbiasedSpaceSaving
+
+// NewUnbiasedSpaceSaving returns an Unbiased Space Saving sketch with m
+// counters.
+func NewUnbiasedSpaceSaving(m int, seed uint64) *UnbiasedSpaceSaving {
+	return topk.NewUnbiasedSpaceSaving(m, seed)
+}

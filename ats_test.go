@@ -1,0 +1,213 @@
+package ats
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API end-to-end: anything a
+// downstream user imports must work through these paths.
+
+func TestBottomKFacade(t *testing.T) {
+	sk := NewBottomK(50, 1)
+	truth := 0.0
+	for i := 0; i < 1000; i++ {
+		w := 1 + float64(i%7)
+		sk.Add(uint64(i), w, w)
+		truth += w
+	}
+	sum, varEst := sk.SubsetSum(nil)
+	if sum <= 0 || varEst <= 0 {
+		t.Fatal("estimates must be positive")
+	}
+	if rel := math.Abs(sum-truth) / truth; rel > 0.5 {
+		t.Errorf("rel error %v too large for a smoke test", rel)
+	}
+}
+
+func TestRulesFacade(t *testing.T) {
+	rng := NewRNG(2)
+	pr := make([]float64, 40)
+	for i := range pr {
+		pr[i] = rng.Float64()
+	}
+	rule := MinRules(BottomKRule(5), FixedRule(0.9))
+	if !CheckSubstitutable(rule, pr) {
+		t.Error("min of substitutable rules must be substitutable")
+	}
+	rec := Recalibrate(rule, pr, []int{0})
+	if len(rec) != len(pr) {
+		t.Error("recalibrated thresholds wrong length")
+	}
+	sizes := make([]int, 40)
+	for i := range sizes {
+		sizes[i] = 1 + i%3
+	}
+	if th := BudgetRule(sizes, 10)(pr); len(th) != 40 {
+		t.Error("budget rule wrong length")
+	}
+	if th := MaxRules(FixedRule(0.1), FixedRule(0.2))(pr); th[0] != 0.2 {
+		t.Error("max rule wrong")
+	}
+}
+
+func TestEstimatorFacade(t *testing.T) {
+	s := []Sampled{{Value: 2, P: 0.5}, {Value: 1, P: 1}}
+	if SubsetSum(s) != 5 {
+		t.Error("SubsetSum wrong")
+	}
+	if HTVarianceEstimate(s) != 4*0.5/0.25 {
+		t.Error("variance estimate wrong")
+	}
+	ps := []PairSample{{X: 1, Y: 1, P: 1}, {X: 2, Y: 2, P: 1}}
+	if KendallTau(ps, 2) != 1 {
+		t.Error("KendallTau wrong")
+	}
+	var pw PowerSums
+	pw.Add(3, 1)
+	if pw.Mean() != 3 {
+		t.Error("PowerSums wrong")
+	}
+	if InclusionProb(2, 0.25) != 0.5 {
+		t.Error("InclusionProb wrong")
+	}
+}
+
+func TestDistributionsFacade(t *testing.T) {
+	var dists = []Dist{Uniform01{}, InverseWeight{W: 2}, Exponential{Rate: 1}}
+	for _, d := range dists {
+		u := 0.3
+		r := d.Quantile(u)
+		if math.Abs(d.CDF(r)-u) > 1e-9 {
+			t.Errorf("%T: CDF(Quantile(u)) != u", d)
+		}
+	}
+}
+
+func TestSamplersFacade(t *testing.T) {
+	bs := NewBudgetSampler(100, 3)
+	bs.Add(1, 1, 1, 10)
+	if bs.Len() != 1 {
+		t.Error("budget sampler broken")
+	}
+
+	ws := NewWindowSampler(5, 1, 4)
+	ws.Add(1, 0.5)
+	if got, _ := ws.ImprovedSample(); len(got) != 1 {
+		t.Error("window sampler broken")
+	}
+
+	tk := NewTopKSampler(3, 5)
+	for i := 0; i < 100; i++ {
+		tk.Add(uint64(i % 5))
+	}
+	if len(tk.TopK()) != 3 {
+		t.Error("topk sampler broken")
+	}
+
+	fi := NewFrequentItems(16)
+	fi.Add(9)
+	if fi.EstimateCount(9) != 1 {
+		t.Error("frequent items broken")
+	}
+
+	ss := NewSpaceSaving(4)
+	ss.Add(7)
+	if ss.EstimateCount(7) != 1 {
+		t.Error("space saving broken")
+	}
+}
+
+func TestDistinctFacade(t *testing.T) {
+	a := NewDistinctSketch(64, 6)
+	b := NewDistinctSketch(64, 6)
+	for i := 0; i < 500; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 250))
+	}
+	truth := 750.0
+	for name, est := range map[string]float64{
+		"theta":   UnionEstimateTheta(a, b),
+		"lcs":     UnionEstimateLCS(a, b),
+		"bottomk": UnionEstimateBottomK(a, b),
+	} {
+		if rel := math.Abs(est-truth) / truth; rel > 0.5 {
+			t.Errorf("%s union estimate %v far from %v", name, est, truth)
+		}
+	}
+
+	w := NewWeightedDistinctSketch(32, 7)
+	w.Add(1, 2.5)
+	if w.DistinctCount() != 1 {
+		t.Error("weighted distinct broken")
+	}
+}
+
+func TestGroupByFacade(t *testing.T) {
+	c := NewGroupByCounter(2, 8, 8)
+	c.Add(1, 100)
+	if c.Estimate(1) != 1 {
+		t.Error("group-by counter broken")
+	}
+}
+
+func TestStratifiedFacade(t *testing.T) {
+	items := make([]StratifiedItem, 200)
+	for i := range items {
+		items[i] = StratifiedItem{Key: uint64(i), Strata: []int{i % 4, i % 3}, Value: 1}
+	}
+	des := FitStratified(items, 2, 50, 9)
+	if len(des.Sample) == 0 || len(des.Sample) > 50 {
+		t.Errorf("stratified sample size %d", len(des.Sample))
+	}
+}
+
+func TestMultiObjectiveFacade(t *testing.T) {
+	s := NewMultiObjectiveSketch(10, 2, 10)
+	s.Add(MultiObjectiveItem{Key: 1, Weights: []float64{1, 2}, Values: []float64{1, 2}})
+	if s.CombinedSize() != 1 {
+		t.Error("multi-objective sketch broken")
+	}
+}
+
+func TestVarianceSizedFacade(t *testing.T) {
+	s := NewVarianceSizedSampler(100, 2, 11)
+	s.SetHorizon(10)
+	for i := 0; i < 10; i++ {
+		s.Add(uint64(i), 1, 1)
+	}
+	r := s.Estimate()
+	if r.Sum != 10 {
+		t.Errorf("exact sum %v, want 10", r.Sum)
+	}
+}
+
+func TestAQPFacade(t *testing.T) {
+	n := 2000
+	keys := make([]uint64, n)
+	weights := make([]float64, n)
+	values := make([]float64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		weights[i] = 1
+		values[i] = 1
+	}
+	tab := NewAQPTable(keys, weights, values, 12)
+	q := tab.Query(nil, 100, 50)
+	if q.RowsRead == 0 || q.Sum <= 0 {
+		t.Error("AQP table broken")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	py := NewPitmanYor(0.5, 13)
+	for i := 0; i < 100; i++ {
+		py.Next()
+	}
+	if py.Unique() == 0 {
+		t.Error("Pitman-Yor broken")
+	}
+	if u := HashU01(5, 6); u <= 0 || u >= 1 {
+		t.Error("HashU01 broken")
+	}
+}

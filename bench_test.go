@@ -1,0 +1,362 @@
+package ats
+
+// This file is the benchmark harness required by DESIGN.md §4: one
+// testing.B benchmark per table/figure of the paper (each drives the same
+// experiment code as cmd/atsbench, at a reduced scale so `go test -bench`
+// stays tractable), plus micro-benchmarks of the core samplers.
+//
+// Regenerate the full-scale numbers with:
+//
+//	go run ./cmd/atsbench all
+
+import (
+	"testing"
+
+	"ats/internal/experiments"
+	"ats/internal/stream"
+)
+
+// ---- experiment benches (one per table/figure) ----
+
+func BenchmarkFig1SlidingThresholds(b *testing.B) {
+	cfg := experiments.DefaultFig1Config()
+	cfg.End = 2 // shorter horizon per iteration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Fig1(cfg)
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig2SpikeRecovery(b *testing.B) {
+	cfg := experiments.DefaultFig2Config()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Fig2(cfg)
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig3TopK(b *testing.B) {
+	cfg := experiments.DefaultFig3Config()
+	cfg.Betas = []float64{0.25, 0.75}
+	cfg.StreamLen = 10000
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Fig3(cfg)
+		if len(res.Points) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkFig4DistinctUnion(b *testing.B) {
+	cfg := experiments.DefaultFig4Config()
+	cfg.SizeA, cfg.SizeB = 5000, 10000
+	cfg.Jaccards = []float64{0, 0.3}
+	cfg.Trials = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Fig4(cfg)
+		if len(res.Points) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkBudgetSampler(b *testing.B) {
+	cfg := experiments.DefaultBudgetConfig()
+	cfg.Items = 5000
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Budget(cfg)
+		if res.Ratio <= 0 {
+			b.Fatal("bad ratio")
+		}
+	}
+}
+
+func BenchmarkDominatedMerge(b *testing.B) {
+	cfg := experiments.DefaultDominatedConfig()
+	cfg.SmallSets = 300
+	cfg.Trials = 3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.MergeDominated(cfg)
+		if res.TrueUnion == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkHTEstimators(b *testing.B) {
+	cfg := experiments.DefaultUnbiasedConfig()
+	cfg.Trials = 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Unbiased(cfg)
+		if res.Truth == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkStratified(b *testing.B) {
+	cfg := experiments.DefaultStratifiedConfig()
+	cfg.Trials = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Stratified(cfg)
+		if res.MeanSampleSize == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkVarianceSized(b *testing.B) {
+	cfg := experiments.DefaultVarSizeConfig()
+	cfg.N = 5000
+	cfg.Deltas = []float64{2500}
+	cfg.Trials = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.VarSize(cfg)
+		if len(res.Points) != 1 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkAQPEarlyStop(b *testing.B) {
+	cfg := experiments.DefaultAQPConfig()
+	cfg.Rows = 20000
+	cfg.TargetSEs = []float64{0.02}
+	cfg.Trials = 3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.AQP(cfg)
+		if len(res.Points) != 1 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkMultiObjective(b *testing.B) {
+	cfg := experiments.DefaultMultiObjConfig()
+	cfg.N = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.MultiObj(cfg)
+		if len(res.Points) == 0 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkGroupByDistinct(b *testing.B) {
+	cfg := experiments.DefaultGroupByConfig()
+	cfg.Items = 50000
+	cfg.Groups = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.GroupBy(cfg)
+		if res.MemoryItems == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// ---- micro-benchmarks of the core samplers (per-item costs) ----
+
+func BenchmarkBottomKAdd(b *testing.B) {
+	sk := NewBottomK(256, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk.Add(uint64(i), 1+float64(i%13), 1)
+	}
+}
+
+func BenchmarkBudgetAdd(b *testing.B) {
+	s := NewBudgetSampler(1<<20, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), 1, 1, 100+i%4000)
+	}
+}
+
+func BenchmarkWindowAdd(b *testing.B) {
+	w := NewWindowSampler(100, 1, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Add(uint64(i), float64(i)*0.001) // 1000 items per window
+	}
+}
+
+func BenchmarkTopKAdd(b *testing.B) {
+	py := stream.NewPitmanYor(0.7, 4)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = py.Next()
+	}
+	s := NewTopKSampler(10, 5)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(keys[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkFrequentItemsAdd(b *testing.B) {
+	py := stream.NewPitmanYor(0.7, 6)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = py.Next()
+	}
+	f := NewFrequentItems(128)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(keys[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkDistinctAdd(b *testing.B) {
+	s := NewDistinctSketch(256, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}
+
+func BenchmarkDistinctUnionLCS(b *testing.B) {
+	a := NewDistinctSketch(256, 8)
+	c := NewDistinctSketch(256, 8)
+	for i := 0; i < 100000; i++ {
+		a.Add(uint64(i))
+		c.Add(uint64(i + 50000))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if UnionEstimateLCS(a, c) <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+func BenchmarkVarianceSizedAdd(b *testing.B) {
+	s := NewVarianceSizedSampler(1000, 2, 9)
+	s.SetHorizon(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), 1+float64(i%7), 1+float64(i%7))
+	}
+}
+
+func BenchmarkHashU01(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += HashU01(uint64(i), 42)
+	}
+	_ = sink
+}
+
+func BenchmarkPitmanYorNext(b *testing.B) {
+	py := stream.NewPitmanYor(0.5, 10)
+	for i := 0; i < b.N; i++ {
+		py.Next()
+	}
+}
+
+func BenchmarkAsymptotic(b *testing.B) {
+	cfg := experiments.DefaultAsymptoticConfig()
+	cfg.Sizes = []int{1000, 5000}
+	cfg.Trials = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Asymptotic(cfg)
+		if len(res.Points) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	cfg := experiments.DefaultBaselinesConfig()
+	cfg.Trials = 30
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		res := experiments.Baselines(cfg)
+		if res.Truth == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkVarOptAdd(b *testing.B) {
+	s := NewVarOpt(256, 12)
+	rng := stream.NewRNG(13)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), rng.Open01()*10, 1)
+	}
+}
+
+func BenchmarkHistoryAdd(b *testing.B) {
+	s := NewHistorySampler(256, 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), 1+float64(i%9), 1)
+	}
+}
+
+func BenchmarkDecayAdd(b *testing.B) {
+	s := NewDecaySampler(256, 0.1, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), 1, 1, float64(i)*0.001)
+	}
+}
+
+func BenchmarkReservoirAdd(b *testing.B) {
+	s := NewWeightedReservoir(256, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), 1+float64(i%11), 1)
+	}
+}
+
+func BenchmarkUnbiasedSpaceSavingAdd(b *testing.B) {
+	py := stream.NewPitmanYor(0.7, 17)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = py.Next()
+	}
+	s := NewUnbiasedSpaceSaving(64, 18)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(keys[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,192 @@
+// Command atsbench regenerates every table and figure of the paper's
+// evaluation from the library (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	atsbench <experiment> [flags]
+//	atsbench all
+//
+// Experiments: fig1, fig2, fig3, fig4, budget, merge-dominated, unbiased,
+// stratified, varsize, aqp, multiobj, groupby, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ats/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	switch cmd {
+	case "all":
+		for _, name := range []string{
+			"fig1", "fig2", "fig3", "fig4", "budget", "merge-dominated",
+			"unbiased", "stratified", "varsize", "aqp", "multiobj", "groupby",
+			"asymptotic", "baselines", "ablation",
+		} {
+			run(name, nil)
+			fmt.Println()
+		}
+	case "help", "-h", "--help":
+		usage()
+	default:
+		run(cmd, args)
+	}
+}
+
+func run(name string, args []string) {
+	start := time.Now()
+	switch name {
+	case "fig1":
+		cfg := experiments.DefaultFig1Config()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.K, "k", cfg.K, "window sample parameter")
+		fs.Float64Var(&cfg.Rate, "rate", cfg.Rate, "arrival rate (items/s)")
+		fs.Float64Var(&cfg.Delta, "delta", cfg.Delta, "window length (s)")
+		parse(fs, args)
+		fmt.Print(experiments.Fig1(cfg).FormatFig1())
+	case "fig2":
+		cfg := experiments.DefaultFig2Config()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.K, "k", cfg.K, "window sample parameter")
+		fs.Float64Var(&cfg.BaseRate, "base", cfg.BaseRate, "base arrival rate (items/s)")
+		fs.Float64Var(&cfg.SpikeRate, "spike", cfg.SpikeRate, "spike arrival rate (items/s)")
+		parse(fs, args)
+		fmt.Print(experiments.Fig2(cfg).FormatFig2(cfg))
+	case "fig3":
+		cfg := experiments.DefaultFig3Config()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.K, "k", cfg.K, "top-k query size")
+		fs.IntVar(&cfg.StreamLen, "n", cfg.StreamLen, "stream length")
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "trials per beta")
+		parse(fs, args)
+		fmt.Print(experiments.Fig3(cfg).Format())
+	case "fig4":
+		cfg := experiments.DefaultFig4Config()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.K, "k", cfg.K, "sketch size")
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials")
+		fs.IntVar(&cfg.SizeA, "sizeA", cfg.SizeA, "|A|")
+		fs.IntVar(&cfg.SizeB, "sizeB", cfg.SizeB, "|B|")
+		parse(fs, args)
+		fmt.Print(experiments.Fig4(cfg).Format())
+	case "budget":
+		cfg := experiments.DefaultBudgetConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Budget, "budget", cfg.Budget, "byte budget")
+		fs.IntVar(&cfg.Items, "n", cfg.Items, "stream length")
+		parse(fs, args)
+		fmt.Print(experiments.Budget(cfg).Format())
+	case "merge-dominated":
+		cfg := experiments.DefaultDominatedConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials")
+		parse(fs, args)
+		fmt.Print(experiments.MergeDominated(cfg).Format())
+	case "unbiased":
+		cfg := experiments.DefaultUnbiasedConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials")
+		fs.IntVar(&cfg.K, "k", cfg.K, "sample size")
+		parse(fs, args)
+		fmt.Print(experiments.Unbiased(cfg).Format())
+	case "stratified":
+		cfg := experiments.DefaultStratifiedConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Budget, "budget", cfg.Budget, "item budget")
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "trials")
+		parse(fs, args)
+		fmt.Print(experiments.Stratified(cfg).Format())
+	case "varsize":
+		cfg := experiments.DefaultVarSizeConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "trials")
+		parse(fs, args)
+		fmt.Print(experiments.VarSize(cfg).Format())
+	case "aqp":
+		cfg := experiments.DefaultAQPConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Rows, "rows", cfg.Rows, "table rows")
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "trials")
+		parse(fs, args)
+		fmt.Print(experiments.AQP(cfg).Format())
+	case "multiobj":
+		cfg := experiments.DefaultMultiObjConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.K, "k", cfg.K, "per-objective sample size")
+		fs.IntVar(&cfg.Objectives, "c", cfg.Objectives, "objectives")
+		parse(fs, args)
+		fmt.Print(experiments.MultiObj(cfg).Format())
+	case "asymptotic":
+		cfg := experiments.DefaultAsymptoticConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "trials per size")
+		parse(fs, args)
+		fmt.Print(experiments.Asymptotic(cfg).Format())
+	case "ablation":
+		cfg := experiments.DefaultAblationConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		parse(fs, args)
+		fmt.Print(experiments.Ablation(cfg).Format())
+	case "baselines":
+		cfg := experiments.DefaultBaselinesConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.K, "k", cfg.K, "sample size")
+		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials")
+		parse(fs, args)
+		fmt.Print(experiments.Baselines(cfg).Format())
+	case "groupby":
+		cfg := experiments.DefaultGroupByConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.Groups, "groups", cfg.Groups, "number of groups")
+		fs.IntVar(&cfg.M, "m", cfg.M, "dedicated sketches")
+		parse(fs, args)
+		fmt.Print(experiments.GroupBy(cfg).Format())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+		usage()
+		os.Exit(2)
+	}
+	fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func parse(fs *flag.FlagSet, args []string) {
+	if args != nil {
+		_ = fs.Parse(args)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `atsbench — regenerate the paper's tables and figures
+
+usage: atsbench <experiment> [flags]
+
+experiments:
+  fig1             Figure 1: sliding-window thresholds, steady arrivals
+  fig2             Figure 2: sliding-window spike recovery
+  fig3             Figure 3: adaptive top-k vs FrequentItems across beta
+  fig4             Figure 4: distinct-count union error vs Jaccard
+  budget           §3.1: variable item sizes under a byte budget
+  merge-dominated  §3.5: one large set + many small sets
+  unbiased         §2.5/2.6: HT unbiasedness validation
+  stratified       §3.7: multi-stratified sampling under a budget
+  varsize          §3.9: variance-sized samples
+  aqp              §3.10: AQP early stopping
+  multiobj         §3.8: multi-objective sample footprint
+  groupby          §3.6: group-by distinct counting
+  asymptotic       §4-6: M-estimator consistency, priority equivalence
+  baselines        priority sampling vs VarOpt vs Poisson at fixed k
+  ablation         design-knob sweeps (top-k pacing, overshoot, AQP step)
+  all              run everything with default configs
+
+pass -h after an experiment name for its flags`)
+}

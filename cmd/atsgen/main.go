@@ -1,0 +1,50 @@
+// Command atsgen emits synthetic workloads on stdout, one token per line,
+// for piping into atstopk or external tools.
+//
+// Usage:
+//
+//	atsgen -dist pitman-yor -beta 0.7 -n 100000 | atstopk -k 10
+//	atsgen -dist zipf -items 5000 -s 1.2 -n 100000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ats/internal/stream"
+)
+
+func main() {
+	dist := flag.String("dist", "pitman-yor", "distribution: pitman-yor | zipf | uniform")
+	n := flag.Int("n", 100000, "number of tokens")
+	beta := flag.Float64("beta", 0.5, "Pitman-Yor discount in [0, 1)")
+	items := flag.Int("items", 10000, "universe size (zipf, uniform)")
+	s := flag.Float64("s", 1.1, "Zipf exponent")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var next func() uint64
+	switch *dist {
+	case "pitman-yor":
+		py := stream.NewPitmanYor(*beta, *seed)
+		next = py.Next
+	case "zipf":
+		z := stream.NewZipf(*items, *s, *seed)
+		next = z.Next
+	case "uniform":
+		rng := stream.NewRNG(*seed)
+		m := *items
+		next = func() uint64 { return uint64(rng.Intn(m)) }
+	default:
+		fmt.Fprintf(os.Stderr, "atsgen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+	for i := 0; i < *n; i++ {
+		fmt.Fprintf(w, "item%d\n", next())
+	}
+}

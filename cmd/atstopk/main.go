@@ -1,0 +1,50 @@
+// Command atstopk maintains an adaptive top-k sample over a stream of
+// whitespace-separated tokens from stdin and prints the top-k items with
+// their unbiased count estimates.
+//
+// Usage:
+//
+//	generate-logs | atstopk -k 10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ats/internal/stream"
+	"ats/internal/topk"
+)
+
+func main() {
+	k := flag.Int("k", 10, "number of top items to report")
+	seed := flag.Uint64("seed", 1, "priority seed")
+	flag.Parse()
+
+	sampler := topk.New(*k, *seed)
+	// Remember one representative string per hashed key for display.
+	names := make(map[uint64]string)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		tok := sc.Text()
+		key := stream.HashString(tok, 0)
+		sampler.Add(key)
+		if _, ok := names[key]; !ok {
+			names[key] = tok
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "atstopk: read error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("processed %d tokens, tracking %d items (threshold %.6f)\n",
+		sampler.N(), sampler.Len(), sampler.Threshold())
+	for i, e := range sampler.TopK() {
+		fmt.Printf("%2d. %-30s est. count %.1f\n", i+1, names[e.Key], e.Estimate())
+	}
+}

@@ -1,0 +1,31 @@
+// Command atswindow simulates a sliding-window sampler over a synthetic
+// arrival process and prints the evolution of both extraction thresholds
+// (G&L and the paper's improved rule) and their sample sizes.
+//
+// Usage:
+//
+//	atswindow -k 100 -delta 1 -base 500 -spike 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ats/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultFig2Config()
+	flag.IntVar(&cfg.K, "k", cfg.K, "window sample parameter")
+	flag.Float64Var(&cfg.Delta, "delta", cfg.Delta, "window length (s)")
+	flag.Float64Var(&cfg.BaseRate, "base", cfg.BaseRate, "base arrival rate (items/s)")
+	flag.Float64Var(&cfg.SpikeRate, "spike", cfg.SpikeRate, "spike arrival rate (items/s)")
+	flag.Float64Var(&cfg.SpikeStart, "spike-start", cfg.SpikeStart, "spike start time (s)")
+	flag.Float64Var(&cfg.SpikeEnd, "spike-end", cfg.SpikeEnd, "spike end time (s)")
+	flag.Float64Var(&cfg.End, "end", cfg.End, "simulation end time (s)")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Parse()
+
+	res := experiments.Fig2(cfg)
+	fmt.Print(res.FormatFig2(cfg))
+}

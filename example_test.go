@@ -1,0 +1,74 @@
+package ats_test
+
+import (
+	"fmt"
+
+	"ats"
+)
+
+// ExampleNewBottomK draws a weighted sample and estimates a subset sum
+// with the plain Horvitz-Thompson estimator — unbiased because the
+// bottom-k threshold is substitutable.
+func ExampleNewBottomK() {
+	sk := ats.NewBottomK(100, 1)
+	for i := 0; i < 10000; i++ {
+		w := 1.0 + float64(i%5)
+		sk.Add(uint64(i), w, w)
+	}
+	sum, _ := sk.SubsetSum(nil)
+	fmt.Printf("sample %d of %d items; estimate within 20%%: %v\n",
+		len(sk.Sample()), sk.N(), sum > 24000 && sum < 36000)
+	// Output: sample 100 of 10000 items; estimate within 20%: true
+}
+
+// ExampleNewTopKSampler finds heavy hitters without pre-sizing a sketch.
+func ExampleNewTopKSampler() {
+	s := ats.NewTopKSampler(3, 2)
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i % 7)) // items 0..6, equally frequent
+		s.Add(42)            // plus one dominant item
+	}
+	fmt.Println("top item:", s.TopK()[0].Key)
+	// Output: top item: 42
+}
+
+// ExampleUnionEstimateLCS merges coordinated distinct sketches with the
+// paper's adaptive-threshold rule, which keeps every stored point.
+func ExampleUnionEstimateLCS() {
+	a := ats.NewDistinctSketch(64, 3)
+	b := ats.NewDistinctSketch(64, 3)
+	for i := 0; i < 300; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 200)) // overlap 200..299
+	}
+	est := ats.UnionEstimateLCS(a, b)
+	fmt.Printf("union estimate near 400: %v\n", est > 320 && est < 480)
+	// Output: union estimate near 400: true
+}
+
+// ExampleCheckSubstitutable verifies a thresholding rule against the
+// paper's substitutability condition before trusting fixed-threshold
+// estimators with it.
+func ExampleCheckSubstitutable() {
+	rng := ats.NewRNG(4)
+	priorities := make([]float64, 50)
+	for i := range priorities {
+		priorities[i] = rng.Float64()
+	}
+	rule := ats.MinRules(ats.BottomKRule(10), ats.FixedRule(0.5))
+	fmt.Println("substitutable:", ats.CheckSubstitutable(rule, priorities))
+	// Output: substitutable: true
+}
+
+// ExampleNewBudgetSampler keeps as many smallest-priority items as fit a
+// byte budget (§3.1), instead of a conservative fixed k.
+func ExampleNewBudgetSampler() {
+	s := ats.NewBudgetSampler(1000, 5)
+	for i := 0; i < 500; i++ {
+		size := 50 + (i%3)*100 // sizes 50, 150, 250
+		s.Add(uint64(i), 1, float64(size), size)
+	}
+	fmt.Printf("bytes used <= budget: %v, items: %v\n",
+		s.UsedBytes() <= 1000, s.Len() > 3)
+	// Output: bytes used <= budget: true, items: true
+}

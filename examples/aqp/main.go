@@ -1,0 +1,58 @@
+// Approximate query processing with early stopping (§3.10): store a
+// sales table physically ordered by sampling priority, then answer
+// aggregate queries by scanning only the prefix needed for a user-chosen
+// standard error. A tighter accuracy knob reads more rows — at query time,
+// with no re-sampling.
+//
+// Run with:
+//
+//	go run ./examples/aqp
+package main
+
+import (
+	"fmt"
+
+	"ats"
+)
+
+func main() {
+	const (
+		nRows = 500000
+		seed  = 17
+	)
+	rng := ats.NewRNG(seed)
+
+	keys := make([]uint64, nRows)
+	weights := make([]float64, nRows)
+	values := make([]float64, nRows)
+	truth := 0.0
+	truthBig := 0.0
+	for i := range keys {
+		keys[i] = uint64(i)
+		// Order amounts: log-normal-ish, a few large.
+		amount := 5 + 200*rng.Float64()*rng.Float64()*rng.Float64()
+		weights[i] = amount // PPS layout: weight by the aggregated column
+		values[i] = amount
+		truth += amount
+		if amount > 100 {
+			truthBig += amount
+		}
+	}
+
+	table := ats.NewAQPTable(keys, weights, values, seed)
+	fmt.Printf("table: %d rows, true revenue %.0f\n\n", table.Len(), truth)
+
+	fmt.Printf("%-12s %12s %10s %12s %10s\n",
+		"target SE", "rows read", "% of table", "estimate", "rel.err")
+	for _, relSE := range []float64{0.05, 0.02, 0.01, 0.005} {
+		q := table.Query(nil, relSE*truth, 100)
+		fmt.Printf("%10.1f%% %12d %9.2f%% %12.0f %9.2f%%\n",
+			100*relSE, q.RowsRead, 100*float64(q.RowsRead)/float64(table.Len()),
+			q.Sum, 100*(q.Sum-truth)/truth)
+	}
+
+	// Predicated query: revenue from large orders only, same layout.
+	q := table.Query(func(r ats.AQPRow) bool { return r.Value > 100 }, 0.02*truthBig, 100)
+	fmt.Printf("\nlarge orders (>100): true %.0f, estimate %.0f after %d rows (%+.2f%%)\n",
+		truthBig, q.Sum, q.RowsRead, 100*(q.Sum-truthBig)/truthBig)
+}

@@ -1,0 +1,52 @@
+// Sliding-window monitoring: keep a uniform sample of the last Δ seconds
+// of a request stream in bounded space, and watch both extraction rules —
+// the Gemulla & Lehner threshold and the paper's improved threshold — on
+// the same sketch while the request rate spikes (§3.2 / Figures 1-2).
+//
+// Run with:
+//
+//	go run ./examples/slidingwindow
+package main
+
+import (
+	"fmt"
+
+	"ats"
+	"ats/internal/stream"
+)
+
+func main() {
+	const (
+		k     = 100
+		delta = 1.0 // window length in seconds
+		seed  = 7
+	)
+	// A request stream at 600 req/s with a burst to 4000 req/s at t=0.
+	rate := stream.SpikeRate(600, 4000, 0, 0.5)
+	arrivals := stream.NewArrivals(rate, -3, seed)
+
+	w := ats.NewWindowSampler(k, delta, seed)
+
+	fmt.Printf("%6s %8s %10s %10s %8s %8s %8s\n",
+		"time", "rate", "T_GL", "T_imp", "|S_GL|", "|S_imp|", "stored")
+	nextReport := -2.0
+	for {
+		a := arrivals.Next()
+		if a.Time > 4 {
+			break
+		}
+		w.Add(a.Key, a.Time)
+		if a.Time >= nextReport {
+			gl, glT := w.GLSample()
+			imp, impT := w.ImprovedSample()
+			fmt.Printf("%6.2f %8.0f %10.4f %10.4f %8d %8d %8d\n",
+				a.Time, rate(a.Time), glT, impT, len(gl), len(imp), w.StoredItems())
+			nextReport += 0.5
+		}
+	}
+
+	fmt.Println("\nBoth samples are uniform over the current window; the improved")
+	fmt.Println("threshold (min of per-item thresholds, Theorem 9 + Theorem 6)")
+	fmt.Println("yields roughly twice as many usable points from the SAME sketch")
+	fmt.Println("and recovers from the burst faster.")
+}

@@ -1,0 +1,72 @@
+// Time-decayed sampling (§2.9): keep a fixed-size sample of an event
+// stream in which recent events matter exponentially more, using the
+// priority-threshold duality — stored priorities never change; the
+// effective threshold does. The sample answers "decayed sum" queries such
+// as an exponentially weighted error-rate numerator.
+//
+// Run with:
+//
+//	go run ./examples/timedecay
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"ats"
+)
+
+func main() {
+	const (
+		k      = 200
+		lambda = 0.1 // decay rate per second: ~10 s memory
+		seed   = 23
+	)
+	rng := ats.NewRNG(seed)
+	s := ats.NewDecaySampler(k, lambda, seed)
+
+	// An event stream over 600 seconds; each event has a severity score.
+	// A burst of high-severity events happens during [300, 320).
+	var trueDecayed float64 // maintained exactly for comparison
+	queryAt := 600.0
+	n := 60000
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n) * 600
+		sev := 1 + rng.Float64()
+		if t >= 300 && t < 320 {
+			sev += 8
+		}
+		s.Add(uint64(i), 1, sev, t)
+		trueDecayed += sev * math.Exp(-lambda*(queryAt-t))
+	}
+
+	est := s.DecayedSum(queryAt, nil)
+	fmt.Printf("events: %d, sample: %d items\n", s.N(), len(s.Sample()))
+	fmt.Printf("decayed severity at t=%.0f: true %.1f, estimated %.1f (%+.1f%%)\n",
+		queryAt, trueDecayed, est, 100*(est-trueDecayed)/trueDecayed)
+
+	// Where do the sampled events come from? Almost entirely the recent
+	// past — the old burst has decayed away.
+	buckets := make([]int, 6)
+	for _, e := range s.Sample() {
+		b := int(e.Time / 100)
+		if b > 5 {
+			b = 5
+		}
+		buckets[b]++
+	}
+	fmt.Println("\nsampled events by arrival century:")
+	for b, c := range buckets {
+		fmt.Printf("  [%3d, %3d)s: %3d %s\n", b*100, (b+1)*100, c, bar(c))
+	}
+	fmt.Println("\nthe sample concentrates on recent events automatically;")
+	fmt.Println("stored priorities were never rewritten (log-space duality).")
+}
+
+func bar(n int) string {
+	out := ""
+	for i := 0; i < n/4; i++ {
+		out += "#"
+	}
+	return out
+}

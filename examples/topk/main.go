@@ -1,0 +1,83 @@
+// Top-k without tuning: find the 10 most viewed pages of a skewed page
+// impression stream with the adaptive top-k sampler (§3.3), then answer a
+// disaggregated subset-sum query ("how many impressions did the /blog/
+// section get?") from the same sketch.
+//
+// The FrequentItems sketch is run alongside for comparison: it needs its
+// table size chosen in advance, while the sampler adapts its footprint to
+// the stream.
+//
+// Run with:
+//
+//	go run ./examples/topk
+package main
+
+import (
+	"fmt"
+
+	"ats"
+)
+
+func main() {
+	const (
+		k      = 10
+		nViews = 300000
+		seed   = 99
+	)
+	// Pitman-Yor(1, 0.7): heavy-tailed page popularity with no clean gap
+	// between the head and the tail — the regime where fixed-size frequent
+	// item sketches struggle (Figure 3).
+	py := ats.NewPitmanYor(0.7, seed)
+
+	sampler := ats.NewTopKSampler(k, seed+1)
+	freq := ats.NewFrequentItems(128)
+	truth := make(map[uint64]int)
+	for i := 0; i < nViews; i++ {
+		page := py.Next()
+		sampler.Add(page)
+		freq.Add(page)
+		truth[page]++
+	}
+
+	trueTop := make(map[uint64]bool, k)
+	for _, id := range py.TopK(k) {
+		trueTop[id] = true
+	}
+
+	fmt.Printf("stream: %d views of %d distinct pages\n", nViews, py.Unique())
+	fmt.Printf("adaptive sampler: %d tracked items (threshold %.5f)\n",
+		sampler.Len(), sampler.Threshold())
+	fmt.Printf("FrequentItems:    %d effective slots (fixed)\n\n", freq.EffectiveCapacity())
+
+	fmt.Printf("%4s %10s %12s %12s %7s\n", "rank", "page", "true count", "est. count", "hit?")
+	wrong := 0
+	for i, e := range sampler.TopK() {
+		hit := "yes"
+		if !trueTop[e.Key] {
+			hit = "NO"
+			wrong++
+		}
+		fmt.Printf("%4d %10d %12d %12.0f %7s\n", i+1, e.Key, truth[e.Key], e.Estimate(), hit)
+	}
+	fmt.Printf("\nsampler errors in top-%d: %d\n", k, wrong)
+
+	wrongF := 0
+	for _, r := range freq.TopK(k) {
+		if !trueTop[r.Key] {
+			wrongF++
+		}
+	}
+	fmt.Printf("FrequentItems errors in top-%d: %d\n\n", k, wrongF)
+
+	// Disaggregated subset sum (§3.3): total views of even-numbered pages,
+	// estimated from the sampler's entries with HT weights 1/T + v.
+	trueEven := 0
+	for page, c := range truth {
+		if page%2 == 0 {
+			trueEven += c
+		}
+	}
+	est := sampler.SubsetSum(func(page uint64) bool { return page%2 == 0 })
+	fmt.Printf("views of even pages: true %d, estimated %.0f (%+.1f%%)\n",
+		trueEven, est, 100*(est-float64(trueEven))/float64(trueEven))
+}

@@ -1,0 +1,260 @@
+package ats
+
+// Cross-module integration tests: each scenario wires several packages
+// together the way a downstream system would (sharded ingestion,
+// serialization across process boundaries, mixed sketch types over one
+// stream) and checks end-to-end statistical behavior.
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// TestShardedPipelineWithSerialization simulates a distributed ingest:
+// four shards each build a coordinated bottom-k sketch over their slice of
+// a weighted stream, serialize it, "ship" the bytes to a coordinator that
+// deserializes and merges, and the merged estimate must be unbiased — and
+// identical to a single-node sketch of the whole stream.
+func TestShardedPipelineWithSerialization(t *testing.T) {
+	const (
+		n      = 8000
+		k      = 150
+		shards = 4
+		seed   = 71
+	)
+	items := stream.ParetoWeights(n, 1.5, seed)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+
+	single := NewBottomK(k, seed)
+	shardSketches := make([][]byte, shards)
+	for s := 0; s < shards; s++ {
+		sk := NewBottomK(k, seed)
+		for i := s; i < n; i += shards {
+			sk.Add(items[i].Key, items[i].Weight, items[i].Value)
+		}
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("shard %d marshal: %v", s, err)
+		}
+		shardSketches[s] = data
+	}
+	for _, it := range items {
+		single.Add(it.Key, it.Weight, it.Value)
+	}
+
+	merged := NewBottomK(k, seed)
+	for s, data := range shardSketches {
+		var sk BottomK
+		if err := sk.UnmarshalBinary(data); err != nil {
+			t.Fatalf("shard %d unmarshal: %v", s, err)
+		}
+		if err := merged.Merge(&sk); err != nil {
+			t.Fatalf("shard %d merge: %v", s, err)
+		}
+	}
+
+	if merged.Threshold() != single.Threshold() {
+		t.Errorf("merged threshold %v != single-node %v", merged.Threshold(), single.Threshold())
+	}
+	mergedSum, _ := merged.SubsetSum(nil)
+	singleSum, _ := single.SubsetSum(nil)
+	if math.Abs(mergedSum-singleSum) > 1e-9*singleSum {
+		t.Errorf("merged estimate %v != single-node %v", mergedSum, singleSum)
+	}
+	if rel := math.Abs(mergedSum-truth) / truth; rel > 0.5 {
+		t.Errorf("merged estimate %v too far from truth %v", mergedSum, truth)
+	}
+}
+
+// TestDistinctShardedUnion ships serialized distinct sketches from shards
+// with OVERLAPPING key ranges and verifies the three union rules agree
+// with the true distinct count within sketch error.
+func TestDistinctShardedUnion(t *testing.T) {
+	const k, seed = 128, 72
+	ranges := [][2]uint64{{0, 40000}, {30000, 70000}, {60000, 90000}}
+	var blobs [][]byte
+	global := make(map[uint64]struct{})
+	for _, r := range ranges {
+		sk := NewDistinctSketch(k, seed)
+		for u := r[0]; u < r[1]; u++ {
+			sk.Add(u)
+			global[u] = struct{}{}
+		}
+		data, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, data)
+	}
+	var sketches []*DistinctSketch
+	for _, b := range blobs {
+		var sk DistinctSketch
+		if err := sk.UnmarshalBinary(b); err != nil {
+			t.Fatal(err)
+		}
+		sketches = append(sketches, &sk)
+	}
+	truth := float64(len(global))
+	for name, est := range map[string]float64{
+		"lcs":     UnionEstimateLCS(sketches...),
+		"theta":   UnionEstimateTheta(sketches...),
+		"bottomk": UnionEstimateBottomK(sketches...),
+	} {
+		if rel := math.Abs(est-truth) / truth; rel > 0.4 {
+			t.Errorf("%s union: %v vs truth %v (rel %v)", name, est, truth, rel)
+		}
+	}
+}
+
+// TestMixedSketchesOneStream runs four different samplers over the SAME
+// event stream — as a monitoring agent would — and validates each one's
+// answer against ground truth.
+func TestMixedSketchesOneStream(t *testing.T) {
+	const seed = 73
+	py := NewPitmanYor(0.6, seed)
+	topk := NewTopKSampler(10, seed+1)
+	dist := NewDistinctSketch(256, seed+2)
+	win := NewWindowSampler(50, 1.0, seed+3)
+	hist := NewHistorySampler(64, seed+4)
+
+	n := 60000
+	counts := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		x := py.Next()
+		counts[x]++
+		topk.Add(x)
+		dist.Add(x)
+		win.Add(x, float64(i)/10000.0) // 10k events per "second"
+		// history tracks per-event records, so each event gets a unique key
+		hist.Add(uint64(i)+1<<40, 1, 1)
+	}
+
+	// Distinct count within sketch error (~1/sqrt(256) ≈ 6%).
+	if rel := math.Abs(dist.Estimate()-float64(len(counts))) / float64(len(counts)); rel > 0.25 {
+		t.Errorf("distinct estimate %v vs %d", dist.Estimate(), len(counts))
+	}
+	// Top-k: most of the true top-10 found.
+	truth := make(map[uint64]struct{})
+	for _, id := range py.TopK(10) {
+		truth[id] = struct{}{}
+	}
+	hits := 0
+	for _, e := range topk.TopK() {
+		if _, ok := truth[e.Key]; ok {
+			hits++
+		}
+	}
+	if hits < 7 {
+		t.Errorf("only %d/10 true heavy hitters found", hits)
+	}
+	// Window: both extraction rules bounded by k and uniform-ish.
+	gl, _ := win.GLSample()
+	imp, _ := win.ImprovedSample()
+	if len(gl) > 50 || len(imp) > 50 {
+		t.Error("window samples exceed k")
+	}
+	if len(imp) < len(gl) {
+		t.Error("improved sample should not be smaller than G&L")
+	}
+	// History: prefix estimate of total appearances at n/2 within noise.
+	est := hist.SubsetSumAt(n/2, nil)
+	if rel := math.Abs(est-float64(n/2)) / float64(n/2); rel > 0.6 {
+		t.Errorf("history prefix estimate %v vs %d", est, n/2)
+	}
+}
+
+// TestBudgetFeedsAQP uses a budget sampler to select a working set and an
+// AQP table over the same stream: the budget sample's HT total and the AQP
+// early-stopped total must both track the truth.
+func TestBudgetFeedsAQP(t *testing.T) {
+	const seed = 74
+	rng := NewRNG(seed)
+	n := 30000
+	keys := make([]uint64, n)
+	weights := make([]float64, n)
+	values := make([]float64, n)
+	sizes := stream.NewSurveySizes(seed)
+	truth := 0.0
+	bud := NewBudgetSampler(300_000, seed+1)
+	for i := 0; i < n; i++ {
+		sz := sizes.Next()
+		keys[i] = uint64(i)
+		weights[i] = float64(sz)
+		values[i] = float64(sz)
+		truth += float64(sz)
+		bud.Add(uint64(i), float64(sz), float64(sz), sz)
+		_ = rng
+	}
+	budSum, _ := bud.SubsetSum(nil)
+	if rel := math.Abs(budSum-truth) / truth; rel > 0.2 {
+		t.Errorf("budget HT total %v vs %v (rel %v)", budSum, truth, rel)
+	}
+	table := NewAQPTable(keys, weights, values, seed+2)
+	q := table.Query(nil, truth*0.02, 100)
+	if rel := math.Abs(q.Sum-truth) / truth; rel > 0.15 {
+		t.Errorf("AQP total %v vs %v (rel %v)", q.Sum, truth, rel)
+	}
+	if q.RowsRead >= n {
+		t.Error("AQP did not stop early")
+	}
+}
+
+// TestCoordinationAcrossSamplerKinds verifies the coordination contract:
+// a bottom-k sketch and a weighted distinct sketch with the same seed
+// assign every key the same underlying uniform, so their samples agree on
+// which low-priority keys exist.
+func TestCoordinationAcrossSamplerKinds(t *testing.T) {
+	const seed = 75
+	a := NewBottomK(64, seed)
+	b := NewWeightedDistinctSketch(64, seed)
+	for i := uint64(0); i < 5000; i++ {
+		a.Add(i, 1, 1)
+		b.Add(i, 1)
+	}
+	// Same k, same seed, same weights: identical thresholds.
+	if math.Abs(a.Threshold()-b.Threshold()) > 1e-15 {
+		t.Errorf("coordinated sketches disagree on threshold: %v vs %v",
+			a.Threshold(), b.Threshold())
+	}
+	inA := make(map[uint64]struct{})
+	for _, e := range a.Sample() {
+		inA[e.Key] = struct{}{}
+	}
+	if len(inA) != 64 {
+		t.Fatalf("unexpected sample size %d", len(inA))
+	}
+	if got := b.DistinctCount(); math.Abs(got-5000) > 5000*0.3 {
+		t.Errorf("weighted distinct count %v", got)
+	}
+}
+
+// TestVarianceEstimateCalibration: across three different samplers, the
+// reported variance estimate must match the empirical spread (ratio within
+// 25%) — the practical payoff of the substitutability theory.
+func TestVarianceEstimateCalibration(t *testing.T) {
+	items := stream.ParetoWeights(1500, 1.5, 76)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	var est, varEst estimator.Running
+	for trial := 0; trial < 1200; trial++ {
+		sk := NewBottomK(80, uint64(trial)+900)
+		for _, it := range items {
+			sk.Add(it.Key, it.Weight, it.Value)
+		}
+		s, v := sk.SubsetSum(nil)
+		est.Add(s)
+		varEst.Add(v)
+	}
+	ratio := varEst.Mean() / est.Variance()
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Errorf("variance calibration ratio %v, want ≈ 1", ratio)
+	}
+}

@@ -1,0 +1,209 @@
+// Package aqp implements early stopping for approximate query processing
+// (§3.10): the data is stored in full but physically ordered by priority;
+// a query with a user-specified standard-error target δ scans the prefix
+// in priority order and stops as soon as the estimated variance of the
+// running HT estimate drops to δ². Reading a prefix of the priority order
+// is exactly adaptive threshold sampling with threshold equal to the next
+// unread priority — a stopping time on the sorted sequence, substitutable
+// by Theorem 8.
+//
+// The package also provides the multi-objective block layout sketched in
+// the paper: blocks alternate bottom-k prefixes ordered by each
+// objective's priority, so a scan of m blocks yields a weighted sample of
+// size >= mk for every objective.
+package aqp
+
+import (
+	"math"
+	"sort"
+
+	"ats/internal/core"
+	"ats/internal/stream"
+)
+
+// Row is one stored record.
+type Row struct {
+	Key    uint64
+	Weight float64
+	Value  float64
+	// Priority is assigned at load time: U(key)/Weight.
+	Priority float64
+}
+
+// Table is a priority-ordered physical layout supporting early-stopping
+// aggregate queries.
+type Table struct {
+	rows []Row // sorted ascending by Priority
+}
+
+// NewTable builds a table from weighted rows, assigning coordinated
+// priorities and sorting by them. Rows with non-positive weight are
+// dropped (they could never be sampled).
+func NewTable(keys []uint64, weights, values []float64, seed uint64) *Table {
+	if len(keys) != len(weights) || len(keys) != len(values) {
+		panic("aqp: mismatched column lengths")
+	}
+	rows := make([]Row, 0, len(keys))
+	for i, k := range keys {
+		if weights[i] <= 0 {
+			continue
+		}
+		rows = append(rows, Row{
+			Key:      k,
+			Weight:   weights[i],
+			Value:    values[i],
+			Priority: stream.HashU01(k, seed) / weights[i],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Priority < rows[j].Priority })
+	return &Table{rows: rows}
+}
+
+// Len returns the number of stored rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// QueryResult reports an early-stopped aggregate.
+type QueryResult struct {
+	// Sum is the HT estimate of Σ value over rows matching the predicate.
+	Sum float64
+	// SE is the estimated standard error at the stopping point.
+	SE float64
+	// RowsRead is the number of rows scanned before stopping.
+	RowsRead int
+	// Threshold is the sampling threshold implied by the stopping point
+	// (the priority of the first unread row; +inf if the whole table was
+	// read).
+	Threshold float64
+}
+
+// Query scans rows in priority order, maintaining the HT estimate of
+// Σ value over rows matching pred (nil for all), and stops as soon as the
+// estimated standard error is at most targetSE. It always reads at least
+// minRows rows (default 2k-ish floor of 100 if 0) before trusting the
+// variance estimate.
+func (t *Table) Query(pred func(Row) bool, targetSE float64, minRows int) QueryResult {
+	return t.QueryStep(pred, targetSE, minRows, 0.05)
+}
+
+// QueryStep is Query with an explicit checkpoint growth fraction: the
+// stopping condition is evaluated at prefix lengths growing geometrically
+// by stepFrac. Each evaluation is O(read), so the total work is O(n/step)
+// amortized instead of O(n²), at the cost of reading up to stepFrac more
+// rows than strictly necessary. stepFrac = 0 checks after every row
+// (exact, quadratic).
+func (t *Table) QueryStep(pred func(Row) bool, targetSE float64, minRows int, stepFrac float64) QueryResult {
+	if targetSE <= 0 {
+		panic("aqp: targetSE must be positive")
+	}
+	if minRows <= 0 {
+		minRows = 100
+	}
+	target2 := targetSE * targetSE
+	for read := minRows; read < len(t.rows); {
+		threshold := t.rows[read].Priority // first unread row's priority
+		sum, v := t.estimateAt(pred, read, threshold)
+		if v <= target2 {
+			return QueryResult{Sum: sum, SE: math.Sqrt(v), RowsRead: read, Threshold: threshold}
+		}
+		next := read + int(float64(read)*stepFrac)
+		if next == read {
+			next = read + 1
+		}
+		read = next
+	}
+	// Exact: whole table read.
+	sum := 0.0
+	for _, r := range t.rows {
+		if pred == nil || pred(r) {
+			sum += r.Value
+		}
+	}
+	return QueryResult{Sum: sum, SE: 0, RowsRead: len(t.rows), Threshold: math.Inf(1)}
+}
+
+// estimateAt computes the HT estimate and variance estimate using the
+// first read rows under the given threshold.
+func (t *Table) estimateAt(pred func(Row) bool, read int, threshold float64) (sum, variance float64) {
+	for _, r := range t.rows[:read] {
+		if pred != nil && !pred(r) {
+			continue
+		}
+		p := core.InclusionProb(r.Weight, threshold)
+		if p <= 0 {
+			continue
+		}
+		sum += r.Value / p
+		if p < 1 {
+			variance += r.Value * r.Value * (1 - p) / (p * p)
+		}
+	}
+	return sum, variance
+}
+
+// Block is one physical block of the multi-objective layout.
+type Block struct {
+	// Objective is the index of the objective whose priority ordered this
+	// block.
+	Objective int
+	Rows      []MultiRow
+}
+
+// MultiRow is a row with per-objective weights and priorities.
+type MultiRow struct {
+	Key        uint64
+	Weights    []float64
+	Value      float64
+	Priorities []float64
+}
+
+// MultiLayout builds the §3.10 physical layout for multiple objectives:
+// repeatedly, for each objective in turn, take the bottom-k remaining rows
+// by that objective's priority and emit them as a block. Scanning the
+// first m blocks yields, for every objective, a weighted sample of size at
+// least floor(m/c)*k under a threshold computable from the scan.
+func MultiLayout(rows []MultiRow, k int) []Block {
+	if k <= 0 {
+		panic("aqp: k must be positive")
+	}
+	remaining := make([]MultiRow, len(rows))
+	copy(remaining, rows)
+	var blocks []Block
+	c := 0
+	if len(rows) > 0 {
+		c = len(rows[0].Priorities)
+	}
+	obj := 0
+	for len(remaining) > 0 {
+		sort.Slice(remaining, func(i, j int) bool {
+			return remaining[i].Priorities[obj] < remaining[j].Priorities[obj]
+		})
+		n := k
+		if n > len(remaining) {
+			n = len(remaining)
+		}
+		blk := Block{Objective: obj, Rows: make([]MultiRow, n)}
+		copy(blk.Rows, remaining[:n])
+		remaining = remaining[n:]
+		blocks = append(blocks, blk)
+		if c > 0 {
+			obj = (obj + 1) % c
+		}
+	}
+	return blocks
+}
+
+// NewMultiRows assigns coordinated priorities (one shared uniform per key,
+// divided by each objective weight) to build MultiRow records.
+func NewMultiRows(keys []uint64, weights [][]float64, values []float64, seed uint64) []MultiRow {
+	out := make([]MultiRow, len(keys))
+	for i, k := range keys {
+		u := stream.HashU01(k, seed)
+		ws := weights[i]
+		ps := make([]float64, len(ws))
+		for j, w := range ws {
+			ps[j] = u / w
+		}
+		out[i] = MultiRow{Key: k, Weights: ws, Value: values[i], Priorities: ps}
+	}
+	return out
+}

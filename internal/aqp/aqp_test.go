@@ -1,0 +1,252 @@
+package aqp
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func buildTable(n int, seed uint64) (*Table, float64) {
+	items := stream.ParetoWeights(n, 1.5, seed)
+	keys := make([]uint64, n)
+	weights := make([]float64, n)
+	values := make([]float64, n)
+	truth := 0.0
+	for i, it := range items {
+		keys[i] = it.Key
+		weights[i] = it.Weight
+		values[i] = it.Value
+		truth += it.Value
+	}
+	return NewTable(keys, weights, values, seed+1), truth
+}
+
+func TestNewTableValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched columns must panic")
+		}
+	}()
+	NewTable([]uint64{1}, []float64{1, 2}, []float64{1}, 0)
+}
+
+func TestTableSortedByPriority(t *testing.T) {
+	tab, _ := buildTable(5000, 3)
+	last := -1.0
+	for _, r := range tab.rows {
+		if r.Priority < last {
+			t.Fatal("rows not sorted by priority")
+		}
+		last = r.Priority
+	}
+}
+
+func TestNonPositiveWeightsDropped(t *testing.T) {
+	tab := NewTable([]uint64{1, 2, 3}, []float64{1, 0, -1}, []float64{1, 1, 1}, 5)
+	if tab.Len() != 1 {
+		t.Errorf("len = %d, want 1", tab.Len())
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tab, _ := buildTable(100, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("targetSE <= 0 must panic")
+		}
+	}()
+	tab.Query(nil, 0, 10)
+}
+
+func TestQueryExactWhenTargetTiny(t *testing.T) {
+	tab, truth := buildTable(500, 7)
+	q := tab.Query(nil, 1e-9, 10)
+	if q.RowsRead != tab.Len() {
+		t.Errorf("rows read %d, want full table", q.RowsRead)
+	}
+	if math.Abs(q.Sum-truth) > 1e-6*truth {
+		t.Errorf("full-scan sum %v, want %v", q.Sum, truth)
+	}
+	if q.SE != 0 || !math.IsInf(q.Threshold, 1) {
+		t.Error("full scan must report SE 0 and threshold +inf")
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	tab, truth := buildTable(50000, 8)
+	q := tab.Query(nil, truth*0.05, 50)
+	if q.RowsRead >= tab.Len()/2 {
+		t.Errorf("rows read %d; a 5%% target should stop early", q.RowsRead)
+	}
+	if q.SE > truth*0.05 {
+		t.Errorf("reported SE %v exceeds target %v", q.SE, truth*0.05)
+	}
+	if rel := math.Abs(q.Sum-truth) / truth; rel > 0.25 {
+		t.Errorf("single-query relative error %v suspiciously large", rel)
+	}
+}
+
+func TestTighterTargetsReadMore(t *testing.T) {
+	tab, truth := buildTable(50000, 9)
+	loose := tab.Query(nil, truth*0.05, 50)
+	tight := tab.Query(nil, truth*0.01, 50)
+	if tight.RowsRead <= loose.RowsRead {
+		t.Errorf("tight target read %d <= loose %d", tight.RowsRead, loose.RowsRead)
+	}
+}
+
+func TestQueryUnbiased(t *testing.T) {
+	n := 20000
+	items := stream.ParetoWeights(n, 1.5, 10)
+	keys := make([]uint64, n)
+	weights := make([]float64, n)
+	values := make([]float64, n)
+	truth := 0.0
+	for i, it := range items {
+		keys[i] = it.Key
+		weights[i] = it.Weight
+		values[i] = it.Value
+		truth += it.Value
+	}
+	var est estimator.Running
+	for trial := 0; trial < 120; trial++ {
+		tab := NewTable(keys, weights, values, 1000+uint64(trial))
+		q := tab.Query(nil, truth*0.03, 50)
+		est.Add(q.Sum)
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("early-stopped estimate biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestQueryWithPredicate(t *testing.T) {
+	tab, truth := buildTable(30000, 11)
+	pred := func(r Row) bool { return r.Key%2 == 0 }
+	var predTruth float64
+	for _, r := range tab.rows {
+		if pred(r) {
+			predTruth += r.Value
+		}
+	}
+	q := tab.Query(pred, truth*0.03, 50)
+	if rel := math.Abs(q.Sum-predTruth) / predTruth; rel > 0.25 {
+		t.Errorf("predicate query rel error %v (est %v truth %v)", rel, q.Sum, predTruth)
+	}
+}
+
+func TestMultiLayoutStructure(t *testing.T) {
+	n := 1000
+	keys := make([]uint64, n)
+	weights := make([][]float64, n)
+	values := make([]float64, n)
+	rng := stream.NewRNG(12)
+	for i := range keys {
+		keys[i] = uint64(i)
+		weights[i] = []float64{rng.Open01() * 3, rng.Open01() * 5}
+		values[i] = 1
+	}
+	rows := NewMultiRows(keys, weights, values, 13)
+	k := 50
+	blocks := MultiLayout(rows, k)
+	// Every row appears exactly once across blocks.
+	seen := make(map[uint64]int)
+	for _, b := range blocks {
+		if len(b.Rows) > k {
+			t.Fatalf("block larger than k: %d", len(b.Rows))
+		}
+		for _, r := range b.Rows {
+			seen[r.Key]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("layout lost rows: %d of %d", len(seen), n)
+	}
+	for key, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d appears %d times", key, c)
+		}
+	}
+	// Blocks alternate objectives 0, 1, 0, 1, ...
+	for i, b := range blocks {
+		if b.Objective != i%2 {
+			t.Fatalf("block %d has objective %d", i, b.Objective)
+		}
+	}
+	// Block 0 holds the k smallest priorities for objective 0 overall.
+	maxB0 := 0.0
+	for _, r := range blocks[0].Rows {
+		if r.Priorities[0] > maxB0 {
+			maxB0 = r.Priorities[0]
+		}
+	}
+	count := 0
+	for _, r := range rows {
+		if r.Priorities[0] < maxB0 {
+			count++
+		}
+	}
+	if count > k {
+		t.Errorf("block 0 is not the bottom-k by objective 0: %d rows below its max", count)
+	}
+}
+
+func TestMultiLayoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k <= 0 must panic")
+		}
+	}()
+	MultiLayout(nil, 0)
+}
+
+func TestMultiLayoutPrefixSampleProperty(t *testing.T) {
+	// §3.10: scanning the first m blocks yields, for each objective, a
+	// bottom-k style weighted sample of size >= floor(m/c)*k.
+	n := 2000
+	keys := make([]uint64, n)
+	weights := make([][]float64, n)
+	values := make([]float64, n)
+	rng := stream.NewRNG(14)
+	for i := range keys {
+		keys[i] = uint64(i)
+		weights[i] = []float64{rng.Open01() * 2, rng.Open01() * 2}
+		values[i] = 1
+	}
+	rows := NewMultiRows(keys, weights, values, 15)
+	k := 40
+	blocks := MultiLayout(rows, k)
+	m := 6 // scan 6 blocks => 3 per objective
+	var scanned []MultiRow
+	for _, b := range blocks[:m] {
+		scanned = append(scanned, b.Rows...)
+	}
+	for obj := 0; obj < 2; obj++ {
+		// Threshold: the max priority among the scanned rows of this
+		// objective's own blocks is a valid bottom-(m/c · k) threshold.
+		want := m / 2 * k
+		// Count scanned rows below the objective's implied threshold.
+		th := 0.0
+		for i, b := range blocks[:m] {
+			if b.Objective != obj {
+				continue
+			}
+			_ = i
+			for _, r := range b.Rows {
+				if r.Priorities[obj] > th {
+					th = r.Priorities[obj]
+				}
+			}
+		}
+		got := 0
+		for _, r := range scanned {
+			if r.Priorities[obj] <= th {
+				got++
+			}
+		}
+		if got < want {
+			t.Errorf("objective %d: scanned sample %d < guaranteed %d", obj, got, want)
+		}
+	}
+}

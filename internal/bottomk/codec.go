@@ -1,0 +1,99 @@
+package bottomk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   uint32  "ATSb"
+//	version uint8   1
+//	k       uint32
+//	seed    uint64
+//	n       uint64
+//	count   uint32  number of retained entries
+//	entries count × (key uint64, weight float64, value float64, priority float64)
+//
+// The format captures the sketch's full state: unmarshaling yields a sketch
+// indistinguishable from the original (same samples, thresholds, merges).
+
+const (
+	codecMagic   = 0x41545362 // "ATSb"
+	codecVersion = 1
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("bottomk: corrupt serialized sketch")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("bottomk: unsupported serialization version")
+)
+
+// MarshalBinary serializes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+1+4+8+8+4+len(s.heap)*32)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.heap)))
+	for _, e := range s.heap {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Value))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Priority))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary,
+// overwriting the receiver.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	const header = 4 + 1 + 4 + 8 + 8 + 4
+	if len(data) < header {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[5:]))
+	if k <= 0 {
+		return fmt.Errorf("%w: non-positive k", ErrCorrupt)
+	}
+	seed := binary.LittleEndian.Uint64(data[9:])
+	n := binary.LittleEndian.Uint64(data[17:])
+	count := int(binary.LittleEndian.Uint32(data[25:]))
+	if count < 0 || count > k+1 {
+		return fmt.Errorf("%w: %d entries for k=%d", ErrCorrupt, count, k)
+	}
+	if len(data) != header+count*32 {
+		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*32)
+	}
+	off := header
+	// Rebuild via AddWithPriority so the heap invariant is restored
+	// regardless of serialization order.
+	restored := &Sketch{k: k, seed: seed, heap: make([]Entry, 0, k+2)}
+	for i := 0; i < count; i++ {
+		e := Entry{
+			Key:      binary.LittleEndian.Uint64(data[off:]),
+			Weight:   math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			Value:    math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+			Priority: math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+		}
+		if !(e.Priority >= 0) || math.IsNaN(e.Weight) {
+			return fmt.Errorf("%w: invalid entry %d", ErrCorrupt, i)
+		}
+		off += 32
+		restored.AddWithPriority(e)
+	}
+	restored.n = int(n)
+	*s = *restored
+	return nil
+}

@@ -1,0 +1,113 @@
+package bottomk
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := stream.NewRNG(seed)
+		orig := New(16, seed)
+		m := int(n % 500)
+		for i := 0; i < m; i++ {
+			orig.Add(rng.Uint64(), rng.Open01()*5, rng.Float64()*10)
+		}
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Sketch
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if got.K() != orig.K() || got.N() != orig.N() || got.Threshold() != orig.Threshold() {
+			return false
+		}
+		sa, sb := orig.Sample(), got.Sample()
+		if len(sa) != len(sb) {
+			return false
+		}
+		keys := make(map[uint64]float64, len(sa))
+		for _, e := range sa {
+			keys[e.Key] = e.Priority
+		}
+		for _, e := range sb {
+			if keys[e.Key] != e.Priority {
+				return false
+			}
+		}
+		// The restored sketch must keep working (same behavior on new
+		// items).
+		k1 := rng.Uint64()
+		orig.Add(k1, 1, 1)
+		got.Add(k1, 1, 1)
+		return got.Threshold() == orig.Threshold()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	orig := New(8, 1)
+	for i := 0; i < 100; i++ {
+		orig.Add(uint64(i), 1, 1)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var s Sketch
+	if err := s.UnmarshalBinary(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nil input: %v, want ErrCorrupt", err)
+	}
+	if err := s.UnmarshalBinary(data[:10]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: %v, want ErrCorrupt", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if err := s.UnmarshalBinary(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: %v, want ErrCorrupt", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[4] = 99
+	if err := s.UnmarshalBinary(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: %v, want ErrVersion", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad = bad[:len(bad)-8] // truncate the body
+	if err := s.UnmarshalBinary(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short body: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCodecMergeAfterRestore(t *testing.T) {
+	a := New(8, 7)
+	b := New(8, 7)
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			a.Add(uint64(i), 1, 1)
+		} else {
+			b.Add(uint64(i), 1, 1)
+		}
+	}
+	data, _ := a.MarshalBinary()
+	var a2 Sketch
+	if err := a2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a2.Threshold() != a.Threshold() {
+		t.Error("merge after restore diverged")
+	}
+}

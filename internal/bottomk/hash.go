@@ -1,0 +1,7 @@
+package bottomk
+
+import "ats/internal/stream"
+
+// hashU01 assigns the shared uniform for a key. Centralizing it here keeps
+// every sketch in the repository coordinated on the same (key, seed) hash.
+func hashU01(key, seed uint64) float64 { return stream.HashU01(key, seed) }

@@ -1,0 +1,197 @@
+// Package bottomk implements bottom-k sketches and priority sampling
+// (Duffield, Lund & Thorup): a fixed-size-k weighted sample without
+// replacement obtained by keeping the k items with the smallest priorities
+// R_i = U_i / w_i. The threshold — the (k+1)-th smallest priority seen — is
+// the canonical substitutable adaptive threshold (§2.5.1 of the paper), so
+// plain Horvitz-Thompson estimators apply unchanged.
+package bottomk
+
+import (
+	"errors"
+	"math"
+
+	"ats/internal/core"
+	"ats/internal/estimator"
+)
+
+// Entry is one retained item of a bottom-k sketch.
+type Entry struct {
+	Key      uint64
+	Weight   float64
+	Value    float64
+	Priority float64
+}
+
+// Sketch is a bottom-k sketch over a weighted stream. The zero value is not
+// usable; construct with New.
+type Sketch struct {
+	k    int
+	seed uint64
+	// heap holds up to k+1 entries ordered as a max-heap on Priority; when
+	// full, the root is the (k+1)-th smallest priority seen so far, i.e.
+	// the threshold, and the remaining k entries are the sample.
+	heap []Entry
+	n    int // stream length observed
+}
+
+// New returns an empty bottom-k sketch. Priorities are derived from a
+// seeded hash of the item key divided by the weight, so sketches sharing a
+// seed are coordinated (mergeable). k must be positive.
+func New(k int, seed uint64) *Sketch {
+	if k <= 0 {
+		panic("bottomk: k must be positive")
+	}
+	return &Sketch{k: k, seed: seed, heap: make([]Entry, 0, k+2)}
+}
+
+// K returns the configured sample size.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of stream items offered so far.
+func (s *Sketch) N() int { return s.n }
+
+// Add offers an item with the given weight (> 0) and value. Every
+// occurrence of the same key receives the same priority, so Add is
+// idempotent with respect to duplicates for distinct-style use; for
+// aggregate values, pre-aggregate per key before adding.
+func (s *Sketch) Add(key uint64, weight, value float64) {
+	if weight <= 0 {
+		return
+	}
+	u := hashU01(key, s.seed)
+	s.AddWithPriority(Entry{Key: key, Weight: weight, Value: value, Priority: u / weight})
+}
+
+// AddWithPriority offers an item with an explicitly supplied priority. This
+// is the entry point for callers managing their own randomness (e.g. tests
+// or the stratified sampler).
+func (s *Sketch) AddWithPriority(e Entry) {
+	s.n++
+	if len(s.heap) == s.k+1 && e.Priority >= s.heap[0].Priority {
+		return // beyond the current threshold; can never enter the sample
+	}
+	s.heap = append(s.heap, e)
+	siftUp(s.heap, len(s.heap)-1)
+	if len(s.heap) > s.k+1 {
+		popRoot(&s.heap)
+	}
+}
+
+// Threshold returns the adaptive threshold: the (k+1)-th smallest priority
+// observed, or +inf while fewer than k+1 items have been seen. Items with
+// priority strictly below the threshold form the sample.
+func (s *Sketch) Threshold() float64 {
+	if len(s.heap) < s.k+1 {
+		return math.Inf(1)
+	}
+	return s.heap[0].Priority
+}
+
+// Sample returns the current sample: the (at most k) retained entries with
+// priority strictly below the threshold. The returned slice is freshly
+// allocated and unordered.
+func (s *Sketch) Sample() []Entry {
+	t := s.Threshold()
+	out := make([]Entry, 0, s.k)
+	for _, e := range s.heap {
+		if e.Priority < t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InclusionProb returns the pseudo-inclusion probability min(1, w*T) of a
+// sampled entry under the current threshold.
+func (s *Sketch) InclusionProb(e Entry) float64 {
+	return core.InclusionProb(e.Weight, s.Threshold())
+}
+
+// SubsetSum returns the Horvitz-Thompson estimate of Σ value over all
+// stream items whose key satisfies pred (pass nil for the total), together
+// with the unbiased variance estimate of §2.6.1.
+func (s *Sketch) SubsetSum(pred func(Entry) bool) (sum, varianceEstimate float64) {
+	t := s.Threshold()
+	if math.IsInf(t, 1) {
+		// Fewer than k+1 items seen: the "sample" is exact.
+		for _, e := range s.heap {
+			if pred == nil || pred(e) {
+				sum += e.Value
+			}
+		}
+		return sum, 0
+	}
+	sampled := make([]estimator.Sampled, 0, s.k)
+	for _, e := range s.heap {
+		if e.Priority >= t {
+			continue
+		}
+		if pred != nil && !pred(e) {
+			continue
+		}
+		sampled = append(sampled, estimator.Sampled{
+			Value: e.Value,
+			P:     core.InclusionProb(e.Weight, t),
+		})
+	}
+	return estimator.SubsetSum(sampled), estimator.HTVarianceEstimate(sampled)
+}
+
+// Merge combines another coordinated sketch (same seed, same k) into s.
+// The merged sketch is identical to the sketch of the concatenated streams
+// because bottom-k only depends on the multiset of (key, priority) pairs.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o.k != s.k {
+		return errors.New("bottomk: cannot merge sketches with different k")
+	}
+	if o.seed != s.seed {
+		return errors.New("bottomk: cannot merge sketches with different seeds")
+	}
+	for _, e := range o.heap {
+		s.AddWithPriority(e)
+	}
+	s.n += o.n - len(o.heap) // AddWithPriority already counted the entries
+	return nil
+}
+
+// --- max-heap on Priority ---
+
+func siftUp(h []Entry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Priority >= h[i].Priority {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func popRoot(h *[]Entry) Entry {
+	old := *h
+	root := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	siftDown(*h, 0)
+	return root
+}
+
+func siftDown(h []Entry, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h[l].Priority > h[largest].Priority {
+			largest = l
+		}
+		if r < n && h[r].Priority > h[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

@@ -1,0 +1,277 @@
+package bottomk
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k <= 0")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestThresholdIsKPlusOneSmallest(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		k := 5
+		sk := New(k, seed)
+		n := 40
+		prs := make([]float64, n)
+		for i := range prs {
+			prs[i] = rng.Open01()
+			sk.AddWithPriority(Entry{Key: uint64(i), Weight: 1, Value: 1, Priority: prs[i]})
+		}
+		sorted := append([]float64(nil), prs...)
+		sort.Float64s(sorted)
+		if sk.Threshold() != sorted[k] {
+			return false
+		}
+		// Sample = items strictly below the threshold.
+		sample := sk.Sample()
+		if len(sample) != k {
+			return false
+		}
+		for _, e := range sample {
+			if e.Priority >= sk.Threshold() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdInfWhileSmall(t *testing.T) {
+	sk := New(10, 3)
+	for i := 0; i < 10; i++ {
+		sk.Add(uint64(i), 1, 1)
+		if !math.IsInf(sk.Threshold(), 1) {
+			t.Fatalf("threshold must be +inf with %d <= k items", i+1)
+		}
+	}
+	sk.Add(11, 1, 1)
+	if math.IsInf(sk.Threshold(), 1) {
+		t.Fatal("threshold must be finite with k+1 items")
+	}
+}
+
+func TestExactSumWhileSmall(t *testing.T) {
+	sk := New(100, 4)
+	want := 0.0
+	for i := 0; i < 50; i++ {
+		v := float64(i)
+		sk.Add(uint64(i), 1, v)
+		want += v
+	}
+	got, varEst := sk.SubsetSum(nil)
+	if got != want {
+		t.Errorf("SubsetSum = %v, want exact %v", got, want)
+	}
+	if varEst != 0 {
+		t.Errorf("variance of an exact sum must be 0, got %v", varEst)
+	}
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	sk := New(5, 9)
+	sk.Add(1, 0, 100)
+	sk.Add(2, -1, 100)
+	if len(sk.Sample()) != 0 {
+		t.Error("non-positive weights must be ignored")
+	}
+}
+
+func TestDuplicateKeysGetSamePriority(t *testing.T) {
+	sk := New(5, 12)
+	sk.Add(42, 2, 1)
+	s1 := sk.Sample()
+	sk.Add(42, 2, 1)
+	s2 := sk.Sample()
+	if len(s1) != 1 || len(s2) != 2 {
+		t.Fatalf("unexpected sample sizes %d, %d", len(s1), len(s2))
+	}
+	if s2[0].Priority != s2[1].Priority {
+		t.Error("the same key must always hash to the same priority")
+	}
+}
+
+// TestSubsetSumUnbiased is the §2.5.1 validation: the plain HT estimator
+// with the adaptive bottom-k threshold is unbiased, and (§2.6.1) its
+// variance estimate is unbiased too.
+func TestSubsetSumUnbiased(t *testing.T) {
+	items := stream.ParetoWeights(300, 1.5, 99)
+	truth := 0.0
+	for _, it := range items {
+		if it.Key%3 == 0 {
+			truth += it.Value
+		}
+	}
+	pred := func(e Entry) bool { return e.Key%3 == 0 }
+	trials := 4000
+	var est, varEst estimator.Running
+	for trial := 0; trial < trials; trial++ {
+		sk := New(40, uint64(trial)+1000)
+		for _, it := range items {
+			sk.Add(it.Key, it.Weight, it.Value)
+		}
+		s, v := sk.SubsetSum(pred)
+		est.Add(s)
+		varEst.Add(v)
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("biased subset sum: mean %v truth %v z=%v", est.Mean(), truth, z)
+	}
+	if ratio := varEst.Mean() / est.Variance(); ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("variance estimate ratio %v, want ≈ 1", ratio)
+	}
+}
+
+func TestMergeEqualsConcatenation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		k := 8
+		a := New(k, 7)
+		b := New(k, 7)
+		whole := New(k, 7)
+		n := 60
+		for i := 0; i < n; i++ {
+			key := rng.Uint64()
+			w := rng.Open01() * 3
+			if i%2 == 0 {
+				a.Add(key, w, 1)
+			} else {
+				b.Add(key, w, 1)
+			}
+			whole.Add(key, w, 1)
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.Threshold() != whole.Threshold() {
+			return false
+		}
+		sa, sw := a.Sample(), whole.Sample()
+		if len(sa) != len(sw) {
+			return false
+		}
+		keys := make(map[uint64]bool)
+		for _, e := range sa {
+			keys[e.Key] = true
+		}
+		for _, e := range sw {
+			if !keys[e.Key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeRejectsIncompatible(t *testing.T) {
+	a := New(5, 1)
+	if err := a.Merge(New(6, 1)); err == nil {
+		t.Error("merging different k must fail")
+	}
+	if err := a.Merge(New(5, 2)); err == nil {
+		t.Error("merging different seeds must fail")
+	}
+}
+
+func TestMergeCountsN(t *testing.T) {
+	a := New(3, 1)
+	b := New(3, 1)
+	for i := 0; i < 10; i++ {
+		a.Add(uint64(i), 1, 1)
+		b.Add(uint64(100+i), 1, 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 20 {
+		t.Errorf("merged N = %d, want 20", a.N())
+	}
+}
+
+func TestInclusionProbOfEntry(t *testing.T) {
+	sk := New(2, 5)
+	for i := 0; i < 10; i++ {
+		sk.Add(uint64(i), 1, 1)
+	}
+	th := sk.Threshold()
+	for _, e := range sk.Sample() {
+		want := th // weight 1, th < 1
+		if th > 1 {
+			want = 1
+		}
+		if got := sk.InclusionProb(e); got != want {
+			t.Errorf("InclusionProb = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHighWeightItemsAlwaysIncluded(t *testing.T) {
+	// An item with enormous weight has priority ≈ 0 and should essentially
+	// always be in the sample with inclusion probability ≈ 1.
+	sk := New(10, 21)
+	sk.Add(999, 1e9, 5)
+	for i := 0; i < 1000; i++ {
+		sk.Add(uint64(i), 1, 1)
+	}
+	found := false
+	for _, e := range sk.Sample() {
+		if e.Key == 999 {
+			found = true
+			if p := sk.InclusionProb(e); p != 1 {
+				t.Errorf("giant weight inclusion prob = %v, want 1", p)
+			}
+		}
+	}
+	if !found {
+		t.Error("giant-weight item missing from the sample")
+	}
+}
+
+// TestPPSProperty checks probability-proportional-to-size behavior: an
+// item with twice the weight is included roughly twice as often (while
+// inclusion probabilities are small).
+func TestPPSProperty(t *testing.T) {
+	n := 400
+	trials := 3000
+	hits := map[uint64]int{1: 0, 2: 0}
+	for trial := 0; trial < trials; trial++ {
+		sk := New(20, uint64(trial)*7+1)
+		sk.Add(1, 1.0, 1) // weight 1
+		sk.Add(2, 2.0, 1) // weight 2
+		for i := 10; i < n; i++ {
+			sk.Add(uint64(i), 1, 1)
+		}
+		for _, e := range sk.Sample() {
+			if e.Key == 1 || e.Key == 2 {
+				hits[e.Key]++
+			}
+		}
+	}
+	r1 := float64(hits[1]) / float64(trials)
+	r2 := float64(hits[2]) / float64(trials)
+	if r1 <= 0 {
+		t.Fatal("weight-1 item never sampled")
+	}
+	ratio := r2 / r1
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Errorf("PPS inclusion ratio = %v, want ≈ 2 (r1=%v r2=%v)", ratio, r1, r2)
+	}
+}

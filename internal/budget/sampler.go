@@ -1,0 +1,173 @@
+// Package budget implements the variable item-size sampler of §3.1:
+// instead of keeping a fixed number k of items (which forces the
+// conservative k = B/Lmax when item sizes vary), it keeps as many
+// smallest-priority items as fit within a memory budget of B bytes. The
+// thresholding rule — the priority of the first item, in ascending priority
+// order, that would overflow the budget — is substitutable, so plain HT
+// estimators apply (subset sums when B >= Lmax, variance estimates when
+// B >= 2*Lmax).
+package budget
+
+import (
+	"math"
+
+	"ats/internal/core"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// Entry is one retained item.
+type Entry struct {
+	Key      uint64
+	Weight   float64
+	Value    float64
+	Size     int
+	Priority float64
+}
+
+// Sampler keeps the maximal ascending-priority prefix of the stream that
+// fits in the byte budget.
+type Sampler struct {
+	budget int
+	seed   uint64
+	// heap is a max-heap on Priority of the currently retained prefix plus
+	// (transiently) a newly inserted item.
+	heap      []Entry
+	totalSize int
+	// threshold is the priority of the first item that overflowed the
+	// budget (+inf until the budget has ever been exceeded). Items with
+	// priority >= threshold are rejected outright.
+	threshold float64
+	n         int
+}
+
+// New returns a sampler with the given byte budget. budget must be
+// positive.
+func New(budget int, seed uint64) *Sampler {
+	if budget <= 0 {
+		panic("budget: budget must be positive")
+	}
+	return &Sampler{budget: budget, seed: seed, threshold: math.Inf(1)}
+}
+
+// Budget returns the configured byte budget.
+func (s *Sampler) Budget() int { return s.budget }
+
+// N returns the number of items offered.
+func (s *Sampler) N() int { return s.n }
+
+// UsedBytes returns the total size of currently retained items.
+func (s *Sampler) UsedBytes() int { return s.totalSize }
+
+// Add offers an item. Weight must be positive; size must be positive and
+// should not exceed the budget (an item larger than the whole budget has
+// zero inclusion probability, which the estimators skip but the paper
+// requires B >= Lmax for unbiasedness).
+func (s *Sampler) Add(key uint64, weight, value float64, size int) {
+	if weight <= 0 || size <= 0 {
+		return
+	}
+	u := stream.HashU01(key, s.seed)
+	s.AddWithPriority(Entry{Key: key, Weight: weight, Value: value, Size: size, Priority: u / weight})
+}
+
+// AddWithPriority offers an item with an explicit priority.
+func (s *Sampler) AddWithPriority(e Entry) {
+	s.n++
+	if e.Priority >= s.threshold {
+		return
+	}
+	s.heap = append(s.heap, e)
+	siftUp(s.heap, len(s.heap)-1)
+	s.totalSize += e.Size
+	// Evict from the largest priority down until the prefix fits. The
+	// first eviction that brings the total to <= budget defines the new
+	// threshold: in ascending-priority order that evicted item is exactly
+	// the first to overflow the budget.
+	for s.totalSize > s.budget {
+		evicted := popRoot(&s.heap)
+		s.totalSize -= evicted.Size
+		s.threshold = evicted.Priority
+	}
+}
+
+// Threshold returns the current adaptive threshold (+inf while everything
+// seen so far fits in the budget).
+func (s *Sampler) Threshold() float64 { return s.threshold }
+
+// Sample returns the retained items (unordered, freshly allocated).
+func (s *Sampler) Sample() []Entry {
+	out := make([]Entry, len(s.heap))
+	copy(out, s.heap)
+	return out
+}
+
+// Len returns the number of retained items.
+func (s *Sampler) Len() int { return len(s.heap) }
+
+// SubsetSum returns the HT estimate of Σ value over stream items matching
+// pred (nil for all), plus the unbiased variance estimate.
+func (s *Sampler) SubsetSum(pred func(Entry) bool) (sum, varianceEstimate float64) {
+	t := s.threshold
+	if math.IsInf(t, 1) {
+		for _, e := range s.heap {
+			if pred == nil || pred(e) {
+				sum += e.Value
+			}
+		}
+		return sum, 0
+	}
+	sampled := make([]estimator.Sampled, 0, len(s.heap))
+	for _, e := range s.heap {
+		if pred != nil && !pred(e) {
+			continue
+		}
+		sampled = append(sampled, estimator.Sampled{
+			Value: e.Value,
+			P:     core.InclusionProb(e.Weight, t),
+		})
+	}
+	return estimator.SubsetSum(sampled), estimator.HTVarianceEstimate(sampled)
+}
+
+// --- max-heap on Priority ---
+
+func siftUp(h []Entry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Priority >= h[i].Priority {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func popRoot(h *[]Entry) Entry {
+	old := *h
+	root := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	siftDown(*h, 0)
+	return root
+}
+
+func siftDown(h []Entry, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h[l].Priority > h[largest].Priority {
+			largest = l
+		}
+		if r < n && h[r].Priority > h[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

@@ -1,0 +1,183 @@
+package budget
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("budget <= 0 must panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestAllFitWithinBudget(t *testing.T) {
+	s := New(100, 1)
+	for i := 0; i < 10; i++ {
+		s.Add(uint64(i), 1, 1, 5)
+	}
+	if s.Len() != 10 || s.UsedBytes() != 50 {
+		t.Errorf("len=%d used=%d, want 10/50", s.Len(), s.UsedBytes())
+	}
+	if !math.IsInf(s.Threshold(), 1) {
+		t.Error("threshold must stay +inf while everything fits")
+	}
+	sum, v := s.SubsetSum(nil)
+	if sum != 10 || v != 0 {
+		t.Errorf("exact sum = %v var %v, want 10, 0", sum, v)
+	}
+}
+
+// TestMatchesPrefixRule verifies the defining property of §3.1: the sample
+// equals the maximal ascending-priority prefix that fits the budget, and
+// the threshold is the priority of the first overflowing item.
+func TestMatchesPrefixRule(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		budget := 30
+		s := New(budget, seed)
+		type rec struct {
+			pr   float64
+			size int
+		}
+		var all []rec
+		for i := 0; i < 50; i++ {
+			pr := rng.Open01()
+			size := 1 + rng.Intn(7)
+			all = append(all, rec{pr, size})
+			s.AddWithPriority(Entry{Key: uint64(i), Weight: 1, Value: 1, Size: size, Priority: pr})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].pr < all[j].pr })
+		wantThreshold := math.Inf(1)
+		total := 0
+		wantCount := 0
+		for _, r := range all {
+			total += r.size
+			if total > budget {
+				wantThreshold = r.pr
+				break
+			}
+			wantCount++
+		}
+		if s.Threshold() != wantThreshold {
+			return false
+		}
+		if s.Len() != wantCount {
+			return false
+		}
+		for _, e := range s.Sample() {
+			if e.Priority >= wantThreshold {
+				return false
+			}
+		}
+		return s.UsedBytes() <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectedAboveThreshold(t *testing.T) {
+	s := New(3, 2)
+	s.AddWithPriority(Entry{Key: 1, Weight: 1, Value: 1, Size: 2, Priority: 0.1})
+	s.AddWithPriority(Entry{Key: 2, Weight: 1, Value: 1, Size: 2, Priority: 0.2}) // overflows: T=0.2
+	if s.Threshold() != 0.2 {
+		t.Fatalf("threshold = %v, want 0.2", s.Threshold())
+	}
+	// An item above the threshold is rejected even though it would fit.
+	s.AddWithPriority(Entry{Key: 3, Weight: 1, Value: 1, Size: 1, Priority: 0.5})
+	if s.Len() != 1 {
+		t.Error("item above the threshold must be rejected")
+	}
+	// An item below the threshold is accepted.
+	s.AddWithPriority(Entry{Key: 4, Weight: 1, Value: 1, Size: 1, Priority: 0.05})
+	if s.Len() != 2 {
+		t.Error("item below the threshold must be accepted")
+	}
+}
+
+func TestThresholdMonotoneNonIncreasing(t *testing.T) {
+	rng := stream.NewRNG(11)
+	s := New(20, 3)
+	last := math.Inf(1)
+	for i := 0; i < 500; i++ {
+		s.AddWithPriority(Entry{
+			Key: uint64(i), Weight: 1, Value: 1,
+			Size: 1 + rng.Intn(4), Priority: rng.Open01(),
+		})
+		if th := s.Threshold(); th > last {
+			t.Fatalf("threshold increased: %v -> %v", last, th)
+		} else {
+			last = th
+		}
+	}
+}
+
+func TestInvalidItemsIgnored(t *testing.T) {
+	s := New(10, 4)
+	s.Add(1, 0, 1, 1)  // zero weight
+	s.Add(2, 1, 1, 0)  // zero size
+	s.Add(3, -1, 1, 2) // negative weight
+	if s.N() != 0 || s.Len() != 0 {
+		t.Error("invalid items must be ignored entirely")
+	}
+}
+
+// TestUnbiasedSubsetSum is the §3.1 claim: with B >= Lmax the usual HT
+// estimator is unbiased, and with B >= 2*Lmax so is its variance estimate.
+func TestUnbiasedSubsetSum(t *testing.T) {
+	rng := stream.NewRNG(17)
+	n := 150
+	sizes := make([]int, n)
+	values := make([]float64, n)
+	truth := 0.0
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(6)
+		values[i] = float64(sizes[i])
+		truth += values[i]
+	}
+	budget := 60 // >= 2*Lmax = 12
+	trials := 4000
+	var est, varEst estimator.Running
+	for trial := 0; trial < trials; trial++ {
+		s := New(budget, uint64(trial)+500)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i), 1, values[i], sizes[i])
+		}
+		sum, v := s.SubsetSum(nil)
+		est.Add(sum)
+		varEst.Add(v)
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+	if ratio := varEst.Mean() / est.Variance(); ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("variance estimate ratio %v, want ≈ 1", ratio)
+	}
+}
+
+func TestBudgetNeverExceeded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		budget := 25
+		s := New(budget, seed)
+		for i := 0; i < 200; i++ {
+			s.Add(uint64(i), rng.Open01()*2, 1, 1+rng.Intn(10))
+			if s.UsedBytes() > budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "math"
+
+// DecayedInclusion implements the priority-threshold duality of §2.9 for
+// exponentially time-decayed sampling. An item arriving with weight w at
+// time t0 has time-varying weight w(t) = w * exp(-(t - t0)); instead of
+// rescaling every stored priority as time passes, the stored priority
+// R = U/w (computed once, at arrival, using the arrival-time weight) is
+// compared against an exponentially decaying effective threshold:
+//
+//	include at time t  ⇔  R < exp(-(t - t0)) * T(t)
+//
+// which is algebraically identical to U/w(t) < T(t) with the decayed
+// weight. Adjusting the threshold is thus equivalent to adjusting the
+// priorities, and stored priorities never need to be rewritten.
+type DecayedInclusion struct {
+	// Threshold is the base threshold T(t) chosen by the surrounding
+	// sampling scheme.
+	Threshold float64
+}
+
+// Include reports whether an item with stored priority r (drawn at arrival
+// time t0 against the arrival-time weight) is in the time-decayed sample at
+// time t.
+func (d DecayedInclusion) Include(r, t0, t float64) bool {
+	return r < d.EffectiveThreshold(t0, t)
+}
+
+// EffectiveThreshold returns exp(-(t-t0)) * T, the threshold against which
+// the original arrival-time priority is compared at time t. It shrinks as
+// the item ages, so old items fall out of the sample without their stored
+// priorities ever changing.
+func (d DecayedInclusion) EffectiveThreshold(t0, t float64) float64 {
+	return math.Exp(-(t - t0)) * d.Threshold
+}
+
+// DecayedInclusionProb returns the pseudo-inclusion probability at time t
+// of an item with arrival weight w and arrival time t0 under base threshold
+// T. Since R = U/w with U ~ Uniform(0,1),
+//
+//	P(R < exp(-(t-t0)) T) = min(1, w exp(-(t-t0)) T) = min(1, w(t) T),
+//
+// the Horvitz-Thompson weight uses the decayed weight w(t), as expected.
+func DecayedInclusionProb(w, t0, t, threshold float64) float64 {
+	wt := w * math.Exp(-(t - t0))
+	return InclusionProb(wt, threshold)
+}

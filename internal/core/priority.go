@@ -1,0 +1,115 @@
+// Package core implements the adaptive threshold sampling framework of
+// Ting, "Adaptive Threshold Sampling" (SIGMOD 2022): priority
+// distributions, fixed and adaptive thresholds, threshold recalibration,
+// substitutability checking, threshold composition, and the
+// priority-threshold duality used for time-decayed sampling.
+//
+// The framework's central objects are a per-item random priority R_i drawn
+// from a distribution with CDF F_i, and a threshold T_i; item i is included
+// in the sample iff R_i < T_i. When T_i is fixed, the inclusion probability
+// is F_i(T_i) and the sample is an independent (Poisson) sample. The
+// theorems in §2 of the paper give conditions — implemented and verified
+// here — under which data-dependent thresholds may be treated as fixed.
+package core
+
+import "math"
+
+// Dist is the distribution of an item's priority. Priorities are
+// continuous, real-valued random variables; CDF must be non-decreasing with
+// CDF(r) in [0, 1].
+type Dist interface {
+	// CDF returns F(r) = P(R < r).
+	CDF(r float64) float64
+	// Quantile returns F^{-1}(u) for u in (0, 1); it is the inverse
+	// probability transform used to draw priorities from a shared uniform.
+	Quantile(u float64) float64
+}
+
+// Uniform01 is the Uniform(0, 1) priority distribution used for unweighted
+// sampling and distinct counting.
+type Uniform01 struct{}
+
+// CDF returns min(max(r, 0), 1).
+func (Uniform01) CDF(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	if r >= 1 {
+		return 1
+	}
+	return r
+}
+
+// Quantile returns u.
+func (Uniform01) Quantile(u float64) float64 { return u }
+
+// InverseWeight is the priority-sampling distribution R = U/w for an item
+// with weight w > 0, i.e. Uniform(0, 1/w): F(r) = min(1, w*r) for r >= 0.
+// Larger weights give stochastically smaller priorities and hence higher
+// inclusion probabilities. By Theorem 12 of the paper, in the sublinear
+// sampling regime every sufficiently smooth priority distribution is
+// asymptotically equivalent to this family.
+type InverseWeight struct {
+	W float64
+}
+
+// CDF returns min(1, w*r) for r >= 0 and 0 otherwise.
+func (d InverseWeight) CDF(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	p := d.W * r
+	if p >= 1 {
+		return 1
+	}
+	return p
+}
+
+// Quantile returns u/w.
+func (d InverseWeight) Quantile(u float64) float64 { return u / d.W }
+
+// Exponential is the priority distribution R ~ Exponential(rate w):
+// F(r) = 1 - exp(-w*r). It satisfies the linear-expansion-at-zero condition
+// of Theorem 12 with slope w, so in the sublinear regime it behaves like
+// InverseWeight{w}.
+type Exponential struct {
+	Rate float64
+}
+
+// CDF returns 1 - exp(-rate*r) for r >= 0.
+func (d Exponential) CDF(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Rate * r)
+}
+
+// Quantile returns -log(1-u)/rate.
+func (d Exponential) Quantile(u float64) float64 {
+	return -math.Log1p(-u) / d.Rate
+}
+
+// PriorityFor draws the priority for a weighted item from a shared uniform
+// u in (0, 1): R = u / w. Using a hash of the item key as u coordinates
+// samples across sketches (the same item gets the same priority
+// everywhere), which is what enables sketch merging.
+func PriorityFor(u, w float64) float64 {
+	if w <= 0 {
+		return math.Inf(1)
+	}
+	return u / w
+}
+
+// InclusionProb returns the pseudo-inclusion probability F(T) = min(1, w*T)
+// for a weighted item under threshold T with InverseWeight priorities. This
+// is the denominator of the Horvitz-Thompson estimator.
+func InclusionProb(w, t float64) float64 {
+	if t <= 0 || w <= 0 {
+		return 0
+	}
+	p := w * t
+	if p >= 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+func TestUniform01(t *testing.T) {
+	d := Uniform01{}
+	cases := []struct{ r, want float64 }{
+		{-1, 0}, {0, 0}, {0.25, 0.25}, {1, 1}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := d.CDF(c.r); got != c.want {
+			t.Errorf("CDF(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+	if d.Quantile(0.7) != 0.7 {
+		t.Error("Uniform01 quantile must be the identity")
+	}
+}
+
+func TestInverseWeight(t *testing.T) {
+	d := InverseWeight{W: 4}
+	if got := d.CDF(0.1); got != 0.4 {
+		t.Errorf("CDF(0.1) = %v, want 0.4", got)
+	}
+	if got := d.CDF(10); got != 1 {
+		t.Errorf("CDF(10) = %v, want 1 (clamped)", got)
+	}
+	if got := d.CDF(-0.5); got != 0 {
+		t.Errorf("CDF(-0.5) = %v, want 0", got)
+	}
+	if got := d.Quantile(0.2); math.Abs(got-0.05) > 1e-15 {
+		t.Errorf("Quantile(0.2) = %v, want 0.05", got)
+	}
+}
+
+func TestExponentialRoundTrip(t *testing.T) {
+	d := Exponential{Rate: 2.5}
+	f := func(u float64) bool {
+		u = math.Abs(u)
+		u -= math.Floor(u) // into [0,1)
+		if u == 0 {
+			return true
+		}
+		r := d.Quantile(u)
+		return math.Abs(d.CDF(r)-u) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponentialLinearAtZero(t *testing.T) {
+	// The Theorem 12 condition: F(r) ≈ rate·r near 0.
+	d := Exponential{Rate: 3}
+	for _, r := range []float64{1e-6, 1e-8, 1e-10} {
+		if got := d.CDF(r); math.Abs(got-3*r) > 3*r*1e-4 {
+			t.Errorf("CDF(%v) = %v, want ≈ %v", r, got, 3*r)
+		}
+	}
+}
+
+func TestPriorityFor(t *testing.T) {
+	if got := PriorityFor(0.5, 2); got != 0.25 {
+		t.Errorf("PriorityFor = %v, want 0.25", got)
+	}
+	if got := PriorityFor(0.5, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero weight must give +inf priority, got %v", got)
+	}
+}
+
+func TestInclusionProb(t *testing.T) {
+	cases := []struct{ w, t, want float64 }{
+		{2, 0.25, 0.5},
+		{2, 10, 1},
+		{2, 0, 0},
+		{0, 0.5, 0},
+		{-1, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := InclusionProb(c.w, c.t); got != c.want {
+			t.Errorf("InclusionProb(%v, %v) = %v, want %v", c.w, c.t, got, c.want)
+		}
+	}
+}
+
+func TestInclusionProbMatchesCDF(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		w := rng.Open01() * 10
+		th := rng.Open01()
+		return math.Abs(InclusionProb(w, th)-InverseWeight{W: w}.CDF(th)) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecayedInclusion(t *testing.T) {
+	d := DecayedInclusion{Threshold: 0.5}
+	// At t = t0 the effective threshold is the base threshold.
+	if got := d.EffectiveThreshold(3, 3); got != 0.5 {
+		t.Errorf("effective threshold at age 0 = %v, want 0.5", got)
+	}
+	// One time unit later the threshold shrinks by e.
+	if got := d.EffectiveThreshold(3, 4); math.Abs(got-0.5/math.E) > 1e-12 {
+		t.Errorf("effective threshold at age 1 = %v, want %v", got, 0.5/math.E)
+	}
+	// An item included now falls out as it ages.
+	r := 0.4
+	if !d.Include(r, 0, 0) {
+		t.Error("item with r=0.4 must be included at age 0 under T=0.5")
+	}
+	if d.Include(r, 0, 5) {
+		t.Error("item must fall out of a decayed sample at age 5")
+	}
+}
+
+func TestDecayedInclusionProbEquivalence(t *testing.T) {
+	// P(R < eff threshold) computed directly must equal the decayed-weight
+	// form min(1, w(t)·T).
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		w := rng.Open01() * 5
+		t0 := rng.Float64() * 10
+		tt := t0 + rng.Float64()*3
+		th := rng.Open01()
+		d := DecayedInclusion{Threshold: th}
+		direct := InverseWeight{W: w}.CDF(d.EffectiveThreshold(t0, tt))
+		viaWeight := DecayedInclusionProb(w, t0, tt, th)
+		return math.Abs(direct-viaWeight) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecayedMonteCarlo(t *testing.T) {
+	// Empirical inclusion frequency matches DecayedInclusionProb.
+	rng := stream.NewRNG(77)
+	w, t0, tt, th := 2.0, 0.0, 0.8, 0.3
+	want := DecayedInclusionProb(w, t0, tt, th)
+	d := DecayedInclusion{Threshold: th}
+	n, hits := 200000, 0
+	for i := 0; i < n; i++ {
+		r := rng.Open01() / w
+		if d.Include(r, t0, tt) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("empirical inclusion %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import "math"
+
+// CheckSubstitutable verifies, for one realized priority vector, the
+// substitutability condition of §2.6: for the sampled index set λ (and all
+// of its subsets — by Theorem 6 it suffices to recalibrate the full sampled
+// set and singletons), the recalibrated thresholds equal the originals.
+// It returns false if any recalibration changes any threshold for a sampled
+// item, which would mean fixed-threshold estimators cannot be reused
+// blindly.
+//
+// The check is exact for the given priorities; use it inside randomized
+// property tests to accumulate evidence over many draws.
+func CheckSubstitutable(rule Rule, priorities []float64) bool {
+	orig := rule(priorities)
+	sampled := make([]int, 0, len(priorities))
+	for i := range priorities {
+		if priorities[i] < orig[i] {
+			sampled = append(sampled, i)
+		}
+	}
+	// Full sampled set.
+	if !thresholdsAgree(orig, Recalibrate(rule, priorities, sampled), sampled) {
+		return false
+	}
+	// Singletons (Theorem 6's sufficient condition).
+	for _, i := range sampled {
+		rec := Recalibrate(rule, priorities, []int{i})
+		if !thresholdsAgree(orig, rec, sampled) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckDSubstitutable verifies d-substitutability for one realized priority
+// vector: for every sampled subset of size <= d (enumerated exhaustively,
+// so keep the sample small in tests), recalibration must not change the
+// thresholds of that subset.
+func CheckDSubstitutable(rule Rule, priorities []float64, d int) bool {
+	orig := rule(priorities)
+	var sampled []int
+	for i := range priorities {
+		if priorities[i] < orig[i] {
+			sampled = append(sampled, i)
+		}
+	}
+	return checkSubsets(rule, priorities, orig, sampled, nil, 0, d)
+}
+
+func checkSubsets(rule Rule, priorities, orig []float64, sampled, chosen []int, start, d int) bool {
+	if len(chosen) > 0 {
+		rec := Recalibrate(rule, priorities, chosen)
+		if !thresholdsAgree(orig, rec, chosen) {
+			return false
+		}
+	}
+	if len(chosen) == d {
+		return true
+	}
+	for i := start; i < len(sampled); i++ {
+		if !checkSubsets(rule, priorities, orig, sampled, append(chosen, sampled[i]), i+1, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckOneSubstitutable verifies 1-substitutability: recalibrating any
+// single sampled item's priority to -inf leaves that item's threshold
+// unchanged. 1-substitutable thresholds admit unbiased HT estimates of sums
+// (degree-1 polynomials) but not, in general, of variances.
+func CheckOneSubstitutable(rule Rule, priorities []float64) bool {
+	orig := rule(priorities)
+	for i := range priorities {
+		if priorities[i] >= orig[i] {
+			continue
+		}
+		rec := Recalibrate(rule, priorities, []int{i})
+		if math.Abs(rec[i]-orig[i]) > substTol(orig[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func thresholdsAgree(orig, rec []float64, idx []int) bool {
+	for _, i := range idx {
+		if math.IsInf(orig[i], 1) && math.IsInf(rec[i], 1) {
+			continue
+		}
+		if math.Abs(orig[i]-rec[i]) > substTol(orig[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func substTol(t float64) float64 {
+	a := math.Abs(t)
+	if a < 1 {
+		a = 1
+	}
+	return 1e-12 * a
+}

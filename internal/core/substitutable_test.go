@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+func randomPriorities(seed uint64, n int) []float64 {
+	rng := stream.NewRNG(seed)
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = rng.Open01()
+	}
+	return pr
+}
+
+func TestBottomKIsSubstitutable(t *testing.T) {
+	f := func(seed uint64) bool {
+		pr := randomPriorities(seed, 25)
+		return CheckSubstitutable(BottomKRule(6), pr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedIsSubstitutable(t *testing.T) {
+	f := func(seed uint64) bool {
+		pr := randomPriorities(seed, 20)
+		return CheckSubstitutable(FixedRule(0.4), pr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetRuleIsSubstitutable(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		n := 20
+		pr := make([]float64, n)
+		sizes := make([]int, n)
+		for i := range pr {
+			pr[i] = rng.Open01()
+			sizes[i] = 1 + rng.Intn(5)
+		}
+		return CheckSubstitutable(BudgetRule(sizes, 12), pr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinOfSubstitutableIsSubstitutable(t *testing.T) {
+	// Theorem 9: min of substitutable rules stays substitutable.
+	f := func(seed uint64) bool {
+		pr := randomPriorities(seed, 25)
+		rule := MinRules(BottomKRule(4), BottomKRule(8), FixedRule(0.5))
+		return CheckSubstitutable(rule, pr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxOfBottomKIsOneSubstitutable(t *testing.T) {
+	// Theorem 9: max of substitutable rules is 1-substitutable (used by
+	// multi-stratified sampling, where it is in fact fully substitutable
+	// because the strata partition the items; here we only assert the
+	// 1-substitutability that the theorem guarantees in general).
+	f := func(seed uint64) bool {
+		pr := randomPriorities(seed, 25)
+		// Two "strata": even and odd indices, each with a bottom-k rule
+		// applied to its own coordinates (the other coordinates are passed
+		// through but ignored by using +inf placeholders).
+		even := func(p []float64) []float64 {
+			var sub []float64
+			for i := 0; i < len(p); i += 2 {
+				sub = append(sub, p[i])
+			}
+			th := KthSmallest(sub, 4)
+			out := make([]float64, len(p))
+			for i := range out {
+				if i%2 == 0 {
+					out[i] = th
+				} else {
+					out[i] = math.Inf(-1)
+				}
+			}
+			return out
+		}
+		odd := func(p []float64) []float64 {
+			var sub []float64
+			for i := 1; i < len(p); i += 2 {
+				sub = append(sub, p[i])
+			}
+			th := KthSmallest(sub, 4)
+			out := make([]float64, len(p))
+			for i := range out {
+				if i%2 == 1 {
+					out[i] = th
+				} else {
+					out[i] = math.Inf(-1)
+				}
+			}
+			return out
+		}
+		rule := MaxRules(even, odd)
+		return CheckOneSubstitutable(rule, pr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genderExclusionRule is the paper's §2.3 counterexample: the threshold is
+// the minimum priority among "female" items (odd indices), excluding all of
+// them. Note the subtlety: the rule IS substitutable for sampled subsets
+// (the threshold never depends on a sampled — even-index — priority); the
+// gross bias comes from the odd items having inclusion probability zero,
+// which violates the F_i(T_i) > 0 proviso of Corollary 3 rather than
+// substitutability itself.
+func genderExclusionRule(p []float64) []float64 {
+	minOdd := math.Inf(1)
+	for i := 1; i < len(p); i += 2 {
+		if p[i] < minOdd {
+			minOdd = p[i]
+		}
+	}
+	out := make([]float64, len(p))
+	for i := range out {
+		out[i] = minOdd
+	}
+	return out
+}
+
+func TestGenderRuleSubstitutableButZeroProb(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		pr := randomPriorities(seed, 12)
+		if !CheckSubstitutable(genderExclusionRule, pr) {
+			t.Fatalf("seed %d: the exclusion rule's thresholds never depend on sampled priorities", seed)
+		}
+		// No odd-index item is ever sampled: its priority is >= the min of
+		// the odd priorities, which is the threshold.
+		th := genderExclusionRule(pr)
+		for i := 1; i < len(pr); i += 2 {
+			if pr[i] < th[i] {
+				t.Fatalf("seed %d: odd item %d sampled; the rule should exclude it", seed, i)
+			}
+		}
+	}
+}
+
+// inflatedMinRule is genuinely non-substitutable: the common threshold is
+// twice the minimum priority, so the minimum item is always sampled and
+// recalibrating it to -inf collapses the threshold.
+func inflatedMinRule(p []float64) []float64 {
+	m := math.Inf(1)
+	for _, v := range p {
+		if v < m {
+			m = v
+		}
+	}
+	out := make([]float64, len(p))
+	for i := range out {
+		out[i] = 2 * m
+	}
+	return out
+}
+
+func TestInflatedMinRuleIsNotSubstitutable(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		pr := randomPriorities(seed, 12)
+		if CheckSubstitutable(inflatedMinRule, pr) {
+			t.Fatalf("seed %d: a threshold depending on a sampled priority must fail the check", seed)
+		}
+	}
+}
+
+func TestSequentialRuleIsOneButNotTwoSubstitutable(t *testing.T) {
+	// §2.7 example: a "keep if ever in the bottom-k prefix" threshold — the
+	// threshold for item i is the k-th smallest among the PRECEDING
+	// priorities (sequential rule). It is 1-substitutable but not fully
+	// substitutable.
+	k := 3
+	seq := func(p []float64) []float64 {
+		out := make([]float64, len(p))
+		for i := range p {
+			if i < k {
+				out[i] = math.Inf(1)
+				continue
+			}
+			out[i] = KthSmallest(p[:i], k)
+		}
+		return out
+	}
+	one, two := 0, 0
+	for seed := uint64(0); seed < 120; seed++ {
+		pr := randomPriorities(seed, 12)
+		if CheckOneSubstitutable(seq, pr) {
+			one++
+		}
+		if !CheckDSubstitutable(seq, pr, 2) {
+			two++
+		}
+	}
+	if one != 120 {
+		t.Errorf("sequential rule should always be 1-substitutable; got %d/120", one)
+	}
+	if two == 0 {
+		t.Error("sequential rule should fail 2-substitutability on some draws")
+	}
+}
+
+func TestCheckDSubstitutableDegenerate(t *testing.T) {
+	pr := randomPriorities(4, 10)
+	if !CheckDSubstitutable(BottomKRule(3), pr, 3) {
+		t.Error("bottom-k should be d-substitutable for every d")
+	}
+	if !CheckDSubstitutable(FixedRule(0.5), pr, 0) {
+		t.Error("d=0 must trivially pass")
+	}
+}
+
+func TestThresholdsAgreeInfinities(t *testing.T) {
+	orig := []float64{math.Inf(1), 1}
+	rec := []float64{math.Inf(1), 1}
+	if !thresholdsAgree(orig, rec, []int{0, 1}) {
+		t.Error("identical vectors with +inf entries must agree")
+	}
+	rec2 := []float64{math.Inf(1), 1 + 1e-6}
+	if thresholdsAgree(orig, rec2, []int{1}) {
+		t.Error("clearly different finite thresholds must not agree")
+	}
+}
+
+// TestStoppingTimeRuleSubstitutable validates Theorem 8 directly: order
+// the priorities descending R_ρ1 > R_ρ2 > ...; let M be a stopping time of
+// that sequence (here: the first index where the running sum of priorities
+// exceeds a constant); the rule τ(R) = R_ρM is fully substitutable.
+func TestStoppingTimeRuleSubstitutable(t *testing.T) {
+	stoppingRule := func(p []float64) []float64 {
+		idx := argsort(p) // ascending
+		// Walk descending, accumulate, stop when the sum passes 2.0.
+		acc := 0.0
+		threshold := math.Inf(-1) // degenerate: nothing sampled
+		for i := len(idx) - 1; i >= 0; i-- {
+			acc += p[idx[i]]
+			if acc > 2.0 {
+				threshold = p[idx[i]]
+				break
+			}
+		}
+		out := make([]float64, len(p))
+		for i := range out {
+			out[i] = threshold
+		}
+		return out
+	}
+	f := func(seed uint64) bool {
+		pr := randomPriorities(seed, 20)
+		return CheckSubstitutable(stoppingRule, pr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNonStoppingRuleFails shows the contrast: a rule that looks one step
+// PAST the stopping point into the sampled region (peeking at the next
+// smaller priority) depends on a sampled item's priority and fails the
+// check on some draws.
+func TestNonStoppingRuleFails(t *testing.T) {
+	peekingRule := func(p []float64) []float64 {
+		idx := argsort(p)
+		acc := 0.0
+		threshold := math.Inf(-1)
+		for i := len(idx) - 1; i >= 0; i-- {
+			acc += p[idx[i]]
+			if acc > 2.0 {
+				// Peek one beyond the stopping point: the threshold now
+				// depends on a SAMPLED priority.
+				if i > 0 {
+					threshold = (p[idx[i]] + p[idx[i-1]]) / 2
+				} else {
+					threshold = p[idx[i]]
+				}
+				break
+			}
+		}
+		out := make([]float64, len(p))
+		for i := range out {
+			out[i] = threshold
+		}
+		return out
+	}
+	failed := false
+	for seed := uint64(0); seed < 60; seed++ {
+		pr := randomPriorities(seed, 20)
+		if !CheckSubstitutable(peekingRule, pr) {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Error("a rule peeking into the sample should fail substitutability")
+	}
+}

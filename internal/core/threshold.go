@@ -1,0 +1,231 @@
+package core
+
+import "math"
+
+// Rule is an adaptive thresholding rule: given the full vector of
+// priorities (and, implicitly, the data the rule closes over), it returns a
+// per-item threshold vector of the same length. Item i is sampled iff
+// priorities[i] < thresholds[i].
+//
+// Rules are pure functions of their argument so that the recalibration and
+// substitutability machinery can re-evaluate them on perturbed priority
+// vectors. Rules used with Recalibrate and substitutability checks should
+// be non-decreasing: lowering any priority never lowers any threshold.
+type Rule func(priorities []float64) (thresholds []float64)
+
+// Sample applies a rule to a priority vector and reports which items are
+// included.
+func Sample(rule Rule, priorities []float64) []bool {
+	t := rule(priorities)
+	z := make([]bool, len(priorities))
+	for i := range priorities {
+		z[i] = priorities[i] < t[i]
+	}
+	return z
+}
+
+// Recalibrate computes the recalibrated thresholds T̃^λ of §2.5 with
+// respect to the index set lambda: the thresholds produced by the rule
+// after driving every priority in lambda to -inf (the infimum over those
+// coordinates, which for a non-decreasing rule is attained at the minimal
+// values). The returned vector is the alternative threshold that is
+// independent of the priorities indexed by lambda, enabling the conditional
+// inclusion-probability factorization of Lemma 1.
+func Recalibrate(rule Rule, priorities []float64, lambda []int) []float64 {
+	perturbed := make([]float64, len(priorities))
+	copy(perturbed, priorities)
+	for _, i := range lambda {
+		perturbed[i] = math.Inf(-1)
+	}
+	return rule(perturbed)
+}
+
+// FixedRule returns a Rule with the same constant threshold for every item
+// — the plain Poisson sampling design.
+func FixedRule(t float64) Rule {
+	return func(priorities []float64) []float64 {
+		out := make([]float64, len(priorities))
+		for i := range out {
+			out[i] = t
+		}
+		return out
+	}
+}
+
+// BottomKRule returns the bottom-k thresholding rule: the common threshold
+// is the (k+1)-th smallest priority (or +inf when n <= k). This is the
+// canonical substitutable threshold of §2.5.1: the sample is exactly the k
+// smallest-priority items.
+func BottomKRule(k int) Rule {
+	return func(priorities []float64) []float64 {
+		t := KthSmallest(priorities, k+1) // +inf when n <= k
+		out := make([]float64, len(priorities))
+		for i := range out {
+			out[i] = t
+		}
+		return out
+	}
+}
+
+// BudgetRule returns the variable item-size thresholding rule of §3.1:
+// visiting items in ascending priority order, accumulate sizes; the
+// threshold is the priority of the first item that would push the total
+// over budget (or +inf if everything fits). sizes[i] is the size of item i.
+func BudgetRule(sizes []int, budget int) Rule {
+	return func(priorities []float64) []float64 {
+		n := len(priorities)
+		order := argsort(priorities)
+		t := math.Inf(1)
+		total := 0
+		for _, i := range order {
+			total += sizes[i]
+			if total > budget {
+				t = priorities[i]
+				break
+			}
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = t
+		}
+		return out
+	}
+}
+
+// MinRules composes rules by taking the per-item minimum of their
+// thresholds. By Theorem 9, the minimum of substitutable (resp.
+// d-substitutable) rules is substitutable (resp. d-substitutable).
+func MinRules(rules ...Rule) Rule {
+	return combineRules(math.Min, rules)
+}
+
+// MaxRules composes rules by taking the per-item maximum of their
+// thresholds. By Theorem 9, the maximum of 1-substitutable rules is
+// 1-substitutable (this is the combination used by multi-stratified
+// sampling and LCS-style merges).
+func MaxRules(rules ...Rule) Rule {
+	return combineRules(math.Max, rules)
+}
+
+func combineRules(op func(a, b float64) float64, rules []Rule) Rule {
+	if len(rules) == 0 {
+		panic("core: combining zero rules")
+	}
+	return func(priorities []float64) []float64 {
+		out := rules[0](priorities)
+		for _, r := range rules[1:] {
+			t := r(priorities)
+			for i := range out {
+				out[i] = op(out[i], t[i])
+			}
+		}
+		return out
+	}
+}
+
+// KthSmallest returns the k-th smallest value of xs (1-based), or +inf when
+// k > len(xs). It runs in O(n) expected time via quickselect and does not
+// modify xs.
+func KthSmallest(xs []float64, k int) float64 {
+	if k <= 0 {
+		panic("core: KthSmallest with k <= 0")
+	}
+	if k > len(xs) {
+		return math.Inf(1)
+	}
+	buf := make([]float64, len(xs))
+	copy(buf, xs)
+	return quickselect(buf, k-1)
+}
+
+// quickselect returns the element with 0-based rank k of buf, reordering
+// buf in place. Median-of-three pivoting keeps adversarial inputs at bay;
+// the inputs here are random priorities anyway.
+func quickselect(buf []float64, k int) float64 {
+	lo, hi := 0, len(buf)-1
+	for {
+		if lo == hi {
+			return buf[lo]
+		}
+		p := medianOfThree(buf, lo, hi)
+		i, j := lo, hi
+		for i <= j {
+			for buf[i] < p {
+				i++
+			}
+			for buf[j] > p {
+				j--
+			}
+			if i <= j {
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return buf[k]
+		}
+	}
+}
+
+func medianOfThree(buf []float64, lo, hi int) float64 {
+	mid := lo + (hi-lo)/2
+	a, b, c := buf[lo], buf[mid], buf[hi]
+	switch {
+	case (a <= b) == (b <= c):
+		return b
+	case (b <= a) == (a <= c):
+		return a
+	default:
+		return c
+	}
+}
+
+func argsort(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Simple bottom-up merge sort on indices: stable and allocation-light.
+	buf := make([]int, len(idx))
+	for width := 1; width < len(idx); width *= 2 {
+		for lo := 0; lo < len(idx); lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > len(idx) {
+				mid = len(idx)
+			}
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if xs[idx[i]] <= xs[idx[j]] {
+					buf[k] = idx[i]
+					i++
+				} else {
+					buf[k] = idx[j]
+					j++
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = idx[i]
+				i++
+				k++
+			}
+			for j < hi {
+				buf[k] = idx[j]
+				j++
+				k++
+			}
+		}
+		idx, buf = buf, idx
+	}
+	return idx
+}

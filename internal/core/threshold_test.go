@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+func TestKthSmallest(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	for k := 1; k <= 5; k++ {
+		if got := KthSmallest(xs, k); got != float64(k) {
+			t.Errorf("KthSmallest(k=%d) = %v, want %d", k, got, k)
+		}
+	}
+	if got := KthSmallest(xs, 6); !math.IsInf(got, 1) {
+		t.Errorf("KthSmallest beyond length = %v, want +inf", got)
+	}
+	// Input must not be mutated.
+	want := []float64{5, 1, 4, 2, 3}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("KthSmallest mutated its input: %v", xs)
+		}
+	}
+}
+
+func TestKthSmallestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k <= 0")
+		}
+	}()
+	KthSmallest([]float64{1}, 0)
+}
+
+func TestKthSmallestMatchesSortQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed uint64, n uint8) bool {
+		rng := stream.NewRNG(seed)
+		m := int(n%50) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for k := 1; k <= m; k++ {
+			if KthSmallest(xs, k) != sorted[k-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedRule(t *testing.T) {
+	rule := FixedRule(0.3)
+	th := rule([]float64{0.1, 0.5, 0.9})
+	for i, v := range th {
+		if v != 0.3 {
+			t.Errorf("threshold[%d] = %v, want 0.3", i, v)
+		}
+	}
+	z := Sample(rule, []float64{0.1, 0.5, 0.9})
+	want := []bool{true, false, false}
+	for i := range z {
+		if z[i] != want[i] {
+			t.Errorf("Sample[%d] = %v, want %v", i, z[i], want[i])
+		}
+	}
+}
+
+func TestBottomKRule(t *testing.T) {
+	rule := BottomKRule(2)
+	pr := []float64{0.9, 0.1, 0.5, 0.3, 0.7}
+	th := rule(pr)
+	// (k+1)-th smallest = 3rd smallest = 0.5.
+	for i, v := range th {
+		if v != 0.5 {
+			t.Errorf("threshold[%d] = %v, want 0.5", i, v)
+		}
+	}
+	z := Sample(rule, pr)
+	wantSampled := map[int]bool{1: true, 3: true}
+	for i := range z {
+		if z[i] != wantSampled[i] {
+			t.Errorf("item %d sampled=%v, want %v", i, z[i], wantSampled[i])
+		}
+	}
+}
+
+func TestBottomKRuleSmallInput(t *testing.T) {
+	rule := BottomKRule(5)
+	th := rule([]float64{0.2, 0.4})
+	for i, v := range th {
+		if !math.IsInf(v, 1) {
+			t.Errorf("threshold[%d] = %v, want +inf for n <= k", i, v)
+		}
+	}
+}
+
+func TestBudgetRule(t *testing.T) {
+	// Priorities ascending by index: sizes 1, 10, 1; budget 2.
+	sizes := []int{1, 10, 1}
+	rule := BudgetRule(sizes, 2)
+	pr := []float64{0.1, 0.2, 0.3}
+	th := rule(pr)
+	// Cumulative 1, 11 -> first overflow at index 1 -> threshold 0.2.
+	for i, v := range th {
+		if v != 0.2 {
+			t.Errorf("threshold[%d] = %v, want 0.2", i, v)
+		}
+	}
+	z := Sample(rule, pr)
+	if !z[0] || z[1] || z[2] {
+		t.Errorf("sample = %v, want only item 0", z)
+	}
+}
+
+func TestBudgetRuleAllFit(t *testing.T) {
+	rule := BudgetRule([]int{1, 1, 1}, 10)
+	th := rule([]float64{0.5, 0.6, 0.7})
+	for _, v := range th {
+		if !math.IsInf(v, 1) {
+			t.Errorf("threshold = %v, want +inf when everything fits", v)
+		}
+	}
+}
+
+func TestMinMaxRules(t *testing.T) {
+	r1 := FixedRule(0.2)
+	r2 := FixedRule(0.5)
+	pr := []float64{0.1, 0.3, 0.6}
+	minTh := MinRules(r1, r2)(pr)
+	maxTh := MaxRules(r1, r2)(pr)
+	for i := range pr {
+		if minTh[i] != 0.2 {
+			t.Errorf("min threshold[%d] = %v, want 0.2", i, minTh[i])
+		}
+		if maxTh[i] != 0.5 {
+			t.Errorf("max threshold[%d] = %v, want 0.5", i, maxTh[i])
+		}
+	}
+}
+
+func TestCombineRulesPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when combining zero rules")
+		}
+	}()
+	MinRules()
+}
+
+func TestRecalibrateBottomK(t *testing.T) {
+	// §2.5.1: recalibrating a sampled item's priority to -inf must not
+	// change the bottom-k threshold.
+	rng := stream.NewRNG(9)
+	pr := make([]float64, 30)
+	for i := range pr {
+		pr[i] = rng.Float64()
+	}
+	rule := BottomKRule(5)
+	orig := rule(pr)
+	z := Sample(rule, pr)
+	for i, sampled := range z {
+		if !sampled {
+			continue
+		}
+		rec := Recalibrate(rule, pr, []int{i})
+		if rec[i] != orig[i] {
+			t.Errorf("recalibrated threshold for sampled item %d changed: %v -> %v", i, orig[i], rec[i])
+		}
+	}
+	// Recalibrating an UNSAMPLED item (the threshold item itself) lowers
+	// the threshold.
+	thresholdItem := -1
+	for i := range pr {
+		if pr[i] == orig[i] {
+			thresholdItem = i
+		}
+	}
+	if thresholdItem >= 0 {
+		rec := Recalibrate(rule, pr, []int{thresholdItem})
+		if rec[0] >= orig[0] {
+			t.Errorf("recalibrating the threshold item should lower the threshold: %v -> %v", orig[0], rec[0])
+		}
+	}
+}
+
+func TestArgsortStable(t *testing.T) {
+	xs := []float64{3, 1, 2, 1, 3}
+	idx := argsort(xs)
+	want := []int{1, 3, 2, 0, 4}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("argsort = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestArgsortQuick(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := stream.NewRNG(seed)
+		m := int(n % 100)
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		idx := argsort(xs)
+		if len(idx) != m {
+			return false
+		}
+		seen := make(map[int]bool, m)
+		for i := 1; i < m; i++ {
+			if xs[idx[i-1]] > xs[idx[i]] {
+				return false
+			}
+		}
+		for _, j := range idx {
+			if seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package decay implements exponentially time-decayed priority sampling
+// via the priority-threshold duality of §2.9 (after Cormode, Korn &
+// Tirthapura's time-decayed aggregates): an item arriving at time t0 with
+// weight w has decayed weight w·exp(-λ(t-t0)), but instead of rewriting
+// stored priorities as time passes, each item keeps the FIXED adjusted
+// log-priority
+//
+//	logP = ln(U/w) - λ·t0,
+//
+// and the sample is simply the bottom-k by logP. Inclusion at query time t
+// is equivalent to U/w(t) < T(t) for the dual threshold, so the
+// Horvitz-Thompson weights use the decayed weight — recent items are
+// favored automatically and nothing stored ever changes.
+//
+// All arithmetic is in log space so the scheme is stable for arbitrarily
+// large λ·t.
+package decay
+
+import (
+	"math"
+
+	"ats/internal/stream"
+)
+
+// Entry is one retained item.
+type Entry struct {
+	Key    uint64
+	Weight float64
+	Value  float64
+	// Time is the arrival time t0.
+	Time float64
+	// LogP is the fixed adjusted log-priority ln(U/w) - λ·t0.
+	LogP float64
+}
+
+// Sampler maintains a bottom-k sample under exponential time decay.
+type Sampler struct {
+	k      int
+	lambda float64
+	seed   uint64
+	// heap is a max-heap on LogP holding the k+1 smallest adjusted
+	// log-priorities.
+	heap []Entry
+	n    int
+}
+
+// New returns a time-decayed sampler keeping k items with decay rate
+// lambda (> 0) per unit time.
+func New(k int, lambda float64, seed uint64) *Sampler {
+	if k <= 0 {
+		panic("decay: k must be positive")
+	}
+	if lambda <= 0 {
+		panic("decay: lambda must be positive")
+	}
+	return &Sampler{k: k, lambda: lambda, seed: seed}
+}
+
+// K returns the sample-size parameter.
+func (s *Sampler) K() int { return s.k }
+
+// N returns the number of items offered.
+func (s *Sampler) N() int { return s.n }
+
+// Lambda returns the decay rate.
+func (s *Sampler) Lambda() float64 { return s.lambda }
+
+// Add offers an item with weight w > 0 and value x arriving at time t0.
+// Arrival times may be in any order (the structure is order-insensitive,
+// like any bottom-k sketch), though typically they are non-decreasing.
+func (s *Sampler) Add(key uint64, w, x, t0 float64) {
+	if w <= 0 {
+		return
+	}
+	u := stream.HashU01(key, s.seed)
+	logP := math.Log(u) - math.Log(w) - s.lambda*t0
+	s.add(Entry{Key: key, Weight: w, Value: x, Time: t0, LogP: logP})
+}
+
+func (s *Sampler) add(e Entry) {
+	s.n++
+	if len(s.heap) == s.k+1 && e.LogP >= s.heap[0].LogP {
+		return
+	}
+	s.heap = append(s.heap, e)
+	siftUp(s.heap, len(s.heap)-1)
+	if len(s.heap) > s.k+1 {
+		popRoot(&s.heap)
+	}
+}
+
+// LogThreshold returns the adaptive threshold in adjusted log-priority
+// space: the (k+1)-th smallest LogP seen (+inf while fewer than k+1 items).
+func (s *Sampler) LogThreshold() float64 {
+	if len(s.heap) < s.k+1 {
+		return math.Inf(1)
+	}
+	return s.heap[0].LogP
+}
+
+// Sample returns the retained entries with LogP strictly below the
+// threshold.
+func (s *Sampler) Sample() []Entry {
+	th := s.LogThreshold()
+	out := make([]Entry, 0, s.k)
+	for _, e := range s.heap {
+		if e.LogP < th {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InclusionProb returns the pseudo-inclusion probability of a retained
+// entry: P(logP < logThreshold) = min(1, w·exp(λ·t0 + logThreshold)),
+// which equals min(1, w(t)·T(t)) under the duality for any query time t.
+func (s *Sampler) InclusionProb(e Entry) float64 {
+	th := s.LogThreshold()
+	if math.IsInf(th, 1) {
+		return 1
+	}
+	logp := math.Log(e.Weight) + s.lambda*e.Time + th
+	if logp >= 0 {
+		return 1
+	}
+	return math.Exp(logp)
+}
+
+// DecayedSum returns the HT estimate, at query time t, of the decayed sum
+//
+//	Σ_i x_i · exp(-λ·(t - t0_i))
+//
+// over ALL items offered so far (matching pred when non-nil). The decayed
+// value of each sampled item is divided by its pseudo-inclusion
+// probability.
+func (s *Sampler) DecayedSum(t float64, pred func(Entry) bool) float64 {
+	th := s.LogThreshold()
+	sum := 0.0
+	for _, e := range s.heap {
+		if e.LogP >= th {
+			continue
+		}
+		if pred != nil && !pred(e) {
+			continue
+		}
+		decayed := e.Value * math.Exp(-s.lambda*(t-e.Time))
+		p := s.InclusionProb(e)
+		if p > 0 {
+			sum += decayed / p
+		}
+	}
+	return sum
+}
+
+// DecayedCount returns the HT estimate of Σ exp(-λ(t-t0_i)) — the decayed
+// population size.
+func (s *Sampler) DecayedCount(t float64) float64 {
+	th := s.LogThreshold()
+	sum := 0.0
+	for _, e := range s.heap {
+		if e.LogP >= th {
+			continue
+		}
+		decayed := math.Exp(-s.lambda * (t - e.Time))
+		p := s.InclusionProb(e)
+		if p > 0 {
+			sum += decayed / p
+		}
+	}
+	return sum
+}
+
+// --- max-heap on LogP ---
+
+func siftUp(h []Entry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].LogP >= h[i].LogP {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func popRoot(h *[]Entry) Entry {
+	old := *h
+	root := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && (*h)[l].LogP > (*h)[largest].LogP {
+			largest = l
+		}
+		if r < n && (*h)[r].LogP > (*h)[largest].LogP {
+			largest = r
+		}
+		if largest == i {
+			return root
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}

@@ -1,0 +1,153 @@
+package decay
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct {
+		k      int
+		lambda float64
+	}{{0, 1}, {5, 0}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %v) must panic", c.k, c.lambda)
+				}
+			}()
+			New(c.k, c.lambda, 1)
+		}()
+	}
+}
+
+func TestExactBelowK(t *testing.T) {
+	s := New(50, 1, 1)
+	for i := 0; i < 20; i++ {
+		s.Add(uint64(i), 1, 1, float64(i)*0.1)
+	}
+	// Below capacity every inclusion probability is 1 and the decayed sum
+	// is exact.
+	tq := 2.0
+	want := 0.0
+	for i := 0; i < 20; i++ {
+		want += math.Exp(-(tq - float64(i)*0.1))
+	}
+	if got := s.DecayedSum(tq, nil); math.Abs(got-want) > 1e-9 {
+		t.Errorf("decayed sum = %v, want exact %v", got, want)
+	}
+	if got := s.DecayedCount(tq); math.Abs(got-want) > 1e-9 {
+		t.Errorf("decayed count = %v, want %v", got, want)
+	}
+}
+
+func TestRecencyBias(t *testing.T) {
+	// With strong decay, the sample should be dominated by recent items.
+	s := New(50, 2, 2)
+	for i := 0; i < 10000; i++ {
+		s.Add(uint64(i), 1, 1, float64(i)*0.01) // times 0 .. 100
+	}
+	recent := 0
+	for _, e := range s.Sample() {
+		if e.Time > 95 {
+			recent++
+		}
+	}
+	if recent < 35 {
+		t.Errorf("only %d of 50 sampled items from the most recent 5%% of time", recent)
+	}
+}
+
+// TestDecayedSumUnbiased: Monte-Carlo unbiasedness of the decayed-sum
+// estimator under the dual adaptive threshold.
+func TestDecayedSumUnbiased(t *testing.T) {
+	n := 2000
+	lambda := 0.05
+	rng := stream.NewRNG(3)
+	type item struct {
+		w, x, t0 float64
+	}
+	items := make([]item, n)
+	tq := 10.0
+	truth := 0.0
+	for i := range items {
+		items[i] = item{
+			w:  0.5 + rng.Float64()*2,
+			x:  1 + rng.Float64(),
+			t0: rng.Float64() * 10,
+		}
+		truth += items[i].x * math.Exp(-lambda*(tq-items[i].t0))
+	}
+	var est estimator.Running
+	for trial := 0; trial < 3000; trial++ {
+		s := New(100, lambda, uint64(trial)+10)
+		for i, it := range items {
+			s.Add(uint64(i), it.w, it.x, it.t0)
+		}
+		est.Add(s.DecayedSum(tq, nil))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("decayed sum biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestNumericalStabilityAtLargeTimes(t *testing.T) {
+	// λ·t ~ 7000: naive exp(λ·t) overflows float64; log-space must not.
+	s := New(10, 1, 4)
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i), 1, 1, 7000+float64(i)*0.01)
+	}
+	tq := 7010.01
+	got := s.DecayedCount(tq)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("decayed count = %v; log-space arithmetic failed", got)
+	}
+	// The decayed population is Σ exp(-(tq-t0)) over the last few time
+	// units ≈ 100·∫exp(-a)da ≈ 100 (1000 items over 10 time units).
+	if got < 20 || got > 500 {
+		t.Errorf("decayed count = %v, want O(100)", got)
+	}
+	for _, e := range s.Sample() {
+		p := s.InclusionProb(e)
+		if p <= 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("inclusion prob %v out of (0,1]", p)
+		}
+	}
+}
+
+func TestInvalidWeightIgnored(t *testing.T) {
+	s := New(5, 1, 5)
+	s.Add(1, 0, 1, 0)
+	s.Add(2, -1, 1, 0)
+	if len(s.Sample()) != 0 {
+		t.Error("non-positive weights must be ignored")
+	}
+}
+
+func TestOrderInsensitive(t *testing.T) {
+	// Bottom-k on fixed adjusted priorities: processing order must not
+	// matter.
+	mk := func(order []int) *Sampler {
+		s := New(8, 0.5, 6)
+		for _, i := range order {
+			s.Add(uint64(i), 1+float64(i%3), 1, float64(i)*0.2)
+		}
+		return s
+	}
+	fwd := make([]int, 100)
+	rev := make([]int, 100)
+	for i := range fwd {
+		fwd[i] = i
+		rev[i] = 99 - i
+	}
+	a, b := mk(fwd), mk(rev)
+	if a.LogThreshold() != b.LogThreshold() {
+		t.Fatal("threshold depends on processing order")
+	}
+	if got, want := a.DecayedSum(20, nil), b.DecayedSum(20, nil); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("decayed sums differ: %v vs %v", got, want)
+	}
+}

@@ -1,0 +1,81 @@
+package distinct
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   uint32  "ATSd"
+//	version uint8   1
+//	k       uint32
+//	seed    uint64
+//	count   uint32
+//	hashes  count × float64
+const (
+	codecMagic   = 0x41545364 // "ATSd"
+	codecVersion = 1
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("distinct: corrupt serialized sketch")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("distinct: unsupported serialization version")
+)
+
+// MarshalBinary serializes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+1+4+8+4+len(s.heap)*8)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.heap)))
+	for _, h := range s.heap {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary,
+// overwriting the receiver.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	const header = 4 + 1 + 4 + 8 + 4
+	if len(data) < header {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[5:]))
+	if k <= 0 {
+		return fmt.Errorf("%w: non-positive k", ErrCorrupt)
+	}
+	seed := binary.LittleEndian.Uint64(data[9:])
+	count := int(binary.LittleEndian.Uint32(data[17:]))
+	if count < 0 || count > k+1 {
+		return fmt.Errorf("%w: %d hashes for k=%d", ErrCorrupt, count, k)
+	}
+	if len(data) != header+count*8 {
+		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*8)
+	}
+	restored := NewSketch(k, seed)
+	off := header
+	for i := 0; i < count; i++ {
+		h := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		if !(h > 0 && h < 1) {
+			return fmt.Errorf("%w: hash %d out of (0,1)", ErrCorrupt, i)
+		}
+		restored.addHash(h)
+		off += 8
+	}
+	*s = *restored
+	return nil
+}

@@ -1,0 +1,73 @@
+package distinct
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := stream.NewRNG(seed)
+		orig := NewSketch(32, seed)
+		m := int(n % 2000)
+		for i := 0; i < m; i++ {
+			orig.Add(rng.Uint64() % 1000)
+		}
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Sketch
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if got.Threshold() != orig.Threshold() || got.Estimate() != orig.Estimate() {
+			return false
+		}
+		// Restored sketches must merge like the originals.
+		other := NewSketch(32, seed)
+		for i := 0; i < 100; i++ {
+			other.Add(rng.Uint64())
+		}
+		got.Merge(other)
+		orig.Merge(other)
+		return got.Estimate() == orig.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	orig := NewSketch(16, 3)
+	for i := 0; i < 500; i++ {
+		orig.Add(uint64(i))
+	}
+	data, _ := orig.MarshalBinary()
+
+	var s Sketch
+	if err := s.UnmarshalBinary(data[:5]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[1] ^= 0xFF
+	if err := s.UnmarshalBinary(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[4] = 200
+	if err := s.UnmarshalBinary(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Corrupt a stored hash to be out of range.
+	bad = append([]byte(nil), data...)
+	for i := len(bad) - 8; i < len(bad); i++ {
+		bad[i] = 0xFF
+	}
+	if err := s.UnmarshalBinary(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad hash: %v", err)
+	}
+}

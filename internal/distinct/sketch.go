@@ -1,0 +1,319 @@
+// Package distinct implements coordinated-sample distinct counting
+// sketches and the merge rules compared in §3.5 / Figure 4 of the paper:
+//
+//   - Sketch: a KMV/bottom-k cardinality sketch (k smallest hash values,
+//     threshold = (k+1)-th smallest), which is an adaptive threshold sample
+//     with a substitutable threshold;
+//   - Theta-style union: threshold = min of the input thresholds, entries
+//     below it from either sketch (the 1-goodness rule of the Theta sketch
+//     framework);
+//   - Adaptive/LCS union: per-item thresholds T'_i <= max of the input
+//     thresholds — items keep the largest threshold of any input sketch
+//     that could have sampled them — which is 1-substitutable by Theorem 9
+//     and generalizes the LCS sketch of Cohen & Kaplan. It uses strictly
+//     more of the stored points than the Theta rule and therefore has lower
+//     variance except when one set contains the other.
+//
+// Weighted distinct counting (§3.4) is provided by WeightedSketch: a single
+// coordinated priority sample answers both subset-sum and distinct-count
+// queries.
+package distinct
+
+import (
+	"math"
+	"sort"
+
+	"ats/internal/stream"
+)
+
+// Sketch is a KMV/bottom-k distinct counting sketch: it retains the k
+// smallest distinct hash values in (0, 1).
+type Sketch struct {
+	k    int
+	seed uint64
+	// heap is a max-heap of the smallest k+1 distinct hashes seen; when
+	// full its root is the threshold and the other k values the sample.
+	heap []float64
+	// members tracks the retained hash values to deduplicate insertions.
+	members map[float64]struct{}
+}
+
+// NewSketch returns an empty sketch of size k. Sketches sharing a seed are
+// coordinated and can be merged.
+func NewSketch(k int, seed uint64) *Sketch {
+	if k <= 0 {
+		panic("distinct: k must be positive")
+	}
+	return &Sketch{
+		k:       k,
+		seed:    seed,
+		heap:    make([]float64, 0, k+2),
+		members: make(map[float64]struct{}, k+2),
+	}
+}
+
+// K returns the sketch size parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Seed returns the hash seed.
+func (s *Sketch) Seed() uint64 { return s.seed }
+
+// Add offers a key. Duplicate keys are ignored (same hash).
+func (s *Sketch) Add(key uint64) {
+	s.addHash(stream.HashU01(key, s.seed))
+}
+
+// AddString offers a string key.
+func (s *Sketch) AddString(key string) {
+	s.addHash(stream.HashStringU01(key, s.seed))
+}
+
+func (s *Sketch) addHash(h float64) {
+	if len(s.heap) == s.k+1 && h >= s.heap[0] {
+		return
+	}
+	if _, ok := s.members[h]; ok {
+		return
+	}
+	s.members[h] = struct{}{}
+	s.heap = append(s.heap, h)
+	siftUpF(s.heap, len(s.heap)-1)
+	if len(s.heap) > s.k+1 {
+		evicted := popRootF(&s.heap)
+		delete(s.members, evicted)
+	}
+}
+
+// Threshold returns the sketch's threshold: the (k+1)-th smallest distinct
+// hash seen, or 1 while fewer than k+1 distinct keys have been added. Every
+// distinct key with hash below the threshold is retained, each with
+// inclusion probability equal to the threshold.
+func (s *Sketch) Threshold() float64 {
+	if len(s.heap) < s.k+1 {
+		return 1
+	}
+	return s.heap[0]
+}
+
+// Hashes returns the retained hash values strictly below the threshold
+// (the sample), freshly allocated and unordered.
+func (s *Sketch) Hashes() []float64 {
+	t := s.Threshold()
+	out := make([]float64, 0, s.k)
+	for _, h := range s.heap {
+		if h < t {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Estimate returns the unbiased HT cardinality estimate |sample| / T.
+func (s *Sketch) Estimate() float64 {
+	t := s.Threshold()
+	if t >= 1 {
+		return float64(len(s.heap))
+	}
+	count := 0
+	for _, h := range s.heap {
+		if h < t {
+			count++
+		}
+	}
+	return float64(count) / t
+}
+
+// Merge folds another coordinated sketch into s (stream-union semantics:
+// the result is exactly the sketch of the concatenated streams). Both the
+// Theta and LCS union estimators are available separately; Merge is the
+// mutating building block.
+func (s *Sketch) Merge(o *Sketch) {
+	for _, h := range o.heap {
+		s.addHash(h)
+	}
+}
+
+// --- max-heap on float64 ---
+
+func siftUpF(h []float64, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func popRootF(h *[]float64) float64 {
+	old := *h
+	root := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	siftDownF(*h, 0)
+	return root
+}
+
+func siftDownF(h []float64, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h[l] > h[largest] {
+			largest = l
+		}
+		if r < n && h[r] > h[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// sortedHashes returns the sample hashes in increasing order.
+func (s *Sketch) sortedHashes() []float64 {
+	hs := s.Hashes()
+	sort.Float64s(hs)
+	return hs
+}
+
+// UnionEstimateTheta returns the Theta-sketch union cardinality estimate
+// for the union of the sets summarized by the sketches: threshold
+// θ = min_i θ_i, estimate = |{distinct hashes < θ}| / θ.
+func UnionEstimateTheta(sketches ...*Sketch) float64 {
+	if len(sketches) == 0 {
+		return 0
+	}
+	theta := 1.0
+	for _, s := range sketches {
+		if t := s.Threshold(); t < theta {
+			theta = t
+		}
+	}
+	seen := make(map[float64]struct{})
+	for _, s := range sketches {
+		for _, h := range s.Hashes() {
+			if h < theta {
+				seen[h] = struct{}{}
+			}
+		}
+	}
+	if theta >= 1 {
+		return float64(len(seen))
+	}
+	return float64(len(seen)) / theta
+}
+
+// UnionEstimateLCS returns the adaptive-threshold (LCS-style) union
+// estimate: every distinct hash retained by any sketch contributes weight
+// 1 / max{θ_S : sketch S retains it}. An element present in several input
+// sets is retained by every sketch whose threshold exceeds its hash, so
+// the max over retaining sketches equals its true inclusion probability in
+// the combined sample, making the estimator unbiased while using all
+// stored points.
+func UnionEstimateLCS(sketches ...*Sketch) float64 {
+	weights := make(map[float64]float64)
+	for _, s := range sketches {
+		t := s.Threshold()
+		for _, h := range s.Hashes() {
+			if t > weights[h] {
+				weights[h] = t
+			}
+		}
+	}
+	est := 0.0
+	for _, t := range weights {
+		est += 1 / t
+	}
+	return est
+}
+
+// UnionEstimateBottomK returns the "basic bottom-k" union estimate:
+// combine all retained hashes, take the k smallest distinct values (k from
+// the first sketch), and estimate with the (k+1)-th smallest as threshold.
+// This is the strictest rule in Figure 4: it discards points the other two
+// rules keep.
+func UnionEstimateBottomK(sketches ...*Sketch) float64 {
+	if len(sketches) == 0 {
+		return 0
+	}
+	k := sketches[0].k
+	seen := make(map[float64]struct{})
+	for _, s := range sketches {
+		// Only hashes below every... no: bottom-k of the union sample uses
+		// hashes valid for the union, i.e. below the min threshold.
+		for _, h := range s.Hashes() {
+			seen[h] = struct{}{}
+		}
+	}
+	theta := 1.0
+	for _, s := range sketches {
+		if t := s.Threshold(); t < theta {
+			theta = t
+		}
+	}
+	all := make([]float64, 0, len(seen))
+	for h := range seen {
+		if h < theta {
+			all = append(all, h)
+		}
+	}
+	sort.Float64s(all)
+	if len(all) <= k {
+		if theta >= 1 {
+			return float64(len(all))
+		}
+		return float64(len(all)) / theta
+	}
+	// Threshold = (k+1)-th smallest combined hash; estimate = k / threshold.
+	return float64(k) / all[k]
+}
+
+// Jaccard estimates the Jaccard similarity of two coordinated sketches
+// using the k smallest hashes of their union (the classic MinHash/bottom-k
+// resemblance estimator).
+func Jaccard(a, b *Sketch) float64 {
+	ha, hb := a.sortedHashes(), b.sortedHashes()
+	inA := make(map[float64]struct{}, len(ha))
+	for _, h := range ha {
+		inA[h] = struct{}{}
+	}
+	inB := make(map[float64]struct{}, len(hb))
+	for _, h := range hb {
+		inB[h] = struct{}{}
+	}
+	// k smallest of the union of samples, restricted below both thresholds.
+	theta := math.Min(a.Threshold(), b.Threshold())
+	union := make([]float64, 0, len(ha)+len(hb))
+	seen := make(map[float64]struct{}, len(ha)+len(hb))
+	for _, h := range append(append([]float64{}, ha...), hb...) {
+		if h < theta {
+			if _, dup := seen[h]; !dup {
+				seen[h] = struct{}{}
+				union = append(union, h)
+			}
+		}
+	}
+	sort.Float64s(union)
+	k := a.k
+	if len(union) > k {
+		union = union[:k]
+	}
+	if len(union) == 0 {
+		return 0
+	}
+	both := 0
+	for _, h := range union {
+		_, ina := inA[h]
+		_, inb := inB[h]
+		if ina && inb {
+			both++
+		}
+	}
+	return float64(both) / float64(len(union))
+}

@@ -1,0 +1,240 @@
+package distinct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k <= 0 must panic")
+		}
+	}()
+	NewSketch(0, 1)
+}
+
+func TestExactBelowK(t *testing.T) {
+	s := NewSketch(100, 1)
+	for i := 0; i < 50; i++ {
+		s.Add(uint64(i))
+	}
+	if got := s.Estimate(); got != 50 {
+		t.Errorf("estimate = %v, want exact 50", got)
+	}
+	if s.Threshold() != 1 {
+		t.Error("threshold must be 1 below k+1 distinct items")
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	s := NewSketch(10, 2)
+	for i := 0; i < 1000; i++ {
+		s.Add(7)
+	}
+	if got := s.Estimate(); got != 1 {
+		t.Errorf("estimate = %v, want 1", got)
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	n := 50000
+	k := 200
+	var ests []float64
+	for trial := 0; trial < 40; trial++ {
+		s := NewSketch(k, 1)
+		base := uint64(trial) << 32
+		for i := 0; i < n; i++ {
+			s.Add(base + uint64(i))
+		}
+		ests = append(ests, s.Estimate())
+	}
+	rel := estimator.RelativeSD(ests, float64(n))
+	// Expected ≈ 1/sqrt(k) ≈ 7%.
+	if rel > 0.12 {
+		t.Errorf("relative error %v too large for k=%d", rel, k)
+	}
+	mean, _ := estimator.MeanAndSD(ests)
+	if math.Abs(mean-float64(n))/float64(n) > 0.03 {
+		t.Errorf("mean estimate %v biased vs %d", mean, n)
+	}
+}
+
+func TestSampleBelowThreshold(t *testing.T) {
+	s := NewSketch(20, 3)
+	for i := 0; i < 500; i++ {
+		s.Add(uint64(i))
+	}
+	th := s.Threshold()
+	hs := s.Hashes()
+	if len(hs) != 20 {
+		t.Errorf("sample size %d, want 20", len(hs))
+	}
+	for _, h := range hs {
+		if h >= th {
+			t.Errorf("hash %v at or above threshold %v", h, th)
+		}
+	}
+}
+
+func TestMergeEqualsUnionStream(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		a := NewSketch(15, 9)
+		b := NewSketch(15, 9)
+		whole := NewSketch(15, 9)
+		for i := 0; i < 300; i++ {
+			key := rng.Uint64() % 200 // force some duplicates
+			if i%2 == 0 {
+				a.Add(key)
+			} else {
+				b.Add(key)
+			}
+			whole.Add(key)
+		}
+		a.Merge(b)
+		if a.Threshold() != whole.Threshold() {
+			return false
+		}
+		ha, hw := a.Hashes(), whole.Hashes()
+		if len(ha) != len(hw) {
+			return false
+		}
+		set := make(map[float64]bool)
+		for _, h := range ha {
+			set[h] = true
+		}
+		for _, h := range hw {
+			if !set[h] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	mk := func(lo, hi int) *Sketch {
+		s := NewSketch(10, 4)
+		for i := lo; i < hi; i++ {
+			s.Add(uint64(i))
+		}
+		return s
+	}
+	ab := mk(0, 100)
+	ab.Merge(mk(50, 150))
+	ba := mk(50, 150)
+	ba.Merge(mk(0, 100))
+	if ab.Estimate() != ba.Estimate() || ab.Threshold() != ba.Threshold() {
+		t.Error("merge must be commutative")
+	}
+}
+
+func TestUnionEstimatorsExactWhenSmall(t *testing.T) {
+	a := NewSketch(100, 5)
+	b := NewSketch(100, 5)
+	for i := 0; i < 30; i++ {
+		a.Add(uint64(i))
+	}
+	for i := 20; i < 60; i++ {
+		b.Add(uint64(i))
+	}
+	want := 60.0
+	if got := UnionEstimateTheta(a, b); got != want {
+		t.Errorf("theta union = %v, want %v", got, want)
+	}
+	if got := UnionEstimateLCS(a, b); got != want {
+		t.Errorf("LCS union = %v, want %v", got, want)
+	}
+	if got := UnionEstimateBottomK(a, b); got != want {
+		t.Errorf("bottom-k union = %v, want %v", got, want)
+	}
+}
+
+func TestUnionEstimatorsEmpty(t *testing.T) {
+	if UnionEstimateTheta() != 0 || UnionEstimateBottomK() != 0 {
+		t.Error("empty unions must be 0")
+	}
+	if UnionEstimateLCS() != 0 {
+		t.Error("empty LCS union must be 0")
+	}
+}
+
+// TestUnionEstimatorsUnbiasedAndOrdered verifies on a moderate overlap
+// that all three union estimators are approximately unbiased and that the
+// paper's Figure 4 ordering holds: LCS error <= Theta error <= bottom-k
+// error (allowing Theta ≈ bottom-k within noise).
+func TestUnionEstimatorsUnbiasedAndOrdered(t *testing.T) {
+	sizeA, sizeB := 5000, 10000
+	overlap := 2000
+	truth := float64(sizeA + sizeB - overlap)
+	var lcs, th, bk []float64
+	for trial := 0; trial < 120; trial++ {
+		pair := stream.NewSetPair(sizeA, sizeB, overlap, uint64(trial)+1)
+		a := NewSketch(100, 6)
+		for _, k := range pair.A {
+			a.Add(k)
+		}
+		b := NewSketch(100, 6)
+		for _, k := range pair.B {
+			b.Add(k)
+		}
+		lcs = append(lcs, UnionEstimateLCS(a, b))
+		th = append(th, UnionEstimateTheta(a, b))
+		bk = append(bk, UnionEstimateBottomK(a, b))
+	}
+	for name, ests := range map[string][]float64{"lcs": lcs, "theta": th, "bottomk": bk} {
+		mean, sd := estimator.MeanAndSD(ests)
+		se := sd / math.Sqrt(float64(len(ests)))
+		if z := (mean - truth) / se; math.Abs(z) > 5 {
+			t.Errorf("%s union biased: mean %v truth %v z %v", name, mean, truth, z)
+		}
+	}
+	eLCS := estimator.RelativeSD(lcs, truth)
+	eTheta := estimator.RelativeSD(th, truth)
+	eBK := estimator.RelativeSD(bk, truth)
+	if eLCS > eTheta*1.05 {
+		t.Errorf("LCS error %v should not exceed Theta error %v", eLCS, eTheta)
+	}
+	if eLCS > eBK*1.05 {
+		t.Errorf("LCS error %v should not exceed bottom-k error %v", eLCS, eBK)
+	}
+}
+
+func TestJaccardEstimator(t *testing.T) {
+	sizeA, sizeB := 20000, 20000
+	for _, wantJ := range []float64{0.1, 0.5} {
+		overlap := stream.OverlapForJaccard(sizeA, sizeB, wantJ)
+		var est estimator.Running
+		for trial := 0; trial < 30; trial++ {
+			pair := stream.NewSetPair(sizeA, sizeB, overlap, uint64(trial)+77)
+			a := NewSketch(256, 8)
+			for _, k := range pair.A {
+				a.Add(k)
+			}
+			b := NewSketch(256, 8)
+			for _, k := range pair.B {
+				b.Add(k)
+			}
+			est.Add(Jaccard(a, b))
+		}
+		if math.Abs(est.Mean()-wantJ) > 0.05 {
+			t.Errorf("jaccard estimate %v, want ≈ %v", est.Mean(), wantJ)
+		}
+	}
+}
+
+func TestJaccardDegenerate(t *testing.T) {
+	a := NewSketch(10, 1)
+	b := NewSketch(10, 1)
+	if Jaccard(a, b) != 0 {
+		t.Error("empty sketches have Jaccard 0")
+	}
+}

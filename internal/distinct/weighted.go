@@ -1,0 +1,166 @@
+package distinct
+
+import (
+	"math"
+
+	"ats/internal/core"
+	"ats/internal/stream"
+)
+
+// WeightedSketch is the single coordinated weighted sample of §3.4 that
+// answers both subset-sum and distinct-count queries: items are sampled
+// with priority R = U/w (probability proportional to weight under the
+// bottom-k threshold), the distinct count is estimated by Σ Z_i/F_i(w_i T)
+// and subset sums by Σ w_i Z_i / F_i(w_i T).
+type WeightedSketch struct {
+	k    int
+	seed uint64
+	heap []wEntry // max-heap on Priority of the k+1 smallest
+	keys map[uint64]struct{}
+	n    int
+}
+
+type wEntry struct {
+	Key      uint64
+	Weight   float64
+	Priority float64
+}
+
+// NewWeightedSketch returns an empty weighted distinct sketch of size k.
+func NewWeightedSketch(k int, seed uint64) *WeightedSketch {
+	if k <= 0 {
+		panic("distinct: k must be positive")
+	}
+	return &WeightedSketch{
+		k:    k,
+		seed: seed,
+		heap: make([]wEntry, 0, k+2),
+		keys: make(map[uint64]struct{}, k+2),
+	}
+}
+
+// Add offers a key with weight w > 0. Re-adding a key is a no-op (the
+// sketch summarizes a set of distinct weighted items).
+func (s *WeightedSketch) Add(key uint64, w float64) {
+	if w <= 0 {
+		return
+	}
+	s.n++
+	pr := stream.HashU01(key, s.seed) / w
+	if len(s.heap) == s.k+1 && pr >= s.heap[0].Priority {
+		return
+	}
+	if _, dup := s.keys[key]; dup {
+		return
+	}
+	s.keys[key] = struct{}{}
+	s.heap = append(s.heap, wEntry{Key: key, Weight: w, Priority: pr})
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].Priority >= s.heap[i].Priority {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+	if len(s.heap) > s.k+1 {
+		root := s.heap[0]
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		s.siftDown(0)
+		delete(s.keys, root.Key)
+	}
+}
+
+func (s *WeightedSketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l].Priority > s.heap[largest].Priority {
+			largest = l
+		}
+		if r < n && s.heap[r].Priority > s.heap[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+// Threshold returns the (k+1)-th smallest priority, or +inf while fewer
+// than k+1 distinct keys have been added.
+func (s *WeightedSketch) Threshold() float64 {
+	if len(s.heap) < s.k+1 {
+		return math.Inf(1)
+	}
+	return s.heap[0].Priority
+}
+
+// DistinctCount returns the estimate N̂ = Σ Z_i / F_i(T) over sampled
+// items, where F_i(T) = min(1, w_i T).
+func (s *WeightedSketch) DistinctCount() float64 {
+	t := s.Threshold()
+	if math.IsInf(t, 1) {
+		return float64(len(s.heap))
+	}
+	est := 0.0
+	for _, e := range s.heap {
+		if e.Priority < t {
+			est += 1 / core.InclusionProb(e.Weight, t)
+		}
+	}
+	return est
+}
+
+// SubsetSum returns the HT estimate of Σ w_i over distinct items matching
+// pred (nil for all).
+func (s *WeightedSketch) SubsetSum(pred func(key uint64) bool) float64 {
+	t := s.Threshold()
+	est := 0.0
+	for _, e := range s.heap {
+		if e.Priority >= t {
+			continue
+		}
+		if pred != nil && !pred(e.Key) {
+			continue
+		}
+		if math.IsInf(t, 1) {
+			est += e.Weight
+		} else {
+			est += e.Weight / core.InclusionProb(e.Weight, t)
+		}
+	}
+	return est
+}
+
+// SubsetDistinctCount returns the HT estimate of the number of distinct
+// items matching pred — e.g. the total population of a demographic
+// subgroup when only paying users were weighted highly (§3.4).
+func (s *WeightedSketch) SubsetDistinctCount(pred func(key uint64) bool) float64 {
+	t := s.Threshold()
+	est := 0.0
+	for _, e := range s.heap {
+		if e.Priority >= t {
+			continue
+		}
+		if pred != nil && !pred(e.Key) {
+			continue
+		}
+		if math.IsInf(t, 1) {
+			est++
+		} else {
+			est += 1 / core.InclusionProb(e.Weight, t)
+		}
+	}
+	return est
+}
+
+// Len returns the current number of retained items (including the
+// threshold item).
+func (s *WeightedSketch) Len() int { return len(s.heap) }

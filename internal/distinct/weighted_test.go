@@ -1,0 +1,107 @@
+package distinct
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k <= 0 must panic")
+		}
+	}()
+	NewWeightedSketch(0, 1)
+}
+
+func TestWeightedExactBelowK(t *testing.T) {
+	s := NewWeightedSketch(50, 1)
+	for i := 0; i < 30; i++ {
+		s.Add(uint64(i), 1+float64(i))
+	}
+	if got := s.DistinctCount(); got != 30 {
+		t.Errorf("distinct = %v, want exact 30", got)
+	}
+	wantSum := 0.0
+	for i := 0; i < 30; i++ {
+		wantSum += 1 + float64(i)
+	}
+	if got := s.SubsetSum(nil); got != wantSum {
+		t.Errorf("subset sum = %v, want %v", got, wantSum)
+	}
+	if got := s.SubsetDistinctCount(func(k uint64) bool { return k < 10 }); got != 10 {
+		t.Errorf("subset distinct = %v, want 10", got)
+	}
+}
+
+func TestWeightedIgnoresDuplicatesAndBadWeights(t *testing.T) {
+	s := NewWeightedSketch(10, 2)
+	s.Add(1, 2)
+	s.Add(1, 2)
+	s.Add(2, 0)
+	s.Add(3, -1)
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+}
+
+// TestWeightedDistinctUnbiased is the §3.4 validation: one weighted
+// coordinated sample answers distinct counts AND subset sums unbiasedly.
+func TestWeightedDistinctUnbiased(t *testing.T) {
+	n := 3000
+	rng := stream.NewRNG(3)
+	weights := make([]float64, n)
+	var trueSum float64
+	for i := range weights {
+		// "paying users" (20%) have high weight, everyone else weight 1.
+		if rng.Float64() < 0.2 {
+			weights[i] = 5 + rng.Float64()*20
+		} else {
+			weights[i] = 1
+		}
+		trueSum += weights[i]
+	}
+	pred := func(key uint64) bool { return key%2 == 0 }
+	var trueDistinctEven float64
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			trueDistinctEven++
+		}
+	}
+	var distinctEst, subsetEst estimator.Running
+	for trial := 0; trial < 1500; trial++ {
+		s := NewWeightedSketch(150, uint64(trial)+10)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i), weights[i])
+		}
+		distinctEst.Add(s.SubsetDistinctCount(pred))
+		subsetEst.Add(s.SubsetSum(nil))
+	}
+	if z := (distinctEst.Mean() - trueDistinctEven) / distinctEst.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("subset distinct count biased: mean %v truth %v z %v",
+			distinctEst.Mean(), trueDistinctEven, z)
+	}
+	if z := (subsetEst.Mean() - trueSum) / subsetEst.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("subset sum biased: mean %v truth %v z %v", subsetEst.Mean(), trueSum, z)
+	}
+}
+
+func TestWeightedThreshold(t *testing.T) {
+	s := NewWeightedSketch(5, 4)
+	if !math.IsInf(s.Threshold(), 1) {
+		t.Error("threshold must start at +inf")
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i), 1)
+	}
+	th := s.Threshold()
+	if math.IsInf(th, 1) || th <= 0 {
+		t.Errorf("threshold = %v after 100 items", th)
+	}
+	if s.Len() != 6 {
+		t.Errorf("len = %d, want k+1 = 6", s.Len())
+	}
+}

@@ -1,0 +1,126 @@
+// Package estimator provides the estimators that accompany adaptive
+// threshold samples: Horvitz-Thompson subset sums with unbiased variance
+// estimates, pseudo-HT estimators for higher-degree statistics (Kendall's
+// tau, central moments via U-statistics), distinct-count estimators, and
+// streaming moment accumulators.
+//
+// Thanks to the substitutability theorems (§2.6 of the paper), these are
+// exactly the classical fixed-threshold (Poisson sampling) estimators; no
+// sampler-specific corrections are required as long as the sampler's
+// thresholding rule is substitutable to the degree demanded by the
+// statistic (degree 1 for sums, 2 for variances, 4 for the variance of
+// Kendall's tau, k for k-th central moments).
+package estimator
+
+import "math"
+
+// Sampled is one item of a sample together with the pseudo-inclusion
+// probability implied by its threshold: P = F_i(T_i). Value carries the
+// quantity being aggregated.
+type Sampled struct {
+	Value float64
+	// P is the pseudo-inclusion probability F_i(T_i); it must be in (0, 1].
+	P float64
+}
+
+// SubsetSum returns the Horvitz-Thompson estimate of the population sum
+// Σ x_i over the subset represented by the sample: Σ x_i Z_i / P_i.
+// Items with P <= 0 contribute nothing (they could never have been sampled;
+// including them would make the estimator undefined).
+func SubsetSum(sample []Sampled) float64 {
+	s := 0.0
+	for _, it := range sample {
+		if it.P > 0 {
+			s += it.Value / it.P
+		}
+	}
+	return s
+}
+
+// SubsetCount returns the HT estimate of the number of population items in
+// the subset: Σ Z_i / P_i.
+func SubsetCount(sample []Sampled) float64 {
+	s := 0.0
+	for _, it := range sample {
+		if it.P > 0 {
+			s += 1 / it.P
+		}
+	}
+	return s
+}
+
+// HTVarianceEstimate returns the standard unbiased estimate of the variance
+// of the HT subset-sum estimator under Poisson sampling:
+//
+//	V̂ = Σ_i Z_i x_i² (1 - P_i) / P_i².
+//
+// By §2.6.1 it remains unbiased under any 2-substitutable adaptive
+// threshold (e.g. bottom-k with k >= 2), since the squared error is a
+// degree-2 polynomial in the inclusion indicators.
+func HTVarianceEstimate(sample []Sampled) float64 {
+	v := 0.0
+	for _, it := range sample {
+		if it.P > 0 && it.P < 1 {
+			v += it.Value * it.Value * (1 - it.P) / (it.P * it.P)
+		}
+	}
+	return v
+}
+
+// HTVarianceTrue returns the true variance of the HT estimator for a fully
+// known population under fixed threshold inclusion probabilities:
+// Σ_i x_i² (1 - p_i)/p_i. Used by tests and the benchmark harness to
+// compare estimated against analytic variance.
+func HTVarianceTrue(values, probs []float64) float64 {
+	v := 0.0
+	for i, x := range values {
+		p := probs[i]
+		if p > 0 && p < 1 {
+			v += x * x * (1 - p) / p
+		}
+	}
+	return v
+}
+
+// RelativeSD returns SD(estimates - truth)/truth over a set of Monte-Carlo
+// estimates — the "Relative Error (%)" metric of Figure 4 (multiplied by
+// 100 by the caller when formatting). It measures spread around the truth,
+// including any bias.
+func RelativeSD(estimates []float64, truth float64) float64 {
+	if len(estimates) == 0 || truth == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, e := range estimates {
+		d := e - truth
+		ss += d * d
+	}
+	return sqrt(ss/float64(len(estimates))) / truth
+}
+
+// MeanAndSD returns the mean and standard deviation of xs.
+func MeanAndSD(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, sqrt(ss / float64(len(xs)-1))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,145 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+func TestSubsetSumBasics(t *testing.T) {
+	sample := []Sampled{{Value: 2, P: 0.5}, {Value: 3, P: 1}, {Value: 1, P: 0.25}}
+	if got := SubsetSum(sample); got != 2/0.5+3+1/0.25 {
+		t.Errorf("SubsetSum = %v", got)
+	}
+	if got := SubsetCount(sample); got != 1/0.5+1+1/0.25 {
+		t.Errorf("SubsetCount = %v", got)
+	}
+}
+
+func TestSubsetSumSkipsNonPositiveP(t *testing.T) {
+	sample := []Sampled{{Value: 5, P: 0}, {Value: 2, P: -1}, {Value: 1, P: 1}}
+	if got := SubsetSum(sample); got != 1 {
+		t.Errorf("SubsetSum with bad P = %v, want 1", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	if SubsetSum(nil) != 0 || SubsetCount(nil) != 0 || HTVarianceEstimate(nil) != 0 {
+		t.Error("empty sample must estimate 0")
+	}
+}
+
+func TestHTVarianceEstimateFormula(t *testing.T) {
+	sample := []Sampled{{Value: 2, P: 0.5}}
+	want := 4 * (1 - 0.5) / (0.5 * 0.5)
+	if got := HTVarianceEstimate(sample); got != want {
+		t.Errorf("variance estimate = %v, want %v", got, want)
+	}
+	// P = 1 items contribute no variance.
+	if got := HTVarianceEstimate([]Sampled{{Value: 9, P: 1}}); got != 0 {
+		t.Errorf("certain items must contribute 0 variance, got %v", got)
+	}
+}
+
+// TestHTUnbiasedPoisson verifies by Monte Carlo that, under true Poisson
+// sampling with fixed thresholds, SubsetSum is unbiased and
+// HTVarianceEstimate is unbiased for the true variance.
+func TestHTUnbiasedPoisson(t *testing.T) {
+	rng := stream.NewRNG(5)
+	n := 40
+	values := make([]float64, n)
+	probs := make([]float64, n)
+	truth := 0.0
+	for i := range values {
+		values[i] = rng.Float64() * 10
+		probs[i] = 0.1 + 0.9*rng.Float64()
+		truth += values[i]
+	}
+	trueVar := HTVarianceTrue(values, probs)
+
+	trials := 60000
+	var est, varEst Running
+	for trial := 0; trial < trials; trial++ {
+		var sample []Sampled
+		for i := range values {
+			if rng.Float64() < probs[i] {
+				sample = append(sample, Sampled{Value: values[i], P: probs[i]})
+			}
+		}
+		est.Add(SubsetSum(sample))
+		varEst.Add(HTVarianceEstimate(sample))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("HT estimate biased: mean %v truth %v z=%v", est.Mean(), truth, z)
+	}
+	if rel := math.Abs(est.Variance()-trueVar) / trueVar; rel > 0.05 {
+		t.Errorf("empirical variance %v differs from analytic %v by %v", est.Variance(), trueVar, rel)
+	}
+	if rel := math.Abs(varEst.Mean()-trueVar) / trueVar; rel > 0.05 {
+		t.Errorf("mean variance estimate %v differs from analytic %v by %v", varEst.Mean(), trueVar, rel)
+	}
+}
+
+func TestRelativeSD(t *testing.T) {
+	ests := []float64{90, 110}
+	// deviations ±10 around truth 100 -> RMS 10 -> 10%.
+	if got := RelativeSD(ests, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeSD = %v, want 0.1", got)
+	}
+	if RelativeSD(nil, 100) != 0 || RelativeSD(ests, 0) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestMeanAndSD(t *testing.T) {
+	m, sd := MeanAndSD([]float64{1, 2, 3, 4})
+	if m != 2.5 {
+		t.Errorf("mean = %v", m)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(sd-want) > 1e-12 {
+		t.Errorf("sd = %v, want %v", sd, want)
+	}
+	if m, sd = MeanAndSD(nil); m != 0 || sd != 0 {
+		t.Error("empty input must return zeros")
+	}
+	if _, sd = MeanAndSD([]float64{7}); sd != 0 {
+		t.Error("single value has sd 0")
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%40) + 2
+		rng := stream.NewRNG(seed)
+		xs := make([]float64, m)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.Float64()*20 - 10
+			r.Add(xs[i])
+		}
+		mean, sd := MeanAndSD(xs)
+		return math.Abs(r.Mean()-mean) < 1e-9 &&
+			math.Abs(r.SD()-sd) < 1e-9 &&
+			r.N() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningSE(t *testing.T) {
+	var r Running
+	if r.SE() != 0 || r.Variance() != 0 {
+		t.Error("zero-value Running must report zeros")
+	}
+	for i := 0; i < 4; i++ {
+		r.Add(float64(i))
+	}
+	want := r.SD() / 2
+	if math.Abs(r.SE()-want) > 1e-12 {
+		t.Errorf("SE = %v, want %v", r.SE(), want)
+	}
+}

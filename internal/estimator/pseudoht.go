@@ -1,0 +1,191 @@
+package estimator
+
+// PairSample is a sampled item carrying two coordinates (X, Y) for paired
+// statistics such as Kendall's tau, plus its pseudo-inclusion probability.
+type PairSample struct {
+	X, Y float64
+	P    float64
+}
+
+// KendallTau returns the pseudo-HT estimate of Kendall's tau over a
+// population of n items from a sample drawn with a 2-substitutable
+// threshold (§2.6.2):
+//
+//	τ̂ = C(n,2)^{-1} Σ_{i<j} sign(X_i-X_j) sign(Y_i-Y_j) Z_i Z_j /(P_i P_j).
+//
+// n is the (known) population size. The estimator is unbiased whenever the
+// sampler's threshold is 2-substitutable and every pair has positive joint
+// inclusion probability.
+func KendallTau(sample []PairSample, n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample); j++ {
+			a, b := sample[i], sample[j]
+			if a.P <= 0 || b.P <= 0 {
+				continue
+			}
+			s += sign(a.X-b.X) * sign(a.Y-b.Y) / (a.P * b.P)
+		}
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	return s / pairs
+}
+
+// KendallTauExact computes Kendall's tau on a full population (no
+// sampling), for test baselines. O(n²), fine at test sizes.
+func KendallTauExact(xs, ys []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s += sign(xs[i]-xs[j]) * sign(ys[i]-ys[j])
+		}
+	}
+	return s / (float64(n) * float64(n-1) / 2)
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// PowerSums accumulates HT estimates of the population power sums
+// S_k = Σ x_i^k for k = 0..4 from a sample. From these, consistent
+// estimates of the population mean, variance, skew, and kurtosis follow.
+// (S_0 is the HT estimate of the population size.)
+type PowerSums struct {
+	S [5]float64
+}
+
+// Add incorporates one sampled item with value x and pseudo-inclusion
+// probability p.
+func (ps *PowerSums) Add(x, p float64) {
+	if p <= 0 {
+		return
+	}
+	w := 1 / p
+	xp := 1.0
+	for k := 0; k <= 4; k++ {
+		ps.S[k] += w * xp
+		xp *= x
+	}
+}
+
+// Mean returns S1/S0, the estimated population mean.
+func (ps *PowerSums) Mean() float64 {
+	if ps.S[0] == 0 {
+		return 0
+	}
+	return ps.S[1] / ps.S[0]
+}
+
+// CentralMoment returns the estimated k-th central moment (k = 2, 3, 4)
+// computed from the estimated power sums. These are consistent (and, for
+// the raw power sums, unbiased) under any 1-substitutable threshold; the
+// paper's §4 asymptotics justify the plug-in for the ratios.
+func (ps *PowerSums) CentralMoment(k int) float64 {
+	n := ps.S[0]
+	if n == 0 {
+		return 0
+	}
+	m := ps.Mean()
+	switch k {
+	case 2:
+		return ps.S[2]/n - m*m
+	case 3:
+		return ps.S[3]/n - 3*m*ps.S[2]/n + 2*m*m*m
+	case 4:
+		return ps.S[4]/n - 4*m*ps.S[3]/n + 6*m*m*ps.S[2]/n - 3*m*m*m*m
+	default:
+		panic("estimator: CentralMoment supports k = 2, 3, 4")
+	}
+}
+
+// Skew returns the estimated population skewness mu3 / mu2^{3/2}.
+func (ps *PowerSums) Skew() float64 {
+	m2 := ps.CentralMoment(2)
+	if m2 <= 0 {
+		return 0
+	}
+	return ps.CentralMoment(3) / pow15(m2)
+}
+
+// Kurtosis returns the estimated population kurtosis mu4 / mu2².
+func (ps *PowerSums) Kurtosis() float64 {
+	m2 := ps.CentralMoment(2)
+	if m2 <= 0 {
+		return 0
+	}
+	return ps.CentralMoment(4) / (m2 * m2)
+}
+
+func pow15(x float64) float64 { return x * sqrt(x) }
+
+// KendallTauVariance returns the unbiased pseudo-HT estimate of
+// Var(τ̂ | X, Y) for the KendallTau estimator (§2.6.2), valid under a
+// 4-substitutable threshold (e.g. bottom-k with k >= 4).
+//
+// Writing τ̂ = C(n,2)^{-1} Σ_{i<j} C_ij Z_i Z_j / (P_i P_j), the variance
+// estimate contracts to the terms whose index pairs overlap (disjoint
+// pairs cancel exactly because inclusions are treated as independent):
+//
+//	V̂ = C(n,2)^{-2} [ Σ_{i<j} C_ij² Z_i Z_j (1-P_iP_j)/(P_iP_j)²
+//	      + 2 Σ_{j} Σ_{i<k, i,k≠j} C_ij C_kj Z_i Z_j Z_k (1-P_j)/(P_i P_j² P_k) ]
+//
+// (the factor 2 counts both orders of each covariance pair; fully disjoint
+// index pairs cancel exactly).
+//
+// O(m³) in the sample size.
+func KendallTauVariance(sample []PairSample, n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	m := len(sample)
+	v := 0.0
+	// Identical pairs.
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			a, b := sample[i], sample[j]
+			if a.P <= 0 || b.P <= 0 {
+				continue
+			}
+			c := sign(a.X-b.X) * sign(a.Y-b.Y)
+			pij := a.P * b.P
+			v += c * c * (1 - pij) / (pij * pij)
+		}
+	}
+	// Pairs sharing exactly one index j.
+	for j := 0; j < m; j++ {
+		pj := sample[j].P
+		if pj <= 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if i == j || sample[i].P <= 0 {
+				continue
+			}
+			for k := i + 1; k < m; k++ {
+				if k == j || sample[k].P <= 0 {
+					continue
+				}
+				cij := sign(sample[i].X-sample[j].X) * sign(sample[i].Y-sample[j].Y)
+				ckj := sign(sample[k].X-sample[j].X) * sign(sample[k].Y-sample[j].Y)
+				v += 2 * cij * ckj * (1 - pj) / (sample[i].P * pj * pj * sample[k].P)
+			}
+		}
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	return v / (pairs * pairs)
+}

@@ -1,0 +1,194 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+func TestSign(t *testing.T) {
+	if sign(3) != 1 || sign(-2) != -1 || sign(0) != 0 {
+		t.Error("sign is wrong")
+	}
+}
+
+func TestKendallTauExactKnownCases(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := KendallTauExact(xs, xs); got != 1 {
+		t.Errorf("tau of identical sequences = %v, want 1", got)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if got := KendallTauExact(xs, rev); got != -1 {
+		t.Errorf("tau of reversed = %v, want -1", got)
+	}
+	if got := KendallTauExact([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("tau of singleton = %v, want 0", got)
+	}
+}
+
+// TestKendallTauUnbiasedUnderPoisson checks that the pseudo-HT Kendall tau
+// estimator is unbiased under fixed-threshold (Poisson) sampling — the
+// §2.6.2 estimator with the thresholds treated as fixed, which Theorem 4
+// extends to any 2-substitutable adaptive threshold.
+func TestKendallTauUnbiasedUnderPoisson(t *testing.T) {
+	rng := stream.NewRNG(21)
+	n := 25
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = 0.7*xs[i] + 0.3*rng.Float64() // correlated
+	}
+	truth := KendallTauExact(xs, ys)
+
+	p := 0.5
+	trials := 40000
+	var est Running
+	for trial := 0; trial < trials; trial++ {
+		var sample []PairSample
+		for i := range xs {
+			if rng.Float64() < p {
+				sample = append(sample, PairSample{X: xs[i], Y: ys[i], P: p})
+			}
+		}
+		est.Add(KendallTau(sample, n))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("Kendall tau biased: mean %v truth %v z=%v", est.Mean(), truth, z)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	if KendallTau(nil, 1) != 0 {
+		t.Error("n < 2 must return 0")
+	}
+	s := []PairSample{{X: 1, Y: 1, P: 0}, {X: 2, Y: 2, P: 0.5}}
+	// The zero-probability pair is skipped, leaving no valid pairs.
+	if got := KendallTau(s, 10); got != 0 {
+		t.Errorf("tau with invalid P = %v, want 0", got)
+	}
+}
+
+func TestPowerSumsExactWhenPIsOne(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	var ps PowerSums
+	for _, x := range xs {
+		ps.Add(x, 1)
+	}
+	if ps.S[0] != 6 {
+		t.Errorf("S0 = %v", ps.S[0])
+	}
+	if ps.Mean() != 3.5 {
+		t.Errorf("mean = %v", ps.Mean())
+	}
+	// Population variance of 1..6 = 35/12.
+	if got := ps.CentralMoment(2); math.Abs(got-35.0/12) > 1e-12 {
+		t.Errorf("mu2 = %v, want %v", got, 35.0/12)
+	}
+	// Symmetric distribution: mu3 = 0, so skew = 0.
+	if got := ps.Skew(); math.Abs(got) > 1e-12 {
+		t.Errorf("skew = %v, want 0", got)
+	}
+	if got := ps.Kurtosis(); got <= 0 {
+		t.Errorf("kurtosis = %v, want positive", got)
+	}
+}
+
+func TestPowerSumsUnbiasedRawSums(t *testing.T) {
+	// Under Poisson sampling the HT power sums S_k are unbiased.
+	rng := stream.NewRNG(31)
+	n := 30
+	xs := make([]float64, n)
+	var truth [5]float64
+	for i := range xs {
+		xs[i] = rng.Float64()*4 - 2
+		xp := 1.0
+		for k := 0; k <= 4; k++ {
+			truth[k] += xp
+			xp *= xs[i]
+		}
+	}
+	p := 0.4
+	trials := 30000
+	var est [5]Running
+	for trial := 0; trial < trials; trial++ {
+		var ps PowerSums
+		for i := range xs {
+			if rng.Float64() < p {
+				ps.Add(xs[i], p)
+			}
+		}
+		for k := 0; k <= 4; k++ {
+			est[k].Add(ps.S[k])
+		}
+	}
+	for k := 0; k <= 4; k++ {
+		se := est[k].SE()
+		if se == 0 {
+			continue
+		}
+		if z := (est[k].Mean() - truth[k]) / se; math.Abs(z) > 4.5 {
+			t.Errorf("S%d biased: mean %v truth %v z=%v", k, est[k].Mean(), truth[k], z)
+		}
+	}
+}
+
+func TestPowerSumsDegenerate(t *testing.T) {
+	var ps PowerSums
+	if ps.Mean() != 0 || ps.CentralMoment(2) != 0 || ps.Skew() != 0 || ps.Kurtosis() != 0 {
+		t.Error("empty PowerSums must report zeros")
+	}
+	ps.Add(2, 0) // ignored
+	if ps.S[0] != 0 {
+		t.Error("Add with p <= 0 must be ignored")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CentralMoment(5) must panic")
+		}
+	}()
+	ps.Add(2, 1)
+	ps.CentralMoment(5)
+}
+
+// TestKendallTauVarianceCalibrated: the variance estimate must match the
+// Monte-Carlo variance of the tau estimator under Poisson sampling.
+func TestKendallTauVarianceCalibrated(t *testing.T) {
+	rng := stream.NewRNG(41)
+	n := 18
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = 0.5*xs[i] + 0.5*rng.Float64()
+	}
+	p := 0.6
+	var taus, varEsts Running
+	for trial := 0; trial < 20000; trial++ {
+		var sample []PairSample
+		for i := range xs {
+			if rng.Float64() < p {
+				sample = append(sample, PairSample{X: xs[i], Y: ys[i], P: p})
+			}
+		}
+		taus.Add(KendallTau(sample, n))
+		varEsts.Add(KendallTauVariance(sample, n))
+	}
+	ratio := varEsts.Mean() / taus.Variance()
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("tau variance calibration ratio %v, want ≈ 1 (mean est %v, empirical %v)",
+			ratio, varEsts.Mean(), taus.Variance())
+	}
+}
+
+func TestKendallTauVarianceDegenerate(t *testing.T) {
+	if KendallTauVariance(nil, 1) != 0 {
+		t.Error("n < 2 must return 0")
+	}
+	s := []PairSample{{X: 1, Y: 1, P: 1}, {X: 2, Y: 2, P: 1}}
+	// All-certain sample: zero variance.
+	if got := KendallTauVariance(s, 2); got != 0 {
+		t.Errorf("variance with P=1 = %v, want 0", got)
+	}
+}

@@ -1,0 +1,42 @@
+package estimator
+
+// Running accumulates a mean and variance online (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates x.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of values seen.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 when n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// SD returns the sample standard deviation.
+func (r *Running) SD() float64 { return sqrt(r.Variance()) }
+
+// SE returns the standard error of the mean.
+func (r *Running) SE() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.SD() / sqrt(float64(r.n))
+}

@@ -1,0 +1,80 @@
+package estimator
+
+// U-statistic pseudo-HT estimators (§2.4, §2.6.2 of the paper): any
+// estimable parameter equals E h(X_1..X_m) for a symmetric kernel h, and
+// the corresponding pseudo-HT estimator
+//
+//	Σ_{i1<..<im in sample} h(x_{i1}..x_{im}) / (P_{i1}···P_{im})
+//
+// is unbiased for the population U-sum whenever the sampler's threshold is
+// m-substitutable (Theorem 4). This file provides the degree-2 and
+// degree-3 kernels for unbiased central moments (Heffernan 1997).
+
+// UnbiasedVariance returns the pseudo-HT estimate of the population
+// variance with divisor n-1,
+//
+//	s² = (1/C(n,2)) Σ_{i<j} (x_i - x_j)²/2,
+//
+// from a sample drawn with a 2-substitutable threshold (e.g. bottom-k with
+// k >= 2). n is the known population size. O(m²) in the sample size.
+func UnbiasedVariance(sample []Sampled, n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample); j++ {
+			a, b := sample[i], sample[j]
+			if a.P <= 0 || b.P <= 0 {
+				continue
+			}
+			d := a.Value - b.Value
+			s += d * d / 2 / (a.P * b.P)
+		}
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	return s / pairs
+}
+
+// UnbiasedThirdMoment returns the pseudo-HT estimate of the population
+// degree-3 U-sum average
+//
+//	m3 = (1/C(n,3)) Σ_{i<j<k} h3(x_i, x_j, x_k),
+//
+// where h3 is the symmetric kernel with E h3(X1,X2,X3) equal to the third
+// central moment for i.i.d. draws (so m3 is Fisher's k-statistic k3 of the
+// population, the standard unbiased estimator of a superpopulation's μ3).
+// The sample must come from a 3-substitutable threshold (e.g. bottom-k
+// with k >= 3); n is the known population size. O(m³) in the sample size.
+func UnbiasedThirdMoment(sample []Sampled, n int) float64 {
+	if n < 3 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample); j++ {
+			for k := j + 1; k < len(sample); k++ {
+				a, b, c := sample[i], sample[j], sample[k]
+				if a.P <= 0 || b.P <= 0 || c.P <= 0 {
+					continue
+				}
+				s += kernel3(a.Value, b.Value, c.Value) / (a.P * b.P * c.P)
+			}
+		}
+	}
+	triples := float64(n) * float64(n-1) * float64(n-2) / 6
+	return s / triples
+}
+
+// kernel3 is the symmetric degree-3 kernel with E kernel3(X1,X2,X3) = μ3
+// for i.i.d. Xs: symmetrizing x1³ - 3·x1²x2 + 2·x1x2x3 gives
+//
+//	h3 = (a³+b³+c³)/3 - (a²b+a²c+b²a+b²c+c²a+c²b)/2 + 2abc.
+//
+// (Sanity check: h3(x,x,x) = x³ - 3x³ + 2x³ = 0, the central moment of a
+// point mass.)
+func kernel3(a, b, c float64) float64 {
+	cubes := (a*a*a + b*b*b + c*c*c) / 3
+	cross := (a*a*(b+c) + b*b*(a+c) + c*c*(a+b)) / 2
+	return cubes - cross + 2*a*b*c
+}

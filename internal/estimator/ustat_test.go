@@ -1,0 +1,115 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+// populationVariance returns the divisor-(n-1) variance, which equals the
+// U-sum average Σ_{i<j}(x_i-x_j)²/2 / C(n,2) identically.
+func populationVariance(xs []float64) float64 {
+	n := float64(len(xs))
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / (n - 1)
+}
+
+// populationUSum3 computes the exact degree-3 target Σ h3 / C(n,3).
+func populationUSum3(xs []float64) float64 {
+	n := len(xs)
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				s += kernel3(xs[i], xs[j], xs[k])
+			}
+		}
+	}
+	return s / (float64(n) * float64(n-1) * float64(n-2) / 6)
+}
+
+func TestKernel3PointMass(t *testing.T) {
+	if got := kernel3(3, 3, 3); got != 0 {
+		t.Errorf("kernel3(x,x,x) = %v, want 0", got)
+	}
+}
+
+func TestUnbiasedVarianceExactWhenPOne(t *testing.T) {
+	xs := []float64{1, 4, 2, 8, 5, 7}
+	sample := make([]Sampled, len(xs))
+	for i, x := range xs {
+		sample[i] = Sampled{Value: x, P: 1}
+	}
+	want := populationVariance(xs)
+	if got := UnbiasedVariance(sample, len(xs)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+}
+
+func TestUnbiasedVarianceUnderPoisson(t *testing.T) {
+	rng := stream.NewRNG(4)
+	n := 30
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*6 - 3
+	}
+	truth := populationVariance(xs)
+	p := 0.5
+	var est Running
+	for trial := 0; trial < 30000; trial++ {
+		var sample []Sampled
+		for _, x := range xs {
+			if rng.Float64() < p {
+				sample = append(sample, Sampled{Value: x, P: p})
+			}
+		}
+		est.Add(UnbiasedVariance(sample, n))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("U-stat variance biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestUnbiasedThirdMomentUnderPoisson(t *testing.T) {
+	rng := stream.NewRNG(5)
+	n := 20
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() // skewed values: non-trivial third moment
+	}
+	truth := populationUSum3(xs)
+	p := 0.6
+	var est Running
+	for trial := 0; trial < 30000; trial++ {
+		var sample []Sampled
+		for _, x := range xs {
+			if rng.Float64() < p {
+				sample = append(sample, Sampled{Value: x, P: p})
+			}
+		}
+		est.Add(UnbiasedThirdMoment(sample, n))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("U-stat third moment biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestUStatsDegenerate(t *testing.T) {
+	if UnbiasedVariance(nil, 1) != 0 || UnbiasedThirdMoment(nil, 2) != 0 {
+		t.Error("degenerate n must return 0")
+	}
+	s := []Sampled{{Value: 1, P: 0}, {Value: 2, P: 1}}
+	if UnbiasedVariance(s, 5) != 0 {
+		t.Error("pair with zero P must be skipped")
+	}
+}

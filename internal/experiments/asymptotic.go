@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"ats/internal/bottomk"
+	"ats/internal/core"
+	"ats/internal/estimator"
+	"ats/internal/mest"
+	"ats/internal/stream"
+)
+
+// AsymptoticConfig parameterizes the §4-6 validation experiment: empirical
+// consistency of M-estimators under adaptive thresholds (Theorem 10) and
+// the asymptotic equivalence of priority distributions in the sublinear
+// regime (Theorem 12).
+type AsymptoticConfig struct {
+	Sizes  []int // population sizes for the consistency sweep
+	Trials int
+	Seed   uint64
+}
+
+// DefaultAsymptoticConfig sweeps two decades of population size.
+func DefaultAsymptoticConfig() AsymptoticConfig {
+	return AsymptoticConfig{
+		Sizes:  []int{1000, 10000, 100000},
+		Trials: 60,
+		Seed:   1717,
+	}
+}
+
+// AsymptoticPoint is the per-size aggregate of the consistency sweep.
+type AsymptoticPoint struct {
+	N int
+	K int
+	// MedianRMSE is the relative RMSE of the HT-weighted median
+	// (an M-estimator) under the bottom-k adaptive threshold.
+	MedianRMSE float64
+	// MeanRMSE is the same for the HT-weighted mean.
+	MeanRMSE float64
+}
+
+// AsymptoticResult holds both halves of the experiment.
+type AsymptoticResult struct {
+	Cfg    AsymptoticConfig
+	Points []AsymptoticPoint
+	// Theorem 12 check: SD of the subset-sum estimator under
+	// Uniform(0,1/w) priorities vs Exponential(w) priorities with a
+	// sublinear sample (k = sqrt(n)); the ratio should be ≈ 1.
+	UniformSD, ExponentialSD, SDRatio float64
+}
+
+// Asymptotic runs the validation.
+func Asymptotic(cfg AsymptoticConfig) AsymptoticResult {
+	res := AsymptoticResult{Cfg: cfg}
+	rng := stream.NewRNG(cfg.Seed)
+
+	// --- Theorem 10: consistency of M-estimators under bottom-k ---
+	for gi, n := range cfg.Sizes {
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		var total float64
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 10
+			ws[i] = 0.5 + xs[i]/10
+			total += xs[i]
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		trueMedian := sorted[n/2]
+		trueMean := total / float64(n)
+
+		k := n / 10
+		var med, mean estimator.Running
+		for trial := 0; trial < cfg.Trials; trial++ {
+			sk := bottomk.New(k, cfg.Seed+uint64(gi*10000+trial)+1)
+			for i := 0; i < n; i++ {
+				sk.Add(uint64(i), ws[i], xs[i])
+			}
+			th := sk.Threshold()
+			pts := make([]mest.Point, 0, k)
+			for _, e := range sk.Sample() {
+				pts = append(pts, mest.Point{X: e.Value, P: core.InclusionProb(e.Weight, th)})
+			}
+			dm := mest.Quantile(pts, 0.5) - trueMedian
+			med.Add(dm * dm)
+			dμ := mest.Mean(pts) - trueMean
+			mean.Add(dμ * dμ)
+		}
+		res.Points = append(res.Points, AsymptoticPoint{
+			N:          n,
+			K:          k,
+			MedianRMSE: math.Sqrt(med.Mean()) / trueMedian,
+			MeanRMSE:   math.Sqrt(mean.Mean()) / trueMean,
+		})
+	}
+
+	// --- Theorem 12: priority-distribution equivalence, sublinear k ---
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	items := stream.ParetoWeights(n, 1.5, cfg.Seed+5)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	k := int(math.Sqrt(float64(n)))
+	var uni, exp []float64
+	prng := stream.NewRNG(cfg.Seed + 6)
+	for trial := 0; trial < cfg.Trials*2; trial++ {
+		skU := bottomk.New(k, 1)
+		skE := bottomk.New(k, 1)
+		for _, it := range items {
+			u := prng.Open01()
+			// Same shared uniform, two priority families.
+			skU.AddWithPriority(bottomk.Entry{
+				Key: it.Key, Weight: it.Weight, Value: it.Value,
+				Priority: core.InverseWeight{W: it.Weight}.Quantile(u),
+			})
+			skE.AddWithPriority(bottomk.Entry{
+				Key: it.Key, Weight: it.Weight, Value: it.Value,
+				Priority: core.Exponential{Rate: it.Weight}.Quantile(u),
+			})
+		}
+		uni = append(uni, htSumWithCDF(skU, func(w, t float64) float64 {
+			return core.InverseWeight{W: w}.CDF(t)
+		}))
+		exp = append(exp, htSumWithCDF(skE, func(w, t float64) float64 {
+			return core.Exponential{Rate: w}.CDF(t)
+		}))
+	}
+	res.UniformSD = estimator.RelativeSD(uni, truth)
+	res.ExponentialSD = estimator.RelativeSD(exp, truth)
+	if res.ExponentialSD > 0 {
+		res.SDRatio = res.UniformSD / res.ExponentialSD
+	}
+	return res
+}
+
+// htSumWithCDF computes the HT total from a bottom-k sketch whose
+// priorities came from an arbitrary distribution family, using the
+// family's CDF for the pseudo-inclusion probabilities.
+func htSumWithCDF(sk *bottomk.Sketch, cdf func(w, t float64) float64) float64 {
+	th := sk.Threshold()
+	sum := 0.0
+	for _, e := range sk.Sample() {
+		p := cdf(e.Weight, th)
+		if math.IsInf(th, 1) {
+			sum += e.Value
+		} else if p > 0 {
+			sum += e.Value / p
+		}
+	}
+	return sum
+}
+
+// Format renders the result.
+func (r AsymptoticResult) Format() string {
+	t := &Table{
+		Title:   "§4-6 — asymptotics: M-estimator consistency and priority equivalence",
+		Columns: []string{"n", "k", "median rel. RMSE", "mean rel. RMSE"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(d(p.N), d(p.K), pct(p.MedianRMSE), pct(p.MeanRMSE))
+	}
+	t.AddNote("Theorem 10: both M-estimators' errors shrink as n grows (consistency under the adaptive bottom-k threshold)")
+	t.AddNote("Theorem 12 (sublinear k=sqrt(n)): subset-sum rel. SD %s with Uniform(0,1/w) priorities vs %s with Exponential(w) priorities (ratio %.3f ≈ 1)",
+		pct(r.UniformSD), pct(r.ExponentialSD), r.SDRatio)
+	return t.Format()
+}

@@ -1,0 +1,85 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// driver returns a structured result with a human-readable Format method;
+// cmd/atsbench prints them and the root bench suite times them.
+//
+// Absolute numbers depend on our synthetic substrates (documented
+// substitutions in DESIGN.md §3); the drivers are written so the
+// qualitative shapes reported in the paper — who wins, by what factor,
+// where crossovers happen — are reproduced.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-formatted result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+func f5(x float64) string { return fmt.Sprintf("%.5f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }
+func pct(x float64) string {
+	return fmt.Sprintf("%.2f%%", 100*x)
+}

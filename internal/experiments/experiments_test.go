@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	tab.AddNote("n=%d", 5)
+	out := tab.Format()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "long-column") {
+		t.Error("missing column")
+	}
+	if !strings.Contains(out, "note: n=5") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f2(1.234) != "1.23" || f3(1.2345) != "1.234" || f4(1.23456) != "1.2346" {
+		t.Error("float formatters wrong")
+	}
+	if f5(0.123456) != "0.12346" {
+		t.Error("f5 wrong")
+	}
+	if d(42) != "42" {
+		t.Error("d wrong")
+	}
+	if pct(0.1234) != "12.34%" {
+		t.Error("pct wrong")
+	}
+}
+
+// The experiment drivers are exercised end-to-end with scaled-down configs
+// so `go test` stays fast while still executing every code path that
+// cmd/atsbench uses.
+
+func TestFig1Small(t *testing.T) {
+	cfg := Fig1Config{K: 20, Delta: 0.5, Rate: 300, Start: -0.5, End: 2, Every: 0.1, Seed: 1}
+	res := Fig1(cfg)
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	sum := res.Summarize(1, 2)
+	if sum.MeanImpSize <= sum.MeanGLSize {
+		t.Errorf("improved (%v) must beat G&L (%v)", sum.MeanImpSize, sum.MeanGLSize)
+	}
+	if out := res.FormatFig1(); !strings.Contains(out, "Figure 1") {
+		t.Error("format missing header")
+	}
+}
+
+func TestFig2Small(t *testing.T) {
+	cfg := Fig2Config{
+		K: 20, Delta: 0.5,
+		BaseRate: 200, SpikeRate: 1500, SpikeStart: 0, SpikeEnd: 0.25,
+		Start: -2, End: 2, Every: 0.1, Seed: 2,
+	}
+	res := Fig2(cfg)
+	pre := res.Summarize(cfg.SpikeStart-0.5, cfg.SpikeStart)
+	if pre.SizeRatio <= 1.2 {
+		t.Errorf("pre-spike ratio %v, want > 1.2", pre.SizeRatio)
+	}
+	if out := res.FormatFig2(cfg); !strings.Contains(out, "recover") {
+		t.Error("format missing recovery note")
+	}
+}
+
+func TestFig3Small(t *testing.T) {
+	cfg := Fig3Config{
+		K: 5, Betas: []float64{0.3, 0.9}, StreamLen: 4000, Trials: 3,
+		FreqTable: 64, Seed: 3,
+	}
+	res := Fig3(cfg)
+	if len(res.Points) != 2 {
+		t.Fatal("wrong point count")
+	}
+	// Heavier tail => larger adaptive sketch.
+	if res.Points[1].SamplerSize <= res.Points[0].SamplerSize {
+		t.Errorf("sampler size should grow with beta: %v vs %v",
+			res.Points[0].SamplerSize, res.Points[1].SamplerSize)
+	}
+	if res.Points[0].FreqSize != 48 {
+		t.Errorf("FreqItems size = %v, want 0.75*64", res.Points[0].FreqSize)
+	}
+	if out := res.Format(); !strings.Contains(out, "beta") {
+		t.Error("format missing beta column")
+	}
+}
+
+func TestFig4Small(t *testing.T) {
+	cfg := Fig4Config{
+		SizeA: 3000, SizeB: 6000, K: 64,
+		Jaccards: []float64{0, 0.3},
+		Trials:   40, Seed: 4,
+	}
+	res := Fig4(cfg)
+	if len(res.Points) != 2 {
+		t.Fatal("wrong point count")
+	}
+	for _, p := range res.Points {
+		if p.LCS <= 0 || p.Theta <= 0 || p.BottomK <= 0 {
+			t.Errorf("zero error at jaccard %v", p.Jaccard)
+		}
+		if p.LCS > p.BottomK*1.1 {
+			t.Errorf("LCS (%v) should not exceed bottom-k (%v)", p.LCS, p.BottomK)
+		}
+	}
+	if out := res.Format(); !strings.Contains(out, "jaccard") {
+		t.Error("format missing jaccard column")
+	}
+}
+
+func TestBudgetSmall(t *testing.T) {
+	cfg := BudgetConfig{Budget: 50000, Items: 3000, Trials: 3, Seed: 5}
+	res := Budget(cfg)
+	if res.Ratio < 2.5 || res.Ratio > 6 {
+		t.Errorf("budget ratio %v, want near the paper's ~4x", res.Ratio)
+	}
+	if res.MaxSizeObserved > 5113 {
+		t.Errorf("max size %d exceeds the survey cap", res.MaxSizeObserved)
+	}
+	if out := res.Format(); !strings.Contains(out, "adaptive / bottom-k ratio") {
+		t.Error("format missing ratio row")
+	}
+}
+
+func TestMergeDominatedSmall(t *testing.T) {
+	cfg := DominatedConfig{LargeSize: 500, SmallSets: 300, SmallSize: 50, K: 64, Trials: 15, Seed: 6}
+	res := MergeDominated(cfg)
+	if res.Ratio < 2 {
+		t.Errorf("Theta/LCS error ratio %v, want the adaptive merge clearly ahead", res.Ratio)
+	}
+	if out := res.Format(); !strings.Contains(out, "Theta union rel. err") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestUnbiasedSmall(t *testing.T) {
+	cfg := UnbiasedConfig{N: 400, K: 50, Alpha: 1.5, Trials: 400, Seed: 7}
+	res := Unbiased(cfg)
+	if zAbs(res.ZScore) > 4.5 {
+		t.Errorf("bias z = %v", res.ZScore)
+	}
+	if res.VarRatio < 0.7 || res.VarRatio > 1.3 {
+		t.Errorf("variance ratio %v, want ≈ 1", res.VarRatio)
+	}
+}
+
+func TestStratifiedSmall(t *testing.T) {
+	cfg := StratifiedConfig{N: 800, Countries: 6, Ages: 4, Budget: 120, Trials: 40, Seed: 8}
+	res := Stratified(cfg)
+	if res.MeanSampleSize > float64(cfg.Budget) {
+		t.Errorf("mean sample %v exceeds budget", res.MeanSampleSize)
+	}
+	if res.MinCountrySamples < 1 || res.MinAgeSamples < 1 {
+		t.Error("some stratum uncovered")
+	}
+	if zAbs(res.ZScore) > 4.5 {
+		t.Errorf("bias z = %v", res.ZScore)
+	}
+}
+
+func TestVarSizeSmall(t *testing.T) {
+	cfg := VarSizeConfig{N: 3000, Alpha: 1.5, Deltas: []float64{800, 2000}, Trials: 40, Seed: 9}
+	res := VarSize(cfg)
+	if len(res.Points) != 2 {
+		t.Fatal("wrong point count")
+	}
+	if res.Points[0].MeanSize <= res.Points[1].MeanSize {
+		t.Error("tighter delta must use more samples")
+	}
+	for _, p := range res.Points {
+		if p.AchievedSD < 0.4*p.Delta || p.AchievedSD > 2.5*p.Delta {
+			t.Errorf("achieved SD %v for target %v", p.AchievedSD, p.Delta)
+		}
+	}
+}
+
+func TestAQPSmall(t *testing.T) {
+	cfg := AQPConfig{Rows: 8000, Alpha: 1.5, TargetSEs: []float64{0.02, 0.05}, Trials: 10, Seed: 10}
+	res := AQP(cfg)
+	if res.Points[0].MeanRowsRead <= res.Points[1].MeanRowsRead {
+		t.Error("tighter SE must read more rows")
+	}
+}
+
+func TestMultiObjSmall(t *testing.T) {
+	cfg := MultiObjConfig{N: 4000, K: 50, Objectives: 3, Correlations: []float64{0, 1}, Seed: 11}
+	res := MultiObj(cfg)
+	if res.Points[1].CombinedSize >= res.Points[0].CombinedSize {
+		t.Errorf("correlated objectives must shrink the sketch: %v vs %v",
+			res.Points[1].CombinedSize, res.Points[0].CombinedSize)
+	}
+	if res.Points[1].CombinedSize > cfg.K+2 {
+		t.Errorf("scalar multiples should collapse to ≈ k, got %d", res.Points[1].CombinedSize)
+	}
+}
+
+func TestGroupBySmall(t *testing.T) {
+	cfg := GroupByConfig{Groups: 400, Items: 20000, M: 16, K: 32, ZipfS: 1.1, Seed: 12, TopReport: 5}
+	res := GroupBy(cfg)
+	if res.MemoryItems >= res.BaselineItems {
+		t.Errorf("pool scheme memory %d not below baseline %d", res.MemoryItems, res.BaselineItems)
+	}
+	if res.HeavyRelErr > 0.5 {
+		t.Errorf("heavy-group error %v too large", res.HeavyRelErr)
+	}
+	if res.PromotedGroups != cfg.M {
+		t.Errorf("promoted %d, want %d", res.PromotedGroups, cfg.M)
+	}
+}
+
+func zAbs(z float64) float64 {
+	if z < 0 {
+		return -z
+	}
+	return z
+}
+
+func TestAsymptoticSmall(t *testing.T) {
+	cfg := AsymptoticConfig{Sizes: []int{500, 5000}, Trials: 25, Seed: 13}
+	res := Asymptotic(cfg)
+	if len(res.Points) != 2 {
+		t.Fatal("wrong point count")
+	}
+	if res.Points[1].MedianRMSE >= res.Points[0].MedianRMSE {
+		t.Errorf("median RMSE did not shrink: %v -> %v",
+			res.Points[0].MedianRMSE, res.Points[1].MedianRMSE)
+	}
+	if res.Points[1].MeanRMSE >= res.Points[0].MeanRMSE {
+		t.Errorf("mean RMSE did not shrink: %v -> %v",
+			res.Points[0].MeanRMSE, res.Points[1].MeanRMSE)
+	}
+	if res.SDRatio < 0.7 || res.SDRatio > 1.4 {
+		t.Errorf("priority-equivalence SD ratio %v, want ≈ 1", res.SDRatio)
+	}
+}
+
+func TestBaselinesSmall(t *testing.T) {
+	cfg := BaselinesConfig{N: 1500, Alpha: 1.5, K: 60, Trials: 400, Seed: 14}
+	res := Baselines(cfg)
+	// VarOpt is optimal; priority sampling must be within ~2x of it and
+	// under the Szegedy bound.
+	if res.Priority > 2.2*res.VarOpt {
+		t.Errorf("priority SD %v too far above VarOpt %v", res.Priority, res.VarOpt)
+	}
+	if res.Priority > res.PriorityBound {
+		t.Errorf("priority SD %v exceeds its bound %v", res.Priority, res.PriorityBound)
+	}
+	if res.VarOpt <= 0 || res.Poisson <= 0 {
+		t.Error("degenerate errors")
+	}
+}
+
+func TestAblationSmall(t *testing.T) {
+	cfg := AblationConfig{
+		Seed:       15,
+		TopKStream: 5000, TopKTrials: 2,
+		VarSizeN: 2000, VarSizeDelta: 1000, VarSizeTrials: 10,
+		AQPRows: 5000, AQPTrials: 3,
+	}
+	res := Ablation(cfg)
+	for name, tab := range map[string]*Table{"topk": res.TopK, "varsize": res.VarSize, "aqp": res.AQP} {
+		if tab == nil || len(tab.Rows) < 3 {
+			t.Errorf("%s ablation table incomplete", name)
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "ablation") {
+		t.Error("format missing headers")
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"ats/internal/stream"
+	"ats/internal/topk"
+)
+
+// Fig3Config parameterizes the top-k comparison of Figure 3.
+type Fig3Config struct {
+	K         int       // query size (paper: 10)
+	Betas     []float64 // Pitman-Yor beta grid (paper: 0.25..1.0)
+	StreamLen int       // points per stream
+	Trials    int       // independent streams per beta
+	FreqTable int       // FrequentItems allocated table size
+	Seed      uint64
+}
+
+// DefaultFig3Config mirrors Figure 3: k = 10, beta sweeping [0.25, 1).
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		K:         10,
+		Betas:     []float64{0.25, 0.40, 0.55, 0.70, 0.85, 0.95},
+		StreamLen: 30000,
+		Trials:    12,
+		FreqTable: 128,
+		Seed:      101,
+	}
+}
+
+// Fig3Point is the per-beta aggregate.
+type Fig3Point struct {
+	Beta float64
+	// Mean number of items among the returned top-k that are not in the
+	// true top-k (left panel of Figure 3). SpaceSaving and USS (Unbiased
+	// Space Saving, [30]) are additional baselines beyond the paper's
+	// figure, run at the same effective capacity as FreqItems.
+	SamplerErrors float64
+	FreqErrors    float64
+	SSErrors      float64
+	USSErrors     float64
+	// Mean sketch sizes in items (right panel; FreqItems reports 0.75 ×
+	// its table size, per the paper).
+	SamplerSize float64
+	FreqSize    float64
+}
+
+// Fig3Result is the full sweep.
+type Fig3Result struct {
+	Cfg    Fig3Config
+	Points []Fig3Point
+}
+
+// Fig3 compares the adaptive top-k sampler against the FrequentItems
+// sketch on Pitman-Yor(1, beta) streams across beta.
+func Fig3(cfg Fig3Config) Fig3Result {
+	res := Fig3Result{Cfg: cfg}
+	for bi, beta := range cfg.Betas {
+		var p Fig3Point
+		p.Beta = beta
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.Seed + uint64(bi*1000+trial)
+			py := stream.NewPitmanYor(beta, seed)
+			sampler := topk.New(cfg.K, seed+500000)
+			freq := topk.NewFrequentItems(cfg.FreqTable)
+			ss := topk.NewSpaceSaving(cfg.FreqTable * 3 / 4)
+			uss := topk.NewUnbiasedSpaceSaving(cfg.FreqTable*3/4, seed+600000)
+			for i := 0; i < cfg.StreamLen; i++ {
+				x := py.Next()
+				sampler.Add(x)
+				freq.Add(x)
+				ss.Add(x)
+				uss.Add(x)
+			}
+			truth := make(map[uint64]struct{}, cfg.K)
+			for _, id := range py.TopK(cfg.K) {
+				truth[id] = struct{}{}
+			}
+			p.SamplerErrors += float64(countErrors(samplerKeys(sampler), truth))
+			p.FreqErrors += float64(countErrors(freqKeys(freq, cfg.K), truth))
+			p.SSErrors += float64(countErrors(resultKeys(ss.TopK(cfg.K)), truth))
+			p.USSErrors += float64(countErrors(resultKeys(uss.TopK(cfg.K)), truth))
+			p.SamplerSize += float64(sampler.Len())
+			p.FreqSize += float64(freq.EffectiveCapacity())
+		}
+		ft := float64(cfg.Trials)
+		p.SamplerErrors /= ft
+		p.FreqErrors /= ft
+		p.SSErrors /= ft
+		p.USSErrors /= ft
+		p.SamplerSize /= ft
+		p.FreqSize /= ft
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+func samplerKeys(s *topk.Sampler) []uint64 {
+	top := s.TopK()
+	out := make([]uint64, len(top))
+	for i, e := range top {
+		out[i] = e.Key
+	}
+	return out
+}
+
+func freqKeys(f *topk.FrequentItems, k int) []uint64 {
+	top := f.TopK(k)
+	out := make([]uint64, len(top))
+	for i, r := range top {
+		out[i] = r.Key
+	}
+	return out
+}
+
+func resultKeys(rs []topk.Result) []uint64 {
+	out := make([]uint64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Key
+	}
+	return out
+}
+
+func countErrors(returned []uint64, truth map[uint64]struct{}) int {
+	errs := len(truth) - len(returned) // missing slots count as errors
+	if errs < 0 {
+		errs = 0
+	}
+	for _, k := range returned {
+		if _, ok := truth[k]; !ok {
+			errs++
+		}
+	}
+	return errs
+}
+
+// Format renders the sweep as a table.
+func (r Fig3Result) Format() string {
+	t := &Table{
+		Title:   "Figure 3 — top-k: adaptive sampler vs FrequentItems (Pitman-Yor streams)",
+		Columns: []string{"beta", "err(TopKSampler)", "err(FreqItems)", "err(SpaceSaving)", "err(USS)", "size(TopKSampler)", "size(FreqItems)"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(f2(p.Beta), f2(p.SamplerErrors), f2(p.FreqErrors), f2(p.SSErrors), f2(p.USSErrors), f2(p.SamplerSize), f2(p.FreqSize))
+	}
+	t.AddNote("k=%d, stream=%d points, %d trials per beta; FreqItems size = 0.75 x table per the paper",
+		r.Cfg.K, r.Cfg.StreamLen, r.Cfg.Trials)
+	t.AddNote("paper shape: FreqItems errors grow sharply as beta -> 1 while the sampler stays accurate by growing its size")
+	return t.Format()
+}

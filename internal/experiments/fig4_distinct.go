@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"ats/internal/distinct"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// Fig4Config parameterizes the distinct-counting union experiment.
+type Fig4Config struct {
+	SizeA, SizeB int       // paper: 1e6 and 2e6 (we scale; error depends on k, not N)
+	K            int       // sketch size (paper: 100)
+	Jaccards     []float64 // similarity grid (paper: 0 .. ~1/3)
+	Trials       int
+	Seed         uint64
+}
+
+// DefaultFig4Config scales the paper's |A|=10^6, |B|=2x10^6 down to 2x10^4
+// and 4x10^4: for N >> k the relative error of all three union rules
+// depends on k and the Jaccard similarity only, so the curves' shape is
+// preserved (documented in DESIGN.md §3).
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		SizeA: 20000, SizeB: 40000, K: 100,
+		Jaccards: []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.333},
+		Trials:   300,
+		Seed:     2024,
+	}
+}
+
+// Fig4Point is the per-Jaccard aggregate.
+type Fig4Point struct {
+	Jaccard float64
+	// Relative standard deviation SD(N̂ − N)/N for each union rule.
+	LCS, BottomK, Theta float64
+}
+
+// Fig4Result is the full sweep.
+type Fig4Result struct {
+	Cfg    Fig4Config
+	Points []Fig4Point
+}
+
+// Fig4 measures the relative error of the three union-cardinality rules —
+// adaptive threshold / LCS, basic bottom-k, and Theta — as the Jaccard
+// similarity of the two sets varies.
+func Fig4(cfg Fig4Config) Fig4Result {
+	res := Fig4Result{Cfg: cfg}
+	for ji, j := range cfg.Jaccards {
+		overlap := stream.OverlapForJaccard(cfg.SizeA, cfg.SizeB, j)
+		var lcs, bk, th []float64
+		var truth float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			salt := cfg.Seed + uint64(ji*100000+trial)
+			pair := stream.NewSetPair(cfg.SizeA, cfg.SizeB, overlap, salt)
+			truth = float64(pair.UnionSize())
+			ska := distinct.NewSketch(cfg.K, cfg.Seed)
+			for _, k := range pair.A {
+				ska.Add(k)
+			}
+			skb := distinct.NewSketch(cfg.K, cfg.Seed)
+			for _, k := range pair.B {
+				skb.Add(k)
+			}
+			lcs = append(lcs, distinct.UnionEstimateLCS(ska, skb))
+			bk = append(bk, distinct.UnionEstimateBottomK(ska, skb))
+			th = append(th, distinct.UnionEstimateTheta(ska, skb))
+		}
+		res.Points = append(res.Points, Fig4Point{
+			Jaccard: float64(overlap) / truth,
+			LCS:     estimator.RelativeSD(lcs, truth),
+			BottomK: estimator.RelativeSD(bk, truth),
+			Theta:   estimator.RelativeSD(th, truth),
+		})
+	}
+	return res
+}
+
+// Format renders the sweep as a table (values in percent, as in Figure 4).
+func (r Fig4Result) Format() string {
+	t := &Table{
+		Title:   "Figure 4 — distinct counting union: relative error vs Jaccard similarity",
+		Columns: []string{"jaccard", "AdaptiveThreshold(LCS)", "Bottom-k", "Theta"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(f3(p.Jaccard), pct(p.LCS), pct(p.BottomK), pct(p.Theta))
+	}
+	t.AddNote("|A|=%d |B|=%d k=%d, %d trials (paper uses |A|=1e6 |B|=2e6; error depends on k, so shape is preserved)",
+		r.Cfg.SizeA, r.Cfg.SizeB, r.Cfg.K, r.Cfg.Trials)
+	t.AddNote("paper shape: LCS below bottom-k and Theta across the Jaccard range (everywhere except A contained in B)")
+	return t.Format()
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"ats/internal/estimator"
+	"ats/internal/groupby"
+	"ats/internal/multiobj"
+	"ats/internal/stream"
+)
+
+// MultiObjConfig parameterizes the multi-objective sampling experiment
+// (§3.8): sketch footprint as a function of objective correlation.
+type MultiObjConfig struct {
+	N          int
+	K          int
+	Objectives int
+	// Correlations: 0 = independent weights, 1 = exact scalar multiples.
+	Correlations []float64
+	Seed         uint64
+}
+
+// DefaultMultiObjConfig sweeps correlation with 3 objectives.
+func DefaultMultiObjConfig() MultiObjConfig {
+	return MultiObjConfig{
+		N: 50000, K: 200, Objectives: 3,
+		Correlations: []float64{0, 0.5, 0.9, 1.0},
+		Seed:         313,
+	}
+}
+
+// MultiObjPoint is the per-correlation aggregate.
+type MultiObjPoint struct {
+	Correlation float64
+	// CombinedSize is the number of distinct items across the objective
+	// samples; Worst is c × k, Best is ~k.
+	CombinedSize int
+	// FracOfWorst = CombinedSize / (c*k).
+	FracOfWorst float64
+}
+
+// MultiObjResult is the sweep result.
+type MultiObjResult struct {
+	Cfg    MultiObjConfig
+	Points []MultiObjPoint
+}
+
+// MultiObj runs the §3.8 experiment: per-objective bottom-k samples over
+// shared uniforms overlap more as the objective weights correlate, so the
+// combined sketch shrinks from c×k towards k.
+func MultiObj(cfg MultiObjConfig) MultiObjResult {
+	res := MultiObjResult{Cfg: cfg}
+	rng := stream.NewRNG(cfg.Seed)
+	base := make([]float64, cfg.N)
+	for i := range base {
+		base[i] = math.Exp(rng.NormFloat64()) // log-normal base weight
+	}
+	for _, rho := range cfg.Correlations {
+		sk := multiobj.New(cfg.K, cfg.Objectives, cfg.Seed+7)
+		for i := 0; i < cfg.N; i++ {
+			ws := make([]float64, cfg.Objectives)
+			vs := make([]float64, cfg.Objectives)
+			for j := range ws {
+				// Mix the shared log-weight with an independent one: at
+				// rho=1 all objectives are scalar multiples of each other;
+				// at rho=0 they are independent.
+				indep := math.Exp(rng.NormFloat64())
+				ws[j] = math.Pow(base[i], rho) * math.Pow(indep, 1-rho) * float64(j+1)
+				vs[j] = ws[j]
+			}
+			sk.Add(multiobj.Item{Key: uint64(i), Weights: ws, Values: vs})
+		}
+		size := sk.CombinedSize()
+		res.Points = append(res.Points, MultiObjPoint{
+			Correlation:  rho,
+			CombinedSize: size,
+			FracOfWorst:  float64(size) / float64(cfg.Objectives*cfg.K),
+		})
+	}
+	return res
+}
+
+// Format renders the sweep.
+func (r MultiObjResult) Format() string {
+	t := &Table{
+		Title:   "§3.8 — multi-objective samples: footprint vs objective correlation",
+		Columns: []string{"correlation", "combined size", "fraction of c*k"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(f2(p.Correlation), d(p.CombinedSize), pct(p.FracOfWorst))
+	}
+	t.AddNote("c=%d objectives, k=%d: identical (scalar-multiple) weights collapse the union to ~k items — 1/c of the worst-case budget",
+		r.Cfg.Objectives, r.Cfg.K)
+	return t.Format()
+}
+
+// GroupByConfig parameterizes the group-by distinct counting experiment
+// (§3.6).
+type GroupByConfig struct {
+	Groups    int
+	Items     int
+	M         int // dedicated sketches
+	K         int // sketch size
+	ZipfS     float64
+	Seed      uint64
+	TopReport int // report accuracy for this many heavy groups
+}
+
+// DefaultGroupByConfig uses 5000 groups with Zipf-distributed sizes.
+func DefaultGroupByConfig() GroupByConfig {
+	return GroupByConfig{Groups: 5000, Items: 300000, M: 50, K: 64, ZipfS: 1.1, Seed: 606, TopReport: 10}
+}
+
+// GroupByResult reports footprint and heavy-group accuracy.
+type GroupByResult struct {
+	Cfg GroupByConfig
+	// MemoryItems is the total retained items; BaselineItems what
+	// one-bottom-k-per-group would retain.
+	MemoryItems   int
+	BaselineItems int
+	// HeavyRelErr is the mean relative error of the estimates for the
+	// TopReport largest groups.
+	HeavyRelErr float64
+	// PromotedGroups is how many groups ended with dedicated sketches.
+	PromotedGroups int
+}
+
+// GroupBy runs the §3.6 experiment: m dedicated sketches plus a shared
+// pool bound the memory while keeping heavy-group estimates accurate.
+func GroupBy(cfg GroupByConfig) GroupByResult {
+	res := GroupByResult{Cfg: cfg}
+	zipf := stream.NewZipf(cfg.Groups, cfg.ZipfS, cfg.Seed)
+	rng := stream.NewRNG(cfg.Seed + 1)
+	counter := groupby.New(cfg.M, cfg.K, cfg.Seed+2)
+	truth := make(map[uint64]map[uint64]struct{})
+	for i := 0; i < cfg.Items; i++ {
+		g := zipf.Next()
+		// Distinct keys per group scale with group frequency; draw keys
+		// from a group-sized universe so duplicates occur.
+		key := g<<32 | uint64(rng.Intn(1+i/(int(g)+1)+1))
+		counter.Add(g, key)
+		set, ok := truth[g]
+		if !ok {
+			set = make(map[uint64]struct{})
+			truth[g] = set
+		}
+		set[key] = struct{}{}
+	}
+	res.MemoryItems = counter.MemoryItems()
+	res.PromotedGroups = len(counter.DedicatedGroups())
+	// Baseline: a bottom-k sketch per group retains min(k+1, group size).
+	for _, set := range truth {
+		n := len(set)
+		if n > cfg.K+1 {
+			n = cfg.K + 1
+		}
+		res.BaselineItems += n
+	}
+	// Accuracy on the heaviest groups by true distinct count.
+	type gc struct {
+		g uint64
+		n int
+	}
+	var heavy []gc
+	for g, set := range truth {
+		heavy = append(heavy, gc{g, len(set)})
+	}
+	sort.Slice(heavy, func(i, j int) bool { return heavy[i].n > heavy[j].n })
+	if len(heavy) > cfg.TopReport {
+		heavy = heavy[:cfg.TopReport]
+	}
+	var rel estimator.Running
+	for _, h := range heavy {
+		est := counter.Estimate(h.g)
+		e := math.Abs(est-float64(h.n)) / float64(h.n)
+		rel.Add(e)
+	}
+	res.HeavyRelErr = rel.Mean()
+	return res
+}
+
+// Format renders the result.
+func (r GroupByResult) Format() string {
+	t := &Table{
+		Title:   "§3.6 — group-by distinct counting with a shared pool",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("groups / items", d(r.Cfg.Groups)+" / "+d(r.Cfg.Items))
+	t.AddRow("dedicated sketches m / k", d(r.Cfg.M)+" / "+d(r.Cfg.K))
+	t.AddRow("memory (items)", d(r.MemoryItems))
+	t.AddRow("per-group-sketch baseline (items)", d(r.BaselineItems))
+	t.AddRow("memory saving", f2(float64(r.BaselineItems)/float64(max(1, r.MemoryItems)))+"x")
+	t.AddRow("promoted groups", d(r.PromotedGroups))
+	t.AddRow("heavy-group mean rel. err", pct(r.HeavyRelErr))
+	t.AddNote("the pool threshold Tmax adapts to the top-m groups; small groups pay error relative to heavy-group sizes")
+	return t.Format()
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"math"
+
+	"ats/internal/aqp"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+	"ats/internal/varsize"
+)
+
+// VarSizeConfig parameterizes the variance-sized sampling experiment
+// (§3.9): absolute-error targets instead of fixed sample sizes.
+type VarSizeConfig struct {
+	N      int
+	Alpha  float64
+	Deltas []float64 // absolute standard-error targets
+	Trials int
+	Seed   uint64
+}
+
+// DefaultVarSizeConfig sweeps delta over roughly 2%..17% of the true total
+// (priority sampling needs k ≈ (S/δ)² items for absolute error δ, so much
+// tighter targets would retain the whole population).
+func DefaultVarSizeConfig() VarSizeConfig {
+	return VarSizeConfig{
+		N: 20000, Alpha: 1.5,
+		Deltas: []float64{1200, 2500, 5000, 10000},
+		Trials: 200,
+		Seed:   808,
+	}
+}
+
+// VarSizePoint is the per-delta aggregate.
+type VarSizePoint struct {
+	Delta float64
+	// AchievedSD is the Monte-Carlo SD of the estimates around the truth;
+	// the stopping rule targets AchievedSD ≈ Delta.
+	AchievedSD float64
+	// MeanSize is the mean sample size used by the estimate.
+	MeanSize float64
+	// ZScore is the bias diagnostic.
+	ZScore float64
+}
+
+// VarSizeResult is the sweep result.
+type VarSizeResult struct {
+	Cfg    VarSizeConfig
+	Truth  float64
+	Points []VarSizePoint
+}
+
+// VarSize runs the §3.9 experiment: the sampler should use fewer items for
+// looser targets while keeping the realized error near each target.
+func VarSize(cfg VarSizeConfig) VarSizeResult {
+	res := VarSizeResult{Cfg: cfg}
+	pop := stream.ParetoWeights(cfg.N, cfg.Alpha, cfg.Seed)
+	for _, it := range pop {
+		res.Truth += it.Value
+	}
+	for _, delta := range cfg.Deltas {
+		var est, size estimator.Running
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := varsize.New(delta, 2, cfg.Seed+1000+uint64(trial))
+			s.SetHorizon(cfg.N)
+			for _, it := range pop {
+				s.Add(it.Key, it.Weight, it.Value)
+			}
+			r := s.Estimate()
+			est.Add(r.Sum)
+			size.Add(float64(r.SampleSize))
+		}
+		p := VarSizePoint{Delta: delta, MeanSize: size.Mean()}
+		// SD around the truth (includes bias, which should be negligible).
+		sumSq := est.Variance() + (est.Mean()-res.Truth)*(est.Mean()-res.Truth)
+		p.AchievedSD = math.Sqrt(sumSq)
+		if se := est.SE(); se > 0 {
+			p.ZScore = (est.Mean() - res.Truth) / se
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+// Format renders the sweep.
+func (r VarSizeResult) Format() string {
+	t := &Table{
+		Title:   "§3.9 — variance-sized samples: achieved error vs target",
+		Columns: []string{"target delta", "achieved SD", "mean sample size", "bias z"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(f2(p.Delta), f2(p.AchievedSD), f2(p.MeanSize), f2(p.ZScore))
+	}
+	t.AddNote("population %d, true total %.1f; the stopping rule V̂(T) = delta² is a stopping time on the sorted priorities (Theorem 8)",
+		r.Cfg.N, r.Truth)
+	return t.Format()
+}
+
+// AQPConfig parameterizes the early-stopping AQP experiment (§3.10).
+type AQPConfig struct {
+	Rows      int
+	Alpha     float64
+	TargetSEs []float64 // relative to the true total
+	Trials    int
+	Seed      uint64
+}
+
+// DefaultAQPConfig sweeps target standard errors from 0.5% to 5% of the
+// true total.
+func DefaultAQPConfig() AQPConfig {
+	return AQPConfig{
+		Rows: 100000, Alpha: 1.5,
+		TargetSEs: []float64{0.005, 0.01, 0.02, 0.05},
+		Trials:    50,
+		Seed:      909,
+	}
+}
+
+// AQPPoint is the per-target aggregate.
+type AQPPoint struct {
+	TargetRelSE   float64
+	MeanRowsRead  float64
+	FracRead      float64
+	AchievedRelSD float64
+}
+
+// AQPResult is the sweep result.
+type AQPResult struct {
+	Cfg    AQPConfig
+	Truth  float64
+	Points []AQPPoint
+}
+
+// AQP runs the §3.10 experiment: queries against a priority-ordered layout
+// stop after reading a prefix whose estimated standard error meets the
+// user's target; tighter targets read more rows.
+func AQP(cfg AQPConfig) AQPResult {
+	res := AQPResult{Cfg: cfg}
+	pop := stream.ParetoWeights(cfg.Rows, cfg.Alpha, cfg.Seed)
+	keys := make([]uint64, len(pop))
+	weights := make([]float64, len(pop))
+	values := make([]float64, len(pop))
+	for i, it := range pop {
+		keys[i] = it.Key
+		weights[i] = it.Weight
+		values[i] = it.Value
+		res.Truth += it.Value
+	}
+	for _, rel := range cfg.TargetSEs {
+		target := rel * res.Truth
+		var rows, ests estimator.Running
+		for trial := 0; trial < cfg.Trials; trial++ {
+			table := aqp.NewTable(keys, weights, values, cfg.Seed+10+uint64(trial))
+			q := table.Query(nil, target, 50)
+			rows.Add(float64(q.RowsRead))
+			ests.Add(q.Sum)
+		}
+		sumSq := ests.Variance() + (ests.Mean()-res.Truth)*(ests.Mean()-res.Truth)
+		res.Points = append(res.Points, AQPPoint{
+			TargetRelSE:   rel,
+			MeanRowsRead:  rows.Mean(),
+			FracRead:      rows.Mean() / float64(cfg.Rows),
+			AchievedRelSD: math.Sqrt(sumSq) / res.Truth,
+		})
+	}
+	return res
+}
+
+// Format renders the sweep.
+func (r AQPResult) Format() string {
+	t := &Table{
+		Title:   "§3.10 — AQP early stopping on a priority-ordered layout",
+		Columns: []string{"target rel. SE", "mean rows read", "fraction of table", "achieved rel. SD"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(pct(p.TargetRelSE), f2(p.MeanRowsRead), pct(p.FracRead), pct(p.AchievedRelSD))
+	}
+	t.AddNote("table of %d rows; tighter targets read longer prefixes; achieved error tracks the target", r.Cfg.Rows)
+	return t.Format()
+}

@@ -1,0 +1,222 @@
+// Package groupby implements the "frequent items for distinct counting"
+// scheme of §3.6: estimating distinct counts grouped by an attribute when
+// there are far too many groups to give each its own sketch. It maintains m
+// dedicated bottom-k sketches for the currently-heavy groups plus one
+// general pool of (group, hash) samples thresholded at
+// Tmax = max_g T_g. When a pooled group accumulates more than k items, it
+// is promoted: it takes over the dedicated slot of the group with the
+// largest threshold, whose items are demoted back into the pool.
+//
+// The effect is that the sampling rate adapts to the appropriate rate for
+// the top m groups, and the tolerated error for small groups is a fraction
+// of the heavy groups' sizes rather than of their own.
+package groupby
+
+import (
+	"sort"
+
+	"ats/internal/stream"
+)
+
+// poolItem is one sampled (group, hash) pair in the general pool.
+type poolItem struct {
+	group uint64
+	hash  float64
+}
+
+// groupSketch is a dedicated bottom-k sketch for one group, stored as a
+// sorted slice (k is small; insertion is O(k)).
+type groupSketch struct {
+	hashes []float64 // sorted ascending, at most k+1 retained
+}
+
+func (g *groupSketch) threshold(k int) float64 {
+	if len(g.hashes) < k+1 {
+		return 1
+	}
+	return g.hashes[k]
+}
+
+func (g *groupSketch) add(h float64, k int) {
+	i := sort.SearchFloat64s(g.hashes, h)
+	if i < len(g.hashes) && g.hashes[i] == h {
+		return
+	}
+	if i > k {
+		return // beyond the (k+1)-th smallest; irrelevant
+	}
+	g.hashes = append(g.hashes, 0)
+	copy(g.hashes[i+1:], g.hashes[i:])
+	g.hashes[i] = h
+	if len(g.hashes) > k+1 {
+		g.hashes = g.hashes[:k+1]
+	}
+}
+
+func (g *groupSketch) estimate(k int) float64 {
+	t := g.threshold(k)
+	if t >= 1 {
+		return float64(len(g.hashes))
+	}
+	n := sort.SearchFloat64s(g.hashes, t)
+	return float64(n) / t
+}
+
+// Counter estimates distinct counts per group with m dedicated sketches of
+// size k plus a shared pool.
+type Counter struct {
+	m, k int
+	seed uint64
+
+	dedicated map[uint64]*groupSketch
+	pool      []poolItem
+	poolByG   map[uint64]int // group -> item count in pool
+	tmax      float64
+	groups    map[uint64]struct{} // all group ids ever seen
+}
+
+// New returns a Counter with at most m dedicated sketches of size k.
+func New(m, k int, seed uint64) *Counter {
+	if m <= 0 || k <= 0 {
+		panic("groupby: m and k must be positive")
+	}
+	return &Counter{
+		m:         m,
+		k:         k,
+		seed:      seed,
+		dedicated: make(map[uint64]*groupSketch, m),
+		poolByG:   make(map[uint64]int),
+		tmax:      1,
+		groups:    make(map[uint64]struct{}),
+	}
+}
+
+// Add offers an item belonging to the given group.
+func (c *Counter) Add(group, key uint64) {
+	c.groups[group] = struct{}{}
+	h := stream.HashU01(key, c.seed)
+	if g, ok := c.dedicated[group]; ok {
+		g.add(h, c.k)
+		c.refreshTmax()
+		return
+	}
+	if h >= c.tmax {
+		return
+	}
+	// Deduplicate within the pool (same group+hash).
+	for _, it := range c.pool {
+		if it.group == group && it.hash == h {
+			return
+		}
+	}
+	c.pool = append(c.pool, poolItem{group: group, hash: h})
+	c.poolByG[group]++
+	if c.poolByG[group] > c.k {
+		c.promote(group)
+	}
+}
+
+// promote moves group into a dedicated sketch, evicting the dedicated
+// group with the largest threshold if all m slots are taken.
+func (c *Counter) promote(group uint64) {
+	gs := &groupSketch{}
+	rest := c.pool[:0]
+	for _, it := range c.pool {
+		if it.group == group {
+			gs.add(it.hash, c.k)
+		} else {
+			rest = append(rest, it)
+		}
+	}
+	c.pool = rest
+	delete(c.poolByG, group)
+
+	if len(c.dedicated) >= c.m {
+		// Demote the dedicated group with the largest threshold.
+		var worst uint64
+		worstT := -1.0
+		for g, sk := range c.dedicated {
+			if t := sk.threshold(c.k); t > worstT {
+				worst, worstT = g, t
+			}
+		}
+		demoted := c.dedicated[worst]
+		delete(c.dedicated, worst)
+		for _, h := range demoted.hashes {
+			if h < c.tmax {
+				c.pool = append(c.pool, poolItem{group: worst, hash: h})
+				c.poolByG[worst]++
+			}
+		}
+	}
+	c.dedicated[group] = gs
+	c.refreshTmax()
+}
+
+// refreshTmax recomputes Tmax = max over dedicated thresholds and prunes
+// pool items above it.
+func (c *Counter) refreshTmax() {
+	t := 0.0
+	if len(c.dedicated) < c.m {
+		t = 1 // open slots: the pool must accept everything
+	} else {
+		for _, sk := range c.dedicated {
+			if th := sk.threshold(c.k); th > t {
+				t = th
+			}
+		}
+	}
+	if t >= c.tmax {
+		return
+	}
+	c.tmax = t
+	rest := c.pool[:0]
+	for _, it := range c.pool {
+		if it.hash < c.tmax {
+			rest = append(rest, it)
+		} else {
+			c.poolByG[it.group]--
+			if c.poolByG[it.group] == 0 {
+				delete(c.poolByG, it.group)
+			}
+		}
+	}
+	c.pool = rest
+}
+
+// Estimate returns the estimated distinct count for a group: the dedicated
+// sketch estimate if promoted, otherwise the HT estimate of its pool items
+// at rate Tmax.
+func (c *Counter) Estimate(group uint64) float64 {
+	if g, ok := c.dedicated[group]; ok {
+		return g.estimate(c.k)
+	}
+	return float64(c.poolByG[group]) / c.tmax
+}
+
+// Groups returns the number of distinct groups observed.
+func (c *Counter) Groups() int { return len(c.groups) }
+
+// MemoryItems returns the total retained items across dedicated sketches
+// and the pool — the footprint compared against the one-sketch-per-group
+// baseline.
+func (c *Counter) MemoryItems() int {
+	n := len(c.pool)
+	for _, g := range c.dedicated {
+		n += len(g.hashes)
+	}
+	return n
+}
+
+// Tmax returns the pool threshold.
+func (c *Counter) Tmax() float64 { return c.tmax }
+
+// DedicatedGroups returns the ids of currently promoted groups.
+func (c *Counter) DedicatedGroups() []uint64 {
+	out := make([]uint64, 0, len(c.dedicated))
+	for g := range c.dedicated {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

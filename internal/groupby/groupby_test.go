@@ -1,0 +1,136 @@
+package groupby
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct{ m, k int }{{0, 5}, {5, 0}, {-1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) must panic", c.m, c.k)
+				}
+			}()
+			New(c.m, c.k, 1)
+		}()
+	}
+}
+
+func TestSmallGroupsExactViaPool(t *testing.T) {
+	c := New(2, 8, 1)
+	// Below promotion pressure everything sits in the pool at Tmax = 1, so
+	// counts are exact.
+	for g := uint64(0); g < 5; g++ {
+		for i := uint64(0); i < 4; i++ {
+			c.Add(g, g*100+i)
+		}
+	}
+	for g := uint64(0); g < 5; g++ {
+		if got := c.Estimate(g); got != 4 {
+			t.Errorf("group %d estimate %v, want exact 4", g, got)
+		}
+	}
+	if c.Groups() != 5 {
+		t.Errorf("groups = %d", c.Groups())
+	}
+}
+
+func TestPromotionOnHeavyGroup(t *testing.T) {
+	c := New(2, 8, 2)
+	for i := uint64(0); i < 100; i++ {
+		c.Add(7, i)
+	}
+	promoted := c.DedicatedGroups()
+	if len(promoted) != 1 || promoted[0] != 7 {
+		t.Fatalf("promoted = %v, want [7]", promoted)
+	}
+	est := c.Estimate(7)
+	if est < 50 || est > 200 {
+		t.Errorf("promoted group estimate %v, want ≈ 100", est)
+	}
+}
+
+func TestDuplicateItemsIgnored(t *testing.T) {
+	c := New(2, 8, 3)
+	for i := 0; i < 50; i++ {
+		c.Add(1, 42) // same item repeatedly
+	}
+	if got := c.Estimate(1); got != 1 {
+		t.Errorf("estimate %v, want 1 for a single distinct item", got)
+	}
+}
+
+func TestHeavyGroupsAccurate(t *testing.T) {
+	c := New(10, 64, 4)
+	rng := stream.NewRNG(5)
+	// 3 heavy groups with 5000 distinct items; 500 light groups with 5.
+	truth := make(map[uint64]int)
+	for g := uint64(0); g < 3; g++ {
+		for i := 0; i < 5000; i++ {
+			c.Add(g, g<<32|uint64(i))
+		}
+		truth[g] = 5000
+	}
+	for g := uint64(100); g < 600; g++ {
+		for i := 0; i < 5; i++ {
+			c.Add(g, g<<32|uint64(i))
+		}
+		truth[g] = 5
+	}
+	_ = rng
+	for g := uint64(0); g < 3; g++ {
+		est := c.Estimate(g)
+		if rel := math.Abs(est-5000) / 5000; rel > 0.5 {
+			t.Errorf("heavy group %d estimate %v (rel err %v)", g, est, rel)
+		}
+	}
+	// Memory must be far below one-sketch-per-group on the heavy side.
+	if c.MemoryItems() > 3*(64+1)+500*64 {
+		t.Errorf("memory %d items seems unbounded", c.MemoryItems())
+	}
+}
+
+func TestMemoryBoundedUnderManyGroups(t *testing.T) {
+	m, k := 8, 16
+	c := New(m, k, 6)
+	z := stream.NewZipf(2000, 1.2, 7)
+	rng := stream.NewRNG(8)
+	for i := 0; i < 100000; i++ {
+		g := z.Next()
+		c.Add(g, g<<32|uint64(rng.Intn(5000)))
+	}
+	// Dedicated sketches hold at most m*(k+1); the pool holds the union of
+	// group samples at Tmax. The bound below is loose but catches
+	// unbounded growth.
+	if c.MemoryItems() > 40*m*(k+1) {
+		t.Errorf("memory %d items; dedicated budget is %d", c.MemoryItems(), m*(k+1))
+	}
+	if got := len(c.DedicatedGroups()); got != m {
+		t.Errorf("dedicated groups = %d, want %d", got, m)
+	}
+	if c.Tmax() <= 0 || c.Tmax() > 1 {
+		t.Errorf("Tmax = %v out of (0, 1]", c.Tmax())
+	}
+}
+
+func TestPoolPrunedWhenTmaxDrops(t *testing.T) {
+	c := New(1, 4, 9)
+	// Promote one group; its threshold becomes Tmax.
+	for i := uint64(0); i < 200; i++ {
+		c.Add(1, i)
+	}
+	tmax := c.Tmax()
+	if tmax >= 1 {
+		t.Fatal("Tmax should have dropped below 1")
+	}
+	// Pool items must all be below Tmax.
+	for _, it := range c.pool {
+		if it.hash >= tmax {
+			t.Errorf("pool item hash %v above Tmax %v", it.hash, tmax)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package history implements the §2.7 motivating example: a bottom-k
+// sketch that stores every item that was EVER in the sketch, which makes
+// it possible to reconstruct the bottom-k sample — and compute unbiased
+// aggregates — over the prefix window [0, t] for ANY stream position t,
+// after the fact.
+//
+// The per-item thresholding rule ("the (k+1)-th smallest priority among
+// the items that arrived before you") is sequential: it depends only on
+// earlier priorities, so by Theorem 7 the pseudo-HT estimator of a sum is
+// unbiased even though the rule is only 1-substitutable (the paper shows
+// it is NOT 2-substitutable, so variance estimates may not be reused; see
+// the package tests, which demonstrate both facts).
+package history
+
+import (
+	"math"
+	"sort"
+
+	"ats/internal/core"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// Entry is one archived item.
+type Entry struct {
+	Key    uint64
+	Weight float64
+	Value  float64
+	// Priority is the item's realized priority R = U/w.
+	Priority float64
+	// Arrival is the 1-based stream position of the item.
+	Arrival int
+}
+
+// Sampler archives every item that ever entered the bottom-k sketch.
+type Sampler struct {
+	k    int
+	seed uint64
+	// live is the current bottom-k+1 (max-heap on priority).
+	live []Entry
+	// archive holds items evicted from the live sketch; together with the
+	// live items it contains every item that was ever in the sketch.
+	archive []Entry
+	n       int
+}
+
+// New returns an empty history sampler with sketch size k.
+func New(k int, seed uint64) *Sampler {
+	if k <= 0 {
+		panic("history: k must be positive")
+	}
+	return &Sampler{k: k, seed: seed}
+}
+
+// K returns the sketch size parameter.
+func (s *Sampler) K() int { return s.k }
+
+// N returns the number of items processed.
+func (s *Sampler) N() int { return s.n }
+
+// StoredItems returns the total number of archived plus live items — the
+// sketch's space usage (Θ(k log(n/k)) in expectation).
+func (s *Sampler) StoredItems() int { return len(s.live) + len(s.archive) }
+
+// Add processes the next stream item.
+func (s *Sampler) Add(key uint64, w, x float64) {
+	if w <= 0 {
+		s.n++ // position advances; the item can never be sampled
+		return
+	}
+	u := stream.HashU01(key, s.seed)
+	s.AddWithPriority(Entry{Key: key, Weight: w, Value: x, Priority: u / w})
+}
+
+// AddWithPriority processes an item with an explicit priority.
+func (s *Sampler) AddWithPriority(e Entry) {
+	s.n++
+	e.Arrival = s.n
+	if len(s.live) == s.k+1 && e.Priority >= s.live[0].Priority {
+		return // never enters the sketch
+	}
+	s.live = append(s.live, e)
+	siftUp(s.live, len(s.live)-1)
+	if len(s.live) > s.k+1 {
+		// The evicted item WAS in the sketch (it was among the k+1
+		// smallest when it arrived), so it goes to the archive.
+		s.archive = append(s.archive, popRoot(&s.live))
+	}
+}
+
+// ThresholdAt returns the bottom-k threshold for the prefix [0, t]: the
+// (k+1)-th smallest priority among the first t items (+inf when the prefix
+// has at most k items). It is computable from the stored items alone:
+// any unstored item's priority exceeded the threshold at its arrival,
+// which is an upper bound for every later prefix threshold.
+func (s *Sampler) ThresholdAt(t int) float64 {
+	prs := make([]float64, 0, s.k+1)
+	collect := func(items []Entry) {
+		for _, e := range items {
+			if e.Arrival <= t {
+				prs = append(prs, e.Priority)
+			}
+		}
+	}
+	collect(s.live)
+	collect(s.archive)
+	if len(prs) <= s.k {
+		return math.Inf(1)
+	}
+	return core.KthSmallest(prs, s.k+1)
+}
+
+// SampleAt reconstructs the bottom-k sample of the prefix [0, t]: exactly
+// the state a fresh bottom-k sketch would have after the first t items.
+func (s *Sampler) SampleAt(t int) []Entry {
+	th := s.ThresholdAt(t)
+	var out []Entry
+	take := func(items []Entry) {
+		for _, e := range items {
+			if e.Arrival <= t && e.Priority < th {
+				out = append(out, e)
+			}
+		}
+	}
+	take(s.live)
+	take(s.archive)
+	sort.Slice(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out
+}
+
+// SubsetSumAt returns the unbiased pseudo-HT estimate (Theorem 7) of
+// Σ value over the first t stream items matching pred (nil for all).
+func (s *Sampler) SubsetSumAt(t int, pred func(Entry) bool) float64 {
+	th := s.ThresholdAt(t)
+	if math.IsInf(th, 1) {
+		sum := 0.0
+		for _, e := range s.SampleAt(t) {
+			if pred == nil || pred(e) {
+				sum += e.Value
+			}
+		}
+		return sum
+	}
+	sample := make([]estimator.Sampled, 0, s.k)
+	for _, e := range s.SampleAt(t) {
+		if pred != nil && !pred(e) {
+			continue
+		}
+		sample = append(sample, estimator.Sampled{
+			Value: e.Value,
+			P:     core.InclusionProb(e.Weight, th),
+		})
+	}
+	return estimator.SubsetSum(sample)
+}
+
+// --- max-heap on Priority ---
+
+func siftUp(h []Entry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].Priority >= h[i].Priority {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func popRoot(h *[]Entry) Entry {
+	old := *h
+	root := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && (*h)[l].Priority > (*h)[largest].Priority {
+			largest = l
+		}
+		if r < n && (*h)[r].Priority > (*h)[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return root
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}

@@ -1,0 +1,181 @@
+package history
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/bottomk"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k <= 0 must panic")
+		}
+	}()
+	New(0, 1)
+}
+
+// TestMatchesFreshSketchAtEveryPrefix is the defining exactness property:
+// the reconstructed state at time t equals the state of a fresh bottom-k
+// sketch run over the first t items.
+func TestMatchesFreshSketchAtEveryPrefix(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		k := 5
+		n := 80
+		h := New(k, seed)
+		type item struct {
+			pr float64
+			w  float64
+			v  float64
+		}
+		items := make([]item, n)
+		for i := range items {
+			items[i] = item{pr: rng.Open01(), w: 1, v: float64(i)}
+			h.AddWithPriority(Entry{Key: uint64(i), Weight: 1, Value: items[i].v, Priority: items[i].pr})
+		}
+		for _, tt := range []int{3, 10, 40, 80} {
+			fresh := bottomk.New(k, seed+999)
+			for i := 0; i < tt; i++ {
+				fresh.AddWithPriority(bottomk.Entry{
+					Key: uint64(i), Weight: 1, Value: items[i].v, Priority: items[i].pr,
+				})
+			}
+			if h.ThresholdAt(tt) != fresh.Threshold() {
+				return false
+			}
+			rec := h.SampleAt(tt)
+			want := fresh.Sample()
+			if len(rec) != len(want) {
+				return false
+			}
+			keys := make(map[uint64]bool, len(want))
+			for _, e := range want {
+				keys[e.Key] = true
+			}
+			for _, e := range rec {
+				if !keys[e.Key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrefixSumsUnbiased is the Theorem 7 validation: the pseudo-HT prefix
+// sums are unbiased at every query point, even though the rule is only
+// 1-substitutable.
+func TestPrefixSumsUnbiased(t *testing.T) {
+	n := 400
+	items := stream.ParetoWeights(n, 1.5, 3)
+	queryPoints := []int{100, 250, 400}
+	truths := make([]float64, len(queryPoints))
+	for qi, q := range queryPoints {
+		for _, it := range items[:q] {
+			truths[qi] += it.Value
+		}
+	}
+	ests := make([]estimator.Running, len(queryPoints))
+	for trial := 0; trial < 3000; trial++ {
+		h := New(30, uint64(trial)+100)
+		for _, it := range items {
+			h.Add(it.Key, it.Weight, it.Value)
+		}
+		for qi, q := range queryPoints {
+			ests[qi].Add(h.SubsetSumAt(q, nil))
+		}
+	}
+	for qi, q := range queryPoints {
+		if z := (ests[qi].Mean() - truths[qi]) / ests[qi].SE(); math.Abs(z) > 4.5 {
+			t.Errorf("prefix [0,%d] biased: mean %v truth %v z %v",
+				q, ests[qi].Mean(), truths[qi], z)
+		}
+	}
+}
+
+func TestStorageGrowsLogarithmically(t *testing.T) {
+	k := 20
+	h := New(k, 7)
+	rng := stream.NewRNG(8)
+	n := 100000
+	for i := 0; i < n; i++ {
+		h.AddWithPriority(Entry{Key: uint64(i), Weight: 1, Value: 1, Priority: rng.Open01()})
+	}
+	// Expected storage ≈ (k+1) * ln(n/(k+1)) + (k+1) ≈ 210 here; allow 3x.
+	expect := float64(k+1) * (math.Log(float64(n)/float64(k+1)) + 1)
+	if got := h.StoredItems(); float64(got) > 3*expect {
+		t.Errorf("stored %d items, expected ≈ %.0f (Θ(k log n))", got, expect)
+	}
+	if h.N() != n {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestExactPrefixWhileSmall(t *testing.T) {
+	h := New(50, 9)
+	want := 0.0
+	for i := 0; i < 30; i++ {
+		v := float64(i + 1)
+		h.Add(uint64(i), 1, v)
+		want += v
+		if got := h.SubsetSumAt(i+1, nil); got != want {
+			t.Fatalf("prefix %d: got %v, want exact %v", i+1, got, want)
+		}
+	}
+}
+
+func TestSubsetPredicate(t *testing.T) {
+	items := stream.ParetoWeights(300, 1.3, 10)
+	pred := func(e Entry) bool { return e.Key%2 == 0 }
+	truth := 0.0
+	for _, it := range items {
+		if it.Key%2 == 0 {
+			truth += it.Value
+		}
+	}
+	var est estimator.Running
+	for trial := 0; trial < 2000; trial++ {
+		h := New(40, uint64(trial)+500)
+		for _, it := range items {
+			h.Add(it.Key, it.Weight, it.Value)
+		}
+		est.Add(h.SubsetSumAt(300, pred))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("subset biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestZeroWeightAdvancesPosition(t *testing.T) {
+	h := New(5, 11)
+	h.Add(1, 0, 100)
+	h.Add(2, 1, 1)
+	if h.N() != 2 {
+		t.Errorf("N = %d, want 2", h.N())
+	}
+	if got := h.SubsetSumAt(2, nil); got != 1 {
+		t.Errorf("sum = %v, want 1 (zero-weight item unsampleable)", got)
+	}
+}
+
+func TestSampleAtOrderedByArrival(t *testing.T) {
+	h := New(10, 12)
+	rng := stream.NewRNG(13)
+	for i := 0; i < 200; i++ {
+		h.AddWithPriority(Entry{Key: uint64(i), Weight: 1, Value: 1, Priority: rng.Open01()})
+	}
+	sample := h.SampleAt(200)
+	for i := 1; i < len(sample); i++ {
+		if sample[i-1].Arrival >= sample[i].Arrival {
+			t.Fatal("SampleAt must be sorted by arrival")
+		}
+	}
+}

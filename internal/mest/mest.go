@@ -1,0 +1,128 @@
+// Package mest implements M-estimation from adaptive threshold samples
+// (§4 of the paper): estimators defined as maximizers of an objective
+// J_n(θ) = Σ_i f_θ(X_i), computed from a sample by reweighting the
+// objective with Horvitz-Thompson weights,
+//
+//	Ĵ_n(θ; T) = Σ_i f_θ(X_i) · Z_i / F_i(T_i).
+//
+// Theorem 10 shows such estimators remain consistent under adaptive
+// thresholds that converge appropriately; the experiments package
+// validates this empirically for the weighted quantile (pinball-loss
+// minimizer) and the weighted mean (L2 minimizer) under bottom-k
+// thresholds, including the Theorem 12 equivalence of priority
+// distributions in the sublinear regime.
+package mest
+
+import "sort"
+
+// Point is one sampled observation with its pseudo-inclusion probability.
+type Point struct {
+	X float64
+	// P is the pseudo-inclusion probability F_i(T_i) in (0, 1].
+	P float64
+}
+
+// Mean returns the HT-weighted mean — the maximizer of the reweighted L2
+// objective Σ w_i (X_i - θ)², w_i = 1/P_i. It estimates the population
+// mean of X.
+func Mean(points []Point) float64 {
+	var sw, swx float64
+	for _, p := range points {
+		if p.P <= 0 {
+			continue
+		}
+		w := 1 / p.P
+		sw += w
+		swx += w * p.X
+	}
+	if sw == 0 {
+		return 0
+	}
+	return swx / sw
+}
+
+// Quantile returns the HT-weighted q-quantile — the minimizer of the
+// reweighted pinball loss. It estimates the population q-quantile of X.
+// q must be in (0, 1).
+func Quantile(points []Point, q float64) float64 {
+	if q <= 0 || q >= 1 {
+		panic("mest: q must be in (0, 1)")
+	}
+	type wp struct{ x, w float64 }
+	ps := make([]wp, 0, len(points))
+	total := 0.0
+	for _, p := range points {
+		if p.P <= 0 {
+			continue
+		}
+		w := 1 / p.P
+		ps = append(ps, wp{p.X, w})
+		total += w
+	}
+	if len(ps) == 0 {
+		return 0
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	target := q * total
+	acc := 0.0
+	for _, p := range ps {
+		acc += p.w
+		if acc >= target {
+			return p.x
+		}
+	}
+	return ps[len(ps)-1].x
+}
+
+// Objective evaluates the HT-reweighted objective Ĵ(θ) = Σ f(X_i, θ)/P_i
+// for a caller-supplied per-point loss. It is the generic building block
+// for custom M-estimators (maximum likelihood, robust regression, ...).
+func Objective(points []Point, theta float64, f func(x, theta float64) float64) float64 {
+	s := 0.0
+	for _, p := range points {
+		if p.P > 0 {
+			s += f(p.X, theta) / p.P
+		}
+	}
+	return s
+}
+
+// Minimize runs a golden-section search for the minimizer of the
+// HT-reweighted objective on [lo, hi]. The objective must be unimodal on
+// the interval (true for the convex losses used by mean/quantile/Huber
+// estimation).
+func Minimize(points []Point, lo, hi float64, f func(x, theta float64) float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc := Objective(points, c, f)
+	fd := Objective(points, d, f)
+	for i := 0; i < 100 && b-a > 1e-10*(1+b-a); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = Objective(points, c, f)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = Objective(points, d, f)
+		}
+	}
+	return (a + b) / 2
+}
+
+// HuberLoss returns the Huber loss with scale delta, for robust location
+// estimation via Minimize.
+func HuberLoss(delta float64) func(x, theta float64) float64 {
+	return func(x, theta float64) float64 {
+		r := x - theta
+		if r < 0 {
+			r = -r
+		}
+		if r <= delta {
+			return 0.5 * r * r
+		}
+		return delta * (r - 0.5*delta)
+	}
+}

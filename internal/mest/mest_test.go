@@ -1,0 +1,130 @@
+package mest
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ats/internal/bottomk"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestMeanExactWhenPOne(t *testing.T) {
+	pts := []Point{{X: 1, P: 1}, {X: 2, P: 1}, {X: 6, P: 1}}
+	if got := Mean(pts); got != 3 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+func TestMeanWeighting(t *testing.T) {
+	// An item with P = 0.5 counts double.
+	pts := []Point{{X: 0, P: 1}, {X: 3, P: 0.5}}
+	if got := Mean(pts); got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q out of (0,1) must panic")
+		}
+	}()
+	Quantile(nil, 1)
+}
+
+func TestQuantileExact(t *testing.T) {
+	var pts []Point
+	for i := 1; i <= 100; i++ {
+		pts = append(pts, Point{X: float64(i), P: 1})
+	}
+	if got := Quantile(pts, 0.5); got != 50 {
+		t.Errorf("median = %v, want 50", got)
+	}
+	if got := Quantile(pts, 0.9); got != 90 {
+		t.Errorf("q90 = %v, want 90", got)
+	}
+}
+
+// TestQuantileConsistentUnderBottomK is the Theorem 10 validation: the
+// HT-weighted quantile from a bottom-k adaptive threshold sample converges
+// to the population quantile as n (and k, proportionally) grow.
+func TestQuantileConsistentUnderBottomK(t *testing.T) {
+	rng := stream.NewRNG(1)
+	var prevRMSE float64
+	for gi, n := range []int{500, 5000, 50000} {
+		// Population: exponential-ish values; weights correlated with X so
+		// the sampling is genuinely non-uniform.
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 10
+			ws[i] = 0.5 + xs[i]/10 // bigger values sampled more often
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		truth := sorted[n/2]
+
+		k := n / 10
+		var se estimator.Running
+		trials := 60
+		for trial := 0; trial < trials; trial++ {
+			sk := bottomk.New(k, uint64(gi*1000+trial)+7)
+			for i := 0; i < n; i++ {
+				sk.Add(uint64(i), ws[i], xs[i])
+			}
+			th := sk.Threshold()
+			pts := make([]Point, 0, k)
+			for _, e := range sk.Sample() {
+				p := e.Weight * th
+				if p > 1 {
+					p = 1
+				}
+				pts = append(pts, Point{X: e.Value, P: p})
+			}
+			err := Quantile(pts, 0.5) - truth
+			se.Add(err * err)
+		}
+		rmse := math.Sqrt(se.Mean()) / truth
+		if gi > 0 && rmse > prevRMSE*0.9 {
+			t.Errorf("n=%d: relative RMSE %v did not shrink from %v (inconsistent?)", n, rmse, prevRMSE)
+		}
+		prevRMSE = rmse
+	}
+}
+
+func TestMinimizeRecoversMeanAndHuber(t *testing.T) {
+	rng := stream.NewRNG(2)
+	pts := make([]Point, 400)
+	for i := range pts {
+		pts[i] = Point{X: 5 + rng.NormFloat64(), P: 1}
+	}
+	l2 := func(x, th float64) float64 { d := x - th; return d * d }
+	if got := Minimize(pts, -100, 100, l2); math.Abs(got-Mean(pts)) > 1e-6 {
+		t.Errorf("L2 minimizer %v != mean %v", got, Mean(pts))
+	}
+	// Huber with outliers: stays near 5 even with gross contamination.
+	for i := 0; i < 40; i++ {
+		pts = append(pts, Point{X: 1000, P: 1})
+	}
+	robust := Minimize(pts, -100, 2000, HuberLoss(1))
+	if math.Abs(robust-5) > 0.5 {
+		t.Errorf("Huber estimate %v, want ≈ 5 despite outliers", robust)
+	}
+	naive := Mean(pts)
+	if math.Abs(naive-5) < 10 {
+		t.Errorf("sanity: the naive mean %v should have been dragged away", naive)
+	}
+}
+
+func TestObjectiveSkipsBadP(t *testing.T) {
+	pts := []Point{{X: 1, P: 0}, {X: 2, P: 1}}
+	got := Objective(pts, 0, func(x, _ float64) float64 { return x })
+	if got != 2 {
+		t.Errorf("objective = %v, want 2", got)
+	}
+}

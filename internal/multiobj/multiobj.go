@@ -1,0 +1,179 @@
+// Package multiobj implements multi-objective coordinated samples (§3.8,
+// after Cohen 2015): one sample that serves queries weighted by several
+// different objectives (e.g. profit AND revenue). Each item draws a single
+// shared uniform U_i; objective j assigns it priority R_ij = U_i / w_ij and
+// keeps a bottom-k sketch. The combined sample is the union of the
+// per-objective samples; an item's per-item threshold for estimating under
+// objective j is objective j's threshold.
+//
+// Because the uniforms are shared, highly correlated objective weights give
+// highly correlated priorities, so the union is much smaller than c×k —
+// when weights are exact scalar multiples the sketches coincide and only
+// 1/c of the worst-case budget is used.
+package multiobj
+
+import (
+	"math"
+
+	"ats/internal/core"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// Item is a record with one weight and one value per objective.
+type Item struct {
+	Key uint64
+	// Weights[j] is the item's weight under objective j (> 0).
+	Weights []float64
+	// Values[j] is the quantity summed by queries under objective j
+	// (commonly Values = Weights).
+	Values []float64
+}
+
+// Sketch maintains c coordinated bottom-k sketches over shared uniforms.
+type Sketch struct {
+	k, c int
+	seed uint64
+	// heaps[j] is a max-heap (by priority under objective j) of the k+1
+	// smallest-priority items for objective j.
+	heaps [][]entry
+	n     int
+}
+
+type entry struct {
+	item     Item
+	u        float64
+	priority float64
+}
+
+// New returns a multi-objective sketch with c objectives and per-objective
+// sample size k.
+func New(k, c int, seed uint64) *Sketch {
+	if k <= 0 || c <= 0 {
+		panic("multiobj: k and c must be positive")
+	}
+	return &Sketch{k: k, c: c, seed: seed, heaps: make([][]entry, c)}
+}
+
+// Add offers an item with weights for every objective.
+func (s *Sketch) Add(it Item) {
+	if len(it.Weights) != s.c || len(it.Values) != s.c {
+		panic("multiobj: item with wrong number of objectives")
+	}
+	s.n++
+	u := stream.HashU01(it.Key, s.seed)
+	for j := 0; j < s.c; j++ {
+		w := it.Weights[j]
+		if w <= 0 {
+			continue
+		}
+		e := entry{item: it, u: u, priority: u / w}
+		h := s.heaps[j]
+		if len(h) == s.k+1 && e.priority >= h[0].priority {
+			continue
+		}
+		h = append(h, e)
+		siftUpE(h, len(h)-1)
+		if len(h) > s.k+1 {
+			popRootE(&h)
+		}
+		s.heaps[j] = h
+	}
+}
+
+// Threshold returns objective j's bottom-k threshold.
+func (s *Sketch) Threshold(j int) float64 {
+	h := s.heaps[j]
+	if len(h) < s.k+1 {
+		return math.Inf(1)
+	}
+	return h[0].priority
+}
+
+// CombinedSize returns the number of distinct items stored across all
+// objectives — the sketch's actual footprint.
+func (s *Sketch) CombinedSize() int {
+	seen := make(map[uint64]struct{})
+	for j := 0; j < s.c; j++ {
+		t := s.Threshold(j)
+		for _, e := range s.heaps[j] {
+			if e.priority < t {
+				seen[e.item.Key] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// SubsetSum returns the HT estimate of Σ Values[j] under objective j over
+// items matching pred (nil for all), using objective j's own sample and
+// threshold.
+func (s *Sketch) SubsetSum(j int, pred func(Item) bool) float64 {
+	t := s.Threshold(j)
+	if math.IsInf(t, 1) {
+		sum := 0.0
+		for _, e := range s.heaps[j] {
+			if pred == nil || pred(e.item) {
+				sum += e.item.Values[j]
+			}
+		}
+		return sum
+	}
+	sampled := make([]estimator.Sampled, 0, s.k)
+	for _, e := range s.heaps[j] {
+		if e.priority >= t {
+			continue
+		}
+		if pred != nil && !pred(e.item) {
+			continue
+		}
+		sampled = append(sampled, estimator.Sampled{
+			Value: e.item.Values[j],
+			P:     core.InclusionProb(e.item.Weights[j], t),
+		})
+	}
+	return estimator.SubsetSum(sampled)
+}
+
+// Objectives returns the number of objectives c.
+func (s *Sketch) Objectives() int { return s.c }
+
+// K returns the per-objective sample size.
+func (s *Sketch) K() int { return s.k }
+
+// --- max-heap on priority ---
+
+func siftUpE(h []entry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].priority >= h[i].priority {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func popRootE(h *[]entry) {
+	old := *h
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && (*h)[l].priority > (*h)[largest].priority {
+			largest = l
+		}
+		if r < n && (*h)[r].priority > (*h)[largest].priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}

@@ -1,0 +1,174 @@
+package multiobj
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct{ k, obj int }{{0, 2}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) must panic", c.k, c.obj)
+				}
+			}()
+			New(c.k, c.obj, 1)
+		}()
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := New(5, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong objective count must panic")
+		}
+	}()
+	s.Add(Item{Key: 1, Weights: []float64{1}, Values: []float64{1}})
+}
+
+func mkItems(n int, seed uint64) []Item {
+	rng := stream.NewRNG(seed)
+	items := make([]Item, n)
+	for i := range items {
+		w1 := rng.Open01() * 3
+		w2 := rng.Open01() * 3
+		items[i] = Item{
+			Key:     uint64(i),
+			Weights: []float64{w1, w2},
+			Values:  []float64{w1, w2},
+		}
+	}
+	return items
+}
+
+func TestPerObjectiveThresholds(t *testing.T) {
+	s := New(20, 2, 3)
+	for _, it := range mkItems(500, 4) {
+		s.Add(it)
+	}
+	for j := 0; j < 2; j++ {
+		th := s.Threshold(j)
+		if math.IsInf(th, 1) || th <= 0 {
+			t.Errorf("objective %d threshold = %v", j, th)
+		}
+	}
+	if s.K() != 20 || s.Objectives() != 2 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestCombinedSizeBounds(t *testing.T) {
+	s := New(25, 3, 5)
+	rng := stream.NewRNG(6)
+	for i := 0; i < 2000; i++ {
+		w := make([]float64, 3)
+		v := make([]float64, 3)
+		for j := range w {
+			w[j] = rng.Open01() * 2
+			v[j] = w[j]
+		}
+		s.Add(Item{Key: uint64(i), Weights: w, Values: v})
+	}
+	size := s.CombinedSize()
+	if size > 3*25 {
+		t.Errorf("combined size %d exceeds c*k", size)
+	}
+	if size < 25 {
+		t.Errorf("combined size %d below k", size)
+	}
+}
+
+func TestScalarMultiplesCollapse(t *testing.T) {
+	// §3.8: when all objective weights are scalar multiples of each other,
+	// per-objective samples coincide and the union is exactly k items.
+	s := New(30, 3, 7)
+	rng := stream.NewRNG(8)
+	for i := 0; i < 3000; i++ {
+		base := rng.Open01() * 4
+		s.Add(Item{
+			Key:     uint64(i),
+			Weights: []float64{base, 2 * base, 5 * base},
+			Values:  []float64{base, 2 * base, 5 * base},
+		})
+	}
+	// The threshold item may differ per objective; allow a tiny slack.
+	if size := s.CombinedSize(); size > 31 {
+		t.Errorf("scalar-multiple objectives: combined size %d, want ≈ k = 30", size)
+	}
+}
+
+func TestIndependentObjectivesNearCK(t *testing.T) {
+	s := New(30, 3, 9)
+	rng := stream.NewRNG(10)
+	for i := 0; i < 5000; i++ {
+		s.Add(Item{
+			Key:     uint64(i),
+			Weights: []float64{rng.Open01(), rng.Open01(), rng.Open01()},
+			Values:  []float64{1, 1, 1},
+		})
+	}
+	// Independent weights still share the per-item uniform (coordinated
+	// sampling), so the union is well below c*k — but it must be clearly
+	// larger than a single objective's k.
+	size := s.CombinedSize()
+	if size <= 39 {
+		t.Errorf("independent objectives: combined size %d, want well above k = 30", size)
+	}
+	if size > 90 {
+		t.Errorf("combined size %d exceeds c*k", size)
+	}
+}
+
+func TestSubsetSumUnbiasedPerObjective(t *testing.T) {
+	items := mkItems(800, 11)
+	var truth [2]float64
+	for _, it := range items {
+		for j := 0; j < 2; j++ {
+			truth[j] += it.Values[j]
+		}
+	}
+	var est [2]estimator.Running
+	for trial := 0; trial < 1500; trial++ {
+		s := New(60, 2, 100+uint64(trial))
+		for _, it := range items {
+			s.Add(it)
+		}
+		for j := 0; j < 2; j++ {
+			est[j].Add(s.SubsetSum(j, nil))
+		}
+	}
+	for j := 0; j < 2; j++ {
+		if z := (est[j].Mean() - truth[j]) / est[j].SE(); math.Abs(z) > 4.5 {
+			t.Errorf("objective %d biased: mean %v truth %v z %v", j, est[j].Mean(), truth[j], z)
+		}
+	}
+}
+
+func TestExactWhenSmall(t *testing.T) {
+	s := New(100, 2, 12)
+	items := mkItems(30, 13)
+	want := 0.0
+	for _, it := range items {
+		s.Add(it)
+		want += it.Values[0]
+	}
+	if got := s.SubsetSum(0, nil); math.Abs(got-want) > 1e-9 {
+		t.Errorf("exact subset sum = %v, want %v", got, want)
+	}
+}
+
+func TestZeroWeightObjectiveSkipped(t *testing.T) {
+	s := New(5, 2, 14)
+	s.Add(Item{Key: 1, Weights: []float64{0, 1}, Values: []float64{1, 1}})
+	if got := s.SubsetSum(0, nil); got != 0 {
+		t.Errorf("zero-weight objective sum = %v, want 0", got)
+	}
+	if got := s.SubsetSum(1, nil); got != 1 {
+		t.Errorf("objective 1 sum = %v, want 1", got)
+	}
+}

@@ -1,0 +1,161 @@
+// Package reservoir implements weighted reservoir sampling with
+// exponential jumps à la Efraimidis & Spirakis (IPL 2006), cited as [13]
+// in the paper. A-Res keeps the k items with the largest keys u^{1/w};
+// taking logarithms, -ln(u)/w ~ Exponential(w), so A-Res is EXACTLY
+// bottom-k adaptive threshold sampling with Exponential(w) priorities —
+// a concrete instance of the paper's observation (Theorem 12) that
+// priority families are interchangeable, here at finite n: the bottom-k
+// rule is substitutable for any continuous priority family, so the HT
+// estimator with F(r) = 1 - exp(-w r) is exactly unbiased.
+package reservoir
+
+import (
+	"math"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// Entry is one retained item.
+type Entry struct {
+	Key    uint64
+	Weight float64
+	Value  float64
+	// Priority is the exponential priority -ln(U)/w (small = likely kept);
+	// equivalently -ln(key) for the classical A-Res key u^{1/w}.
+	Priority float64
+}
+
+// Sketch is an Efraimidis-Spirakis weighted reservoir of size k.
+type Sketch struct {
+	k    int
+	seed uint64
+	heap []Entry // max-heap on Priority holding the k+1 smallest
+	n    int
+}
+
+// New returns an empty weighted reservoir of size k.
+func New(k int, seed uint64) *Sketch {
+	if k <= 0 {
+		panic("reservoir: k must be positive")
+	}
+	return &Sketch{k: k, seed: seed}
+}
+
+// K returns the reservoir size.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of items offered.
+func (s *Sketch) N() int { return s.n }
+
+// Add offers an item with weight w > 0 and value x.
+func (s *Sketch) Add(key uint64, w, x float64) {
+	if w <= 0 {
+		return
+	}
+	u := stream.HashU01(key, s.seed)
+	s.AddWithPriority(Entry{Key: key, Weight: w, Value: x, Priority: -math.Log(u) / w})
+}
+
+// AddWithPriority offers an item with an explicit exponential priority.
+func (s *Sketch) AddWithPriority(e Entry) {
+	s.n++
+	if len(s.heap) == s.k+1 && e.Priority >= s.heap[0].Priority {
+		return
+	}
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].Priority >= s.heap[i].Priority {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+	if len(s.heap) > s.k+1 {
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		s.siftDown(0)
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l].Priority > s.heap[largest].Priority {
+			largest = l
+		}
+		if r < n && s.heap[r].Priority > s.heap[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+// Threshold returns the (k+1)-th smallest exponential priority (+inf while
+// fewer than k+1 items have been seen).
+func (s *Sketch) Threshold() float64 {
+	if len(s.heap) < s.k+1 {
+		return math.Inf(1)
+	}
+	return s.heap[0].Priority
+}
+
+// Sample returns the retained entries with priority strictly below the
+// threshold.
+func (s *Sketch) Sample() []Entry {
+	t := s.Threshold()
+	out := make([]Entry, 0, s.k)
+	for _, e := range s.heap {
+		if e.Priority < t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InclusionProb returns the pseudo-inclusion probability of a retained
+// entry under the exponential priority CDF: 1 - exp(-w·T).
+func (s *Sketch) InclusionProb(e Entry) float64 {
+	t := s.Threshold()
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	return -math.Expm1(-e.Weight * t)
+}
+
+// SubsetSum returns the HT estimate of Σ value over stream items matching
+// pred (nil for all). Exactly unbiased: the bottom-k rule is substitutable
+// regardless of the priority family, and the pseudo-inclusion probability
+// uses the exponential CDF.
+func (s *Sketch) SubsetSum(pred func(Entry) bool) float64 {
+	t := s.Threshold()
+	if math.IsInf(t, 1) {
+		sum := 0.0
+		for _, e := range s.heap {
+			if pred == nil || pred(e) {
+				sum += e.Value
+			}
+		}
+		return sum
+	}
+	sample := make([]estimator.Sampled, 0, s.k)
+	for _, e := range s.heap {
+		if e.Priority >= t {
+			continue
+		}
+		if pred != nil && !pred(e) {
+			continue
+		}
+		sample = append(sample, estimator.Sampled{Value: e.Value, P: s.InclusionProb(e)})
+	}
+	return estimator.SubsetSum(sample)
+}

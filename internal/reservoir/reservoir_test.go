@@ -1,0 +1,187 @@
+package reservoir
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k <= 0 must panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestFixedSize(t *testing.T) {
+	s := New(20, 1)
+	rng := stream.NewRNG(2)
+	for i := 0; i < 2000; i++ {
+		s.Add(uint64(i), rng.Open01()*5, 1)
+	}
+	if got := len(s.Sample()); got != 20 {
+		t.Errorf("sample size %d, want 20", got)
+	}
+}
+
+// TestEquivalentToARes verifies the classical A-Res formulation: keeping
+// the k LARGEST keys u^{1/w} selects exactly the same items as our
+// bottom-k on -ln(u)/w.
+func TestEquivalentToARes(t *testing.T) {
+	rng := stream.NewRNG(3)
+	type rec struct {
+		key uint64
+		u   float64
+		w   float64
+	}
+	n := 300
+	k := 15
+	recs := make([]rec, n)
+	s := New(k, 99)
+	for i := range recs {
+		recs[i] = rec{key: uint64(i), u: rng.Open01(), w: 0.2 + rng.Float64()*4}
+		s.AddWithPriority(Entry{
+			Key: recs[i].key, Weight: recs[i].w, Value: 1,
+			Priority: -math.Log(recs[i].u) / recs[i].w,
+		})
+	}
+	// A-Res: sort by u^{1/w} descending, take top k.
+	sort.Slice(recs, func(i, j int) bool {
+		return math.Pow(recs[i].u, 1/recs[i].w) > math.Pow(recs[j].u, 1/recs[j].w)
+	})
+	want := make(map[uint64]bool, k)
+	for _, r := range recs[:k] {
+		want[r.key] = true
+	}
+	got := s.Sample()
+	if len(got) != k {
+		t.Fatalf("sample size %d", len(got))
+	}
+	for _, e := range got {
+		if !want[e.Key] {
+			t.Fatalf("item %d sampled by bottom-k(exp) but not by A-Res", e.Key)
+		}
+	}
+}
+
+// TestSubsetSumUnbiased: the HT estimator with the exponential CDF is
+// exactly unbiased — the bottom-k threshold is substitutable for any
+// continuous priority family.
+func TestSubsetSumUnbiased(t *testing.T) {
+	items := stream.ParetoWeights(500, 1.5, 4)
+	truth := 0.0
+	pred := func(e Entry) bool { return e.Key%3 == 0 }
+	for _, it := range items {
+		if it.Key%3 == 0 {
+			truth += it.Value
+		}
+	}
+	var est estimator.Running
+	for trial := 0; trial < 4000; trial++ {
+		s := New(60, uint64(trial)+100)
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, it.Value)
+		}
+		est.Add(s.SubsetSum(pred))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("ES reservoir subset sum biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+// TestTheorem12FiniteSample compares the exponential-priority reservoir
+// against the U/w-priority bottom-k at matched k: per Theorem 12 their
+// estimator distributions converge; at finite n they should already be
+// close (SD ratio within ~15%).
+func TestTheorem12FiniteSample(t *testing.T) {
+	items := stream.ParetoWeights(4000, 1.5, 5)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	k := 64
+	var expEsts, uniEsts []float64
+	for trial := 0; trial < 600; trial++ {
+		seed := uint64(trial) + 1000
+		es := New(k, seed)
+		for _, it := range items {
+			es.Add(it.Key, it.Weight, it.Value)
+		}
+		expEsts = append(expEsts, es.SubsetSum(nil))
+
+		uni := newUniformBottomK(k, seed, items)
+		uniEsts = append(uniEsts, uni)
+	}
+	sdExp := estimator.RelativeSD(expEsts, truth)
+	sdUni := estimator.RelativeSD(uniEsts, truth)
+	if ratio := sdExp / sdUni; ratio < 0.85 || ratio > 1.18 {
+		t.Errorf("priority-family SD ratio %v (exp %v vs uniform %v), want ≈ 1",
+			ratio, sdExp, sdUni)
+	}
+}
+
+// newUniformBottomK computes the U/w-priority bottom-k HT total directly
+// (avoiding an import cycle with internal/bottomk is unnecessary — this
+// keeps the comparison self-contained).
+func newUniformBottomK(k int, seed uint64, items []stream.WeightedItem) float64 {
+	type it struct {
+		pr float64
+		w  float64
+		v  float64
+	}
+	all := make([]it, len(items))
+	for i, x := range items {
+		u := stream.HashU01(x.Key, seed)
+		all[i] = it{pr: u / x.Weight, w: x.Weight, v: x.Value}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].pr < all[j].pr })
+	if len(all) <= k {
+		sum := 0.0
+		for _, x := range all {
+			sum += x.v
+		}
+		return sum
+	}
+	th := all[k].pr
+	sum := 0.0
+	for _, x := range all[:k] {
+		p := x.w * th
+		if p > 1 {
+			p = 1
+		}
+		sum += x.v / p
+	}
+	return sum
+}
+
+func TestInvalidWeightIgnored(t *testing.T) {
+	s := New(5, 6)
+	s.Add(1, 0, 1)
+	s.Add(2, -1, 1)
+	if s.N() != 0 || len(s.Sample()) != 0 {
+		t.Error("non-positive weights must be ignored")
+	}
+}
+
+func TestExactBelowK(t *testing.T) {
+	s := New(50, 7)
+	want := 0.0
+	for i := 0; i < 20; i++ {
+		v := float64(i + 1)
+		s.Add(uint64(i), v, v)
+		want += v
+	}
+	if got := s.SubsetSum(nil); got != want {
+		t.Errorf("exact sum %v, want %v", got, want)
+	}
+	for _, e := range s.Sample() {
+		if p := s.InclusionProb(e); p != 1 {
+			t.Errorf("below capacity inclusion prob %v, want 1", p)
+		}
+	}
+}

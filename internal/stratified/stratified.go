@@ -1,0 +1,223 @@
+// Package stratified implements the multi-stratified sampler of §3.7: a
+// single sample that is simultaneously a stratified sample along several
+// attributes (e.g. by country AND by age) and fits a total item budget B.
+//
+// Each stratum of each attribute keeps a bottom-k threshold; an item's
+// threshold is the MAX over the thresholds of the strata it belongs to
+// (Theorem 9: a max of substitutable thresholds is 1-substitutable, and
+// since the combined rule is constant given the strata, Theorem 6 lifts it
+// to full substitutability). To hit the budget exactly, the per-stratum
+// counts are decremented greedily: repeatedly pick the stratum with the
+// most items below its threshold and lower its threshold to the next
+// smaller priority, until at most B items survive.
+package stratified
+
+import (
+	"math"
+	"sort"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// Item is a record with one stratum label per attribute dimension.
+type Item struct {
+	Key uint64
+	// Strata[d] is the item's stratum in dimension d (e.g. Strata[0] =
+	// country, Strata[1] = age bucket).
+	Strata []int
+	Value  float64
+}
+
+// sampledItem is an item with its realized priority.
+type sampledItem struct {
+	Item
+	priority float64
+}
+
+// Design holds the fitted thresholds after Fit: one threshold per stratum
+// per dimension plus the final sample.
+type Design struct {
+	// Thresholds[d][s] is the bottom-k threshold for stratum s of
+	// dimension d.
+	Thresholds []map[int]float64
+	// Sample holds the selected items with their per-item threshold (max
+	// over their strata) and priority.
+	Sample []SampledItem
+}
+
+// SampledItem is one selected item with its inclusion information.
+type SampledItem struct {
+	Item
+	Priority float64
+	// Threshold is the per-item threshold max_d Thresholds[d][strata[d]].
+	Threshold float64
+}
+
+// Fit draws a multi-stratified sample of at most budget items from the
+// population. Initially every stratum uses a bottom-k0 threshold with k0
+// chosen generously; thresholds are then decremented per §3.7 until the
+// combined sample fits the budget. The seed coordinates priorities.
+func Fit(items []Item, dims int, budget int, seed uint64) Design {
+	if budget <= 0 {
+		panic("stratified: budget must be positive")
+	}
+	pop := make([]sampledItem, len(items))
+	for i, it := range items {
+		if len(it.Strata) != dims {
+			panic("stratified: item with wrong number of strata")
+		}
+		pop[i] = sampledItem{Item: it, priority: stream.HashU01(it.Key, seed)}
+	}
+
+	// Group (priority, item index) pairs per stratum, sorted ascending by
+	// priority.
+	type rankedItem struct {
+		pr  float64
+		idx int
+	}
+	perStratum := make([]map[int][]rankedItem, dims)
+	for d := 0; d < dims; d++ {
+		perStratum[d] = make(map[int][]rankedItem)
+	}
+	for i, it := range pop {
+		for d := 0; d < dims; d++ {
+			s := it.Strata[d]
+			perStratum[d][s] = append(perStratum[d][s], rankedItem{it.priority, i})
+		}
+	}
+	for d := 0; d < dims; d++ {
+		for s := range perStratum[d] {
+			ps := perStratum[d][s]
+			sort.Slice(ps, func(i, j int) bool { return ps[i].pr < ps[j].pr })
+		}
+	}
+
+	// counts[d][s] = number of items currently below stratum (d, s)'s
+	// threshold; the threshold is the (counts+1)-th smallest priority in
+	// the stratum (or +inf when the whole stratum is kept).
+	counts := make([]map[int]int, dims)
+	for d := 0; d < dims; d++ {
+		counts[d] = make(map[int]int)
+		for s, ps := range perStratum[d] {
+			counts[d][s] = len(ps)
+		}
+	}
+	thresholdOf := func(d, s int) float64 {
+		ps := perStratum[d][s]
+		c := counts[d][s]
+		if c >= len(ps) {
+			return math.Inf(1)
+		}
+		return ps[c].pr
+	}
+
+	// cover[i] = number of dimensions whose stratum threshold currently
+	// covers item i; the item is in the sample iff cover[i] > 0. Initially
+	// every stratum keeps everything, so cover[i] = dims.
+	cover := make([]int, len(pop))
+	for i := range cover {
+		cover[i] = dims
+	}
+	size := len(pop)
+
+	// Greedy decrement until the budget is met: each step lowers the
+	// threshold of the stratum with the most covered items by one rank,
+	// which removes coverage from exactly one item (the one whose priority
+	// was just below the old threshold). Each stratum keeps at least one
+	// item so every stratum stays represented.
+	for size > budget {
+		bd, bs, best := -1, 0, 1
+		for d := 0; d < dims; d++ {
+			for s := range perStratum[d] {
+				if c := counts[d][s]; c > best {
+					bd, bs, best = d, s, c
+				}
+			}
+		}
+		if bd < 0 {
+			break // every stratum is at its minimum; budget unreachable
+		}
+		c := counts[bd][bs]
+		dropped := perStratum[bd][bs][c-1].idx
+		counts[bd][bs] = c - 1
+		cover[dropped]--
+		if cover[dropped] == 0 {
+			size--
+		}
+	}
+
+	des := Design{Thresholds: make([]map[int]float64, dims)}
+	for d := 0; d < dims; d++ {
+		des.Thresholds[d] = make(map[int]float64)
+		for s := range perStratum[d] {
+			des.Thresholds[d][s] = thresholdOf(d, s)
+		}
+	}
+	for _, it := range pop {
+		t := 0.0
+		for d := 0; d < dims; d++ {
+			if th := des.Thresholds[d][it.Strata[d]]; th > t {
+				t = th
+			}
+		}
+		if it.priority < t {
+			des.Sample = append(des.Sample, SampledItem{Item: it.Item, Priority: it.priority, Threshold: t})
+		}
+	}
+	return des
+}
+
+// SubsetSum returns the HT estimate (and unbiased variance estimate) of
+// Σ Value over population items matching pred, using the fitted per-item
+// thresholds. Priorities are Uniform(0,1), so the pseudo-inclusion
+// probability of an item is min(1, its threshold).
+func (d Design) SubsetSum(pred func(Item) bool) (sum, varianceEstimate float64) {
+	sampled := make([]estimator.Sampled, 0, len(d.Sample))
+	for _, it := range d.Sample {
+		if pred != nil && !pred(it.Item) {
+			continue
+		}
+		p := it.Threshold
+		if math.IsInf(p, 1) || p > 1 {
+			p = 1
+		}
+		sampled = append(sampled, estimator.Sampled{Value: it.Value, P: p})
+	}
+	return estimator.SubsetSum(sampled), estimator.HTVarianceEstimate(sampled)
+}
+
+// StratumCounts returns, for the given dimension, the number of sampled
+// items per stratum.
+func (d Design) StratumCounts(dim int) map[int]int {
+	out := make(map[int]int)
+	for _, it := range d.Sample {
+		out[it.Strata[dim]]++
+	}
+	return out
+}
+
+// Verify checks the defining property of the design on the original
+// population: an item is in the sample iff its priority is below the max of
+// its strata thresholds. It is used by tests; a correctly constructed
+// design always verifies.
+func (d Design) Verify(items []Item, seed uint64) bool {
+	inSample := make(map[uint64]struct{}, len(d.Sample))
+	for _, it := range d.Sample {
+		inSample[it.Key] = struct{}{}
+	}
+	for _, it := range items {
+		pr := stream.HashU01(it.Key, seed)
+		t := 0.0
+		for dim := 0; dim < len(d.Thresholds); dim++ {
+			if th := d.Thresholds[dim][it.Strata[dim]]; th > t {
+				t = th
+			}
+		}
+		_, in := inSample[it.Key]
+		if in != (pr < t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package stratified
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func makePop(n, countries, ages int, seed uint64) []Item {
+	rng := stream.NewRNG(seed)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Key:    uint64(i),
+			Strata: []int{rng.Intn(countries), rng.Intn(ages)},
+			Value:  1 + rng.Float64(),
+		}
+	}
+	return items
+}
+
+func TestFitValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("budget <= 0 must panic")
+		}
+	}()
+	Fit(makePop(10, 2, 2, 1), 2, 0, 1)
+}
+
+func TestFitWrongDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong strata count must panic")
+		}
+	}()
+	Fit([]Item{{Key: 1, Strata: []int{0}}}, 2, 5, 1)
+}
+
+func TestBudgetRespected(t *testing.T) {
+	items := makePop(2000, 10, 5, 2)
+	for _, budget := range []int{100, 300, 700} {
+		des := Fit(items, 2, budget, 3)
+		if len(des.Sample) > budget {
+			t.Errorf("budget %d: sample %d", budget, len(des.Sample))
+		}
+		// The greedy rule should land close to the budget, not far under.
+		if len(des.Sample) < budget-budget/10 {
+			t.Errorf("budget %d: sample only %d (under-filled)", budget, len(des.Sample))
+		}
+	}
+}
+
+func TestSmallBudgetStillCoversStrata(t *testing.T) {
+	items := makePop(2000, 10, 5, 4)
+	des := Fit(items, 2, 30, 5)
+	cc := des.StratumCounts(0)
+	for s := 0; s < 10; s++ {
+		if cc[s] == 0 {
+			t.Errorf("country %d has no samples", s)
+		}
+	}
+	ac := des.StratumCounts(1)
+	for s := 0; s < 5; s++ {
+		if ac[s] == 0 {
+			t.Errorf("age %d has no samples", s)
+		}
+	}
+}
+
+func TestWholePopulationWhenBudgetLarge(t *testing.T) {
+	items := makePop(100, 4, 3, 6)
+	des := Fit(items, 2, 1000, 7)
+	if len(des.Sample) != 100 {
+		t.Errorf("sample %d, want the whole population", len(des.Sample))
+	}
+	sum, v := des.SubsetSum(nil)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	if math.Abs(sum-truth) > 1e-9 || v != 0 {
+		t.Errorf("exact case: sum %v (want %v) var %v", sum, truth, v)
+	}
+}
+
+func TestVerifyProperty(t *testing.T) {
+	items := makePop(1500, 8, 4, 8)
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		des := Fit(items, 2, 200, seed)
+		if !des.Verify(items, seed) {
+			t.Errorf("seed %d: sample inconsistent with max-of-thresholds rule", seed)
+		}
+	}
+}
+
+func TestSampleMatchesThresholdRule(t *testing.T) {
+	// Every sampled item's priority is below its recorded threshold.
+	items := makePop(1000, 6, 4, 9)
+	des := Fit(items, 2, 150, 10)
+	for _, it := range des.Sample {
+		if it.Priority >= it.Threshold {
+			t.Fatalf("sampled item %d priority %v >= threshold %v", it.Key, it.Priority, it.Threshold)
+		}
+	}
+}
+
+func TestSubsetSumUnbiased(t *testing.T) {
+	items := makePop(1200, 6, 4, 11)
+	truth := 0.0
+	pred := func(it Item) bool { return it.Strata[0] == 3 }
+	for _, it := range items {
+		if pred(it) {
+			truth += it.Value
+		}
+	}
+	var est estimator.Running
+	for trial := 0; trial < 400; trial++ {
+		des := Fit(items, 2, 200, 500+uint64(trial))
+		s, _ := des.SubsetSum(pred)
+		est.Add(s)
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("stratified HT biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestSingleDimension(t *testing.T) {
+	rng := stream.NewRNG(12)
+	items := make([]Item, 500)
+	for i := range items {
+		items[i] = Item{Key: uint64(i), Strata: []int{rng.Intn(5)}, Value: 1}
+	}
+	des := Fit(items, 1, 50, 13)
+	if len(des.Sample) > 50 {
+		t.Errorf("budget exceeded: %d", len(des.Sample))
+	}
+	counts := des.StratumCounts(0)
+	// One dimension: the greedy decrement equalizes per-stratum counts
+	// (within one, since strata are decremented from the largest).
+	min, max := 1<<30, 0
+	for s := 0; s < 5; s++ {
+		if counts[s] < min {
+			min = counts[s]
+		}
+		if counts[s] > max {
+			max = counts[s]
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("single-dim stratified counts should be balanced, got %v", counts)
+	}
+}

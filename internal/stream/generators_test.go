@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPitmanYorBetaValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("beta=%v must panic", bad)
+				}
+			}()
+			NewPitmanYor(bad, 1)
+		}()
+	}
+}
+
+func TestPitmanYorCountsConsistent(t *testing.T) {
+	py := NewPitmanYor(0.5, 42)
+	n := 20000
+	emitted := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		emitted[py.Next()]++
+	}
+	if py.Unique() != len(emitted) {
+		t.Errorf("Unique() = %d, want %d", py.Unique(), len(emitted))
+	}
+	counts := py.Counts()
+	total := 0
+	for id, c := range counts {
+		if emitted[uint64(id)] != c {
+			t.Fatalf("count mismatch for item %d: %d vs %d", id, c, emitted[uint64(id)])
+		}
+		total += c
+	}
+	if total != n {
+		t.Errorf("counts sum to %d, want %d", total, n)
+	}
+	// Identifiers must be dense 0..C-1.
+	for id := range counts {
+		if _, ok := emitted[uint64(id)]; !ok {
+			t.Fatalf("identifier %d never emitted", id)
+		}
+	}
+}
+
+func TestPitmanYorTailBehavior(t *testing.T) {
+	// Larger beta => more unique items for the same stream length.
+	n := 20000
+	low := NewPitmanYor(0.1, 7)
+	high := NewPitmanYor(0.9, 7)
+	for i := 0; i < n; i++ {
+		low.Next()
+		high.Next()
+	}
+	if low.Unique() >= high.Unique() {
+		t.Errorf("beta=0.1 gave %d uniques, beta=0.9 gave %d; heavier tail must have more",
+			low.Unique(), high.Unique())
+	}
+}
+
+func TestPitmanYorTopK(t *testing.T) {
+	py := NewPitmanYor(0.3, 9)
+	for i := 0; i < 5000; i++ {
+		py.Next()
+	}
+	top := py.TopK(10)
+	if len(top) != 10 {
+		t.Fatalf("TopK returned %d items", len(top))
+	}
+	counts := py.Counts()
+	for i := 1; i < len(top); i++ {
+		if counts[top[i-1]] < counts[top[i]] {
+			t.Fatal("TopK not sorted by count")
+		}
+	}
+	// TopK larger than the number of uniques returns everything.
+	small := NewPitmanYor(0.0, 1)
+	small.Next()
+	if got := small.TopK(10); len(got) != 1 {
+		t.Errorf("TopK beyond uniques returned %d items", len(got))
+	}
+}
+
+func TestConstantRateArrivals(t *testing.T) {
+	arr := NewArrivals(ConstantRate(100), 0, 3)
+	events := arr.Until(10)
+	if len(events) < 800 || len(events) > 1200 {
+		t.Errorf("got %d arrivals over 10s at rate 100, want ≈ 1000", len(events))
+	}
+	last := 0.0
+	for i, e := range events {
+		if e.Time <= last {
+			t.Fatalf("arrival %d time %v not increasing", i, e.Time)
+		}
+		last = e.Time
+		if e.Key != uint64(i+1) {
+			t.Fatalf("keys must be sequential, got %d at %d", e.Key, i)
+		}
+	}
+}
+
+func TestSpikeRateArrivals(t *testing.T) {
+	rate := SpikeRate(100, 2000, 5, 6)
+	arr := NewArrivals(rate, 0, 4)
+	events := arr.Until(10)
+	inSpike, outSpike := 0, 0
+	for _, e := range events {
+		if e.Time >= 5 && e.Time < 6 {
+			inSpike++
+		} else {
+			outSpike++
+		}
+	}
+	if inSpike < 1600 || inSpike > 2400 {
+		t.Errorf("spike second got %d arrivals, want ≈ 2000", inSpike)
+	}
+	if outSpike < 700 || outSpike > 1100 {
+		t.Errorf("non-spike got %d arrivals, want ≈ 900", outSpike)
+	}
+}
+
+func TestNegativeStartArrivals(t *testing.T) {
+	arr := NewArrivals(ConstantRate(50), -3, 5)
+	events := arr.Until(-1)
+	if len(events) < 60 || len(events) > 140 {
+		t.Errorf("got %d arrivals over 2s at rate 50, want ≈ 100", len(events))
+	}
+	for _, e := range events {
+		if e.Time < -3 || e.Time > -1 {
+			t.Fatalf("arrival outside window: %v", e.Time)
+		}
+	}
+}
+
+func TestSetPair(t *testing.T) {
+	p := NewSetPair(100, 200, 40, 1)
+	if len(p.A) != 100 || len(p.B) != 200 {
+		t.Fatal("wrong set sizes")
+	}
+	inA := make(map[uint64]bool)
+	for _, k := range p.A {
+		inA[k] = true
+	}
+	shared := 0
+	for _, k := range p.B {
+		if inA[k] {
+			shared++
+		}
+	}
+	if shared != 40 {
+		t.Errorf("actual overlap %d, want 40", shared)
+	}
+	if p.UnionSize() != 260 {
+		t.Errorf("union size %d, want 260", p.UnionSize())
+	}
+	if math.Abs(p.Jaccard()-40.0/260) > 1e-12 {
+		t.Errorf("jaccard %v", p.Jaccard())
+	}
+}
+
+func TestSetPairPanicsOnBadOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlap > size must panic")
+		}
+	}()
+	NewSetPair(10, 20, 15, 0)
+}
+
+func TestOverlapForJaccard(t *testing.T) {
+	sizeA, sizeB := 20000, 40000
+	for _, j := range []float64{0, 0.1, 0.25, 0.333} {
+		o := OverlapForJaccard(sizeA, sizeB, j)
+		p := NewSetPair(sizeA, sizeB, o, 0)
+		if math.Abs(p.Jaccard()-j) > 0.002 {
+			t.Errorf("target jaccard %v realized %v", j, p.Jaccard())
+		}
+	}
+	if OverlapForJaccard(10, 10, 1) != 10 {
+		t.Error("jaccard 1 must clamp to the set size")
+	}
+}
+
+func TestSurveySizes(t *testing.T) {
+	g := NewSurveySizes(5)
+	n := 100000
+	sum := 0.0
+	maxSeen := 0
+	for i := 0; i < n; i++ {
+		s := g.Next()
+		if s < 1 || s > SurveyMaxSize {
+			t.Fatalf("size out of range: %d", s)
+		}
+		sum += float64(s)
+		if s > maxSeen {
+			maxSeen = s
+		}
+	}
+	mean := sum / float64(n)
+	// The paper quotes mean 1265; our calibrated mixture should land within
+	// a few percent.
+	if mean < 1150 || mean > 1400 {
+		t.Errorf("mean size = %v, want ≈ %d", mean, SurveyMeanSize)
+	}
+	if maxSeen != SurveyMaxSize {
+		t.Errorf("max observed %d; the clamp at %d should be hit at this sample size", maxSeen, SurveyMaxSize)
+	}
+}
+
+func TestUniformSizes(t *testing.T) {
+	g := NewUniformSizes(5, 9, 1)
+	for i := 0; i < 1000; i++ {
+		if s := g.Next(); s < 5 || s > 9 {
+			t.Fatalf("size out of bounds: %d", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounds must panic")
+		}
+	}()
+	NewUniformSizes(3, 2, 1)
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.2, 3)
+	counts := make(map[uint64]int)
+	n := 50000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[200] {
+		t.Errorf("Zipf counts not decreasing: c0=%d c10=%d c200=%d",
+			counts[0], counts[10], counts[200])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zipf with n <= 0 must panic")
+		}
+	}()
+	NewZipf(0, 1, 1)
+}
+
+func TestParetoWeights(t *testing.T) {
+	items := ParetoWeights(1000, 1.5, 4)
+	if len(items) != 1000 {
+		t.Fatal("wrong length")
+	}
+	for _, it := range items {
+		if it.Weight < 1 {
+			t.Fatalf("Pareto weight below minimum: %v", it.Weight)
+		}
+		if it.Value != it.Weight {
+			t.Fatal("value must equal weight for PPS workloads")
+		}
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	items := UniformWeights(500, 6)
+	for _, it := range items {
+		if it.Weight <= 0 || it.Weight > 1 {
+			t.Fatalf("weight out of (0,1]: %v", it.Weight)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package stream
+
+// PitmanYor generates a stream from the Pitman-Yor(1, beta) preferential
+// attachment process exactly as defined in §3.3 of the paper: the t-th item
+// (t counted from 1) is a new item with probability (1 + beta*C_t)/t, where
+// C_t is the number of unique items seen so far; otherwise it equals the
+// j-th previously seen unique item with probability (n_tj - beta)/t, where
+// n_tj is the number of times unique item j appeared among the first t-1
+// items.
+//
+// Larger beta in [0, 1) yields heavier tails (frequencies more evenly
+// distributed); small beta yields a few dominant heavy hitters.
+type PitmanYor struct {
+	beta   float64
+	rng    *RNG
+	counts []float64 // n_tj for each unique item j
+	t      int       // number of items emitted so far
+}
+
+// NewPitmanYor returns a Pitman-Yor(1, beta) stream generator. beta must be
+// in [0, 1).
+func NewPitmanYor(beta float64, seed uint64) *PitmanYor {
+	if beta < 0 || beta >= 1 {
+		panic("stream: PitmanYor beta must be in [0, 1)")
+	}
+	return &PitmanYor{beta: beta, rng: NewRNG(seed)}
+}
+
+// Next returns the identifier of the next item in the stream. Identifiers
+// are dense integers starting at 0 in order of first appearance.
+func (p *PitmanYor) Next() uint64 {
+	p.t++
+	t := float64(p.t)
+	c := float64(len(p.counts))
+	// First item is always new; thereafter new with prob (1 + beta*C_t)/t.
+	if p.t == 1 || p.rng.Float64() < (1+p.beta*c)/t {
+		p.counts = append(p.counts, 1)
+		return uint64(len(p.counts) - 1)
+	}
+	// Existing item j with probability proportional to n_tj - beta.
+	// Total mass over existing items is (t-1) - beta*C_t; dividing by t the
+	// two branches sum to (1 + beta*C_t)/t + ((t-1) - beta*C_t)/t = 1.
+	target := p.rng.Float64() * (t - 1 - p.beta*c)
+	acc := 0.0
+	for j, n := range p.counts {
+		acc += n - p.beta
+		if target < acc {
+			p.counts[j]++
+			return uint64(j)
+		}
+	}
+	// Floating point slack: attribute to the last item.
+	j := len(p.counts) - 1
+	p.counts[j]++
+	return uint64(j)
+}
+
+// Unique reports the number of distinct items emitted so far.
+func (p *PitmanYor) Unique() int { return len(p.counts) }
+
+// Counts returns a copy of the per-item appearance counts, indexed by item
+// identifier.
+func (p *PitmanYor) Counts() []int {
+	out := make([]int, len(p.counts))
+	for i, c := range p.counts {
+		out[i] = int(c)
+	}
+	return out
+}
+
+// TopK returns the identifiers of the k most frequent items emitted so far,
+// in decreasing count order (ties broken by identifier). If fewer than k
+// unique items exist, all are returned.
+func (p *PitmanYor) TopK(k int) []uint64 {
+	type kv struct {
+		id uint64
+		n  float64
+	}
+	items := make([]kv, len(p.counts))
+	for i, n := range p.counts {
+		items[i] = kv{uint64(i), n}
+	}
+	// Partial selection sort is fine: k is small (typically 10).
+	if k > len(items) {
+		k = len(items)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(items); j++ {
+			if items[j].n > items[best].n ||
+				(items[j].n == items[best].n && items[j].id < items[best].id) {
+				best = j
+			}
+		}
+		items[i], items[best] = items[best], items[i]
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].id
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package stream provides deterministic random number generation, stable
+// hashing, and the synthetic workload generators used by the samplers,
+// examples, and benchmark harness: Pitman-Yor preferential attachment,
+// Zipf-distributed items, timestamped arrival processes with rate spikes,
+// set pairs with controlled Jaccard similarity, and variable item-size
+// distributions.
+//
+// Everything in this package is seeded and reproducible; no global state is
+// mutated.
+package stream
+
+import "math"
+
+// splitmix64 advances the 64-bit SplitMix64 state and returns the next
+// output. It is the standard generator from Steele, Lea & Flood (2014) and
+// is used both as a stand-alone RNG and as the seeding/stable-hash
+// primitive for coordinated sampling.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256**). It is not safe for concurrent use; create one per
+// goroutine.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64, following the
+// xoshiro authors' recommended seeding procedure.
+func NewRNG(seed uint64) *RNG {
+	var r RNG
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Open01 returns a uniform value in the open interval (0, 1). Priorities
+// must be strictly positive so that Horvitz-Thompson weights stay finite.
+func (r *RNG) Open01() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stream: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	return int(r.boundedUint64(uint64(n)))
+}
+
+func (r *RNG) boundedUint64(n uint64) uint64 {
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1, via
+// inversion of the uniform generator.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform. One value per call; the partner variate is discarded to keep
+// the generator state trivially reproducible.
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Open01()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, mirroring
+// math/rand.Shuffle semantics.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Hash64 maps a 64-bit key to a well-mixed 64-bit value. It is a stable
+// (seed-dependent, process-independent) hash, which makes it suitable for
+// coordinated sampling: two sketches hashing the same key with the same
+// seed assign it the same priority.
+func Hash64(key, seed uint64) uint64 {
+	st := key ^ (seed * 0x9e3779b97f4a7c15)
+	return splitmix64(&st)
+}
+
+// HashString maps a string key to a 64-bit value using an FNV-1a pass
+// followed by SplitMix64 finalization, seeded for coordination.
+func HashString(key string, seed uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return Hash64(h, seed)
+}
+
+// HashU01 maps a 64-bit key to a uniform value in the open interval (0, 1).
+// This is the canonical priority assignment for distinct counting: every
+// occurrence of the same key receives the same priority.
+func HashU01(key, seed uint64) float64 {
+	h := Hash64(key, seed)
+	u := float64(h>>11) * 0x1p-53
+	if u == 0 {
+		u = 0x1p-53
+	}
+	return u
+}
+
+// HashStringU01 is HashU01 for string keys.
+func HashStringU01(key string, seed uint64) float64 {
+	h := HashString(key, seed)
+	u := float64(h>>11) * 0x1p-53
+	if u == 0 {
+		u = 0x1p-53
+	}
+	return u
+}

@@ -1,0 +1,208 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same sequence")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", u)
+		}
+	}
+}
+
+func TestOpen01StrictlyPositive(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		if u := r.Open01(); u <= 0 || u >= 1 {
+			t.Fatalf("Open01 out of (0,1): %v", u)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := NewRNG(9)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		sum += u
+		sum2 += u * u
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want 0.5", mean)
+	}
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v, want 1/12", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(10)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) value %d count %d, want ≈ 10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.01 {
+		t.Errorf("exponential mean = %v, want 1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(12)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want 0", mean)
+	}
+	if v := sum2/float64(n) - mean*mean; math.Abs(v-1) > 0.02 {
+		t.Errorf("normal variance = %v, want 1", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n % 64)
+		p := NewRNG(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	NewRNG(13).Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Error("shuffle lost elements")
+	}
+}
+
+func TestHash64Stable(t *testing.T) {
+	if Hash64(123, 9) != Hash64(123, 9) {
+		t.Error("Hash64 must be deterministic")
+	}
+	if Hash64(123, 9) == Hash64(123, 10) {
+		t.Error("different seeds should give different hashes")
+	}
+	if Hash64(123, 9) == Hash64(124, 9) {
+		t.Error("different keys should give different hashes")
+	}
+}
+
+func TestHashU01Uniformity(t *testing.T) {
+	buckets := make([]int, 10)
+	n := 100000
+	for i := 0; i < n; i++ {
+		u := HashU01(uint64(i), 5)
+		if u <= 0 || u >= 1 {
+			t.Fatalf("HashU01 out of (0,1): %v", u)
+		}
+		buckets[int(u*10)]++
+	}
+	for b, c := range buckets {
+		if c < 9000 || c > 11000 {
+			t.Errorf("bucket %d count %d, want ≈ 10000", b, c)
+		}
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("hello", 1) != HashString("hello", 1) {
+		t.Error("HashString must be deterministic")
+	}
+	if HashString("hello", 1) == HashString("hellp", 1) {
+		t.Error("close strings should hash differently")
+	}
+	u := HashStringU01("hello", 1)
+	if u <= 0 || u >= 1 {
+		t.Errorf("HashStringU01 out of range: %v", u)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	hi, lo := mul64(math.MaxUint64, math.MaxUint64)
+	// (2^64-1)^2 = 2^128 - 2^65 + 1.
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Errorf("mul64 overflow case: hi=%x lo=%x", hi, lo)
+	}
+	hi, lo = mul64(0, 12345)
+	if hi != 0 || lo != 0 {
+		t.Error("mul64 by zero")
+	}
+}

@@ -1,0 +1,63 @@
+package stream
+
+// SetPair holds two sets of 64-bit keys with a known intersection size,
+// used by the distinct-counting union experiments (Figure 4).
+type SetPair struct {
+	A, B []uint64
+	// Overlap is the exact size of the intersection |A ∩ B|.
+	Overlap int
+}
+
+// UnionSize returns |A ∪ B|.
+func (p SetPair) UnionSize() int { return len(p.A) + len(p.B) - p.Overlap }
+
+// Jaccard returns |A ∩ B| / |A ∪ B|.
+func (p SetPair) Jaccard() float64 {
+	return float64(p.Overlap) / float64(p.UnionSize())
+}
+
+// NewSetPair builds a pair of sets with |A| = sizeA, |B| = sizeB and exactly
+// overlap common elements. Keys are drawn from disjoint dense ranges offset
+// by salt so that repeated trials with different salts produce disjoint key
+// universes (and therefore independent hash priorities).
+func NewSetPair(sizeA, sizeB, overlap int, salt uint64) SetPair {
+	if overlap > sizeA || overlap > sizeB {
+		panic("stream: overlap larger than a set")
+	}
+	base := salt << 32
+	a := make([]uint64, 0, sizeA)
+	b := make([]uint64, 0, sizeB)
+	// Shared elements.
+	for i := 0; i < overlap; i++ {
+		k := base + uint64(i)
+		a = append(a, k)
+		b = append(b, k)
+	}
+	// A-only.
+	for i := 0; i < sizeA-overlap; i++ {
+		a = append(a, base+uint64(1<<30)+uint64(i))
+	}
+	// B-only.
+	for i := 0; i < sizeB-overlap; i++ {
+		b = append(b, base+uint64(2<<30)+uint64(i))
+	}
+	return SetPair{A: a, B: b, Overlap: overlap}
+}
+
+// OverlapForJaccard returns the intersection size o that yields Jaccard
+// similarity j for sets of size sizeA and sizeB:
+// j = o / (sizeA + sizeB - o)  =>  o = j (sizeA + sizeB) / (1 + j).
+func OverlapForJaccard(sizeA, sizeB int, j float64) int {
+	o := j * float64(sizeA+sizeB) / (1 + j)
+	n := int(o + 0.5)
+	if n > sizeA {
+		n = sizeA
+	}
+	if n > sizeB {
+		n = sizeB
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package stream
+
+import "math"
+
+// Zipf draws items from a Zipf(s) distribution over n items: item rank r
+// (1-based) has probability proportional to 1/r^s. It uses inversion on the
+// precomputed CDF, which is simple, exact, and fast enough for the
+// experiment sizes used here.
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf returns a Zipf generator over n items with exponent s > 0.
+func NewZipf(n int, s float64, seed uint64) *Zipf {
+	if n <= 0 {
+		panic("stream: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &Zipf{rng: NewRNG(seed), cdf: cdf}
+}
+
+// Next returns the next item identifier in [0, n), 0 being the most
+// frequent.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+// WeightedItem is a (key, weight, value) record for weighted-sampling
+// workloads. Value is the measurement being aggregated (often equal to
+// Weight for PPS-style workloads).
+type WeightedItem struct {
+	Key    uint64
+	Weight float64
+	Value  float64
+}
+
+// ParetoWeights generates n weighted items whose weights follow a
+// Pareto(alpha) distribution with minimum 1 — a standard skewed workload
+// for subset-sum sampling. Value equals Weight so that PPS sampling is
+// near-optimal, matching the setting of the priority-sampling experiments.
+func ParetoWeights(n int, alpha float64, seed uint64) []WeightedItem {
+	rng := NewRNG(seed)
+	out := make([]WeightedItem, n)
+	for i := range out {
+		w := math.Pow(1-rng.Float64(), -1/alpha)
+		out[i] = WeightedItem{Key: uint64(i), Weight: w, Value: w}
+	}
+	return out
+}
+
+// UniformWeights generates n items with weights uniform on (0, 1] and
+// Value = Weight.
+func UniformWeights(n int, seed uint64) []WeightedItem {
+	rng := NewRNG(seed)
+	out := make([]WeightedItem, n)
+	for i := range out {
+		w := rng.Open01()
+		out[i] = WeightedItem{Key: uint64(i), Weight: w, Value: w}
+	}
+	return out
+}

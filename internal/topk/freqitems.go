@@ -1,0 +1,123 @@
+package topk
+
+import "sort"
+
+// FrequentItems is a Misra-Gries-style frequent items sketch modeled on the
+// Apache DataSketches FrequentItems sketch (Anderson et al., IMC 2017): a
+// hash map of counters with capacity maxMapSize; when the map fills beyond
+// its load factor, all counters are decreased by the median of the stored
+// counts and non-positive counters are purged. Each item's stored count
+// underestimates its true count by at most the accumulated offset, giving
+// the classic (true - offset) <= stored <= true guarantee.
+//
+// Per §3.3 of the paper, the sketch's effective size is reported as 0.75 ×
+// the allocated table size.
+type FrequentItems struct {
+	maxMapSize int
+	counts     map[uint64]int64
+	offset     int64
+	n          int64
+}
+
+// NewFrequentItems returns a FrequentItems sketch with the given allocated
+// table size (must be at least 2).
+func NewFrequentItems(maxMapSize int) *FrequentItems {
+	if maxMapSize < 2 {
+		panic("topk: maxMapSize must be at least 2")
+	}
+	return &FrequentItems{
+		maxMapSize: maxMapSize,
+		counts:     make(map[uint64]int64, maxMapSize),
+	}
+}
+
+// EffectiveCapacity returns 0.75 × the allocated table size — the load
+// threshold at which a purge happens, and the "size" reported in Figure 3.
+func (f *FrequentItems) EffectiveCapacity() int { return f.maxMapSize * 3 / 4 }
+
+// Len returns the number of currently tracked items.
+func (f *FrequentItems) Len() int { return len(f.counts) }
+
+// N returns the number of stream points processed.
+func (f *FrequentItems) N() int64 { return f.n }
+
+// Add processes one stream point.
+func (f *FrequentItems) Add(key uint64) { f.AddWeighted(key, 1) }
+
+// AddWeighted processes a stream point with integer weight w >= 1.
+func (f *FrequentItems) AddWeighted(key uint64, w int64) {
+	if w <= 0 {
+		return
+	}
+	f.n += w
+	if c, ok := f.counts[key]; ok {
+		f.counts[key] = c + w
+		return
+	}
+	f.counts[key] = w
+	if len(f.counts) > f.EffectiveCapacity() {
+		f.purge()
+	}
+}
+
+// purge subtracts the median stored count from every counter and removes
+// non-positive counters, adding the subtracted amount to the error offset.
+func (f *FrequentItems) purge() {
+	cs := make([]int64, 0, len(f.counts))
+	for _, c := range f.counts {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	med := cs[len(cs)/2]
+	if med < 1 {
+		med = 1
+	}
+	f.offset += med
+	for k, c := range f.counts {
+		if c <= med {
+			delete(f.counts, k)
+		} else {
+			f.counts[k] = c - med
+		}
+	}
+}
+
+// Result is one reported item with its count bounds.
+type Result struct {
+	Key uint64
+	// Estimate is the upper-bound count estimate stored + offset.
+	Estimate int64
+	// LowerBound is the guaranteed lower bound (the stored count).
+	LowerBound int64
+}
+
+// TopK returns the k items with the largest count estimates, in decreasing
+// order of estimate (ties by key).
+func (f *FrequentItems) TopK(k int) []Result {
+	out := make([]Result, 0, len(f.counts))
+	for key, c := range f.counts {
+		out = append(out, Result{Key: key, Estimate: c + f.offset, LowerBound: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// EstimateCount returns the upper-bound count estimate for key (offset if
+// untracked, since an untracked item may have appeared up to offset times).
+func (f *FrequentItems) EstimateCount(key uint64) int64 {
+	if c, ok := f.counts[key]; ok {
+		return c + f.offset
+	}
+	return f.offset
+}
+
+// MaxError returns the current maximum estimation error (the offset).
+func (f *FrequentItems) MaxError() int64 { return f.offset }

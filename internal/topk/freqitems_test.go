@@ -1,0 +1,146 @@
+package topk
+
+import (
+	"testing"
+
+	"ats/internal/stream"
+)
+
+func TestFrequentItemsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxMapSize < 2 must panic")
+		}
+	}()
+	NewFrequentItems(1)
+}
+
+func TestFrequentItemsExactSmall(t *testing.T) {
+	f := NewFrequentItems(64)
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			f.AddWeighted(uint64(i), 1)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got := f.EstimateCount(uint64(i)); got != int64(i+1) {
+			t.Errorf("count %d = %d, want %d", i, got, i+1)
+		}
+	}
+	if f.MaxError() != 0 {
+		t.Error("no purge yet, error must be 0")
+	}
+	top := f.TopK(3)
+	if top[0].Key != 9 || top[1].Key != 8 || top[2].Key != 7 {
+		t.Errorf("TopK order wrong: %v", top)
+	}
+}
+
+func TestFrequentItemsErrorBound(t *testing.T) {
+	// Classic guarantee: estimate - true <= MaxError, and estimates never
+	// undercount by more than the offset.
+	f := NewFrequentItems(32)
+	truth := make(map[uint64]int64)
+	z := stream.NewZipf(500, 1.2, 3)
+	for i := 0; i < 50000; i++ {
+		x := z.Next()
+		f.Add(x)
+		truth[x]++
+	}
+	if f.MaxError() == 0 {
+		t.Fatal("expected purges on an overfull sketch")
+	}
+	for key, c := range truth {
+		est := f.EstimateCount(key)
+		if est < c-f.MaxError() || est > c+f.MaxError() {
+			t.Errorf("key %d: estimate %d outside [%d, %d]",
+				key, est, c-f.MaxError(), c+f.MaxError())
+		}
+	}
+	// Lower bounds never exceed the truth.
+	for _, r := range f.TopK(10) {
+		if r.LowerBound > truth[r.Key] {
+			t.Errorf("key %d lower bound %d exceeds true count %d", r.Key, r.LowerBound, truth[r.Key])
+		}
+	}
+}
+
+func TestFrequentItemsCapacity(t *testing.T) {
+	f := NewFrequentItems(32)
+	for i := 0; i < 10000; i++ {
+		f.Add(uint64(i)) // all distinct: worst case
+	}
+	if f.Len() > f.EffectiveCapacity() {
+		t.Errorf("table holds %d items, capacity %d", f.Len(), f.EffectiveCapacity())
+	}
+	if f.EffectiveCapacity() != 24 {
+		t.Errorf("effective capacity = %d, want 24", f.EffectiveCapacity())
+	}
+}
+
+func TestFrequentItemsIgnoresBadWeight(t *testing.T) {
+	f := NewFrequentItems(8)
+	f.AddWeighted(1, 0)
+	f.AddWeighted(1, -5)
+	if f.N() != 0 || f.Len() != 0 {
+		t.Error("non-positive weights must be ignored")
+	}
+}
+
+func TestSpaceSavingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m < 1 must panic")
+		}
+	}()
+	NewSpaceSaving(0)
+}
+
+func TestSpaceSavingExactSmall(t *testing.T) {
+	s := NewSpaceSaving(16)
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			s.Add(uint64(i))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if got := s.EstimateCount(uint64(i)); got != int64(i+1) {
+			t.Errorf("count %d = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestSpaceSavingBoundedAndOverestimates(t *testing.T) {
+	s := NewSpaceSaving(20)
+	truth := make(map[uint64]int64)
+	z := stream.NewZipf(300, 1.4, 5)
+	for i := 0; i < 30000; i++ {
+		x := z.Next()
+		s.Add(x)
+		truth[x]++
+	}
+	if s.Len() > 20 {
+		t.Errorf("SpaceSaving holds %d > m items", s.Len())
+	}
+	// Stored counts are upper bounds.
+	for _, r := range s.TopK(20) {
+		if r.Estimate < truth[r.Key] {
+			t.Errorf("key %d: stored %d below true %d (must overestimate)",
+				r.Key, r.Estimate, truth[r.Key])
+		}
+	}
+	// The heaviest item must be present.
+	if s.EstimateCount(0) == 0 {
+		t.Error("heaviest item evicted from SpaceSaving")
+	}
+}
+
+func TestSpaceSavingN(t *testing.T) {
+	s := NewSpaceSaving(4)
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i % 7))
+	}
+	if s.N() != 100 {
+		t.Errorf("N = %d", s.N())
+	}
+}

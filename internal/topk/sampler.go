@@ -1,0 +1,212 @@
+// Package topk implements the paper's adaptive top-k sampler (§3.3) and
+// the frequent-item sketches it is compared against: a Misra-Gries-style
+// FrequentItems sketch (modeled on the Apache DataSketches variant) and
+// classic Space-Saving.
+//
+// The top-k problem — return the k most frequent items no matter how small
+// their frequencies are — is harder than the frequent-items problem, whose
+// sketches need the size parameter m chosen in advance. The adaptive
+// sampler instead learns to downsample infrequent items: it maintains a
+// variable-length list of entries (x, R, T, v), estimates each count by
+// ĉ = 1/T + v, and adapts the threshold so that exactly k items look
+// frequent. The thresholding rule is substitutable (changing priorities of
+// sampled items to 0 changes nothing), so HT estimates for disaggregated
+// subset sums remain unbiased.
+package topk
+
+import (
+	"sort"
+
+	"ats/internal/stream"
+)
+
+// Entry is one tracked item of the adaptive top-k sampler.
+type Entry struct {
+	Key uint64
+	// R is the Uniform(0,1) priority assigned when the item entered.
+	R float64
+	// T is the pseudo-inclusion probability of the entering appearance:
+	// the sampler's threshold at entry, lowered on subsequent prunes.
+	T float64
+	// V counts appearances observed after the item entered the sample.
+	V int64
+}
+
+// Estimate returns the unbiased count estimate ĉ = 1/T + V (§3.3).
+func (e Entry) Estimate() float64 { return 1/e.T + float64(e.V) }
+
+// Sampler is the adaptive top-k sampler.
+type Sampler struct {
+	k       int
+	rng     *stream.RNG
+	entries map[uint64]*Entry
+	// threshold is the current adaptive threshold T(t): the smallest
+	// priority such that at least k tracked items have ĉ > 1/T(t). It is
+	// non-increasing and starts at 1 (keep everything).
+	threshold float64
+	n         int64
+	// maintenance pacing: the threshold is recomputed (an O(size log size)
+	// pass) whenever the list has grown by updateSlack entries since the
+	// last recomputation.
+	sinceUpdate int
+	updateSlack int
+}
+
+// New returns an adaptive top-k sampler targeting the top k items.
+func New(k int, seed uint64) *Sampler {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Sampler{
+		k:           k,
+		rng:         stream.NewRNG(seed),
+		entries:     make(map[uint64]*Entry),
+		threshold:   1,
+		updateSlack: 4 * k,
+	}
+}
+
+// K returns the configured k.
+func (s *Sampler) K() int { return s.k }
+
+// SetUpdateInterval overrides the threshold-recomputation pacing: the
+// O(size log size) threshold update runs after every n new insertions
+// (default 4k). Smaller values keep the sketch tighter at higher
+// maintenance cost; the ablation experiment quantifies the trade-off.
+func (s *Sampler) SetUpdateInterval(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.updateSlack = n
+}
+
+// N returns the number of stream points processed.
+func (s *Sampler) N() int64 { return s.n }
+
+// Len returns the number of tracked items — the sketch size plotted in
+// Figure 3 (right panel).
+func (s *Sampler) Len() int { return len(s.entries) }
+
+// Threshold returns the current adaptive threshold.
+func (s *Sampler) Threshold() float64 { return s.threshold }
+
+// Add processes one stream point.
+func (s *Sampler) Add(key uint64) {
+	s.n++
+	if e, ok := s.entries[key]; ok {
+		e.V++
+		return
+	}
+	r := s.rng.Open01()
+	if r >= s.threshold {
+		return
+	}
+	s.entries[key] = &Entry{Key: key, R: r, T: s.threshold}
+	s.sinceUpdate++
+	if s.sinceUpdate >= s.updateSlack {
+		s.updateThreshold()
+	}
+}
+
+// updateThreshold recomputes T(t) — the smallest tracked priority such that
+// at least k items have ĉ > 1/T(t) — and applies the paper's pruning rule:
+// infrequent items (ĉ <= 1/T) with R >= T are discarded; surviving
+// infrequent items reset to T_i = T, v_i = 0.
+func (s *Sampler) updateThreshold() {
+	s.sinceUpdate = 0
+	if len(s.entries) <= s.k {
+		return
+	}
+	// kth largest estimated count.
+	ests := make([]float64, 0, len(s.entries))
+	for _, e := range s.entries {
+		ests = append(ests, e.Estimate())
+	}
+	sort.Float64s(ests)
+	ck := ests[len(ests)-s.k] // k-th largest
+	// Candidate thresholds are the tracked priorities; we need the smallest
+	// priority r with r > 1/ck, i.e. such that the k items with ĉ > 1/r
+	// exist. (If ck <= 1, no priority in (0,1) can satisfy it: keep 1.)
+	floor := 1 / ck
+	if floor >= 1 {
+		return
+	}
+	best := s.threshold
+	for _, e := range s.entries {
+		if e.R > floor && e.R < best {
+			best = e.R
+		}
+	}
+	if best >= s.threshold {
+		return
+	}
+	s.applyThreshold(best)
+}
+
+func (s *Sampler) applyThreshold(t float64) {
+	s.threshold = t
+	limit := 1 / t
+	for key, e := range s.entries {
+		if e.Estimate() > limit {
+			continue // frequent items are untouched
+		}
+		if e.R >= t {
+			delete(s.entries, key)
+			continue
+		}
+		e.T = t
+		e.V = 0
+	}
+}
+
+// TopK returns the k items with the largest estimated counts, in
+// decreasing order of estimate (ties by key). If fewer than k items are
+// tracked, all are returned.
+func (s *Sampler) TopK() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ei, ej := out[i].Estimate(), out[j].Estimate()
+		if ei != ej {
+			return ei > ej
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > s.k {
+		out = out[:s.k]
+	}
+	return out
+}
+
+// EstimateCount returns the unbiased estimate of an item's appearance
+// count since it last entered the sample (0 if untracked).
+func (s *Sampler) EstimateCount(key uint64) float64 {
+	if e, ok := s.entries[key]; ok {
+		return e.Estimate()
+	}
+	return 0
+}
+
+// Entries returns a copy of all tracked entries (unordered).
+func (s *Sampler) Entries() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// SubsetSum returns the HT estimate of the total number of stream
+// appearances of items satisfying pred — the disaggregated subset sum of
+// §3.3. Each entry contributes its unbiased count estimate.
+func (s *Sampler) SubsetSum(pred func(key uint64) bool) float64 {
+	total := 0.0
+	for _, e := range s.entries {
+		if pred == nil || pred(e.Key) {
+			total += e.Estimate()
+		}
+	}
+	return total
+}

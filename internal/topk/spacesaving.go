@@ -1,0 +1,90 @@
+package topk
+
+import "sort"
+
+// SpaceSaving is the classic Space-Saving sketch of Metwally, Agrawal & El
+// Abbadi (ICDT 2005): exactly m counters; when a new item arrives with the
+// table full, it replaces the minimum-count item and inherits its count
+// plus one. Stored counts are upper bounds on true counts; the error of a
+// counter is at most the count it inherited.
+//
+// It is included as a second frequent-items baseline (the paper's
+// FrequentItems sketch is described as "a variation of the Misra-Gries
+// sketch [or] equivalent Space-saving sketch").
+type SpaceSaving struct {
+	m      int
+	counts map[uint64]*ssEntry
+	n      int64
+}
+
+type ssEntry struct {
+	count int64
+	err   int64
+}
+
+// NewSpaceSaving returns a Space-Saving sketch with m counters.
+func NewSpaceSaving(m int) *SpaceSaving {
+	if m < 1 {
+		panic("topk: m must be positive")
+	}
+	return &SpaceSaving{m: m, counts: make(map[uint64]*ssEntry, m)}
+}
+
+// Len returns the number of tracked items (at most m).
+func (s *SpaceSaving) Len() int { return len(s.counts) }
+
+// N returns the number of stream points processed.
+func (s *SpaceSaving) N() int64 { return s.n }
+
+// Add processes one stream point.
+func (s *SpaceSaving) Add(key uint64) {
+	s.n++
+	if e, ok := s.counts[key]; ok {
+		e.count++
+		return
+	}
+	if len(s.counts) < s.m {
+		s.counts[key] = &ssEntry{count: 1}
+		return
+	}
+	// Replace the minimum-count item. A linear scan keeps the
+	// implementation simple; m is small in the experiments. (A production
+	// variant would use the stream-summary linked structure.)
+	var minKey uint64
+	var minE *ssEntry
+	for k, e := range s.counts {
+		if minE == nil || e.count < minE.count {
+			minKey, minE = k, e
+		}
+	}
+	delete(s.counts, minKey)
+	s.counts[key] = &ssEntry{count: minE.count + 1, err: minE.count}
+}
+
+// TopK returns the k items with the largest stored counts, in decreasing
+// order (ties by key).
+func (s *SpaceSaving) TopK(k int) []Result {
+	out := make([]Result, 0, len(s.counts))
+	for key, e := range s.counts {
+		out = append(out, Result{Key: key, Estimate: e.count, LowerBound: e.count - e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// EstimateCount returns the stored (upper-bound) count for key, 0 if
+// untracked.
+func (s *SpaceSaving) EstimateCount(key uint64) int64 {
+	if e, ok := s.counts[key]; ok {
+		return e.count
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestUSSValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m < 1 must panic")
+		}
+	}()
+	NewUnbiasedSpaceSaving(0, 1)
+}
+
+func TestUSSExactSmall(t *testing.T) {
+	s := NewUnbiasedSpaceSaving(16, 1)
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			s.Add(uint64(i))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if got := s.EstimateCount(uint64(i)); got != int64(i+1) {
+			t.Errorf("count %d = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestUSSTotalConserved: the defining structural property — the counter
+// total equals the stream length exactly, on every draw.
+func TestUSSTotalConserved(t *testing.T) {
+	s := NewUnbiasedSpaceSaving(20, 2)
+	z := stream.NewZipf(500, 1.1, 3)
+	n := 30000
+	for i := 0; i < n; i++ {
+		s.Add(z.Next())
+	}
+	if got := s.SubsetSum(nil); got != int64(n) {
+		t.Errorf("counter total %d, want exactly %d", got, n)
+	}
+	if s.Len() > 20 {
+		t.Errorf("tracked %d > m items", s.Len())
+	}
+}
+
+// TestUSSSubsetSumUnbiased: the headline property of [30] — subset sums
+// are unbiased even for the randomized tail.
+func TestUSSSubsetSumUnbiased(t *testing.T) {
+	n := 20000
+	z := stream.NewZipf(800, 1.1, 4)
+	keys := make([]uint64, n)
+	var truth int64
+	for i := range keys {
+		keys[i] = z.Next()
+		if keys[i]%2 == 0 {
+			truth++
+		}
+	}
+	pred := func(key uint64) bool { return key%2 == 0 }
+	var est estimator.Running
+	for trial := 0; trial < 600; trial++ {
+		s := NewUnbiasedSpaceSaving(48, uint64(trial)+100)
+		for _, k := range keys {
+			s.Add(k)
+		}
+		est.Add(float64(s.SubsetSum(pred)))
+	}
+	if z := (est.Mean() - float64(truth)) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("USS subset sum biased: mean %v truth %d z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestUSSFindsHeavyHitters(t *testing.T) {
+	z := stream.NewZipf(2000, 1.5, 5)
+	s := NewUnbiasedSpaceSaving(64, 6)
+	for i := 0; i < 100000; i++ {
+		s.Add(z.Next())
+	}
+	wrong := 0
+	for _, r := range s.TopK(5) {
+		if r.Key >= 5 {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Errorf("%d of top-5 wrong on a heavily skewed stream", wrong)
+	}
+}

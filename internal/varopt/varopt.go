@@ -1,0 +1,207 @@
+// Package varopt implements VarOpt_k sampling (Cohen, Duffield, Kaplan,
+// Lund & Thorup, SODA 2009), the variance-optimal fixed-size weighted
+// sampling scheme referenced in §1.1 of the paper. It serves as the strong
+// baseline against which priority sampling (the canonical substitutable
+// adaptive threshold) is compared in the `baselines` experiment: VarOpt
+// achieves the minimum possible average variance for subset-sum estimation
+// at a fixed sample size k, and priority sampling should track it closely.
+//
+// The sketch keeps exactly k items. Items with weight above the current
+// threshold tau are retained exactly; the rest form a uniform-ish "small"
+// pool whose members all carry adjusted weight tau. The inclusion
+// probability of an item is min(1, w/tau), so Horvitz-Thompson estimates
+// take the usual form.
+package varopt
+
+import (
+	"ats/internal/stream"
+)
+
+// Entry is one retained item with its original weight and value.
+type Entry struct {
+	Key    uint64
+	Weight float64
+	Value  float64
+}
+
+// Sketch is a VarOpt_k sample.
+type Sketch struct {
+	k   int
+	rng *stream.RNG
+	// large holds items with Weight > tau as a min-heap on Weight.
+	large []Entry
+	// small holds items whose adjusted weight is tau.
+	small []Entry
+	tau   float64
+	n     int
+}
+
+// New returns an empty VarOpt_k sketch.
+func New(k int, seed uint64) *Sketch {
+	if k <= 0 {
+		panic("varopt: k must be positive")
+	}
+	return &Sketch{k: k, rng: stream.NewRNG(seed)}
+}
+
+// K returns the sample size parameter.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of items offered.
+func (s *Sketch) N() int { return s.n }
+
+// Len returns the current number of retained items (== min(N, k)).
+func (s *Sketch) Len() int { return len(s.large) + len(s.small) }
+
+// Tau returns the current threshold; small items have adjusted weight Tau.
+func (s *Sketch) Tau() float64 { return s.tau }
+
+// Add offers an item with weight w > 0 and value x.
+func (s *Sketch) Add(key uint64, w, x float64) {
+	if w <= 0 {
+		return
+	}
+	s.n++
+	e := Entry{Key: key, Weight: w, Value: x}
+	if s.Len() < s.k {
+		// Below capacity everything is kept exactly; maintain the
+		// large/small split lazily with tau = 0 (all large).
+		pushLarge(&s.large, e)
+		return
+	}
+	// k+1 candidates: current large + small + the new item. Find the new
+	// threshold tau' >= tau such that
+	//   (sum of adjusted weights <= tau')/tau' + #(weights > tau') = k,
+	// demoting large items into the small pool as tau' passes their
+	// weights.
+	// The new item always enters as a heap candidate; if its weight is at
+	// or below the rising threshold the demotion loop moves it into the
+	// small pool at its TRUE weight (a new candidate's adjusted weight is
+	// its original weight, unlike old pool members which carry tau).
+	pushLarge(&s.large, e)
+	sumSmall := float64(len(s.small)) * s.tau
+	demotedStart := len(s.small) // demoted items appended after this index
+	for {
+		nLarge := len(s.large)
+		if nLarge < s.k {
+			tauCandidate := sumSmall / float64(s.k-nLarge)
+			if nLarge == 0 || s.large[0].Weight >= tauCandidate {
+				s.dropOne(tauCandidate, demotedStart)
+				s.tau = tauCandidate
+				return
+			}
+		}
+		// Either every slot is still "large" (tau must rise past the
+		// smallest large weight) or the candidate threshold overtakes the
+		// smallest large item: demote it into the small pool.
+		d := popLarge(&s.large)
+		sumSmall += d.Weight
+		s.small = append(s.small, d)
+	}
+}
+
+// dropOne removes exactly one item from the small pool. Drop probabilities
+// are 1 - (adjusted weight)/tau', which sum to exactly 1 over the k+1
+// candidates; items at or before demotedStart carry adjusted weight tau,
+// demoted items carry their original weight.
+func (s *Sketch) dropOne(tauPrime float64, demotedStart int) {
+	u := s.rng.Float64()
+	acc := 0.0
+	drop := len(s.small) - 1 // fallback for floating-point slack
+	for i, e := range s.small {
+		adj := s.tau
+		if i >= demotedStart {
+			adj = e.Weight
+		}
+		p := 1 - adj/tauPrime
+		if p < 0 {
+			p = 0
+		}
+		acc += p
+		if u < acc {
+			drop = i
+			break
+		}
+	}
+	last := len(s.small) - 1
+	s.small[drop] = s.small[last]
+	s.small = s.small[:last]
+}
+
+// Sample returns the retained entries (unordered copy).
+func (s *Sketch) Sample() []Entry {
+	out := make([]Entry, 0, s.Len())
+	out = append(out, s.large...)
+	out = append(out, s.small...)
+	return out
+}
+
+// InclusionProb returns the working probability min(1, w/tau) of a
+// retained entry.
+func (s *Sketch) InclusionProb(e Entry) float64 {
+	if s.tau <= 0 || e.Weight >= s.tau {
+		return 1
+	}
+	return e.Weight / s.tau
+}
+
+// SubsetSum returns the HT estimate of Σ value over items matching pred
+// (nil for all).
+func (s *Sketch) SubsetSum(pred func(Entry) bool) float64 {
+	sum := 0.0
+	for _, e := range s.large {
+		if pred == nil || pred(e) {
+			sum += e.Value
+		}
+	}
+	for _, e := range s.small {
+		if pred != nil && !pred(e) {
+			continue
+		}
+		p := s.InclusionProb(e)
+		if p > 0 {
+			sum += e.Value / p
+		}
+	}
+	return sum
+}
+
+// --- min-heap on Weight ---
+
+func pushLarge(h *[]Entry, e Entry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].Weight <= (*h)[i].Weight {
+			return
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func popLarge(h *[]Entry) Entry {
+	old := *h
+	root := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].Weight < (*h)[smallest].Weight {
+			smallest = l
+		}
+		if r < n && (*h)[r].Weight < (*h)[smallest].Weight {
+			smallest = r
+		}
+		if smallest == i {
+			return root
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,189 @@
+package varopt
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k <= 0 must panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestExactBelowK(t *testing.T) {
+	s := New(10, 1)
+	want := 0.0
+	for i := 0; i < 8; i++ {
+		v := float64(i + 1)
+		s.Add(uint64(i), v, v)
+		want += v
+	}
+	if s.Len() != 8 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if got := s.SubsetSum(nil); got != want {
+		t.Errorf("exact sum %v, want %v", got, want)
+	}
+	if s.Tau() != 0 {
+		t.Errorf("tau = %v, want 0 below capacity", s.Tau())
+	}
+}
+
+func TestFixedSizeK(t *testing.T) {
+	rng := stream.NewRNG(2)
+	s := New(25, 3)
+	for i := 0; i < 5000; i++ {
+		s.Add(uint64(i), rng.Open01()*10, 1)
+		if got := s.Len(); i >= 24 && got != 25 {
+			t.Fatalf("sample size %d at item %d, want exactly 25", got, i)
+		}
+	}
+	if s.Tau() <= 0 {
+		t.Error("tau must be positive after overflow")
+	}
+}
+
+func TestInvalidWeightIgnored(t *testing.T) {
+	s := New(5, 4)
+	s.Add(1, 0, 1)
+	s.Add(2, -2, 1)
+	if s.N() != 0 || s.Len() != 0 {
+		t.Error("non-positive weights must be ignored")
+	}
+}
+
+// TestZeroVarianceTotal verifies VarOpt's signature property: when values
+// equal weights, the estimate of the grand total is exact on every draw.
+func TestZeroVarianceTotal(t *testing.T) {
+	items := stream.ParetoWeights(600, 1.5, 5)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	for trial := 0; trial < 50; trial++ {
+		s := New(40, uint64(trial)+100)
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, it.Value)
+		}
+		if got := s.SubsetSum(nil); math.Abs(got-truth) > 1e-6*truth {
+			t.Fatalf("trial %d: total %v, want exact %v", trial, got, truth)
+		}
+	}
+}
+
+// TestUnbiasedTotal verifies unbiasedness when values differ from weights
+// (so the estimate genuinely varies).
+func TestUnbiasedTotal(t *testing.T) {
+	items := stream.ParetoWeights(600, 1.5, 5)
+	truth := float64(len(items)) // every item counts 1
+	var est estimator.Running
+	for trial := 0; trial < 4000; trial++ {
+		s := New(40, uint64(trial)+100)
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, 1)
+		}
+		est.Add(s.SubsetSum(nil))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("VarOpt count biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestUnbiasedSubset(t *testing.T) {
+	items := stream.ParetoWeights(500, 1.2, 6)
+	pred := func(e Entry) bool { return e.Key%4 == 0 }
+	truth := 0.0
+	for _, it := range items {
+		if it.Key%4 == 0 {
+			truth += it.Value
+		}
+	}
+	var est estimator.Running
+	for trial := 0; trial < 4000; trial++ {
+		s := New(50, uint64(trial)+999)
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, it.Value)
+		}
+		est.Add(s.SubsetSum(pred))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("VarOpt subset biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+// TestVarianceBeatsPoisson: at equal expected sample size, VarOpt's
+// total-sum variance must be far below independent Poisson sampling's
+// (VarOpt has zero variance for the total when values equal weights,
+// up to the large-item boundary).
+func TestVarianceBeatsPoisson(t *testing.T) {
+	items := stream.ParetoWeights(500, 1.5, 7)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	k := 50
+	var vo estimator.Running
+	for trial := 0; trial < 2000; trial++ {
+		s := New(k, uint64(trial)+55)
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, it.Value)
+		}
+		vo.Add(s.SubsetSum(nil))
+	}
+	// Priority sampling bound: Var <= S²/(k-1). VarOpt must be well below
+	// the bound too (it is optimal).
+	bound := truth * truth / float64(k-1)
+	if vo.Variance() > bound {
+		t.Errorf("VarOpt variance %v exceeds the priority-sampling bound %v", vo.Variance(), bound)
+	}
+}
+
+func TestLargeItemsKeptExactly(t *testing.T) {
+	s := New(10, 8)
+	// One giant item among many small ones.
+	s.Add(999, 1e6, 7)
+	rng := stream.NewRNG(9)
+	for i := 0; i < 2000; i++ {
+		s.Add(uint64(i), rng.Open01(), 1)
+	}
+	found := false
+	for _, e := range s.Sample() {
+		if e.Key == 999 {
+			found = true
+			if p := s.InclusionProb(e); p != 1 {
+				t.Errorf("giant item inclusion prob %v, want 1", p)
+			}
+		}
+	}
+	if !found {
+		t.Error("giant item missing from a VarOpt sample")
+	}
+}
+
+func TestAdjustedWeightsSumPreserved(t *testing.T) {
+	// Invariant: after every insertion beyond k, the total adjusted weight
+	// equals the total input weight in expectation; deterministically, the
+	// estimate of the total when values == weights is exactly preserved
+	// (VarOpt's zero-variance property for the grand total).
+	rng := stream.NewRNG(10)
+	s := New(20, 11)
+	total := 0.0
+	for i := 0; i < 3000; i++ {
+		w := rng.Open01()*5 + 0.01
+		total += w
+		s.Add(uint64(i), w, w)
+		if i >= 20 {
+			est := s.SubsetSum(nil)
+			if math.Abs(est-total) > 1e-6*total {
+				t.Fatalf("item %d: total estimate %v drifted from %v", i, est, total)
+			}
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package varsize implements variance-sized samples (§3.9): instead of a
+// fixed sample size k (which gives the relative-error guarantee
+// V(ε) <= S²/(k-1) of priority sampling), the sample is grown until the
+// estimated variance of the Horvitz-Thompson total meets an absolute
+// target δ². The stopping rule "the first threshold T, scanning downward,
+// at which the estimated variance reaches δ²" is a stopping time on the
+// descending priority sequence, hence substitutable by Theorem 8; the
+// heuristic variant without oversampling is justified by the asymptotic
+// theory of §6.
+package varsize
+
+import (
+	"math"
+	"sort"
+
+	"ats/internal/core"
+	"ats/internal/stream"
+)
+
+// Entry is one retained weighted item.
+type Entry struct {
+	Key      uint64
+	Weight   float64
+	Value    float64
+	Priority float64
+}
+
+// Sampler retains every item whose priority is below its retention
+// threshold, and shrinks the retention threshold as the stream grows so
+// that the retained set stays a modest oversampling of the δ²-crossing
+// sample.
+type Sampler struct {
+	target2 float64 // δ²
+	// overshoot >= 1 is the threshold-space oversampling factor: when
+	// bounded-memory eviction is enabled (SetHorizon), retention keeps all
+	// items with priority below overshoot × the current stopping threshold
+	// so the stopping sample stays strictly inside the retained set.
+	overshoot float64
+	seed      uint64
+	heap      []Entry // max-heap on Priority
+	threshold float64 // retention threshold
+	n         int
+	// sinceShrink counts retained insertions since the last shrink probe;
+	// probes cost O(|heap| log |heap|), so they run only after the heap has
+	// grown by a constant fraction.
+	sinceShrink int
+	// horizon is the expected total stream length. 0 (the default) means
+	// "retain everything" — the §3.9 rule is then applied offline at
+	// Estimate time, which is always statistically safe. A positive horizon
+	// enables bounded-memory eviction: the retention boundary is placed
+	// where the current variance estimate equals δ²·(n/horizon)/overshoot,
+	// anticipating that V̂ at a fixed threshold grows linearly in the
+	// number of items seen (see shrink).
+	horizon int
+}
+
+// New returns a sampler targeting absolute standard error delta (> 0) on
+// the population total. overshoot >= 1 sets the oversampling safety factor
+// (2 is a reasonable default; 1 disables oversampling and relies on the
+// asymptotic argument of §6).
+func New(delta, overshoot float64, seed uint64) *Sampler {
+	if delta <= 0 {
+		panic("varsize: delta must be positive")
+	}
+	if overshoot < 1 {
+		panic("varsize: overshoot must be at least 1")
+	}
+	return &Sampler{
+		target2:   delta * delta,
+		overshoot: overshoot,
+		seed:      seed,
+		threshold: math.Inf(1),
+	}
+}
+
+// Add offers an item with weight w > 0 and value x.
+func (s *Sampler) Add(key uint64, w, x float64) {
+	if w <= 0 {
+		return
+	}
+	u := stream.HashU01(key, s.seed)
+	s.AddWithPriority(Entry{Key: key, Weight: w, Value: x, Priority: u / w})
+}
+
+// AddWithPriority offers an item with an explicit priority.
+func (s *Sampler) AddWithPriority(e Entry) {
+	s.n++
+	if e.Priority >= s.threshold {
+		return
+	}
+	s.heap = append(s.heap, e)
+	siftUp(s.heap, len(s.heap)-1)
+	s.sinceShrink++
+	if s.sinceShrink >= 16 && s.sinceShrink >= len(s.heap)/8 {
+		s.sinceShrink = 0
+		s.shrink()
+	}
+}
+
+// SetHorizon declares the expected total stream length, enabling
+// bounded-memory eviction. Without it the sampler retains every offered
+// item and applies the stopping rule offline at Estimate time.
+func (s *Sampler) SetHorizon(n int) { s.horizon = n }
+
+// shrink lowers the retention threshold, but only when the data seen so
+// far proves it safe. At a fixed threshold t, V̂(t; n) is a sum of
+// non-negative per-item contributions, so it grows roughly linearly in the
+// number of stream items n. The retention boundary is therefore placed at
+// the threshold where the CURRENT variance estimate equals
+// δ² × (n/horizon) / overshoot: by the linear-growth argument, the
+// variance there at the horizon is ≈ δ²/overshoot < δ², which keeps the
+// final stopping threshold — and hence the whole stopping sample —
+// strictly inside the retained set, with the overshoot factor as the
+// paper's "slight oversampling" buffer (§3.9) against fluctuations.
+// While even that reduced target is unreachable (early stream), nothing is
+// evicted and the retained set stays exact.
+func (s *Sampler) shrink() {
+	if s.horizon <= 0 {
+		return
+	}
+	// Do not evict on a thin prefix: variance estimates from a small
+	// fraction of the stream are too noisy to certify a cut, and the
+	// retention threshold can never rise again. Memory therefore peaks at
+	// ~horizon/8 items before eviction starts.
+	if s.n < s.horizon/8 {
+		return
+	}
+	frac := float64(s.n) / float64(s.horizon)
+	if frac > 1 {
+		frac = 1
+	}
+	probeTarget := s.target2 * frac / s.overshoot
+	cut, ok := crossingThreshold(s.heap, s.threshold, probeTarget)
+	if !ok {
+		return
+	}
+	for len(s.heap) > 1 && s.heap[0].Priority > cut {
+		s.threshold = popRoot(&s.heap).Priority
+	}
+}
+
+// Result is the outcome of a variance-sized estimate.
+type Result struct {
+	// Sum is the HT estimate of the population total at the stopping
+	// threshold.
+	Sum float64
+	// VarianceEstimate is V̂ at the stopping threshold (≈ δ² when the
+	// stopping rule fired; smaller when the whole stream fit).
+	VarianceEstimate float64
+	// Threshold is the stopping threshold (+inf when no downsampling was
+	// needed).
+	Threshold float64
+	// SampleSize is the number of items used by the estimate.
+	SampleSize int
+	// Stopped reports whether the δ² stopping rule fired (false means the
+	// retained set — possibly the whole stream — was used exactly).
+	Stopped bool
+}
+
+// Estimate computes the stopping threshold T* — the largest threshold at
+// which the estimated variance reaches δ² — and the HT estimate at T*.
+//
+// The sweep is event-driven: as t decreases, item i contributes
+// x_i²/(w_i²t²) − x_i²/(w_i t) to V̂(t) exactly while R_i < t < 1/w_i, so
+// maintaining the two running sums between the sorted event points finds
+// the first crossing in O(m log m).
+func (s *Sampler) Estimate() Result {
+	if len(s.heap) == 0 {
+		return Result{Threshold: s.threshold}
+	}
+	if tStar, ok := crossingThreshold(s.heap, s.threshold, s.target2); ok {
+		return s.resultAt(s.heap, tStar, true)
+	}
+	// The target variance is unreachable: use everything retained.
+	return s.resultAt(s.heap, s.threshold, false)
+}
+
+// crossingThreshold finds the largest threshold t <= hi at which
+// V̂(t) = target over the given entries, scanning downward through the
+// event points (an item contributes x²/(w²t²) − x²/(wt) exactly while
+// R < t < 1/w). It returns false when the target is unreachable below hi,
+// or when the variance already meets the target AT hi — in that case the
+// true crossing lies above hi where the caller has no data, so there is no
+// usable crossing below (scanning further down would only find the spot
+// where the emptying sample drops back through the target, which is not a
+// stopping time).
+func crossingThreshold(entries []Entry, hi, target float64) (float64, bool) {
+	if !math.IsInf(hi, 1) {
+		v := 0.0
+		for _, e := range entries {
+			if e.Priority >= hi {
+				continue
+			}
+			p := e.Weight * hi
+			if p < 1 {
+				v += e.Value * e.Value * (1 - p) / (p * p)
+			}
+		}
+		if v >= target {
+			return 0, false
+		}
+	}
+	type event struct {
+		t    float64
+		add  bool // true: item starts contributing (t = 1/w); false: leaves (t = R)
+		a, b float64
+	}
+	events := make([]event, 0, 2*len(entries))
+	for _, e := range entries {
+		a := e.Value * e.Value / (e.Weight * e.Weight)
+		b := e.Value * e.Value / e.Weight
+		events = append(events, event{t: 1 / e.Weight, add: true, a: a, b: b})
+		events = append(events, event{t: e.Priority, add: false, a: a, b: b})
+	}
+	// Descending by t; at equal t process "leave" before "add" so an item
+	// with R == 1/w (impossible for U in (0,1), but defensive) nets out.
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t > events[j].t
+		}
+		return !events[i].add && events[j].add
+	})
+
+	var A, B float64
+	for _, ev := range events {
+		lo := ev.t
+		if lo < hi && A > 0 {
+			// V̂(t) = A/t² − B/t on (lo, hi); find t with V̂(t) = target.
+			u := (B + math.Sqrt(B*B+4*A*target)) / (2 * A)
+			if u > 0 {
+				tCross := 1 / u
+				if tCross > lo && tCross <= hi {
+					return tCross, true
+				}
+			}
+		}
+		if lo < hi {
+			hi = lo
+		}
+		if ev.add {
+			A += ev.a
+			B += ev.b
+		} else {
+			A -= ev.a
+			B -= ev.b
+		}
+	}
+	return 0, false
+}
+
+func (s *Sampler) resultAt(active []Entry, t float64, stopped bool) Result {
+	sum := 0.0
+	v := 0.0
+	n := 0
+	for _, e := range active {
+		if e.Priority >= t {
+			continue
+		}
+		n++
+		if math.IsInf(t, 1) {
+			sum += e.Value
+			continue
+		}
+		p := core.InclusionProb(e.Weight, t)
+		if p > 0 {
+			sum += e.Value / p
+		}
+		if p > 0 && p < 1 {
+			v += e.Value * e.Value * (1 - p) / (p * p)
+		}
+	}
+	return Result{Sum: sum, VarianceEstimate: v, Threshold: t, SampleSize: n, Stopped: stopped}
+}
+
+// varianceOf returns V̂(t) over the given entries (used by tests).
+func varianceOf(entries []Entry, t float64) float64 {
+	v := 0.0
+	for _, e := range entries {
+		if e.Priority >= t {
+			continue
+		}
+		p := core.InclusionProb(e.Weight, t)
+		if p > 0 && p < 1 {
+			v += e.Value * e.Value * (1 - p) / (p * p)
+		}
+	}
+	return v
+}
+
+// Len returns the number of retained items.
+func (s *Sampler) Len() int { return len(s.heap) }
+
+// N returns the number of items offered.
+func (s *Sampler) N() int { return s.n }
+
+// RetentionThreshold returns the current retention threshold.
+func (s *Sampler) RetentionThreshold() float64 { return s.threshold }
+
+// --- max-heap on Priority ---
+
+func siftUp(h []Entry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].Priority >= h[i].Priority {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func popRoot(h *[]Entry) Entry {
+	old := *h
+	root := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && (*h)[l].Priority > (*h)[largest].Priority {
+			largest = l
+		}
+		if r < n && (*h)[r].Priority > (*h)[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+	return root
+}

@@ -1,0 +1,210 @@
+package varsize
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct{ delta, over float64 }{{0, 2}, {-1, 2}, {1, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, %v) must panic", c.delta, c.over)
+				}
+			}()
+			New(c.delta, c.over, 1)
+		}()
+	}
+}
+
+func TestExactWhenTargetUnreachable(t *testing.T) {
+	// A tiny stream can never reach the target variance: the estimate must
+	// be the exact sum.
+	s := New(1000, 2, 1)
+	want := 0.0
+	for i := 0; i < 20; i++ {
+		v := float64(i + 1)
+		s.Add(uint64(i), v, v)
+		want += v
+	}
+	r := s.Estimate()
+	if r.Stopped {
+		t.Error("stopping rule must not fire on a tiny stream")
+	}
+	if r.Sum != want {
+		t.Errorf("sum = %v, want exact %v", r.Sum, want)
+	}
+	if r.SampleSize != 20 {
+		t.Errorf("sample size = %d, want 20", r.SampleSize)
+	}
+}
+
+func TestStoppingFiresOnLongStream(t *testing.T) {
+	items := stream.ParetoWeights(5000, 1.5, 4)
+	s := New(500, 2, 9)
+	for _, it := range items {
+		s.Add(it.Key, it.Weight, it.Value)
+	}
+	r := s.Estimate()
+	if !r.Stopped {
+		t.Fatal("stopping rule should fire on a long stream with a loose target")
+	}
+	if r.SampleSize >= 5000 || r.SampleSize == 0 {
+		t.Errorf("sample size = %d, want a proper subset", r.SampleSize)
+	}
+	// The variance estimate at the stopping threshold should be ≈ δ².
+	if r.VarianceEstimate < 0.5*500*500 || r.VarianceEstimate > 2*500*500 {
+		t.Errorf("variance at stop = %v, want ≈ %v", r.VarianceEstimate, 500.0*500)
+	}
+	// Retention keeps an oversample beyond the stopping threshold.
+	if s.Len() < r.SampleSize {
+		t.Errorf("retained %d < used %d", s.Len(), r.SampleSize)
+	}
+}
+
+func TestLooserTargetsSmallerSamples(t *testing.T) {
+	items := stream.ParetoWeights(8000, 1.5, 5)
+	sizes := make([]int, 0, 3)
+	for _, delta := range []float64{300, 900, 2700} {
+		s := New(delta, 2, 11)
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, it.Value)
+		}
+		sizes = append(sizes, s.Estimate().SampleSize)
+	}
+	if !(sizes[0] > sizes[1] && sizes[1] > sizes[2]) {
+		t.Errorf("sample sizes %v must decrease as the target loosens", sizes)
+	}
+}
+
+// TestAchievedErrorTracksTarget is the §3.9 validation: over Monte-Carlo
+// trials the realized SD of the estimates should be near the target δ.
+func TestAchievedErrorTracksTarget(t *testing.T) {
+	items := stream.ParetoWeights(6000, 1.5, 6)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	delta := 800.0
+	var est estimator.Running
+	for trial := 0; trial < 150; trial++ {
+		s := New(delta, 2, 100+uint64(trial))
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, it.Value)
+		}
+		est.Add(s.Estimate().Sum)
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("estimate biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+	achieved := math.Sqrt(est.Variance() + (est.Mean()-truth)*(est.Mean()-truth))
+	if achieved < 0.5*delta || achieved > 2*delta {
+		t.Errorf("achieved SD %v, want within 2x of target %v", achieved, delta)
+	}
+}
+
+func TestInvalidWeightIgnored(t *testing.T) {
+	s := New(10, 1, 2)
+	s.Add(1, 0, 5)
+	s.Add(2, -3, 5)
+	if s.Len() != 0 {
+		t.Error("non-positive weights must be ignored")
+	}
+}
+
+func TestRetentionThresholdMonotone(t *testing.T) {
+	s := New(50, 1.5, 3)
+	rng := stream.NewRNG(4)
+	last := math.Inf(1)
+	for i := 0; i < 3000; i++ {
+		w := rng.Open01() * 5
+		s.Add(uint64(i), w, w)
+		if th := s.RetentionThreshold(); th > last {
+			t.Fatalf("retention threshold rose %v -> %v", last, th)
+		} else {
+			last = th
+		}
+	}
+	if s.N() != 3000 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestVarianceOfMatchesManual(t *testing.T) {
+	entries := []Entry{
+		{Weight: 1, Value: 2, Priority: 0.1},
+		{Weight: 2, Value: 3, Priority: 0.2},
+		{Weight: 100, Value: 1, Priority: 0.001},
+	}
+	tt := 0.3
+	want := 0.0
+	for _, e := range entries {
+		p := e.Weight * tt
+		if p > 1 {
+			p = 1
+		}
+		if p < 1 {
+			want += e.Value * e.Value * (1 - p) / (p * p)
+		}
+	}
+	if got := varianceOf(entries, tt); math.Abs(got-want) > 1e-12 {
+		t.Errorf("varianceOf = %v, want %v", got, want)
+	}
+}
+
+func TestHorizonBoundsMemory(t *testing.T) {
+	items := stream.ParetoWeights(20000, 1.5, 7)
+	delta := 3000.0
+	full := New(delta, 2, 42)
+	bounded := New(delta, 2, 42)
+	bounded.SetHorizon(len(items))
+	for _, it := range items {
+		full.Add(it.Key, it.Weight, it.Value)
+		bounded.Add(it.Key, it.Weight, it.Value)
+	}
+	if full.Len() != 20000 {
+		t.Errorf("default sampler must retain everything, kept %d", full.Len())
+	}
+	if bounded.Len() >= full.Len()/2 {
+		t.Errorf("horizon sampler kept %d of %d items; eviction ineffective",
+			bounded.Len(), full.Len())
+	}
+	// Both must produce (nearly) the same stopping estimate: the bounded
+	// retention still contains the stopping sample.
+	rf, rb := full.Estimate(), bounded.Estimate()
+	if !rf.Stopped || !rb.Stopped {
+		t.Fatal("both samplers should hit the stopping rule")
+	}
+	if math.Abs(rf.Threshold-rb.Threshold) > 1e-12*rf.Threshold {
+		t.Errorf("stopping thresholds differ: %v vs %v", rf.Threshold, rb.Threshold)
+	}
+	if math.Abs(rf.Sum-rb.Sum) > 1e-9*rf.Sum {
+		t.Errorf("estimates differ: %v vs %v", rf.Sum, rb.Sum)
+	}
+}
+
+func TestHorizonAchievedError(t *testing.T) {
+	items := stream.ParetoWeights(6000, 1.5, 8)
+	truth := 0.0
+	for _, it := range items {
+		truth += it.Value
+	}
+	delta := 900.0
+	var est estimator.Running
+	for trial := 0; trial < 150; trial++ {
+		s := New(delta, 2, 300+uint64(trial))
+		s.SetHorizon(len(items))
+		for _, it := range items {
+			s.Add(it.Key, it.Weight, it.Value)
+		}
+		est.Add(s.Estimate().Sum)
+	}
+	achieved := math.Sqrt(est.Variance() + (est.Mean()-truth)*(est.Mean()-truth))
+	if achieved < 0.5*delta || achieved > 2*delta {
+		t.Errorf("achieved SD %v, want within 2x of target %v", achieved, delta)
+	}
+}

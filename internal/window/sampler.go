@@ -1,0 +1,271 @@
+// Package window implements bounded-space uniform sampling from time-based
+// sliding windows (§3.2 of the paper). It contains the Gemulla & Lehner
+// (G&L) two-window sketch and both threshold rules for extracting a uniform
+// sample from it:
+//
+//   - the original G&L rule — the k-th smallest priority among ALL stored
+//     (current and expired) items — which is conservative and discards
+//     about half of the usable points; and
+//   - the paper's improved rule — the minimum of the per-item thresholds of
+//     the current examples — which is 1-substitutable by composition
+//     (sequential rule + min), constant over the current window, and hence
+//     fully substitutable by Theorem 6. It uses exactly the same sketch and
+//     roughly doubles the usable sample.
+package window
+
+import (
+	"math"
+
+	"ats/internal/stream"
+)
+
+// Item is one stored element of the sketch.
+type Item struct {
+	Key uint64
+	// Time is the arrival time.
+	Time float64
+	// R is the Uniform(0,1) priority assigned at arrival.
+	R float64
+	// T is the item's per-item threshold: the running minimum of the
+	// exclusion boundaries observed while the item has been a current
+	// example. Inclusion in current storage is equivalent to R < T.
+	T float64
+}
+
+// Sampler is the G&L two-window sketch: current examples in (t-Δ, t] and
+// expired examples in (t-2Δ, t-Δ]. At most k current examples are retained.
+type Sampler struct {
+	k     int
+	delta float64
+	rng   *stream.RNG
+
+	current []Item // invariant: len(current) <= k
+	expired []Item
+	now     float64
+
+	// lastBoundary records, for instrumentation (Figure 1), the exclusion
+	// boundary of the most recent arrival event (1 when the sample was not
+	// full).
+	lastBoundary float64
+}
+
+// New returns a sliding-window sampler with sample-size parameter k and
+// window length delta. Priorities are drawn from the supplied seed.
+func New(k int, delta float64, seed uint64) *Sampler {
+	if k <= 0 {
+		panic("window: k must be positive")
+	}
+	if delta <= 0 {
+		panic("window: delta must be positive")
+	}
+	return &Sampler{
+		k:            k,
+		delta:        delta,
+		rng:          stream.NewRNG(seed),
+		lastBoundary: 1,
+		now:          math.Inf(-1),
+	}
+}
+
+// K returns the sample-size parameter.
+func (s *Sampler) K() int { return s.k }
+
+// Delta returns the window length.
+func (s *Sampler) Delta() float64 { return s.delta }
+
+// Now returns the latest time the sampler has advanced to.
+func (s *Sampler) Now() float64 { return s.now }
+
+// Add processes an arrival at the given time (times must be
+// non-decreasing). It returns the exclusion boundary applied by this
+// arrival: 1 while the current sample is below capacity, otherwise the
+// priority of the item excluded by this arrival (the new item itself or the
+// evicted maximum). This is the per-item initial threshold plotted in
+// Figure 1.
+func (s *Sampler) Add(key uint64, t float64) float64 {
+	return s.AddWithPriority(key, t, s.rng.Open01())
+}
+
+// AddWithPriority is Add with an externally supplied Uniform(0,1) priority,
+// for deterministic tests.
+func (s *Sampler) AddWithPriority(key uint64, t, r float64) float64 {
+	s.Advance(t)
+	it := Item{Key: key, Time: t, R: r, T: 1}
+	if len(s.current) < s.k {
+		s.current = append(s.current, it)
+		s.lastBoundary = 1
+		return 1
+	}
+	// Full: the maximum of the k current priorities and the new priority is
+	// excluded; its value is the event's exclusion boundary. Every current
+	// example (including a newly accepted one) clamps its per-item
+	// threshold to the boundary. This is the sequential 1-substitutable
+	// rule: the boundary is always the priority of an excluded item, so it
+	// never depends on the priority of any retained item.
+	maxIdx := 0
+	for i := 1; i < len(s.current); i++ {
+		if s.current[i].R > s.current[maxIdx].R {
+			maxIdx = i
+		}
+	}
+	boundary := s.current[maxIdx].R
+	if r >= boundary {
+		// The new item is the maximum: reject it, boundary is its priority.
+		boundary = r
+		s.clamp(boundary)
+		s.lastBoundary = boundary
+		return boundary
+	}
+	// Evict the stored maximum, accept the new item.
+	s.current[maxIdx] = it
+	s.clamp(boundary)
+	s.lastBoundary = boundary
+	return boundary
+}
+
+func (s *Sampler) clamp(boundary float64) {
+	for i := range s.current {
+		if boundary < s.current[i].T {
+			s.current[i].T = boundary
+		}
+	}
+}
+
+// Advance moves the sampler's clock to time t (monotonically): current
+// examples older than t-Δ become expired; expired examples older than 2Δ
+// are discarded.
+func (s *Sampler) Advance(t float64) {
+	if t < s.now {
+		return
+	}
+	s.now = t
+	cutCur := t - s.delta
+	cutExp := t - 2*s.delta
+	if len(s.current) > 0 {
+		keep := s.current[:0]
+		for _, it := range s.current {
+			if it.Time > cutCur {
+				keep = append(keep, it)
+			} else if it.Time > cutExp {
+				s.expired = append(s.expired, it)
+			}
+		}
+		s.current = keep
+	}
+	if len(s.expired) > 0 {
+		keep := s.expired[:0]
+		for _, it := range s.expired {
+			if it.Time > cutExp {
+				keep = append(keep, it)
+			}
+		}
+		s.expired = keep
+	}
+}
+
+// StoredItems returns the total number of stored items (current + expired),
+// i.e. the sketch's space usage in items.
+func (s *Sampler) StoredItems() int { return len(s.current) + len(s.expired) }
+
+// GLThreshold returns the original Gemulla & Lehner extraction threshold:
+// the k-th smallest priority among all stored items, or 1 when fewer than k
+// items are stored.
+func (s *Sampler) GLThreshold() float64 {
+	n := len(s.current) + len(s.expired)
+	if n < s.k {
+		return 1
+	}
+	all := make([]float64, 0, n)
+	for _, it := range s.current {
+		all = append(all, it.R)
+	}
+	for _, it := range s.expired {
+		all = append(all, it.R)
+	}
+	return kthSmallest(all, s.k)
+}
+
+// ImprovedThreshold returns the paper's improved extraction threshold: the
+// minimum of the per-item thresholds of the current examples, or 1 when
+// there are no current examples.
+func (s *Sampler) ImprovedThreshold() float64 {
+	t := 1.0
+	for _, it := range s.current {
+		if it.T < t {
+			t = it.T
+		}
+	}
+	return t
+}
+
+// GLSample returns the uniform sample of the current window under the G&L
+// threshold: current items with priority at most the threshold (the
+// threshold item itself is included by symmetry, as in the paper).
+func (s *Sampler) GLSample() ([]Item, float64) {
+	t := s.GLThreshold()
+	var out []Item
+	for _, it := range s.current {
+		if it.R <= t {
+			out = append(out, it)
+		}
+	}
+	return out, t
+}
+
+// ImprovedSample returns the uniform sample of the current window under the
+// improved threshold: current items with priority strictly below it.
+func (s *Sampler) ImprovedSample() ([]Item, float64) {
+	t := s.ImprovedThreshold()
+	var out []Item
+	for _, it := range s.current {
+		if it.R < t {
+			out = append(out, it)
+		}
+	}
+	return out, t
+}
+
+// CurrentItems returns a copy of the current examples.
+func (s *Sampler) CurrentItems() []Item {
+	out := make([]Item, len(s.current))
+	copy(out, s.current)
+	return out
+}
+
+// kthSmallest returns the k-th smallest element of xs (1-based); +inf if
+// k > len(xs). It mutates a copy.
+func kthSmallest(xs []float64, k int) float64 {
+	if k > len(xs) {
+		return math.Inf(1)
+	}
+	buf := make([]float64, len(xs))
+	copy(buf, xs)
+	lo, hi := 0, len(buf)-1
+	target := k - 1
+	for lo < hi {
+		p := buf[lo+(hi-lo)/2]
+		i, j := lo, hi
+		for i <= j {
+			for buf[i] < p {
+				i++
+			}
+			for buf[j] > p {
+				j--
+			}
+			if i <= j {
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return buf[target]
+		}
+	}
+	return buf[target]
+}

@@ -1,0 +1,255 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []struct {
+		k     int
+		delta float64
+	}{{0, 1}, {-1, 1}, {5, 0}, {5, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %v) must panic", bad.k, bad.delta)
+				}
+			}()
+			New(bad.k, bad.delta, 1)
+		}()
+	}
+}
+
+func TestBelowCapacityKeepsEverything(t *testing.T) {
+	s := New(10, 1, 1)
+	for i := 0; i < 10; i++ {
+		s.Add(uint64(i), float64(i)*0.01)
+	}
+	if got := len(s.CurrentItems()); got != 10 {
+		t.Errorf("current = %d, want 10", got)
+	}
+	if th := s.ImprovedThreshold(); th != 1 {
+		t.Errorf("improved threshold = %v, want 1 while below capacity", th)
+	}
+}
+
+func TestCurrentCapacityNeverExceeded(t *testing.T) {
+	s := New(5, 1, 2)
+	rng := stream.NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		s.Add(uint64(i), float64(i)*0.001)
+		if n := len(s.CurrentItems()); n > 5 {
+			t.Fatalf("current sample %d exceeds k=5", n)
+		}
+		_ = rng
+	}
+}
+
+func TestExpiryMovesAndDrops(t *testing.T) {
+	s := New(3, 1, 4)
+	s.AddWithPriority(1, 0.0, 0.5)
+	s.AddWithPriority(2, 0.5, 0.6)
+	// Advance past the current window for item 1.
+	s.Advance(1.2)
+	if len(s.CurrentItems()) != 1 {
+		t.Errorf("current = %d, want 1 after expiry", len(s.CurrentItems()))
+	}
+	if s.StoredItems() != 2 {
+		t.Errorf("stored = %d, want 2 (one expired retained)", s.StoredItems())
+	}
+	// Advance past two window lengths for item 1: dropped entirely.
+	s.Advance(2.3)
+	if s.StoredItems() != 1 {
+		t.Errorf("stored = %d, want 1 after full expiry", s.StoredItems())
+	}
+}
+
+func TestNegativeTimesSupported(t *testing.T) {
+	s := New(2, 1, 5)
+	s.AddWithPriority(1, -5.0, 0.2)
+	s.AddWithPriority(2, -4.5, 0.3)
+	s.Advance(-3.9)
+	if len(s.CurrentItems()) != 1 {
+		t.Errorf("current = %d, want 1 (negative-time expiry)", len(s.CurrentItems()))
+	}
+}
+
+func TestExclusionBoundarySemantics(t *testing.T) {
+	s := New(2, 10, 6)
+	// Fill with priorities 0.5, 0.7.
+	s.AddWithPriority(1, 0, 0.5)
+	s.AddWithPriority(2, 0.1, 0.7)
+	// New max arrives: rejected, boundary = its own priority.
+	if b := s.AddWithPriority(3, 0.2, 0.9); b != 0.9 {
+		t.Errorf("boundary = %v, want 0.9 (rejected max)", b)
+	}
+	if len(s.CurrentItems()) != 2 {
+		t.Error("rejected item must not displace anything")
+	}
+	// Smaller priority arrives: evicts stored max 0.7; boundary 0.7.
+	if b := s.AddWithPriority(4, 0.3, 0.1); b != 0.7 {
+		t.Errorf("boundary = %v, want 0.7 (evicted max)", b)
+	}
+	cur := s.CurrentItems()
+	if len(cur) != 2 {
+		t.Fatalf("current = %d, want 2", len(cur))
+	}
+	for _, it := range cur {
+		if it.R >= 0.7 {
+			t.Errorf("item with R=%v must have been evicted", it.R)
+		}
+		if it.T > 0.7 {
+			t.Errorf("item threshold %v must be clamped to <= 0.7", it.T)
+		}
+	}
+}
+
+func TestImprovedThresholdIsMinOverCurrent(t *testing.T) {
+	s := New(3, 100, 7)
+	s.AddWithPriority(1, 0, 0.10)
+	s.AddWithPriority(2, 1, 0.20)
+	s.AddWithPriority(3, 2, 0.30)
+	s.AddWithPriority(4, 3, 0.25) // evicts 0.30, clamps everyone to 0.30
+	if th := s.ImprovedThreshold(); th != 0.30 {
+		t.Errorf("improved threshold = %v, want 0.30", th)
+	}
+	s.AddWithPriority(5, 4, 0.05) // evicts 0.25, clamps to 0.25
+	if th := s.ImprovedThreshold(); th != 0.25 {
+		t.Errorf("improved threshold = %v, want 0.25", th)
+	}
+	imp, thr := s.ImprovedSample()
+	if thr != 0.25 {
+		t.Errorf("sample threshold = %v", thr)
+	}
+	for _, it := range imp {
+		if it.R >= thr {
+			t.Errorf("improved sample contains item above threshold: %v", it.R)
+		}
+	}
+}
+
+func TestGLThresholdUsesStored(t *testing.T) {
+	s := New(2, 1, 8)
+	s.AddWithPriority(1, 0.0, 0.10)
+	s.AddWithPriority(2, 0.1, 0.20)
+	// Move them to expired; fresh current items.
+	s.AddWithPriority(3, 1.5, 0.40)
+	s.AddWithPriority(4, 1.6, 0.50)
+	// Stored: expired {0.10, 0.20}, current {0.40, 0.50}; k=2 -> 2nd
+	// smallest = 0.20.
+	if th := s.GLThreshold(); th != 0.20 {
+		t.Errorf("G&L threshold = %v, want 0.20", th)
+	}
+	gl, _ := s.GLSample()
+	if len(gl) != 0 {
+		t.Errorf("G&L sample has %d items; none of the current are below 0.20", len(gl))
+	}
+	// The improved threshold ignores expired items entirely.
+	if th := s.ImprovedThreshold(); th != 1 {
+		t.Errorf("improved threshold = %v, want 1 (no clamps yet)", th)
+	}
+}
+
+// TestUniformSampleProperty: at a steady arrival rate, every item in the
+// current window should appear in the extracted sample with equal
+// frequency (uniformity), for both extraction rules.
+func TestUniformSampleProperty(t *testing.T) {
+	const (
+		k      = 20
+		delta  = 1.0
+		rate   = 200.0
+		trials = 400
+	)
+	// Track inclusion counts by arrival-position-in-window bucket.
+	const buckets = 10
+	glCounts := make([]float64, buckets)
+	impCounts := make([]float64, buckets)
+	for trial := 0; trial < trials; trial++ {
+		s := New(k, delta, uint64(trial)+1)
+		arr := stream.NewArrivals(stream.ConstantRate(rate), 0, uint64(trial)+9999)
+		var inWindow []stream.Arrival
+		for {
+			a := arr.Next()
+			if a.Time > 3 {
+				break
+			}
+			s.Add(a.Key, a.Time)
+			if a.Time > 3-delta {
+				inWindow = append(inWindow, a)
+			}
+		}
+		s.Advance(3)
+		gl, _ := s.GLSample()
+		imp, _ := s.ImprovedSample()
+		inGL := make(map[uint64]bool, len(gl))
+		for _, it := range gl {
+			inGL[it.Key] = true
+		}
+		inImp := make(map[uint64]bool, len(imp))
+		for _, it := range imp {
+			inImp[it.Key] = true
+		}
+		for _, a := range inWindow {
+			b := int((a.Time - (3 - delta)) / delta * buckets)
+			if b >= buckets {
+				b = buckets - 1
+			}
+			if inGL[a.Key] {
+				glCounts[b]++
+			}
+			if inImp[a.Key] {
+				impCounts[b]++
+			}
+		}
+	}
+	checkFlat := func(name string, counts []float64) {
+		var r estimator.Running
+		for _, c := range counts {
+			r.Add(c)
+		}
+		if r.Mean() == 0 {
+			t.Fatalf("%s: no samples at all", name)
+		}
+		for b, c := range counts {
+			if dev := math.Abs(c-r.Mean()) / r.Mean(); dev > 0.15 {
+				t.Errorf("%s: bucket %d count %v deviates %.0f%% from mean %v (non-uniform)",
+					name, b, c, dev*100, r.Mean())
+			}
+		}
+	}
+	checkFlat("G&L", glCounts)
+	checkFlat("improved", impCounts)
+	// And the improved rule must actually produce more samples.
+	var glTotal, impTotal float64
+	for b := range glCounts {
+		glTotal += glCounts[b]
+		impTotal += impCounts[b]
+	}
+	if impTotal < 1.4*glTotal {
+		t.Errorf("improved sample (%v) should be ≈ 2x the G&L sample (%v)", impTotal, glTotal)
+	}
+}
+
+func TestSampleSizesNeverExceedK(t *testing.T) {
+	s := New(7, 0.5, 10)
+	arr := stream.NewArrivals(stream.ConstantRate(300), 0, 11)
+	for {
+		a := arr.Next()
+		if a.Time > 2 {
+			break
+		}
+		s.Add(a.Key, a.Time)
+		gl, glT := s.GLSample()
+		imp, impT := s.ImprovedSample()
+		if len(gl) > 7 || len(imp) > 7 {
+			t.Fatalf("sample sizes %d/%d exceed k", len(gl), len(imp))
+		}
+		if glT > 1 || impT > 1 {
+			t.Fatalf("thresholds above 1: %v %v", glT, impT)
+		}
+	}
+}
