@@ -20,6 +20,20 @@
 //	}
 //	total, varEst := sk.SubsetSum(nil)
 //
+// For multi-core ingest, the sharded engine wraps the mergeable sketches
+// behind per-shard locks with a batched add path:
+//
+//	eng := ats.NewShardedBottomK(100, 42, 0) // 0 shards = GOMAXPROCS
+//	// any number of goroutines:
+//	eng.AddBatch(items)
+//	total, varEst := eng.SubsetSum(nil) // collapses shards, then estimates
+//
+// Sharded bottom-k and distinct sketches collapse to exactly the sketch a
+// sequential run would build (priorities are hash-derived); the sharded
+// window sampler consumes forked RNG streams, so its sample is
+// reproducible for a fixed shard count but differs from a sequential
+// run's — both are valid adaptive threshold samples.
+//
 // See the examples directory for runnable end-to-end programs and
 // cmd/atsbench for the harness that regenerates every table and figure of
 // the paper.
@@ -32,6 +46,7 @@ import (
 	"ats/internal/core"
 	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/engine"
 	"ats/internal/estimator"
 	"ats/internal/groupby"
 	"ats/internal/history"
@@ -266,6 +281,55 @@ type AQPRow = aqp.Row
 // and value columns.
 func NewAQPTable(keys []uint64, weights, values []float64, seed uint64) *AQPTable {
 	return aqp.NewTable(keys, weights, values, seed)
+}
+
+// ---- Concurrent sharded engine ----
+//
+// The engine scales the mergeable sketches to multi-core ingest: keys are
+// hash-partitioned across N shards (default GOMAXPROCS), each shard an
+// independent sketch behind its own mutex, with a batched AddBatch path
+// that amortizes locking. Collapse merges the shards into one sketch for
+// estimation; for bottom-k and distinct sketches the collapsed result is
+// identical to a sequential run of the same stream, because priorities
+// are hash-derived. The sharded window sampler instead forks per-shard
+// RNG streams: reproducible for a fixed shard count, but not bit-equal to
+// a sequential run (see the package doc of internal/engine).
+
+// Item is one weighted stream record for the engine's batched ingest.
+type Item = engine.Item
+
+// ConcurrentSampler is the unified sampler contract the engine shards
+// (Add, Sample, Threshold, Merge).
+type ConcurrentSampler = engine.Sampler
+
+// ShardedBottomK is a concurrent bottom-k sketch; its Collapse equals the
+// sequential sketch of the same stream.
+type ShardedBottomK = engine.ShardedBottomK
+
+// NewShardedBottomK returns a sharded bottom-k engine with sample size k;
+// shards <= 0 defaults to GOMAXPROCS.
+func NewShardedBottomK(k int, seed uint64, shards int) *ShardedBottomK {
+	return engine.NewShardedBottomK(k, seed, shards)
+}
+
+// ShardedDistinct is a concurrent KMV distinct-counting sketch.
+type ShardedDistinct = engine.ShardedDistinct
+
+// NewShardedDistinct returns a sharded distinct-counting engine of sketch
+// size k; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedDistinct(k int, seed uint64, shards int) *ShardedDistinct {
+	return engine.NewShardedDistinct(k, seed, shards)
+}
+
+// ShardedWindow is a concurrent sliding-window sampler with forked
+// per-shard RNG streams.
+type ShardedWindow = engine.ShardedWindow
+
+// NewShardedWindow returns a sharded sliding-window engine with per-shard
+// sample parameter k and window length delta; shards <= 0 defaults to
+// GOMAXPROCS.
+func NewShardedWindow(k int, delta float64, seed uint64, shards int) *ShardedWindow {
+	return engine.NewShardedWindow(k, delta, seed, shards)
 }
 
 // ---- Workloads (exposed for examples and downstream benchmarking) ----

@@ -211,3 +211,54 @@ func TestWorkloadFacade(t *testing.T) {
 		t.Error("HashU01 broken")
 	}
 }
+
+func TestShardedEngineFacade(t *testing.T) {
+	eng := NewShardedBottomK(50, 1, 4)
+	seq := NewBottomK(50, 1)
+	items := make([]Item, 1000)
+	for i := range items {
+		w := 1 + float64(i%7)
+		items[i] = Item{Key: uint64(i), Weight: w, Value: w}
+		seq.Add(uint64(i), w, w)
+	}
+	eng.AddBatch(items)
+	if eng.Threshold() != seq.Threshold() {
+		t.Errorf("sharded threshold %v != sequential %v", eng.Threshold(), seq.Threshold())
+	}
+	got, _ := eng.SubsetSum(nil)
+	want, _ := seq.SubsetSum(nil)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("sharded SubsetSum %v != sequential %v", got, want)
+	}
+
+	dst := NewShardedDistinct(50, 2, 3)
+	ref := NewDistinctSketch(50, 2)
+	for i := 0; i < 2000; i++ {
+		dst.AddKey(uint64(i % 700))
+		ref.Add(uint64(i % 700))
+	}
+	if dst.Estimate() != ref.Estimate() {
+		t.Errorf("sharded distinct estimate %v != sequential %v", dst.Estimate(), ref.Estimate())
+	}
+
+	win := NewShardedWindow(10, 1.0, 3, 2)
+	for i := 0; i < 500; i++ {
+		win.Observe(uint64(i), float64(i)*0.01)
+	}
+	col := win.Collapse()
+	if s, thr := col.ImprovedSample(); thr <= 0 || len(s) > 2*10 {
+		t.Errorf("sharded window: %d items, threshold %v", len(s), thr)
+	}
+
+	// The generic engine interface round-trips through Snapshot.
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Threshold() != seq.Threshold() {
+		t.Errorf("snapshot threshold %v != %v", snap.Threshold(), seq.Threshold())
+	}
+	if len(snap.Sample()) == 0 {
+		t.Error("snapshot sample empty")
+	}
+}

@@ -10,6 +10,8 @@ package ats
 //	go run ./cmd/atsbench all
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"ats/internal/experiments"
@@ -358,5 +360,138 @@ func BenchmarkUnbiasedSpaceSavingAdd(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Add(keys[i&(1<<16-1)])
+	}
+}
+
+// ---- sharded engine: parallel ingest throughput ----
+//
+// These benchmarks compare the single-threaded bottom-k sketch against the
+// sharded engine on the same seeded Zipf stream, at 1–16 producer
+// goroutines. ns/op is per item in every variant, so items/s ratios can be
+// read straight off the output. Full-scale sweep: go run ./cmd/atsbench
+// parallel.
+
+var benchZipfItems []Item
+
+func zipfBenchItems(b *testing.B) []Item {
+	if benchZipfItems == nil {
+		const n = 1 << 20
+		z := stream.NewZipf(100_000, 1.1, 71)
+		rng := stream.NewRNG(72)
+		benchZipfItems = make([]Item, n)
+		for i := range benchZipfItems {
+			w := 1 + 9*rng.Float64()
+			benchZipfItems[i] = Item{Key: z.Next(), Weight: w, Value: w}
+		}
+	}
+	return benchZipfItems
+}
+
+func BenchmarkIngestSingleThread(b *testing.B) {
+	items := zipfBenchItems(b)
+	sk := NewBottomK(256, 71)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := items[i&(len(items)-1)]
+		sk.Add(it.Key, it.Weight, it.Value)
+	}
+}
+
+func BenchmarkIngestGlobalMutex(b *testing.B) {
+	// The naive way to share one sketch: a global lock. This is the
+	// baseline the sharded engine exists to beat.
+	items := zipfBenchItems(b)
+	sk := NewBottomK(256, 71)
+	var mu sync.Mutex
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			it := items[i&(len(items)-1)]
+			i++
+			mu.Lock()
+			sk.Add(it.Key, it.Weight, it.Value)
+			mu.Unlock()
+		}
+	})
+}
+
+func BenchmarkIngestSharded(b *testing.B) {
+	items := zipfBenchItems(b)
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			eng := NewShardedBottomK(256, 71, 0)
+			const batch = 512
+			b.ResetTimer()
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N / g
+			for w := 0; w < g; w++ {
+				n := per
+				if w == g-1 {
+					n = b.N - per*(g-1)
+				}
+				wg.Add(1)
+				go func(off, n int) {
+					defer wg.Done()
+					for done := 0; done < n; {
+						m := batch
+						if m > n-done {
+							m = n - done
+						}
+						lo := (off + done) & (len(items) - 1)
+						hi := lo + m
+						if hi > len(items) {
+							hi = len(items)
+							m = hi - lo
+						}
+						eng.AddBatch(items[lo:hi])
+						done += m
+					}
+				}(w*per, n)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func BenchmarkShardedCollapse(b *testing.B) {
+	items := zipfBenchItems(b)
+	eng := NewShardedBottomK(256, 71, 0)
+	eng.AddBatch(items[:1<<18])
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if eng.Collapse().Threshold() <= 0 {
+			b.Fatal("bad collapse")
+		}
+	}
+}
+
+func BenchmarkShardedDistinctAddKeys(b *testing.B) {
+	items := zipfBenchItems(b)
+	keys := make([]uint64, len(items))
+	for i, it := range items {
+		keys[i] = it.Key
+	}
+	eng := NewShardedDistinct(256, 7, 0)
+	const batch = 512
+	b.ResetTimer()
+	b.ReportAllocs()
+	for done := 0; done < b.N; {
+		m := batch
+		if m > b.N-done {
+			m = b.N - done
+		}
+		lo := done & (len(keys) - 1)
+		hi := lo + m
+		if hi > len(keys) {
+			hi = len(keys)
+			m = hi - lo
+		}
+		eng.AddKeys(keys[lo:hi])
+		done += m
 	}
 }

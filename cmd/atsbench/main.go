@@ -31,7 +31,7 @@ func main() {
 		for _, name := range []string{
 			"fig1", "fig2", "fig3", "fig4", "budget", "merge-dominated",
 			"unbiased", "stratified", "varsize", "aqp", "multiobj", "groupby",
-			"asymptotic", "baselines", "ablation",
+			"asymptotic", "baselines", "ablation", "parallel",
 		} {
 			run(name, nil)
 			fmt.Println()
@@ -144,6 +144,15 @@ func run(name string, args []string) {
 		fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials")
 		parse(fs, args)
 		fmt.Print(experiments.Baselines(cfg).Format())
+	case "parallel":
+		cfg := experiments.DefaultParallelConfig()
+		fs := flag.NewFlagSet(name, flag.ExitOnError)
+		fs.IntVar(&cfg.K, "k", cfg.K, "bottom-k sample size")
+		fs.IntVar(&cfg.StreamLen, "n", cfg.StreamLen, "stream length")
+		fs.IntVar(&cfg.Shards, "shards", cfg.Shards, "engine shards (0 = GOMAXPROCS)")
+		fs.IntVar(&cfg.Batch, "batch", cfg.Batch, "AddBatch size")
+		parse(fs, args)
+		fmt.Print(experiments.Parallel(cfg).Format())
 	case "groupby":
 		cfg := experiments.DefaultGroupByConfig()
 		fs := flag.NewFlagSet(name, flag.ExitOnError)
@@ -186,6 +195,7 @@ experiments:
   asymptotic       §4-6: M-estimator consistency, priority equivalence
   baselines        priority sampling vs VarOpt vs Poisson at fixed k
   ablation         design-knob sweeps (top-k pacing, overshoot, AQP step)
+  parallel         sharded engine: single-thread vs concurrent ingest throughput
   all              run everything with default configs
 
 pass -h after an experiment name for its flags`)

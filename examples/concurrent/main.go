@@ -1,0 +1,103 @@
+// Concurrent ingest with the sharded sampling engine.
+//
+// Eight producer goroutines push a skewed weighted stream into a sharded
+// bottom-k sketch and a sharded distinct sketch through the batched,
+// lock-amortized AddBatch path. Because priorities are derived from a
+// seeded hash of the key — not from arrival order — collapsing the shards
+// yields *exactly* the sketch a single-threaded run over the same stream
+// would have built: same threshold, same sample, same estimates. The
+// program demonstrates this by running both and comparing.
+//
+// Run with:
+//
+//	go run ./examples/concurrent
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ats"
+)
+
+const (
+	nItems    = 2_000_000
+	k         = 256
+	seed      = 42
+	producers = 8
+	batchSize = 512
+)
+
+func main() {
+	// One deterministic stream, generated up front so both runs see the
+	// same items: Zipf-ish keys with Pareto-ish weights.
+	rng := ats.NewRNG(seed)
+	items := make([]ats.Item, nItems)
+	for i := range items {
+		key := uint64(rng.Intn(200_000))
+		w := 1 + 20*rng.Float64()*rng.Float64()
+		items[i] = ats.Item{Key: key, Weight: w, Value: w}
+	}
+
+	// Sequential reference run.
+	seq := ats.NewBottomK(k, seed)
+	seqDistinct := ats.NewDistinctSketch(k, seed)
+	start := time.Now()
+	for _, it := range items {
+		seq.Add(it.Key, it.Weight, it.Value)
+		seqDistinct.Add(it.Key)
+	}
+	seqElapsed := time.Since(start)
+	seqSum, _ := seq.SubsetSum(nil)
+
+	// Concurrent run: the same stream split across producers.
+	eng := ats.NewShardedBottomK(k, seed, 0)
+	engDistinct := ats.NewShardedDistinct(k, seed, 0)
+	start = time.Now()
+	var wg sync.WaitGroup
+	per := (len(items) + producers - 1) / producers
+	for w := 0; w < producers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(chunk []ats.Item) {
+			defer wg.Done()
+			keys := make([]uint64, 0, batchSize)
+			for len(chunk) > 0 {
+				n := batchSize
+				if n > len(chunk) {
+					n = len(chunk)
+				}
+				eng.AddBatch(chunk[:n])
+				keys = keys[:0]
+				for _, it := range chunk[:n] {
+					keys = append(keys, it.Key)
+				}
+				engDistinct.AddKeys(keys)
+				chunk = chunk[n:]
+			}
+		}(items[lo:hi])
+	}
+	wg.Wait()
+	parElapsed := time.Since(start)
+	parSum, _ := eng.SubsetSum(nil)
+
+	fmt.Printf("stream: %d items, %d producers, %d shards (GOMAXPROCS=%d)\n\n",
+		nItems, producers, eng.NumShards(), runtime.GOMAXPROCS(0))
+	fmt.Printf("%-28s %14s %14s\n", "", "sequential", "sharded")
+	fmt.Printf("%-28s %14v %14v\n", "wall time (2 sketches)", seqElapsed.Round(time.Millisecond), parElapsed.Round(time.Millisecond))
+	fmt.Printf("%-28s %14.4g %14.4g\n", "bottom-k threshold", seq.Threshold(), eng.Threshold())
+	fmt.Printf("%-28s %14.0f %14.0f\n", "HT total estimate", seqSum, parSum)
+	fmt.Printf("%-28s %14.0f %14.0f\n", "distinct estimate", seqDistinct.Estimate(), engDistinct.Estimate())
+
+	if seq.Threshold() == eng.Threshold() && seqDistinct.Estimate() == engDistinct.Estimate() {
+		fmt.Println("\nCollapsed shards are IDENTICAL to the sequential sketches — the")
+		fmt.Println("merge is exact, so concurrency costs nothing in accuracy.")
+	} else {
+		fmt.Println("\nERROR: sharded results diverged from the sequential run!")
+	}
+}

@@ -1,0 +1,3 @@
+module ats
+
+go 1.22

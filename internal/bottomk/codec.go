@@ -78,8 +78,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	}
 	off := header
 	// Rebuild via AddWithPriority so the heap invariant is restored
-	// regardless of serialization order.
-	restored := &Sketch{k: k, seed: seed, heap: make([]Entry, 0, k+2)}
+	// regardless of serialization order. Capacity follows the actual entry
+	// count, not k: a crafted header can claim k in the billions while
+	// carrying a tiny body, and the heap grows on demand anyway.
+	restored := &Sketch{k: k, seed: seed, heap: make([]Entry, 0, count+2)}
 	for i := 0; i < count; i++ {
 		e := Entry{
 			Key:      binary.LittleEndian.Uint64(data[off:]),

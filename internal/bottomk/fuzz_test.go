@@ -1,0 +1,102 @@
+package bottomk
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// fuzzSeedSketch marshals a sketch populated with n items, for the seed
+// corpus.
+func fuzzSeedSketch(t testing.TB, k int, seed uint64, n int) []byte {
+	sk := New(k, seed)
+	for i := 0; i < n; i++ {
+		sk.Add(uint64(i)*2654435761, 1+float64(i%7), float64(i))
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func sampleFingerprint(s *Sketch) []Entry {
+	out := s.Sample()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary. Inputs that
+// decode must survive a marshal/unmarshal round trip with identical
+// semantics (k, seed, N, threshold, sample); inputs that do not decode
+// must fail cleanly without panicking.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Seed corpus: empty, below-k, exactly full, and large sketches, plus
+	// a merged pair, the empty input, and a truncated valid prefix.
+	f.Add(fuzzSeedSketch(f, 4, 1, 0))
+	f.Add(fuzzSeedSketch(f, 4, 1, 3))
+	f.Add(fuzzSeedSketch(f, 4, 42, 5))
+	f.Add(fuzzSeedSketch(f, 64, 7, 1000))
+	merged := New(8, 9)
+	other := New(8, 9)
+	for i := 0; i < 100; i++ {
+		merged.Add(uint64(i), 1, 1)
+		other.Add(uint64(i+50), 2, 1)
+	}
+	if err := merged.Merge(other); err != nil {
+		f.Fatal(err)
+	}
+	if data, err := merged.MarshalBinary(); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ATSbgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		// Decoded state must respect the structural invariants.
+		if s.k <= 0 || len(s.heap) > s.k+1 {
+			t.Fatalf("decoded invalid sketch: k=%d heap=%d", s.k, len(s.heap))
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var s2 Sketch
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		if s2.k != s.k || s2.seed != s.seed || s2.n != s.n {
+			t.Fatalf("round trip changed identity: (%d,%d,%d) -> (%d,%d,%d)",
+				s.k, s.seed, s.n, s2.k, s2.seed, s2.n)
+		}
+		t1, t2 := s.Threshold(), s2.Threshold()
+		if t1 != t2 && !(math.IsInf(t1, 1) && math.IsInf(t2, 1)) {
+			t.Fatalf("round trip changed threshold: %v -> %v", t1, t2)
+		}
+		a, b := sampleFingerprint(&s), sampleFingerprint(&s2)
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed sample size: %d -> %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed sample[%d]: %+v -> %+v", i, a[i], b[i])
+			}
+		}
+		// Estimates must agree as well (exercises the heap invariant).
+		sum1, var1 := s.SubsetSum(nil)
+		sum2, var2 := s2.SubsetSum(nil)
+		if sum1 != sum2 || var1 != var2 {
+			t.Fatalf("round trip changed estimate: (%v,%v) -> (%v,%v)", sum1, var1, sum2, var2)
+		}
+	})
+}

@@ -92,7 +92,7 @@ func (s *Sketch) Threshold() float64 {
 // allocated and unordered.
 func (s *Sketch) Sample() []Entry {
 	t := s.Threshold()
-	out := make([]Entry, 0, s.k)
+	out := make([]Entry, 0, sampleCap(s.k, len(s.heap)))
 	for _, e := range s.heap {
 		if e.Priority < t {
 			out = append(out, e)
@@ -121,7 +121,7 @@ func (s *Sketch) SubsetSum(pred func(Entry) bool) (sum, varianceEstimate float64
 		}
 		return sum, 0
 	}
-	sampled := make([]estimator.Sampled, 0, s.k)
+	sampled := make([]estimator.Sampled, 0, sampleCap(s.k, len(s.heap)))
 	for _, e := range s.heap {
 		if e.Priority >= t {
 			continue
@@ -152,6 +152,17 @@ func (s *Sketch) Merge(o *Sketch) error {
 	}
 	s.n += o.n - len(o.heap) // AddWithPriority already counted the entries
 	return nil
+}
+
+// sampleCap bounds result-slice pre-allocation by the number of stored
+// entries: k may legitimately dwarf the stream (or come from decoded
+// data), and allocating k capacity for a near-empty sketch is wasteful at
+// best and an allocation bomb at worst.
+func sampleCap(k, stored int) int {
+	if stored < k {
+		return stored
+	}
+	return k
 }
 
 // --- max-heap on Priority ---

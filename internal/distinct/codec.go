@@ -66,7 +66,14 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if len(data) != header+count*8 {
 		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*8)
 	}
-	restored := NewSketch(k, seed)
+	// Size allocations from the actual entry count, not k: a crafted
+	// header can claim k in the billions while carrying a tiny body.
+	restored := &Sketch{
+		k:       k,
+		seed:    seed,
+		heap:    make([]float64, 0, count+2),
+		members: make(map[float64]struct{}, count+2),
+	}
 	off := header
 	for i := 0; i < count; i++ {
 		h := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))

@@ -1,0 +1,80 @@
+package distinct
+
+import (
+	"sort"
+	"testing"
+)
+
+func fuzzSeedDistinct(t testing.TB, k int, seed uint64, n int) []byte {
+	sk := NewSketch(k, seed)
+	for i := 0; i < n; i++ {
+		sk.Add(uint64(i) * 0x9e3779b9)
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary. Decodable
+// inputs must survive a marshal/unmarshal round trip with identical
+// semantics (k, seed, threshold, hash sample, estimate); everything else
+// must be rejected with an error, never a panic.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(fuzzSeedDistinct(f, 4, 1, 0))
+	f.Add(fuzzSeedDistinct(f, 4, 1, 3))
+	f.Add(fuzzSeedDistinct(f, 4, 5, 4))
+	f.Add(fuzzSeedDistinct(f, 128, 9, 5000))
+	merged := NewSketch(16, 3)
+	other := NewSketch(16, 3)
+	for i := 0; i < 200; i++ {
+		merged.Add(uint64(i))
+		other.Add(uint64(i + 100))
+	}
+	merged.Merge(other)
+	if data, err := merged.MarshalBinary(); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)-5])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ATSdgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if s.k <= 0 || len(s.heap) > s.k+1 || len(s.members) != len(s.heap) {
+			t.Fatalf("decoded invalid sketch: k=%d heap=%d members=%d", s.k, len(s.heap), len(s.members))
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var s2 Sketch
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		if s2.k != s.k || s2.seed != s.seed {
+			t.Fatalf("round trip changed identity: (%d,%d) -> (%d,%d)", s.k, s.seed, s2.k, s2.seed)
+		}
+		if s.Threshold() != s2.Threshold() {
+			t.Fatalf("round trip changed threshold: %v -> %v", s.Threshold(), s2.Threshold())
+		}
+		if s.Estimate() != s2.Estimate() {
+			t.Fatalf("round trip changed estimate: %v -> %v", s.Estimate(), s2.Estimate())
+		}
+		a, b := s.Hashes(), s2.Hashes()
+		sort.Float64s(a)
+		sort.Float64s(b)
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed sample size: %d -> %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed hash[%d]: %v -> %v", i, a[i], b[i])
+			}
+		}
+	})
+}

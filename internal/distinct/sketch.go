@@ -20,6 +20,7 @@
 package distinct
 
 import (
+	"errors"
 	"math"
 	"sort"
 
@@ -99,7 +100,13 @@ func (s *Sketch) Threshold() float64 {
 // (the sample), freshly allocated and unordered.
 func (s *Sketch) Hashes() []float64 {
 	t := s.Threshold()
-	out := make([]float64, 0, s.k)
+	// Capacity follows stored size, not k: k may dwarf the stream (or come
+	// from decoded data), and pre-allocating k would be an allocation bomb.
+	c := s.k
+	if len(s.heap) < c {
+		c = len(s.heap)
+	}
+	out := make([]float64, 0, c)
 	for _, h := range s.heap {
 		if h < t {
 			out = append(out, h)
@@ -131,6 +138,21 @@ func (s *Sketch) Merge(o *Sketch) {
 	for _, h := range o.heap {
 		s.addHash(h)
 	}
+}
+
+// MergeChecked is Merge with compatibility validation: the sketches must
+// share k and seed, otherwise the hash values are not coordinated and the
+// union would be silently biased. The concurrent engine merges shards
+// through this entry point.
+func (s *Sketch) MergeChecked(o *Sketch) error {
+	if o.k != s.k {
+		return errors.New("distinct: cannot merge sketches with different k")
+	}
+	if o.seed != s.seed {
+		return errors.New("distinct: cannot merge sketches with different seeds")
+	}
+	s.Merge(o)
+	return nil
 }
 
 // --- max-heap on float64 ---

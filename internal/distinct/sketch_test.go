@@ -238,3 +238,28 @@ func TestJaccardDegenerate(t *testing.T) {
 		t.Error("empty sketches have Jaccard 0")
 	}
 }
+
+func TestMergeChecked(t *testing.T) {
+	a, b := NewSketch(16, 1), NewSketch(16, 1)
+	for i := 0; i < 100; i++ {
+		a.Add(uint64(i))
+		b.Add(uint64(i + 50))
+	}
+	if err := a.MergeChecked(b); err != nil {
+		t.Fatal(err)
+	}
+	// Must equal the sketch of the union stream.
+	u := NewSketch(16, 1)
+	for i := 0; i < 150; i++ {
+		u.Add(uint64(i))
+	}
+	if a.Estimate() != u.Estimate() {
+		t.Errorf("merged estimate %v != union estimate %v", a.Estimate(), u.Estimate())
+	}
+	if err := a.MergeChecked(NewSketch(16, 2)); err == nil {
+		t.Error("merging different seeds must fail")
+	}
+	if err := a.MergeChecked(NewSketch(8, 1)); err == nil {
+		t.Error("merging different k must fail")
+	}
+}

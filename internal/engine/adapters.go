@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"errors"
+	"math"
+
+	"ats/internal/bottomk"
+	"ats/internal/core"
+	"ats/internal/distinct"
+	"ats/internal/window"
+)
+
+// ErrIncompatible reports an attempt to merge samplers of different
+// concrete types.
+var ErrIncompatible = errors.New("engine: cannot merge samplers of different types")
+
+// Compile-time interface conformance of the adapters.
+var (
+	_ Sampler = (*BottomKSampler)(nil)
+	_ Sampler = (*DistinctSampler)(nil)
+	_ Sampler = (*WindowSampler)(nil)
+)
+
+// BottomKSampler adapts a bottom-k sketch to the Sampler interface.
+type BottomKSampler struct {
+	sk *bottomk.Sketch
+}
+
+// WrapBottomK wraps an existing bottom-k sketch.
+func WrapBottomK(sk *bottomk.Sketch) *BottomKSampler { return &BottomKSampler{sk: sk} }
+
+// Sketch returns the underlying bottom-k sketch.
+func (b *BottomKSampler) Sketch() *bottomk.Sketch { return b.sk }
+
+// Add offers a weighted item.
+func (b *BottomKSampler) Add(key uint64, weight, value float64) { b.sk.Add(key, weight, value) }
+
+// Sample returns the retained entries with pseudo-inclusion probabilities
+// min(1, w·T) under the current threshold.
+func (b *BottomKSampler) Sample() []Sample {
+	t := b.sk.Threshold()
+	entries := b.sk.Sample()
+	out := make([]Sample, len(entries))
+	for i, e := range entries {
+		p := 1.0
+		if !math.IsInf(t, 1) {
+			p = core.InclusionProb(e.Weight, t)
+		}
+		out[i] = Sample{Key: e.Key, Weight: e.Weight, Value: e.Value, Priority: e.Priority, P: p}
+	}
+	return out
+}
+
+// Threshold returns the (k+1)-th smallest priority seen.
+func (b *BottomKSampler) Threshold() float64 { return b.sk.Threshold() }
+
+// Merge folds another BottomKSampler into b.
+func (b *BottomKSampler) Merge(other Sampler) error {
+	o, ok := other.(*BottomKSampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return b.sk.Merge(o.sk)
+}
+
+// DistinctSampler adapts a KMV distinct-counting sketch to the Sampler
+// interface. Weight and value are ignored by Add; Sample reports each
+// retained hash as an item with Value 1 and P equal to the threshold, so
+// SubsetCount-style HT estimation yields the cardinality estimate.
+type DistinctSampler struct {
+	sk *distinct.Sketch
+}
+
+// WrapDistinct wraps an existing distinct sketch.
+func WrapDistinct(sk *distinct.Sketch) *DistinctSampler { return &DistinctSampler{sk: sk} }
+
+// Sketch returns the underlying distinct sketch.
+func (d *DistinctSampler) Sketch() *distinct.Sketch { return d.sk }
+
+// Add offers a key; weight and value are ignored.
+func (d *DistinctSampler) Add(key uint64, _, _ float64) { d.sk.Add(key) }
+
+// Sample returns the retained hashes as unit-valued samples with P equal to
+// the sketch threshold.
+func (d *DistinctSampler) Sample() []Sample {
+	t := d.sk.Threshold()
+	hs := d.sk.Hashes()
+	out := make([]Sample, len(hs))
+	for i, h := range hs {
+		out[i] = Sample{Weight: 1, Value: 1, Priority: h, P: t}
+	}
+	return out
+}
+
+// Threshold returns the (k+1)-th smallest distinct hash seen.
+func (d *DistinctSampler) Threshold() float64 { return d.sk.Threshold() }
+
+// Merge folds another DistinctSampler into d.
+func (d *DistinctSampler) Merge(other Sampler) error {
+	o, ok := other.(*DistinctSampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return d.sk.MergeChecked(o.sk)
+}
+
+// WindowSampler adapts the sliding-window sampler to the Sampler
+// interface. Add interprets the weight argument as the item's arrival
+// time (the window sampler is unweighted); value is ignored. Sample
+// returns the improved-threshold uniform sample of the current window.
+type WindowSampler struct {
+	sk *window.Sampler
+}
+
+// WrapWindow wraps an existing sliding-window sampler.
+func WrapWindow(sk *window.Sampler) *WindowSampler { return &WindowSampler{sk: sk} }
+
+// Sketch returns the underlying window sampler.
+func (w *WindowSampler) Sketch() *window.Sampler { return w.sk }
+
+// Add offers an arrival: weight carries the arrival time, value is
+// ignored.
+func (w *WindowSampler) Add(key uint64, weight, _ float64) { w.sk.Add(key, weight) }
+
+// Sample returns the improved-threshold sample of the current window, each
+// item with P equal to the extraction threshold.
+func (w *WindowSampler) Sample() []Sample {
+	items, t := w.sk.ImprovedSample()
+	out := make([]Sample, len(items))
+	for i, it := range items {
+		out[i] = Sample{Key: it.Key, Weight: 1, Value: 1, Priority: it.R, P: t}
+	}
+	return out
+}
+
+// Threshold returns the improved extraction threshold.
+func (w *WindowSampler) Threshold() float64 { return w.sk.ImprovedThreshold() }
+
+// Merge folds another WindowSampler into w.
+func (w *WindowSampler) Merge(other Sampler) error {
+	o, ok := other.(*WindowSampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return w.sk.Merge(o.sk)
+}

@@ -1,0 +1,65 @@
+// Package engine provides a concurrent, sharded sampling engine over the
+// library's mergeable sketches.
+//
+// The single-threaded sketches (bottom-k, distinct, sliding-window) are
+// deliberately lock-free and cheap; the engine scales them to multi-core
+// ingest by hash-partitioning keys across N shards, each shard owning an
+// independent sketch behind its own mutex. A batched AddBatch path groups
+// items by shard first and takes each shard lock once per batch, so lock
+// traffic is amortized over hundreds of items. Snapshot (or the typed
+// facades' Collapse) merges the shards into one sketch for estimation.
+//
+// Correctness rests on the paper's mergeability results: bottom-k and KMV
+// sketches depend only on the multiset of (key, priority) pairs, and
+// priorities are derived from a seeded hash of the key — not from the order
+// of arrival — so the collapsed sketch is *identical* to the sketch of the
+// sequential stream, bit for bit, regardless of how items were partitioned
+// or interleaved. The per-shard thresholds are each substitutable, and the
+// merged threshold is again the (k+1)-th smallest priority of the union,
+// so every Horvitz-Thompson estimator stays unbiased (§2.5, §3.5 of Ting,
+// SIGMOD 2022).
+//
+// Samplers whose priorities come from an RNG stream rather than a key hash
+// (the sliding-window sampler) are sharded with forked deterministic RNG
+// streams: results are reproducible for a fixed shard count, but a sharded
+// run and a sequential run consume randomness differently, so their
+// samples differ (both are valid adaptive threshold samples).
+package engine
+
+// Item is one weighted stream record, the unit of the batched ingest path.
+type Item struct {
+	Key    uint64
+	Weight float64
+	Value  float64
+}
+
+// Sample is one sampled item together with the pseudo-inclusion
+// probability implied by the sampler's threshold, ready for
+// Horvitz-Thompson estimation.
+type Sample struct {
+	Key      uint64
+	Weight   float64
+	Value    float64
+	Priority float64
+	// P is the pseudo-inclusion probability F(T) of the item under the
+	// sampler's current threshold; it is in (0, 1].
+	P float64
+}
+
+// Sampler is the unified contract the engine shards: a weighted sampler
+// with an adaptive threshold and merge support. The concrete
+// implementations in this package adapt the internal sketches; Merge must
+// reject a Sampler of a different concrete type or incompatible
+// configuration (k, seed, window length) with an error.
+type Sampler interface {
+	// Add offers one weighted item. Samplers that ignore a field (e.g.
+	// distinct counting ignores weight and value) document it.
+	Add(key uint64, weight, value float64)
+	// Sample returns the current sample with inclusion probabilities.
+	Sample() []Sample
+	// Threshold returns the current adaptive threshold.
+	Threshold() float64
+	// Merge folds another compatible sampler into the receiver. The
+	// argument is read but never modified.
+	Merge(other Sampler) error
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+	"ats/internal/stream"
+)
+
+// zipfItems generates a seeded Zipf-keyed weighted stream shared by the
+// determinism tests.
+func zipfItems(n int, seed uint64) []Item {
+	z := stream.NewZipf(10000, 1.1, seed)
+	rng := stream.NewRNG(seed ^ 0xABCD)
+	items := make([]Item, n)
+	for i := range items {
+		w := 1 + 10*rng.Float64()
+		items[i] = Item{Key: z.Next(), Weight: w, Value: w}
+	}
+	return items
+}
+
+func sortedEntries(es []bottomk.Entry) []bottomk.Entry {
+	out := append([]bottomk.Entry(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TestShardedBottomKMatchesSequential: because priorities are hash-derived,
+// the collapsed sharded sketch must equal the sequential sketch exactly —
+// same threshold, same sample, same N — for any shard count.
+func TestShardedBottomKMatchesSequential(t *testing.T) {
+	const k, seed = 64, 7
+	items := zipfItems(20000, seed)
+
+	seq := bottomk.New(k, seed)
+	for _, it := range items {
+		seq.Add(it.Key, it.Weight, it.Value)
+	}
+
+	for _, shards := range []int{1, 2, 3, 8} {
+		eng := NewShardedBottomK(k, seed, shards)
+		// Mix the single-item and batched paths.
+		eng.AddBatch(items[:len(items)/2])
+		for _, it := range items[len(items)/2:] {
+			eng.Sharded.Add(it.Key, it.Weight, it.Value)
+		}
+		col := eng.Collapse()
+		if col.Threshold() != seq.Threshold() {
+			t.Errorf("shards=%d: threshold %v != sequential %v", shards, col.Threshold(), seq.Threshold())
+		}
+		if col.N() != seq.N() {
+			t.Errorf("shards=%d: N %d != sequential %d", shards, col.N(), seq.N())
+		}
+		a, b := sortedEntries(col.Sample()), sortedEntries(seq.Sample())
+		if len(a) != len(b) {
+			t.Fatalf("shards=%d: sample size %d != %d", shards, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shards=%d: sample[%d] = %+v != %+v", shards, i, a[i], b[i])
+			}
+		}
+		gotSum, _ := eng.SubsetSum(nil)
+		wantSum, _ := seq.SubsetSum(nil)
+		if math.Abs(gotSum-wantSum) > 1e-9*math.Abs(wantSum) {
+			t.Errorf("shards=%d: SubsetSum %v != %v", shards, gotSum, wantSum)
+		}
+	}
+}
+
+func TestShardedDistinctMatchesSequential(t *testing.T) {
+	const k, seed = 128, 11
+	z := stream.NewZipf(50000, 0.8, seed)
+	keys := make([]uint64, 60000)
+	for i := range keys {
+		keys[i] = z.Next()
+	}
+
+	seq := distinct.NewSketch(k, seed)
+	for _, key := range keys {
+		seq.Add(key)
+	}
+
+	for _, shards := range []int{1, 4, 7} {
+		eng := NewShardedDistinct(k, seed, shards)
+		eng.AddKeys(keys[:30000])
+		for _, key := range keys[30000:] {
+			eng.AddKey(key)
+		}
+		col := eng.Collapse()
+		if col.Threshold() != seq.Threshold() {
+			t.Errorf("shards=%d: threshold %v != %v", shards, col.Threshold(), seq.Threshold())
+		}
+		if got, want := eng.Estimate(), seq.Estimate(); got != want {
+			t.Errorf("shards=%d: estimate %v != %v", shards, got, want)
+		}
+		a, b := col.Hashes(), seq.Hashes()
+		sort.Float64s(a)
+		sort.Float64s(b)
+		if len(a) != len(b) {
+			t.Fatalf("shards=%d: %d hashes != %d", shards, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shards=%d: hash[%d] %v != %v", shards, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestShardedWindowCollapse checks the sharded window sampler's collapsed
+// sample: capacity respected, items within the window, and the HT count
+// estimate |sample|/t close to the true window population on average.
+func TestShardedWindowCollapse(t *testing.T) {
+	const (
+		k      = 32
+		delta  = 1.0
+		trials = 60
+		perWin = 400
+	)
+	var relSum float64
+	for trial := 0; trial < trials; trial++ {
+		eng := NewShardedWindow(k, delta, uint64(trial+1), 4)
+		// Arrivals over 3 windows at uniform spacing, round-robin across
+		// producers (each producer sees non-decreasing times).
+		n := 3 * perWin
+		for i := 0; i < n; i++ {
+			eng.Observe(uint64(i), float64(i)*3.0/float64(n))
+		}
+		col := eng.Collapse()
+		items, thr := col.ImprovedSample()
+		if len(items) > 4*k {
+			t.Fatalf("trial %d: %d current items exceed total capacity", trial, len(items))
+		}
+		now := col.Now()
+		for _, it := range items {
+			if it.Time <= now-delta || it.Time > now {
+				t.Fatalf("trial %d: sampled item at %v outside window (%v, %v]", trial, it.Time, now-delta, now)
+			}
+			if it.R >= thr {
+				t.Fatalf("trial %d: sampled priority %v >= threshold %v", trial, it.R, thr)
+			}
+		}
+		if thr <= 0 || thr > 1 {
+			t.Fatalf("trial %d: threshold %v out of range", trial, thr)
+		}
+		est := float64(len(items)) / thr
+		relSum += est / float64(perWin)
+	}
+	if mean := relSum / trials; math.Abs(mean-1) > 0.15 {
+		t.Errorf("window HT count estimate biased: mean ratio %v", mean)
+	}
+}
+
+func TestAddBatchEquivalentToAdd(t *testing.T) {
+	const k, seed = 32, 3
+	items := zipfItems(5000, seed)
+	a := NewShardedBottomK(k, seed, 4)
+	b := NewShardedBottomK(k, seed, 4)
+	a.AddBatch(items)
+	for _, it := range items {
+		b.Sharded.Add(it.Key, it.Weight, it.Value)
+	}
+	if at, bt := a.Collapse().Threshold(), b.Collapse().Threshold(); at != bt {
+		t.Errorf("AddBatch threshold %v != Add threshold %v", at, bt)
+	}
+}
+
+func TestMergeIncompatibleTypes(t *testing.T) {
+	bk := WrapBottomK(bottomk.New(4, 1))
+	ds := WrapDistinct(distinct.NewSketch(4, 1))
+	if err := bk.Merge(ds); err == nil {
+		t.Error("bottom-k merged a distinct sampler")
+	}
+	if err := ds.Merge(bk); err == nil {
+		t.Error("distinct merged a bottom-k sampler")
+	}
+	d2 := WrapDistinct(distinct.NewSketch(4, 2))
+	if err := ds.Merge(d2); err == nil {
+		t.Error("distinct merged a sketch with a different seed")
+	}
+}
+
+func TestSamplerInterfaceSamples(t *testing.T) {
+	bk := WrapBottomK(bottomk.New(8, 1))
+	for i := 0; i < 100; i++ {
+		bk.Add(uint64(i), 1+float64(i%5), 1)
+	}
+	for _, s := range bk.Sample() {
+		if !(s.P > 0 && s.P <= 1) {
+			t.Fatalf("bottom-k sample P = %v", s.P)
+		}
+		if s.Priority >= bk.Threshold() {
+			t.Fatalf("sampled priority %v >= threshold %v", s.Priority, bk.Threshold())
+		}
+	}
+	ds := WrapDistinct(distinct.NewSketch(8, 1))
+	for i := 0; i < 100; i++ {
+		ds.Add(uint64(i), 0, 0)
+	}
+	for _, s := range ds.Sample() {
+		if s.P != ds.Threshold() {
+			t.Fatalf("distinct sample P = %v, want threshold %v", s.P, ds.Threshold())
+		}
+	}
+}
+
+func TestSnapshotFactoryMismatch(t *testing.T) {
+	// A factory whose collapse target is a different type must surface an
+	// error from Snapshot rather than panic.
+	f := func(i int) Sampler {
+		if i < 0 {
+			return WrapDistinct(distinct.NewSketch(4, 1))
+		}
+		return WrapBottomK(bottomk.New(4, 1))
+	}
+	e := NewSharded(2, f)
+	if _, err := e.Snapshot(); err == nil {
+		t.Error("Snapshot with mismatched collapse target must fail")
+	}
+}
+
+func TestDefaultShardCount(t *testing.T) {
+	e := NewShardedBottomK(8, 1, 0)
+	if e.NumShards() < 1 {
+		t.Errorf("default shard count %d", e.NumShards())
+	}
+}

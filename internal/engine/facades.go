@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+	"ats/internal/stream"
+	"ats/internal/window"
+)
+
+// ShardedBottomK is a concurrent bottom-k sketch: a Sharded engine whose
+// shards are coordinated bottom-k sketches sharing one seed. Because
+// priorities are hash-derived, Collapse returns exactly the sketch a
+// single-threaded run over the same stream would produce.
+type ShardedBottomK struct {
+	*Sharded
+	k    int
+	seed uint64
+}
+
+// NewShardedBottomK returns a sharded bottom-k engine with sample size k;
+// shards <= 0 defaults to GOMAXPROCS.
+func NewShardedBottomK(k int, seed uint64, shards int) *ShardedBottomK {
+	factory := func(int) Sampler { return WrapBottomK(bottomk.New(k, seed)) }
+	return &ShardedBottomK{Sharded: NewSharded(shards, factory), k: k, seed: seed}
+}
+
+// Collapse merges the shards into one bottom-k sketch (the shards are left
+// untouched).
+func (s *ShardedBottomK) Collapse() *bottomk.Sketch {
+	snap, err := s.Snapshot()
+	if err != nil {
+		// All shards come from one factory; merge cannot fail.
+		panic("engine: bottom-k snapshot failed: " + err.Error())
+	}
+	return snap.(*BottomKSampler).Sketch()
+}
+
+// Threshold returns the collapsed adaptive threshold.
+func (s *ShardedBottomK) Threshold() float64 { return s.Collapse().Threshold() }
+
+// Sample returns the collapsed sample.
+func (s *ShardedBottomK) Sample() []bottomk.Entry { return s.Collapse().Sample() }
+
+// SubsetSum returns the HT estimate of Σ value over items whose key
+// satisfies pred (nil for the total), with its unbiased variance estimate,
+// from the collapsed sketch.
+func (s *ShardedBottomK) SubsetSum(pred func(bottomk.Entry) bool) (sum, varianceEstimate float64) {
+	return s.Collapse().SubsetSum(pred)
+}
+
+// ShardedDistinct is a concurrent KMV distinct-counting sketch.
+// Coordinated hashing makes Collapse exactly equal to the sequential
+// sketch of the same key stream.
+type ShardedDistinct struct {
+	*Sharded
+	k    int
+	seed uint64
+}
+
+// NewShardedDistinct returns a sharded distinct-counting engine of sketch
+// size k; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedDistinct(k int, seed uint64, shards int) *ShardedDistinct {
+	factory := func(int) Sampler { return WrapDistinct(distinct.NewSketch(k, seed)) }
+	return &ShardedDistinct{Sharded: NewSharded(shards, factory), k: k, seed: seed}
+}
+
+// AddKey offers a key (the weight/value-free form of Add).
+func (s *ShardedDistinct) AddKey(key uint64) { s.Add(key, 1, 1) }
+
+// AddKeys offers a batch of keys through the amortized-locking path.
+func (s *ShardedDistinct) AddKeys(keys []uint64) {
+	items := make([]Item, len(keys))
+	for i, k := range keys {
+		items[i] = Item{Key: k, Weight: 1, Value: 1}
+	}
+	s.AddBatch(items)
+}
+
+// Collapse merges the shards into one distinct sketch (the shards are left
+// untouched).
+func (s *ShardedDistinct) Collapse() *distinct.Sketch {
+	snap, err := s.Snapshot()
+	if err != nil {
+		panic("engine: distinct snapshot failed: " + err.Error())
+	}
+	return snap.(*DistinctSampler).Sketch()
+}
+
+// Estimate returns the collapsed unbiased cardinality estimate.
+func (s *ShardedDistinct) Estimate() float64 { return s.Collapse().Estimate() }
+
+// Threshold returns the collapsed threshold.
+func (s *ShardedDistinct) Threshold() float64 { return s.Collapse().Threshold() }
+
+// ShardedWindow is a concurrent sliding-window sampler. Each shard owns an
+// independent window sampler with a forked deterministic RNG seed, so a
+// sharded run is reproducible for a fixed shard count but draws different
+// priorities than a sequential run (both are valid uniform window
+// samples). Collapse merges the shards under the window merge rule, which
+// preserves 1-substitutability of the extraction threshold.
+type ShardedWindow struct {
+	*Sharded
+}
+
+// NewShardedWindow returns a sharded sliding-window engine with per-shard
+// sample parameter k and window length delta; shards <= 0 defaults to
+// GOMAXPROCS. Arrival times should be non-decreasing per producing
+// goroutine; an arrival whose time already lies outside a shard's current
+// window (a producer running behind the others) is archived or discarded,
+// never admitted to the current sample.
+func NewShardedWindow(k int, delta float64, seed uint64, shards int) *ShardedWindow {
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	seeds := stream.ForkSeeds(seed, shards+1)
+	factory := func(i int) Sampler {
+		if i < 0 {
+			i = shards // collapse target gets the spare forked seed
+		}
+		return WrapWindow(window.New(k, delta, seeds[i]))
+	}
+	return &ShardedWindow{Sharded: NewSharded(shards, factory)}
+}
+
+// Observe offers an arrival at time t.
+func (s *ShardedWindow) Observe(key uint64, t float64) { s.Add(key, t, 0) }
+
+// Collapse merges the shards into one window sampler (the shards are left
+// untouched).
+func (s *ShardedWindow) Collapse() *window.Sampler {
+	snap, err := s.Snapshot()
+	if err != nil {
+		panic("engine: window snapshot failed: " + err.Error())
+	}
+	return snap.(*WindowSampler).Sketch()
+}

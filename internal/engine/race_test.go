@@ -1,0 +1,182 @@
+package engine
+
+// Concurrency tests: many goroutines hammering Add, AddBatch and Snapshot
+// simultaneously. Run with the race detector:
+//
+//	go test -race ./internal/engine/...
+//
+// Beyond freedom from data races, the tests assert the paper-level
+// property that makes sharding sound: the collapsed sketch equals the
+// single-threaded sketch of the same stream, no matter how the stream was
+// partitioned or interleaved across goroutines.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+)
+
+func TestConcurrentBottomKMatchesSequential(t *testing.T) {
+	const (
+		k       = 128
+		seed    = 21
+		writers = 8
+		perW    = 4000
+	)
+	items := zipfItems(writers*perW, seed)
+
+	seq := bottomk.New(k, seed)
+	for _, it := range items {
+		seq.Add(it.Key, it.Weight, it.Value)
+	}
+	wantSum, _ := seq.SubsetSum(nil)
+
+	eng := NewShardedBottomK(k, seed, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := items[w*perW : (w+1)*perW]
+			// Alternate between the batched and single-item paths.
+			half := len(chunk) / 2
+			eng.AddBatch(chunk[:half])
+			for _, it := range chunk[half:] {
+				eng.Sharded.Add(it.Key, it.Weight, it.Value)
+			}
+		}(w)
+	}
+	// Concurrent snapshots while writers run: must be internally
+	// consistent (valid threshold, sample within capacity).
+	var snapWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for i := 0; i < 10; i++ {
+				col := eng.Collapse()
+				if got := len(col.Sample()); got > k {
+					t.Errorf("mid-write snapshot sample size %d > k", got)
+					return
+				}
+				if thr := col.Threshold(); thr <= 0 {
+					t.Errorf("mid-write snapshot threshold %v", thr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snapWG.Wait()
+
+	col := eng.Collapse()
+	if col.Threshold() != seq.Threshold() {
+		t.Errorf("concurrent threshold %v != sequential %v", col.Threshold(), seq.Threshold())
+	}
+	gotSum, _ := eng.SubsetSum(nil)
+	if math.Abs(gotSum-wantSum) > 1e-9*math.Abs(wantSum) {
+		t.Errorf("concurrent SubsetSum %v != sequential %v", gotSum, wantSum)
+	}
+	if col.N() != seq.N() {
+		t.Errorf("concurrent N %d != sequential %d", col.N(), seq.N())
+	}
+}
+
+func TestConcurrentDistinctMatchesSequential(t *testing.T) {
+	const (
+		k       = 256
+		seed    = 31
+		writers = 8
+		perW    = 5000
+	)
+	keys := make([]uint64, writers*perW)
+	for i := range keys {
+		keys[i] = uint64(i % 17000) // heavy duplication across goroutines
+	}
+
+	seq := distinct.NewSketch(k, seed)
+	for _, key := range keys {
+		seq.Add(key)
+	}
+
+	eng := NewShardedDistinct(k, seed, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := keys[w*perW : (w+1)*perW]
+			half := len(chunk) / 2
+			eng.AddKeys(chunk[:half])
+			for _, key := range chunk[half:] {
+				eng.AddKey(key)
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 20; i++ {
+			if est := eng.Estimate(); est < 0 {
+				t.Errorf("mid-write estimate %v", est)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+
+	if got, want := eng.Estimate(), seq.Estimate(); got != want {
+		t.Errorf("concurrent estimate %v != sequential %v", got, want)
+	}
+}
+
+func TestConcurrentWindowIsRaceFree(t *testing.T) {
+	const (
+		k       = 64
+		delta   = 1.0
+		writers = 4
+		perW    = 2000
+	)
+	eng := NewShardedWindow(k, delta, 5, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				eng.Observe(uint64(w*perW+i), float64(i)/float64(perW)*3)
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 10; i++ {
+			col := eng.Collapse()
+			if items, thr := col.ImprovedSample(); thr <= 0 || len(items) > writers*k {
+				t.Errorf("mid-write window snapshot: %d items, threshold %v", len(items), thr)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+
+	col := eng.Collapse()
+	items, thr := col.ImprovedSample()
+	if thr <= 0 || thr > 1 {
+		t.Fatalf("final threshold %v", thr)
+	}
+	now := col.Now()
+	for _, it := range items {
+		if it.Time <= now-delta || it.Time > now {
+			t.Fatalf("sampled item at %v outside window ending %v", it.Time, now)
+		}
+	}
+}

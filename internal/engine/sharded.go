@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"ats/internal/stream"
+)
+
+// shardSalt seeds the key-to-shard routing hash. It is a fixed constant,
+// distinct from any sketch seed a caller would plausibly use, so routing is
+// stable across processes. Any deterministic partition of keys is correct —
+// merged sketches depend only on the multiset of (key, priority) pairs —
+// the salt only affects load balance.
+const shardSalt = 0x9e2b7ca6f4a3d815
+
+// Factory builds the sampler owned by one shard. It is called with the
+// shard index in [0, shards) at construction time and with -1 to build the
+// collapse target of Snapshot. All samplers a factory produces must be
+// mutually mergeable (same concrete type, same k/seed/configuration up to
+// per-shard RNG streams).
+type Factory func(shard int) Sampler
+
+// Sharded is a concurrent sampling engine: N shards, each an independent
+// Sampler behind its own mutex. Keys are hash-partitioned across shards so
+// all occurrences of a key land on the same shard. The zero value is not
+// usable; construct with NewSharded.
+//
+// Add and AddBatch may be called from any number of goroutines. Snapshot
+// may run concurrently with writers: it locks one shard at a time, so it
+// observes each shard at a (possibly different) consistent point — exactly
+// the semantics of merging independently maintained distributed sketches.
+type Sharded struct {
+	shards  []*shard
+	factory Factory
+}
+
+type shard struct {
+	mu sync.Mutex
+	s  Sampler
+	// pad keeps neighbouring shard locks off one cache line under heavy
+	// multi-core contention.
+	_ [40]byte
+}
+
+func defaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// NewSharded returns an engine with the given shard count; shards <= 0
+// defaults to GOMAXPROCS.
+func NewSharded(shards int, factory Factory) *Sharded {
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	e := &Sharded{shards: make([]*shard, shards), factory: factory}
+	for i := range e.shards {
+		e.shards[i] = &shard{s: factory(i)}
+	}
+	return e
+}
+
+// NumShards returns the shard count.
+func (e *Sharded) NumShards() int { return len(e.shards) }
+
+func (e *Sharded) shardIndex(key uint64) int {
+	return int(stream.Hash64(key, shardSalt) % uint64(len(e.shards)))
+}
+
+// Add offers one item, locking only the owning shard.
+func (e *Sharded) Add(key uint64, weight, value float64) {
+	sh := e.shards[e.shardIndex(key)]
+	sh.mu.Lock()
+	sh.s.Add(key, weight, value)
+	sh.mu.Unlock()
+}
+
+// AddBatch offers a batch of items, grouping them by shard first so each
+// shard lock is taken at most once per call. This is the high-throughput
+// ingest path: per-item locking cost is amortized over the batch.
+func (e *Sharded) AddBatch(items []Item) {
+	n := len(e.shards)
+	if n == 1 {
+		sh := e.shards[0]
+		sh.mu.Lock()
+		for _, it := range items {
+			sh.s.Add(it.Key, it.Weight, it.Value)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	// Two passes: route every item once, then bucket into one backing
+	// array using counting-sort offsets.
+	counts := make([]int, n)
+	idx := make([]int32, len(items))
+	for j, it := range items {
+		i := e.shardIndex(it.Key)
+		idx[j] = int32(i)
+		counts[i]++
+	}
+	offsets := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + counts[i]
+	}
+	grouped := make([]Item, len(items))
+	next := make([]int, n)
+	copy(next, offsets[:n])
+	for j, it := range items {
+		i := idx[j]
+		grouped[next[i]] = it
+		next[i]++
+	}
+	for i := 0; i < n; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		sh := e.shards[i]
+		sh.mu.Lock()
+		for _, it := range grouped[offsets[i]:offsets[i+1]] {
+			sh.s.Add(it.Key, it.Weight, it.Value)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Snapshot merges every shard into a fresh sampler built by factory(-1)
+// and returns it; the shards themselves are not modified. Writers may run
+// concurrently: each shard is locked only while it is being merged.
+func (e *Sharded) Snapshot() (Sampler, error) {
+	out := e.factory(-1)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		err := out.Merge(sh.s)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEachShard runs fn on every shard's sampler under that shard's lock,
+// for instrumentation (per-shard thresholds, sizes). fn must not retain
+// the sampler.
+func (e *Sharded) ForEachShard(fn func(shard int, s Sampler)) {
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		fn(i, sh.s)
+		sh.mu.Unlock()
+	}
+}

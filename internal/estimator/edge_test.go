@@ -1,0 +1,243 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge-case coverage for the HT estimators: empty samples,
+// degenerate inclusion probabilities (0, negative, exactly 1), and
+// single-item samples — the boundary states a sampler hands over before
+// its threshold has adapted or after aggressive pruning.
+
+func TestSubsetSumEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		sample    []Sampled
+		wantSum   float64
+		wantCount float64
+		wantVar   float64
+	}{
+		{name: "nil sample", sample: nil},
+		{name: "empty sample", sample: []Sampled{}},
+		{
+			name:   "single certain item",
+			sample: []Sampled{{Value: 7, P: 1}},
+			// P = 1: the item is deterministic, no variance contribution.
+			wantSum: 7, wantCount: 1, wantVar: 0,
+		},
+		{
+			name:    "single uncertain item",
+			sample:  []Sampled{{Value: 3, P: 0.25}},
+			wantSum: 12, wantCount: 4,
+			wantVar: 9 * 0.75 / (0.25 * 0.25),
+		},
+		{
+			name: "zero inclusion probability skipped",
+			// P = 0 items could never have been sampled; including them
+			// would divide by zero. They must contribute nothing anywhere.
+			sample:  []Sampled{{Value: 5, P: 0}, {Value: 2, P: 0.5}},
+			wantSum: 4, wantCount: 2,
+			wantVar: 4 * 0.5 / 0.25,
+		},
+		{
+			name:    "negative inclusion probability skipped",
+			sample:  []Sampled{{Value: 5, P: -0.5}},
+			wantSum: 0, wantCount: 0, wantVar: 0,
+		},
+		{
+			name:    "zero value still counts",
+			sample:  []Sampled{{Value: 0, P: 0.1}},
+			wantSum: 0, wantCount: 10, wantVar: 0,
+		},
+		{
+			name:    "all certain",
+			sample:  []Sampled{{Value: 1, P: 1}, {Value: 2, P: 1}, {Value: 3, P: 1}},
+			wantSum: 6, wantCount: 3, wantVar: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SubsetSum(tc.sample); got != tc.wantSum {
+				t.Errorf("SubsetSum = %v, want %v", got, tc.wantSum)
+			}
+			if got := SubsetCount(tc.sample); got != tc.wantCount {
+				t.Errorf("SubsetCount = %v, want %v", got, tc.wantCount)
+			}
+			if got := HTVarianceEstimate(tc.sample); got != tc.wantVar {
+				t.Errorf("HTVarianceEstimate = %v, want %v", got, tc.wantVar)
+			}
+		})
+	}
+}
+
+func TestUnbiasedVarianceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []Sampled
+		n      int
+		want   float64
+	}{
+		{name: "empty sample", sample: nil, n: 10, want: 0},
+		{name: "population of one", sample: []Sampled{{Value: 4, P: 1}}, n: 1, want: 0},
+		{name: "population of zero", sample: nil, n: 0, want: 0},
+		// A single sampled item forms no pair: the estimate degenerates to
+		// 0 even though the population variance is positive (unbiasedness
+		// is over the sampling distribution, not per realization).
+		{name: "single item, larger population", sample: []Sampled{{Value: 4, P: 0.5}}, n: 5, want: 0},
+		{
+			name:   "fully observed pair",
+			sample: []Sampled{{Value: 1, P: 1}, {Value: 5, P: 1}},
+			n:      2,
+			// s² with divisor n-1 over {1, 5}: (1-3)² + (5-3)² = 8.
+			want: 8,
+		},
+		{
+			name: "zero-P item excluded from pairs",
+			sample: []Sampled{
+				{Value: 1, P: 1}, {Value: 5, P: 1}, {Value: 100, P: 0},
+			},
+			n:    2,
+			want: 8,
+		},
+		{
+			name:   "identical values",
+			sample: []Sampled{{Value: 3, P: 0.5}, {Value: 3, P: 0.7}, {Value: 3, P: 1}},
+			n:      3,
+			want:   0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := UnbiasedVariance(tc.sample, tc.n); got != tc.want {
+				t.Errorf("UnbiasedVariance = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnbiasedThirdMomentEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []Sampled
+		n      int
+		want   float64
+	}{
+		{name: "empty", sample: nil, n: 10, want: 0},
+		{name: "population below three", sample: []Sampled{{Value: 1, P: 1}, {Value: 2, P: 1}}, n: 2, want: 0},
+		{name: "two sampled items form no triple", sample: []Sampled{{Value: 1, P: 0.5}, {Value: 9, P: 0.5}}, n: 8, want: 0},
+		{
+			name:   "fully observed symmetric triple",
+			sample: []Sampled{{Value: 1, P: 1}, {Value: 2, P: 1}, {Value: 3, P: 1}},
+			n:      3,
+			want:   0, // symmetric data: third central moment is 0
+		},
+		{
+			name:   "point mass",
+			sample: []Sampled{{Value: 4, P: 1}, {Value: 4, P: 1}, {Value: 4, P: 1}},
+			n:      3,
+			want:   0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := UnbiasedThirdMoment(tc.sample, tc.n); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("UnbiasedThirdMoment = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestKendallTauEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []PairSample
+		n      int
+		want   float64
+	}{
+		{name: "empty", sample: nil, n: 10, want: 0},
+		{name: "population of one", sample: []PairSample{{X: 1, Y: 1, P: 1}}, n: 1, want: 0},
+		{name: "single sampled pair point", sample: []PairSample{{X: 1, Y: 1, P: 0.5}}, n: 4, want: 0},
+		{
+			name:   "perfect concordance, fully observed",
+			sample: []PairSample{{X: 1, Y: 10, P: 1}, {X: 2, Y: 20, P: 1}, {X: 3, Y: 30, P: 1}},
+			n:      3,
+			want:   1,
+		},
+		{
+			name:   "perfect discordance, fully observed",
+			sample: []PairSample{{X: 1, Y: 30, P: 1}, {X: 2, Y: 20, P: 1}, {X: 3, Y: 10, P: 1}},
+			n:      3,
+			want:   -1,
+		},
+		{
+			name:   "ties contribute zero",
+			sample: []PairSample{{X: 1, Y: 5, P: 1}, {X: 2, Y: 5, P: 1}},
+			n:      2,
+			want:   0,
+		},
+		{
+			name:   "zero-P item excluded",
+			sample: []PairSample{{X: 1, Y: 10, P: 1}, {X: 2, Y: 20, P: 1}, {X: 9, Y: -9, P: 0}},
+			n:      2,
+			want:   1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := KendallTau(tc.sample, tc.n); got != tc.want {
+				t.Errorf("KendallTau = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestKendallTauExactEdgeCases(t *testing.T) {
+	if got := KendallTauExact(nil, nil); got != 0 {
+		t.Errorf("exact tau of empty = %v", got)
+	}
+	if got := KendallTauExact([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("exact tau of singleton = %v", got)
+	}
+}
+
+func TestPowerSumsEdgeCases(t *testing.T) {
+	var ps PowerSums
+	// Zero state: every derived statistic must be defined (0), not NaN.
+	if m := ps.Mean(); m != 0 {
+		t.Errorf("empty PowerSums mean = %v", m)
+	}
+	for k := 2; k <= 4; k++ {
+		if c := ps.CentralMoment(k); c != 0 || math.IsNaN(c) {
+			t.Errorf("empty PowerSums central moment %d = %v", k, c)
+		}
+	}
+	// Items with P <= 0 must be ignored, matching SubsetSum.
+	ps.Add(100, 0)
+	ps.Add(100, -1)
+	if ps.S[0] != 0 {
+		t.Errorf("PowerSums accepted items with P <= 0: S0 = %v", ps.S[0])
+	}
+	// A single certain item: mean equals the value, moments are 0.
+	ps.Add(6, 1)
+	if ps.Mean() != 6 {
+		t.Errorf("single-item mean = %v", ps.Mean())
+	}
+	if v := ps.CentralMoment(2); v != 0 {
+		t.Errorf("single-item variance = %v", v)
+	}
+}
+
+func TestHTVarianceTrueEdgeCases(t *testing.T) {
+	if got := HTVarianceTrue(nil, nil); got != 0 {
+		t.Errorf("empty population variance = %v", got)
+	}
+	// p = 1 and p = 0 items contribute nothing.
+	if got := HTVarianceTrue([]float64{3, 4}, []float64{1, 0}); got != 0 {
+		t.Errorf("degenerate probabilities variance = %v", got)
+	}
+	want := 9 * 0.5 / 0.5
+	if got := HTVarianceTrue([]float64{3}, []float64{0.5}); got != want {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+}

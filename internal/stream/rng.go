@@ -72,6 +72,36 @@ func (r *RNG) Open01() float64 {
 	}
 }
 
+// Fork returns a new generator seeded from r's next output. The child's
+// stream is deterministic given r's state but statistically independent of
+// the parent's subsequent outputs, making Fork the divide-and-recombine
+// primitive for parallel workloads: fork one child per goroutine, let each
+// consume its own stream, and the whole computation stays reproducible.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// ForkN returns n independent child generators (see Fork).
+func (r *RNG) ForkN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Fork()
+	}
+	return out
+}
+
+// ForkSeeds expands a base seed into n decorrelated child seeds via
+// SplitMix64, for components that take a seed rather than an *RNG (e.g.
+// per-shard window samplers).
+func ForkSeeds(seed uint64, n int) []uint64 {
+	st := seed ^ 0xa0761d6478bd642f
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = splitmix64(&st)
+	}
+	return out
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

@@ -206,3 +206,70 @@ func TestMul64(t *testing.T) {
 		t.Error("mul64 by zero")
 	}
 }
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	a, b := parent.Fork(), parent.Fork()
+	// Children must differ from each other and from the parent's stream.
+	var sameAB, sameAP int
+	p := NewRNG(42)
+	p.Uint64() // advance past the two fork draws
+	p.Uint64()
+	for i := 0; i < 1000; i++ {
+		av, bv, pv := a.Uint64(), b.Uint64(), p.Uint64()
+		if av == bv {
+			sameAB++
+		}
+		if av == pv {
+			sameAP++
+		}
+	}
+	if sameAB > 0 || sameAP > 0 {
+		t.Errorf("forked streams collide: %d with sibling, %d with parent", sameAB, sameAP)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	a := NewRNG(7).Fork()
+	b := NewRNG(7).Fork()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Fork must be deterministic given the parent state")
+		}
+	}
+}
+
+func TestForkN(t *testing.T) {
+	kids := NewRNG(9).ForkN(4)
+	if len(kids) != 4 {
+		t.Fatalf("ForkN returned %d generators", len(kids))
+	}
+	seen := make(map[uint64]bool)
+	for _, k := range kids {
+		v := k.Uint64()
+		if seen[v] {
+			t.Error("sibling streams start identically")
+		}
+		seen[v] = true
+	}
+}
+
+func TestForkSeeds(t *testing.T) {
+	s1 := ForkSeeds(5, 8)
+	s2 := ForkSeeds(5, 8)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("ForkSeeds must be deterministic")
+		}
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range s1 {
+		if seen[s] {
+			t.Error("duplicate forked seed")
+		}
+		seen[s] = true
+	}
+	if len(ForkSeeds(5, 0)) != 0 {
+		t.Error("ForkSeeds(seed, 0) must be empty")
+	}
+}

@@ -14,6 +14,7 @@
 package window
 
 import (
+	"errors"
 	"math"
 
 	"ats/internal/stream"
@@ -91,6 +92,17 @@ func (s *Sampler) Add(key uint64, t float64) float64 {
 func (s *Sampler) AddWithPriority(key uint64, t, r float64) float64 {
 	s.Advance(t)
 	it := Item{Key: key, Time: t, R: r, T: 1}
+	if t <= s.now-s.delta {
+		// Late arrival already outside the current window (possible when
+		// several producers share a sampler, e.g. through the sharded
+		// engine): it can never be a current example, so route it the way
+		// Advance would — to expired storage or the void — instead of
+		// letting it displace an in-window item.
+		if t > s.now-2*s.delta {
+			s.expired = append(s.expired, it)
+		}
+		return s.lastBoundary
+	}
 	if len(s.current) < s.k {
 		s.current = append(s.current, it)
 		s.lastBoundary = 1
@@ -161,6 +173,58 @@ func (s *Sampler) Advance(t float64) {
 		}
 		s.expired = keep
 	}
+}
+
+// Merge folds another sampler with the same k and delta into s, advancing
+// s to the later of the two clocks. Items from o are re-bucketed against
+// the merged clock (current, expired, or discarded); if the combined
+// current set exceeds k, the largest-priority items are evicted one by one,
+// each eviction clamping the per-item thresholds of the survivors to the
+// evicted priority — the same sequential 1-substitutable rule as
+// AddWithPriority, so the merged per-item thresholds never depend on a
+// retained item's own priority. o is not modified.
+func (s *Sampler) Merge(o *Sampler) error {
+	if o.k != s.k {
+		return errors.New("window: cannot merge samplers with different k")
+	}
+	if o.delta != s.delta {
+		return errors.New("window: cannot merge samplers with different delta")
+	}
+	now := s.now
+	if o.now > now {
+		now = o.now
+	}
+	s.Advance(now)
+	cutCur := now - s.delta
+	cutExp := now - 2*s.delta
+	for _, it := range o.expired {
+		if it.Time > cutExp && it.Time <= cutCur {
+			s.expired = append(s.expired, it)
+		}
+	}
+	for _, it := range o.current {
+		switch {
+		case it.Time > cutCur:
+			s.current = append(s.current, it)
+		case it.Time > cutExp:
+			s.expired = append(s.expired, it)
+		}
+	}
+	for len(s.current) > s.k {
+		maxIdx := 0
+		for i := 1; i < len(s.current); i++ {
+			if s.current[i].R > s.current[maxIdx].R {
+				maxIdx = i
+			}
+		}
+		boundary := s.current[maxIdx].R
+		last := len(s.current) - 1
+		s.current[maxIdx] = s.current[last]
+		s.current = s.current[:last]
+		s.clamp(boundary)
+		s.lastBoundary = boundary
+	}
+	return nil
 }
 
 // StoredItems returns the total number of stored items (current + expired),

@@ -253,3 +253,138 @@ func TestSampleSizesNeverExceedK(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeRejectsMismatched(t *testing.T) {
+	a := New(5, 1, 1)
+	if err := a.Merge(New(6, 1, 2)); err == nil {
+		t.Error("merge with different k must fail")
+	}
+	if err := a.Merge(New(5, 2, 2)); err == nil {
+		t.Error("merge with different delta must fail")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a, b := New(5, 1, 1), New(5, 1, 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.StoredItems() != 0 {
+		t.Error("merging empty samplers must stay empty")
+	}
+	// One-sided: empty absorbs a populated sampler.
+	for i := 0; i < 100; i++ {
+		b.Add(uint64(i), float64(i)*0.01)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CurrentItems()) == 0 || len(a.CurrentItems()) > 5 {
+		t.Errorf("merged current size %d", len(a.CurrentItems()))
+	}
+	if b.StoredItems() == 0 {
+		t.Error("merge must not modify the argument")
+	}
+}
+
+func TestMergeInvariants(t *testing.T) {
+	const k, delta = 10, 1.0
+	a, b := New(k, delta, 3), New(k, delta, 4)
+	// Disjoint halves of one arrival stream, b running slightly ahead.
+	for i := 0; i < 2000; i++ {
+		tm := float64(i) * 0.002
+		if i%2 == 0 {
+			a.Add(uint64(i), tm)
+		} else {
+			b.Add(uint64(i), tm)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	cur := a.CurrentItems()
+	if len(cur) > k {
+		t.Fatalf("merged current size %d > k", len(cur))
+	}
+	now := a.Now()
+	for _, it := range cur {
+		if it.Time <= now-delta || it.Time > now {
+			t.Errorf("current item at %v outside window ending %v", it.Time, now)
+		}
+		if it.T <= 0 || it.T > 1 {
+			t.Errorf("per-item threshold %v out of range", it.T)
+		}
+	}
+	imp, thr := a.ImprovedSample()
+	if len(imp) > k {
+		t.Fatalf("improved sample %d > k", len(imp))
+	}
+	for _, it := range imp {
+		if it.R >= thr {
+			t.Errorf("sampled priority %v >= threshold %v", it.R, thr)
+		}
+	}
+}
+
+// TestMergeUnbiasedCount verifies by Monte Carlo that the improved-sample
+// HT count |S|/t from a merged pair of shards estimates the true window
+// population without material bias.
+func TestMergeUnbiasedCount(t *testing.T) {
+	const (
+		k      = 20
+		delta  = 1.0
+		perWin = 300
+		trials = 200
+	)
+	var est estimator.Running
+	for trial := 0; trial < trials; trial++ {
+		a := New(k, delta, uint64(2*trial+1))
+		b := New(k, delta, uint64(2*trial+2))
+		n := 2 * perWin // two windows of history
+		for i := 0; i < n; i++ {
+			tm := float64(i) * 2.0 / float64(n)
+			if i%2 == 0 {
+				a.Add(uint64(i), tm)
+			} else {
+				b.Add(uint64(i), tm)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		s, thr := a.ImprovedSample()
+		est.Add(float64(len(s)) / thr)
+	}
+	if math.Abs(est.Mean()-perWin)/perWin > 0.1 {
+		t.Errorf("merged HT count mean %v, want ≈ %v", est.Mean(), float64(perWin))
+	}
+}
+
+// TestLateArrivalCannotEnterCurrent pins the multi-producer hazard: an
+// arrival whose time is already outside the current window (the clock
+// having been advanced by a faster producer) must not displace in-window
+// items or appear in the sample.
+func TestLateArrivalCannotEnterCurrent(t *testing.T) {
+	s := New(3, 1, 9)
+	for i := 0; i < 10; i++ {
+		s.Add(uint64(i), 2.5+float64(i)*0.01)
+	}
+	// Late arrivals: one older than 2Δ (dropped), one in the expired band.
+	s.Add(100, 0.2)
+	s.Add(101, 1.7)
+	for _, it := range s.CurrentItems() {
+		if it.Time <= s.Now()-s.Delta() {
+			t.Fatalf("late arrival at %v entered the current sample (now %v)", it.Time, s.Now())
+		}
+	}
+	imp, _ := s.ImprovedSample()
+	for _, it := range imp {
+		if it.Key >= 100 {
+			t.Fatalf("late arrival key %d sampled", it.Key)
+		}
+	}
+	// The clock must not have gone backwards.
+	if s.Now() < 2.59 {
+		t.Errorf("clock regressed to %v", s.Now())
+	}
+}
