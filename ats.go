@@ -34,9 +34,34 @@
 // reproducible for a fixed shard count but differs from a sequential
 // run's — both are valid adaptive threshold samples.
 //
+// # Zero-allocation steady state
+//
+// Ingest is amortized O(1) per item with no allocation: the hot sketches
+// keep their retained items in a flat scratch buffer (internal/keeper)
+// that is compacted by quickselect when it fills, instead of paying a
+// heap sift (and, for distinct counting, a map lookup) per accepted item.
+// Queries have allocation-free variants that reuse caller-owned buffers —
+// use them in steady-state loops:
+//
+//	buf := make([]ats.BottomKEntry, 0, sk.K())
+//	var sc ats.Scratch
+//	for batch := range batches {
+//	    for _, it := range batch {
+//	        sk.Add(it.Key, it.Weight, it.Value)
+//	    }
+//	    buf = sk.AppendSample(buf[:0])          // instead of Sample()
+//	    total, _ := sk.SubsetSumInto(nil, &sc)  // instead of SubsetSum(nil)
+//	    _ = total
+//	}
+//
+// AppendSample/AppendHashes and SubsetSumInto perform 0 allocs/op once
+// the reused buffers have grown to the sample size; see the README's
+// Performance section for measured numbers.
+//
 // See the examples directory for runnable end-to-end programs and
 // cmd/atsbench for the harness that regenerates every table and figure of
-// the paper.
+// the paper ("atsbench perf -json" records machine-readable ingest/query
+// throughput).
 package ats
 
 import (
@@ -135,6 +160,10 @@ func KendallTau(sample []PairSample, n int) float64 { return estimator.KendallTa
 // PowerSums accumulates HT power sums for moment estimation (mean,
 // variance, skew, kurtosis).
 type PowerSums = estimator.PowerSums
+
+// Scratch is a reusable buffer for the zero-allocation SubsetSumInto
+// query variants; its zero value is ready to use.
+type Scratch = estimator.Scratch
 
 // ---- Samplers ----
 

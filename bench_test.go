@@ -248,6 +248,67 @@ func BenchmarkDistinctAdd(b *testing.B) {
 	}
 }
 
+// BenchmarkBottomKAddAccepted is the accept-heavy worst case the keeper
+// refactor targets: strictly decreasing priorities mean every item enters
+// the sketch, which used to cost an O(log k) heap sift per item. Compare
+// with the in-package heap baselines (internal/bottomk BenchmarkAddHeapBaseline)
+// via benchstat.
+func BenchmarkBottomKAddAccepted(b *testing.B) {
+	sk := NewBottomK(256, 1)
+	b.ReportAllocs()
+	p := 1e18
+	for i := 0; i < b.N; i++ {
+		p *= 0.999999
+		sk.AddWithPriority(BottomKEntry{Key: uint64(i), Weight: 1, Value: 1, Priority: p})
+	}
+}
+
+// BenchmarkDistinctAddDuplicates floods the sketch with repeats of a
+// universe smaller than k: the regime where the old implementation paid a
+// map lookup per add and the keeper pays one filter probe.
+func BenchmarkDistinctAddDuplicates(b *testing.B) {
+	s := NewDistinctSketch(256, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i) % 200)
+	}
+}
+
+// BenchmarkBottomKAppendSample and BenchmarkBottomKSubsetSumInto pin the
+// zero-allocation query paths.
+func BenchmarkBottomKAppendSample(b *testing.B) {
+	sk := NewBottomK(256, 1)
+	for i := 0; i < 100000; i++ {
+		sk.Add(uint64(i), 1+float64(i%13), 1)
+	}
+	buf := make([]BottomKEntry, 0, sk.K())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = sk.AppendSample(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty sample")
+	}
+}
+
+func BenchmarkBottomKSubsetSumInto(b *testing.B) {
+	sk := NewBottomK(256, 1)
+	for i := 0; i < 100000; i++ {
+		sk.Add(uint64(i), 1+float64(i%13), 1)
+	}
+	var sc Scratch
+	var sum float64
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, _ = sk.SubsetSumInto(nil, &sc)
+	}
+	if sum <= 0 {
+		b.Fatal("bad estimate")
+	}
+}
+
 func BenchmarkDistinctUnionLCS(b *testing.B) {
 	a := NewDistinctSketch(256, 8)
 	c := NewDistinctSketch(256, 8)
@@ -275,6 +336,7 @@ func BenchmarkVarianceSizedAdd(b *testing.B) {
 
 func BenchmarkHashU01(b *testing.B) {
 	var sink float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sink += HashU01(uint64(i), 42)
 	}
@@ -283,6 +345,7 @@ func BenchmarkHashU01(b *testing.B) {
 
 func BenchmarkPitmanYorNext(b *testing.B) {
 	py := stream.NewPitmanYor(0.5, 10)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		py.Next()
 	}

@@ -26,7 +26,16 @@ func main() {
 	}
 	cmd := os.Args[1]
 	args := os.Args[2:]
+	if len(cmd) > 0 && cmd[0] == '-' && cmd != "-h" && cmd != "--help" {
+		// Flags-first invocation ("atsbench -json -quick") implies the
+		// perf harness, the only subcommand CI drives with bare flags;
+		// -h/--help keep showing the global usage below.
+		runPerf(os.Args[1:])
+		return
+	}
 	switch cmd {
+	case "perf":
+		runPerf(args)
 	case "all":
 		for _, name := range []string{
 			"fig1", "fig2", "fig3", "fig4", "budget", "merge-dominated",
@@ -196,6 +205,8 @@ experiments:
   baselines        priority sampling vs VarOpt vs Poisson at fixed k
   ablation         design-knob sweeps (top-k pacing, overshoot, AQP step)
   parallel         sharded engine: single-thread vs concurrent ingest throughput
+  perf             machine-readable ingest/query micro-benchmarks
+                   (-json writes BENCH_<n>.json; -quick runs the CI subset)
   all              run everything with default configs
 
 pass -h after an experiment name for its flags`)

@@ -1,0 +1,354 @@
+package main
+
+// The perf subcommand is the machine-readable performance harness: it
+// measures steady-state ingest and query cost per sketch and stream shape
+// with testing.Benchmark and writes the numbers (ns/op, MB/s, allocs/op,
+// items/s) as JSON so the perf trajectory is recorded and comparable
+// PR-over-PR (BENCH_<n>.json at the repo root, uploaded as a CI
+// artifact by the bench-smoke job).
+//
+//	atsbench perf [-json] [-out BENCH_2.json] [-quick]
+//	atsbench -json -quick            // shorthand: flags imply perf
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ats/internal/bottomk"
+	"ats/internal/budget"
+	"ats/internal/distinct"
+	"ats/internal/engine"
+	"ats/internal/estimator"
+	"ats/internal/stream"
+	"ats/internal/varopt"
+	"ats/internal/window"
+)
+
+// perfSchema identifies the JSON layout for downstream tooling.
+const perfSchema = "ats-perf/v1"
+
+// perfPR is the sequence number stamped into the default output name.
+const perfPR = 2
+
+// PerfResult is one measured (sketch, op, shape) cell.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	Sketch      string  `json:"sketch"`
+	Op          string  `json:"op"`
+	Shape       string  `json:"shape"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ItemsPerSec float64 `json:"items_per_s"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// PerfReport is the checked-in BENCH_<n>.json document.
+type PerfReport struct {
+	Schema   string       `json:"schema"`
+	PR       int          `json:"pr"`
+	GoOS     string       `json:"goos"`
+	GoArch   string       `json:"goarch"`
+	NumCPU   int          `json:"num_cpu"`
+	GoVer    string       `json:"go_version"`
+	Quick    bool         `json:"quick"`
+	Duration string       `json:"wall_time"`
+	Results  []PerfResult `json:"results"`
+}
+
+type perfCase struct {
+	sketch, op, shape string
+	itemBytes         int64
+	quick             bool // included in -quick runs
+	bench             func(b *testing.B)
+}
+
+const itemBytes = 24 // key + weight + value
+const keyBytes = 8
+
+func perfCases() []perfCase {
+	return []perfCase{
+		{"bottomk", "add", "zipf", itemBytes, true, func(b *testing.B) {
+			items := perfItems()
+			sk := bottomk.New(256, 42)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it := items[i&(len(items)-1)]
+				sk.Add(it.Key, it.Weight, it.Value)
+			}
+		}},
+		{"bottomk", "add", "accepted", itemBytes, true, func(b *testing.B) {
+			// Strictly decreasing priorities: every item enters the
+			// sketch — the amortized-compaction worst case.
+			sk := bottomk.New(256, 42)
+			b.ResetTimer()
+			b.ReportAllocs()
+			p := 1e18
+			for i := 0; i < b.N; i++ {
+				p *= 0.999999
+				sk.AddWithPriority(bottomk.Entry{Key: uint64(i), Weight: 1, Value: 1, Priority: p})
+			}
+		}},
+		{"bottomk", "appendsample", "steady", 0, true, func(b *testing.B) {
+			sk := bottomk.New(256, 42)
+			for _, it := range perfItems() {
+				sk.Add(it.Key, it.Weight, it.Value)
+			}
+			buf := make([]bottomk.Entry, 0, sk.K())
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = sk.AppendSample(buf[:0])
+			}
+		}},
+		{"bottomk", "subsetsuminto", "steady", 0, true, func(b *testing.B) {
+			sk := bottomk.New(256, 42)
+			for _, it := range perfItems() {
+				sk.Add(it.Key, it.Weight, it.Value)
+			}
+			var sc estimator.Scratch
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if s, _ := sk.SubsetSumInto(nil, &sc); s <= 0 {
+					b.Fatal("bad estimate")
+				}
+			}
+		}},
+		{"distinct", "add", "unique", keyBytes, true, func(b *testing.B) {
+			sk := distinct.NewSketch(256, 7)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk.Add(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+		}},
+		{"distinct", "add", "zipf", keyBytes, true, func(b *testing.B) {
+			keys := perfZipfKeys()
+			sk := distinct.NewSketch(256, 7)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk.Add(keys[i&(len(keys)-1)])
+			}
+		}},
+		{"distinct", "add", "dupflood", keyBytes, true, func(b *testing.B) {
+			sk := distinct.NewSketch(256, 7)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk.Add(uint64(i) % 200)
+			}
+		}},
+		{"budget", "add", "uniform", itemBytes + 8, false, func(b *testing.B) {
+			rng := stream.NewRNG(3)
+			sizes := make([]int, 1<<16)
+			for i := range sizes {
+				sizes[i] = 16 + rng.Intn(64)
+			}
+			s := budget.New(1<<12, 2)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Add(uint64(i), 1, 1, sizes[i&(1<<16-1)])
+			}
+		}},
+		{"window", "add", "steady", itemBytes, false, func(b *testing.B) {
+			w := window.New(100, 1, 3)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Add(uint64(i), float64(i)*0.001) // 1000 items per window
+			}
+		}},
+		{"varopt", "add", "uniform", itemBytes, false, func(b *testing.B) {
+			rng := stream.NewRNG(13)
+			ws := make([]float64, 1<<16)
+			for i := range ws {
+				ws[i] = rng.Open01() * 10
+			}
+			s := varopt.New(256, 12)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Add(uint64(i), ws[i&(1<<16-1)], 1)
+			}
+		}},
+		{"sharded-bottomk", "addbatch", "zipf", itemBytes, true, func(b *testing.B) {
+			items := perfItems()
+			eng := engine.NewShardedBottomK(256, 71, 0)
+			const batch = 512
+			b.ResetTimer()
+			b.ReportAllocs()
+			for done := 0; done < b.N; {
+				m := batch
+				if m > b.N-done {
+					m = b.N - done
+				}
+				lo := done & (len(items) - 1)
+				hi := lo + m
+				if hi > len(items) {
+					hi = len(items)
+					m = hi - lo
+				}
+				eng.AddBatch(items[lo:hi])
+				done += m
+			}
+		}},
+		{"sharded-bottomk", "addbatch-parallel", "zipf", itemBytes, true, func(b *testing.B) {
+			items := perfItems()
+			eng := engine.NewShardedBottomK(256, 71, 0)
+			g := runtime.GOMAXPROCS(0)
+			const batch = 512
+			b.ResetTimer()
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N / g
+			for w := 0; w < g; w++ {
+				n := per
+				if w == g-1 {
+					n = b.N - per*(g-1)
+				}
+				wg.Add(1)
+				go func(off, n int) {
+					defer wg.Done()
+					for done := 0; done < n; {
+						m := batch
+						if m > n-done {
+							m = n - done
+						}
+						lo := (off + done) & (len(items) - 1)
+						hi := lo + m
+						if hi > len(items) {
+							hi = len(items)
+							m = hi - lo
+						}
+						eng.AddBatch(items[lo:hi])
+						done += m
+					}
+				}(w*per, n)
+			}
+			wg.Wait()
+		}},
+		{"sharded-distinct", "addkeys", "zipf", keyBytes, false, func(b *testing.B) {
+			keys := perfZipfKeys()
+			eng := engine.NewShardedDistinct(256, 7, 0)
+			const batch = 512
+			buf := make([]uint64, batch)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for done := 0; done < b.N; {
+				m := batch
+				if m > b.N-done {
+					m = b.N - done
+				}
+				lo := done & (len(keys) - 1)
+				hi := lo + m
+				if hi > len(keys) {
+					hi = len(keys)
+					m = hi - lo
+				}
+				eng.AddKeys(buf[:copy(buf, keys[lo:hi])])
+				done += m
+			}
+		}},
+	}
+}
+
+var (
+	perfItemsOnce  sync.Once
+	perfItemsCache []engine.Item
+	perfKeysOnce   sync.Once
+	perfKeysCache  []uint64
+)
+
+// perfItems is a 1M-item Zipf(1.1) weighted stream shared by the cases.
+func perfItems() []engine.Item {
+	perfItemsOnce.Do(func() {
+		const n = 1 << 20
+		z := stream.NewZipf(100_000, 1.1, 71)
+		rng := stream.NewRNG(72)
+		perfItemsCache = make([]engine.Item, n)
+		for i := range perfItemsCache {
+			w := 1 + 9*rng.Float64()
+			perfItemsCache[i] = engine.Item{Key: z.Next(), Weight: w, Value: w}
+		}
+	})
+	return perfItemsCache
+}
+
+func perfZipfKeys() []uint64 {
+	perfKeysOnce.Do(func() {
+		z := stream.NewZipf(100_000, 1.1, 71)
+		perfKeysCache = make([]uint64, 1<<20)
+		for i := range perfKeysCache {
+			perfKeysCache[i] = z.Next()
+		}
+	})
+	return perfKeysCache
+}
+
+func runPerf(args []string) {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "write results as JSON")
+	out := fs.String("out", fmt.Sprintf("BENCH_%d.json", perfPR), "JSON output path (with -json)")
+	quick := fs.Bool("quick", false, "run the reduced CI-smoke subset")
+	_ = fs.Parse(args)
+
+	start := time.Now()
+	report := PerfReport{
+		Schema: perfSchema,
+		PR:     perfPR,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		GoVer:  runtime.Version(),
+		Quick:  *quick,
+	}
+	fmt.Printf("%-34s %12s %14s %10s %8s\n", "benchmark", "ns/op", "items/s", "MB/s", "allocs")
+	for _, c := range perfCases() {
+		if *quick && !c.quick {
+			continue
+		}
+		r := testing.Benchmark(c.bench)
+		name := c.sketch + "/" + c.op + "/" + c.shape
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := PerfResult{
+			Name:        name,
+			Sketch:      c.sketch,
+			Op:          c.op,
+			Shape:       c.shape,
+			NsPerOp:     ns,
+			ItemsPerSec: 1e9 / ns,
+			MBPerSec:    float64(c.itemBytes) * (1e9 / ns) / 1e6,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-34s %12.2f %14.0f %10.1f %8d\n",
+			name, res.NsPerOp, res.ItemsPerSec, res.MBPerSec, res.AllocsPerOp)
+	}
+	report.Duration = time.Since(start).Round(time.Millisecond).String()
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perf: marshal:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perf: write:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}

@@ -32,16 +32,18 @@ var (
 	ErrVersion = errors.New("bottomk: unsupported serialization version")
 )
 
-// MarshalBinary serializes the sketch.
+// MarshalBinary serializes the sketch. It settles the keeper first, so
+// the entry count is always at most k+1.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 4+1+4+8+8+4+len(s.heap)*32)
+	entries := s.kp.Items()
+	buf := make([]byte, 0, 4+1+4+8+8+4+len(entries)*32)
 	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
 	buf = append(buf, codecVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
 	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.heap)))
-	for _, e := range s.heap {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
 		buf = binary.LittleEndian.AppendUint64(buf, e.Key)
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Value))
@@ -77,11 +79,11 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*32)
 	}
 	off := header
-	// Rebuild via AddWithPriority so the heap invariant is restored
-	// regardless of serialization order. Capacity follows the actual entry
-	// count, not k: a crafted header can claim k in the billions while
-	// carrying a tiny body, and the heap grows on demand anyway.
-	restored := &Sketch{k: k, seed: seed, heap: make([]Entry, 0, count+2)}
+	// Rebuild via AddWithPriority so the keeper invariant is restored
+	// regardless of serialization order. The keeper's scratch buffer grows
+	// on demand, so a crafted header claiming k in the billions with a
+	// tiny body cannot force a huge allocation.
+	restored := New(k, seed)
 	for i := 0; i < count; i++ {
 		e := Entry{
 			Key:      binary.LittleEndian.Uint64(data[off:]),

@@ -64,8 +64,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			return // rejected input: fine, as long as it did not panic
 		}
 		// Decoded state must respect the structural invariants.
-		if s.k <= 0 || len(s.heap) > s.k+1 {
-			t.Fatalf("decoded invalid sketch: k=%d heap=%d", s.k, len(s.heap))
+		if s.k <= 0 || s.kp.Len() > s.k+1 {
+			t.Fatalf("decoded invalid sketch: k=%d retained=%d", s.k, s.kp.Len())
 		}
 		out, err := s.MarshalBinary()
 		if err != nil {

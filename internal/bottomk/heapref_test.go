@@ -1,0 +1,355 @@
+package bottomk
+
+// This file preserves the pre-keeper heap implementation as a test-only
+// reference: the keeper-backed Sketch must produce bit-identical samples
+// and thresholds on any stream, and the heap baseline benchmarks keep the
+// before/after ingest numbers comparable via benchstat.
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// scratchAlias bundles a reusable estimator scratch with result sinks so
+// alloc-measuring loops don't let the compiler elide the work.
+type scratchAlias struct {
+	sc          estimator.Scratch
+	sum, varEst float64
+}
+
+// heapSketch is the original max-heap bottom-k implementation.
+type heapSketch struct {
+	k    int
+	seed uint64
+	heap []Entry
+	n    int
+}
+
+func newHeapSketch(k int, seed uint64) *heapSketch {
+	return &heapSketch{k: k, seed: seed, heap: make([]Entry, 0, k+2)}
+}
+
+func (s *heapSketch) Add(key uint64, weight, value float64) {
+	if weight <= 0 {
+		return
+	}
+	u := hashU01(key, s.seed)
+	s.AddWithPriority(Entry{Key: key, Weight: weight, Value: value, Priority: u / weight})
+}
+
+func (s *heapSketch) AddWithPriority(e Entry) {
+	s.n++
+	if len(s.heap) == s.k+1 && e.Priority >= s.heap[0].Priority {
+		return
+	}
+	s.heap = append(s.heap, e)
+	refSiftUp(s.heap, len(s.heap)-1)
+	if len(s.heap) > s.k+1 {
+		refPopRoot(&s.heap)
+	}
+}
+
+func (s *heapSketch) Threshold() float64 {
+	if len(s.heap) < s.k+1 {
+		return math.Inf(1)
+	}
+	return s.heap[0].Priority
+}
+
+func (s *heapSketch) Sample() []Entry {
+	t := s.Threshold()
+	out := make([]Entry, 0, sampleCap(s.k, len(s.heap)))
+	for _, e := range s.heap {
+		if e.Priority < t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func refSiftUp(h []Entry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Priority >= h[i].Priority {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func refPopRoot(h *[]Entry) {
+	old := *h
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && old[l].Priority > old[largest].Priority {
+			largest = l
+		}
+		if r < n && old[r].Priority > old[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		old[i], old[largest] = old[largest], old[i]
+		i = largest
+	}
+}
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Priority != es[j].Priority {
+			return es[i].Priority < es[j].Priority
+		}
+		return es[i].Key < es[j].Key
+	})
+}
+
+// TestKeeperMatchesHeapImplementation is the migration equivalence
+// regression: on seeded random streams the keeper-backed sketch produces
+// bit-identical thresholds and samples to the original heap sketch, for
+// assorted k (including k=1) and stream lengths (including streams shorter
+// than k), with and without interleaved queries.
+func TestKeeperMatchesHeapImplementation(t *testing.T) {
+	for _, k := range []int{1, 2, 13, 256} {
+		for _, n := range []int{0, 1, k / 2, k, k + 1, 5*k + 3} {
+			for trial := 0; trial < 5; trial++ {
+				rng := stream.NewRNG(uint64(k*100000+n*97+trial) + 1)
+				kpSk := New(k, 7)
+				hpSk := newHeapSketch(k, 7)
+				for i := 0; i < n; i++ {
+					key := rng.Uint64()
+					w := rng.Open01() * 5
+					kpSk.Add(key, w, 1)
+					hpSk.Add(key, w, 1)
+					if trial%2 == 1 && i%17 == 0 {
+						_ = kpSk.Threshold() // interleaved settles must not change the outcome
+					}
+				}
+				if kt, ht := kpSk.Threshold(), hpSk.Threshold(); kt != ht &&
+					!(math.IsInf(kt, 1) && math.IsInf(ht, 1)) {
+					t.Fatalf("k=%d n=%d: keeper threshold %v != heap threshold %v", k, n, kt, ht)
+				}
+				ks, hs := kpSk.Sample(), hpSk.Sample()
+				sortEntries(ks)
+				sortEntries(hs)
+				if len(ks) != len(hs) {
+					t.Fatalf("k=%d n=%d: sample sizes %d != %d", k, n, len(ks), len(hs))
+				}
+				for i := range ks {
+					if ks[i] != hs[i] {
+						t.Fatalf("k=%d n=%d: sample[%d] %+v != %+v", k, n, i, ks[i], hs[i])
+					}
+				}
+				if kpSk.N() != hpSk.n {
+					t.Fatalf("k=%d n=%d: N %d != %d", k, n, kpSk.N(), hpSk.n)
+				}
+			}
+		}
+	}
+}
+
+// TestKeeperMatchesHeapWithDuplicatePriorities drives explicit priority
+// ties across the threshold boundary: thresholds and strict-below samples
+// must still agree (the identity of the entry parked AT the threshold may
+// differ, which no query observes).
+func TestKeeperMatchesHeapWithDuplicatePriorities(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		k := 1 + rng.Intn(6)
+		kpSk := New(k, 1)
+		hpSk := newHeapSketch(k, 1)
+		for i := 0; i < 80; i++ {
+			// Priorities drawn from a tiny grid: ties everywhere.
+			e := Entry{Key: uint64(i), Weight: 1, Value: 1,
+				Priority: float64(1+rng.Intn(8)) / 8}
+			kpSk.AddWithPriority(e)
+			hpSk.AddWithPriority(e)
+		}
+		if kpSk.Threshold() != hpSk.Threshold() {
+			return false
+		}
+		ks, hs := kpSk.Sample(), hpSk.Sample()
+		kp, hp := make([]float64, len(ks)), make([]float64, len(hs))
+		for i, e := range ks {
+			kp[i] = e.Priority
+		}
+		for i, e := range hs {
+			hp[i] = e.Priority
+		}
+		sort.Float64s(kp)
+		sort.Float64s(hp)
+		if len(kp) != len(hp) {
+			return false
+		}
+		for i := range kp {
+			if kp[i] != hp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSelfIsRejected(t *testing.T) {
+	s := New(4, 1)
+	for i := 0; i < 20; i++ {
+		s.Add(uint64(i), 1, 1)
+	}
+	before := s.Sample()
+	sortEntries(before)
+	if err := s.Merge(s); err == nil {
+		t.Fatal("self-merge must be rejected")
+	}
+	after := s.Sample()
+	sortEntries(after)
+	if len(after) != len(before) {
+		t.Fatalf("self-merge corrupted the sketch: %d -> %d entries", len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("self-merge corrupted sample[%d]: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the tentpole property: ingest plus
+// zero-alloc queries allocate nothing once the sketch is warm.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	sk := New(64, 3)
+	for i := 0; i < 10000; i++ {
+		sk.Add(uint64(i), 1+float64(i%13), 1)
+	}
+	key := uint64(10000)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		key++
+		sk.Add(key, 1, 1)
+	}); allocs != 0 {
+		t.Errorf("Add allocates %v per op in steady state, want 0", allocs)
+	}
+	buf := make([]Entry, 0, sk.K())
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = sk.AppendSample(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("AppendSample allocates %v per op, want 0", allocs)
+	}
+	var sc scratchAlias
+	if allocs := testing.AllocsPerRun(100, func() {
+		sc.sum, sc.varEst = sk.SubsetSumInto(nil, &sc.sc)
+	}); allocs != 0 {
+		t.Errorf("SubsetSumInto allocates %v per op, want 0", allocs)
+	}
+	if sc.sum <= 0 {
+		t.Error("SubsetSumInto returned a non-positive total")
+	}
+}
+
+// --- benchmarks: keeper vs the preserved heap baseline ---
+
+func benchEntries(n int) []Entry {
+	rng := stream.NewRNG(42)
+	out := make([]Entry, n)
+	for i := range out {
+		w := 1 + 9*rng.Float64()
+		out[i] = Entry{Key: rng.Uint64(), Weight: w, Value: w, Priority: rng.Open01() / w}
+	}
+	return out
+}
+
+// BenchmarkAdd measures keeper-backed ingest. shape=uniform is the steady
+// state (almost every item rejected at the threshold); shape=descending is
+// the accept-heavy worst case that the amortized O(1) design targets
+// (every item beats the threshold, which cost an O(log k) sift per item in
+// the heap implementation).
+func BenchmarkAdd(b *testing.B) {
+	entries := benchEntries(1 << 16)
+	b.Run("shape=uniform", func(b *testing.B) {
+		sk := New(256, 42)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := entries[i&(1<<16-1)]
+			sk.AddWithPriority(e)
+		}
+	})
+	b.Run("shape=descending", func(b *testing.B) {
+		sk := New(256, 42)
+		b.ReportAllocs()
+		p := 1e18
+		for i := 0; i < b.N; i++ {
+			e := entries[i&(1<<16-1)]
+			p *= 0.999999
+			e.Priority = p
+			sk.AddWithPriority(e)
+		}
+	})
+}
+
+// BenchmarkAddHeapBaseline is the identical workload on the pre-keeper
+// heap implementation (compare with BenchmarkAdd via benchstat).
+func BenchmarkAddHeapBaseline(b *testing.B) {
+	entries := benchEntries(1 << 16)
+	b.Run("shape=uniform", func(b *testing.B) {
+		sk := newHeapSketch(256, 42)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := entries[i&(1<<16-1)]
+			sk.AddWithPriority(e)
+		}
+	})
+	b.Run("shape=descending", func(b *testing.B) {
+		sk := newHeapSketch(256, 42)
+		b.ReportAllocs()
+		p := 1e18
+		for i := 0; i < b.N; i++ {
+			e := entries[i&(1<<16-1)]
+			p *= 0.999999
+			e.Priority = p
+			sk.AddWithPriority(e)
+		}
+	})
+}
+
+func BenchmarkAppendSample(b *testing.B) {
+	sk := New(256, 42)
+	for _, e := range benchEntries(1 << 16) {
+		sk.AddWithPriority(e)
+	}
+	buf := make([]Entry, 0, sk.K())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sk.AppendSample(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty sample")
+	}
+}
+
+func BenchmarkSubsetSumInto(b *testing.B) {
+	sk := New(256, 42)
+	for _, e := range benchEntries(1 << 16) {
+		sk.AddWithPriority(e)
+	}
+	var sc scratchAlias
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.sum, sc.varEst = sk.SubsetSumInto(nil, &sc.sc)
+	}
+	if sc.sum <= 0 {
+		b.Fatal("bad estimate")
+	}
+}

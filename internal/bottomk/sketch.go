@@ -12,6 +12,7 @@ import (
 
 	"ats/internal/core"
 	"ats/internal/estimator"
+	"ats/internal/keeper"
 )
 
 // Entry is one retained item of a bottom-k sketch.
@@ -22,15 +23,18 @@ type Entry struct {
 	Priority float64
 }
 
-// Sketch is a bottom-k sketch over a weighted stream. The zero value is not
-// usable; construct with New.
+// Sketch is a bottom-k sketch over a weighted stream. Ingest is amortized
+// O(1) per item: the k+1 smallest-priority entries are maintained by a
+// scratch-buffer keeper (see internal/keeper) instead of a heap, so an
+// accepted item costs one append and a rejected one a single comparison.
+// Query methods settle the keeper first; they may mutate the internal
+// representation but never the logical state, so a Sketch shared across
+// goroutines needs external synchronization for queries as well as Adds.
+// The zero value is not usable; construct with New.
 type Sketch struct {
 	k    int
 	seed uint64
-	// heap holds up to k+1 entries ordered as a max-heap on Priority; when
-	// full, the root is the (k+1)-th smallest priority seen so far, i.e.
-	// the threshold, and the remaining k entries are the sample.
-	heap []Entry
+	kp   keeper.Keeper[Entry]
 	n    int // stream length observed
 }
 
@@ -41,7 +45,7 @@ func New(k int, seed uint64) *Sketch {
 	if k <= 0 {
 		panic("bottomk: k must be positive")
 	}
-	return &Sketch{k: k, seed: seed, heap: make([]Entry, 0, k+2)}
+	return &Sketch{k: k, seed: seed, kp: keeper.Make[Entry](k)}
 }
 
 // K returns the configured sample size.
@@ -67,38 +71,34 @@ func (s *Sketch) Add(key uint64, weight, value float64) {
 // or the stratified sampler).
 func (s *Sketch) AddWithPriority(e Entry) {
 	s.n++
-	if len(s.heap) == s.k+1 && e.Priority >= s.heap[0].Priority {
-		return // beyond the current threshold; can never enter the sample
-	}
-	s.heap = append(s.heap, e)
-	siftUp(s.heap, len(s.heap)-1)
-	if len(s.heap) > s.k+1 {
-		popRoot(&s.heap)
-	}
+	s.kp.Add(e.Priority, e)
 }
 
 // Threshold returns the adaptive threshold: the (k+1)-th smallest priority
 // observed, or +inf while fewer than k+1 items have been seen. Items with
 // priority strictly below the threshold form the sample.
 func (s *Sketch) Threshold() float64 {
-	if len(s.heap) < s.k+1 {
-		return math.Inf(1)
-	}
-	return s.heap[0].Priority
+	return s.kp.Threshold()
 }
 
 // Sample returns the current sample: the (at most k) retained entries with
 // priority strictly below the threshold. The returned slice is freshly
-// allocated and unordered.
+// allocated and unordered; use AppendSample to reuse a buffer instead.
 func (s *Sketch) Sample() []Entry {
-	t := s.Threshold()
-	out := make([]Entry, 0, sampleCap(s.k, len(s.heap)))
-	for _, e := range s.heap {
+	return s.AppendSample(make([]Entry, 0, sampleCap(s.k, s.kp.Len())))
+}
+
+// AppendSample appends the current sample to dst and returns the extended
+// slice. With a reused dst (e.g. dst[:0] of the previous call) it performs
+// no allocation once dst has grown to the sample size.
+func (s *Sketch) AppendSample(dst []Entry) []Entry {
+	t := s.kp.Threshold()
+	for _, e := range s.kp.Items() {
 		if e.Priority < t {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
 }
 
 // InclusionProb returns the pseudo-inclusion probability min(1, w*T) of a
@@ -111,46 +111,58 @@ func (s *Sketch) InclusionProb(e Entry) float64 {
 // stream items whose key satisfies pred (pass nil for the total), together
 // with the unbiased variance estimate of §2.6.1.
 func (s *Sketch) SubsetSum(pred func(Entry) bool) (sum, varianceEstimate float64) {
-	t := s.Threshold()
+	var sc estimator.Scratch
+	return s.SubsetSumInto(pred, &sc)
+}
+
+// SubsetSumInto is SubsetSum with a caller-supplied reusable scratch
+// buffer: steady-state estimation performs no allocation.
+func (s *Sketch) SubsetSumInto(pred func(Entry) bool, sc *estimator.Scratch) (sum, varianceEstimate float64) {
+	t := s.kp.Threshold()
 	if math.IsInf(t, 1) {
 		// Fewer than k+1 items seen: the "sample" is exact.
-		for _, e := range s.heap {
+		for _, e := range s.kp.Items() {
 			if pred == nil || pred(e) {
 				sum += e.Value
 			}
 		}
 		return sum, 0
 	}
-	sampled := make([]estimator.Sampled, 0, sampleCap(s.k, len(s.heap)))
-	for _, e := range s.heap {
+	sc.Reset()
+	for _, e := range s.kp.Items() {
 		if e.Priority >= t {
 			continue
 		}
 		if pred != nil && !pred(e) {
 			continue
 		}
-		sampled = append(sampled, estimator.Sampled{
+		sc.Append(estimator.Sampled{
 			Value: e.Value,
 			P:     core.InclusionProb(e.Weight, t),
 		})
 	}
-	return estimator.SubsetSum(sampled), estimator.HTVarianceEstimate(sampled)
+	return sc.SubsetSum()
 }
 
 // Merge combines another coordinated sketch (same seed, same k) into s.
 // The merged sketch is identical to the sketch of the concatenated streams
 // because bottom-k only depends on the multiset of (key, priority) pairs.
+// Merging a sketch into itself is rejected: it would iterate the retained
+// entries while inserting into the same backing buffer.
 func (s *Sketch) Merge(o *Sketch) error {
+	if o == s {
+		return errors.New("bottomk: cannot merge a sketch into itself")
+	}
 	if o.k != s.k {
 		return errors.New("bottomk: cannot merge sketches with different k")
 	}
 	if o.seed != s.seed {
 		return errors.New("bottomk: cannot merge sketches with different seeds")
 	}
-	for _, e := range o.heap {
-		s.AddWithPriority(e)
+	for _, e := range o.kp.Items() {
+		s.kp.Add(e.Priority, e)
 	}
-	s.n += o.n - len(o.heap) // AddWithPriority already counted the entries
+	s.n += o.n
 	return nil
 }
 
@@ -163,46 +175,4 @@ func sampleCap(k, stored int) int {
 		return stored
 	}
 	return k
-}
-
-// --- max-heap on Priority ---
-
-func siftUp(h []Entry, i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h[parent].Priority >= h[i].Priority {
-			return
-		}
-		h[parent], h[i] = h[i], h[parent]
-		i = parent
-	}
-}
-
-func popRoot(h *[]Entry) Entry {
-	old := *h
-	root := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	*h = old[:last]
-	siftDown(*h, 0)
-	return root
-}
-
-func siftDown(h []Entry, i int) {
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && h[l].Priority > h[largest].Priority {
-			largest = l
-		}
-		if r < n && h[r].Priority > h[largest].Priority {
-			largest = r
-		}
-		if largest == i {
-			return
-		}
-		h[i], h[largest] = h[largest], h[i]
-		i = largest
-	}
 }

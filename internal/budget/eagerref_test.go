@@ -1,0 +1,164 @@
+package budget
+
+// Equivalence regression against the pre-keeper eager implementation
+// (which evicted from a max-heap on every overflow), plus steady-state
+// allocation checks for the scratch-buffer version.
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// eagerSampler is the original evict-as-you-go implementation.
+type eagerSampler struct {
+	budget    int
+	heap      []Entry
+	totalSize int
+	threshold float64
+}
+
+func newEager(budget int) *eagerSampler {
+	return &eagerSampler{budget: budget, threshold: math.Inf(1)}
+}
+
+func (s *eagerSampler) AddWithPriority(e Entry) {
+	if e.Priority >= s.threshold {
+		return
+	}
+	s.heap = append(s.heap, e)
+	for i := len(s.heap) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s.heap[p].Priority >= s.heap[i].Priority {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+	s.totalSize += e.Size
+	for s.totalSize > s.budget {
+		root := s.heap[0]
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		n := len(s.heap)
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < n && s.heap[l].Priority > s.heap[largest].Priority {
+				largest = l
+			}
+			if r < n && s.heap[r].Priority > s.heap[largest].Priority {
+				largest = r
+			}
+			if largest == i {
+				break
+			}
+			s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+			i = largest
+		}
+		s.totalSize -= root.Size
+		s.threshold = root.Priority
+	}
+}
+
+func TestScratchMatchesEagerImplementation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		budget := 20 + rng.Intn(100)
+		n := rng.Intn(400)
+		a := New(budget, seed)
+		b := newEager(budget)
+		for i := 0; i < n; i++ {
+			e := Entry{
+				Key: uint64(i), Weight: 1, Value: 1,
+				Size: 1 + rng.Intn(12), Priority: rng.Open01(),
+			}
+			a.AddWithPriority(e)
+			b.AddWithPriority(e)
+			if i%23 == 0 {
+				_ = a.Threshold() // interleaved settles must not change the outcome
+			}
+		}
+		if a.Threshold() != b.threshold {
+			return false
+		}
+		if a.UsedBytes() != b.totalSize || a.Len() != len(b.heap) {
+			return false
+		}
+		sa := a.Sample()
+		sb := append([]Entry(nil), b.heap...)
+		sort.Slice(sa, func(i, j int) bool { return sa[i].Priority < sa[j].Priority })
+		sort.Slice(sb, func(i, j int) bool { return sb[i].Priority < sb[j].Priority })
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetSteadyStateZeroAllocs(t *testing.T) {
+	s := New(1<<12, 9)
+	rng := stream.NewRNG(4)
+	for i := 0; i < 20000; i++ {
+		s.Add(uint64(i), 1, 1, 16+rng.Intn(64))
+	}
+	key := uint64(20000)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		key++
+		s.Add(key, 1, 1, 32)
+	}); allocs != 0 {
+		t.Errorf("Add allocates %v per op in steady state, want 0", allocs)
+	}
+	buf := make([]Entry, 0, s.Len())
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendSample(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("AppendSample allocates %v per op, want 0", allocs)
+	}
+	var sc estimator.Scratch
+	var sum float64
+	if allocs := testing.AllocsPerRun(100, func() {
+		sum, _ = s.SubsetSumInto(nil, &sc)
+	}); allocs != 0 {
+		t.Errorf("SubsetSumInto allocates %v per op, want 0", allocs)
+	}
+	if sum <= 0 {
+		t.Error("SubsetSumInto returned a non-positive total")
+	}
+}
+
+func BenchmarkAddBudget(b *testing.B) {
+	rng := stream.NewRNG(13)
+	sizes := make([]int, 1<<16)
+	pris := make([]float64, 1<<16)
+	for i := range sizes {
+		sizes[i] = 16 + rng.Intn(64)
+		pris[i] = rng.Open01()
+	}
+	b.Run("impl=scratch", func(b *testing.B) {
+		s := New(1<<12, 2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i & (1<<16 - 1)
+			s.AddWithPriority(Entry{Key: uint64(i), Weight: 1, Value: 1, Size: sizes[j], Priority: pris[j]})
+		}
+	})
+	b.Run("impl=eagerheap", func(b *testing.B) {
+		s := newEager(1 << 12)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := i & (1<<16 - 1)
+			s.AddWithPriority(Entry{Key: uint64(i), Weight: 1, Value: 1, Size: sizes[j], Priority: pris[j]})
+		}
+	})
+}

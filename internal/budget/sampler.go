@@ -6,6 +6,14 @@
 // order, that would overflow the budget — is substitutable, so plain HT
 // estimators apply (subset sums when B >= Lmax, variance estimates when
 // B >= 2*Lmax).
+//
+// Like the bottom-k and distinct sketches, ingest is amortized O(1) per
+// item: accepted items are appended to a scratch buffer and the exact
+// budget rule is re-established by a weighted quickselect only when the
+// buffer outgrows its compaction limit (or a query needs the settled
+// state). Because the rule depends only on the multiset of (priority,
+// size) pairs, deferred compaction retains exactly the same items and
+// threshold as the original evict-as-you-go heap.
 package budget
 
 import (
@@ -15,6 +23,13 @@ import (
 	"ats/internal/estimator"
 	"ats/internal/stream"
 )
+
+// scratchSlack is the minimum headroom of appended items before a
+// compaction is worthwhile.
+const scratchSlack = 32
+
+// insertionCutoff mirrors the keeper's quickselect base case.
+const insertionCutoff = 12
 
 // Entry is one retained item.
 type Entry struct {
@@ -26,14 +41,18 @@ type Entry struct {
 }
 
 // Sampler keeps the maximal ascending-priority prefix of the stream that
-// fits in the byte budget.
+// fits in the byte budget. Query methods settle the scratch buffer first;
+// they may mutate the internal representation but never the logical
+// state.
 type Sampler struct {
 	budget int
 	seed   uint64
-	// heap is a max-heap on Priority of the currently retained prefix plus
-	// (transiently) a newly inserted item.
-	heap      []Entry
-	totalSize int
+	// buf holds the retained prefix plus items accepted since the last
+	// compaction; bufSize is the total Size over buf.
+	buf     []Entry
+	bufSize int
+	// limit is the buffer length that triggers a compaction attempt.
+	limit int
 	// threshold is the priority of the first item that overflowed the
 	// budget (+inf until the budget has ever been exceeded). Items with
 	// priority >= threshold are rejected outright.
@@ -47,7 +66,7 @@ func New(budget int, seed uint64) *Sampler {
 	if budget <= 0 {
 		panic("budget: budget must be positive")
 	}
-	return &Sampler{budget: budget, seed: seed, threshold: math.Inf(1)}
+	return &Sampler{budget: budget, seed: seed, threshold: math.Inf(1), limit: scratchSlack}
 }
 
 // Budget returns the configured byte budget.
@@ -57,7 +76,10 @@ func (s *Sampler) Budget() int { return s.budget }
 func (s *Sampler) N() int { return s.n }
 
 // UsedBytes returns the total size of currently retained items.
-func (s *Sampler) UsedBytes() int { return s.totalSize }
+func (s *Sampler) UsedBytes() int {
+	s.settle()
+	return s.bufSize
+}
 
 // Add offers an item. Weight must be positive; size must be positive and
 // should not exceed the budget (an item larger than the whole budget has
@@ -77,97 +99,167 @@ func (s *Sampler) AddWithPriority(e Entry) {
 	if e.Priority >= s.threshold {
 		return
 	}
-	s.heap = append(s.heap, e)
-	siftUp(s.heap, len(s.heap)-1)
-	s.totalSize += e.Size
-	// Evict from the largest priority down until the prefix fits. The
-	// first eviction that brings the total to <= budget defines the new
-	// threshold: in ascending-priority order that evicted item is exactly
-	// the first to overflow the budget.
-	for s.totalSize > s.budget {
-		evicted := popRoot(&s.heap)
-		s.totalSize -= evicted.Size
-		s.threshold = evicted.Priority
+	if len(s.buf) >= s.limit && s.bufSize > s.budget {
+		s.settle()
+		if e.Priority >= s.threshold {
+			return
+		}
 	}
+	s.buf = append(s.buf, e)
+	s.bufSize += e.Size
+}
+
+// settle re-establishes the exact budget rule over the buffered items:
+// the maximal ascending-priority prefix fitting the budget is retained
+// and the threshold becomes the priority of the first overflowing item.
+// While everything buffered fits, nothing changes (matching the eager
+// implementation, whose threshold only moved on eviction).
+func (s *Sampler) settle() {
+	s.limit = 2*len(s.buf) + scratchSlack
+	if s.bufSize <= s.budget {
+		return
+	}
+	m, kept, overflow := weightedPrefix(s.buf, s.budget)
+	s.buf = s.buf[:m]
+	s.bufSize = kept
+	s.threshold = overflow
+	s.limit = 2*m + scratchSlack
+}
+
+// weightedPrefix rearranges buf so that the maximal ascending-priority
+// prefix with total Size <= budget occupies buf[:m] and returns m, the
+// prefix's total size, and the priority of the first overflowing item.
+// It must only be called when the whole buffer overflows the budget.
+// Expected O(len(buf)): quickselect-style partitioning that descends into
+// the half containing the budget boundary, accounting whole left halves
+// in O(range) sums.
+func weightedPrefix(buf []Entry, budget int) (m, kept int, overflow float64) {
+	lo, hi := 0, len(buf)-1
+	taken := 0 // bytes of the confirmed prefix buf[:lo]
+	for hi-lo >= insertionCutoff {
+		mid := lo + (hi-lo)/2
+		if buf[mid].Priority < buf[lo].Priority {
+			buf[mid], buf[lo] = buf[lo], buf[mid]
+		}
+		if buf[hi].Priority < buf[lo].Priority {
+			buf[hi], buf[lo] = buf[lo], buf[hi]
+		}
+		if buf[hi].Priority < buf[mid].Priority {
+			buf[hi], buf[mid] = buf[mid], buf[hi]
+		}
+		p := buf[mid].Priority
+		i, j := lo, hi
+		for i <= j {
+			for buf[i].Priority < p {
+				i++
+			}
+			for buf[j].Priority > p {
+				j--
+			}
+			if i <= j {
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+				j--
+			}
+		}
+		if j < lo {
+			// Empty left partition: buf[lo] equals the pivot and is a
+			// minimum of the window; account for it alone.
+			if taken+buf[lo].Size > budget {
+				return lo, taken, buf[lo].Priority
+			}
+			taken += buf[lo].Size
+			lo++
+			continue
+		}
+		leftSize := 0
+		for t := lo; t <= j; t++ {
+			leftSize += buf[t].Size
+		}
+		if taken+leftSize > budget {
+			hi = j // the boundary lies inside the left partition
+		} else {
+			taken += leftSize
+			lo = j + 1
+		}
+	}
+	// Base case: order the remaining window and scan for the boundary.
+	for i := lo + 1; i <= hi; i++ {
+		e := buf[i]
+		j := i - 1
+		for j >= lo && buf[j].Priority > e.Priority {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = e
+	}
+	for t := lo; t <= hi; t++ {
+		if taken+buf[t].Size > budget {
+			return t, taken, buf[t].Priority
+		}
+		taken += buf[t].Size
+	}
+	return hi + 1, taken, math.Inf(1)
 }
 
 // Threshold returns the current adaptive threshold (+inf while everything
 // seen so far fits in the budget).
-func (s *Sampler) Threshold() float64 { return s.threshold }
+func (s *Sampler) Threshold() float64 {
+	s.settle()
+	return s.threshold
+}
 
-// Sample returns the retained items (unordered, freshly allocated).
+// Sample returns the retained items (unordered, freshly allocated). Use
+// AppendSample to reuse a buffer instead.
 func (s *Sampler) Sample() []Entry {
-	out := make([]Entry, len(s.heap))
-	copy(out, s.heap)
+	s.settle()
+	out := make([]Entry, len(s.buf))
+	copy(out, s.buf)
 	return out
 }
 
+// AppendSample appends the retained items to dst and returns the extended
+// slice; with a reused dst it performs no allocation.
+func (s *Sampler) AppendSample(dst []Entry) []Entry {
+	s.settle()
+	return append(dst, s.buf...)
+}
+
 // Len returns the number of retained items.
-func (s *Sampler) Len() int { return len(s.heap) }
+func (s *Sampler) Len() int {
+	s.settle()
+	return len(s.buf)
+}
 
 // SubsetSum returns the HT estimate of Σ value over stream items matching
 // pred (nil for all), plus the unbiased variance estimate.
 func (s *Sampler) SubsetSum(pred func(Entry) bool) (sum, varianceEstimate float64) {
+	var sc estimator.Scratch
+	return s.SubsetSumInto(pred, &sc)
+}
+
+// SubsetSumInto is SubsetSum with a caller-supplied reusable scratch
+// buffer: steady-state estimation performs no allocation.
+func (s *Sampler) SubsetSumInto(pred func(Entry) bool, sc *estimator.Scratch) (sum, varianceEstimate float64) {
+	s.settle()
 	t := s.threshold
 	if math.IsInf(t, 1) {
-		for _, e := range s.heap {
+		for _, e := range s.buf {
 			if pred == nil || pred(e) {
 				sum += e.Value
 			}
 		}
 		return sum, 0
 	}
-	sampled := make([]estimator.Sampled, 0, len(s.heap))
-	for _, e := range s.heap {
+	sc.Reset()
+	for _, e := range s.buf {
 		if pred != nil && !pred(e) {
 			continue
 		}
-		sampled = append(sampled, estimator.Sampled{
+		sc.Append(estimator.Sampled{
 			Value: e.Value,
 			P:     core.InclusionProb(e.Weight, t),
 		})
 	}
-	return estimator.SubsetSum(sampled), estimator.HTVarianceEstimate(sampled)
-}
-
-// --- max-heap on Priority ---
-
-func siftUp(h []Entry, i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h[parent].Priority >= h[i].Priority {
-			return
-		}
-		h[parent], h[i] = h[i], h[parent]
-		i = parent
-	}
-}
-
-func popRoot(h *[]Entry) Entry {
-	old := *h
-	root := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	*h = old[:last]
-	siftDown(*h, 0)
-	return root
-}
-
-func siftDown(h []Entry, i int) {
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && h[l].Priority > h[largest].Priority {
-			largest = l
-		}
-		if r < n && h[r].Priority > h[largest].Priority {
-			largest = r
-		}
-		if largest == i {
-			return
-		}
-		h[i], h[largest] = h[largest], h[i]
-		i = largest
-	}
+	return sc.SubsetSum()
 }

@@ -27,16 +27,19 @@ var (
 	ErrVersion = errors.New("distinct: unsupported serialization version")
 )
 
-// MarshalBinary serializes the sketch.
+// MarshalBinary serializes the sketch. It settles the keeper first, so
+// the hash count is always at most k+1 (the retained distinct values,
+// including the threshold value when one exists).
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 4+1+4+8+4+len(s.heap)*8)
+	vals := s.hk.Values()
+	buf := make([]byte, 0, 4+1+4+8+4+len(vals)*8)
 	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
 	buf = append(buf, codecVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
 	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.heap)))
-	for _, h := range s.heap {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(vals)))
+	for _, bits := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, bits)
 	}
 	return buf, nil
 }
@@ -66,14 +69,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if len(data) != header+count*8 {
 		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*8)
 	}
-	// Size allocations from the actual entry count, not k: a crafted
-	// header can claim k in the billions while carrying a tiny body.
-	restored := &Sketch{
-		k:       k,
-		seed:    seed,
-		heap:    make([]float64, 0, count+2),
-		members: make(map[float64]struct{}, count+2),
-	}
+	// The keeper's scratch buffer grows on demand, so a crafted header
+	// claiming k in the billions with a tiny body cannot force a huge
+	// allocation.
+	restored := NewSketch(k, seed)
 	off := header
 	for i := 0; i < count; i++ {
 		h := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))

@@ -45,8 +45,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if err := s.UnmarshalBinary(data); err != nil {
 			return
 		}
-		if s.k <= 0 || len(s.heap) > s.k+1 || len(s.members) != len(s.heap) {
-			t.Fatalf("decoded invalid sketch: k=%d heap=%d members=%d", s.k, len(s.heap), len(s.members))
+		if s.k <= 0 || s.hk.Len() > s.k+1 {
+			t.Fatalf("decoded invalid sketch: k=%d retained=%d", s.k, s.hk.Len())
 		}
 		out, err := s.MarshalBinary()
 		if err != nil {

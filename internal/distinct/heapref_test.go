@@ -1,0 +1,228 @@
+package distinct
+
+// This file preserves the pre-keeper heap+map implementation as a
+// test-only reference: the keeper-backed Sketch must produce bit-identical
+// thresholds and hash samples on any key stream, and the baseline
+// benchmarks keep the before/after ingest numbers comparable via
+// benchstat.
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+// heapSketch is the original max-heap + membership-map KMV sketch.
+type heapSketch struct {
+	k       int
+	seed    uint64
+	heap    []float64
+	members map[float64]struct{}
+}
+
+func newHeapSketch(k int, seed uint64) *heapSketch {
+	return &heapSketch{
+		k:       k,
+		seed:    seed,
+		heap:    make([]float64, 0, k+2),
+		members: make(map[float64]struct{}, k+2),
+	}
+}
+
+func (s *heapSketch) Add(key uint64) { s.addHash(stream.HashU01(key, s.seed)) }
+
+func (s *heapSketch) addHash(h float64) {
+	if len(s.heap) == s.k+1 && h >= s.heap[0] {
+		return
+	}
+	if _, ok := s.members[h]; ok {
+		return
+	}
+	s.members[h] = struct{}{}
+	s.heap = append(s.heap, h)
+	for i := len(s.heap) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s.heap[p] >= s.heap[i] {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+	if len(s.heap) > s.k+1 {
+		root := s.heap[0]
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		n := len(s.heap)
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < n && s.heap[l] > s.heap[largest] {
+				largest = l
+			}
+			if r < n && s.heap[r] > s.heap[largest] {
+				largest = r
+			}
+			if largest == i {
+				break
+			}
+			s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+			i = largest
+		}
+		delete(s.members, root)
+	}
+}
+
+func (s *heapSketch) Threshold() float64 {
+	if len(s.heap) < s.k+1 {
+		return 1
+	}
+	return s.heap[0]
+}
+
+func (s *heapSketch) Hashes() []float64 {
+	t := s.Threshold()
+	out := make([]float64, 0, len(s.heap))
+	for _, h := range s.heap {
+		if h < t {
+			out = append(out, h)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// TestKeeperMatchesHeapImplementation: on seeded key streams with heavy
+// duplication the keeper-backed sketch must produce bit-identical
+// thresholds and hash samples to the heap+map reference, including with
+// interleaved queries and for k=1 and streams shorter than k.
+func TestKeeperMatchesHeapImplementation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		k := 1 + rng.Intn(40)
+		universe := uint64(1 + rng.Intn(3*k+5)) // small: many duplicate keys
+		n := rng.Intn(50 * (k + 1))
+		a := NewSketch(k, 5)
+		b := newHeapSketch(k, 5)
+		for i := 0; i < n; i++ {
+			key := rng.Uint64() % universe
+			a.Add(key)
+			b.Add(key)
+			if i%31 == 0 {
+				_ = a.Estimate() // interleaved settles must not change the outcome
+			}
+		}
+		if a.Threshold() != b.Threshold() {
+			return false
+		}
+		ha, hb := a.Hashes(), b.Hashes()
+		if len(ha) != len(hb) {
+			return false
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSelfIsNoOp(t *testing.T) {
+	s := NewSketch(8, 1)
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i))
+	}
+	before := s.Hashes()
+	bt := s.Threshold()
+	s.Merge(s) // must not corrupt the sketch
+	if err := s.MergeChecked(s); err == nil {
+		t.Error("MergeChecked must reject a self-merge")
+	}
+	after := s.Hashes()
+	if s.Threshold() != bt || len(after) != len(before) {
+		t.Fatalf("self-merge changed the sketch: threshold %v->%v, %d->%d hashes",
+			bt, s.Threshold(), len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("self-merge changed hash[%d]: %v -> %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	s := NewSketch(64, 3)
+	for i := 0; i < 10000; i++ {
+		s.Add(uint64(i))
+	}
+	key := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		key++
+		s.Add(key % 20000) // mix of duplicates and fresh keys
+	}); allocs != 0 {
+		t.Errorf("Add allocates %v per op in steady state, want 0", allocs)
+	}
+	buf := make([]float64, 0, s.K())
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendHashes(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("AppendHashes allocates %v per op, want 0", allocs)
+	}
+}
+
+// --- benchmarks: keeper vs the preserved heap+map baseline ---
+
+func benchKeys(universe uint64) []uint64 {
+	rng := stream.NewRNG(99)
+	out := make([]uint64, 1<<16)
+	for i := range out {
+		out[i] = rng.Uint64() % universe
+	}
+	return out
+}
+
+// BenchmarkAdd measures keeper-backed ingest. shape=unique is the
+// all-fresh-keys steady state; shape=dup replays a universe comparable to
+// the sketch size (about half the adds are below-threshold duplicates);
+// shape=flood replays a universe smaller than k, so every add is a
+// duplicate the old implementation resolved with a map lookup and the
+// keeper resolves with one filter probe.
+func BenchmarkAdd(b *testing.B) {
+	for _, shape := range []struct {
+		name     string
+		universe uint64
+	}{{"shape=unique", 1 << 62}, {"shape=dup", 512}, {"shape=flood", 200}} {
+		keys := benchKeys(shape.universe)
+		b.Run(shape.name, func(b *testing.B) {
+			s := NewSketch(256, 7)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Add(keys[i&(1<<16-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkAddHeapBaseline is the identical workload on the pre-keeper
+// heap+map implementation (compare with BenchmarkAdd via benchstat).
+func BenchmarkAddHeapBaseline(b *testing.B) {
+	for _, shape := range []struct {
+		name     string
+		universe uint64
+	}{{"shape=unique", 1 << 62}, {"shape=dup", 512}, {"shape=flood", 200}} {
+		keys := benchKeys(shape.universe)
+		b.Run(shape.name, func(b *testing.B) {
+			s := newHeapSketch(256, 7)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Add(keys[i&(1<<16-1)])
+			}
+		})
+	}
+}

@@ -24,19 +24,25 @@ import (
 	"math"
 	"sort"
 
+	"ats/internal/keeper"
 	"ats/internal/stream"
 )
 
 // Sketch is a KMV/bottom-k distinct counting sketch: it retains the k
 // smallest distinct hash values in (0, 1).
+//
+// Ingest is amortized O(1) per key with zero allocation: hashes are kept
+// as raw uint64 bit patterns in a scratch-buffer keeper (unsigned order
+// equals float order for values in (0, 1)), duplicates are appended for
+// the cost of one comparison and eliminated during compaction — there is
+// no membership map. Query methods settle the keeper first; they may
+// mutate the internal representation but never the logical state, so a
+// Sketch shared across goroutines needs external synchronization for
+// queries as well as Adds.
 type Sketch struct {
 	k    int
 	seed uint64
-	// heap is a max-heap of the smallest k+1 distinct hashes seen; when
-	// full its root is the threshold and the other k values the sample.
-	heap []float64
-	// members tracks the retained hash values to deduplicate insertions.
-	members map[float64]struct{}
+	hk   keeper.Hashes
 }
 
 // NewSketch returns an empty sketch of size k. Sketches sharing a seed are
@@ -45,12 +51,7 @@ func NewSketch(k int, seed uint64) *Sketch {
 	if k <= 0 {
 		panic("distinct: k must be positive")
 	}
-	return &Sketch{
-		k:       k,
-		seed:    seed,
-		heap:    make([]float64, 0, k+2),
-		members: make(map[float64]struct{}, k+2),
-	}
+	return &Sketch{k: k, seed: seed, hk: keeper.MakeHashes(k)}
 }
 
 // K returns the sketch size parameter.
@@ -70,19 +71,7 @@ func (s *Sketch) AddString(key string) {
 }
 
 func (s *Sketch) addHash(h float64) {
-	if len(s.heap) == s.k+1 && h >= s.heap[0] {
-		return
-	}
-	if _, ok := s.members[h]; ok {
-		return
-	}
-	s.members[h] = struct{}{}
-	s.heap = append(s.heap, h)
-	siftUpF(s.heap, len(s.heap)-1)
-	if len(s.heap) > s.k+1 {
-		evicted := popRootF(&s.heap)
-		delete(s.members, evicted)
-	}
+	s.hk.Add(math.Float64bits(h))
 }
 
 // Threshold returns the sketch's threshold: the (k+1)-th smallest distinct
@@ -90,61 +79,69 @@ func (s *Sketch) addHash(h float64) {
 // distinct key with hash below the threshold is retained, each with
 // inclusion probability equal to the threshold.
 func (s *Sketch) Threshold() float64 {
-	if len(s.heap) < s.k+1 {
-		return 1
+	if bits, ok := s.hk.Threshold(); ok {
+		return math.Float64frombits(bits)
 	}
-	return s.heap[0]
+	return 1
 }
 
 // Hashes returns the retained hash values strictly below the threshold
-// (the sample), freshly allocated and unordered.
+// (the sample), freshly allocated, in ascending order. Use AppendHashes to
+// reuse a buffer instead.
 func (s *Sketch) Hashes() []float64 {
-	t := s.Threshold()
 	// Capacity follows stored size, not k: k may dwarf the stream (or come
 	// from decoded data), and pre-allocating k would be an allocation bomb.
 	c := s.k
-	if len(s.heap) < c {
-		c = len(s.heap)
+	if n := s.hk.Len(); n < c {
+		c = n
 	}
-	out := make([]float64, 0, c)
-	for _, h := range s.heap {
-		if h < t {
-			out = append(out, h)
-		}
+	return s.AppendHashes(make([]float64, 0, c))
+}
+
+// AppendHashes appends the sample hashes (ascending) to dst and returns
+// the extended slice; with a reused dst it performs no allocation.
+func (s *Sketch) AppendHashes(dst []float64) []float64 {
+	vals := s.hk.Values()
+	if _, ok := s.hk.Threshold(); ok {
+		vals = vals[:s.k] // the value at index k is the threshold, not sampled
 	}
-	return out
+	for _, b := range vals {
+		dst = append(dst, math.Float64frombits(b))
+	}
+	return dst
 }
 
 // Estimate returns the unbiased HT cardinality estimate |sample| / T.
 func (s *Sketch) Estimate() float64 {
-	t := s.Threshold()
-	if t >= 1 {
-		return float64(len(s.heap))
+	bits, ok := s.hk.Threshold()
+	if !ok {
+		return float64(s.hk.Len()) // exact below k+1 distinct keys
 	}
-	count := 0
-	for _, h := range s.heap {
-		if h < t {
-			count++
-		}
-	}
-	return float64(count) / t
+	return float64(s.k) / math.Float64frombits(bits)
 }
 
 // Merge folds another coordinated sketch into s (stream-union semantics:
 // the result is exactly the sketch of the concatenated streams). Both the
 // Theta and LCS union estimators are available separately; Merge is the
-// mutating building block.
+// mutating building block. Merging a sketch into itself is a no-op: the
+// union of a set with itself is the set.
 func (s *Sketch) Merge(o *Sketch) {
-	for _, h := range o.heap {
-		s.addHash(h)
+	if o == s {
+		return
+	}
+	for _, bits := range o.hk.Values() {
+		s.hk.Add(bits)
 	}
 }
 
 // MergeChecked is Merge with compatibility validation: the sketches must
 // share k and seed, otherwise the hash values are not coordinated and the
 // union would be silently biased. The concurrent engine merges shards
-// through this entry point.
+// through this entry point. Self-merges are rejected explicitly.
 func (s *Sketch) MergeChecked(o *Sketch) error {
+	if o == s {
+		return errors.New("distinct: cannot merge a sketch into itself")
+	}
 	if o.k != s.k {
 		return errors.New("distinct: cannot merge sketches with different k")
 	}
@@ -155,53 +152,11 @@ func (s *Sketch) MergeChecked(o *Sketch) error {
 	return nil
 }
 
-// --- max-heap on float64 ---
-
-func siftUpF(h []float64, i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if h[p] >= h[i] {
-			return
-		}
-		h[p], h[i] = h[i], h[p]
-		i = p
-	}
-}
-
-func popRootF(h *[]float64) float64 {
-	old := *h
-	root := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	*h = old[:last]
-	siftDownF(*h, 0)
-	return root
-}
-
-func siftDownF(h []float64, i int) {
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && h[l] > h[largest] {
-			largest = l
-		}
-		if r < n && h[r] > h[largest] {
-			largest = r
-		}
-		if largest == i {
-			return
-		}
-		h[i], h[largest] = h[largest], h[i]
-		i = largest
-	}
-}
-
-// sortedHashes returns the sample hashes in increasing order.
+// sortedHashes returns the sample hashes in increasing order (Hashes
+// already yields ascending order; this name is kept for the estimators
+// below).
 func (s *Sketch) sortedHashes() []float64 {
-	hs := s.Hashes()
-	sort.Float64s(hs)
-	return hs
+	return s.Hashes()
 }
 
 // UnionEstimateTheta returns the Theta-sketch union cardinality estimate

@@ -16,14 +16,22 @@ var ErrIncompatible = errors.New("engine: cannot merge samplers of different typ
 
 // Compile-time interface conformance of the adapters.
 var (
-	_ Sampler = (*BottomKSampler)(nil)
-	_ Sampler = (*DistinctSampler)(nil)
-	_ Sampler = (*WindowSampler)(nil)
+	_ Sampler        = (*BottomKSampler)(nil)
+	_ Sampler        = (*DistinctSampler)(nil)
+	_ Sampler        = (*WindowSampler)(nil)
+	_ BatchAdder     = (*BottomKSampler)(nil)
+	_ BatchAdder     = (*DistinctSampler)(nil)
+	_ BatchAdder     = (*WindowSampler)(nil)
+	_ SampleAppender = (*BottomKSampler)(nil)
+	_ SampleAppender = (*DistinctSampler)(nil)
+	_ SampleAppender = (*WindowSampler)(nil)
 )
 
 // BottomKSampler adapts a bottom-k sketch to the Sampler interface.
 type BottomKSampler struct {
 	sk *bottomk.Sketch
+	// scratch is the reused entry buffer behind AppendSample.
+	scratch []bottomk.Entry
 }
 
 // WrapBottomK wraps an existing bottom-k sketch.
@@ -35,20 +43,34 @@ func (b *BottomKSampler) Sketch() *bottomk.Sketch { return b.sk }
 // Add offers a weighted item.
 func (b *BottomKSampler) Add(key uint64, weight, value float64) { b.sk.Add(key, weight, value) }
 
+// AddBatch offers a batch of weighted items through the sketch's
+// amortized O(1) ingest path with direct (devirtualized) calls.
+func (b *BottomKSampler) AddBatch(items []Item) {
+	sk := b.sk
+	for _, it := range items {
+		sk.Add(it.Key, it.Weight, it.Value)
+	}
+}
+
 // Sample returns the retained entries with pseudo-inclusion probabilities
 // min(1, w·T) under the current threshold.
 func (b *BottomKSampler) Sample() []Sample {
+	return b.AppendSample(nil)
+}
+
+// AppendSample appends the current sample to dst and returns the extended
+// slice; with a reused dst it performs no allocation.
+func (b *BottomKSampler) AppendSample(dst []Sample) []Sample {
 	t := b.sk.Threshold()
-	entries := b.sk.Sample()
-	out := make([]Sample, len(entries))
-	for i, e := range entries {
+	b.scratch = b.sk.AppendSample(b.scratch[:0])
+	for _, e := range b.scratch {
 		p := 1.0
 		if !math.IsInf(t, 1) {
 			p = core.InclusionProb(e.Weight, t)
 		}
-		out[i] = Sample{Key: e.Key, Weight: e.Weight, Value: e.Value, Priority: e.Priority, P: p}
+		dst = append(dst, Sample{Key: e.Key, Weight: e.Weight, Value: e.Value, Priority: e.Priority, P: p})
 	}
-	return out
+	return dst
 }
 
 // Threshold returns the (k+1)-th smallest priority seen.
@@ -69,6 +91,8 @@ func (b *BottomKSampler) Merge(other Sampler) error {
 // SubsetCount-style HT estimation yields the cardinality estimate.
 type DistinctSampler struct {
 	sk *distinct.Sketch
+	// scratch is the reused hash buffer behind AppendSample.
+	scratch []float64
 }
 
 // WrapDistinct wraps an existing distinct sketch.
@@ -80,16 +104,30 @@ func (d *DistinctSampler) Sketch() *distinct.Sketch { return d.sk }
 // Add offers a key; weight and value are ignored.
 func (d *DistinctSampler) Add(key uint64, _, _ float64) { d.sk.Add(key) }
 
+// AddBatch offers a batch of keys (weights and values are ignored)
+// through the sketch's map-free ingest path with direct calls.
+func (d *DistinctSampler) AddBatch(items []Item) {
+	sk := d.sk
+	for _, it := range items {
+		sk.Add(it.Key)
+	}
+}
+
 // Sample returns the retained hashes as unit-valued samples with P equal to
 // the sketch threshold.
 func (d *DistinctSampler) Sample() []Sample {
+	return d.AppendSample(nil)
+}
+
+// AppendSample appends the current sample to dst and returns the extended
+// slice; with a reused dst it performs no allocation.
+func (d *DistinctSampler) AppendSample(dst []Sample) []Sample {
 	t := d.sk.Threshold()
-	hs := d.sk.Hashes()
-	out := make([]Sample, len(hs))
-	for i, h := range hs {
-		out[i] = Sample{Weight: 1, Value: 1, Priority: h, P: t}
+	d.scratch = d.sk.AppendHashes(d.scratch[:0])
+	for _, h := range d.scratch {
+		dst = append(dst, Sample{Weight: 1, Value: 1, Priority: h, P: t})
 	}
-	return out
+	return dst
 }
 
 // Threshold returns the (k+1)-th smallest distinct hash seen.
@@ -110,6 +148,8 @@ func (d *DistinctSampler) Merge(other Sampler) error {
 // returns the improved-threshold uniform sample of the current window.
 type WindowSampler struct {
 	sk *window.Sampler
+	// scratch is the reused item buffer behind AppendSample.
+	scratch []window.Item
 }
 
 // WrapWindow wraps an existing sliding-window sampler.
@@ -122,15 +162,31 @@ func (w *WindowSampler) Sketch() *window.Sampler { return w.sk }
 // ignored.
 func (w *WindowSampler) Add(key uint64, weight, _ float64) { w.sk.Add(key, weight) }
 
+// AddBatch offers a batch of arrivals (weight carries the arrival time)
+// with direct calls.
+func (w *WindowSampler) AddBatch(items []Item) {
+	sk := w.sk
+	for _, it := range items {
+		sk.Add(it.Key, it.Weight)
+	}
+}
+
 // Sample returns the improved-threshold sample of the current window, each
 // item with P equal to the extraction threshold.
 func (w *WindowSampler) Sample() []Sample {
-	items, t := w.sk.ImprovedSample()
-	out := make([]Sample, len(items))
-	for i, it := range items {
-		out[i] = Sample{Key: it.Key, Weight: 1, Value: 1, Priority: it.R, P: t}
+	return w.AppendSample(nil)
+}
+
+// AppendSample appends the improved-threshold sample of the current
+// window to dst, each item with P equal to the extraction threshold;
+// with a reused dst it performs no allocation.
+func (w *WindowSampler) AppendSample(dst []Sample) []Sample {
+	items, t := w.sk.AppendImprovedSample(w.scratch[:0])
+	w.scratch = items
+	for _, it := range items {
+		dst = append(dst, Sample{Key: it.Key, Weight: 1, Value: 1, Priority: it.R, P: t})
 	}
-	return out
+	return dst
 }
 
 // Threshold returns the improved extraction threshold.

@@ -60,6 +60,21 @@ type Sampler interface {
 	// Threshold returns the current adaptive threshold.
 	Threshold() float64
 	// Merge folds another compatible sampler into the receiver. The
-	// argument is read but never modified.
+	// argument's logical state is never modified (its internal
+	// representation may settle).
 	Merge(other Sampler) error
+}
+
+// BatchAdder is implemented by samplers with a dedicated bulk-ingest
+// path: one devirtualized call per batch instead of one interface call
+// per item, feeding the underlying sketch's amortized O(1) keeper
+// directly. The sharded engine routes AddBatch through it when available.
+type BatchAdder interface {
+	AddBatch(items []Item)
+}
+
+// SampleAppender is implemented by samplers with a zero-allocation query
+// path: the current sample is appended to a caller-reused buffer.
+type SampleAppender interface {
+	AppendSample(dst []Sample) []Sample
 }

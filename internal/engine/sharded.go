@@ -75,15 +75,16 @@ func (e *Sharded) Add(key uint64, weight, value float64) {
 
 // AddBatch offers a batch of items, grouping them by shard first so each
 // shard lock is taken at most once per call. This is the high-throughput
-// ingest path: per-item locking cost is amortized over the batch.
+// ingest path: per-item locking cost is amortized over the batch, and
+// samplers implementing BatchAdder ingest the whole group with direct
+// calls into their keeper-backed sketches instead of one interface call
+// per item.
 func (e *Sharded) AddBatch(items []Item) {
 	n := len(e.shards)
 	if n == 1 {
 		sh := e.shards[0]
 		sh.mu.Lock()
-		for _, it := range items {
-			sh.s.Add(it.Key, it.Weight, it.Value)
-		}
+		addGroup(sh.s, items)
 		sh.mu.Unlock()
 		return
 	}
@@ -114,16 +115,28 @@ func (e *Sharded) AddBatch(items []Item) {
 		}
 		sh := e.shards[i]
 		sh.mu.Lock()
-		for _, it := range grouped[offsets[i]:offsets[i+1]] {
-			sh.s.Add(it.Key, it.Weight, it.Value)
-		}
+		addGroup(sh.s, grouped[offsets[i]:offsets[i+1]])
 		sh.mu.Unlock()
 	}
 }
 
+// addGroup feeds one shard's slice of a batch into its sampler, using the
+// sampler's bulk path when it has one. Callers hold the shard lock.
+func addGroup(s Sampler, items []Item) {
+	if ba, ok := s.(BatchAdder); ok {
+		ba.AddBatch(items)
+		return
+	}
+	for _, it := range items {
+		s.Add(it.Key, it.Weight, it.Value)
+	}
+}
+
 // Snapshot merges every shard into a fresh sampler built by factory(-1)
-// and returns it; the shards themselves are not modified. Writers may run
-// concurrently: each shard is locked only while it is being merged.
+// and returns it; the shards' logical state is unchanged (merging may
+// settle a shard's internal representation, which is why even read-style
+// access takes the shard lock). Writers may run concurrently: each shard
+// is locked only while it is being merged.
 func (e *Sharded) Snapshot() (Sampler, error) {
 	out := e.factory(-1)
 	for _, sh := range e.shards {

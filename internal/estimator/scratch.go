@@ -1,0 +1,26 @@
+package estimator
+
+// Scratch is a reusable buffer for zero-allocation estimation: the
+// SubsetSumInto-style query variants of the samplers fill it with the
+// current sample instead of allocating a fresh []Sampled per call. A
+// Scratch belongs to one goroutine at a time; its zero value is ready to
+// use and it grows to the largest sample it has seen, then stays there.
+type Scratch struct {
+	buf []Sampled
+}
+
+// Reset empties the scratch, keeping its capacity.
+func (sc *Scratch) Reset() { sc.buf = sc.buf[:0] }
+
+// Append adds one sampled item.
+func (sc *Scratch) Append(s Sampled) { sc.buf = append(sc.buf, s) }
+
+// Sample returns the accumulated sample. The slice is a view into the
+// scratch; it is invalidated by the next Reset or Append.
+func (sc *Scratch) Sample() []Sampled { return sc.buf }
+
+// SubsetSum returns the HT estimate and its unbiased variance estimate
+// over the accumulated sample.
+func (sc *Scratch) SubsetSum() (sum, varianceEstimate float64) {
+	return SubsetSum(sc.buf), HTVarianceEstimate(sc.buf)
+}

@@ -1,0 +1,218 @@
+package keeper
+
+import "slices"
+
+// NoThreshold is the sentinel rejection threshold of a Hashes keeper that
+// has not yet retained k+1 distinct values. Hash values are the IEEE-754
+// bit patterns of floats in (0, 1), which are all strictly below it.
+const NoThreshold = ^uint64(0)
+
+// Hashes is a bottom-k keeper over raw uint64 hash bits with
+// deduplication deferred to compaction time. It is the ingest core of the
+// KMV/bottom-k distinct-counting sketch; there is no membership map.
+// Duplicates are handled by two mechanisms, both O(1) and allocation-free
+// per add:
+//
+//   - a 2-way set-associative filter (a plain power-of-two array of
+//     two-slot buckets with MRU promotion, sized up once when the keeper
+//     first reaches steady state) suppresses repeats of retained values —
+//     on heavy-hitter streams this catches almost every duplicate for
+//     the cost of one or two array probes;
+//   - filter misses are appended to the scratch buffer and collapse at
+//     the next compaction, which sorts only the fresh region and merges
+//     it with the already-sorted retained prefix, stopping once the k+1
+//     smallest distinct values are known.
+//
+// Values must be the bit patterns of positive finite float64s (hashes in
+// (0, 1)); for those, unsigned integer order coincides with float order
+// and the all-ones sentinel NoThreshold is unreachable. The zero value is
+// not usable; construct with MakeHashes.
+type Hashes struct {
+	k      int
+	limit  int
+	thresh uint64
+	// buf[:sorted] holds the settled values (sorted, distinct); the tail
+	// is the unsorted scratch region of values appended since.
+	buf    []uint64
+	sorted int
+	aux    []uint64 // merge target, reused across compactions
+	// filter is the 2-way set-associative duplicate cache: a probe hit
+	// means v is already retained (the threshold check has already ruled
+	// out values compaction might have discarded). Hash bits are never 0,
+	// so zeroed slots cannot produce false hits. It starts as a single
+	// degenerate bucket (so the hot path never nil-checks) and is resized
+	// to ~4x the retained set at the first compaction.
+	filter []uint64
+	mask   uint64 // even: index of a bucket's first slot
+}
+
+// MakeHashes returns an empty hash keeper for sketch size k. Like Keeper,
+// the scratch buffer grows on demand up to ~2(k+1) values.
+func MakeHashes(k int) Hashes {
+	if k <= 0 {
+		panic("keeper: k must be positive")
+	}
+	limit := 2 * (k + 1)
+	if limit < minScratch {
+		limit = minScratch
+	}
+	return Hashes{k: k, limit: limit, thresh: NoThreshold, filter: make([]uint64, 2)}
+}
+
+// K returns the sketch size parameter.
+func (h *Hashes) K() int { return h.k }
+
+// Add offers a hash value. It reports whether the value was newly
+// buffered (false means it is at or above the threshold, or a duplicate
+// caught by the filter). Duplicates that slip past the filter are
+// buffered and eliminated at the next compaction.
+func (h *Hashes) Add(bits uint64) bool {
+	if bits >= h.thresh {
+		return false
+	}
+	// Probe the bucket's MRU slot inline; everything else is the miss
+	// path, kept separate so this hot path inlines into callers.
+	if h.filter[bits&h.mask] == bits {
+		return false // duplicate of a retained value
+	}
+	return h.addMiss(bits)
+}
+
+// addMiss handles a miss of the MRU filter slot: probe the bucket's
+// second slot (promoting on a hit), then buffer the value.
+func (h *Hashes) addMiss(bits uint64) bool {
+	i := bits & h.mask
+	if h.filter[i|1] == bits {
+		h.filter[i|1] = h.filter[i]
+		h.filter[i] = bits
+		return false // duplicate of a retained value
+	}
+	if len(h.buf) == cap(h.buf) {
+		h.room()
+		if bits >= h.thresh {
+			return false
+		}
+		i = bits & h.mask // room may have resized the filter
+	}
+	h.filter[i|1] = h.filter[i]
+	h.filter[i] = bits
+	h.buf = append(h.buf, bits)
+	return true
+}
+
+func (h *Hashes) room() {
+	if cap(h.buf) >= h.limit {
+		if h.mask == 0 {
+			// First compaction: the stream has outgrown the scratch
+			// buffer, so duplicates are now worth filtering for real.
+			// One power-of-two array of 2-way buckets, sized ~4x the
+			// retained set so collisions stay rare, allocated once.
+			n := 4
+			for n < 2*h.limit {
+				n <<= 1
+			}
+			h.filter = make([]uint64, n)
+			h.mask = uint64(n - 2)
+		}
+		h.Settle()
+		return
+	}
+	newCap := 2 * cap(h.buf)
+	if newCap < minScratch {
+		newCap = minScratch
+	}
+	if newCap > h.limit {
+		newCap = h.limit
+	}
+	buf := make([]uint64, len(h.buf), newCap)
+	copy(buf, h.buf)
+	h.buf = buf
+}
+
+// Settle deduplicates and compacts the buffer down to the k+1 smallest
+// distinct values, sorted ascending, and refreshes the cached threshold
+// (the largest retained value once k+1 distinct values exist). It is a
+// no-op when nothing was added since the last settle.
+func (h *Hashes) Settle() {
+	if h.sorted == len(h.buf) {
+		return
+	}
+	fresh := h.buf[h.sorted:]
+	slices.Sort(fresh)
+	fresh = fresh[:dedupSorted(fresh)]
+	// Merge the two sorted distinct runs, stopping once the k+1 smallest
+	// distinct values are known; anything not consumed is larger and
+	// therefore discarded.
+	need := h.k + 1
+	aux := h.aux[:0]
+	a := h.buf[:h.sorted]
+	i, j := 0, 0
+	for len(aux) < need && (i < len(a) || j < len(fresh)) {
+		switch {
+		case j == len(fresh):
+			aux = append(aux, a[i])
+			i++
+		case i == len(a):
+			aux = append(aux, fresh[j])
+			j++
+		case a[i] < fresh[j]:
+			aux = append(aux, a[i])
+			i++
+		case fresh[j] < a[i]:
+			aux = append(aux, fresh[j])
+			j++
+		default: // equal: a duplicate across the runs
+			aux = append(aux, a[i])
+			i++
+			j++
+		}
+	}
+	h.aux = aux
+	h.buf = h.buf[:copy(h.buf, aux)]
+	h.sorted = len(h.buf)
+	if h.sorted == need {
+		h.thresh = h.buf[h.k]
+	}
+}
+
+// Threshold settles and returns the rejection threshold bits. ok is false
+// while fewer than k+1 distinct values have been seen (threshold
+// conceptually 1.0).
+func (h *Hashes) Threshold() (bits uint64, ok bool) {
+	h.Settle()
+	if h.thresh == NoThreshold {
+		return 0, false
+	}
+	return h.thresh, true
+}
+
+// Len settles and returns the number of retained distinct values (at most
+// k+1; the last one is the threshold value when Threshold reports ok).
+func (h *Hashes) Len() int {
+	h.Settle()
+	return len(h.buf)
+}
+
+// Values settles and returns the retained distinct values in ascending
+// order. The slice is a view into the keeper; callers must not modify or
+// retain it across Adds.
+func (h *Hashes) Values() []uint64 {
+	h.Settle()
+	return h.buf
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place and
+// returns the number of distinct values.
+func dedupSorted(buf []uint64) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	w := 1
+	for _, v := range buf[1:] {
+		if v != buf[w-1] {
+			buf[w] = v
+			w++
+		}
+	}
+	return w
+}

@@ -1,0 +1,233 @@
+// Package keeper implements the scratch-buffer bottom-k "keeper"
+// primitive shared by the library's hot sketches (bottom-k, distinct,
+// budget). It replaces the per-item binary heaps of the original
+// implementations with an amortized O(1) ingest core:
+//
+//   - items at or above a cached rejection threshold are dropped with a
+//     single branch;
+//   - accepted items are appended to a flat unsorted scratch buffer of
+//     capacity ~2(k+1) — no sift, no per-add allocation;
+//   - when the buffer fills, a quickselect (median-of-3 pivots,
+//     insertion-sort base case) compacts it back to the k+1 smallest
+//     priorities and tightens the cached threshold.
+//
+// Each compaction processes ~2(k+1) entries and discards at least k+1 of
+// them, so the amortized cost per accepted item is O(1); rejected items
+// cost exactly one comparison. Because bottom-k retention depends only on
+// the multiset of priorities seen — never on arrival order — the settled
+// state (the k+1 smallest priorities and the threshold) is identical to
+// what the eager heap maintained, so every estimator and merge rule built
+// on top is unchanged.
+//
+// Queries observe the sketch through Settle, which compacts any pending
+// scratch entries first. Settling mutates the internal representation but
+// never the logical state; callers that share a keeper across goroutines
+// must serialize queries the same way they serialize Adds (the sharded
+// engine's per-shard mutexes already do).
+package keeper
+
+import "math"
+
+const (
+	// minScratch floors the scratch capacity so tiny k still amortizes
+	// compaction over a reasonable batch of accepted items.
+	minScratch = 16
+	// insertionCutoff is the subrange length below which quickselect
+	// switches to insertion sort.
+	insertionCutoff = 12
+)
+
+// Keeper retains the k+1 smallest-priority entries of a stream (the k
+// sample entries plus the threshold entry), with payloads of type E
+// carried alongside the priorities. The zero value is not usable;
+// construct with Make.
+type Keeper[E any] struct {
+	k      int
+	limit  int // scratch length that triggers compaction (>= 2(k+1))
+	thresh float64
+	pri    []float64
+	items  []E
+}
+
+// Make returns an empty keeper for sample size k. The scratch buffer
+// grows geometrically on demand up to ~2(k+1) entries, so a keeper with a
+// huge k and a tiny stream stays small.
+func Make[E any](k int) Keeper[E] {
+	if k <= 0 {
+		panic("keeper: k must be positive")
+	}
+	limit := 2 * (k + 1)
+	if limit < minScratch {
+		limit = minScratch
+	}
+	return Keeper[E]{k: k, limit: limit, thresh: math.Inf(1)}
+}
+
+// K returns the sample size parameter.
+func (kp *Keeper[E]) K() int { return kp.k }
+
+// Add offers an entry. It reports whether the entry was retained (false
+// means it was at or above the threshold and can never be sampled).
+func (kp *Keeper[E]) Add(pri float64, e E) bool {
+	if pri >= kp.thresh {
+		return false
+	}
+	if len(kp.pri) == cap(kp.pri) {
+		kp.room()
+		if pri >= kp.thresh {
+			return false // compaction tightened the threshold past us
+		}
+	}
+	kp.pri = append(kp.pri, pri)
+	kp.items = append(kp.items, e)
+	return true
+}
+
+// room makes space for one more entry: it grows the scratch buffer while
+// under the compaction limit and compacts once the limit is reached.
+func (kp *Keeper[E]) room() {
+	if cap(kp.pri) >= kp.limit {
+		kp.Settle()
+		return
+	}
+	newCap := 2 * cap(kp.pri)
+	if newCap < minScratch {
+		newCap = minScratch
+	}
+	if newCap > kp.limit {
+		newCap = kp.limit
+	}
+	pri := make([]float64, len(kp.pri), newCap)
+	copy(pri, kp.pri)
+	kp.pri = pri
+	items := make([]E, len(kp.items), newCap)
+	copy(items, kp.items)
+	kp.items = items
+}
+
+// Settle compacts the scratch buffer down to the k+1 smallest-priority
+// entries and refreshes the cached threshold. Afterwards Len() <= k+1 and,
+// when the threshold is finite, the threshold entry sits at index k. It is
+// cheap (two comparisons) when there is nothing to do.
+func (kp *Keeper[E]) Settle() {
+	n := len(kp.pri)
+	if n <= kp.k {
+		return // fewer than k+1 entries ever retained: threshold stays +inf
+	}
+	if n == kp.k+1 {
+		if !math.IsInf(kp.thresh, 1) {
+			return // already settled
+		}
+		// The buffer has just reached k+1 entries: the largest retained
+		// priority becomes the threshold. Move it to index k so the
+		// settled layout is canonical.
+		maxI := 0
+		for i := 1; i <= kp.k; i++ {
+			if kp.pri[i] > kp.pri[maxI] {
+				maxI = i
+			}
+		}
+		kp.swap(maxI, kp.k)
+		kp.thresh = kp.pri[kp.k]
+		return
+	}
+	selectKth(kp.pri, kp.items, kp.k)
+	kp.pri = kp.pri[:kp.k+1]
+	kp.items = kp.items[:kp.k+1]
+	kp.thresh = kp.pri[kp.k]
+}
+
+// Threshold settles and returns the (k+1)-th smallest priority seen, or
+// +inf while fewer than k+1 entries have been retained.
+func (kp *Keeper[E]) Threshold() float64 {
+	kp.Settle()
+	return kp.thresh
+}
+
+// Len settles and returns the number of retained entries (at most k+1).
+func (kp *Keeper[E]) Len() int {
+	kp.Settle()
+	return len(kp.pri)
+}
+
+// Items settles and returns the retained payloads. The slice is a view
+// into the keeper; callers must not modify or retain it across Adds.
+func (kp *Keeper[E]) Items() []E {
+	kp.Settle()
+	return kp.items
+}
+
+// Priorities settles and returns the retained priorities, parallel to
+// Items. Same aliasing rules as Items.
+func (kp *Keeper[E]) Priorities() []float64 {
+	kp.Settle()
+	return kp.pri
+}
+
+func (kp *Keeper[E]) swap(i, j int) {
+	kp.pri[i], kp.pri[j] = kp.pri[j], kp.pri[i]
+	kp.items[i], kp.items[j] = kp.items[j], kp.items[i]
+}
+
+// selectKth partially orders pri (carrying items alongside) so that
+// pri[k] is the (k+1)-th smallest value, everything before index k is
+// <= pri[k], and everything after is >= pri[k]. Expected O(len(pri))
+// quickselect with median-of-3 pivots and an insertion-sort base case.
+func selectKth[E any](pri []float64, items []E, k int) {
+	lo, hi := 0, len(pri)-1
+	for hi-lo >= insertionCutoff {
+		mid := lo + (hi-lo)/2
+		if pri[mid] < pri[lo] {
+			swap2(pri, items, mid, lo)
+		}
+		if pri[hi] < pri[lo] {
+			swap2(pri, items, hi, lo)
+		}
+		if pri[hi] < pri[mid] {
+			swap2(pri, items, hi, mid)
+		}
+		p := pri[mid]
+		i, j := lo, hi
+		for i <= j {
+			for pri[i] < p {
+				i++
+			}
+			for pri[j] > p {
+				j--
+			}
+			if i <= j {
+				swap2(pri, items, i, j)
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return // lo..j < k < i..hi: pri[k] is already in place
+		}
+	}
+	insertionSort(pri, items, lo, hi)
+}
+
+func swap2[E any](pri []float64, items []E, i, j int) {
+	pri[i], pri[j] = pri[j], pri[i]
+	items[i], items[j] = items[j], items[i]
+}
+
+func insertionSort[E any](pri []float64, items []E, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		p, e := pri[i], items[i]
+		j := i - 1
+		for j >= lo && pri[j] > p {
+			pri[j+1] = pri[j]
+			items[j+1] = items[j]
+			j--
+		}
+		pri[j+1] = p
+		items[j+1] = e
+	}
+}

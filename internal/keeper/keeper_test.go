@@ -1,0 +1,333 @@
+package keeper
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ats/internal/stream"
+)
+
+// refBottomK is the obviously-correct reference: sort all priorities and
+// keep the k+1 smallest; threshold = the (k+1)-th smallest or +inf.
+func refBottomK(pris []float64, k int) (kept []float64, thresh float64) {
+	sorted := append([]float64(nil), pris...)
+	sort.Float64s(sorted)
+	if len(sorted) <= k {
+		return sorted, math.Inf(1)
+	}
+	return sorted[:k+1], sorted[k]
+}
+
+func settledSorted(kp *Keeper[int]) []float64 {
+	out := append([]float64(nil), kp.Priorities()...)
+	sort.Float64s(out)
+	return out
+}
+
+func TestMakePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k <= 0")
+		}
+	}()
+	Make[int](0)
+}
+
+func TestKeeperMatchesReference(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, k - 1, k, k + 1, 3 * k, 40 * k} {
+			if n < 0 {
+				continue
+			}
+			rng := stream.NewRNG(uint64(k*1000 + n + 1))
+			kp := Make[int](k)
+			var pris []float64
+			for i := 0; i < n; i++ {
+				p := rng.Open01()
+				pris = append(pris, p)
+				kp.Add(p, i)
+			}
+			wantKept, wantThresh := refBottomK(pris, k)
+			if got := kp.Threshold(); got != wantThresh {
+				t.Fatalf("k=%d n=%d: threshold %v, want %v", k, n, got, wantThresh)
+			}
+			got := settledSorted(&kp)
+			if len(got) != len(wantKept) {
+				t.Fatalf("k=%d n=%d: kept %d, want %d", k, n, len(got), len(wantKept))
+			}
+			for i := range got {
+				if got[i] != wantKept[i] {
+					t.Fatalf("k=%d n=%d: kept[%d]=%v, want %v", k, n, i, got[i], wantKept[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKeeperInterleavedQueries settles mid-stream at random points; the
+// final state must not depend on when queries happened.
+func TestKeeperInterleavedQueries(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		const k, n = 5, 200
+		a := Make[int](k)
+		b := Make[int](k)
+		var pris []float64
+		for i := 0; i < n; i++ {
+			p := rng.Open01()
+			pris = append(pris, p)
+			a.Add(p, i)
+			b.Add(p, i)
+			if i%7 == 0 {
+				b.Settle() // extra settles must be harmless
+				_ = b.Threshold()
+			}
+		}
+		if a.Threshold() != b.Threshold() {
+			return false
+		}
+		sa, sb := settledSorted(&a), settledSorted(&b)
+		if len(sa) != len(sb) {
+			return false
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false
+			}
+		}
+		wantKept, wantThresh := refBottomK(pris, k)
+		if a.Threshold() != wantThresh || len(sa) != len(wantKept) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeeperK1(t *testing.T) {
+	kp := Make[string](1)
+	if !math.IsInf(kp.Threshold(), 1) {
+		t.Fatal("empty keeper must have +inf threshold")
+	}
+	kp.Add(0.5, "a")
+	if !math.IsInf(kp.Threshold(), 1) {
+		t.Fatal("threshold must stay +inf with 1 <= k items")
+	}
+	kp.Add(0.3, "b")
+	if got := kp.Threshold(); got != 0.5 {
+		t.Fatalf("threshold = %v, want 0.5", got)
+	}
+	// Rejected: at the threshold.
+	if kp.Add(0.5, "c") {
+		t.Fatal("item at the threshold must be rejected")
+	}
+	// Accepted: strictly below; tightens the threshold to 0.3.
+	kp.Add(0.1, "d")
+	if got := kp.Threshold(); got != 0.3 {
+		t.Fatalf("threshold = %v, want 0.3", got)
+	}
+	items := kp.Items()
+	if len(items) != 2 {
+		t.Fatalf("retained %d, want 2", len(items))
+	}
+	// The threshold entry sits at index k after settling.
+	if kp.Priorities()[1] != 0.3 || items[1] != "b" {
+		t.Fatalf("threshold slot = (%v,%q), want (0.3,b)", kp.Priorities()[1], items[1])
+	}
+	if kp.Priorities()[0] != 0.1 || items[0] != "d" {
+		t.Fatalf("sample slot = (%v,%q), want (0.1,d)", kp.Priorities()[0], items[0])
+	}
+}
+
+// TestKeeperDuplicateBoundary drives duplicate priorities across the
+// threshold boundary: the threshold must equal the (k+1)-th smallest with
+// multiplicity, and retained entries strictly below it must be exact.
+func TestKeeperDuplicateBoundary(t *testing.T) {
+	k := 2
+	kp := Make[int](k)
+	pris := []float64{0.4, 0.2, 0.4, 0.4, 0.1, 0.4, 0.2}
+	for i, p := range pris {
+		kp.Add(p, i)
+	}
+	// Sorted: 0.1 0.2 0.2 0.4 0.4 0.4 0.4 -> threshold = 3rd smallest = 0.2.
+	if got := kp.Threshold(); got != 0.2 {
+		t.Fatalf("threshold = %v, want 0.2", got)
+	}
+	got := settledSorted(&kp)
+	want := []float64{0.1, 0.2, 0.2}
+	if len(got) != len(want) {
+		t.Fatalf("kept %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("kept %v, want %v", got, want)
+		}
+	}
+	// Another duplicate of the threshold value is rejected outright.
+	if kp.Add(0.2, 99) {
+		t.Fatal("duplicate of the threshold must be rejected")
+	}
+}
+
+func TestKeeperScratchGrowth(t *testing.T) {
+	kp := Make[int](1 << 20) // huge k ...
+	kp.Add(0.5, 1)           // ... but a tiny stream
+	if c := cap(kp.pri); c > minScratch {
+		t.Fatalf("scratch cap %d after one add; keeper must grow lazily", c)
+	}
+	if kp.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", kp.Len())
+	}
+}
+
+func TestSelectKthProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		n := 1 + rng.Intn(300)
+		k := rng.Intn(n)
+		pri := make([]float64, n)
+		items := make([]int, n)
+		for i := range pri {
+			pri[i] = float64(rng.Intn(20)) // force many duplicates
+			items[i] = i
+		}
+		sorted := append([]float64(nil), pri...)
+		sort.Float64s(sorted)
+		selectKth(pri, items, k)
+		if pri[k] != sorted[k] {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if pri[i] > pri[k] {
+				return false
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if pri[i] < pri[k] {
+				return false
+			}
+		}
+		// The payload permutation must track the priority permutation.
+		seen := make(map[int]bool, n)
+		for i, it := range items {
+			if seen[it] {
+				return false
+			}
+			seen[it] = true
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Hashes keeper ---
+
+// refDistinct keeps the need smallest distinct values of vals.
+func refDistinct(vals []uint64, need int) []uint64 {
+	set := make(map[uint64]bool)
+	for _, v := range vals {
+		set[v] = true
+	}
+	out := make([]uint64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > need {
+		out = out[:need]
+	}
+	return out
+}
+
+func TestHashesMatchesReference(t *testing.T) {
+	for _, k := range []int{1, 3, 16} {
+		for _, universe := range []uint64{2, 5, 50, 100000} {
+			rng := stream.NewRNG(uint64(k)*77 + universe)
+			hk := MakeHashes(k)
+			var all []uint64
+			n := 40 * (k + 1)
+			for i := 0; i < n; i++ {
+				// Bit patterns of floats in (0,1), heavy duplication for
+				// small universes.
+				v := math.Float64bits(0.1 + 0.8*float64(rng.Uint64()%universe)/float64(universe))
+				all = append(all, v)
+				hk.Add(v)
+			}
+			want := refDistinct(all, k+1)
+			got := hk.Values()
+			if len(got) != len(want) {
+				t.Fatalf("k=%d u=%d: kept %d, want %d", k, universe, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d u=%d: kept[%d]=%x, want %x", k, universe, i, got[i], want[i])
+				}
+			}
+			bits, ok := hk.Threshold()
+			if len(want) == k+1 {
+				if !ok || bits != want[k] {
+					t.Fatalf("k=%d u=%d: threshold (%x,%v), want (%x,true)", k, universe, bits, ok, want[k])
+				}
+			} else if ok {
+				t.Fatalf("k=%d u=%d: threshold set with only %d distinct", k, universe, len(want))
+			}
+		}
+	}
+}
+
+func TestHashesDuplicateFlood(t *testing.T) {
+	hk := MakeHashes(4)
+	v := math.Float64bits(0.25)
+	for i := 0; i < 10000; i++ {
+		hk.Add(v)
+	}
+	if got := hk.Len(); got != 1 {
+		t.Fatalf("Len = %d after duplicate flood, want 1", got)
+	}
+	if _, ok := hk.Threshold(); ok {
+		t.Fatal("threshold must not be set with a single distinct value")
+	}
+}
+
+// TestHashesInterleavedSettles drives random add/settle interleavings
+// against the map reference: compaction timing must never change the
+// retained set.
+func TestHashesInterleavedSettles(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stream.NewRNG(seed)
+		k := 1 + rng.Intn(12)
+		universe := uint64(1 + rng.Intn(4*k+4))
+		hk := MakeHashes(k)
+		var all []uint64
+		n := rng.Intn(60 * (k + 1))
+		for i := 0; i < n; i++ {
+			v := math.Float64bits(0.1 + 0.8*float64(rng.Uint64()%universe)/float64(universe))
+			all = append(all, v)
+			hk.Add(v)
+			if rng.Intn(9) == 0 {
+				hk.Settle()
+			}
+		}
+		want := refDistinct(all, k+1)
+		got := hk.Values()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

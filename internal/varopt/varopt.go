@@ -78,9 +78,18 @@ func (s *Sketch) Add(key uint64, w, x float64) {
 	// or below the rising threshold the demotion loop moves it into the
 	// small pool at its TRUE weight (a new candidate's adjusted weight is
 	// its original weight, unlike old pool members which carry tau).
-	pushLarge(&s.large, e)
 	sumSmall := float64(len(s.small)) * s.tau
 	demotedStart := len(s.small) // demoted items appended after this index
+	if 0 < s.tau && w <= s.tau {
+		// Fast path for the common small item: the first demotion below
+		// would move it straight from the heap root into the small pool
+		// (tau' > tau >= w), so append it there directly and skip two
+		// O(log k) heap operations.
+		s.small = append(s.small, e)
+		sumSmall += w
+	} else {
+		pushLarge(&s.large, e)
+	}
 	for {
 		nLarge := len(s.large)
 		if nLarge < s.k {

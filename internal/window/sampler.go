@@ -48,6 +48,21 @@ type Sampler struct {
 	// boundary of the most recent arrival event (1 when the sample was not
 	// full).
 	lastBoundary float64
+
+	// maxIdx caches the index of the maximum-R current example (-1 =
+	// unknown, recomputed lazily), and maxT is an upper bound on the
+	// largest per-item threshold among current examples. Together they
+	// make the steady-state full-window arrival O(1): the max scan is
+	// skipped while the cache is valid and the clamp loop is skipped
+	// whenever the boundary cannot lower any stored threshold.
+	maxIdx int
+	maxT   float64
+	// oldestCur and oldestExp lower-bound the earliest arrival time held
+	// in current and expired storage, so Advance can skip its expiry
+	// scans entirely while the clock has not reached them (they may be
+	// stale-low after an eviction, which only costs a redundant scan).
+	oldestCur float64
+	oldestExp float64
 }
 
 // New returns a sliding-window sampler with sample-size parameter k and
@@ -65,6 +80,10 @@ func New(k int, delta float64, seed uint64) *Sampler {
 		rng:          stream.NewRNG(seed),
 		lastBoundary: 1,
 		now:          math.Inf(-1),
+		maxIdx:       -1,
+		maxT:         1,
+		oldestCur:    math.Inf(1),
+		oldestExp:    math.Inf(1),
 	}
 }
 
@@ -99,12 +118,22 @@ func (s *Sampler) AddWithPriority(key uint64, t, r float64) float64 {
 		// Advance would — to expired storage or the void — instead of
 		// letting it displace an in-window item.
 		if t > s.now-2*s.delta {
+			if t < s.oldestExp {
+				s.oldestExp = t
+			}
 			s.expired = append(s.expired, it)
 		}
 		return s.lastBoundary
 	}
 	if len(s.current) < s.k {
+		// maxIdx is necessarily -1 here: it is only ever computed while
+		// the sample is full, and every path that shrinks the sample
+		// resets it.
+		if t < s.oldestCur {
+			s.oldestCur = t
+		}
 		s.current = append(s.current, it)
+		s.maxT = 1 // the new item enters with T = 1
 		s.lastBoundary = 1
 		return 1
 	}
@@ -114,33 +143,53 @@ func (s *Sampler) AddWithPriority(key uint64, t, r float64) float64 {
 	// threshold to the boundary. This is the sequential 1-substitutable
 	// rule: the boundary is always the priority of an excluded item, so it
 	// never depends on the priority of any retained item.
-	maxIdx := 0
-	for i := 1; i < len(s.current); i++ {
-		if s.current[i].R > s.current[maxIdx].R {
-			maxIdx = i
+	if s.maxIdx < 0 {
+		s.maxIdx = 0
+		for i := 1; i < len(s.current); i++ {
+			if s.current[i].R > s.current[s.maxIdx].R {
+				s.maxIdx = i
+			}
 		}
 	}
-	boundary := s.current[maxIdx].R
+	boundary := s.current[s.maxIdx].R
 	if r >= boundary {
-		// The new item is the maximum: reject it, boundary is its priority.
+		// The new item is the maximum: reject it, boundary is its
+		// priority. The stored maximum is unchanged, so the cache stays
+		// valid and a steady-state rejection costs O(1).
 		boundary = r
 		s.clamp(boundary)
 		s.lastBoundary = boundary
 		return boundary
 	}
 	// Evict the stored maximum, accept the new item.
-	s.current[maxIdx] = it
+	s.current[s.maxIdx] = it
+	s.maxIdx = -1
+	s.maxT = 1 // the accepted item enters with T = 1 (clamped just below)
+	if t < s.oldestCur {
+		// A late (but in-window) arrival can be older than everything
+		// stored; without this the expiry gate would go stale-high and
+		// Advance could leave an expired item in the current sample.
+		s.oldestCur = t
+	}
 	s.clamp(boundary)
 	s.lastBoundary = boundary
 	return boundary
 }
 
+// clamp lowers every current example's per-item threshold to the boundary.
+// maxT upper-bounds the largest stored threshold, so a boundary at or
+// above it cannot change anything and the loop is skipped — in the steady
+// state only the rare arrivals that follow an acceptance pay O(k).
 func (s *Sampler) clamp(boundary float64) {
+	if boundary >= s.maxT {
+		return
+	}
 	for i := range s.current {
 		if boundary < s.current[i].T {
 			s.current[i].T = boundary
 		}
 	}
+	s.maxT = boundary
 }
 
 // Advance moves the sampler's clock to time t (monotonically): current
@@ -153,25 +202,41 @@ func (s *Sampler) Advance(t float64) {
 	s.now = t
 	cutCur := t - s.delta
 	cutExp := t - 2*s.delta
-	if len(s.current) > 0 {
+	if len(s.current) > 0 && s.oldestCur <= cutCur {
 		keep := s.current[:0]
+		oldest := math.Inf(1)
 		for _, it := range s.current {
 			if it.Time > cutCur {
+				if it.Time < oldest {
+					oldest = it.Time
+				}
 				keep = append(keep, it)
 			} else if it.Time > cutExp {
+				if it.Time < s.oldestExp {
+					s.oldestExp = it.Time
+				}
 				s.expired = append(s.expired, it)
 			}
 		}
+		if len(keep) != len(s.current) {
+			s.maxIdx = -1 // indices shifted; recompute lazily
+		}
 		s.current = keep
+		s.oldestCur = oldest
 	}
-	if len(s.expired) > 0 {
+	if len(s.expired) > 0 && s.oldestExp <= cutExp {
 		keep := s.expired[:0]
+		oldest := math.Inf(1)
 		for _, it := range s.expired {
 			if it.Time > cutExp {
+				if it.Time < oldest {
+					oldest = it.Time
+				}
 				keep = append(keep, it)
 			}
 		}
 		s.expired = keep
+		s.oldestExp = oldest
 	}
 }
 
@@ -184,6 +249,11 @@ func (s *Sampler) Advance(t float64) {
 // AddWithPriority, so the merged per-item thresholds never depend on a
 // retained item's own priority. o is not modified.
 func (s *Sampler) Merge(o *Sampler) error {
+	if o == s {
+		// Iterating o's storage while appending to the same slices would
+		// duplicate items and clamp thresholds to retained priorities.
+		return errors.New("window: cannot merge a sampler into itself")
+	}
 	if o.k != s.k {
 		return errors.New("window: cannot merge samplers with different k")
 	}
@@ -199,17 +269,30 @@ func (s *Sampler) Merge(o *Sampler) error {
 	cutExp := now - 2*s.delta
 	for _, it := range o.expired {
 		if it.Time > cutExp && it.Time <= cutCur {
+			if it.Time < s.oldestExp {
+				s.oldestExp = it.Time
+			}
 			s.expired = append(s.expired, it)
 		}
 	}
 	for _, it := range o.current {
 		switch {
 		case it.Time > cutCur:
+			if it.Time < s.oldestCur {
+				s.oldestCur = it.Time
+			}
 			s.current = append(s.current, it)
 		case it.Time > cutExp:
+			if it.Time < s.oldestExp {
+				s.oldestExp = it.Time
+			}
 			s.expired = append(s.expired, it)
 		}
 	}
+	// Foreign items invalidate both caches (their thresholds may exceed
+	// s's current maximum).
+	s.maxIdx = -1
+	s.maxT = 1
 	for len(s.current) > s.k {
 		maxIdx := 0
 		for i := 1; i < len(s.current); i++ {
@@ -277,16 +360,23 @@ func (s *Sampler) GLSample() ([]Item, float64) {
 }
 
 // ImprovedSample returns the uniform sample of the current window under the
-// improved threshold: current items with priority strictly below it.
+// improved threshold: current items with priority strictly below it. Use
+// AppendImprovedSample to reuse a buffer instead.
 func (s *Sampler) ImprovedSample() ([]Item, float64) {
+	return s.AppendImprovedSample(nil)
+}
+
+// AppendImprovedSample appends the improved-threshold sample to dst and
+// returns the extended slice with the threshold; with a reused dst it
+// performs no allocation.
+func (s *Sampler) AppendImprovedSample(dst []Item) ([]Item, float64) {
 	t := s.ImprovedThreshold()
-	var out []Item
 	for _, it := range s.current {
 		if it.R < t {
-			out = append(out, it)
+			dst = append(dst, it)
 		}
 	}
-	return out, t
+	return dst, t
 }
 
 // CurrentItems returns a copy of the current examples.

@@ -388,3 +388,51 @@ func TestLateArrivalCannotEnterCurrent(t *testing.T) {
 		t.Errorf("clock regressed to %v", s.Now())
 	}
 }
+
+// TestLateInWindowArrivalStillExpires is the regression for the expiry
+// gate: a late (but in-window) arrival accepted into a full sample must
+// still expire on time — the oldest-time cache must not go stale-high.
+func TestLateInWindowArrivalStillExpires(t *testing.T) {
+	s := New(2, 10, 1)
+	s.AddWithPriority(1, 104, 0.5)
+	s.AddWithPriority(2, 105, 0.6)
+	// Late arrival, still inside the window, small priority: accepted.
+	if b := s.AddWithPriority(3, 96, 0.1); b != 0.6 {
+		t.Fatalf("boundary = %v, want 0.6", b)
+	}
+	s.Advance(107) // cutCur = 97: the t=96 item must leave current storage
+	for _, it := range s.CurrentItems() {
+		if it.Time <= 97 {
+			t.Fatalf("expired item (t=%v) still in the current sample", it.Time)
+		}
+	}
+	items, _ := s.ImprovedSample()
+	for _, it := range items {
+		if it.Time <= 97 {
+			t.Fatalf("expired item (t=%v) reported in the improved sample", it.Time)
+		}
+	}
+}
+
+// TestMergeSelfIsRejected is the self-merge regression: merging a sampler
+// into itself would duplicate items and clamp thresholds to retained
+// priorities.
+func TestMergeSelfIsRejected(t *testing.T) {
+	s := New(4, 10, 1)
+	for i := 0; i < 4; i++ {
+		s.AddWithPriority(uint64(i), float64(i), 0.1+0.1*float64(i))
+	}
+	before := s.CurrentItems()
+	if err := s.Merge(s); err == nil {
+		t.Fatal("self-merge must be rejected")
+	}
+	after := s.CurrentItems()
+	if len(after) != len(before) {
+		t.Fatalf("self-merge changed the sample: %d -> %d items", len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("self-merge changed item[%d]: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}
