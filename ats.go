@@ -68,6 +68,7 @@ import (
 	"ats/internal/aqp"
 	"ats/internal/bottomk"
 	"ats/internal/budget"
+	"ats/internal/codec"
 	"ats/internal/core"
 	"ats/internal/decay"
 	"ats/internal/distinct"
@@ -78,6 +79,8 @@ import (
 	"ats/internal/mest"
 	"ats/internal/multiobj"
 	"ats/internal/reservoir"
+	"ats/internal/server"
+	"ats/internal/store"
 	"ats/internal/stratified"
 	"ats/internal/stream"
 	"ats/internal/topk"
@@ -359,6 +362,69 @@ type ShardedWindow = engine.ShardedWindow
 // GOMAXPROCS.
 func NewShardedWindow(k int, delta float64, seed uint64, shards int) *ShardedWindow {
 	return engine.NewShardedWindow(k, delta, seed, shards)
+}
+
+// ---- Multi-tenant time-bucketed store and serving layer ----
+//
+// The store owns many named sketches, keyed by (namespace, metric), each
+// a ring of time buckets: ingest goes to the current bucket's sharded
+// engine, rotation seals buckets by collapsing them to one sketch, and
+// range queries merge the covered buckets — exact for bottom-k and
+// distinct sketches because merges depend only on the (key, priority)
+// multiset. Snapshot/Restore persist the whole keyspace through the
+// universal codec registry. cmd/atsd serves the store over HTTP.
+
+// Store is a concurrent, multi-tenant, time-bucketed sketch store.
+type Store = store.Store
+
+// StoreConfig parameterizes a Store (kind, k, seed, bucket width,
+// retention, shards, LRU key bound, clock).
+type StoreConfig = store.Config
+
+// StoreKey identifies one sketch series: namespace + metric.
+type StoreKey = store.Key
+
+// StoreStats is a snapshot of the store's counters and gauges.
+type StoreStats = store.Stats
+
+// StoreResult is the answer to a store range query.
+type StoreResult = store.Result
+
+// SketchKind selects the sketch type a Store maintains per bucket.
+type SketchKind = store.Kind
+
+// Store sketch kinds.
+const (
+	KindBottomK  SketchKind = store.BottomK
+	KindDistinct SketchKind = store.Distinct
+	KindWindow   SketchKind = store.Window
+)
+
+// NewStore returns an empty store with cfg's zero fields defaulted.
+func NewStore(cfg StoreConfig) *Store { return store.New(cfg) }
+
+// ParseSketchKind parses "bottomk", "distinct" or "window".
+func ParseSketchKind(s string) (SketchKind, error) { return store.ParseKind(s) }
+
+// StoreServer is the HTTP serving layer over a Store (the atsd daemon's
+// handler; see cmd/atsd).
+type StoreServer = server.Server
+
+// NewStoreServer returns the atsd HTTP layer over st; snapshotPath, when
+// non-empty, is where POST /v1/snapshot persists the keyspace.
+func NewStoreServer(st *Store, snapshotPath string) *StoreServer {
+	return server.New(st, snapshotPath)
+}
+
+// EncodeSketch wraps a sketch in a self-describing binary envelope using
+// the universal codec registry; bottom-k, distinct and sliding-window
+// sketches are supported out of the box.
+func EncodeSketch(v any) ([]byte, error) { return codec.Encode(v) }
+
+// DecodeSketch decodes an EncodeSketch envelope, returning the codec
+// name ("bottomk", "distinct", "window") and the decoded sketch.
+func DecodeSketch(data []byte) (name string, sketch any, err error) {
+	return codec.Unmarshal(data)
 }
 
 // ---- Workloads (exposed for examples and downstream benchmarking) ----

@@ -7,7 +7,7 @@ package main
 // PR-over-PR (BENCH_<n>.json at the repo root, uploaded as a CI
 // artifact by the bench-smoke job).
 //
-//	atsbench perf [-json] [-out BENCH_2.json] [-quick]
+//	atsbench perf [-json] [-out BENCH_3.json] [-quick]
 //	atsbench -json -quick            // shorthand: flags imply perf
 
 import (
@@ -25,6 +25,7 @@ import (
 	"ats/internal/distinct"
 	"ats/internal/engine"
 	"ats/internal/estimator"
+	"ats/internal/store"
 	"ats/internal/stream"
 	"ats/internal/varopt"
 	"ats/internal/window"
@@ -34,7 +35,7 @@ import (
 const perfSchema = "ats-perf/v1"
 
 // perfPR is the sequence number stamped into the default output name.
-const perfPR = 2
+const perfPR = 3
 
 // PerfResult is one measured (sketch, op, shape) cell.
 type PerfResult struct {
@@ -237,6 +238,64 @@ func perfCases() []perfCase {
 				}(w*per, n)
 			}
 			wg.Wait()
+		}},
+		{"store", "addbatch", "1k-namespaces", itemBytes, true, func(b *testing.B) {
+			// The serving subsystem's hot path: keyed ingest fanned out
+			// across 1000 namespaces with the synthetic clock driving
+			// bucket rotation (one rotation per key per bucket width).
+			items := perfItems()
+			st := store.New(store.Config{
+				Kind: store.BottomK, K: 128, Seed: 42,
+				BucketWidth: time.Second, Retention: 8,
+			})
+			namespaces := make([]string, 1000)
+			for i := range namespaces {
+				namespaces[i] = fmt.Sprintf("tenant-%03d", i)
+			}
+			epoch := time.Unix(1_700_000_000, 0)
+			const batch = 128
+			b.ResetTimer()
+			b.ReportAllocs()
+			batches := 0
+			for done := 0; done < b.N; {
+				m := batch
+				if m > b.N-done {
+					m = b.N - done
+				}
+				lo := done & (len(items) - 1)
+				hi := lo + m
+				if hi > len(items) {
+					hi = len(items)
+					m = hi - lo
+				}
+				// ~8 batches per namespace per bucket: the clock advances
+				// one bucket width every 8000 batches.
+				at := epoch.Add(time.Duration(batches/8000) * time.Second)
+				st.AddBatchAt(namespaces[batches%len(namespaces)], "bytes", items[lo:hi], at)
+				batches++
+				done += m
+			}
+		}},
+		{"store", "query", "8-buckets", 0, true, func(b *testing.B) {
+			st := store.New(store.Config{
+				Kind: store.BottomK, K: 256, Seed: 42,
+				BucketWidth: time.Second, Retention: 16,
+			})
+			items := perfItems()
+			epoch := time.Unix(1_700_000_000, 0)
+			for bk := 0; bk < 8; bk++ {
+				st.AddBatchAt("tenant", "bytes", items[bk*10_000:(bk+1)*10_000],
+					epoch.Add(time.Duration(bk)*time.Second))
+			}
+			to := epoch.Add(time.Hour)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epoch, to)
+				if err != nil || res.Sum <= 0 {
+					b.Fatalf("bad query: %+v, %v", res, err)
+				}
+			}
 		}},
 		{"sharded-distinct", "addkeys", "zipf", keyBytes, false, func(b *testing.B) {
 			keys := perfZipfKeys()

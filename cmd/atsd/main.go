@@ -1,0 +1,115 @@
+// Command atsd is the adaptive-threshold-sampling serving daemon: an
+// HTTP front end over the multi-tenant, time-bucketed sketch store.
+//
+// Usage:
+//
+//	atsd [-addr :8321] [-kind bottomk|distinct|window] [-k 1024]
+//	     [-seed 1] [-bucket 1m] [-retention 60] [-shards 1]
+//	     [-max-keys 0] [-window 0] [-snapshot path]
+//
+// Ingest and query over HTTP (see internal/server for the endpoint
+// reference):
+//
+//	curl -XPOST localhost:8321/v1/add -d '{"namespace":"acme","metric":"bytes",
+//	  "items":[{"key":1,"weight":3.5,"value":3.5}]}'
+//	curl 'localhost:8321/v1/query?namespace=acme&metric=bytes&from=0'
+//
+// With -snapshot, the daemon restores the keyspace from the file at
+// boot (if present), persists it there on POST /v1/snapshot, and writes
+// a final snapshot during graceful shutdown (SIGINT/SIGTERM), so a
+// restart resumes serving the same estimates.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ats/internal/server"
+	"ats/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8321", "listen address")
+		kindFlag  = flag.String("kind", "bottomk", "sketch kind: bottomk, distinct or window")
+		k         = flag.Int("k", 1024, "per-bucket sketch size")
+		seed      = flag.Uint64("seed", 1, "coordination seed shared by all buckets")
+		bucket    = flag.Duration("bucket", time.Minute, "time-bucket width")
+		retention = flag.Int("retention", 60, "sealed buckets kept per key")
+		shards    = flag.Int("shards", 1, "engine shards per current bucket")
+		maxKeys   = flag.Int("max-keys", 0, "LRU bound on live keys (0 = unbounded)")
+		windowSec = flag.Float64("window", 0, "sliding-window length in seconds (window kind; 0 = bucket width)")
+		snapPath  = flag.String("snapshot", "", "snapshot file: restored at boot, written on POST /v1/snapshot and shutdown")
+	)
+	flag.Parse()
+
+	kind, err := store.ParseKind(*kindFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.New(store.Config{
+		Kind:        kind,
+		K:           *k,
+		Seed:        *seed,
+		BucketWidth: *bucket,
+		Retention:   *retention,
+		Shards:      *shards,
+		MaxKeys:     *maxKeys,
+		WindowDelta: *windowSec,
+	})
+
+	if *snapPath != "" {
+		if f, err := os.Open(*snapPath); err == nil {
+			err = st.Restore(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("restore %s: %v", *snapPath, err)
+			}
+			s := st.Stats()
+			log.Printf("restored %d keys / %d buckets from %s", s.Keys, s.Buckets, *snapPath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("open snapshot %s: %v", *snapPath, err)
+		}
+	}
+
+	srv := server.New(st, *snapPath)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("atsd serving %s sketches on %s (k=%d, bucket=%v, retention=%d)",
+			kind, *addr, *k, *bucket, *retention)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if *snapPath != "" {
+		n, err := srv.SnapshotToPath()
+		if err != nil {
+			log.Fatalf("final snapshot: %v", err)
+		}
+		fmt.Printf("snapshot: %d bytes -> %s\n", n, *snapPath)
+	}
+}

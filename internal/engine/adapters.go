@@ -2,9 +2,11 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"ats/internal/bottomk"
+	"ats/internal/codec"
 	"ats/internal/core"
 	"ats/internal/distinct"
 	"ats/internal/window"
@@ -25,7 +27,35 @@ var (
 	_ SampleAppender = (*BottomKSampler)(nil)
 	_ SampleAppender = (*DistinctSampler)(nil)
 	_ SampleAppender = (*WindowSampler)(nil)
+
+	_ SnapshotMarshaler = (*BottomKSampler)(nil)
+	_ SnapshotMarshaler = (*DistinctSampler)(nil)
+	_ SnapshotMarshaler = (*WindowSampler)(nil)
 )
+
+// WrapDecoded wraps a sketch decoded by the codec registry back into its
+// engine adapter, dispatching on the registered codec name. It is the
+// inverse of the SnapshotMarshaler hooks and the entry point the store's
+// Restore path uses.
+func WrapDecoded(name string, v any) (Sampler, error) {
+	switch name {
+	case codec.NameBottomK:
+		if sk, ok := v.(*bottomk.Sketch); ok {
+			return WrapBottomK(sk), nil
+		}
+	case codec.NameDistinct:
+		if sk, ok := v.(*distinct.Sketch); ok {
+			return WrapDistinct(sk), nil
+		}
+	case codec.NameWindow:
+		if sk, ok := v.(*window.Sampler); ok {
+			return WrapWindow(sk), nil
+		}
+	default:
+		return nil, fmt.Errorf("engine: no sampler adapter for codec %q", name)
+	}
+	return nil, fmt.Errorf("engine: codec %q decoded unexpected type %T", name, v)
+}
 
 // BottomKSampler adapts a bottom-k sketch to the Sampler interface.
 type BottomKSampler struct {
@@ -75,6 +105,12 @@ func (b *BottomKSampler) AppendSample(dst []Sample) []Sample {
 
 // Threshold returns the (k+1)-th smallest priority seen.
 func (b *BottomKSampler) Threshold() float64 { return b.sk.Threshold() }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (b *BottomKSampler) CodecName() string { return codec.NameBottomK }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (b *BottomKSampler) MarshalBinary() ([]byte, error) { return b.sk.MarshalBinary() }
 
 // Merge folds another BottomKSampler into b.
 func (b *BottomKSampler) Merge(other Sampler) error {
@@ -132,6 +168,12 @@ func (d *DistinctSampler) AppendSample(dst []Sample) []Sample {
 
 // Threshold returns the (k+1)-th smallest distinct hash seen.
 func (d *DistinctSampler) Threshold() float64 { return d.sk.Threshold() }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (d *DistinctSampler) CodecName() string { return codec.NameDistinct }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (d *DistinctSampler) MarshalBinary() ([]byte, error) { return d.sk.MarshalBinary() }
 
 // Merge folds another DistinctSampler into d.
 func (d *DistinctSampler) Merge(other Sampler) error {
@@ -191,6 +233,12 @@ func (w *WindowSampler) AppendSample(dst []Sample) []Sample {
 
 // Threshold returns the improved extraction threshold.
 func (w *WindowSampler) Threshold() float64 { return w.sk.ImprovedThreshold() }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (w *WindowSampler) CodecName() string { return codec.NameWindow }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (w *WindowSampler) MarshalBinary() ([]byte, error) { return w.sk.MarshalBinary() }
 
 // Merge folds another WindowSampler into w.
 func (w *WindowSampler) Merge(other Sampler) error {

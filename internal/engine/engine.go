@@ -78,3 +78,14 @@ type BatchAdder interface {
 type SampleAppender interface {
 	AppendSample(dst []Sample) []Sample
 }
+
+// SnapshotMarshaler is implemented by samplers whose state can be
+// serialized through the universal codec registry (internal/codec):
+// CodecName names the registered codec, MarshalBinary produces its
+// payload. The store's whole-keyspace Snapshot walks collapsed bucket
+// samplers through this interface, so persistence never depends on the
+// concrete sketch type.
+type SnapshotMarshaler interface {
+	CodecName() string
+	MarshalBinary() ([]byte, error)
+}

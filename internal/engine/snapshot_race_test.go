@@ -1,0 +1,225 @@
+package engine
+
+// Snapshot-consistency hammer: many goroutines Add/AddBatch while others
+// Snapshot, Collapse and serialize the snapshots, across all three engine
+// kinds. Run with the race detector (CI does). Beyond race freedom, every
+// mid-write snapshot must be internally consistent — capacity respected,
+// threshold valid, serializable through the codec registry, and the
+// decoded copy semantically equal to the snapshot it came from.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ats/internal/bottomk"
+	"ats/internal/codec"
+)
+
+func TestSnapshotHammerBottomK(t *testing.T) {
+	const (
+		k       = 96
+		seed    = 77
+		writers = 6
+		perW    = 6000
+		readers = 4
+	)
+	items := zipfItems(writers*perW, seed)
+	eng := NewShardedBottomK(k, seed, 0)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := items[w*perW : (w+1)*perW]
+			for len(chunk) > 0 {
+				n := 64
+				if n > len(chunk) {
+					n = len(chunk)
+				}
+				eng.AddBatch(chunk[:n])
+				chunk = chunk[n:]
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for !stop.Load() {
+				snap, err := eng.Snapshot()
+				if err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				sk := snap.(*BottomKSampler).Sketch()
+				sample := sk.Sample()
+				if len(sample) > k {
+					t.Errorf("snapshot sample %d > k", len(sample))
+					return
+				}
+				thr := sk.Threshold()
+				if !(thr > 0) {
+					t.Errorf("snapshot threshold %v", thr)
+					return
+				}
+				for _, e := range sample {
+					if e.Priority >= thr {
+						t.Errorf("torn snapshot: retained priority %v >= threshold %v", e.Priority, thr)
+						return
+					}
+				}
+				// The snapshot must serialize and round-trip while
+				// writers keep mutating the shards underneath.
+				sm := snap.(SnapshotMarshaler)
+				data, err := codec.Marshal(sm.CodecName(), sk)
+				if err != nil {
+					t.Errorf("marshal mid-write snapshot: %v", err)
+					return
+				}
+				_, v, err := codec.Unmarshal(data)
+				if err != nil {
+					t.Errorf("unmarshal mid-write snapshot: %v", err)
+					return
+				}
+				got := v.(*bottomk.Sketch)
+				if got.Threshold() != thr || got.N() != sk.N() {
+					t.Errorf("decoded snapshot differs: thr %v/%v n %d/%d",
+						got.Threshold(), thr, got.N(), sk.N())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+	rg.Wait()
+
+	// After all writers joined, the collapse equals the sequential run.
+	seq := bottomk.New(k, seed)
+	for _, it := range items {
+		seq.Add(it.Key, it.Weight, it.Value)
+	}
+	col := eng.Collapse()
+	if col.Threshold() != seq.Threshold() || col.N() != seq.N() {
+		t.Fatalf("final collapse diverged: thr %v/%v n %d/%d",
+			col.Threshold(), seq.Threshold(), col.N(), seq.N())
+	}
+	gotSum, _ := col.SubsetSum(nil)
+	wantSum, _ := seq.SubsetSum(nil)
+	if math.Abs(gotSum-wantSum) > 1e-9*math.Abs(wantSum) {
+		t.Fatalf("final estimate diverged: %v != %v", gotSum, wantSum)
+	}
+}
+
+func TestSnapshotHammerDistinct(t *testing.T) {
+	const (
+		k       = 128
+		seed    = 13
+		writers = 4
+		perW    = 8000
+	)
+	eng := NewShardedDistinct(k, seed, 0)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]uint64, 0, 128)
+			for i := 0; i < perW; i++ {
+				buf = append(buf, uint64((w*perW+i)%9000))
+				if len(buf) == cap(buf) {
+					eng.AddKeys(buf)
+					buf = buf[:0]
+				}
+			}
+			eng.AddKeys(buf)
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for !stop.Load() {
+			col := eng.Collapse()
+			if est := col.Estimate(); est < 0 {
+				t.Errorf("mid-write estimate %v", est)
+				return
+			}
+			if thr := col.Threshold(); !(thr > 0 && thr <= 1) {
+				t.Errorf("mid-write threshold %v", thr)
+				return
+			}
+			if data, err := codec.Encode(col); err != nil {
+				t.Errorf("encode mid-write collapse: %v", err)
+				return
+			} else if _, _, err := codec.Unmarshal(data); err != nil {
+				t.Errorf("decode mid-write collapse: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stop.Store(true)
+	rg.Wait()
+}
+
+func TestSnapshotHammerWindow(t *testing.T) {
+	const (
+		k       = 48
+		delta   = 1.0
+		writers = 4
+		perW    = 4000
+	)
+	eng := NewShardedWindow(k, delta, 3, writers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				eng.Observe(uint64(w*perW+i), float64(i)*0.001)
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for !stop.Load() {
+			col := eng.Collapse()
+			items, thr := col.ImprovedSample()
+			if !(thr > 0 && thr <= 1) {
+				t.Errorf("mid-write window threshold %v", thr)
+				return
+			}
+			now := col.Now()
+			for _, it := range items {
+				if it.Time <= now-delta || it.Time > now {
+					t.Errorf("torn window snapshot: item at %v, now %v", it.Time, now)
+					return
+				}
+				if !(it.R < it.T) {
+					t.Errorf("torn window snapshot: R=%v T=%v", it.R, it.T)
+					return
+				}
+			}
+			if data, err := codec.Encode(col); err != nil {
+				t.Errorf("encode mid-write window: %v", err)
+				return
+			} else if _, _, err := codec.Unmarshal(data); err != nil {
+				t.Errorf("decode mid-write window: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	stop.Store(true)
+	rg.Wait()
+}

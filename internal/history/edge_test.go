@@ -1,0 +1,161 @@
+package history
+
+// Edge-case coverage beyond the basic tests: empty and tiny prefixes,
+// threshold monotonicity, exact prefix-reconstruction against fresh
+// bottom-k runs, degenerate weights, and out-of-range query positions.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ats/internal/bottomk"
+	"ats/internal/stream"
+)
+
+func TestEmptyAndTinyPrefixes(t *testing.T) {
+	s := New(4, 9)
+	if got := s.ThresholdAt(0); !math.IsInf(got, 1) {
+		t.Fatalf("empty prefix threshold %v, want +inf", got)
+	}
+	if got := s.SampleAt(0); len(got) != 0 {
+		t.Fatalf("empty prefix sample %v", got)
+	}
+	if got := s.SubsetSumAt(0, nil); got != 0 {
+		t.Fatalf("empty prefix sum %v", got)
+	}
+
+	s.Add(1, 2, 10)
+	// One item, below k: the "sample" is exact and the threshold open.
+	if got := s.ThresholdAt(1); !math.IsInf(got, 1) {
+		t.Fatalf("below-k threshold %v", got)
+	}
+	if got := s.SubsetSumAt(1, nil); got != 10 {
+		t.Fatalf("below-k sum %v, want exact 10", got)
+	}
+}
+
+func TestQueryPositionsBeyondStream(t *testing.T) {
+	s := New(3, 4)
+	for i := 0; i < 50; i++ {
+		s.Add(uint64(i), 1, 1)
+	}
+	// Positions past the end behave like the full stream.
+	if got, want := s.ThresholdAt(1000), s.ThresholdAt(50); got != want {
+		t.Fatalf("past-end threshold %v != full %v", got, want)
+	}
+	if got, want := len(s.SampleAt(1000)), len(s.SampleAt(50)); got != want {
+		t.Fatalf("past-end sample %d != full %d", got, want)
+	}
+}
+
+func TestThresholdMonotoneNonIncreasing(t *testing.T) {
+	s := New(8, 77)
+	rng := stream.NewRNG(3)
+	for i := 0; i < 3000; i++ {
+		s.Add(uint64(i), 0.5+rng.Float64()*5, 1)
+	}
+	prev := math.Inf(1)
+	for pos := 1; pos <= 3000; pos += 13 {
+		cur := s.ThresholdAt(pos)
+		if cur > prev {
+			t.Fatalf("threshold increased from %v to %v at position %d", prev, cur, pos)
+		}
+		prev = cur
+	}
+}
+
+// TestPrefixReconstructionMatchesFreshSketch is the core §2.7 property:
+// for EVERY prefix length t, SampleAt(t) equals the state a fresh
+// bottom-k sketch has after ingesting the first t items.
+func TestPrefixReconstructionMatchesFreshSketch(t *testing.T) {
+	const (
+		k    = 6
+		seed = 5
+		n    = 800
+	)
+	rng := stream.NewRNG(11)
+	type item struct {
+		key uint64
+		w   float64
+	}
+	items := make([]item, n)
+	for i := range items {
+		items[i] = item{key: uint64(i) * 2654435761, w: 0.25 + 4*rng.Float64()}
+	}
+
+	hist := New(k, seed)
+	fresh := bottomk.New(k, seed)
+	for pos, it := range items {
+		hist.Add(it.key, it.w, 1)
+		fresh.Add(it.key, it.w, 1)
+		if pos%37 != 0 && pos != n-1 {
+			continue
+		}
+		if got, want := hist.ThresholdAt(pos+1), fresh.Threshold(); got != want {
+			t.Fatalf("pos %d: threshold %v != fresh %v", pos+1, got, want)
+		}
+		got := hist.SampleAt(pos + 1)
+		want := fresh.Sample()
+		if len(got) != len(want) {
+			t.Fatalf("pos %d: sample %d items != fresh %d", pos+1, len(got), len(want))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Priority < want[j].Priority })
+		sort.Slice(got, func(i, j int) bool { return got[i].Priority < got[j].Priority })
+		for i := range got {
+			if got[i].Key != want[i].Key || got[i].Priority != want[i].Priority {
+				t.Fatalf("pos %d: sample[%d] (%d, %v) != fresh (%d, %v)",
+					pos+1, i, got[i].Key, got[i].Priority, want[i].Key, want[i].Priority)
+			}
+		}
+	}
+}
+
+func TestNonPositiveWeightsAdvancePositionOnly(t *testing.T) {
+	s := New(4, 2)
+	s.Add(1, 0, 100)
+	s.Add(2, -3, 100)
+	if s.N() != 2 {
+		t.Fatalf("N %d, want 2 (positions advance)", s.N())
+	}
+	if s.StoredItems() != 0 {
+		t.Fatalf("stored %d, want 0 (unsampleable items)", s.StoredItems())
+	}
+	s.Add(3, 1, 7)
+	if got := s.SubsetSumAt(3, nil); got != 7 {
+		t.Fatalf("sum %v, want 7", got)
+	}
+}
+
+func TestSubsetSumPredicateFiltering(t *testing.T) {
+	const n = 5000
+	s := New(64, 6)
+	exactEven := 0.0
+	for i := 0; i < n; i++ {
+		v := float64(i % 10)
+		s.Add(uint64(i), 1, v)
+		if i%2 == 0 {
+			exactEven += v
+		}
+	}
+	est := s.SubsetSumAt(n, func(e Entry) bool { return e.Key%2 == 0 })
+	if rel := est/exactEven - 1; rel > 0.5 || rel < -0.5 {
+		t.Fatalf("even-key estimate %v implausible vs exact %v", est, exactEven)
+	}
+}
+
+func TestArchiveGrowthIsLogarithmic(t *testing.T) {
+	const (
+		k = 16
+		n = 100_000
+	)
+	s := New(k, 12)
+	for i := 0; i < n; i++ {
+		s.Add(uint64(i)*0x9e3779b97f4a7c15, 1, 1)
+	}
+	// Expected storage is Θ(k log(n/k)); allow a generous constant.
+	bound := 6 * k * int(math.Log(float64(n)/float64(k))+1)
+	if s.StoredItems() > bound {
+		t.Fatalf("archive holds %d items, want O(k log(n/k)) ~ %d", s.StoredItems(), bound)
+	}
+}

@@ -1,0 +1,301 @@
+// Package server is the HTTP serving layer of the atsd daemon: a thin,
+// stdlib-only wire protocol over the multi-tenant sketch store.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/add       {"namespace","metric","items":[{"key","weight","value"}]}
+//	                   or a JSON array of such objects; returns {"added":n}
+//	GET  /v1/query     ?namespace=&metric=&from=&to=   range estimates
+//	GET  /v1/sample    ?namespace=&metric=&from=&to=   the merged sample
+//	GET  /v1/keys      live keys
+//	GET  /v1/stats     store counters + daemon info
+//	POST /v1/snapshot  persist the keyspace; with no configured path the
+//	                   snapshot streams back as application/octet-stream
+//
+// from/to accept RFC 3339 timestamps or unix seconds (integer or
+// decimal); from defaults to the epoch and to defaults to now.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/store"
+)
+
+// maxAddBody caps one ingest request body (decode-bomb guard at the
+// transport layer; the codecs guard the binary layer).
+const maxAddBody = 32 << 20
+
+// Server wires a store to an http.Handler.
+type Server struct {
+	st           *store.Store
+	snapshotPath string
+	started      time.Time
+	mux          *http.ServeMux
+}
+
+// New returns a server over st. snapshotPath, when non-empty, is where
+// POST /v1/snapshot (and the daemon's shutdown hook) persist the
+// keyspace.
+func New(st *store.Store, snapshotPath string) *Server {
+	s := &Server{st: st, snapshotPath: snapshotPath, started: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/sample", s.handleSample)
+	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the underlying store (the daemon's shutdown hook
+// snapshots it directly).
+func (s *Server) Store() *store.Store { return s.st }
+
+// SnapshotToPath persists the keyspace to the configured path
+// atomically (temp file + rename) and returns the byte count.
+func (s *Server) SnapshotToPath() (int64, error) {
+	if s.snapshotPath == "" {
+		return 0, errors.New("server: no snapshot path configured")
+	}
+	tmp := s.snapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.st.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	// Flush to stable storage before the rename makes this the live
+	// snapshot: a torn file here would block the next boot.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if err2 := f.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, s.snapshotPath); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return size, nil
+}
+
+// addRequest is one ingest batch on the wire.
+type addRequest struct {
+	Namespace string    `json:"namespace"`
+	Metric    string    `json:"metric"`
+	Items     []addItem `json:"items"`
+}
+
+type addItem struct {
+	Key    uint64  `json:"key"`
+	Weight float64 `json:"weight"`
+	Value  float64 `json:"value"`
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAddBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
+		return
+	}
+	var batches []addRequest
+	if len(body) > 0 && body[0] == '[' {
+		err = json.Unmarshal(body, &batches)
+	} else {
+		var one addRequest
+		err = json.Unmarshal(body, &one)
+		batches = []addRequest{one}
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	// Validate every batch before ingesting any: a mid-loop rejection
+	// after partial commits would make client retries double-ingest the
+	// earlier batches.
+	for _, b := range batches {
+		if b.Namespace == "" || b.Metric == "" {
+			httpError(w, http.StatusBadRequest, "namespace and metric are required")
+			return
+		}
+	}
+	added := 0
+	for _, b := range batches {
+		if len(b.Items) == 0 {
+			continue
+		}
+		items := make([]engine.Item, len(b.Items))
+		for i, it := range b.Items {
+			w := it.Weight
+			if w == 0 {
+				w = 1 // unweighted ingest shorthand
+			}
+			items[i] = engine.Item{Key: it.Key, Weight: w, Value: it.Value}
+		}
+		s.st.AddBatch(b.Namespace, b.Metric, items)
+		added += len(items)
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"added": added})
+}
+
+// parseInstant accepts RFC 3339 or unix seconds.
+func parseInstant(s string, fallback time.Time) (time.Time, error) {
+	if s == "" {
+		return fallback, nil
+	}
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		// ParseFloat also accepts "NaN"/"Inf"/1e300; the conversion to
+		// int64 nanoseconds must stay in range (±~292 years of epoch).
+		if math.IsNaN(secs) || secs < -9.2e9 || secs > 9.2e9 {
+			return time.Time{}, fmt.Errorf("unix seconds %q out of range", s)
+		}
+		return time.Unix(0, int64(secs*float64(time.Second))), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad instant %q (want RFC3339 or unix seconds)", s)
+	}
+	return t, nil
+}
+
+func (s *Server) queryRange(r *http.Request) (ns, metric string, from, to time.Time, err error) {
+	q := r.URL.Query()
+	ns, metric = q.Get("namespace"), q.Get("metric")
+	if ns == "" || metric == "" {
+		return "", "", time.Time{}, time.Time{}, errors.New("namespace and metric are required")
+	}
+	from, err = parseInstant(q.Get("from"), time.Unix(0, 0))
+	if err != nil {
+		return
+	}
+	to, err = parseInstant(q.Get("to"), time.Now())
+	return
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ns, metric, from, to, err := s.queryRange(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.st.Query(ns, metric, from, to)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrUnknownKey) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Namespace string       `json:"namespace"`
+		Metric    string       `json:"metric"`
+		From      int64        `json:"from_unix"`
+		To        int64        `json:"to_unix"`
+		Result    store.Result `json:"result"`
+	}{ns, metric, from.Unix(), to.Unix(), res})
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	ns, metric, from, to, err := s.queryRange(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sample, err := s.st.QuerySample(ns, metric, from, to)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrUnknownKey) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"namespace": ns,
+		"metric":    metric,
+		"sample":    sample,
+	})
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"keys": s.st.Keys()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cfg := s.st.Config()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"store": s.st.Stats(),
+		"config": map[string]any{
+			"kind":         cfg.Kind.String(),
+			"k":            cfg.K,
+			"bucket_width": cfg.BucketWidth.String(),
+			"retention":    cfg.Retention,
+			"shards":       cfg.Shards,
+			"max_keys":     cfg.MaxKeys,
+		},
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		// No configured path: stream the snapshot to the caller.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := s.st.Snapshot(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			panic(http.ErrAbortHandler)
+		}
+		return
+	}
+	n, err := s.SnapshotToPath()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": s.snapshotPath, "bytes": n})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before writing the header: an encoding failure (e.g. a
+	// non-finite float reaching the wire layer) must surface as a 500,
+	// not a 200 with an empty body.
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "encode response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

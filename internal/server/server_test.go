@@ -1,0 +1,296 @@
+package server
+
+// End-to-end acceptance test of the serving layer: HTTP ingest of 100k+
+// items across 120 keys, range queries within 5% of the exact subset
+// sums, and a snapshot/restore cycle that preserves every query response
+// byte-for-byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ats/internal/store"
+	"ats/internal/stream"
+)
+
+const (
+	e2eNamespaces = 4
+	e2eMetrics    = 30 // 4 × 30 = 120 keys
+	e2eLightItems = 400
+	e2eHeavyItems = 60_000 // one estimated (k < n) series
+	e2eK          = 4096
+	e2eSeed       = 99
+)
+
+func e2eConfig() store.Config {
+	return store.Config{
+		Kind:        store.BottomK,
+		K:           e2eK,
+		Seed:        e2eSeed,
+		BucketWidth: time.Hour, // ingest lands in one bucket: exact-sum accounting stays simple
+		Retention:   100,
+	}
+}
+
+func postJSON(t *testing.T, url string, v any) map[string]any {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+type addItemT struct {
+	Key    uint64  `json:"key"`
+	Weight float64 `json:"weight"`
+	Value  float64 `json:"value"`
+}
+
+func TestEndToEndIngestQuerySnapshotRestore(t *testing.T) {
+	st := store.New(e2eConfig())
+	srv := httptest.NewServer(New(st, "").Handler())
+	defer srv.Close()
+
+	// --- ingest ≥100k items across 120 keys over HTTP ---
+	rng := stream.NewRNG(7)
+	exact := map[string]float64{}
+	nextKey := uint64(0)
+	total := 0
+	ingest := func(ns, metric string, n int) {
+		const chunk = 5000
+		for off := 0; off < n; off += chunk {
+			m := chunk
+			if m > n-off {
+				m = n - off
+			}
+			items := make([]addItemT, m)
+			for i := range items {
+				w := 0.5 + 9.5*rng.Float64()
+				items[i] = addItemT{Key: nextKey, Weight: w, Value: w}
+				nextKey++
+				exact[ns+"/"+metric] += w
+			}
+			out := postJSON(t, srv.URL+"/v1/add", map[string]any{
+				"namespace": ns, "metric": metric, "items": items,
+			})
+			if int(out["added"].(float64)) != m {
+				t.Fatalf("added %v, want %d", out["added"], m)
+			}
+			total += m
+		}
+	}
+	for n := 0; n < e2eNamespaces; n++ {
+		for m := 0; m < e2eMetrics; m++ {
+			ingest(fmt.Sprintf("tenant%d", n), fmt.Sprintf("metric%02d", m), e2eLightItems)
+		}
+	}
+	ingest("tenant0", "heavy", e2eHeavyItems)
+	if total < 100_000 {
+		t.Fatalf("ingested only %d items", total)
+	}
+
+	// --- keys ---
+	var keysResp struct {
+		Keys []store.Key `json:"keys"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/v1/keys"), &keysResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(keysResp.Keys) != e2eNamespaces*e2eMetrics+1 {
+		t.Fatalf("%d keys, want %d", len(keysResp.Keys), e2eNamespaces*e2eMetrics+1)
+	}
+
+	// --- range queries within 5% of exact ---
+	queryURL := func(ns, metric string) string {
+		return srv.URL + "/v1/query?namespace=" + ns + "&metric=" + metric + "&from=0"
+	}
+	type queryResp struct {
+		Result store.Result `json:"result"`
+	}
+	checkSum := func(ns, metric string) []byte {
+		body := get(t, queryURL(ns, metric))
+		var qr queryResp
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		want := exact[ns+"/"+metric]
+		if rel := math.Abs(qr.Result.Sum-want) / want; rel > 0.05 {
+			t.Fatalf("%s/%s: estimate %v vs exact %v (%.2f%% off)", ns, metric, qr.Result.Sum, want, 100*rel)
+		}
+		return body
+	}
+	before := map[string][]byte{}
+	for n := 0; n < e2eNamespaces; n++ {
+		for m := 0; m < e2eMetrics; m++ {
+			ns, metric := fmt.Sprintf("tenant%d", n), fmt.Sprintf("metric%02d", m)
+			before[ns+"/"+metric] = checkSum(ns, metric)
+		}
+	}
+	before["tenant0/heavy"] = checkSum("tenant0", "heavy")
+
+	// The heavy series is genuinely estimated, not exact.
+	var heavy queryResp
+	if err := json.Unmarshal(before["tenant0/heavy"], &heavy); err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Result.SampleSize >= e2eHeavyItems {
+		t.Fatalf("heavy series not sketched: sample %d", heavy.Result.SampleSize)
+	}
+
+	// --- snapshot (streamed), restore into a fresh daemon ---
+	resp, err := http.Post(srv.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d, %v", resp.StatusCode, err)
+	}
+
+	st2 := store.New(e2eConfig())
+	if err := st2.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(New(st2, "").Handler())
+	defer srv2.Close()
+
+	for key, want := range before {
+		var ns, metric string
+		fmt.Sscanf(key, "%s", &ns) // key is "ns/metric"
+		for i := range key {
+			if key[i] == '/' {
+				ns, metric = key[:i], key[i+1:]
+				break
+			}
+		}
+		got := get(t, srv2.URL+"/v1/query?namespace="+ns+"&metric="+metric+"&from=0")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: restored query response differs:\n  before: %s\n  after:  %s", key, want, got)
+		}
+	}
+}
+
+func TestSnapshotToPathAndReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ats.snap")
+	st := store.New(e2eConfig())
+	srv := httptest.NewServer(New(st, path).Handler())
+	defer srv.Close()
+
+	items := make([]addItemT, 1000)
+	for i := range items {
+		items[i] = addItemT{Key: uint64(i), Weight: 1, Value: 2}
+	}
+	postJSON(t, srv.URL+"/v1/add", map[string]any{"namespace": "ns", "metric": "m", "items": items})
+
+	out := postJSON(t, srv.URL+"/v1/snapshot", nil)
+	if out["path"] != path || out["bytes"].(float64) <= 0 {
+		t.Fatalf("snapshot response %v", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st2 := store.New(e2eConfig())
+	if err := st2.Restore(f); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st2.Query("ns", "m", time.Unix(0, 0), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 2000 {
+		t.Fatalf("restored sum %v, want exact 2000", res.Sum)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	st := store.New(e2eConfig())
+	srv := httptest.NewServer(New(st, "").Handler())
+	defer srv.Close()
+
+	for name, tc := range map[string]struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		"add missing key":    {"POST", "/v1/add", `{"items":[{"key":1}]}`, http.StatusBadRequest},
+		"add malformed":      {"POST", "/v1/add", `{"namespace"`, http.StatusBadRequest},
+		"query missing key":  {"GET", "/v1/query", "", http.StatusBadRequest},
+		"query unknown key":  {"GET", "/v1/query?namespace=no&metric=pe", "", http.StatusNotFound},
+		"query bad from":     {"GET", "/v1/query?namespace=a&metric=b&from=yesterday", "", http.StatusBadRequest},
+		"query NaN from":     {"GET", "/v1/query?namespace=a&metric=b&from=NaN", "", http.StatusBadRequest},
+		"query huge from":    {"GET", "/v1/query?namespace=a&metric=b&from=1e300", "", http.StatusBadRequest},
+		"add wrong method":   {"GET", "/v1/add", "", http.StatusMethodNotAllowed},
+		"query wrong method": {"POST", "/v1/query", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+
+	// A multi-batch request with an invalid batch must commit nothing —
+	// a partial commit would double-ingest on client retry.
+	body := `[{"namespace":"a","metric":"b","items":[{"key":1,"weight":1,"value":1}]},` +
+		`{"namespace":"a","items":[{"key":2,"weight":1,"value":1}]}]`
+	resp, err := http.Post(srv.URL+"/v1/add", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed-validity array: status %d", resp.StatusCode)
+	}
+	if got := st.Stats().Adds; got != 0 {
+		t.Fatalf("partial commit: %d items ingested from a rejected request", got)
+	}
+}

@@ -1,0 +1,154 @@
+package store
+
+// Store ↔ history interaction: the history sampler (§2.7) reconstructs
+// the bottom-k sample of any stream prefix after the fact; the store
+// reaches the same sample for the whole stream by merging its time
+// buckets. Both derive priorities from the same seeded key hash, so for
+// the full range they must agree exactly — the store is the "forgetful"
+// production counterpart of the archival history sampler.
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"ats/internal/history"
+)
+
+func TestStoreFullRangeMatchesHistorySampler(t *testing.T) {
+	const (
+		k       = 128
+		seed    = 33
+		buckets = 6
+		perB    = 3000
+	)
+	items := zipfItems(buckets*perB, seed)
+	st := New(Config{Kind: BottomK, K: k, Seed: seed, BucketWidth: time.Minute, Retention: 100})
+	hist := history.New(k, seed)
+	for b := 0; b < buckets; b++ {
+		chunk := items[b*perB : (b+1)*perB]
+		st.AddBatchAt("ns", "m", chunk, epoch.Add(time.Duration(b)*time.Minute))
+		for _, it := range chunk {
+			hist.Add(it.Key, it.Weight, it.Value)
+		}
+	}
+
+	n := buckets * perB
+	wantThr := hist.ThresholdAt(n)
+	res, err := st.Query("ns", "m", epoch, epoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold != wantThr {
+		t.Fatalf("store threshold %v != history threshold %v", res.Threshold, wantThr)
+	}
+
+	sample, err := st.QuerySample("ns", "m", epoch, epoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	histSample := hist.SampleAt(n)
+	if len(sample) != len(histSample) {
+		t.Fatalf("store sample %d items, history %d", len(sample), len(histSample))
+	}
+	type kp struct {
+		key uint64
+		pri float64
+	}
+	norm := func(keys []kp) {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].pri != keys[j].pri {
+				return keys[i].pri < keys[j].pri
+			}
+			return keys[i].key < keys[j].key
+		})
+	}
+	got := make([]kp, len(sample))
+	for i, s := range sample {
+		got[i] = kp{s.Key, s.Priority}
+	}
+	want := make([]kp, len(histSample))
+	for i, e := range histSample {
+		want[i] = kp{e.Key, e.Priority}
+	}
+	norm(got)
+	norm(want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample[%d]: store (%d, %v) != history (%d, %v)",
+				i, got[i].key, got[i].pri, want[i].key, want[i].pri)
+		}
+	}
+}
+
+// TestStorePrefixMatchesHistoryPrefix aligns bucket boundaries with
+// stream positions: a store range query ending at bucket b sees exactly
+// the first (b+1)*perB items, which is a history prefix query.
+func TestStorePrefixMatchesHistoryPrefix(t *testing.T) {
+	const (
+		k       = 64
+		seed    = 8
+		buckets = 5
+		perB    = 2000
+	)
+	items := zipfItems(buckets*perB, seed)
+	st := New(Config{Kind: BottomK, K: k, Seed: seed, BucketWidth: time.Minute, Retention: 100})
+	hist := history.New(k, seed)
+	for b := 0; b < buckets; b++ {
+		chunk := items[b*perB : (b+1)*perB]
+		st.AddBatchAt("ns", "m", chunk, epoch.Add(time.Duration(b)*time.Minute))
+		for _, it := range chunk {
+			hist.Add(it.Key, it.Weight, it.Value)
+		}
+	}
+	for b := 0; b < buckets; b++ {
+		res, err := st.Query("ns", "m", epoch, epoch.Add(time.Duration(b)*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Threshold, hist.ThresholdAt((b+1)*perB); got != want {
+			t.Fatalf("prefix through bucket %d: store threshold %v != history %v", b, got, want)
+		}
+	}
+}
+
+// TestHistoryUnbiasedAcrossStoreBuckets checks the estimates themselves:
+// the history prefix estimate and the store bucket-merge estimate target
+// the same population total and agree to float-reordering precision.
+func TestHistoryUnbiasedAcrossStoreBuckets(t *testing.T) {
+	const (
+		k       = 256
+		seed    = 14
+		buckets = 4
+		perB    = 4000
+	)
+	// Unique keys: duplicate keys share a hashed priority, which biases
+	// aggregate HT sums (the documented bottom-k caveat to pre-aggregate
+	// per key), and this test compares against the exact total.
+	items := zipfItems(buckets*perB, seed)
+	for i := range items {
+		items[i].Key = uint64(i)
+	}
+	st := New(Config{Kind: BottomK, K: k, Seed: seed, BucketWidth: time.Minute, Retention: 100})
+	hist := history.New(k, seed)
+	exact := 0.0
+	for b := 0; b < buckets; b++ {
+		chunk := items[b*perB : (b+1)*perB]
+		st.AddBatchAt("ns", "m", chunk, epoch.Add(time.Duration(b)*time.Minute))
+		for _, it := range chunk {
+			hist.Add(it.Key, it.Weight, it.Value)
+			exact += it.Value
+		}
+	}
+	res, err := st.Query("ns", "m", epoch, epoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	histEst := hist.SubsetSumAt(buckets*perB, nil)
+	if relDiff(res.Sum, histEst) > 1e-12 {
+		t.Fatalf("store estimate %v != history estimate %v", res.Sum, histEst)
+	}
+	if relDiff(res.Sum, exact) > 0.2 {
+		t.Fatalf("estimate %v implausibly far from exact %v", res.Sum, exact)
+	}
+}

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"ats/internal/codec"
+	"ats/internal/engine"
+)
+
+// Snapshot stream format (little-endian):
+//
+//	magic   uint32  "ATSS"
+//	version uint8   1
+//	kind    uint8
+//	k       uint32
+//	seed    uint64
+//	width   int64   bucket width in nanoseconds
+//	delta   float64 sliding-window length in seconds (validated for
+//	                window stores; informational otherwise)
+//	series records, each:
+//	  marker      uint8  1
+//	  nsLen       uint16, namespace bytes
+//	  metricLen   uint16, metric bytes
+//	  bucketCount uint32
+//	  buckets, each: idx int64, then one self-describing codec envelope
+//	marker uint8 0 (end of stream)
+//
+// Every bucket payload goes through the universal codec registry, so the
+// stream stays decodable as sketch kinds evolve: the envelope names the
+// codec, the store only supplies framing.
+
+const (
+	snapMagic   = 0x41545353 // "ATSS"
+	snapVersion = 1
+)
+
+var (
+	// ErrSnapshotCorrupt reports malformed snapshot framing.
+	ErrSnapshotCorrupt = errors.New("store: corrupt snapshot")
+	// ErrSnapshotConfig reports a snapshot whose sketch configuration
+	// does not match the restoring store's.
+	ErrSnapshotConfig = errors.New("store: snapshot configuration mismatch")
+	// ErrNotEmpty reports a Restore into a store that already has keys.
+	ErrNotEmpty = errors.New("store: restore requires an empty store")
+)
+
+// maxKeyLen bounds namespace/metric lengths in snapshots (they are
+// uint16-framed on the wire anyway; this guards the encoder).
+const maxKeyLen = 1<<16 - 1
+
+// Snapshot serializes the entire keyspace to w: every sealed bucket plus
+// the current bucket of every key (collapsed), each as one codec
+// envelope. Writers may run concurrently — each key is locked only while
+// its buckets are written, so the snapshot is per-key consistent, the
+// same guarantee the engine's Snapshot gives per shard.
+func (st *Store) Snapshot(w io.Writer) error {
+	st.snapshots.Add(1)
+	bw := bufio.NewWriter(w)
+
+	head := binary.LittleEndian.AppendUint32(nil, snapMagic)
+	head = append(head, snapVersion, uint8(st.cfg.Kind))
+	head = binary.LittleEndian.AppendUint32(head, uint32(st.cfg.K))
+	head = binary.LittleEndian.AppendUint64(head, st.cfg.Seed)
+	head = binary.LittleEndian.AppendUint64(head, uint64(st.cfg.BucketWidth))
+	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(st.cfg.WindowDelta))
+	if _, err := bw.Write(head); err != nil {
+		return err
+	}
+
+	for _, key := range st.Keys() {
+		st.mu.RLock()
+		s := st.series[key]
+		st.mu.RUnlock()
+		if s == nil {
+			continue // evicted since Keys()
+		}
+		if err := st.writeSeries(bw, key, s); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte(0); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (st *Store) writeSeries(bw *bufio.Writer, key Key, s *series) error {
+	if len(key.Namespace) > maxKeyLen || len(key.Metric) > maxKeyLen {
+		return fmt.Errorf("store: key %q/%q exceeds frame limit", key.Namespace, key.Metric)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	buckets := make([]bucket, 0, len(s.sealed)+1)
+	buckets = append(buckets, s.sealed...)
+	if s.cur != nil {
+		collapsed, err := s.cur.Snapshot()
+		if err != nil {
+			return fmt.Errorf("store: collapsing current bucket of %s/%s: %w", key.Namespace, key.Metric, err)
+		}
+		buckets = append(buckets, bucket{idx: s.curIdx, s: collapsed})
+	}
+
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(key.Namespace)))
+	frame = append(frame, key.Namespace...)
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(key.Metric)))
+	frame = append(frame, key.Metric...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(buckets)))
+	if _, err := bw.Write(frame); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		sm, ok := b.s.(engine.SnapshotMarshaler)
+		if !ok {
+			return fmt.Errorf("store: %T does not support serialization", b.s)
+		}
+		payload, err := sm.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		env, err := codec.Envelope(sm.CodecName(), payload)
+		if err != nil {
+			return err
+		}
+		var idx [8]byte
+		binary.LittleEndian.PutUint64(idx[:], uint64(b.idx))
+		if _, err := bw.Write(idx[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore loads a snapshot written by Snapshot into an empty store whose
+// configuration (kind, k, seed, bucket width) matches the snapshot's.
+// Restored buckets are all sealed; ingest after a restore opens fresh
+// current buckets and merges seamlessly with the restored history.
+func (st *Store) Restore(r io.Reader) error {
+	st.mu.Lock()
+	if len(st.series) != 0 {
+		st.mu.Unlock()
+		return ErrNotEmpty
+	}
+	st.mu.Unlock()
+
+	br := bufio.NewReader(r)
+	var head [34]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrSnapshotCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(head[:]) != snapMagic {
+		return fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	if head[4] != snapVersion {
+		return fmt.Errorf("%w: version %d", ErrSnapshotCorrupt, head[4])
+	}
+	if Kind(head[5]) != st.cfg.Kind {
+		return fmt.Errorf("%w: snapshot kind %s, store kind %s", ErrSnapshotConfig, Kind(head[5]), st.cfg.Kind)
+	}
+	if k := int(binary.LittleEndian.Uint32(head[6:])); k != st.cfg.K {
+		return fmt.Errorf("%w: snapshot k=%d, store k=%d", ErrSnapshotConfig, k, st.cfg.K)
+	}
+	if seed := binary.LittleEndian.Uint64(head[10:]); seed != st.cfg.Seed {
+		return fmt.Errorf("%w: snapshot seed %d, store seed %d", ErrSnapshotConfig, seed, st.cfg.Seed)
+	}
+	if w := int64(binary.LittleEndian.Uint64(head[18:])); w != int64(st.cfg.BucketWidth) {
+		return fmt.Errorf("%w: snapshot bucket width %d, store %d", ErrSnapshotConfig, w, int64(st.cfg.BucketWidth))
+	}
+	if delta := math.Float64frombits(binary.LittleEndian.Uint64(head[26:])); st.cfg.Kind == Window && delta != st.cfg.WindowDelta {
+		// A delta mismatch would not fail until the first range query
+		// tries to merge restored buckets; reject it up front.
+		return fmt.Errorf("%w: snapshot window delta %v, store %v", ErrSnapshotConfig, delta, st.cfg.WindowDelta)
+	}
+
+	restored := make(map[Key]*series)
+	for {
+		marker, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: missing end marker: %v", ErrSnapshotCorrupt, err)
+		}
+		if marker == 0 {
+			break
+		}
+		if marker != 1 {
+			return fmt.Errorf("%w: bad series marker %d", ErrSnapshotCorrupt, marker)
+		}
+		key, s, err := st.readSeries(br)
+		if err != nil {
+			return err
+		}
+		if _, dup := restored[key]; dup {
+			return fmt.Errorf("%w: duplicate key %s/%s", ErrSnapshotCorrupt, key.Namespace, key.Metric)
+		}
+		restored[key] = s
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.series) != 0 {
+		return ErrNotEmpty
+	}
+	st.series = restored
+	st.restores.Add(1)
+	return nil
+}
+
+func (st *Store) readSeries(br *bufio.Reader) (Key, *series, error) {
+	readString := func() (string, error) {
+		var n [2]byte
+		if _, err := io.ReadFull(br, n[:]); err != nil {
+			return "", err
+		}
+		buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	ns, err := readString()
+	if err != nil {
+		return Key{}, nil, fmt.Errorf("%w: namespace: %v", ErrSnapshotCorrupt, err)
+	}
+	metric, err := readString()
+	if err != nil {
+		return Key{}, nil, fmt.Errorf("%w: metric: %v", ErrSnapshotCorrupt, err)
+	}
+	key := Key{Namespace: ns, Metric: metric}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return Key{}, nil, fmt.Errorf("%w: bucket count: %v", ErrSnapshotCorrupt, err)
+	}
+	// The count is only a loop bound — each iteration reads a
+	// length-checked envelope — so a huge claimed count cannot force a
+	// huge allocation, it just runs the reader into EOF.
+	count := int(binary.LittleEndian.Uint32(cnt[:]))
+	s := &series{curIdx: -1 << 62}
+	lastIdx := int64(math.MinInt64)
+	for i := 0; i < count; i++ {
+		var idxBuf [8]byte
+		if _, err := io.ReadFull(br, idxBuf[:]); err != nil {
+			return Key{}, nil, fmt.Errorf("%w: bucket index: %v", ErrSnapshotCorrupt, err)
+		}
+		idx := int64(binary.LittleEndian.Uint64(idxBuf[:]))
+		if idx < lastIdx {
+			return Key{}, nil, fmt.Errorf("%w: bucket indices out of order (%d after %d)", ErrSnapshotCorrupt, idx, lastIdx)
+		}
+		lastIdx = idx
+		name, v, err := codec.Read(br)
+		if err != nil {
+			return Key{}, nil, fmt.Errorf("store: bucket %d of %s/%s: %w", idx, ns, metric, err)
+		}
+		sampler, err := engine.WrapDecoded(name, v)
+		if err != nil {
+			return Key{}, nil, err
+		}
+		if name != st.kindCodecName() {
+			return Key{}, nil, fmt.Errorf("%w: bucket codec %q in a %s store", ErrSnapshotConfig, name, st.cfg.Kind)
+		}
+		s.sealed = append(s.sealed, bucket{idx: idx, s: sampler})
+	}
+	return key, s, nil
+}
+
+// kindCodecName maps the store kind to its registered codec name.
+func (st *Store) kindCodecName() string {
+	switch st.cfg.Kind {
+	case Distinct:
+		return codec.NameDistinct
+	case Window:
+		return codec.NameWindow
+	default:
+		return codec.NameBottomK
+	}
+}

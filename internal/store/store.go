@@ -1,0 +1,513 @@
+// Package store is the multi-tenant, time-bucketed sketch store: the
+// serving-layer subsystem between the concurrent engine and the atsd
+// daemon.
+//
+// A Store owns many named sketches, keyed by (namespace, metric). Each
+// key maintains a ring of time buckets of configurable width: ingest is
+// routed into the current bucket's sharded engine sampler, and when the
+// clock crosses a bucket boundary the outgoing bucket is lazily sealed —
+// collapsed to a single sketch — and appended to the ring, with buckets
+// older than the retention horizon dropped. Range queries collapse the
+// covered buckets with the sketches' Merge, which the paper's
+// substitutability theory makes exact: bottom-k and KMV sketches depend
+// only on the multiset of (key, priority) pairs, so the merge of N bucket
+// sketches is bit-identical to the sketch of the whole range's stream,
+// and every Horvitz-Thompson estimator stays unbiased. No raw data is
+// retained anywhere — a bucket costs O(k), not O(items).
+//
+// Capacity is bounded per store: when MaxKeys is set, creating a key
+// beyond the bound evicts the least-recently-used key. Stats exposes
+// expvar-style monotonic counters (adds, rotations, evictions, queries)
+// plus keys/buckets gauges.
+//
+// Snapshot/Restore persist the entire keyspace through the universal
+// codec registry (internal/codec): each bucket is one self-describing
+// envelope, so a snapshot stream decodes without out-of-band schema
+// knowledge and new sketch kinds become restorable by registering a
+// codec.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+	"ats/internal/engine"
+	"ats/internal/stream"
+	"ats/internal/window"
+)
+
+// Kind selects the sketch type a Store maintains per time bucket.
+type Kind uint8
+
+const (
+	// BottomK maintains weighted bottom-k sketches: range queries answer
+	// subset sums with unbiased variance estimates.
+	BottomK Kind = iota
+	// Distinct maintains KMV sketches: range queries answer distinct
+	// counts.
+	Distinct
+	// Window maintains sliding-window samplers: range queries answer
+	// uniform samples of recent arrivals. Arrival times are stamped by
+	// the store clock.
+	Window
+)
+
+// String returns the wire/flag name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case BottomK:
+		return "bottomk"
+	case Distinct:
+		return "distinct"
+	case Window:
+		return "window"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "bottomk":
+		return BottomK, nil
+	case "distinct":
+		return Distinct, nil
+	case "window":
+		return Window, nil
+	}
+	return 0, fmt.Errorf("store: unknown sketch kind %q", s)
+}
+
+// Key identifies one sketch series: a tenant namespace and a metric name.
+type Key struct {
+	Namespace string `json:"namespace"`
+	Metric    string `json:"metric"`
+}
+
+// Config parameterizes a Store. The zero value is not usable; Kind, K and
+// BucketWidth selection happen through New's defaulting.
+type Config struct {
+	// Kind is the sketch type (default BottomK).
+	Kind Kind
+	// K is the per-bucket sketch size (default 1024).
+	K int
+	// Seed coordinates the sketches: all buckets of all keys share it, so
+	// any subset of buckets is mergeable (default 1).
+	Seed uint64
+	// BucketWidth is the time width of one bucket (default 1 minute).
+	BucketWidth time.Duration
+	// Retention is how many sealed buckets of history each key keeps
+	// beyond the current bucket (default 60).
+	Retention int
+	// Shards is the shard count of each current bucket's concurrent
+	// engine (default 1; raise it for write-hot keys). Sealed buckets are
+	// always collapsed to a single sketch.
+	Shards int
+	// MaxKeys bounds the number of live keys; 0 means unbounded. At the
+	// bound, creating a new key evicts the least-recently-used one.
+	MaxKeys int
+	// WindowDelta is the sliding-window length in seconds for Kind ==
+	// Window (default BucketWidth in seconds).
+	WindowDelta float64
+	// Now is the store clock (default time.Now). Tests and benchmarks
+	// inject synthetic clocks to drive rotation deterministically.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = time.Minute
+	}
+	if c.Retention <= 0 {
+		c.Retention = 60
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.WindowDelta <= 0 {
+		c.WindowDelta = c.BucketWidth.Seconds()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the store's expvar-style counters.
+type Stats struct {
+	Keys      int   `json:"keys"`
+	Buckets   int   `json:"buckets"`
+	Adds      int64 `json:"adds"`
+	Rotations int64 `json:"rotations"`
+	Evictions int64 `json:"evictions"`
+	Queries   int64 `json:"queries"`
+	Snapshots int64 `json:"snapshots"`
+	Restores  int64 `json:"restores"`
+}
+
+// Store is a concurrent, multi-tenant, time-bucketed sketch store. All
+// methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	series map[Key]*series
+
+	// clock is monotonic across the store: lastNano prevents a stalled
+	// producer from seeing time move backwards across buckets.
+	adds      atomic.Int64
+	rotations atomic.Int64
+	evictions atomic.Int64
+	queries   atomic.Int64
+	snapshots atomic.Int64
+	restores  atomic.Int64
+}
+
+// series is the per-key state: the current bucket's concurrent engine
+// plus the ring of sealed (collapsed) buckets in ascending bucket order.
+type series struct {
+	mu sync.Mutex
+	// cur is the engine of the current bucket (nil before the first add
+	// after a restore).
+	cur    *engine.Sharded
+	curIdx int64
+	// sealed holds collapsed historical buckets, ascending by index.
+	sealed []bucket
+	// touched is the LRU clock: unix nanos of the last add or query.
+	touched atomic.Int64
+}
+
+// bucket is one sealed time bucket: a collapsed sampler covering
+// [idx*width, (idx+1)*width).
+type bucket struct {
+	idx int64
+	s   engine.Sampler
+}
+
+// New returns an empty store with cfg's zero fields defaulted.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	return &Store{cfg: cfg, series: make(map[Key]*series)}
+}
+
+// Config returns the store's effective (defaulted) configuration.
+func (st *Store) Config() Config { return st.cfg }
+
+// factoryAt returns the engine factory for the bucket at index idx.
+// Shard index -1 builds collapse/merge targets. Bottom-k and distinct
+// sketches hash priorities from keys and ignore idx; window samplers
+// draw priorities from RNG streams, so every (bucket, shard) pair gets
+// its own decorrelated stream — re-using one stream across buckets
+// would correlate priorities within a range sample that spans a
+// rotation (the window outliving the bucket width makes that overlap
+// routine) and bias the HT count estimate.
+func (st *Store) factoryAt(idx int64) engine.Factory {
+	switch st.cfg.Kind {
+	case Distinct:
+		return func(int) engine.Sampler {
+			return engine.WrapDistinct(distinct.NewSketch(st.cfg.K, st.cfg.Seed))
+		}
+	case Window:
+		seeds := stream.ForkSeeds(stream.Hash64(uint64(idx), st.cfg.Seed), st.cfg.Shards+1)
+		return func(shard int) engine.Sampler {
+			i := shard
+			if i < 0 {
+				// Collapse targets never draw priorities (they only
+				// merge), so the spare seed is shared across buckets.
+				i = st.cfg.Shards
+			}
+			return engine.WrapWindow(window.New(st.cfg.K, st.cfg.WindowDelta, seeds[i]))
+		}
+	default:
+		return func(int) engine.Sampler {
+			return engine.WrapBottomK(bottomk.New(st.cfg.K, st.cfg.Seed))
+		}
+	}
+}
+
+// bucketIndex maps a wall-clock instant to its bucket index.
+func (st *Store) bucketIndex(t time.Time) int64 {
+	return t.UnixNano() / int64(st.cfg.BucketWidth)
+}
+
+// getOrCreate returns the series for key, creating it (and evicting the
+// LRU key if the store is at capacity) on first use.
+func (st *Store) getOrCreate(key Key) *series {
+	st.mu.RLock()
+	s := st.series[key]
+	st.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s = st.series[key]; s != nil {
+		return s
+	}
+	if st.cfg.MaxKeys > 0 && len(st.series) >= st.cfg.MaxKeys {
+		st.evictLRULocked()
+	}
+	s = &series{curIdx: -1 << 62}
+	// Stamp the LRU clock before the series becomes visible: a zero
+	// touched value would make the brand-new key the eviction victim of
+	// a concurrent create, orphaning the caller's in-flight batch.
+	s.touched.Store(st.cfg.Now().UnixNano())
+	st.series[key] = s
+	return s
+}
+
+// evictLRULocked drops the least-recently-touched series. Caller holds
+// the store write lock.
+func (st *Store) evictLRULocked() {
+	var victim Key
+	oldest := int64(1<<63 - 1)
+	for k, s := range st.series {
+		if t := s.touched.Load(); t < oldest {
+			oldest = t
+			victim = k
+		}
+	}
+	delete(st.series, victim)
+	st.evictions.Add(1)
+}
+
+// Add offers one item to (namespace, metric) at the store clock.
+func (st *Store) Add(namespace, metric string, key uint64, weight, value float64) {
+	st.AddBatchAt(namespace, metric, []engine.Item{{Key: key, Weight: weight, Value: value}}, st.cfg.Now())
+}
+
+// AddBatch offers a batch of items to (namespace, metric) at the store
+// clock, amortizing locks and rotation checks over the batch.
+func (st *Store) AddBatch(namespace, metric string, items []engine.Item) {
+	st.AddBatchAt(namespace, metric, items, st.cfg.Now())
+}
+
+// AddBatchAt is AddBatch with an explicit ingest instant, the
+// deterministic entry point for tests and benchmarks. For Window stores
+// the items' Weight field is overwritten with the arrival time in unix
+// seconds (the window sampler's time axis); callers of bottom-k and
+// distinct stores own Weight.
+func (st *Store) AddBatchAt(namespace, metric string, items []engine.Item, at time.Time) {
+	if len(items) == 0 {
+		return
+	}
+	key := Key{Namespace: namespace, Metric: metric}
+	s := st.getOrCreate(key)
+	s.touched.Store(at.UnixNano())
+
+	if st.cfg.Kind == Window {
+		secs := float64(at.UnixNano()) / float64(time.Second)
+		for i := range items {
+			items[i].Weight = secs
+		}
+	}
+
+	idx := st.bucketIndex(at)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil || idx > s.curIdx {
+		st.rotateLocked(s, idx)
+	}
+	// A batch carrying an instant at or before the current bucket (clock
+	// skew between producers) still lands in the current bucket: bucket
+	// boundaries are approximate by design, and merging keeps estimates
+	// unbiased regardless of which bucket an item landed in.
+	s.cur.AddBatch(items)
+	st.adds.Add(int64(len(items)))
+}
+
+// rotateLocked seals the current bucket (if any) and starts a fresh one
+// at idx, pruning sealed buckets beyond the retention horizon. Caller
+// holds the series lock.
+func (st *Store) rotateLocked(s *series, idx int64) {
+	if s.cur != nil {
+		collapsed, err := s.cur.Snapshot()
+		if err != nil {
+			// All buckets share one factory; merge cannot fail.
+			panic("store: bucket collapse failed: " + err.Error())
+		}
+		s.sealed = append(s.sealed, bucket{idx: s.curIdx, s: collapsed})
+		st.rotations.Add(1)
+	}
+	cut := idx - int64(st.cfg.Retention)
+	drop := 0
+	for drop < len(s.sealed) && s.sealed[drop].idx < cut {
+		drop++
+	}
+	if drop > 0 {
+		s.sealed = append(s.sealed[:0], s.sealed[drop:]...)
+	}
+	s.cur = engine.NewSharded(st.cfg.Shards, st.factoryAt(idx))
+	s.curIdx = idx
+}
+
+// Result is the answer to a range query, with the estimator fields of the
+// store's kind populated.
+type Result struct {
+	Kind    string `json:"kind"`
+	Buckets int    `json:"buckets"`
+	// Sum and VarianceEstimate answer subset-sum queries (BottomK).
+	Sum              float64 `json:"sum,omitempty"`
+	VarianceEstimate float64 `json:"variance_estimate,omitempty"`
+	// DistinctEstimate answers cardinality queries (Distinct).
+	DistinctEstimate float64 `json:"distinct_estimate,omitempty"`
+	// CountEstimate is the HT estimate of the arrival count in the
+	// merged window sample (Window).
+	CountEstimate float64 `json:"count_estimate,omitempty"`
+	// SampleSize and Threshold describe the merged sample. A bottom-k
+	// sketch below capacity has an infinite threshold (every item is
+	// retained and the estimate is exact); that state is reported as
+	// Exact=true with Threshold 0 so the result stays JSON-encodable.
+	SampleSize int     `json:"sample_size"`
+	Threshold  float64 `json:"threshold"`
+	Exact      bool    `json:"exact,omitempty"`
+}
+
+// ErrUnknownKey reports a query for a key the store does not hold.
+var ErrUnknownKey = errors.New("store: unknown key")
+
+// collapseRange merges every bucket overlapping [from, to] into a fresh
+// sampler, in ascending bucket order (current bucket last), and returns
+// it with the number of buckets merged. The series lock is held for the
+// duration: sealed sketches settle their internal representation during
+// merges, so even read-style access must be exclusive per key.
+func (st *Store) collapseRange(key Key, from, to time.Time) (engine.Sampler, int, error) {
+	st.mu.RLock()
+	s := st.series[key]
+	st.mu.RUnlock()
+	if s == nil {
+		return nil, 0, fmt.Errorf("%w: %s/%s", ErrUnknownKey, key.Namespace, key.Metric)
+	}
+	s.touched.Store(st.cfg.Now().UnixNano())
+	fromIdx := st.bucketIndex(from)
+	toIdx := st.bucketIndex(to)
+	if to.Before(from) {
+		return nil, 0, fmt.Errorf("store: query range ends (%v) before it starts (%v)", to, from)
+	}
+
+	out := st.factoryAt(0)(-1)
+	merged := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.sealed {
+		if b.idx < fromIdx || b.idx > toIdx {
+			continue
+		}
+		if err := out.Merge(b.s); err != nil {
+			return nil, 0, fmt.Errorf("store: merging bucket %d: %w", b.idx, err)
+		}
+		merged++
+	}
+	if s.cur != nil && s.curIdx >= fromIdx && s.curIdx <= toIdx {
+		snap, err := s.cur.Snapshot()
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: collapsing current bucket: %w", err)
+		}
+		if err := out.Merge(snap); err != nil {
+			return nil, 0, fmt.Errorf("store: merging current bucket: %w", err)
+		}
+		merged++
+	}
+	return out, merged, nil
+}
+
+// Query collapses the buckets of (namespace, metric) overlapping
+// [from, to] via sketch merges and returns the kind's estimates.
+func (st *Store) Query(namespace, metric string, from, to time.Time) (Result, error) {
+	st.queries.Add(1)
+	out, merged, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Kind: st.cfg.Kind.String(), Buckets: merged, Threshold: out.Threshold()}
+	if math.IsInf(res.Threshold, 1) {
+		res.Threshold, res.Exact = 0, true
+	}
+	switch st.cfg.Kind {
+	case Distinct:
+		sk := out.(*engine.DistinctSampler).Sketch()
+		res.DistinctEstimate = sk.Estimate()
+		res.SampleSize = len(sk.Hashes())
+	case Window:
+		sample := out.Sample()
+		res.SampleSize = len(sample)
+		if t := res.Threshold; t > 0 {
+			res.CountEstimate = float64(len(sample)) / t
+		}
+	default:
+		sk := out.(*engine.BottomKSampler).Sketch()
+		res.Sum, res.VarianceEstimate = sk.SubsetSum(nil)
+		res.SampleSize = len(sk.Sample())
+	}
+	return res, nil
+}
+
+// QuerySample collapses the covered buckets and returns the merged
+// sample with pseudo-inclusion probabilities, for callers running their
+// own estimators.
+func (st *Store) QuerySample(namespace, metric string, from, to time.Time) ([]engine.Sample, error) {
+	st.queries.Add(1)
+	out, _, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return out.Sample(), nil
+}
+
+// Keys returns the live keys, sorted by namespace then metric.
+func (st *Store) Keys() []Key {
+	st.mu.RLock()
+	out := make([]Key, 0, len(st.series))
+	for k := range st.series {
+		out = append(out, k)
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Namespace != out[j].Namespace {
+			return out[i].Namespace < out[j].Namespace
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// Stats returns a snapshot of the store's counters and gauges.
+func (st *Store) Stats() Stats {
+	s := Stats{
+		Adds:      st.adds.Load(),
+		Rotations: st.rotations.Load(),
+		Evictions: st.evictions.Load(),
+		Queries:   st.queries.Load(),
+		Snapshots: st.snapshots.Load(),
+		Restores:  st.restores.Load(),
+	}
+	st.mu.RLock()
+	snapshot := make([]*series, 0, len(st.series))
+	for _, sr := range st.series {
+		snapshot = append(snapshot, sr)
+	}
+	s.Keys = len(st.series)
+	st.mu.RUnlock()
+	for _, sr := range snapshot {
+		sr.mu.Lock()
+		s.Buckets += len(sr.sealed)
+		if sr.cur != nil {
+			s.Buckets++
+		}
+		sr.mu.Unlock()
+	}
+	return s
+}

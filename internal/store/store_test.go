@@ -1,0 +1,400 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ats/internal/bottomk"
+	"ats/internal/distinct"
+	"ats/internal/engine"
+	"ats/internal/stream"
+)
+
+var epoch = time.Unix(1_700_000_000, 0)
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+func zipfItems(n int, seed uint64) []engine.Item {
+	z := stream.NewZipf(50_000, 1.1, seed)
+	rng := stream.NewRNG(seed + 1)
+	items := make([]engine.Item, n)
+	for i := range items {
+		w := 1 + 9*rng.Float64()
+		items[i] = engine.Item{Key: z.Next(), Weight: w, Value: w}
+	}
+	return items
+}
+
+// TestRangeQueryEqualsSingleSketch is the acceptance-criteria test: a
+// range query over N buckets is answered purely by sketch merges, and —
+// because bottom-k depends only on the multiset of (key, priority) pairs
+// — the collapsed result is identical to one sketch fed the whole
+// stream.
+func TestRangeQueryEqualsSingleSketch(t *testing.T) {
+	const (
+		buckets = 8
+		perB    = 5000
+		k       = 256
+		seed    = 42
+	)
+	st := New(Config{Kind: BottomK, K: k, Seed: seed, BucketWidth: time.Minute, Retention: 100})
+	items := zipfItems(buckets*perB, seed)
+
+	ref := bottomk.New(k, seed)
+	for b := 0; b < buckets; b++ {
+		at := epoch.Add(time.Duration(b) * time.Minute)
+		chunk := items[b*perB : (b+1)*perB]
+		st.AddBatchAt("tenant", "bytes", chunk, at)
+		for _, it := range chunk {
+			ref.Add(it.Key, it.Weight, it.Value)
+		}
+	}
+
+	res, err := st.Query("tenant", "bytes", epoch, epoch.Add(buckets*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buckets != buckets {
+		t.Fatalf("merged %d buckets, want %d", res.Buckets, buckets)
+	}
+	// The collapsed sketch holds the identical (key, priority) multiset;
+	// only float accumulation order differs, so estimates agree to
+	// last-bits relative precision.
+	wantSum, wantVar := ref.SubsetSum(nil)
+	if relDiff(res.Sum, wantSum) > 1e-12 || relDiff(res.VarianceEstimate, wantVar) > 1e-12 {
+		t.Fatalf("collapsed estimate (%v, %v) != single-sketch (%v, %v)",
+			res.Sum, res.VarianceEstimate, wantSum, wantVar)
+	}
+	if res.Threshold != ref.Threshold() {
+		t.Fatalf("collapsed threshold %v != %v", res.Threshold, ref.Threshold())
+	}
+	if res.SampleSize != len(ref.Sample()) {
+		t.Fatalf("collapsed sample size %d != %d", res.SampleSize, len(ref.Sample()))
+	}
+}
+
+// TestRangeQueryCoversOnlyRequestedBuckets puts disjoint sub-streams in
+// separate buckets and checks sub-range queries see exactly their share.
+func TestRangeQueryCoversOnlyRequestedBuckets(t *testing.T) {
+	// k comfortably exceeds the 500-item stream, so sums are exact.
+	st := New(Config{Kind: BottomK, K: 1024, Seed: 7, BucketWidth: time.Minute, Retention: 100})
+	// Bucket b holds 100 items of weight 1, value 1.
+	for b := 0; b < 5; b++ {
+		items := make([]engine.Item, 100)
+		for i := range items {
+			items[i] = engine.Item{Key: uint64(b*1000 + i), Weight: 1, Value: 1}
+		}
+		st.AddBatchAt("ns", "m", items, epoch.Add(time.Duration(b)*time.Minute))
+	}
+	for _, tc := range []struct {
+		fromB, toB int
+		want       float64
+	}{
+		{0, 0, 100}, {1, 2, 200}, {0, 4, 500}, {3, 4, 200},
+	} {
+		from := epoch.Add(time.Duration(tc.fromB) * time.Minute)
+		to := epoch.Add(time.Duration(tc.toB) * time.Minute)
+		res, err := st.Query("ns", "m", from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Buckets != tc.toB-tc.fromB+1 {
+			t.Errorf("[%d,%d]: merged %d buckets", tc.fromB, tc.toB, res.Buckets)
+		}
+		if res.Sum != tc.want {
+			t.Errorf("[%d,%d]: sum %v, want %v (k exceeds stream: exact)", tc.fromB, tc.toB, res.Sum, tc.want)
+		}
+	}
+	// A range before all data merges zero buckets and sums to zero.
+	res, err := st.Query("ns", "m", epoch.Add(-time.Hour), epoch.Add(-30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buckets != 0 || res.Sum != 0 {
+		t.Errorf("empty range: %+v", res)
+	}
+}
+
+func TestRetentionDropsOldBuckets(t *testing.T) {
+	const retention = 3
+	st := New(Config{Kind: BottomK, K: 32, Seed: 1, BucketWidth: time.Minute, Retention: retention})
+	for b := 0; b < 10; b++ {
+		st.AddBatchAt("ns", "m", []engine.Item{{Key: uint64(b), Weight: 1, Value: 1}},
+			epoch.Add(time.Duration(b)*time.Minute))
+	}
+	stats := st.Stats()
+	if want := retention + 1; stats.Buckets > want {
+		t.Fatalf("holding %d buckets, retention caps at %d", stats.Buckets, want)
+	}
+	if stats.Rotations != 9 {
+		t.Fatalf("rotations %d, want 9", stats.Rotations)
+	}
+	// The first bucket is beyond the horizon.
+	res, err := st.Query("ns", "m", epoch, epoch.Add(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buckets != 0 {
+		t.Fatalf("expired bucket still served: %+v", res)
+	}
+	// The last retention+1 buckets are all present.
+	res, err = st.Query("ns", "m", epoch, epoch.Add(10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buckets != retention+1 {
+		t.Fatalf("recent window merged %d buckets, want %d", res.Buckets, retention+1)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	st := New(Config{Kind: BottomK, K: 16, Seed: 1, MaxKeys: 3})
+	for i := 0; i < 3; i++ {
+		st.AddBatchAt("ns", fmt.Sprintf("m%d", i), []engine.Item{{Key: 1, Weight: 1, Value: 1}},
+			epoch.Add(time.Duration(i)*time.Second))
+	}
+	// Touch m0 so m1 becomes the LRU victim.
+	st.AddBatchAt("ns", "m0", []engine.Item{{Key: 2, Weight: 1, Value: 1}}, epoch.Add(10*time.Second))
+	st.AddBatchAt("ns", "m3", []engine.Item{{Key: 1, Weight: 1, Value: 1}}, epoch.Add(11*time.Second))
+
+	keys := st.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys %v", keys)
+	}
+	for _, k := range keys {
+		if k.Metric == "m1" {
+			t.Fatalf("LRU key m1 survived: %v", keys)
+		}
+	}
+	if got := st.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions %d, want 1", got)
+	}
+	if _, err := st.Query("ns", "m1", epoch, epoch.Add(time.Hour)); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("evicted key still queryable: %v", err)
+	}
+}
+
+func TestDistinctKindAcrossBuckets(t *testing.T) {
+	const k = 512
+	st := New(Config{Kind: Distinct, K: k, Seed: 5, BucketWidth: time.Minute, Retention: 100})
+	ref := distinct.NewSketch(k, 5)
+	// 3 buckets with overlapping key ranges [b*5000, b*5000+15000):
+	// true union cardinality 25_000.
+	for b := 0; b < 3; b++ {
+		items := make([]engine.Item, 15_000)
+		for i := range items {
+			key := uint64(b*5000 + i)
+			items[i] = engine.Item{Key: key, Weight: 1, Value: 1}
+			ref.Add(key)
+		}
+		st.AddBatchAt("ns", "users", items, epoch.Add(time.Duration(b)*time.Minute))
+	}
+	res, err := st.Query("ns", "users", epoch, epoch.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctEstimate != ref.Estimate() {
+		t.Fatalf("store estimate %v != sequential sketch %v", res.DistinctEstimate, ref.Estimate())
+	}
+	if rel := res.DistinctEstimate/25_000 - 1; rel > 0.15 || rel < -0.15 {
+		t.Fatalf("distinct estimate %v far from 25000", res.DistinctEstimate)
+	}
+}
+
+func TestWindowKindServesRecentSample(t *testing.T) {
+	st := New(Config{Kind: Window, K: 64, Seed: 9, BucketWidth: time.Minute, Retention: 10, WindowDelta: 120})
+	for b := 0; b < 4; b++ {
+		items := make([]engine.Item, 500)
+		for i := range items {
+			items[i] = engine.Item{Key: uint64(b*500 + i), Value: 1}
+		}
+		st.AddBatchAt("ns", "events", items, epoch.Add(time.Duration(b)*time.Minute))
+	}
+	res, err := st.Query("ns", "events", epoch.Add(3*time.Minute), epoch.Add(4*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize == 0 || !(res.Threshold > 0 && res.Threshold <= 1) {
+		t.Fatalf("window query: %+v", res)
+	}
+	if res.CountEstimate <= 0 {
+		t.Fatalf("count estimate %v", res.CountEstimate)
+	}
+}
+
+// TestWindowBucketsDrawDecorrelatedPriorities: consecutive buckets must
+// not restart the same RNG streams — the first draw of bucket N+1 would
+// equal the first draw of bucket N, correlating priorities inside one
+// merged range sample.
+func TestWindowBucketsDrawDecorrelatedPriorities(t *testing.T) {
+	st := New(Config{Kind: Window, K: 8, Seed: 3, BucketWidth: time.Minute, Retention: 10, WindowDelta: 600})
+	st.AddBatchAt("ns", "m", []engine.Item{{Key: 1, Value: 1}}, epoch)
+	st.AddBatchAt("ns", "m", []engine.Item{{Key: 2, Value: 1}}, epoch.Add(time.Minute))
+	sample, err := st.QuerySample("ns", "m", epoch, epoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 2 {
+		t.Fatalf("sample %v", sample)
+	}
+	if sample[0].Priority == sample[1].Priority {
+		t.Fatalf("buckets share an RNG stream: both items drew priority %v", sample[0].Priority)
+	}
+}
+
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	for _, kind := range []Kind{BottomK, Distinct, Window} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{Kind: kind, K: 128, Seed: 11, BucketWidth: time.Minute, Retention: 50, WindowDelta: 600}
+			st := New(cfg)
+			items := zipfItems(20_000, 77)
+			for b := 0; b < 5; b++ {
+				at := epoch.Add(time.Duration(b) * time.Minute)
+				st.AddBatchAt("acme", "bytes", items[b*3000:(b+1)*3000], at)
+				st.AddBatchAt("umbrella", "reqs", items[15000+b*1000:15000+(b+1)*1000], at)
+			}
+			from, to := epoch, epoch.Add(time.Hour)
+			want := map[string]Result{}
+			for _, key := range st.Keys() {
+				res, err := st.Query(key.Namespace, key.Metric, from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[key.Namespace+"/"+key.Metric] = res
+			}
+
+			var buf bytes.Buffer
+			if err := st.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			st2 := New(cfg)
+			if err := st2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			if got, wantKeys := fmt.Sprint(st2.Keys()), fmt.Sprint(st.Keys()); got != wantKeys {
+				t.Fatalf("keys %v != %v", got, wantKeys)
+			}
+			for _, key := range st2.Keys() {
+				res, err := st2.Query(key.Namespace, key.Metric, from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res != want[key.Namespace+"/"+key.Metric] {
+					t.Fatalf("%s/%s: restored query %+v != original %+v",
+						key.Namespace, key.Metric, res, want[key.Namespace+"/"+key.Metric])
+				}
+			}
+			// Ingest continues seamlessly after a restore.
+			st2.AddBatchAt("acme", "bytes", items[:100], epoch.Add(2*time.Hour))
+			res, err := st2.Query("acme", "bytes", epoch, epoch.Add(3*time.Hour))
+			if err != nil || res.Buckets == 0 {
+				t.Fatalf("post-restore ingest: %+v, %v", res, err)
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsMismatchAndNonEmpty(t *testing.T) {
+	cfg := Config{Kind: BottomK, K: 64, Seed: 3, BucketWidth: time.Minute}
+	st := New(cfg)
+	st.AddBatchAt("ns", "m", zipfItems(100, 1), epoch)
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	nonEmpty := New(cfg)
+	nonEmpty.AddBatchAt("x", "y", zipfItems(10, 2), epoch)
+	if err := nonEmpty.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("want ErrNotEmpty, got %v", err)
+	}
+	for name, bad := range map[string]Config{
+		"kind":  {Kind: Distinct, K: 64, Seed: 3, BucketWidth: time.Minute},
+		"k":     {Kind: BottomK, K: 65, Seed: 3, BucketWidth: time.Minute},
+		"seed":  {Kind: BottomK, K: 64, Seed: 4, BucketWidth: time.Minute},
+		"width": {Kind: BottomK, K: 64, Seed: 3, BucketWidth: time.Hour},
+	} {
+		if err := New(bad).Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrSnapshotConfig) {
+			t.Fatalf("%s mismatch accepted: %v", name, err)
+		}
+	}
+	if err := New(cfg).Restore(bytes.NewReader(buf.Bytes()[:20])); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatal("truncated snapshot accepted")
+	}
+
+	// Window stores must also reject a delta mismatch at restore time —
+	// it would otherwise surface as merge failures on every range query.
+	wcfg := Config{Kind: Window, K: 16, Seed: 3, BucketWidth: time.Minute, WindowDelta: 30}
+	wst := New(wcfg)
+	wst.AddBatchAt("ns", "m", []engine.Item{{Key: 1, Value: 1}}, epoch)
+	var wbuf bytes.Buffer
+	if err := wst.Snapshot(&wbuf); err != nil {
+		t.Fatal(err)
+	}
+	other := wcfg
+	other.WindowDelta = 60
+	if err := New(other).Restore(bytes.NewReader(wbuf.Bytes())); !errors.Is(err, ErrSnapshotConfig) {
+		t.Fatalf("window delta mismatch accepted: %v", err)
+	}
+	if err := New(wcfg).Restore(bytes.NewReader(wbuf.Bytes())); err != nil {
+		t.Fatalf("matching window config rejected: %v", err)
+	}
+}
+
+// TestConcurrentStoreIsRaceClean hammers adds, queries, stats and
+// snapshots across many keys; run with the race detector.
+func TestConcurrentStoreIsRaceClean(t *testing.T) {
+	st := New(Config{Kind: BottomK, K: 64, Seed: 21, BucketWidth: 100 * time.Millisecond, MaxKeys: 16})
+	items := zipfItems(8000, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				ns := fmt.Sprintf("ns%d", (w+i)%8)
+				at := epoch.Add(time.Duration(i) * 40 * time.Millisecond)
+				st.AddBatchAt(ns, "m", items[i*200:(i+1)*200], at)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			for _, key := range st.Keys() {
+				_, _ = st.Query(key.Namespace, key.Metric, epoch, epoch.Add(time.Hour))
+			}
+			_ = st.Stats()
+			var buf bytes.Buffer
+			if err := st.Snapshot(&buf); err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if st.Stats().Adds != 4*40*200 {
+		t.Fatalf("adds %d", st.Stats().Adds)
+	}
+}

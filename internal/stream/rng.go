@@ -9,7 +9,10 @@
 // mutated.
 package stream
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // splitmix64 advances the 64-bit SplitMix64 state and returns the next
 // output. It is the standard generator from Steele, Lea & Flood (2014) and
@@ -100,6 +103,23 @@ func ForkSeeds(seed uint64, n int) []uint64 {
 		out[i] = splitmix64(&st)
 	}
 	return out
+}
+
+// State returns the generator's internal xoshiro256** state, for
+// serialization. Restoring it with SetState resumes the stream exactly
+// where State captured it.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's state with one captured by State.
+// The all-zero state is rejected: it is a fixed point of xoshiro256**
+// (the generator would emit a constant stream), and no reachable state is
+// all zero.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("stream: all-zero RNG state")
+	}
+	r.s = s
+	return nil
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

@@ -1,0 +1,184 @@
+package window
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Serialization format (little-endian):
+//
+//	magic    uint32  "ATSw"
+//	version  uint8   1
+//	k        uint32
+//	delta    float64
+//	now      float64
+//	boundary float64  last exclusion boundary
+//	rng      4 × uint64  xoshiro256** state
+//	curCount uint32
+//	expCount uint32
+//	current  curCount × (key uint64, time float64, r float64, t float64)
+//	expired  expCount × same
+//
+// The format captures the sketch's full state including the RNG position:
+// an unmarshaled sampler continues the priority stream exactly where the
+// original left off, so original and restored copies stay in lockstep
+// under identical future arrivals. Cache fields (maxIdx, maxT, oldest-time
+// gates) are derived state and are recomputed on decode.
+
+const (
+	codecMagic   = 0x41545377 // "ATSw"
+	codecVersion = 1
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("window: corrupt serialized sampler")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("window: unsupported serialization version")
+)
+
+const (
+	codecHeader   = 4 + 1 + 4 + 8 + 8 + 8 + 32 + 4 + 4
+	codecItemSize = 32
+)
+
+// MarshalBinary serializes the sampler.
+func (s *Sampler) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, codecHeader+(len(s.current)+len(s.expired))*codecItemSize)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.delta))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.now))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.lastBoundary))
+	for _, w := range s.rng.State() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.current)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.expired)))
+	appendItem := func(it Item) {
+		buf = binary.LittleEndian.AppendUint64(buf, it.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Time))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.R))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.T))
+	}
+	for _, it := range s.current {
+		appendItem(it)
+	}
+	for _, it := range s.expired {
+		appendItem(it)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sampler serialized by MarshalBinary,
+// overwriting the receiver.
+func (s *Sampler) UnmarshalBinary(data []byte) error {
+	if len(data) < codecHeader {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[5:]))
+	if k <= 0 {
+		return fmt.Errorf("%w: non-positive k", ErrCorrupt)
+	}
+	delta := math.Float64frombits(binary.LittleEndian.Uint64(data[9:]))
+	if !(delta > 0) || math.IsInf(delta, 1) {
+		return fmt.Errorf("%w: invalid delta %v", ErrCorrupt, delta)
+	}
+	now := math.Float64frombits(binary.LittleEndian.Uint64(data[17:]))
+	if math.IsNaN(now) || math.IsInf(now, 1) {
+		return fmt.Errorf("%w: invalid clock %v", ErrCorrupt, now)
+	}
+	boundary := math.Float64frombits(binary.LittleEndian.Uint64(data[25:]))
+	if !(boundary > 0 && boundary <= 1) {
+		return fmt.Errorf("%w: boundary %v outside (0,1]", ErrCorrupt, boundary)
+	}
+	var st [4]uint64
+	for i := range st {
+		st[i] = binary.LittleEndian.Uint64(data[33+8*i:])
+	}
+	curCount := int(binary.LittleEndian.Uint32(data[65:]))
+	expCount := int(binary.LittleEndian.Uint32(data[69:]))
+	if curCount > k {
+		return fmt.Errorf("%w: %d current items for k=%d", ErrCorrupt, curCount, k)
+	}
+	// Length is validated against the declared counts BEFORE any
+	// count-sized allocation, so a crafted header claiming billions of
+	// items with a tiny body is rejected without allocating.
+	if len(data) != codecHeader+(curCount+expCount)*codecItemSize {
+		return fmt.Errorf("%w: body is %d bytes, want %d items",
+			ErrCorrupt, len(data)-codecHeader, curCount+expCount)
+	}
+	if (curCount > 0 || expCount > 0) && math.IsInf(now, -1) {
+		return fmt.Errorf("%w: stored items with unset clock", ErrCorrupt)
+	}
+	restored := New(k, delta, 0)
+	if err := restored.rng.SetState(st); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	restored.now = now
+	restored.lastBoundary = boundary
+	off := codecHeader
+	readItem := func() Item {
+		it := Item{
+			Key:  binary.LittleEndian.Uint64(data[off:]),
+			Time: math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			R:    math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+			T:    math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+		}
+		off += codecItemSize
+		return it
+	}
+	cutCur := now - delta
+	cutExp := now - 2*delta
+	for i := 0; i < curCount; i++ {
+		it := readItem()
+		// Current examples satisfy R < T (inclusion is equivalent to the
+		// priority lying below the per-item threshold) and lie inside the
+		// current window.
+		if !(it.R > 0 && it.R < 1) || !(it.T <= 1) || !(it.R < it.T) {
+			return fmt.Errorf("%w: current item %d has R=%v T=%v", ErrCorrupt, i, it.R, it.T)
+		}
+		if !(it.Time > cutCur && it.Time <= now) {
+			return fmt.Errorf("%w: current item %d at %v outside (%v, %v]", ErrCorrupt, i, it.Time, cutCur, now)
+		}
+		if it.Time < restored.oldestCur {
+			restored.oldestCur = it.Time
+		}
+		restored.current = append(restored.current, it)
+	}
+	for i := 0; i < expCount; i++ {
+		it := readItem()
+		if !(it.R > 0 && it.R < 1) || !(it.T <= 1) || !(it.R < it.T) {
+			return fmt.Errorf("%w: expired item %d has R=%v T=%v", ErrCorrupt, i, it.R, it.T)
+		}
+		if !(it.Time > cutExp && it.Time <= cutCur) {
+			return fmt.Errorf("%w: expired item %d at %v outside (%v, %v]", ErrCorrupt, i, it.Time, cutExp, cutCur)
+		}
+		if it.Time < restored.oldestExp {
+			restored.oldestExp = it.Time
+		}
+		restored.expired = append(restored.expired, it)
+	}
+	// maxT is an upper bound on the current thresholds; recompute it
+	// exactly so the clamp fast path stays sound. maxIdx stays -1 (lazy).
+	restored.maxT = 0
+	for _, it := range restored.current {
+		if it.T > restored.maxT {
+			restored.maxT = it.T
+		}
+	}
+	if len(restored.current) == 0 {
+		restored.maxT = 1
+	}
+	*s = *restored
+	return nil
+}

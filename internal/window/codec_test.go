@@ -1,0 +1,140 @@
+package window
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// populatedSampler builds a sampler with both current and expired storage.
+func populatedSampler(t testing.TB, k int, seed uint64, n int) *Sampler {
+	t.Helper()
+	s := New(k, 1.0, seed)
+	for i := 0; i < n; i++ {
+		s.Add(uint64(i), float64(i)*0.002) // 500 arrivals per window
+	}
+	return s
+}
+
+func sampleEqual(a, b *Sampler) bool {
+	sa, ta := a.ImprovedSample()
+	sb, tb := b.ImprovedSample()
+	if ta != tb || len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 50, 5000} {
+		s := populatedSampler(t, 64, 9, n)
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("n=%d: marshal: %v", n, err)
+		}
+		var r Sampler
+		if err := r.UnmarshalBinary(data); err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		if r.K() != s.K() || r.Delta() != s.Delta() || r.Now() != s.Now() {
+			t.Fatalf("n=%d: identity changed: k=%d delta=%v now=%v", n, r.K(), r.Delta(), r.Now())
+		}
+		if r.StoredItems() != s.StoredItems() {
+			t.Fatalf("n=%d: stored %d != %d", n, r.StoredItems(), s.StoredItems())
+		}
+		if r.GLThreshold() != s.GLThreshold() {
+			t.Fatalf("n=%d: GL threshold %v != %v", n, r.GLThreshold(), s.GLThreshold())
+		}
+		if !sampleEqual(s, &r) {
+			t.Fatalf("n=%d: improved sample changed", n)
+		}
+	}
+}
+
+// TestCodecResumesRNGStream is the property the RNG state in the envelope
+// buys: original and restored samplers stay in lockstep under identical
+// future arrivals, because the restored copy draws the same priorities.
+func TestCodecResumesRNGStream(t *testing.T) {
+	s := populatedSampler(t, 32, 4, 2000)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Sampler
+	if err := r.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Now()
+	for i := 0; i < 3000; i++ {
+		at := base + float64(i)*0.002
+		bs := s.Add(uint64(1_000_000+i), at)
+		br := r.Add(uint64(1_000_000+i), at)
+		if bs != br {
+			t.Fatalf("arrival %d: boundary diverged %v != %v", i, bs, br)
+		}
+	}
+	if !sampleEqual(s, &r) {
+		t.Fatal("samples diverged after restore")
+	}
+}
+
+// TestCodecRejectsDecodeBomb crafts a header that claims a huge item count
+// (and a huge k) with a tiny body; decoding must fail on the length check
+// before any count-sized allocation happens.
+func TestCodecRejectsDecodeBomb(t *testing.T) {
+	s := New(4, 1, 1)
+	s.Add(1, 0.5)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bomb[5:], math.MaxUint32)  // k
+	binary.LittleEndian.PutUint32(bomb[65:], math.MaxUint32) // curCount
+	binary.LittleEndian.PutUint32(bomb[69:], math.MaxUint32) // expCount
+	var r Sampler
+	if err := r.UnmarshalBinary(bomb); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("decode bomb accepted: %v", err)
+	}
+}
+
+func TestCodecRejectsCorruptInputs(t *testing.T) {
+	valid, err := populatedSampler(t, 8, 2, 100).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(off int, b byte) []byte {
+		out := append([]byte(nil), valid...)
+		out[off] ^= b
+		return out
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   valid[:20],
+		"bad magic":      mut(0, 0xff),
+		"bad version":    mut(4, 0x7f),
+		"truncated body": valid[:len(valid)-1],
+		"trailing bytes": append(append([]byte(nil), valid...), 0),
+	}
+	for name, data := range cases {
+		var r Sampler
+		if err := r.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Zero RNG state is a fixed point of xoshiro and must be rejected.
+	zeroRNG := append([]byte(nil), valid...)
+	for i := 0; i < 32; i++ {
+		zeroRNG[33+i] = 0
+	}
+	var r Sampler
+	if err := r.UnmarshalBinary(zeroRNG); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("all-zero RNG state accepted: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package window
+
+import "testing"
+
+// fuzzSeedSampler marshals a sampler populated with n arrivals at the
+// given per-item spacing, for the seed corpus.
+func fuzzSeedSampler(t testing.TB, k int, seed uint64, n int, dt float64) []byte {
+	s := New(k, 1.0, seed)
+	for i := 0; i < n; i++ {
+		s.Add(uint64(i)*2654435761, float64(i)*dt)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary. Inputs that
+// decode must respect the sketch invariants and survive a
+// marshal/unmarshal round trip with identical semantics; inputs that do
+// not decode must fail cleanly without panicking.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Seed corpus: empty, below-k, steady-state dense and sparse windows,
+	// a merged pair, the empty input, and a truncated valid prefix.
+	f.Add(fuzzSeedSampler(f, 4, 1, 0, 0.01))
+	f.Add(fuzzSeedSampler(f, 4, 1, 3, 0.01))
+	f.Add(fuzzSeedSampler(f, 16, 42, 2000, 0.002))
+	f.Add(fuzzSeedSampler(f, 16, 42, 50, 0.3))
+	merged := New(8, 1.0, 9)
+	other := New(8, 1.0, 10)
+	for i := 0; i < 400; i++ {
+		merged.Add(uint64(i), float64(i)*0.01)
+		other.Add(uint64(i+1000), float64(i)*0.01)
+	}
+	if err := merged.Merge(other); err != nil {
+		f.Fatal(err)
+	}
+	if data, err := merged.MarshalBinary(); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ATSwgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sampler
+		if err := s.UnmarshalBinary(data); err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		// Decoded state must respect the structural invariants.
+		if s.k <= 0 || len(s.current) > s.k {
+			t.Fatalf("decoded invalid sampler: k=%d current=%d", s.k, len(s.current))
+		}
+		cutCur := s.now - s.delta
+		for _, it := range s.current {
+			if !(it.R < it.T) || it.Time <= cutCur || it.Time > s.now {
+				t.Fatalf("decoded invalid current item %+v (now=%v)", it, s.now)
+			}
+		}
+		if thr := s.ImprovedThreshold(); !(thr > 0 && thr <= 1) {
+			t.Fatalf("decoded improved threshold %v", thr)
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var s2 Sampler
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		if s2.k != s.k || s2.delta != s.delta || s2.now != s.now || s2.lastBoundary != s.lastBoundary {
+			t.Fatalf("round trip changed identity: (%d,%v,%v,%v) -> (%d,%v,%v,%v)",
+				s.k, s.delta, s.now, s.lastBoundary, s2.k, s2.delta, s2.now, s2.lastBoundary)
+		}
+		if s2.rng.State() != s.rng.State() {
+			t.Fatal("round trip changed RNG state")
+		}
+		if s2.StoredItems() != s.StoredItems() {
+			t.Fatalf("round trip changed storage: %d -> %d", s.StoredItems(), s2.StoredItems())
+		}
+		if !sampleEqual(&s, &s2) {
+			t.Fatal("round trip changed improved sample")
+		}
+		if s.GLThreshold() != s2.GLThreshold() {
+			t.Fatalf("round trip changed GL threshold: %v -> %v", s.GLThreshold(), s2.GLThreshold())
+		}
+	})
+}

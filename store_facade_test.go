@@ -1,0 +1,79 @@
+package ats_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ats"
+)
+
+// TestStoreFacade drives the store, serving handler and codec surface
+// through the public API only.
+func TestStoreFacade(t *testing.T) {
+	st := ats.NewStore(ats.StoreConfig{Kind: ats.KindBottomK, K: 512, Seed: 4, BucketWidth: time.Minute})
+	exact := 0.0
+	for i := 0; i < 20_000; i++ {
+		w := 1 + float64(i%13)
+		st.Add("tenant", "metric", uint64(i), w, w)
+		exact += w
+	}
+	res, err := st.Query("tenant", "metric", time.Unix(0, 0), time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := res.Sum/exact - 1; rel > 0.2 || rel < -0.2 {
+		t.Fatalf("estimate %v far from exact %v", res.Sum, exact)
+	}
+	if len(st.Keys()) != 1 || st.Stats().Adds != 20_000 {
+		t.Fatalf("keys %v stats %+v", st.Keys(), st.Stats())
+	}
+
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := ats.NewStore(ats.StoreConfig{Kind: ats.KindBottomK, K: 512, Seed: 4, BucketWidth: time.Minute})
+	if err := st2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := st2.Query("tenant", "metric", time.Unix(0, 0), time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Sum != res.Sum || res2.Threshold != res.Threshold {
+		t.Fatalf("restored %+v != original %+v", res2, res)
+	}
+
+	if _, err := ats.ParseSketchKind("distinct"); err != nil {
+		t.Fatal(err)
+	}
+	if srv := ats.NewStoreServer(st, ""); srv.Handler() == nil {
+		t.Fatal("nil handler")
+	}
+}
+
+func TestSketchCodecFacade(t *testing.T) {
+	sk := ats.NewDistinctSketch(64, 9)
+	for i := 0; i < 10_000; i++ {
+		sk.Add(uint64(i % 3000))
+	}
+	env, err := ats.EncodeSketch(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, v, err := ats.DecodeSketch(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "distinct" {
+		t.Fatalf("codec name %q", name)
+	}
+	got, ok := v.(*ats.DistinctSketch)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if got.Estimate() != sk.Estimate() {
+		t.Fatalf("estimate %v != %v", got.Estimate(), sk.Estimate())
+	}
+}
