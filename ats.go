@@ -364,6 +364,38 @@ func NewShardedWindow(k int, delta float64, seed uint64, shards int) *ShardedWin
 	return engine.NewShardedWindow(k, delta, seed, shards)
 }
 
+// ShardedTopK is a concurrent top-k/heavy-hitter sketch (Unbiased Space
+// Saving per shard, counter-conserving merge on Collapse).
+type ShardedTopK = engine.ShardedTopK
+
+// NewShardedTopK returns a sharded top-k engine with m counters per
+// shard; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedTopK(m int, seed uint64, shards int) *ShardedTopK {
+	return engine.NewShardedTopK(m, seed, shards)
+}
+
+// ShardedVarOpt is a concurrent VarOpt_k variance-optimal weighted
+// sampler with forked per-shard RNG streams.
+type ShardedVarOpt = engine.ShardedVarOpt
+
+// NewShardedVarOpt returns a sharded VarOpt engine with sample size k;
+// shards <= 0 defaults to GOMAXPROCS.
+func NewShardedVarOpt(k int, seed uint64, shards int) *ShardedVarOpt {
+	return engine.NewShardedVarOpt(k, seed, shards)
+}
+
+// ShardedDecayed is a concurrent exponentially time-decayed sampler;
+// priorities are hash-coordinated, so its Collapse equals a sequential
+// run over the same arrivals.
+type ShardedDecayed = engine.ShardedDecayed
+
+// NewShardedDecayed returns a sharded time-decayed engine keeping k
+// items per shard under decay rate lambda; shards <= 0 defaults to
+// GOMAXPROCS.
+func NewShardedDecayed(k int, lambda float64, seed uint64, shards int) *ShardedDecayed {
+	return engine.NewShardedDecayed(k, lambda, seed, shards)
+}
+
 // ---- Multi-tenant time-bucketed store and serving layer ----
 //
 // The store owns many named sketches, keyed by (namespace, metric), each
@@ -390,7 +422,12 @@ type StoreStats = store.Stats
 // StoreResult is the answer to a store range query.
 type StoreResult = store.Result
 
-// SketchKind selects the sketch type a Store maintains per bucket.
+// StoreTopKItem is one ranked entry of a top-k store query result.
+type StoreTopKItem = store.TopKItem
+
+// SketchKind selects the sketch type of one store series. Every key
+// carries its own kind, fixed at first write; a store serves the whole
+// family at once.
 type SketchKind = store.Kind
 
 // Store sketch kinds.
@@ -398,13 +435,36 @@ const (
 	KindBottomK  SketchKind = store.BottomK
 	KindDistinct SketchKind = store.Distinct
 	KindWindow   SketchKind = store.Window
+	KindTopK     SketchKind = store.TopK
+	KindVarOpt   SketchKind = store.VarOpt
+	KindDecay    SketchKind = store.Decay
 )
+
+// ErrSketchKindMismatch reports store ingest into an existing key under
+// a different sketch kind than the key was created with.
+var ErrSketchKindMismatch = store.ErrKindMismatch
 
 // NewStore returns an empty store with cfg's zero fields defaulted.
 func NewStore(cfg StoreConfig) *Store { return store.New(cfg) }
 
-// ParseSketchKind parses "bottomk", "distinct" or "window".
+// NewTopKStore returns a store whose default kind is top-k/heavy-hitter
+// counting (cfg.K counters per bucket).
+func NewTopKStore(cfg StoreConfig) *Store { cfg.Kind = store.TopK; return store.New(cfg) }
+
+// NewVarOptStore returns a store whose default kind is VarOpt_k weighted
+// sampling.
+func NewVarOptStore(cfg StoreConfig) *Store { cfg.Kind = store.VarOpt; return store.New(cfg) }
+
+// NewDecayStore returns a store whose default kind is exponentially
+// time-decayed sampling (rate cfg.DecayLambda).
+func NewDecayStore(cfg StoreConfig) *Store { cfg.Kind = store.Decay; return store.New(cfg) }
+
+// ParseSketchKind parses "bottomk", "distinct", "window", "topk",
+// "varopt" or "decay".
 func ParseSketchKind(s string) (SketchKind, error) { return store.ParseKind(s) }
+
+// SketchKinds lists every sketch kind a store can serve.
+func SketchKinds() []SketchKind { return store.Kinds() }
 
 // StoreServer is the HTTP serving layer over a Store (the atsd daemon's
 // handler; see cmd/atsd).
@@ -417,12 +477,14 @@ func NewStoreServer(st *Store, snapshotPath string) *StoreServer {
 }
 
 // EncodeSketch wraps a sketch in a self-describing binary envelope using
-// the universal codec registry; bottom-k, distinct and sliding-window
-// sketches are supported out of the box.
+// the universal codec registry; bottom-k, distinct, sliding-window,
+// top-k (unbiased space-saving), varopt and time-decayed sketches are
+// supported out of the box.
 func EncodeSketch(v any) ([]byte, error) { return codec.Encode(v) }
 
 // DecodeSketch decodes an EncodeSketch envelope, returning the codec
-// name ("bottomk", "distinct", "window") and the decoded sketch.
+// name ("bottomk", "distinct", "window", "topk", "varopt", "decay") and
+// the decoded sketch.
 func DecodeSketch(data []byte) (name string, sketch any, err error) {
 	return codec.Unmarshal(data)
 }

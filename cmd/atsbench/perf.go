@@ -22,11 +22,13 @@ import (
 
 	"ats/internal/bottomk"
 	"ats/internal/budget"
+	"ats/internal/decay"
 	"ats/internal/distinct"
 	"ats/internal/engine"
 	"ats/internal/estimator"
 	"ats/internal/store"
 	"ats/internal/stream"
+	"ats/internal/topk"
 	"ats/internal/varopt"
 	"ats/internal/window"
 )
@@ -35,7 +37,7 @@ import (
 const perfSchema = "ats-perf/v1"
 
 // perfPR is the sequence number stamped into the default output name.
-const perfPR = 3
+const perfPR = 4
 
 // PerfResult is one measured (sketch, op, shape) cell.
 type PerfResult struct {
@@ -297,6 +299,69 @@ func perfCases() []perfCase {
 				}
 			}
 		}},
+		{"topk-uss", "add", "zipf", keyBytes, true, func(b *testing.B) {
+			keys := perfZipfKeys()
+			sk := topk.NewUnbiasedSpaceSaving(256, 5)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk.Add(keys[i&(len(keys)-1)])
+			}
+		}},
+		{"decay", "add", "steady", itemBytes + 8, false, func(b *testing.B) {
+			sk := decay.New(256, 0.01, 6)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk.Add(uint64(i), 1, 1, float64(i)*0.001)
+			}
+		}},
+		{"store-topk", "addbatch", "zipf", keyBytes, true, func(b *testing.B) {
+			benchStoreKind(b, store.TopK)
+		}},
+		{"store-varopt", "addbatch", "zipf", itemBytes, true, func(b *testing.B) {
+			benchStoreKind(b, store.VarOpt)
+		}},
+		{"store-decay", "addbatch", "zipf", itemBytes + 8, true, func(b *testing.B) {
+			benchStoreKind(b, store.Decay)
+		}},
+		{"store-topk", "query", "8-buckets", 0, true, func(b *testing.B) {
+			st := benchStoreEightBuckets(b, store.TopK)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epochBench, epochBench.Add(time.Hour))
+				if err != nil || len(res.TopK) == 0 {
+					b.Fatalf("bad query: %+v, %v", res, err)
+				}
+			}
+		}},
+		{"store-varopt", "query", "8-buckets", 0, true, func(b *testing.B) {
+			st := benchStoreEightBuckets(b, store.VarOpt)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epochBench, epochBench.Add(time.Hour))
+				if err != nil || res.Sum <= 0 {
+					b.Fatalf("bad query: %+v, %v", res, err)
+				}
+			}
+		}},
+		{"store-decay", "query", "8-buckets", 0, true, func(b *testing.B) {
+			st := benchStoreEightBuckets(b, store.Decay)
+			// Query as-of just past the last bucket: the default
+			// half-life is one bucket width, so an as-of far in the
+			// future would decay every estimate to zero.
+			to := epochBench.Add(8 * time.Second)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epochBench, to)
+				if err != nil || res.DecayedCount <= 0 {
+					b.Fatalf("bad query: %+v, %v", res, err)
+				}
+			}
+		}},
 		{"sharded-distinct", "addkeys", "zipf", keyBytes, false, func(b *testing.B) {
 			keys := perfZipfKeys()
 			eng := engine.NewShardedDistinct(256, 7, 0)
@@ -328,6 +393,59 @@ var (
 	perfKeysOnce   sync.Once
 	perfKeysCache  []uint64
 )
+
+var epochBench = time.Unix(1_700_000_000, 0)
+
+// benchStoreKind measures the store's batched ingest hot path for one
+// sketch kind: one rotating key, synthetic clock, 128-item batches.
+func benchStoreKind(b *testing.B, kind store.Kind) {
+	items := perfItems()
+	st := store.New(store.Config{
+		Kind: kind, K: 128, Seed: 42,
+		BucketWidth: time.Second, Retention: 8,
+	})
+	const batch = 128
+	b.ResetTimer()
+	b.ReportAllocs()
+	batches := 0
+	for done := 0; done < b.N; {
+		m := batch
+		if m > b.N-done {
+			m = b.N - done
+		}
+		lo := done & (len(items) - 1)
+		hi := lo + m
+		if hi > len(items) {
+			hi = len(items)
+			m = hi - lo
+		}
+		at := epochBench.Add(time.Duration(batches/8000) * time.Second)
+		if err := st.AddBatchAt("tenant", "bytes", items[lo:hi], at); err != nil {
+			b.Fatal(err)
+		}
+		batches++
+		done += m
+	}
+}
+
+// benchStoreEightBuckets builds a store of the given kind holding eight
+// sealed-ish buckets of 10k items each, the query-path fixture.
+func benchStoreEightBuckets(b *testing.B, kind store.Kind) *store.Store {
+	st := store.New(store.Config{
+		Kind: kind, K: 256, Seed: 42,
+		BucketWidth: time.Second, Retention: 16,
+	})
+	items := perfItems()
+	for bk := 0; bk < 8; bk++ {
+		batch := make([]engine.Item, 10_000)
+		copy(batch, items[bk*10_000:(bk+1)*10_000])
+		if err := st.AddBatchAt("tenant", "bytes", batch,
+			epochBench.Add(time.Duration(bk)*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
 
 // perfItems is a 1M-item Zipf(1.1) weighted stream shared by the cases.
 func perfItems() []engine.Item {

@@ -3,16 +3,21 @@
 //
 // Usage:
 //
-//	atsd [-addr :8321] [-kind bottomk|distinct|window] [-k 1024]
-//	     [-seed 1] [-bucket 1m] [-retention 60] [-shards 1]
-//	     [-max-keys 0] [-window 0] [-snapshot path]
+//	atsd [-addr :8321] [-kind bottomk|distinct|window|topk|varopt|decay]
+//	     [-k 1024] [-seed 1] [-bucket 1m] [-retention 60] [-shards 1]
+//	     [-max-keys 0] [-window 0] [-lambda 0] [-snapshot path]
 //
-// Ingest and query over HTTP (see internal/server for the endpoint
-// reference):
+// -kind sets the DEFAULT sketch kind; each key's kind is fixed at first
+// write and ingest may pick any kind per batch with the "kind" field, so
+// one daemon serves the whole sketch family at once. Ingest and query
+// over HTTP (docs/API.md is the full endpoint reference):
 //
 //	curl -XPOST localhost:8321/v1/add -d '{"namespace":"acme","metric":"bytes",
 //	  "items":[{"key":1,"weight":3.5,"value":3.5}]}'
+//	curl -XPOST localhost:8321/v1/add -d '{"namespace":"acme","metric":"hot",
+//	  "kind":"topk","items":[{"key":7}]}'
 //	curl 'localhost:8321/v1/query?namespace=acme&metric=bytes&from=0'
+//	curl 'localhost:8321/v1/query?namespace=acme&metric=hot&from=0&k=5'
 //
 // With -snapshot, the daemon restores the keyspace from the file at
 // boot (if present), persists it there on POST /v1/snapshot, and writes
@@ -39,7 +44,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8321", "listen address")
-		kindFlag  = flag.String("kind", "bottomk", "sketch kind: bottomk, distinct or window")
+		kindFlag  = flag.String("kind", "bottomk", "default sketch kind: bottomk, distinct, window, topk, varopt or decay")
 		k         = flag.Int("k", 1024, "per-bucket sketch size")
 		seed      = flag.Uint64("seed", 1, "coordination seed shared by all buckets")
 		bucket    = flag.Duration("bucket", time.Minute, "time-bucket width")
@@ -47,6 +52,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "engine shards per current bucket")
 		maxKeys   = flag.Int("max-keys", 0, "LRU bound on live keys (0 = unbounded)")
 		windowSec = flag.Float64("window", 0, "sliding-window length in seconds (window kind; 0 = bucket width)")
+		lambda    = flag.Float64("lambda", 0, "decay rate per second (decay kind; 0 = ln2/bucket width)")
 		snapPath  = flag.String("snapshot", "", "snapshot file: restored at boot, written on POST /v1/snapshot and shutdown")
 	)
 	flag.Parse()
@@ -64,6 +70,7 @@ func main() {
 		Shards:      *shards,
 		MaxKeys:     *maxKeys,
 		WindowDelta: *windowSec,
+		DecayLambda: *lambda,
 	})
 
 	if *snapPath != "" {

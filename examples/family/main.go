@@ -1,0 +1,136 @@
+// One store, the whole sketch family.
+//
+// A single multi-tenant store serves six sketch kinds at once — each key
+// picks its kind at first write: a bottom-k subset-sum series, a
+// distinct-count series, a sliding-window series, a top-k heavy-hitter
+// series, a varopt weighted sample, and an exponentially time-decayed
+// series. The program ingests one synthetic traffic stream into all six,
+// queries each through the store's merge-collapse path, then snapshots
+// the whole keyspace and proves the restored store answers identically.
+//
+// Run with:
+//
+//	go run ./examples/family
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"ats"
+)
+
+func main() {
+	now := time.Unix(1_700_000_000, 0)
+	st := ats.NewStore(ats.StoreConfig{
+		K: 512, Seed: 7, BucketWidth: time.Minute, Retention: 60, Shards: 2,
+		Now: func() time.Time { return now },
+	})
+
+	// One synthetic traffic stream, ingested minute by minute under two
+	// key schemes: the count-style sketches (distinct, window, top-k) see
+	// the Zipf-skewed ENDPOINT id of each request, while the weighted
+	// samplers (bottom-k, varopt, decay) see one unique FLOW record per
+	// request — bottom-k priorities are hash-derived per key, so a
+	// weighted series wants distinct keys, one per sampled record.
+	rng := ats.NewRNG(1)
+	const minutes, perMinute = 10, 5_000
+	flow := uint64(0)
+	for m := 0; m < minutes; m++ {
+		endpoints := make([]ats.Item, perMinute)
+		flows := make([]ats.Item, perMinute)
+		for i := range endpoints {
+			endpoint := uint64(rng.Intn(2000))
+			if rng.Float64() < 0.3 {
+				endpoint = uint64(rng.Intn(10)) // hot head
+			}
+			size := 1 + 50*rng.Float64()*rng.Float64()
+			endpoints[i] = ats.Item{Key: endpoint, Weight: size, Value: size}
+			flows[i] = ats.Item{Key: flow, Weight: size, Value: size}
+			flow++
+		}
+		for _, kind := range ats.SketchKinds() {
+			src := flows
+			switch kind {
+			case ats.KindDistinct, ats.KindWindow, ats.KindTopK:
+				src = endpoints
+			}
+			batch := make([]ats.Item, len(src))
+			copy(batch, src)
+			if err := st.AddBatchKind("edge", "traffic-"+kind.String(), kind, batch); err != nil {
+				log.Fatal(err)
+			}
+		}
+		now = now.Add(time.Minute)
+	}
+
+	from := time.Unix(0, 0)
+	fmt.Printf("%d keys, %d kinds, one store\n\n", len(st.Keys()), len(ats.SketchKinds()))
+	for _, kind := range ats.SketchKinds() {
+		res, err := st.Query("edge", "traffic-"+kind.String(), from, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch kind {
+		case ats.KindBottomK:
+			fmt.Printf("bottomk   total bytes ≈ %.0f (±%.0f), sample %d\n",
+				res.Sum, res.VarianceEstimate, res.SampleSize)
+		case ats.KindDistinct:
+			fmt.Printf("distinct  endpoints ≈ %.0f\n", res.DistinctEstimate)
+		case ats.KindWindow:
+			fmt.Printf("window    recent arrivals ≈ %.0f (uniform sample of %d)\n",
+				res.CountEstimate, res.SampleSize)
+		case ats.KindTopK:
+			fmt.Printf("topk      exact total %.0f, hottest endpoints:", res.Sum)
+			for _, it := range res.TopK[:5] {
+				fmt.Printf(" %d(≈%.0f)", it.Key, it.Estimate)
+			}
+			fmt.Println()
+		case ats.KindVarOpt:
+			fmt.Printf("varopt    weighted bytes ≈ %.0f (weight sum ≈ %.0f)\n",
+				res.Sum, res.WeightSum)
+		case ats.KindDecay:
+			fmt.Printf("decay     decayed bytes ≈ %.0f, decayed count ≈ %.0f (as of %s)\n",
+				res.DecayedSum, res.DecayedCount, time.Unix(res.AsOfUnix, 0).UTC().Format(time.TimeOnly))
+		}
+	}
+
+	// Snapshot the whole keyspace and restore into a fresh store: every
+	// series — all six kinds — survives bit-identically.
+	var snap bytes.Buffer
+	if err := st.Snapshot(&snap); err != nil {
+		log.Fatal(err)
+	}
+	st2 := ats.NewStore(ats.StoreConfig{
+		K: 512, Seed: 7, BucketWidth: time.Minute, Retention: 60, Shards: 2,
+		Now: func() time.Time { return now },
+	})
+	if err := st2.Restore(&snap); err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	for _, kind := range ats.SketchKinds() {
+		a, _ := st.Query("edge", "traffic-"+kind.String(), from, now)
+		b, err := st2.Query("edge", "traffic-"+kind.String(), from, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			same = false
+		}
+	}
+	fmt.Printf("\nsnapshot: %s → restored store answers identically: %v\n",
+		byteCount(snap.Cap()), same)
+}
+
+func byteCount(n int) string {
+	switch {
+	case n > 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n > 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,102 @@
+package ats_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ats"
+)
+
+// TestFamilyFacades drives the three new sharded engines and the
+// mixed-kind store purely through the public API.
+func TestFamilyFacades(t *testing.T) {
+	// Sharded top-k.
+	tk := ats.NewShardedTopK(64, 1, 4)
+	for i := 0; i < 20000; i++ {
+		tk.Observe(uint64(i % 50)) // uniform: every count is 400
+	}
+	if got := tk.SubsetSum(nil); got != 20000 {
+		t.Errorf("topk total %d, want exactly 20000", got)
+	}
+	for _, r := range tk.TopK(5) {
+		if r.Estimate != 400 {
+			t.Errorf("topk key %d estimate %d, want exact 400", r.Key, r.Estimate)
+		}
+	}
+
+	// Sharded varopt.
+	vo := ats.NewShardedVarOpt(128, 2, 4)
+	rng := ats.NewRNG(3)
+	exact := 0.0
+	items := make([]ats.Item, 10000)
+	for i := range items {
+		w := rng.Float64()*9 + 1
+		exact += w
+		items[i] = ats.Item{Key: uint64(i), Weight: w, Value: w}
+	}
+	vo.AddBatch(items)
+	if est := vo.SubsetSum(nil); math.Abs(est-exact)/exact > 0.2 {
+		t.Errorf("varopt subset sum %v vs exact %v", est, exact)
+	}
+
+	// Sharded decayed.
+	dc := ats.NewShardedDecayed(128, 0.1, 4, 4)
+	for i := 0; i < 10000; i++ {
+		dc.ObserveAt(uint64(i), 1, 1, float64(i)*0.01) // times 0..100
+	}
+	count := dc.DecayedCount(100)
+	exactDecayed := 0.0
+	for i := 0; i < 10000; i++ {
+		exactDecayed += math.Exp(-0.1 * (100 - float64(i)*0.01))
+	}
+	if math.Abs(count-exactDecayed)/exactDecayed > 0.3 {
+		t.Errorf("decayed count %v vs exact %v", count, exactDecayed)
+	}
+
+	// Codec surface covers the new sketches.
+	for _, v := range []any{tk.Collapse(), vo.Collapse(), dc.Collapse()} {
+		data, err := ats.EncodeSketch(v)
+		if err != nil {
+			t.Fatalf("EncodeSketch(%T): %v", v, err)
+		}
+		if _, _, err := ats.DecodeSketch(data); err != nil {
+			t.Fatalf("DecodeSketch(%T): %v", v, err)
+		}
+	}
+}
+
+// TestFamilyStoreFacade serves every kind from one store through the
+// public surface.
+func TestFamilyStoreFacade(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	st := ats.NewStore(ats.StoreConfig{
+		K: 256, Seed: 5, BucketWidth: time.Minute,
+		Now: func() time.Time { return now },
+	})
+	items := make([]ats.Item, 2000)
+	for i := range items {
+		items[i] = ats.Item{Key: uint64(i % 100), Weight: 1, Value: 1}
+	}
+	for _, kind := range ats.SketchKinds() {
+		batch := make([]ats.Item, len(items))
+		copy(batch, items)
+		if err := st.AddBatchKind("ns", kind.String(), kind, batch); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if err := st.AddBatchKind("ns", ats.KindTopK.String(), ats.KindDecay,
+		[]ats.Item{{Key: 1, Weight: 1, Value: 1}}); !errors.Is(err, ats.ErrSketchKindMismatch) {
+		t.Fatalf("cross-kind ingest: %v", err)
+	}
+	for _, kind := range ats.SketchKinds() {
+		res, err := st.Query("ns", kind.String(), time.Unix(0, 0), now)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Kind != kind.String() || res.SampleSize == 0 {
+			t.Errorf("%s: result %+v", kind, res)
+		}
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 
 	"ats/internal/bottomk"
+	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/topk"
+	"ats/internal/varopt"
 	"ats/internal/window"
 )
 
@@ -15,6 +18,12 @@ const (
 	NameBottomK  = "bottomk"
 	NameDistinct = "distinct"
 	NameWindow   = "window"
+	// NameTopK serializes the unbiased space-saving top-k sketch.
+	NameTopK = "topk"
+	// NameVarOpt serializes the VarOpt_k weighted sampler.
+	NameVarOpt = "varopt"
+	// NameDecay serializes the exponentially time-decayed sampler.
+	NameDecay = "decay"
 )
 
 func init() {
@@ -71,5 +80,59 @@ func init() {
 			return &sk, nil
 		},
 		Owns: func(v any) bool { _, ok := v.(*window.Sampler); return ok },
+	})
+	Register(Codec{
+		Name: NameTopK,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*topk.UnbiasedSpaceSaving)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameTopK, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk topk.UnbiasedSpaceSaving
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*topk.UnbiasedSpaceSaving); return ok },
+	})
+	Register(Codec{
+		Name: NameVarOpt,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*varopt.Sketch)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameVarOpt, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk varopt.Sketch
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*varopt.Sketch); return ok },
+	})
+	Register(Codec{
+		Name: NameDecay,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*decay.Sampler)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameDecay, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk decay.Sampler
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*decay.Sampler); return ok },
 	})
 }

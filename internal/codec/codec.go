@@ -1,27 +1,3 @@
-// Package codec is the universal serialization registry of the library: a
-// versioned, self-describing binary envelope that wraps the per-sketch
-// binary codecs (bottom-k, distinct, sliding-window) behind one decode
-// entry point.
-//
-// Each concrete codec serializes one sketch type and is registered under a
-// short stable name. The envelope layout (little-endian) is
-//
-//	magic      uint32  "ATSE"
-//	version    uint8   1
-//	nameLen    uint8
-//	name       nameLen bytes (ASCII)
-//	payloadLen uint32
-//	payload    payloadLen bytes (the concrete codec's own format)
-//
-// so a reader can dispatch on the embedded name without out-of-band
-// schema knowledge — the property the store's whole-keyspace
-// Snapshot/Restore relies on: a snapshot stream is a plain concatenation
-// of envelopes plus store-level framing, and new sketch types become
-// restorable by registering a codec, with no store changes.
-//
-// Per-type format versioning lives inside the payload (each sketch codec
-// carries its own magic and version); the envelope version covers only
-// the framing.
 package codec
 
 import (

@@ -8,7 +8,10 @@ import (
 	"testing"
 
 	"ats/internal/bottomk"
+	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/topk"
+	"ats/internal/varopt"
 	"ats/internal/window"
 )
 
@@ -17,12 +20,21 @@ func testSketches(t testing.TB) map[string]any {
 	bk := bottomk.New(16, 3)
 	dk := distinct.NewSketch(32, 4)
 	wk := window.New(8, 1.0, 5)
+	tk := topk.NewUnbiasedSpaceSaving(12, 6)
+	vk := varopt.New(16, 7)
+	yk := decay.New(16, 0.5, 8)
 	for i := 0; i < 500; i++ {
 		bk.Add(uint64(i), 1+float64(i%5), float64(i))
 		dk.Add(uint64(i % 120))
 		wk.Add(uint64(i), float64(i)*0.01)
+		tk.Add(uint64(i % 40))
+		vk.Add(uint64(i), 1+float64(i%9), 1)
+		yk.Add(uint64(i), 1+float64(i%3), 1, float64(i)*0.01)
 	}
-	return map[string]any{NameBottomK: bk, NameDistinct: dk, NameWindow: wk}
+	return map[string]any{
+		NameBottomK: bk, NameDistinct: dk, NameWindow: wk,
+		NameTopK: tk, NameVarOpt: vk, NameDecay: yk,
+	}
 }
 
 func TestEnvelopeRoundTripAllBuiltins(t *testing.T) {

@@ -1,0 +1,50 @@
+// Package codec is the universal serialization registry of the library:
+// a versioned, self-describing binary envelope that wraps the per-sketch
+// binary codecs — bottom-k, distinct, sliding-window, top-k (unbiased
+// space-saving), varopt and time-decayed — behind one decode entry
+// point.
+//
+// # Role in the system
+//
+// Sketches here summarize streams that cannot be replayed, so their
+// serialized form IS the durable state of the serving layer (the store's
+// Snapshot/Restore, the atsd daemon's restart path). Every codec
+// captures a sketch's full state — including RNG positions where the
+// sketch draws randomness — so a restored sketch is indistinguishable
+// from the original: same samples, same thresholds, same future
+// behavior under identical input, which is what makes snapshot/restart
+// cycles bit-identical end to end.
+//
+// # Envelope format
+//
+// Each concrete codec serializes one sketch type and is registered under
+// a short stable name. The envelope layout (little-endian) is
+//
+//	magic      uint32  "ATSE"
+//	version    uint8   1
+//	nameLen    uint8
+//	name       nameLen bytes (ASCII)
+//	payloadLen uint32  (capped by MaxPayload — decode-bomb guard)
+//	payload    payloadLen bytes (the concrete codec's own format)
+//
+// so a reader can dispatch on the embedded name without out-of-band
+// schema knowledge — the property the store's whole-keyspace
+// Snapshot/Restore relies on: a snapshot stream is a plain concatenation
+// of envelopes plus store-level framing, and new sketch types become
+// restorable by registering a codec, with no store changes.
+//
+// Per-type format versioning lives inside the payload (each sketch codec
+// carries its own magic and version); the envelope version covers only
+// the framing. docs/ARCHITECTURE.md specifies every payload format.
+//
+// # Concurrency and ownership contract
+//
+// The registry is written once at init time (Register panics on
+// duplicates) and read-only afterwards; all lookup and encode/decode
+// entry points are safe for concurrent use. Codecs never retain the
+// values they marshal, and Unmarshal returns a freshly allocated sketch
+// owned by the caller. Marshal must not mutate the sketch's logical
+// state, but may settle its internal representation (e.g. compacting a
+// keeper buffer), so callers sharing a sketch across goroutines must
+// serialize Marshal with writes exactly like any query.
+package codec

@@ -5,7 +5,10 @@ import (
 	"testing"
 
 	"ats/internal/bottomk"
+	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/topk"
+	"ats/internal/varopt"
 	"ats/internal/window"
 )
 
@@ -17,12 +20,21 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	bk := bottomk.New(8, 1)
 	dk := distinct.NewSketch(8, 2)
 	wk := window.New(4, 1.0, 3)
+	tk := topk.NewUnbiasedSpaceSaving(6, 4)
+	vk := varopt.New(8, 5)
+	yk := decay.New(8, 1, 6)
 	for i := 0; i < 200; i++ {
 		bk.Add(uint64(i), 1, 1)
 		dk.Add(uint64(i % 31))
 		wk.Add(uint64(i), float64(i)*0.05)
+		tk.Add(uint64(i % 17))
+		vk.Add(uint64(i), 1+float64(i%4), 1)
+		yk.Add(uint64(i), 1, 1, float64(i)*0.05)
 	}
-	for name, v := range map[string]any{NameBottomK: bk, NameDistinct: dk, NameWindow: wk} {
+	for name, v := range map[string]any{
+		NameBottomK: bk, NameDistinct: dk, NameWindow: wk,
+		NameTopK: tk, NameVarOpt: vk, NameDecay: yk,
+	} {
 		if data, err := Marshal(name, v); err == nil {
 			f.Add(data)
 			f.Add(data[:len(data)/2])

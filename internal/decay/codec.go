@@ -1,0 +1,120 @@
+package decay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ats/internal/stream"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   uint32  "ATSy"
+//	version uint8   1
+//	k       uint32
+//	lambda  float64
+//	seed    uint64
+//	n       uint64
+//	count   uint32  retained entries (<= k+1)
+//	entries count × (key uint64, weight float64, value float64, time float64)
+//
+// LogP is derived state — ln(U/w) - λ·t0 with U = HashU01(key, seed) —
+// and is recomputed on decode with exactly the expression Add uses, so a
+// round trip is bit-identical. Entries are written in heap-array order
+// and rebuilt by in-order inserts, which reproduces the array exactly:
+// marshal ∘ unmarshal is the identity on bytes.
+
+const (
+	codecMagic   = 0x41545379 // "ATSy" ("ATSd" is the distinct sketch's)
+	codecVersion = 1
+
+	codecHeader    = 4 + 1 + 4 + 8 + 8 + 8 + 4
+	codecEntrySize = 32
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("decay: corrupt serialized sampler")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("decay: unsupported serialization version")
+)
+
+// MarshalBinary serializes the sampler.
+func (s *Sampler) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, codecHeader+len(s.heap)*codecEntrySize)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.lambda))
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.heap)))
+	for _, e := range s.heap {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Value))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Time))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sampler serialized by MarshalBinary,
+// overwriting the receiver.
+func (s *Sampler) UnmarshalBinary(data []byte) error {
+	if len(data) < codecHeader {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[5:]))
+	if k <= 0 {
+		return fmt.Errorf("%w: non-positive k", ErrCorrupt)
+	}
+	lambda := math.Float64frombits(binary.LittleEndian.Uint64(data[9:]))
+	if !(lambda > 0) || math.IsInf(lambda, 1) {
+		return fmt.Errorf("%w: invalid lambda %v", ErrCorrupt, lambda)
+	}
+	seed := binary.LittleEndian.Uint64(data[17:])
+	n := int64(binary.LittleEndian.Uint64(data[25:]))
+	if n < 0 {
+		return fmt.Errorf("%w: negative n", ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(data[33:]))
+	if count > k+1 {
+		return fmt.Errorf("%w: %d entries for k=%d", ErrCorrupt, count, k)
+	}
+	// Length is validated against the declared count BEFORE any
+	// count-sized allocation (decode-bomb guard).
+	if len(data) != codecHeader+count*codecEntrySize {
+		return fmt.Errorf("%w: body is %d bytes, want %d entries", ErrCorrupt, len(data)-codecHeader, count)
+	}
+	restored := New(k, lambda, seed)
+	off := codecHeader
+	for i := 0; i < count; i++ {
+		e := Entry{
+			Key:    binary.LittleEndian.Uint64(data[off:]),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+			Time:   math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+		}
+		off += codecEntrySize
+		if !(e.Weight > 0) || math.IsInf(e.Weight, 1) {
+			return fmt.Errorf("%w: entry %d has invalid weight %v", ErrCorrupt, i, e.Weight)
+		}
+		if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+			return fmt.Errorf("%w: entry %d has invalid time %v", ErrCorrupt, i, e.Time)
+		}
+		u := stream.HashU01(e.Key, seed)
+		e.LogP = math.Log(u) - math.Log(e.Weight) - lambda*e.Time
+		restored.add(e)
+	}
+	restored.n = int(n)
+	*s = *restored
+	return nil
+}

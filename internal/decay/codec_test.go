@@ -1,0 +1,204 @@
+package decay
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+func TestMergeMatchesSequential(t *testing.T) {
+	// Hash-derived priorities make the merge exact: a merged pair over a
+	// split stream holds the identical sample (and thresholds and
+	// estimates) of a single sampler over the whole stream.
+	rng := stream.NewRNG(3)
+	type arrival struct {
+		key  uint64
+		w, t float64
+	}
+	arrivals := make([]arrival, 5000)
+	for i := range arrivals {
+		arrivals[i] = arrival{uint64(i), rng.Open01() * 5, float64(i) * 0.01}
+	}
+	seq := New(40, 0.5, 7)
+	a := New(40, 0.5, 7)
+	b := New(40, 0.5, 7)
+	for i, ar := range arrivals {
+		seq.Add(ar.key, ar.w, 1, ar.t)
+		if i%2 == 0 {
+			a.Add(ar.key, ar.w, 1, ar.t)
+		} else {
+			b.Add(ar.key, ar.w, 1, ar.t)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != seq.N() {
+		t.Errorf("merged n = %d, want %d", a.N(), seq.N())
+	}
+	if a.LogThreshold() != seq.LogThreshold() {
+		t.Errorf("merged threshold %v != sequential %v", a.LogThreshold(), seq.LogThreshold())
+	}
+	// The retained sets are identical entry for entry; the estimates may
+	// differ in the last ulp because the heaps hold them in different
+	// array orders and float summation is order-sensitive.
+	ms, ss := sortedSample(a), sortedSample(seq)
+	if len(ms) != len(ss) {
+		t.Fatalf("merged sample size %d != sequential %d", len(ms), len(ss))
+	}
+	for i := range ms {
+		if ms[i] != ss[i] {
+			t.Errorf("sample[%d]: merged %+v != sequential %+v", i, ms[i], ss[i])
+		}
+	}
+	tq := 60.0
+	if m, s := a.DecayedSum(tq, nil), seq.DecayedSum(tq, nil); math.Abs(m-s) > 1e-12*math.Abs(s) {
+		t.Errorf("merged decayed sum %v != sequential %v", m, s)
+	}
+	if m, s := a.DecayedCount(tq), seq.DecayedCount(tq); math.Abs(m-s) > 1e-12*math.Abs(s) {
+		t.Errorf("merged decayed count %v != sequential %v", m, s)
+	}
+}
+
+func sortedSample(s *Sampler) []Entry {
+	out := s.Sample()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LogP != out[j].LogP {
+			return out[i].LogP < out[j].LogP
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := New(8, 1, 1)
+	if err := a.Merge(a); err == nil {
+		t.Error("self-merge must fail")
+	}
+	for _, o := range []*Sampler{New(16, 1, 1), New(8, 2, 1), New(8, 1, 2)} {
+		if err := a.Merge(o); err == nil {
+			t.Errorf("config mismatch (k=%d lambda=%v seed=%d) must fail", o.K(), o.Lambda(), o.Seed())
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := stream.NewRNG(8)
+	orig := New(30, 0.25, 12)
+	for i := 0; i < 4000; i++ {
+		orig.Add(uint64(i), rng.Open01()*4, rng.Float64(), float64(i)*0.02)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sampler
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != orig.K() || got.N() != orig.N() || got.Lambda() != orig.Lambda() || got.Seed() != orig.Seed() {
+		t.Fatal("identity changed across round trip")
+	}
+	if got.LogThreshold() != orig.LogThreshold() {
+		t.Errorf("threshold changed: %v -> %v", orig.LogThreshold(), got.LogThreshold())
+	}
+	tq := 100.0
+	if a, b := orig.DecayedSum(tq, nil), got.DecayedSum(tq, nil); a != b {
+		t.Errorf("decayed sum changed: %v -> %v", a, b)
+	}
+	again, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("marshal ∘ unmarshal is not the identity on bytes")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	orig := New(8, 1, 1)
+	for i := 0; i < 100; i++ {
+		orig.Add(uint64(i), 1, 1, float64(i))
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": data[:len(data)-1],
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+	}
+	badVersion := append([]byte(nil), data...)
+	badVersion[4] = 9
+	cases["bad version"] = badVersion
+	hugeCount := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(hugeCount[33:], 1<<29)
+	cases["count > k+1"] = hugeCount
+	badLambda := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(badLambda[9:], math.Float64bits(-1))
+	cases["negative lambda"] = badLambda
+	badWeight := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(badWeight[codecHeader+8:], math.Float64bits(math.NaN()))
+	cases["NaN weight"] = badWeight
+	for name, c := range cases {
+		var s Sampler
+		if err := s.UnmarshalBinary(c); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary: inputs
+// that decode must survive a bit-stable re-marshal; inputs that do not
+// decode must fail cleanly without panicking or over-allocating.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seed := func(k int, lambda float64, seed uint64, n int) []byte {
+		rng := stream.NewRNG(seed)
+		s := New(k, lambda, seed)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i), rng.Open01()*3, 1, float64(i)*0.1)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(seed(4, 1, 1, 0))
+	f.Add(seed(4, 0.5, 1, 3))
+	f.Add(seed(8, 2, 42, 500))
+	f.Add(seed(64, 0.01, 7, 5000))
+	f.Add([]byte{})
+	f.Add([]byte("ATSygarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sampler
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if s.k <= 0 || len(s.heap) > s.k+1 {
+			t.Fatalf("decoded invalid sampler: k=%d retained=%d", s.k, len(s.heap))
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var s2 Sampler
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		out2, err := s2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("round trip is not bit-stable")
+		}
+	})
+}

@@ -17,6 +17,8 @@
 package decay
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"ats/internal/stream"
@@ -65,6 +67,36 @@ func (s *Sampler) N() int { return s.n }
 // Lambda returns the decay rate.
 func (s *Sampler) Lambda() float64 { return s.lambda }
 
+// Seed returns the coordination seed. Samplers sharing a seed (and k and
+// lambda) assign every (key, weight, time) arrival the same adjusted
+// log-priority, which is what makes them mergeable.
+func (s *Sampler) Seed() uint64 { return s.seed }
+
+// Merge folds another time-decayed sampler into s. Because adjusted
+// log-priorities are derived from a seeded hash of the key — never from
+// arrival order or sampler-local randomness — the merged sample (the k+1
+// smallest LogP of the union) is identical to the sample a single
+// sampler would hold after seeing both streams, so every decayed HT
+// estimator stays unbiased. The two samplers must share k, lambda and
+// seed, and must have seen disjoint streams (shared arrivals would be
+// double-counted, exactly as in any bottom-k merge). The argument is not
+// modified.
+func (s *Sampler) Merge(o *Sampler) error {
+	if o == s {
+		return errors.New("decay: cannot merge a sampler into itself")
+	}
+	if o.k != s.k || o.lambda != s.lambda || o.seed != s.seed {
+		return fmt.Errorf("decay: cannot merge samplers with different configuration (k=%d/%d, lambda=%v/%v, seed=%d/%d)",
+			s.k, o.k, s.lambda, o.lambda, s.seed, o.seed)
+	}
+	total := s.n + o.n
+	for _, e := range o.heap {
+		s.add(e)
+	}
+	s.n = total
+	return nil
+}
+
 // Add offers an item with weight w > 0 and value x arriving at time t0.
 // Arrival times may be in any order (the structure is order-insensitive,
 // like any bottom-k sketch), though typically they are non-decreasing.
@@ -109,6 +141,18 @@ func (s *Sampler) Sample() []Entry {
 		}
 	}
 	return out
+}
+
+// SampleSize returns len(Sample()) without materializing the sample.
+func (s *Sampler) SampleSize() int {
+	th := s.LogThreshold()
+	n := 0
+	for _, e := range s.heap {
+		if e.LogP < th {
+			n++
+		}
+	}
+	return n
 }
 
 // InclusionProb returns the pseudo-inclusion probability of a retained

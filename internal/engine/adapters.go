@@ -4,11 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"ats/internal/bottomk"
 	"ats/internal/codec"
 	"ats/internal/core"
+	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/topk"
+	"ats/internal/varopt"
 	"ats/internal/window"
 )
 
@@ -21,16 +25,28 @@ var (
 	_ Sampler        = (*BottomKSampler)(nil)
 	_ Sampler        = (*DistinctSampler)(nil)
 	_ Sampler        = (*WindowSampler)(nil)
+	_ Sampler        = (*TopKSampler)(nil)
+	_ Sampler        = (*VarOptSampler)(nil)
+	_ Sampler        = (*DecaySampler)(nil)
 	_ BatchAdder     = (*BottomKSampler)(nil)
 	_ BatchAdder     = (*DistinctSampler)(nil)
 	_ BatchAdder     = (*WindowSampler)(nil)
+	_ BatchAdder     = (*TopKSampler)(nil)
+	_ BatchAdder     = (*VarOptSampler)(nil)
+	_ BatchAdder     = (*DecaySampler)(nil)
 	_ SampleAppender = (*BottomKSampler)(nil)
 	_ SampleAppender = (*DistinctSampler)(nil)
 	_ SampleAppender = (*WindowSampler)(nil)
+	_ SampleAppender = (*TopKSampler)(nil)
+	_ SampleAppender = (*VarOptSampler)(nil)
+	_ SampleAppender = (*DecaySampler)(nil)
 
 	_ SnapshotMarshaler = (*BottomKSampler)(nil)
 	_ SnapshotMarshaler = (*DistinctSampler)(nil)
 	_ SnapshotMarshaler = (*WindowSampler)(nil)
+	_ SnapshotMarshaler = (*TopKSampler)(nil)
+	_ SnapshotMarshaler = (*VarOptSampler)(nil)
+	_ SnapshotMarshaler = (*DecaySampler)(nil)
 )
 
 // WrapDecoded wraps a sketch decoded by the codec registry back into its
@@ -50,6 +66,18 @@ func WrapDecoded(name string, v any) (Sampler, error) {
 	case codec.NameWindow:
 		if sk, ok := v.(*window.Sampler); ok {
 			return WrapWindow(sk), nil
+		}
+	case codec.NameTopK:
+		if sk, ok := v.(*topk.UnbiasedSpaceSaving); ok {
+			return WrapTopK(sk), nil
+		}
+	case codec.NameVarOpt:
+		if sk, ok := v.(*varopt.Sketch); ok {
+			return WrapVarOpt(sk), nil
+		}
+	case codec.NameDecay:
+		if sk, ok := v.(*decay.Sampler); ok {
+			return WrapDecayed(sk), nil
 		}
 	default:
 		return nil, fmt.Errorf("engine: no sampler adapter for codec %q", name)
@@ -247,4 +275,210 @@ func (w *WindowSampler) Merge(other Sampler) error {
 		return ErrIncompatible
 	}
 	return w.sk.Merge(o.sk)
+}
+
+// TopKSampler adapts the Unbiased Space Saving top-k/heavy-hitter sketch
+// to the Sampler interface. Add counts one appearance of the key; weight
+// and value are ignored (the sketch is a count sampler). Sample reports
+// each tracked counter as an item whose Weight and Value are the counter
+// value with P = 1 — counters are already unbiased estimates, so the
+// generic Horvitz-Thompson subset sum over the sample yields the
+// unbiased disaggregated count estimate directly.
+type TopKSampler struct {
+	sk *topk.UnbiasedSpaceSaving
+}
+
+// WrapTopK wraps an existing unbiased space-saving sketch.
+func WrapTopK(sk *topk.UnbiasedSpaceSaving) *TopKSampler { return &TopKSampler{sk: sk} }
+
+// Sketch returns the underlying unbiased space-saving sketch.
+func (t *TopKSampler) Sketch() *topk.UnbiasedSpaceSaving { return t.sk }
+
+// Add counts one appearance of key; weight and value are ignored.
+func (t *TopKSampler) Add(key uint64, _, _ float64) { t.sk.Add(key) }
+
+// AddBatch counts a batch of appearances with direct calls.
+func (t *TopKSampler) AddBatch(items []Item) {
+	sk := t.sk
+	for _, it := range items {
+		sk.Add(it.Key)
+	}
+}
+
+// Sample returns the tracked counters as count-valued samples with P = 1.
+func (t *TopKSampler) Sample() []Sample {
+	return t.AppendSample(nil)
+}
+
+// AppendSample appends the tracked counters (in key order) to dst and
+// returns the extended slice.
+func (t *TopKSampler) AppendSample(dst []Sample) []Sample {
+	for _, r := range t.sk.Counters() {
+		c := float64(r.Estimate)
+		dst = append(dst, Sample{Key: r.Key, Weight: c, Value: c, P: 1})
+	}
+	return dst
+}
+
+// Threshold returns the smallest tracked counter — the number of
+// appearances an untracked item needs before it is likely to take over a
+// label (0 while the table is below capacity).
+func (t *TopKSampler) Threshold() float64 { return float64(t.sk.MinCount()) }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (t *TopKSampler) CodecName() string { return codec.NameTopK }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (t *TopKSampler) MarshalBinary() ([]byte, error) { return t.sk.MarshalBinary() }
+
+// Merge folds another TopKSampler into t.
+func (t *TopKSampler) Merge(other Sampler) error {
+	o, ok := other.(*TopKSampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return t.sk.Merge(o.sk)
+}
+
+// VarOptSampler adapts the VarOpt_k variance-optimal weighted sampler to
+// the Sampler interface. Sample reports each retained entry with P =
+// min(1, w/tau), so generic HT estimation over the sample matches the
+// sketch's own SubsetSum.
+type VarOptSampler struct {
+	sk *varopt.Sketch
+}
+
+// WrapVarOpt wraps an existing VarOpt_k sketch.
+func WrapVarOpt(sk *varopt.Sketch) *VarOptSampler { return &VarOptSampler{sk: sk} }
+
+// Sketch returns the underlying VarOpt_k sketch.
+func (v *VarOptSampler) Sketch() *varopt.Sketch { return v.sk }
+
+// Add offers a weighted item.
+func (v *VarOptSampler) Add(key uint64, weight, value float64) { v.sk.Add(key, weight, value) }
+
+// AddBatch offers a batch of weighted items with direct calls.
+func (v *VarOptSampler) AddBatch(items []Item) {
+	sk := v.sk
+	for _, it := range items {
+		sk.Add(it.Key, it.Weight, it.Value)
+	}
+}
+
+// Sample returns the retained entries with P = min(1, w/tau).
+func (v *VarOptSampler) Sample() []Sample {
+	return v.AppendSample(nil)
+}
+
+// AppendSample appends the retained entries to dst and returns the
+// extended slice.
+func (v *VarOptSampler) AppendSample(dst []Sample) []Sample {
+	for _, e := range v.sk.Sample() {
+		dst = append(dst, Sample{Key: e.Key, Weight: e.Weight, Value: e.Value, P: v.sk.InclusionProb(e)})
+	}
+	return dst
+}
+
+// Threshold returns tau, the weight below which items are subsampled.
+func (v *VarOptSampler) Threshold() float64 { return v.sk.Tau() }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (v *VarOptSampler) CodecName() string { return codec.NameVarOpt }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (v *VarOptSampler) MarshalBinary() ([]byte, error) { return v.sk.MarshalBinary() }
+
+// Merge folds another VarOptSampler into v.
+func (v *VarOptSampler) Merge(other Sampler) error {
+	o, ok := other.(*VarOptSampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return v.sk.Merge(o.sk)
+}
+
+// DecaySampler adapts the exponentially time-decayed sampler to the
+// Sampler interface. AddBatch reads each arrival instant from the batch
+// item's Time field verbatim (the decay time axis is caller-owned and
+// zero is a valid instant — the axis origin); only the three-argument
+// Add, which has no way to carry a time, stamps arrivals from the
+// adapter's clock (wall time by default, injectable). Sample reports
+// each retained entry with its pseudo-inclusion probability under the
+// current log-threshold, so generic HT estimation gives the UNdecayed
+// subset sum; decayed aggregates at a query instant come from the
+// underlying sketch's DecayedSum/DecayedCount.
+type DecaySampler struct {
+	sk *decay.Sampler
+	// now is the fallback arrival clock in unix seconds.
+	now func() float64
+}
+
+// WrapDecayed wraps an existing time-decayed sampler with a wall-clock
+// fallback for unstamped arrivals.
+func WrapDecayed(sk *decay.Sampler) *DecaySampler {
+	return &DecaySampler{
+		sk:  sk,
+		now: func() float64 { return float64(time.Now().UnixNano()) / float64(time.Second) },
+	}
+}
+
+// SetClock replaces the fallback arrival clock (unix seconds), for
+// deterministic tests and stores with synthetic time.
+func (d *DecaySampler) SetClock(now func() float64) { d.now = now }
+
+// Sketch returns the underlying time-decayed sampler.
+func (d *DecaySampler) Sketch() *decay.Sampler { return d.sk }
+
+// Add offers a weighted item arriving now (the adapter clock).
+func (d *DecaySampler) Add(key uint64, weight, value float64) {
+	d.sk.Add(key, weight, value, d.now())
+}
+
+// AddAt offers a weighted item with an explicit arrival instant.
+func (d *DecaySampler) AddAt(key uint64, weight, value, at float64) {
+	d.sk.Add(key, weight, value, at)
+}
+
+// AddBatch offers a batch of weighted items, reading each item's arrival
+// instant from its Time field verbatim.
+func (d *DecaySampler) AddBatch(items []Item) {
+	sk := d.sk
+	for _, it := range items {
+		sk.Add(it.Key, it.Weight, it.Value, it.Time)
+	}
+}
+
+// Sample returns the retained entries with their pseudo-inclusion
+// probabilities; Priority carries the adjusted log-priority.
+func (d *DecaySampler) Sample() []Sample {
+	return d.AppendSample(nil)
+}
+
+// AppendSample appends the retained entries to dst and returns the
+// extended slice.
+func (d *DecaySampler) AppendSample(dst []Sample) []Sample {
+	for _, e := range d.sk.Sample() {
+		dst = append(dst, Sample{Key: e.Key, Weight: e.Weight, Value: e.Value,
+			Priority: e.LogP, P: d.sk.InclusionProb(e)})
+	}
+	return dst
+}
+
+// Threshold returns the adaptive threshold in adjusted log-priority
+// space (+inf while the sampler is below capacity).
+func (d *DecaySampler) Threshold() float64 { return d.sk.LogThreshold() }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (d *DecaySampler) CodecName() string { return codec.NameDecay }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (d *DecaySampler) MarshalBinary() ([]byte, error) { return d.sk.MarshalBinary() }
+
+// Merge folds another DecaySampler into d.
+func (d *DecaySampler) Merge(other Sampler) error {
+	o, ok := other.(*DecaySampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return d.sk.Merge(o.sk)
 }

@@ -1,0 +1,56 @@
+// Package engine provides a concurrent, sharded sampling engine over the
+// library's mergeable sketches, and the unified Sampler contract that
+// lets the store and serving layers treat the whole sketch family — six
+// kinds — through one interface.
+//
+// # What part of the paper this implements
+//
+// The engine operationalizes the merge rules of Ting, "Adaptive
+// Threshold Sampling" (SIGMOD 2022), §2.5 and §3.5: a substitutable
+// threshold sampler can be split across machines (or shards) and the
+// per-part samples merged without breaking the Horvitz-Thompson
+// estimators. Adapters wrap each sketch behind Sampler
+// (Add/Sample/Threshold/Merge):
+//
+//   - BottomKSampler — weighted bottom-k / priority sampling (§2)
+//   - DistinctSampler — KMV distinct counting (§3.4–3.5)
+//   - WindowSampler — sliding-window uniform sampling (§3.2)
+//   - TopKSampler — unbiased space-saving heavy hitters ([30], the
+//     sketch §3.3's adaptive top-k sampler is a variation of)
+//   - VarOptSampler — VarOpt_k weighted sampling (§1.1's strong baseline)
+//   - DecaySampler — exponentially time-decayed sampling (§2.9)
+//
+// # Sharding
+//
+// The single-threaded sketches are deliberately lock-free and cheap; the
+// engine scales them to multi-core ingest by hash-partitioning keys
+// across N shards, each shard owning an independent sketch behind its
+// own mutex. A batched AddBatch path groups items by shard first and
+// takes each shard lock once per batch, so lock traffic is amortized
+// over hundreds of items. Snapshot (or the typed facades' Collapse)
+// merges the shards into one sketch for estimation.
+//
+// Sketches whose priorities are hash-derived from keys (bottom-k, KMV,
+// decayed) depend only on the multiset of (key, priority) pairs, so the
+// collapsed sketch is *identical* to the sketch of the sequential
+// stream, bit for bit, regardless of how items were partitioned or
+// interleaved. Samplers that draw from RNG streams instead (window,
+// varopt, top-k takeovers) are sharded with forked deterministic
+// streams: reproducible for a fixed shard count, but a sharded run and a
+// sequential run consume randomness differently, so their (equally
+// valid) samples differ.
+//
+// # Concurrency and ownership contract
+//
+// A Sharded engine owns its shard sketches exclusively; callers must
+// never retain or mutate a sketch reached through ForEachShard. Add,
+// AddBatch and Snapshot are safe from any number of goroutines. The
+// single-sketch adapters themselves are NOT safe for concurrent use —
+// they are exactly as thread-unsafe as the sketches they wrap, and the
+// per-shard mutex is what serializes access. Merge never modifies its
+// argument's logical state, but it may settle internal representation,
+// which is why even read-style access takes the shard lock. Snapshot
+// locks one shard at a time, so it observes each shard at a possibly
+// different consistent point — the semantics of merging independently
+// maintained distributed sketches.
+package engine

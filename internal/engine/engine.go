@@ -1,29 +1,3 @@
-// Package engine provides a concurrent, sharded sampling engine over the
-// library's mergeable sketches.
-//
-// The single-threaded sketches (bottom-k, distinct, sliding-window) are
-// deliberately lock-free and cheap; the engine scales them to multi-core
-// ingest by hash-partitioning keys across N shards, each shard owning an
-// independent sketch behind its own mutex. A batched AddBatch path groups
-// items by shard first and takes each shard lock once per batch, so lock
-// traffic is amortized over hundreds of items. Snapshot (or the typed
-// facades' Collapse) merges the shards into one sketch for estimation.
-//
-// Correctness rests on the paper's mergeability results: bottom-k and KMV
-// sketches depend only on the multiset of (key, priority) pairs, and
-// priorities are derived from a seeded hash of the key — not from the order
-// of arrival — so the collapsed sketch is *identical* to the sketch of the
-// sequential stream, bit for bit, regardless of how items were partitioned
-// or interleaved. The per-shard thresholds are each substitutable, and the
-// merged threshold is again the (k+1)-th smallest priority of the union,
-// so every Horvitz-Thompson estimator stays unbiased (§2.5, §3.5 of Ting,
-// SIGMOD 2022).
-//
-// Samplers whose priorities come from an RNG stream rather than a key hash
-// (the sliding-window sampler) are sharded with forked deterministic RNG
-// streams: results are reproducible for a fixed shard count, but a sharded
-// run and a sequential run consume randomness differently, so their
-// samples differ (both are valid adaptive threshold samples).
 package engine
 
 // Item is one weighted stream record, the unit of the batched ingest path.
@@ -31,6 +5,11 @@ type Item struct {
 	Key    uint64
 	Weight float64
 	Value  float64
+	// Time is the arrival instant in seconds on the caller-owned decay
+	// time axis, consumed by time-aware samplers (the decayed sampler);
+	// zero is a valid instant (the axis origin). Time-oblivious samplers
+	// ignore it.
+	Time float64
 }
 
 // Sample is one sampled item together with the pseudo-inclusion

@@ -2,8 +2,11 @@ package engine
 
 import (
 	"ats/internal/bottomk"
+	"ats/internal/decay"
 	"ats/internal/distinct"
 	"ats/internal/stream"
+	"ats/internal/topk"
+	"ats/internal/varopt"
 	"ats/internal/window"
 )
 
@@ -133,4 +136,143 @@ func (s *ShardedWindow) Collapse() *window.Sampler {
 		panic("engine: window snapshot failed: " + err.Error())
 	}
 	return snap.(*WindowSampler).Sketch()
+}
+
+// ShardedTopK is a concurrent top-k/heavy-hitter sketch built on
+// Unbiased Space Saving: each shard owns an independent m-counter table
+// with a forked RNG stream, and Collapse merges them under the
+// counter-conserving pairwise reduction, so disaggregated subset-sum
+// estimates from the collapsed sketch stay unbiased. Because keys are
+// hash-partitioned, each label's appearances all land on one shard and
+// its counter there estimates the label's full stream count.
+type ShardedTopK struct {
+	*Sharded
+}
+
+// NewShardedTopK returns a sharded top-k engine with m counters per
+// shard; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedTopK(m int, seed uint64, shards int) *ShardedTopK {
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	seeds := stream.ForkSeeds(seed, shards+1)
+	factory := func(i int) Sampler {
+		if i < 0 {
+			i = shards // collapse target gets the spare forked seed
+		}
+		return WrapTopK(topk.NewUnbiasedSpaceSaving(m, seeds[i]))
+	}
+	return &ShardedTopK{Sharded: NewSharded(shards, factory)}
+}
+
+// Observe counts one appearance of key.
+func (s *ShardedTopK) Observe(key uint64) { s.Add(key, 1, 1) }
+
+// Collapse merges the shards into one unbiased space-saving sketch (the
+// shards are left untouched).
+func (s *ShardedTopK) Collapse() *topk.UnbiasedSpaceSaving {
+	snap, err := s.Snapshot()
+	if err != nil {
+		panic("engine: top-k snapshot failed: " + err.Error())
+	}
+	return snap.(*TopKSampler).Sketch()
+}
+
+// TopK returns the k items with the largest collapsed count estimates.
+func (s *ShardedTopK) TopK(k int) []topk.Result { return s.Collapse().TopK(k) }
+
+// SubsetSum returns the collapsed unbiased estimate of total appearances
+// of keys matching pred (nil for the stream length).
+func (s *ShardedTopK) SubsetSum(pred func(key uint64) bool) int64 {
+	return s.Collapse().SubsetSum(pred)
+}
+
+// ShardedVarOpt is a concurrent VarOpt_k weighted sampler. Each shard
+// owns an independent sketch with a forked RNG stream; Collapse resamples
+// the shards' adjusted-weight samples through one threshold (the classic
+// VarOpt merge), preserving unbiased subset sums. Like the sharded
+// window sampler, a sharded run is reproducible for a fixed shard count
+// but draws different randomness than a sequential run.
+type ShardedVarOpt struct {
+	*Sharded
+}
+
+// NewShardedVarOpt returns a sharded VarOpt engine with per-shard (and
+// collapsed) sample size k; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedVarOpt(k int, seed uint64, shards int) *ShardedVarOpt {
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	seeds := stream.ForkSeeds(seed, shards+1)
+	factory := func(i int) Sampler {
+		if i < 0 {
+			i = shards
+		}
+		return WrapVarOpt(varopt.New(k, seeds[i]))
+	}
+	return &ShardedVarOpt{Sharded: NewSharded(shards, factory)}
+}
+
+// Collapse merges the shards into one VarOpt_k sketch (the shards are
+// left untouched).
+func (s *ShardedVarOpt) Collapse() *varopt.Sketch {
+	snap, err := s.Snapshot()
+	if err != nil {
+		panic("engine: varopt snapshot failed: " + err.Error())
+	}
+	return snap.(*VarOptSampler).Sketch()
+}
+
+// SubsetSum returns the collapsed HT estimate of Σ value over entries
+// matching pred (nil for all).
+func (s *ShardedVarOpt) SubsetSum(pred func(varopt.Entry) bool) float64 {
+	return s.Collapse().SubsetSum(pred)
+}
+
+// ShardedDecayed is a concurrent exponentially time-decayed sampler.
+// Priorities are hash-derived from keys (coordinated across shards by the
+// shared seed), so Collapse holds exactly the sample a sequential run
+// over the same arrivals would hold — the same guarantee as sharded
+// bottom-k.
+type ShardedDecayed struct {
+	*Sharded
+}
+
+// NewShardedDecayed returns a sharded time-decayed engine keeping k items
+// per shard under decay rate lambda; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedDecayed(k int, lambda float64, seed uint64, shards int) *ShardedDecayed {
+	factory := func(int) Sampler { return WrapDecayed(decay.New(k, lambda, seed)) }
+	return &ShardedDecayed{Sharded: NewSharded(shards, factory)}
+}
+
+// ObserveAt offers an item with weight w and value x arriving at time t
+// (seconds on the sampler's decay axis).
+func (s *ShardedDecayed) ObserveAt(key uint64, w, x, t float64) {
+	sh := s.shards[s.shardIndex(key)]
+	sh.mu.Lock()
+	sh.s.(*DecaySampler).AddAt(key, w, x, t)
+	sh.mu.Unlock()
+}
+
+// Collapse merges the shards into one time-decayed sampler (the shards
+// are left untouched).
+func (s *ShardedDecayed) Collapse() *decay.Sampler {
+	snap, err := s.Snapshot()
+	if err != nil {
+		panic("engine: decay snapshot failed: " + err.Error())
+	}
+	return snap.(*DecaySampler).Sketch()
+}
+
+// DecayedSum returns the collapsed HT estimate, at query time t, of the
+// decayed sum Σ x_i·exp(-λ(t-t0_i)) over entries matching pred (nil for
+// all).
+func (s *ShardedDecayed) DecayedSum(t float64, pred func(decay.Entry) bool) float64 {
+	return s.Collapse().DecayedSum(t, pred)
+}
+
+// DecayedCount returns the collapsed HT estimate of the decayed
+// population size at query time t.
+func (s *ShardedDecayed) DecayedCount(t float64) float64 {
+	return s.Collapse().DecayedCount(t)
 }

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"ats/internal/codec"
+	"ats/internal/decay"
+	"ats/internal/stream"
+	"ats/internal/topk"
+	"ats/internal/varopt"
+)
+
+func TestShardedTopKConservesTotals(t *testing.T) {
+	z := stream.NewZipf(2000, 1.4, 9)
+	eng := NewShardedTopK(64, 10, 4)
+	const n = 60000
+	items := make([]Item, 512)
+	fed := 0
+	for fed < n {
+		m := len(items)
+		if m > n-fed {
+			m = n - fed
+		}
+		for i := 0; i < m; i++ {
+			items[i] = Item{Key: z.Next(), Weight: 1, Value: 1}
+		}
+		eng.AddBatch(items[:m])
+		fed += m
+	}
+	sk := eng.Collapse()
+	if got := sk.SubsetSum(nil); got != n {
+		t.Errorf("collapsed counter total %d, want exactly %d (merge conserves totals)", got, n)
+	}
+	if sk.Len() > 64 {
+		t.Errorf("collapsed sketch tracks %d > m items", sk.Len())
+	}
+	// The heavy head of a steep Zipf must surface in the top-k.
+	wrong := 0
+	for _, r := range eng.TopK(5) {
+		if r.Key >= 10 {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Errorf("%d of top-5 outside the true head", wrong)
+	}
+}
+
+func TestShardedVarOptFixedSize(t *testing.T) {
+	rng := stream.NewRNG(11)
+	eng := NewShardedVarOpt(50, 12, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			items := make([]Item, 250)
+			for b := 0; b < 10; b++ {
+				r := stream.NewRNG(uint64(g*100 + b))
+				for i := range items {
+					items[i] = Item{Key: uint64(g*10000 + b*250 + i), Weight: r.Open01() * 10, Value: 1}
+				}
+				eng.AddBatch(items)
+			}
+		}(g)
+	}
+	wg.Wait()
+	_ = rng
+	sk := eng.Collapse()
+	if sk.Len() != 50 {
+		t.Errorf("collapsed size %d, want exactly k=50", sk.Len())
+	}
+	if sk.N() != 10000 {
+		t.Errorf("collapsed n = %d, want 10000", sk.N())
+	}
+	// Total-weight conservation survives the merge chain.
+	est := sk.EstimateWeight()
+	if est <= 0 {
+		t.Fatalf("non-positive weight estimate %v", est)
+	}
+}
+
+func TestShardedDecayedMatchesSequential(t *testing.T) {
+	// Hash-coordinated priorities: the collapsed sharded sample equals
+	// the sequential sample of the same arrivals, entry for entry.
+	seq := decay.New(30, 0.2, 13)
+	eng := NewShardedDecayed(30, 0.2, 13, 4)
+	rng := stream.NewRNG(14)
+	items := make([]Item, 5000)
+	for i := range items {
+		items[i] = Item{Key: uint64(i), Weight: rng.Open01() * 4, Value: 1, Time: float64(i) * 0.01}
+	}
+	for _, it := range items {
+		seq.Add(it.Key, it.Weight, it.Value, it.Time)
+	}
+	eng.AddBatch(items)
+	got := eng.Collapse()
+	if got.LogThreshold() != seq.LogThreshold() {
+		t.Errorf("collapsed threshold %v != sequential %v", got.LogThreshold(), seq.LogThreshold())
+	}
+	a, b := got.Sample(), seq.Sample()
+	sortEntries := func(s []decay.Entry) {
+		sort.Slice(s, func(i, j int) bool { return s[i].LogP < s[j].LogP })
+	}
+	sortEntries(a)
+	sortEntries(b)
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sample[%d]: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDecayAdapterClock(t *testing.T) {
+	d := WrapDecayed(decay.New(8, 1, 1))
+	now := 100.0
+	d.SetClock(func() float64 { return now })
+	d.Add(1, 1, 1) // the 3-arg Add has no Time: stamped by the clock
+	d.AddBatch([]Item{{Key: 2, Weight: 1, Value: 1}, {Key: 3, Weight: 1, Value: 1, Time: 42}})
+	for _, e := range d.Sketch().Sample() {
+		switch e.Key {
+		case 1:
+			if e.Time != 100 {
+				t.Errorf("key 1 stamped at %v, want the adapter clock (100)", e.Time)
+			}
+		case 2:
+			if e.Time != 0 {
+				t.Errorf("key 2 stamped at %v, want its verbatim Time (0)", e.Time)
+			}
+		case 3:
+			if e.Time != 42 {
+				t.Errorf("key 3 stamped at %v, want its verbatim Time (42)", e.Time)
+			}
+		}
+	}
+}
+
+func TestFamilyAdaptersRejectForeignMerge(t *testing.T) {
+	samplers := []Sampler{
+		WrapTopK(topk.NewUnbiasedSpaceSaving(4, 1)),
+		WrapVarOpt(varopt.New(4, 1)),
+		WrapDecayed(decay.New(4, 1, 1)),
+		WrapBottomK(nil),
+	}
+	for i, a := range samplers {
+		for j, b := range samplers {
+			if i == j {
+				continue
+			}
+			if err := a.Merge(b); err == nil {
+				t.Errorf("sampler %d merged foreign sampler %d", i, j)
+			}
+		}
+	}
+}
+
+// TestFamilySnapshotMarshalerRoundTrip drives each new adapter through
+// the same codec-envelope path the store's Snapshot/Restore uses.
+func TestFamilySnapshotMarshalerRoundTrip(t *testing.T) {
+	build := func() []Sampler {
+		tk := WrapTopK(topk.NewUnbiasedSpaceSaving(8, 2))
+		vk := WrapVarOpt(varopt.New(8, 3))
+		yk := WrapDecayed(decay.New(8, 0.5, 4))
+		for i := 0; i < 300; i++ {
+			tk.Add(uint64(i%20), 1, 1)
+			vk.Add(uint64(i), 1+float64(i%6), 1)
+			yk.AddAt(uint64(i), 1, 1, float64(i)*0.1)
+		}
+		return []Sampler{tk, vk, yk}
+	}
+	for _, s := range build() {
+		sm := s.(SnapshotMarshaler)
+		payload, err := sm.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", sm.CodecName(), err)
+		}
+		env, err := codec.Envelope(sm.CodecName(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name, v, err := codec.Unmarshal(env)
+		if err != nil {
+			t.Fatalf("%s: envelope decode: %v", sm.CodecName(), err)
+		}
+		restored, err := WrapDecoded(name, v)
+		if err != nil {
+			t.Fatalf("%s: WrapDecoded: %v", name, err)
+		}
+		if restored.Threshold() != s.Threshold() && !(math.IsInf(restored.Threshold(), 1) && math.IsInf(s.Threshold(), 1)) {
+			t.Errorf("%s: threshold changed across restore: %v -> %v", name, s.Threshold(), restored.Threshold())
+		}
+		a, b := s.Sample(), restored.Sample()
+		if len(a) != len(b) {
+			t.Fatalf("%s: sample size changed: %d -> %d", name, len(a), len(b))
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package history implements the §2.7 motivating example of Ting,
+// "Adaptive Threshold Sampling" (SIGMOD 2022): a bottom-k sketch that
+// stores every item that was EVER in the sketch, which makes it possible
+// to reconstruct the bottom-k sample — and compute unbiased aggregates —
+// over the prefix window [0, t] for ANY stream position t, after the
+// fact.
+//
+// # What part of the paper this implements
+//
+// The per-item thresholding rule ("the (k+1)-th smallest priority among
+// the items that arrived before you") is sequential: it depends only on
+// earlier priorities, so by Theorem 7 the pseudo-HT estimator of a sum
+// is unbiased even though the rule is only 1-substitutable. The paper
+// shows it is NOT 2-substitutable, so variance estimates may not be
+// reused; the package tests demonstrate both facts. The store's
+// time-bucketed range queries are cross-validated against this package:
+// a merged bucket range and a SampleAt prefix reconstruction must agree.
+//
+// # Concurrency and ownership contract
+//
+// A Sampler is single-owner state and not safe for concurrent use; wrap
+// it behind external synchronization to share it. Add appends to the
+// archive; SampleAt/SubsetSumAt reconstruct past samples from the
+// archive without mutating it, so they may run concurrently with each
+// other (but not with Add). Entries returned by queries are copies owned
+// by the caller. Memory grows with every archived item — O(k log n) in
+// expectation — which is the price of answering every prefix window;
+// the time-bucketed store is the bounded-memory alternative.
+package history

@@ -1,15 +1,3 @@
-// Package history implements the §2.7 motivating example: a bottom-k
-// sketch that stores every item that was EVER in the sketch, which makes
-// it possible to reconstruct the bottom-k sample — and compute unbiased
-// aggregates — over the prefix window [0, t] for ANY stream position t,
-// after the fact.
-//
-// The per-item thresholding rule ("the (k+1)-th smallest priority among
-// the items that arrived before you") is sequential: it depends only on
-// earlier priorities, so by Theorem 7 the pseudo-HT estimator of a sum is
-// unbiased even though the rule is only 1-substitutable (the paper shows
-// it is NOT 2-substitutable, so variance estimates may not be reused; see
-// the package tests, which demonstrate both facts).
 package history
 
 import (

@@ -1,0 +1,43 @@
+// Package keeper implements the scratch-buffer bottom-k "keeper"
+// primitive shared by the library's hot sketches (bottom-k, distinct,
+// budget). It replaces the per-item binary heaps of the original
+// implementations with an amortized O(1) ingest core.
+//
+// # What part of the paper this supports
+//
+// The keeper is pure mechanism: it maintains exactly the state the
+// paper's bottom-k thresholding rule (Ting, SIGMOD 2022, §2) requires —
+// the k+1 smallest priorities seen, with the (k+1)-th as the adaptive
+// threshold — without changing any statistical property. Because
+// bottom-k retention depends only on the multiset of priorities seen,
+// never on arrival order, the settled state is identical to what an
+// eager heap maintains, so every estimator and merge rule built on top
+// is unchanged (equivalence is enforced against preserved heap
+// references in the sketch packages' tests).
+//
+// # How it works
+//
+//   - items at or above a cached rejection threshold are dropped with a
+//     single branch;
+//   - accepted items are appended to a flat unsorted scratch buffer of
+//     capacity ~2(k+1) — no sift, no per-add allocation;
+//   - when the buffer fills, a quickselect (median-of-3 pivots,
+//     insertion-sort base case) compacts it back to the k+1 smallest
+//     priorities and tightens the cached threshold.
+//
+// Each compaction processes ~2(k+1) entries and discards at least k+1 of
+// them, so the amortized cost per accepted item is O(1); rejected items
+// cost exactly one comparison.
+//
+// # Concurrency and ownership contract
+//
+// A Keeper is single-owner state: it is not safe for concurrent use, and
+// the sketch embedding it is its only legitimate writer. Queries observe
+// the keeper through Settle, which compacts any pending scratch entries
+// first. Settling mutates the internal representation but never the
+// logical state; callers that share a keeper-backed sketch across
+// goroutines must serialize queries the same way they serialize Adds
+// (the sharded engine's per-shard mutexes already do). Slices returned
+// by Items remain owned by the keeper and are invalidated by the next
+// Add.
+package keeper

@@ -1,29 +1,3 @@
-// Package keeper implements the scratch-buffer bottom-k "keeper"
-// primitive shared by the library's hot sketches (bottom-k, distinct,
-// budget). It replaces the per-item binary heaps of the original
-// implementations with an amortized O(1) ingest core:
-//
-//   - items at or above a cached rejection threshold are dropped with a
-//     single branch;
-//   - accepted items are appended to a flat unsorted scratch buffer of
-//     capacity ~2(k+1) — no sift, no per-add allocation;
-//   - when the buffer fills, a quickselect (median-of-3 pivots,
-//     insertion-sort base case) compacts it back to the k+1 smallest
-//     priorities and tightens the cached threshold.
-//
-// Each compaction processes ~2(k+1) entries and discards at least k+1 of
-// them, so the amortized cost per accepted item is O(1); rejected items
-// cost exactly one comparison. Because bottom-k retention depends only on
-// the multiset of priorities seen — never on arrival order — the settled
-// state (the k+1 smallest priorities and the threshold) is identical to
-// what the eager heap maintained, so every estimator and merge rule built
-// on top is unchanged.
-//
-// Queries observe the sketch through Settle, which compacts any pending
-// scratch entries first. Settling mutates the internal representation but
-// never the logical state; callers that share a keeper across goroutines
-// must serialize queries the same way they serialize Adds (the sharded
-// engine's per-shard mutexes already do).
 package keeper
 
 import "math"

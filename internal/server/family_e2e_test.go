@@ -1,0 +1,229 @@
+package server
+
+// End-to-end acceptance test of the full sketch family: top-k, varopt
+// and decayed series are ingested and queried through the atsd HTTP
+// surface alongside the original kinds, kind mismatches are 409s, and a
+// snapshot/restore cycle preserves every query response byte-for-byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ats/internal/store"
+	"ats/internal/stream"
+)
+
+func familyConfig() store.Config {
+	return store.Config{
+		Kind:        store.BottomK,
+		K:           1024,
+		Seed:        41,
+		BucketWidth: time.Hour,
+		Retention:   100,
+	}
+}
+
+func TestEndToEndSketchFamily(t *testing.T) {
+	st := store.New(familyConfig())
+	srv := httptest.NewServer(New(st, "").Handler())
+	defer srv.Close()
+
+	// --- ingest one key per kind, heavy enough that sketching engages ---
+	const n = 30_000
+	rng := stream.NewRNG(51)
+	z := stream.NewZipf(5000, 1.4, 52)
+	exactWeight := 0.0
+	exactCount := map[uint64]int{}
+	const chunk = 5000
+	for off := 0; off < n; off += chunk {
+		weighted := make([]addItemT, chunk)
+		counted := make([]addItemT, chunk)
+		unique := make([]addItemT, chunk)
+		for i := range weighted {
+			w := 0.5 + 9.5*rng.Float64()
+			exactWeight += w
+			weighted[i] = addItemT{Key: uint64(off + i), Weight: w, Value: w}
+			k := z.Next()
+			exactCount[k]++
+			counted[i] = addItemT{Key: k, Weight: 1, Value: 1}
+			unique[i] = addItemT{Key: uint64(off + i), Weight: 1, Value: 1}
+		}
+		out := postJSON(t, srv.URL+"/v1/add", []map[string]any{
+			{"namespace": "fam", "metric": "hot-keys", "kind": "topk", "items": counted},
+			{"namespace": "fam", "metric": "weighted", "kind": "varopt", "items": weighted},
+			{"namespace": "fam", "metric": "recent", "kind": "decay", "items": unique},
+		})
+		if int(out["added"].(float64)) != 3*chunk {
+			t.Fatalf("added %v, want %d", out["added"], 3*chunk)
+		}
+	}
+
+	// --- kind-mismatched ingest is a 409 (with added:0) and commits
+	// nothing, both against an existing key and within one request that
+	// contradicts itself about a key it would create ---
+	for name, payload := range map[string]any{
+		"existing key": map[string]any{
+			"namespace": "fam", "metric": "hot-keys", "kind": "varopt",
+			"items": []addItemT{{Key: 1, Weight: 1, Value: 1}},
+		},
+		"intra-request": []map[string]any{
+			{"namespace": "fam", "metric": "fresh", "kind": "topk",
+				"items": []addItemT{{Key: 1, Weight: 1, Value: 1}}},
+			{"namespace": "fam", "metric": "fresh", "kind": "varopt",
+				"items": []addItemT{{Key: 2, Weight: 1, Value: 1}}},
+		},
+	} {
+		body, _ := json.Marshal(payload)
+		resp, err := http.Post(srv.URL+"/v1/add", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("%s cross-kind ingest: status %d, want 409 (%v)", name, resp.StatusCode, out)
+		}
+		if added, ok := out["added"].(float64); !ok || added != 0 {
+			t.Fatalf("%s cross-kind ingest: body %v, want added:0", name, out)
+		}
+		if got := st.Stats().Adds; got != 3*n {
+			t.Fatalf("%s: adds counter %d after rejected ingest, want %d", name, got, 3*n)
+		}
+	}
+
+	// --- keys carry their kinds on the wire ---
+	var keysResp struct {
+		Keys []struct {
+			Namespace, Metric, Kind string
+		} `json:"keys"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/v1/keys"), &keysResp); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]string{}
+	for _, k := range keysResp.Keys {
+		kinds[k.Metric] = k.Kind
+	}
+	for metric, want := range map[string]string{"hot-keys": "topk", "weighted": "varopt", "recent": "decay"} {
+		if kinds[metric] != want {
+			t.Errorf("key %s listed as kind %q, want %q", metric, kinds[metric], want)
+		}
+	}
+
+	type queryResp struct {
+		Result store.Result `json:"result"`
+	}
+	query := func(metric, extra string) ([]byte, store.Result) {
+		body := get(t, srv.URL+"/v1/query?namespace=fam&metric="+metric+"&from=0"+extra)
+		var qr queryResp
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return body, qr.Result
+	}
+
+	// --- topk: ranking covers the true heavy hitters, total is exact ---
+	topkBody, topkRes := query("hot-keys", "&k=20")
+	if topkRes.Kind != "topk" || len(topkRes.TopK) != 20 {
+		t.Fatalf("topk result: %+v", topkRes)
+	}
+	if topkRes.Sum != n {
+		t.Fatalf("topk total %v, want exact %d (USS conserves totals)", topkRes.Sum, n)
+	}
+	wrong := 0
+	for _, item := range topkRes.TopK[:5] {
+		if item.Key >= 10 {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Errorf("top-5 contains %d keys outside the Zipf head: %+v", wrong, topkRes.TopK[:5])
+	}
+	for _, item := range topkRes.TopK[:5] {
+		if exact := float64(exactCount[item.Key]); math.Abs(item.Estimate-exact)/exact > 0.15 {
+			t.Errorf("topk key %d estimate %v vs exact %v", item.Key, item.Estimate, exact)
+		}
+	}
+
+	// --- varopt: weighted subset sum within 5% of exact ---
+	varoptBody, varoptRes := query("weighted", "")
+	if varoptRes.Kind != "varopt" || varoptRes.SampleSize != 1024 {
+		t.Fatalf("varopt result: %+v", varoptRes)
+	}
+	if rel := math.Abs(varoptRes.Sum-exactWeight) / exactWeight; rel > 0.05 {
+		t.Fatalf("varopt sum %v vs exact %v (%.2f%% off)", varoptRes.Sum, exactWeight, 100*rel)
+	}
+	if rel := math.Abs(varoptRes.WeightSum-exactWeight) / exactWeight; rel > 0.05 {
+		t.Fatalf("varopt weight sum %v vs exact %v (%.2f%% off)", varoptRes.WeightSum, exactWeight, 100*rel)
+	}
+
+	// --- decay: everything arrived just now, so the decayed count is
+	// close to the arrival count ---
+	_, decayRes := query("recent", "")
+	if decayRes.Kind != "decay" || decayRes.AsOfUnix == 0 {
+		t.Fatalf("decay result: %+v", decayRes)
+	}
+	if rel := math.Abs(decayRes.DecayedCount-n) / n; rel > 0.2 {
+		t.Fatalf("decayed count %v vs %d arrivals (%.2f%% off)", decayRes.DecayedCount, n, 100*rel)
+	}
+
+	// --- the sample endpoint serves every kind ---
+	for _, metric := range []string{"hot-keys", "weighted", "recent"} {
+		var sr struct {
+			Sample []map[string]any `json:"sample"`
+		}
+		if err := json.Unmarshal(get(t, srv.URL+"/v1/sample?namespace=fam&metric="+metric+"&from=0"), &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Sample) == 0 {
+			t.Errorf("empty sample for %s", metric)
+		}
+	}
+
+	// --- snapshot, restore into a fresh daemon, byte-identical replies ---
+	resp, err := http.Post(srv.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d, %v", resp.StatusCode, err)
+	}
+	st2 := store.New(familyConfig())
+	if err := st2.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(New(st2, "").Handler())
+	defer srv2.Close()
+
+	for metric, want := range map[string][]byte{
+		"hot-keys": topkBody, "weighted": varoptBody,
+	} {
+		extra := ""
+		if metric == "hot-keys" {
+			extra = "&k=20"
+		}
+		got := get(t, srv2.URL+"/v1/query?namespace=fam&metric="+metric+"&from=0"+extra)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: restored query differs:\n  before: %s\n  after:  %s", metric, want, got)
+		}
+	}
+	// The decay reply embeds as_of (wall clock), so compare with the
+	// original as-of instant pinned instead of byte equality.
+	asOf := time.Unix(decayRes.AsOfUnix, 0).Format(time.RFC3339)
+	gotDecay := get(t, srv2.URL+"/v1/query?namespace=fam&metric=recent&from=0&to="+asOf)
+	wantDecay := get(t, srv.URL+"/v1/query?namespace=fam&metric=recent&from=0&to="+asOf)
+	if !bytes.Equal(gotDecay, wantDecay) {
+		t.Fatalf("decay: restored query differs at pinned as-of:\n  before: %s\n  after:  %s", wantDecay, gotDecay)
+	}
+}

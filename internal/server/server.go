@@ -1,13 +1,20 @@
 // Package server is the HTTP serving layer of the atsd daemon: a thin,
 // stdlib-only wire protocol over the multi-tenant sketch store.
 //
-// Endpoints (all JSON unless noted):
+// Endpoints (all JSON unless noted; docs/API.md is the full reference):
 //
-//	POST /v1/add       {"namespace","metric","items":[{"key","weight","value"}]}
-//	                   or a JSON array of such objects; returns {"added":n}
-//	GET  /v1/query     ?namespace=&metric=&from=&to=   range estimates
+//	POST /v1/add       {"namespace","metric","kind","items":[{"key","weight","value"}]}
+//	                   or a JSON array of such objects; returns {"added":n}.
+//	                   "kind" (optional) selects the sketch kind of a key
+//	                   created by this ingest — bottomk, distinct, window,
+//	                   topk, varopt or decay; omitted means the store's
+//	                   default. Ingest into an existing key under a
+//	                   different kind is 409 Conflict.
+//	GET  /v1/query     ?namespace=&metric=&from=&to=&k=  range estimates
+//	                   (fields depend on the key's kind; k bounds the
+//	                   topk ranking)
 //	GET  /v1/sample    ?namespace=&metric=&from=&to=   the merged sample
-//	GET  /v1/keys      live keys
+//	GET  /v1/keys      live keys with their kinds
 //	GET  /v1/stats     store counters + daemon info
 //	POST /v1/snapshot  persist the keyspace; with no configured path the
 //	                   snapshot streams back as application/octet-stream
@@ -104,9 +111,13 @@ func (s *Server) SnapshotToPath() (int64, error) {
 
 // addRequest is one ingest batch on the wire.
 type addRequest struct {
-	Namespace string    `json:"namespace"`
-	Metric    string    `json:"metric"`
-	Items     []addItem `json:"items"`
+	Namespace string `json:"namespace"`
+	Metric    string `json:"metric"`
+	// Kind optionally names the sketch kind a key created by this batch
+	// gets ("bottomk", "distinct", "window", "topk", "varopt", "decay");
+	// empty means the store's default kind.
+	Kind  string    `json:"kind,omitempty"`
+	Items []addItem `json:"items"`
 }
 
 type addItem struct {
@@ -135,27 +146,65 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate every batch before ingesting any: a mid-loop rejection
 	// after partial commits would make client retries double-ingest the
-	// earlier batches.
-	for _, b := range batches {
+	// earlier batches. Kind strings are parsed here and kinds are
+	// pre-checked against both existing keys and keys this same request
+	// would create; the ingest loop below can still race a concurrent
+	// create, in which case it stops at the conflicting batch and
+	// reports how much was committed.
+	kinds := make([]store.Kind, len(batches))
+	pending := make(map[store.Key]store.Kind, len(batches))
+	for i, b := range batches {
 		if b.Namespace == "" || b.Metric == "" {
 			httpError(w, http.StatusBadRequest, "namespace and metric are required")
 			return
 		}
+		kinds[i] = s.st.Config().Kind
+		if b.Kind != "" {
+			k, err := store.ParseKind(b.Kind)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			kinds[i] = k
+		}
+		key := store.Key{Namespace: b.Namespace, Metric: b.Metric}
+		have, known := pending[key]
+		if !known {
+			if h, err := s.st.KindOf(b.Namespace, b.Metric); err == nil {
+				have, known = h, true
+			}
+		}
+		if known && have != kinds[i] {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": fmt.Sprintf("key %s/%s holds a %s sketch, ingest wants %s",
+					b.Namespace, b.Metric, have, kinds[i]),
+				"added": 0,
+			})
+			return
+		}
+		pending[key] = kinds[i]
 	}
 	added := 0
-	for _, b := range batches {
+	for i, b := range batches {
 		if len(b.Items) == 0 {
 			continue
 		}
 		items := make([]engine.Item, len(b.Items))
-		for i, it := range b.Items {
+		for j, it := range b.Items {
 			w := it.Weight
 			if w == 0 {
 				w = 1 // unweighted ingest shorthand
 			}
-			items[i] = engine.Item{Key: it.Key, Weight: w, Value: it.Value}
+			items[j] = engine.Item{Key: it.Key, Weight: w, Value: it.Value}
 		}
-		s.st.AddBatch(b.Namespace, b.Metric, items)
+		if err := s.st.AddBatchKind(b.Namespace, b.Metric, kinds[i], items); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, store.ErrKindMismatch) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error(), "added": added})
+			return
+		}
 		added += len(items)
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"added": added})
@@ -201,7 +250,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.st.Query(ns, metric, from, to)
+	topn := 0
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		topn, err = strconv.Atoi(kq)
+		if err != nil || topn < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad k %q (want a positive integer)", kq))
+			return
+		}
+	}
+	res, err := s.st.QueryTopN(ns, metric, from, to, topn)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, store.ErrUnknownKey) {
@@ -241,8 +298,20 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// keyInfo is one live key with its sketch kind on the wire.
+type keyInfo struct {
+	Namespace string `json:"namespace"`
+	Metric    string `json:"metric"`
+	Kind      string `json:"kind"`
+}
+
 func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"keys": s.st.Keys()})
+	infos := s.st.KeysInfo()
+	out := make([]keyInfo, 0, len(infos))
+	for _, ki := range infos {
+		out = append(out, keyInfo{Namespace: ki.Namespace, Metric: ki.Metric, Kind: ki.Kind.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keys": out})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -256,6 +325,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"retention":    cfg.Retention,
 			"shards":       cfg.Shards,
 			"max_keys":     cfg.MaxKeys,
+			"window_delta": cfg.WindowDelta,
+			"decay_lambda": cfg.DecayLambda,
 		},
 		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
 	})

@@ -1,0 +1,57 @@
+// Package store is the multi-tenant, time-bucketed sketch store: the
+// serving-layer subsystem between the concurrent engine and the atsd
+// daemon.
+//
+// # What part of the paper this implements
+//
+// The store is the "many estimators, one framework" serving surface of
+// Ting, "Adaptive Threshold Sampling" (SIGMOD 2022): every series is an
+// adaptive threshold sampler, and every range query is answered by the
+// paper's merge rules (§2.5, §3.5). A Store owns many named sketches,
+// keyed by (namespace, metric), and each key carries its own sketch
+// kind — bottom-k subset sums, KMV distinct counts (§3.4–3.5),
+// sliding-window samples (§3.2), unbiased space-saving top-k ([30] /
+// §3.3), VarOpt_k weighted samples (§1.1), or exponentially time-decayed
+// samples (§2.9) — fixed at first write or defaulted from the config.
+// Ingest under a different kind is rejected with ErrKindMismatch.
+//
+// # Time bucketing
+//
+// Each key maintains a ring of time buckets of configurable width:
+// ingest is routed into the current bucket's sharded engine sampler, and
+// when the clock crosses a bucket boundary the outgoing bucket is lazily
+// sealed — collapsed to a single sketch — and appended to the ring, with
+// buckets older than the retention horizon dropped. Range queries
+// collapse the covered buckets with the sketches' Merge, which the
+// paper's substitutability theory makes exact for the hash-priority
+// kinds: the merge of N bucket sketches depends only on the union's
+// (key, priority) multiset, so estimates match a single sketch of the
+// whole range's stream and every Horvitz-Thompson estimator stays
+// unbiased. No raw data is retained anywhere — a bucket costs O(k), not
+// O(items).
+//
+// Capacity is bounded per store: when MaxKeys is set, creating a key
+// beyond the bound evicts the least-recently-used key. Stats exposes
+// expvar-style monotonic counters (adds, rotations, evictions, queries)
+// plus keys/buckets gauges.
+//
+// Snapshot/Restore persist the entire keyspace through the universal
+// codec registry (internal/codec): each bucket is one self-describing
+// envelope carrying the codec name of its series' kind, so a snapshot
+// stream decodes without out-of-band schema knowledge, mixed-kind
+// keyspaces round-trip bit-identically, and new sketch kinds become
+// restorable by registering a codec. docs/ARCHITECTURE.md specifies the
+// exact framing.
+//
+// # Concurrency and ownership contract
+//
+// All Store methods are safe for concurrent use. Locking is two-level:
+// a store-wide RWMutex guards only the key table, and a per-series
+// mutex serializes that series' bucket ring. Queries hold the series
+// lock for the whole merge (merging settles sketch internals, so even
+// read-style access is exclusive per key); distinct keys never contend.
+// The store owns every sketch it creates — samplers returned by
+// QuerySample are freshly collapsed copies, and ingest batches are
+// owned by the store for the duration of the call (Window and Decay
+// series overwrite the items' Weight/Time fields in place).
+package store

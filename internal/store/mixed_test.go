@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+
+	"reflect"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/stream"
+)
+
+// mixedConfig pins a synthetic clock so rotation and decay evaluation
+// are deterministic.
+func mixedConfig(now *time.Time) Config {
+	return Config{
+		K: 128, Seed: 9, BucketWidth: time.Minute, Retention: 30, Shards: 2,
+		Now: func() time.Time { return *now },
+	}
+}
+
+// feedMixed creates one key per sketch kind and drives ingest across
+// several buckets. Returns the metric name per kind.
+func feedMixed(t *testing.T, st *Store, now *time.Time) map[Kind]string {
+	t.Helper()
+	metrics := make(map[Kind]string)
+	rng := stream.NewRNG(17)
+	z := stream.NewZipf(500, 1.2, 18)
+	for bucketN := 0; bucketN < 5; bucketN++ {
+		items := make([]engine.Item, 800)
+		for i := range items {
+			w := 1 + 4*rng.Float64()
+			items[i] = engine.Item{Key: z.Next(), Weight: w, Value: w}
+		}
+		for _, kind := range Kinds() {
+			metric := "m-" + kind.String()
+			metrics[kind] = metric
+			batch := make([]engine.Item, len(items))
+			copy(batch, items)
+			if err := st.AddBatchKindAt("mixed", metric, kind, batch, *now); err != nil {
+				t.Fatalf("bucket %d, kind %s: %v", bucketN, kind, err)
+			}
+		}
+		*now = now.Add(time.Minute)
+	}
+	return metrics
+}
+
+// TestMixedKindStoreRoundTrip is the end-to-end contract of the
+// per-series-kind store: one store holding every sketch kind at once
+// snapshots and restores bit-identically, answers the same queries
+// after the round trip, and rejects kind-mismatched ingest with the
+// typed error.
+func TestMixedKindStoreRoundTrip(t *testing.T) {
+	now := epoch
+	st := New(mixedConfig(&now))
+	metrics := feedMixed(t, st, &now)
+
+	if st.Stats().Keys != len(Kinds()) {
+		t.Fatalf("store holds %d keys, want %d", st.Stats().Keys, len(Kinds()))
+	}
+
+	// Kind-mismatched ingest is rejected with the typed error, for both
+	// explicit kinds and the kind-less default path.
+	err := st.AddBatchKind("mixed", metrics[Distinct], TopK,
+		[]engine.Item{{Key: 1, Weight: 1, Value: 1}})
+	if !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("cross-kind ingest: got %v, want ErrKindMismatch", err)
+	}
+	err = st.AddBatch("mixed", metrics[Window], []engine.Item{{Key: 1, Weight: 1, Value: 1}})
+	if !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("default-kind ingest into window series: got %v, want ErrKindMismatch", err)
+	}
+	// The rejected batches must not have touched any series.
+	if got := st.Stats().Adds; got != int64(5*800*len(Kinds())) {
+		t.Fatalf("adds counter %d moved on rejected ingest", got)
+	}
+
+	// Every kind answers its own estimator fields.
+	from, to := epoch, now
+	want := make(map[Kind]Result)
+	for kind, metric := range metrics {
+		res, err := st.Query("mixed", metric, from, to)
+		if err != nil {
+			t.Fatalf("query %s: %v", kind, err)
+		}
+		if res.Kind != kind.String() {
+			t.Errorf("%s: result kind %q", kind, res.Kind)
+		}
+		if res.Buckets == 0 || res.SampleSize == 0 {
+			t.Errorf("%s: empty result %+v", kind, res)
+		}
+		switch kind {
+		case BottomK:
+			if res.Sum <= 0 {
+				t.Errorf("bottomk: no sum in %+v", res)
+			}
+		case Distinct:
+			if res.DistinctEstimate <= 0 {
+				t.Errorf("distinct: no estimate in %+v", res)
+			}
+		case Window:
+			if res.CountEstimate <= 0 && !res.Exact {
+				t.Errorf("window: no count estimate in %+v", res)
+			}
+		case TopK:
+			if len(res.TopK) == 0 || res.Sum != float64(5*800) {
+				t.Errorf("topk: want ranking and exact total %d in %+v", 5*800, res)
+			}
+		case VarOpt:
+			if res.Sum <= 0 || res.WeightSum <= 0 {
+				t.Errorf("varopt: no weighted sums in %+v", res)
+			}
+		case Decay:
+			if res.DecayedSum <= 0 || res.DecayedCount <= 0 || res.AsOfUnix == 0 {
+				t.Errorf("decay: no decayed aggregates in %+v", res)
+			}
+		}
+		if kindName, err := st.KindOf("mixed", metric); err != nil || kindName != kind {
+			t.Errorf("KindOf(%s) = %v, %v", metric, kindName, err)
+		}
+		want[kind] = res
+	}
+
+	// Snapshot → restore → re-query: bit-identical snapshot bytes and
+	// deeply equal query results.
+	var snap1 bytes.Buffer
+	if err := st.Snapshot(&snap1); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New(mixedConfig(&now))
+	if err := st2.Restore(bytes.NewReader(snap1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var snap2 bytes.Buffer
+	if err := st2.Snapshot(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap1.Bytes(), snap2.Bytes()) {
+		t.Fatal("snapshot → restore → snapshot is not bit-identical")
+	}
+	for kind, metric := range metrics {
+		res, err := st2.Query("mixed", metric, from, to)
+		if err != nil {
+			t.Fatalf("restored query %s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(res, want[kind]) {
+			t.Errorf("%s: restored query %+v != original %+v", kind, res, want[kind])
+		}
+	}
+
+	// Restored series keep their kinds: cross-kind ingest still rejected,
+	// in-kind ingest still accepted.
+	if err := st2.AddBatchKind("mixed", metrics[Decay], BottomK,
+		[]engine.Item{{Key: 1, Weight: 1, Value: 1}}); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("restored decay series accepted bottomk ingest: %v", err)
+	}
+	for kind, metric := range metrics {
+		if err := st2.AddBatchKindAt("mixed", metric, kind,
+			[]engine.Item{{Key: 7, Weight: 1, Value: 1}}, now); err != nil {
+			t.Errorf("post-restore ingest into %s: %v", kind, err)
+		}
+	}
+}
+
+// TestMixedKindSnapshotRejectsSwappedKinds ensures a stream whose series
+// kind byte disagrees with its bucket envelopes cannot be restored.
+func TestMixedKindSnapshotRejectsSwappedKinds(t *testing.T) {
+	now := epoch
+	st := New(mixedConfig(&now))
+	if err := st.AddBatchKindAt("ns", "m", TopK,
+		[]engine.Item{{Key: 1, Weight: 1, Value: 1}}, now); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The series kind byte is right after the header (42 bytes) and the
+	// series marker.
+	i := 42 + 1
+	if Kind(data[i]) != TopK {
+		t.Fatalf("test assumption broken: byte %d is %d, want the series kind", i, data[i])
+	}
+	data[i] = uint8(VarOpt)
+	st2 := New(mixedConfig(&now))
+	err := st2.Restore(bytes.NewReader(data))
+	if !errors.Is(err, ErrSnapshotConfig) {
+		t.Fatalf("swapped-kind snapshot restored: %v", err)
+	}
+}
+
+// TestPerKindQueryAgainstExact cross-checks each new kind's estimate
+// against ground truth on a stream small enough to verify directly.
+func TestPerKindQueryAgainstExact(t *testing.T) {
+	now := epoch
+	st := New(mixedConfig(&now))
+	const n = 4000
+	rng := stream.NewRNG(23)
+	exactWeight := 0.0
+	counts := map[uint64]int{}
+	items := make([]engine.Item, 0, n)
+	for i := 0; i < n; i++ {
+		key := uint64(i % 100)
+		w := 1 + rng.Float64()
+		exactWeight += w
+		counts[key]++
+		items = append(items, engine.Item{Key: key, Weight: w, Value: w})
+	}
+	for _, kind := range []Kind{TopK, VarOpt} {
+		batch := make([]engine.Item, len(items))
+		copy(batch, items)
+		if err := st.AddBatchKindAt("ns", kind.String(), kind, batch, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The decay series gets unique keys: its priorities are hash-derived
+	// per key, so duplicated keys would carry perfectly correlated
+	// priorities and degrade the count estimate.
+	decayItems := make([]engine.Item, n)
+	for i := range decayItems {
+		decayItems[i] = engine.Item{Key: uint64(i), Weight: 1, Value: 1}
+	}
+	if err := st.AddBatchKindAt("ns", Decay.String(), Decay, decayItems, now); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := st.Query("ns", "topk", epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform 100-key stream, m=128 counters: every count is tracked
+	// exactly.
+	for _, item := range res.TopK {
+		if int(item.Estimate) != counts[item.Key] {
+			t.Errorf("topk key %d estimate %v, exact %d", item.Key, item.Estimate, counts[item.Key])
+		}
+	}
+
+	res, err = st.Query("ns", "varopt", epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := relDiff(res.WeightSum, exactWeight); rel > 0.15 {
+		t.Errorf("varopt weight sum %v vs exact %v (rel %v)", res.WeightSum, exactWeight, rel)
+	}
+
+	res, err = st.Query("ns", "decay", epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All arrivals at the query instant: nothing has decayed yet, so the
+	// decayed count estimates the number of arrivals.
+	if rel := relDiff(res.DecayedCount, n); rel > 0.2 {
+		t.Errorf("decayed count %v vs %d arrivals (rel %v)", res.DecayedCount, n, rel)
+	}
+}

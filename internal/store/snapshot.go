@@ -15,28 +15,36 @@ import (
 // Snapshot stream format (little-endian):
 //
 //	magic   uint32  "ATSS"
-//	version uint8   1
-//	kind    uint8
+//	version uint8   2
+//	kind    uint8   the store's DEFAULT kind
 //	k       uint32
 //	seed    uint64
 //	width   int64   bucket width in nanoseconds
-//	delta   float64 sliding-window length in seconds (validated for
-//	                window stores; informational otherwise)
+//	delta   float64 sliding-window length in seconds (Window series)
+//	lambda  float64 decay rate per second (Decay series; v2 only)
 //	series records, each:
 //	  marker      uint8  1
+//	  kind        uint8  the series' sketch kind (v2 only)
 //	  nsLen       uint16, namespace bytes
 //	  metricLen   uint16, metric bytes
 //	  bucketCount uint32
 //	  buckets, each: idx int64, then one self-describing codec envelope
 //	marker uint8 0 (end of stream)
 //
+// Version 1 streams (no lambda field, no per-series kind byte: every
+// series is the header kind) are still readable; Snapshot always writes
+// version 2.
+//
 // Every bucket payload goes through the universal codec registry, so the
 // stream stays decodable as sketch kinds evolve: the envelope names the
-// codec, the store only supplies framing.
+// codec, the store only supplies framing. Restore cross-checks each
+// envelope's codec name against the series' kind, so a stream whose
+// framing and payloads disagree is rejected instead of silently
+// mis-typed.
 
 const (
 	snapMagic   = 0x41545353 // "ATSS"
-	snapVersion = 1
+	snapVersion = 2
 )
 
 var (
@@ -68,6 +76,7 @@ func (st *Store) Snapshot(w io.Writer) error {
 	head = binary.LittleEndian.AppendUint64(head, st.cfg.Seed)
 	head = binary.LittleEndian.AppendUint64(head, uint64(st.cfg.BucketWidth))
 	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(st.cfg.WindowDelta))
+	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(st.cfg.DecayLambda))
 	if _, err := bw.Write(head); err != nil {
 		return err
 	}
@@ -109,7 +118,7 @@ func (st *Store) writeSeries(bw *bufio.Writer, key Key, s *series) error {
 	if err := bw.WriteByte(1); err != nil {
 		return err
 	}
-	var frame []byte
+	frame := []byte{uint8(s.kind)}
 	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(key.Namespace)))
 	frame = append(frame, key.Namespace...)
 	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(key.Metric)))
@@ -144,9 +153,10 @@ func (st *Store) writeSeries(bw *bufio.Writer, key Key, s *series) error {
 }
 
 // Restore loads a snapshot written by Snapshot into an empty store whose
-// configuration (kind, k, seed, bucket width) matches the snapshot's.
-// Restored buckets are all sealed; ingest after a restore opens fresh
-// current buckets and merges seamlessly with the restored history.
+// configuration (default kind, k, seed, bucket width, window delta,
+// decay lambda) matches the snapshot's. Restored buckets are all sealed;
+// ingest after a restore opens fresh current buckets and merges
+// seamlessly with the restored history.
 func (st *Store) Restore(r io.Reader) error {
 	st.mu.Lock()
 	if len(st.series) != 0 {
@@ -163,8 +173,9 @@ func (st *Store) Restore(r io.Reader) error {
 	if binary.LittleEndian.Uint32(head[:]) != snapMagic {
 		return fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
 	}
-	if head[4] != snapVersion {
-		return fmt.Errorf("%w: version %d", ErrSnapshotCorrupt, head[4])
+	version := head[4]
+	if version != 1 && version != snapVersion {
+		return fmt.Errorf("%w: version %d", ErrSnapshotCorrupt, version)
 	}
 	if Kind(head[5]) != st.cfg.Kind {
 		return fmt.Errorf("%w: snapshot kind %s, store kind %s", ErrSnapshotConfig, Kind(head[5]), st.cfg.Kind)
@@ -178,10 +189,19 @@ func (st *Store) Restore(r io.Reader) error {
 	if w := int64(binary.LittleEndian.Uint64(head[18:])); w != int64(st.cfg.BucketWidth) {
 		return fmt.Errorf("%w: snapshot bucket width %d, store %d", ErrSnapshotConfig, w, int64(st.cfg.BucketWidth))
 	}
-	if delta := math.Float64frombits(binary.LittleEndian.Uint64(head[26:])); st.cfg.Kind == Window && delta != st.cfg.WindowDelta {
+	if delta := math.Float64frombits(binary.LittleEndian.Uint64(head[26:])); delta != st.cfg.WindowDelta {
 		// A delta mismatch would not fail until the first range query
-		// tries to merge restored buckets; reject it up front.
+		// tries to merge restored window buckets; reject it up front.
 		return fmt.Errorf("%w: snapshot window delta %v, store %v", ErrSnapshotConfig, delta, st.cfg.WindowDelta)
+	}
+	if version >= 2 {
+		var lam [8]byte
+		if _, err := io.ReadFull(br, lam[:]); err != nil {
+			return fmt.Errorf("%w: header: %v", ErrSnapshotCorrupt, err)
+		}
+		if lambda := math.Float64frombits(binary.LittleEndian.Uint64(lam[:])); lambda != st.cfg.DecayLambda {
+			return fmt.Errorf("%w: snapshot decay lambda %v, store %v", ErrSnapshotConfig, lambda, st.cfg.DecayLambda)
+		}
 	}
 
 	restored := make(map[Key]*series)
@@ -196,7 +216,18 @@ func (st *Store) Restore(r io.Reader) error {
 		if marker != 1 {
 			return fmt.Errorf("%w: bad series marker %d", ErrSnapshotCorrupt, marker)
 		}
-		key, s, err := st.readSeries(br)
+		kind := st.cfg.Kind
+		if version >= 2 {
+			kb, err := br.ReadByte()
+			if err != nil {
+				return fmt.Errorf("%w: series kind: %v", ErrSnapshotCorrupt, err)
+			}
+			if kb > uint8(Decay) {
+				return fmt.Errorf("%w: unknown series kind %d", ErrSnapshotCorrupt, kb)
+			}
+			kind = Kind(kb)
+		}
+		key, s, err := st.readSeries(br, kind)
 		if err != nil {
 			return err
 		}
@@ -216,7 +247,7 @@ func (st *Store) Restore(r io.Reader) error {
 	return nil
 }
 
-func (st *Store) readSeries(br *bufio.Reader) (Key, *series, error) {
+func (st *Store) readSeries(br *bufio.Reader, kind Kind) (Key, *series, error) {
 	readString := func() (string, error) {
 		var n [2]byte
 		if _, err := io.ReadFull(br, n[:]); err != nil {
@@ -245,7 +276,7 @@ func (st *Store) readSeries(br *bufio.Reader) (Key, *series, error) {
 	// length-checked envelope — so a huge claimed count cannot force a
 	// huge allocation, it just runs the reader into EOF.
 	count := int(binary.LittleEndian.Uint32(cnt[:]))
-	s := &series{curIdx: -1 << 62}
+	s := &series{kind: kind, curIdx: -1 << 62}
 	lastIdx := int64(math.MinInt64)
 	for i := 0; i < count; i++ {
 		var idxBuf [8]byte
@@ -261,25 +292,31 @@ func (st *Store) readSeries(br *bufio.Reader) (Key, *series, error) {
 		if err != nil {
 			return Key{}, nil, fmt.Errorf("store: bucket %d of %s/%s: %w", idx, ns, metric, err)
 		}
+		if name != kindCodecName(kind) {
+			return Key{}, nil, fmt.Errorf("%w: bucket codec %q in a %s series", ErrSnapshotConfig, name, kind)
+		}
 		sampler, err := engine.WrapDecoded(name, v)
 		if err != nil {
 			return Key{}, nil, err
-		}
-		if name != st.kindCodecName() {
-			return Key{}, nil, fmt.Errorf("%w: bucket codec %q in a %s store", ErrSnapshotConfig, name, st.cfg.Kind)
 		}
 		s.sealed = append(s.sealed, bucket{idx: idx, s: sampler})
 	}
 	return key, s, nil
 }
 
-// kindCodecName maps the store kind to its registered codec name.
-func (st *Store) kindCodecName() string {
-	switch st.cfg.Kind {
+// kindCodecName maps a sketch kind to its registered codec name.
+func kindCodecName(kind Kind) string {
+	switch kind {
 	case Distinct:
 		return codec.NameDistinct
 	case Window:
 		return codec.NameWindow
+	case TopK:
+		return codec.NameTopK
+	case VarOpt:
+		return codec.NameVarOpt
+	case Decay:
+		return codec.NameDecay
 	default:
 		return codec.NameBottomK
 	}

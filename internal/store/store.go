@@ -1,30 +1,3 @@
-// Package store is the multi-tenant, time-bucketed sketch store: the
-// serving-layer subsystem between the concurrent engine and the atsd
-// daemon.
-//
-// A Store owns many named sketches, keyed by (namespace, metric). Each
-// key maintains a ring of time buckets of configurable width: ingest is
-// routed into the current bucket's sharded engine sampler, and when the
-// clock crosses a bucket boundary the outgoing bucket is lazily sealed —
-// collapsed to a single sketch — and appended to the ring, with buckets
-// older than the retention horizon dropped. Range queries collapse the
-// covered buckets with the sketches' Merge, which the paper's
-// substitutability theory makes exact: bottom-k and KMV sketches depend
-// only on the multiset of (key, priority) pairs, so the merge of N bucket
-// sketches is bit-identical to the sketch of the whole range's stream,
-// and every Horvitz-Thompson estimator stays unbiased. No raw data is
-// retained anywhere — a bucket costs O(k), not O(items).
-//
-// Capacity is bounded per store: when MaxKeys is set, creating a key
-// beyond the bound evicts the least-recently-used key. Stats exposes
-// expvar-style monotonic counters (adds, rotations, evictions, queries)
-// plus keys/buckets gauges.
-//
-// Snapshot/Restore persist the entire keyspace through the universal
-// codec registry (internal/codec): each bucket is one self-describing
-// envelope, so a snapshot stream decodes without out-of-band schema
-// knowledge and new sketch kinds become restorable by registering a
-// codec.
 package store
 
 import (
@@ -37,13 +10,19 @@ import (
 	"time"
 
 	"ats/internal/bottomk"
+	"ats/internal/decay"
 	"ats/internal/distinct"
 	"ats/internal/engine"
 	"ats/internal/stream"
+	"ats/internal/topk"
+	"ats/internal/varopt"
 	"ats/internal/window"
 )
 
-// Kind selects the sketch type a Store maintains per time bucket.
+// Kind selects the sketch type of one series. Every key carries its own
+// kind, fixed at first write (by the kind-aware ingest paths) or
+// defaulted from the store config; later ingest under a different kind
+// is rejected with ErrKindMismatch.
 type Kind uint8
 
 const (
@@ -57,6 +36,16 @@ const (
 	// uniform samples of recent arrivals. Arrival times are stamped by
 	// the store clock.
 	Window
+	// TopK maintains unbiased space-saving sketches: range queries
+	// answer heavy-hitter rankings and unbiased disaggregated counts.
+	TopK
+	// VarOpt maintains VarOpt_k variance-optimal weighted samplers:
+	// range queries answer weighted subset sums.
+	VarOpt
+	// Decay maintains exponentially time-decayed samplers: range queries
+	// answer decayed sums and counts evaluated at the query range's end.
+	// Arrival times are stamped by the store clock.
+	Decay
 )
 
 // String returns the wire/flag name of the kind.
@@ -68,6 +57,12 @@ func (k Kind) String() string {
 		return "distinct"
 	case Window:
 		return "window"
+	case TopK:
+		return "topk"
+	case VarOpt:
+		return "varopt"
+	case Decay:
+		return "decay"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -81,9 +76,18 @@ func ParseKind(s string) (Kind, error) {
 		return Distinct, nil
 	case "window":
 		return Window, nil
+	case "topk":
+		return TopK, nil
+	case "varopt":
+		return VarOpt, nil
+	case "decay":
+		return Decay, nil
 	}
 	return 0, fmt.Errorf("store: unknown sketch kind %q", s)
 }
+
+// Kinds lists every sketch kind a store can serve, in wire order.
+func Kinds() []Kind { return []Kind{BottomK, Distinct, Window, TopK, VarOpt, Decay} }
 
 // Key identifies one sketch series: a tenant namespace and a metric name.
 type Key struct {
@@ -94,7 +98,10 @@ type Key struct {
 // Config parameterizes a Store. The zero value is not usable; Kind, K and
 // BucketWidth selection happen through New's defaulting.
 type Config struct {
-	// Kind is the sketch type (default BottomK).
+	// Kind is the DEFAULT sketch type of new keys created by the
+	// kind-less ingest paths (default BottomK). Each key carries its own
+	// kind; the kind-aware ingest paths may create keys of any kind in
+	// the same store.
 	Kind Kind
 	// K is the per-bucket sketch size (default 1024).
 	K int
@@ -113,9 +120,13 @@ type Config struct {
 	// MaxKeys bounds the number of live keys; 0 means unbounded. At the
 	// bound, creating a new key evicts the least-recently-used one.
 	MaxKeys int
-	// WindowDelta is the sliding-window length in seconds for Kind ==
-	// Window (default BucketWidth in seconds).
+	// WindowDelta is the sliding-window length in seconds for Window
+	// series (default BucketWidth in seconds).
 	WindowDelta float64
+	// DecayLambda is the decay rate per second for Decay series
+	// (default ln 2 / BucketWidth in seconds — a half-life of one
+	// bucket).
+	DecayLambda float64
 	// Now is the store clock (default time.Now). Tests and benchmarks
 	// inject synthetic clocks to drive rotation deterministically.
 	Now func() time.Time
@@ -139,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WindowDelta <= 0 {
 		c.WindowDelta = c.BucketWidth.Seconds()
+	}
+	if c.DecayLambda <= 0 {
+		c.DecayLambda = math.Ln2 / c.BucketWidth.Seconds()
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -179,7 +193,9 @@ type Store struct {
 // series is the per-key state: the current bucket's concurrent engine
 // plus the ring of sealed (collapsed) buckets in ascending bucket order.
 type series struct {
-	mu sync.Mutex
+	// kind is fixed at series creation and never changes.
+	kind Kind
+	mu   sync.Mutex
 	// cur is the engine of the current bucket (nil before the first add
 	// after a restore).
 	cur    *engine.Sharded
@@ -206,16 +222,18 @@ func New(cfg Config) *Store {
 // Config returns the store's effective (defaulted) configuration.
 func (st *Store) Config() Config { return st.cfg }
 
-// factoryAt returns the engine factory for the bucket at index idx.
-// Shard index -1 builds collapse/merge targets. Bottom-k and distinct
-// sketches hash priorities from keys and ignore idx; window samplers
-// draw priorities from RNG streams, so every (bucket, shard) pair gets
-// its own decorrelated stream — re-using one stream across buckets
-// would correlate priorities within a range sample that spans a
-// rotation (the window outliving the bucket width makes that overlap
-// routine) and bias the HT count estimate.
-func (st *Store) factoryAt(idx int64) engine.Factory {
-	switch st.cfg.Kind {
+// factoryFor returns the engine factory for a bucket of the given kind
+// at index idx. Shard index -1 builds collapse/merge targets. Bottom-k,
+// distinct and decayed sketches hash priorities from keys and ignore
+// idx; window samplers, varopt samplers and unbiased space-saving
+// sketches draw from RNG streams, so every (bucket, shard) pair gets its
+// own decorrelated stream — re-using one stream across buckets would
+// correlate randomness within a range collapse that spans a rotation and
+// bias the estimates. (For varopt and top-k the collapse target DOES
+// consume randomness while merging; it uses bucket 0's spare seed, so
+// repeated collapses of the same restored buckets stay bit-identical.)
+func (st *Store) factoryFor(kind Kind, idx int64) engine.Factory {
+	switch kind {
 	case Distinct:
 		return func(int) engine.Sampler {
 			return engine.WrapDistinct(distinct.NewSketch(st.cfg.K, st.cfg.Seed))
@@ -231,6 +249,28 @@ func (st *Store) factoryAt(idx int64) engine.Factory {
 			}
 			return engine.WrapWindow(window.New(st.cfg.K, st.cfg.WindowDelta, seeds[i]))
 		}
+	case TopK:
+		seeds := stream.ForkSeeds(stream.Hash64(uint64(idx), st.cfg.Seed^0x746f706b), st.cfg.Shards+1)
+		return func(shard int) engine.Sampler {
+			i := shard
+			if i < 0 {
+				i = st.cfg.Shards
+			}
+			return engine.WrapTopK(topk.NewUnbiasedSpaceSaving(st.cfg.K, seeds[i]))
+		}
+	case VarOpt:
+		seeds := stream.ForkSeeds(stream.Hash64(uint64(idx), st.cfg.Seed^0x7661726f), st.cfg.Shards+1)
+		return func(shard int) engine.Sampler {
+			i := shard
+			if i < 0 {
+				i = st.cfg.Shards
+			}
+			return engine.WrapVarOpt(varopt.New(st.cfg.K, seeds[i]))
+		}
+	case Decay:
+		return func(int) engine.Sampler {
+			return engine.WrapDecayed(decay.New(st.cfg.K, st.cfg.DecayLambda, st.cfg.Seed))
+		}
 	default:
 		return func(int) engine.Sampler {
 			return engine.WrapBottomK(bottomk.New(st.cfg.K, st.cfg.Seed))
@@ -243,30 +283,34 @@ func (st *Store) bucketIndex(t time.Time) int64 {
 	return t.UnixNano() / int64(st.cfg.BucketWidth)
 }
 
-// getOrCreate returns the series for key, creating it (and evicting the
-// LRU key if the store is at capacity) on first use.
-func (st *Store) getOrCreate(key Key) *series {
+// getOrCreate returns the series for key, creating it with the given
+// kind (and evicting the LRU key if the store is at capacity) on first
+// use. An existing series of a different kind is a kind mismatch.
+func (st *Store) getOrCreate(key Key, kind Kind) (*series, error) {
 	st.mu.RLock()
 	s := st.series[key]
 	st.mu.RUnlock()
-	if s != nil {
-		return s
+	if s == nil {
+		st.mu.Lock()
+		if s = st.series[key]; s == nil {
+			if st.cfg.MaxKeys > 0 && len(st.series) >= st.cfg.MaxKeys {
+				st.evictLRULocked()
+			}
+			s = &series{kind: kind, curIdx: -1 << 62}
+			// Stamp the LRU clock before the series becomes visible: a
+			// zero touched value would make the brand-new key the
+			// eviction victim of a concurrent create, orphaning the
+			// caller's in-flight batch.
+			s.touched.Store(st.cfg.Now().UnixNano())
+			st.series[key] = s
+		}
+		st.mu.Unlock()
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if s = st.series[key]; s != nil {
-		return s
+	if s.kind != kind {
+		return nil, fmt.Errorf("%w: %s/%s is %s, ingest wants %s",
+			ErrKindMismatch, key.Namespace, key.Metric, s.kind, kind)
 	}
-	if st.cfg.MaxKeys > 0 && len(st.series) >= st.cfg.MaxKeys {
-		st.evictLRULocked()
-	}
-	s = &series{curIdx: -1 << 62}
-	// Stamp the LRU clock before the series becomes visible: a zero
-	// touched value would make the brand-new key the eviction victim of
-	// a concurrent create, orphaning the caller's in-flight batch.
-	s.touched.Store(st.cfg.Now().UnixNano())
-	st.series[key] = s
-	return s
+	return s, nil
 }
 
 // evictLRULocked drops the least-recently-touched series. Caller holds
@@ -284,34 +328,59 @@ func (st *Store) evictLRULocked() {
 	st.evictions.Add(1)
 }
 
-// Add offers one item to (namespace, metric) at the store clock.
-func (st *Store) Add(namespace, metric string, key uint64, weight, value float64) {
-	st.AddBatchAt(namespace, metric, []engine.Item{{Key: key, Weight: weight, Value: value}}, st.cfg.Now())
+// Add offers one item to (namespace, metric) at the store clock, under
+// the store's default kind.
+func (st *Store) Add(namespace, metric string, key uint64, weight, value float64) error {
+	return st.AddBatchAt(namespace, metric, []engine.Item{{Key: key, Weight: weight, Value: value}}, st.cfg.Now())
 }
 
 // AddBatch offers a batch of items to (namespace, metric) at the store
-// clock, amortizing locks and rotation checks over the batch.
-func (st *Store) AddBatch(namespace, metric string, items []engine.Item) {
-	st.AddBatchAt(namespace, metric, items, st.cfg.Now())
+// clock under the store's default kind, amortizing locks and rotation
+// checks over the batch.
+func (st *Store) AddBatch(namespace, metric string, items []engine.Item) error {
+	return st.AddBatchAt(namespace, metric, items, st.cfg.Now())
 }
 
 // AddBatchAt is AddBatch with an explicit ingest instant, the
-// deterministic entry point for tests and benchmarks. For Window stores
-// the items' Weight field is overwritten with the arrival time in unix
-// seconds (the window sampler's time axis); callers of bottom-k and
-// distinct stores own Weight.
-func (st *Store) AddBatchAt(namespace, metric string, items []engine.Item, at time.Time) {
+// deterministic entry point for tests and benchmarks.
+func (st *Store) AddBatchAt(namespace, metric string, items []engine.Item, at time.Time) error {
+	return st.AddBatchKindAt(namespace, metric, st.cfg.Kind, items, at)
+}
+
+// AddBatchKind offers a batch of items to (namespace, metric) at the
+// store clock, creating the key with the given sketch kind on first
+// write. Ingest into an existing key of a different kind returns
+// ErrKindMismatch without touching the series.
+func (st *Store) AddBatchKind(namespace, metric string, kind Kind, items []engine.Item) error {
+	return st.AddBatchKindAt(namespace, metric, kind, items, st.cfg.Now())
+}
+
+// AddBatchKindAt is AddBatchKind with an explicit ingest instant. For
+// Window series the items' Weight field is overwritten with the arrival
+// time in unix seconds (the window sampler's time axis); for Decay
+// series the Time field is stamped the same way (the decay axis);
+// callers of the other kinds own every field.
+func (st *Store) AddBatchKindAt(namespace, metric string, kind Kind, items []engine.Item, at time.Time) error {
 	if len(items) == 0 {
-		return
+		return nil
 	}
 	key := Key{Namespace: namespace, Metric: metric}
-	s := st.getOrCreate(key)
+	s, err := st.getOrCreate(key, kind)
+	if err != nil {
+		return err
+	}
 	s.touched.Store(at.UnixNano())
 
-	if st.cfg.Kind == Window {
+	switch s.kind {
+	case Window:
 		secs := float64(at.UnixNano()) / float64(time.Second)
 		for i := range items {
 			items[i].Weight = secs
+		}
+	case Decay:
+		secs := float64(at.UnixNano()) / float64(time.Second)
+		for i := range items {
+			items[i].Time = secs
 		}
 	}
 
@@ -327,6 +396,7 @@ func (st *Store) AddBatchAt(namespace, metric string, items []engine.Item, at ti
 	// unbiased regardless of which bucket an item landed in.
 	s.cur.AddBatch(items)
 	st.adds.Add(int64(len(items)))
+	return nil
 }
 
 // rotateLocked seals the current bucket (if any) and starts a fresh one
@@ -350,16 +420,26 @@ func (st *Store) rotateLocked(s *series, idx int64) {
 	if drop > 0 {
 		s.sealed = append(s.sealed[:0], s.sealed[drop:]...)
 	}
-	s.cur = engine.NewSharded(st.cfg.Shards, st.factoryAt(idx))
+	s.cur = engine.NewSharded(st.cfg.Shards, st.factoryFor(s.kind, idx))
 	s.curIdx = idx
 }
 
-// Result is the answer to a range query, with the estimator fields of the
-// store's kind populated.
+// TopKItem is one ranked entry of a top-k query result.
+type TopKItem struct {
+	Key uint64 `json:"key"`
+	// Estimate is the unbiased estimate of the key's total appearances
+	// in the queried range.
+	Estimate float64 `json:"estimate"`
+}
+
+// Result is the answer to a range query, with the estimator fields of
+// the series' kind populated.
 type Result struct {
 	Kind    string `json:"kind"`
 	Buckets int    `json:"buckets"`
-	// Sum and VarianceEstimate answer subset-sum queries (BottomK).
+	// Sum and VarianceEstimate answer subset-sum queries (BottomK). Sum
+	// is reused by TopK (the exact total count — USS conserves totals)
+	// and by VarOpt (the weighted subset-sum HT estimate of Σ value).
 	Sum              float64 `json:"sum,omitempty"`
 	VarianceEstimate float64 `json:"variance_estimate,omitempty"`
 	// DistinctEstimate answers cardinality queries (Distinct).
@@ -367,10 +447,23 @@ type Result struct {
 	// CountEstimate is the HT estimate of the arrival count in the
 	// merged window sample (Window).
 	CountEstimate float64 `json:"count_estimate,omitempty"`
+	// TopK ranks the heaviest keys with unbiased count estimates (TopK).
+	TopK []TopKItem `json:"topk,omitempty"`
+	// WeightSum is the unbiased estimate of the total weight offered
+	// (VarOpt; the subset-sum-weighted response).
+	WeightSum float64 `json:"weight_sum,omitempty"`
+	// DecayedSum and DecayedCount are the exponentially time-decayed
+	// value sum and population size, evaluated at AsOfUnix (Decay).
+	DecayedSum   float64 `json:"decayed_sum,omitempty"`
+	DecayedCount float64 `json:"decayed_count,omitempty"`
+	AsOfUnix     int64   `json:"as_of_unix,omitempty"`
 	// SampleSize and Threshold describe the merged sample. A bottom-k
-	// sketch below capacity has an infinite threshold (every item is
-	// retained and the estimate is exact); that state is reported as
-	// Exact=true with Threshold 0 so the result stays JSON-encodable.
+	// (or decayed) sketch below capacity has an infinite threshold
+	// (every item is retained and the estimate is exact); that state is
+	// reported as Exact=true with Threshold 0 so the result stays
+	// JSON-encodable. For TopK the threshold is the smallest tracked
+	// counter; for VarOpt it is tau; for Decay it is the log-space
+	// threshold.
 	SampleSize int     `json:"sample_size"`
 	Threshold  float64 `json:"threshold"`
 	Exact      bool    `json:"exact,omitempty"`
@@ -379,26 +472,31 @@ type Result struct {
 // ErrUnknownKey reports a query for a key the store does not hold.
 var ErrUnknownKey = errors.New("store: unknown key")
 
+// ErrKindMismatch reports ingest into an existing key under a different
+// sketch kind than the one the key was created with.
+var ErrKindMismatch = errors.New("store: sketch kind mismatch")
+
 // collapseRange merges every bucket overlapping [from, to] into a fresh
 // sampler, in ascending bucket order (current bucket last), and returns
-// it with the number of buckets merged. The series lock is held for the
-// duration: sealed sketches settle their internal representation during
-// merges, so even read-style access must be exclusive per key.
-func (st *Store) collapseRange(key Key, from, to time.Time) (engine.Sampler, int, error) {
+// it with the series kind and the number of buckets merged. The series
+// lock is held for the duration: sealed sketches settle their internal
+// representation during merges, so even read-style access must be
+// exclusive per key.
+func (st *Store) collapseRange(key Key, from, to time.Time) (engine.Sampler, Kind, int, error) {
 	st.mu.RLock()
 	s := st.series[key]
 	st.mu.RUnlock()
 	if s == nil {
-		return nil, 0, fmt.Errorf("%w: %s/%s", ErrUnknownKey, key.Namespace, key.Metric)
+		return nil, 0, 0, fmt.Errorf("%w: %s/%s", ErrUnknownKey, key.Namespace, key.Metric)
 	}
 	s.touched.Store(st.cfg.Now().UnixNano())
 	fromIdx := st.bucketIndex(from)
 	toIdx := st.bucketIndex(to)
 	if to.Before(from) {
-		return nil, 0, fmt.Errorf("store: query range ends (%v) before it starts (%v)", to, from)
+		return nil, 0, 0, fmt.Errorf("store: query range ends (%v) before it starts (%v)", to, from)
 	}
 
-	out := st.factoryAt(0)(-1)
+	out := st.factoryFor(s.kind, 0)(-1)
 	merged := 0
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -407,36 +505,49 @@ func (st *Store) collapseRange(key Key, from, to time.Time) (engine.Sampler, int
 			continue
 		}
 		if err := out.Merge(b.s); err != nil {
-			return nil, 0, fmt.Errorf("store: merging bucket %d: %w", b.idx, err)
+			return nil, 0, 0, fmt.Errorf("store: merging bucket %d: %w", b.idx, err)
 		}
 		merged++
 	}
 	if s.cur != nil && s.curIdx >= fromIdx && s.curIdx <= toIdx {
 		snap, err := s.cur.Snapshot()
 		if err != nil {
-			return nil, 0, fmt.Errorf("store: collapsing current bucket: %w", err)
+			return nil, 0, 0, fmt.Errorf("store: collapsing current bucket: %w", err)
 		}
 		if err := out.Merge(snap); err != nil {
-			return nil, 0, fmt.Errorf("store: merging current bucket: %w", err)
+			return nil, 0, 0, fmt.Errorf("store: merging current bucket: %w", err)
 		}
 		merged++
 	}
-	return out, merged, nil
+	return out, s.kind, merged, nil
 }
 
+// defaultTopN bounds the ranking returned by Query for TopK series;
+// QueryTopN takes an explicit bound.
+const defaultTopN = 10
+
 // Query collapses the buckets of (namespace, metric) overlapping
-// [from, to] via sketch merges and returns the kind's estimates.
+// [from, to] via sketch merges and returns the series kind's estimates.
 func (st *Store) Query(namespace, metric string, from, to time.Time) (Result, error) {
+	return st.QueryTopN(namespace, metric, from, to, defaultTopN)
+}
+
+// QueryTopN is Query with an explicit bound on the TopK ranking length
+// (topn <= 0 means the default); the bound only affects TopK series.
+func (st *Store) QueryTopN(namespace, metric string, from, to time.Time, topn int) (Result, error) {
 	st.queries.Add(1)
-	out, merged, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
+	out, kind, merged, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Kind: st.cfg.Kind.String(), Buckets: merged, Threshold: out.Threshold()}
+	if topn <= 0 {
+		topn = defaultTopN
+	}
+	res := Result{Kind: kind.String(), Buckets: merged, Threshold: out.Threshold()}
 	if math.IsInf(res.Threshold, 1) {
 		res.Threshold, res.Exact = 0, true
 	}
-	switch st.cfg.Kind {
+	switch kind {
 	case Distinct:
 		sk := out.(*engine.DistinctSampler).Sketch()
 		res.DistinctEstimate = sk.Estimate()
@@ -447,6 +558,32 @@ func (st *Store) Query(namespace, metric string, from, to time.Time) (Result, er
 		if t := res.Threshold; t > 0 {
 			res.CountEstimate = float64(len(sample)) / t
 		}
+	case TopK:
+		sk := out.(*engine.TopKSampler).Sketch()
+		res.Sum = float64(sk.SubsetSum(nil)) // exact: USS conserves totals
+		res.SampleSize = sk.Len()
+		for _, r := range sk.TopK(topn) {
+			res.TopK = append(res.TopK, TopKItem{Key: r.Key, Estimate: float64(r.Estimate)})
+		}
+	case VarOpt:
+		sk := out.(*engine.VarOptSampler).Sketch()
+		res.Sum = sk.SubsetSum(nil)
+		res.WeightSum = sk.EstimateWeight()
+		res.SampleSize = sk.Len()
+		res.Exact = sk.Tau() == 0 // below capacity: the sample is the stream
+	case Decay:
+		sk := out.(*engine.DecaySampler).Sketch()
+		asOf := to
+		if now := st.cfg.Now(); to.After(now) {
+			// An open-ended range ("to = now or later") decays to the
+			// present, not to the range's nominal end.
+			asOf = now
+		}
+		t := float64(asOf.UnixNano()) / float64(time.Second)
+		res.DecayedSum = sk.DecayedSum(t, nil)
+		res.DecayedCount = sk.DecayedCount(t)
+		res.AsOfUnix = asOf.Unix()
+		res.SampleSize = sk.SampleSize()
 	default:
 		sk := out.(*engine.BottomKSampler).Sketch()
 		res.Sum, res.VarianceEstimate = sk.SubsetSum(nil)
@@ -460,11 +597,22 @@ func (st *Store) Query(namespace, metric string, from, to time.Time) (Result, er
 // own estimators.
 func (st *Store) QuerySample(namespace, metric string, from, to time.Time) ([]engine.Sample, error) {
 	st.queries.Add(1)
-	out, _, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
+	out, _, _, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
 	if err != nil {
 		return nil, err
 	}
 	return out.Sample(), nil
+}
+
+// KindOf returns the sketch kind of an existing key.
+func (st *Store) KindOf(namespace, metric string) (Kind, error) {
+	st.mu.RLock()
+	s := st.series[Key{Namespace: namespace, Metric: metric}]
+	st.mu.RUnlock()
+	if s == nil {
+		return 0, fmt.Errorf("%w: %s/%s", ErrUnknownKey, namespace, metric)
+	}
+	return s.kind, nil
 }
 
 // Keys returns the live keys, sorted by namespace then metric.
@@ -473,6 +621,30 @@ func (st *Store) Keys() []Key {
 	out := make([]Key, 0, len(st.series))
 	for k := range st.series {
 		out = append(out, k)
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Namespace != out[j].Namespace {
+			return out[i].Namespace < out[j].Namespace
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// KeyInfo is one live key together with its sketch kind.
+type KeyInfo struct {
+	Key
+	Kind Kind `json:"kind"`
+}
+
+// KeysInfo returns the live keys with their kinds, read in one pass
+// under one lock, sorted by namespace then metric.
+func (st *Store) KeysInfo() []KeyInfo {
+	st.mu.RLock()
+	out := make([]KeyInfo, 0, len(st.series))
+	for k, s := range st.series {
+		out = append(out, KeyInfo{Key: k, Kind: s.kind})
 	}
 	st.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {

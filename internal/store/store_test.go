@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -299,7 +300,7 @@ func TestSnapshotRestoreBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if res != want[key.Namespace+"/"+key.Metric] {
+				if !reflect.DeepEqual(res, want[key.Namespace+"/"+key.Metric]) {
 					t.Fatalf("%s/%s: restored query %+v != original %+v",
 						key.Namespace, key.Metric, res, want[key.Namespace+"/"+key.Metric])
 				}

@@ -1,0 +1,124 @@
+package topk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Serialization format of the Unbiased Space Saving sketch
+// (little-endian):
+//
+//	magic   uint32  "ATSk"
+//	version uint8   1
+//	m       uint32
+//	n       uint64
+//	rng     4 × uint64  xoshiro256** state
+//	count   uint32  number of tracked counters (<= m)
+//	entries count × (key uint64, count int64), strictly ascending by key
+//
+// The format captures the sketch's full state including the RNG
+// position, so original and restored copies make identical takeover and
+// merge decisions under identical future input. Entries are written in
+// key order, which makes the encoding canonical: marshal ∘ unmarshal is
+// the identity on bytes, the property the store's bit-identical
+// snapshot/restore round trip relies on.
+
+const (
+	ussMagic   = 0x4154536b // "ATSk"
+	ussVersion = 1
+
+	ussHeader    = 4 + 1 + 4 + 8 + 32 + 4
+	ussEntrySize = 16
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("topk: corrupt serialized sketch")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("topk: unsupported serialization version")
+)
+
+// MarshalBinary serializes the sketch in canonical (key-sorted) form.
+func (s *UnbiasedSpaceSaving) MarshalBinary() ([]byte, error) {
+	entries := s.Counters()
+	buf := make([]byte, 0, ussHeader+len(entries)*ussEntrySize)
+	buf = binary.LittleEndian.AppendUint32(buf, ussMagic)
+	buf = append(buf, ussVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.m))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	for _, w := range s.rng.State() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Estimate))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary,
+// overwriting the receiver.
+func (s *UnbiasedSpaceSaving) UnmarshalBinary(data []byte) error {
+	if len(data) < ussHeader {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != ussMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != ussVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	m := int(binary.LittleEndian.Uint32(data[5:]))
+	if m <= 0 {
+		return fmt.Errorf("%w: non-positive m", ErrCorrupt)
+	}
+	n := int64(binary.LittleEndian.Uint64(data[9:]))
+	if n < 0 {
+		return fmt.Errorf("%w: negative n", ErrCorrupt)
+	}
+	var st [4]uint64
+	for i := range st {
+		st[i] = binary.LittleEndian.Uint64(data[17+8*i:])
+	}
+	count := int(binary.LittleEndian.Uint32(data[49:]))
+	if count > m {
+		return fmt.Errorf("%w: %d counters for m=%d", ErrCorrupt, count, m)
+	}
+	// Length is validated against the declared count BEFORE any
+	// count-sized allocation, so a crafted header claiming billions of
+	// counters with a tiny body is rejected without allocating.
+	if len(data) != ussHeader+count*ussEntrySize {
+		return fmt.Errorf("%w: body is %d bytes, want %d counters", ErrCorrupt, len(data)-ussHeader, count)
+	}
+	restored := NewUnbiasedSpaceSaving(m, 0)
+	if err := restored.rng.SetState(st); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	off := ussHeader
+	var lastKey uint64
+	var total int64
+	for i := 0; i < count; i++ {
+		key := binary.LittleEndian.Uint64(data[off:])
+		c := int64(binary.LittleEndian.Uint64(data[off+8:]))
+		off += ussEntrySize
+		if i > 0 && key <= lastKey {
+			return fmt.Errorf("%w: counter keys out of order (%d after %d)", ErrCorrupt, key, lastKey)
+		}
+		lastKey = key
+		if c <= 0 {
+			return fmt.Errorf("%w: non-positive counter %d for key %d", ErrCorrupt, c, key)
+		}
+		total += c
+		restored.counts[key] = c
+	}
+	// Unbiased Space Saving conserves counter totals exactly: every
+	// stream point adds 1 to exactly one counter, and merges sum them.
+	if total != n {
+		return fmt.Errorf("%w: counters sum to %d but n=%d", ErrCorrupt, total, n)
+	}
+	restored.n = n
+	*s = *restored
+	return nil
+}

@@ -1,0 +1,127 @@
+package topk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+func TestUSSCodecRoundTripCanonical(t *testing.T) {
+	z := stream.NewZipf(300, 1.2, 3)
+	orig := NewUnbiasedSpaceSaving(16, 9)
+	for i := 0; i < 2500; i++ {
+		orig.Add(z.Next())
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got UnbiasedSpaceSaving
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.Len() != orig.Len() {
+		t.Fatalf("identity changed: n %d->%d len %d->%d", orig.N(), got.N(), orig.Len(), got.Len())
+	}
+	again, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("marshal ∘ unmarshal is not the identity on bytes")
+	}
+	// Restored RNG must stay in lockstep: identical future streams make
+	// identical takeover decisions.
+	z2 := stream.NewZipf(300, 1.2, 99)
+	for i := 0; i < 2000; i++ {
+		k := z2.Next()
+		orig.Add(k)
+		got.Add(k)
+	}
+	d1, _ := orig.MarshalBinary()
+	d2, _ := got.MarshalBinary()
+	if !bytes.Equal(d1, d2) {
+		t.Error("restored sketch diverged from the original under identical input")
+	}
+}
+
+func TestUSSCodecRejectsCorruption(t *testing.T) {
+	orig := NewUnbiasedSpaceSaving(8, 1)
+	for i := 0; i < 200; i++ {
+		orig.Add(uint64(i % 20))
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": data[:len(data)-3],
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+	}
+	badVersion := append([]byte(nil), data...)
+	badVersion[4] = 99
+	cases["bad version"] = badVersion
+	hugeCount := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(hugeCount[49:], 1<<30)
+	cases["count > m"] = hugeCount
+	badSum := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(badSum[9:], uint64(orig.N())+5)
+	cases["total != n"] = badSum
+	for name, c := range cases {
+		var s UnbiasedSpaceSaving
+		if err := s.UnmarshalBinary(c); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary: inputs
+// that decode must re-marshal to the identical bytes (the encoding is
+// canonical); inputs that do not decode must fail cleanly.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seed := func(m int, seed uint64, n int) []byte {
+		s := NewUnbiasedSpaceSaving(m, seed)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i) % uint64(2*m+1))
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(seed(4, 1, 0))
+	f.Add(seed(4, 1, 3))
+	f.Add(seed(8, 42, 1000))
+	f.Add(seed(64, 7, 5000))
+	f.Add([]byte{})
+	f.Add([]byte("ATSkgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s UnbiasedSpaceSaving
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if s.m <= 0 || len(s.counts) > s.m {
+			t.Fatalf("decoded invalid sketch: m=%d tracked=%d", s.m, len(s.counts))
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var s2 UnbiasedSpaceSaving
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		out2, err := s2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("round trip is not bit-stable")
+		}
+	})
+}

@@ -1,0 +1,38 @@
+// Package topk implements the paper's adaptive top-k sampler (Ting,
+// SIGMOD 2022, §3.3) and the frequent-item sketches it is compared
+// against and built from: a Misra-Gries-style FrequentItems sketch
+// (modeled on the Apache DataSketches variant), classic Space-Saving,
+// and Unbiased Space Saving (Ting, SIGMOD 2018, cited as [30]) — the
+// sketch §3.3 describes its sampler as "a thresholding based variation
+// of".
+//
+// # What part of the paper this implements
+//
+// The top-k problem — return the k most frequent items no matter how
+// small their frequencies are — is harder than the frequent-items
+// problem, whose sketches need the size parameter m chosen in advance.
+// The adaptive Sampler learns to downsample infrequent items: it
+// maintains a variable-length list of entries (x, R, T, v), estimates
+// each count by ĉ = 1/T + v, and adapts the threshold so that exactly k
+// items look frequent. The thresholding rule is substitutable (changing
+// priorities of sampled items to 0 changes nothing), so HT estimates
+// for disaggregated subset sums remain unbiased.
+//
+// UnbiasedSpaceSaving is the serving-layer representative of the family:
+// it is mergeable (counter totals are conserved exactly under the
+// pairwise smallest-two reduction, and every counter stays an unbiased
+// estimate of its label's appearances), serializable (codec.go captures
+// counters and RNG state canonically), and is what the engine, store and
+// atsd expose as the "topk" sketch kind.
+//
+// # Concurrency and ownership contract
+//
+// Every sketch in this package is single-owner state and not safe for
+// concurrent use; the sharded engine's per-shard mutexes (or any
+// external lock) must serialize access. Merge never modifies its
+// argument. Takeover and merge tie-breaks are deterministic given the
+// sketch's RNG state — never dependent on map iteration order — so
+// serialized copies stay in lockstep with their originals, the property
+// the store's bit-identical snapshot/restore relies on. Slices returned
+// by TopK, Entries and Counters are copies owned by the caller.
+package topk

@@ -1,17 +1,3 @@
-// Package topk implements the paper's adaptive top-k sampler (§3.3) and
-// the frequent-item sketches it is compared against: a Misra-Gries-style
-// FrequentItems sketch (modeled on the Apache DataSketches variant) and
-// classic Space-Saving.
-//
-// The top-k problem — return the k most frequent items no matter how small
-// their frequencies are — is harder than the frequent-items problem, whose
-// sketches need the size parameter m chosen in advance. The adaptive
-// sampler instead learns to downsample infrequent items: it maintains a
-// variable-length list of entries (x, R, T, v), estimates each count by
-// ĉ = 1/T + v, and adapts the threshold so that exactly k items look
-// frequent. The thresholding rule is substitutable (changing priorities of
-// sampled items to 0 changes nothing), so HT estimates for disaggregated
-// subset sums remain unbiased.
 package topk
 
 import (

@@ -1,6 +1,8 @@
 package topk
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"ats/internal/stream"
@@ -53,11 +55,14 @@ func (s *UnbiasedSpaceSaving) Add(key uint64) {
 		return
 	}
 	// Find the minimum counter (linear scan: m is small; a production
-	// variant would keep the stream-summary structure).
+	// variant would keep the stream-summary structure). Ties break to the
+	// smallest key so the takeover victim never depends on map iteration
+	// order — the property that keeps serialized/restored copies in
+	// lockstep and merges reproducible.
 	var minKey uint64
 	var minC int64 = -1
 	for k, c := range s.counts {
-		if minC < 0 || c < minC {
+		if minC < 0 || c < minC || (c == minC && k < minKey) {
 			minKey, minC = k, c
 		}
 	}
@@ -105,4 +110,100 @@ func (s *UnbiasedSpaceSaving) SubsetSum(pred func(key uint64) bool) int64 {
 		}
 	}
 	return total
+}
+
+// MinCount returns the smallest tracked counter, or 0 while the table is
+// below capacity. It is the sketch's takeover threshold: an untracked
+// item needs ~MinCount appearances before it is likely to claim a label.
+func (s *UnbiasedSpaceSaving) MinCount() int64 {
+	if len(s.counts) < s.m {
+		return 0
+	}
+	var min int64 = -1
+	for _, c := range s.counts {
+		if min < 0 || c < min {
+			min = c
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// Counters returns every tracked (label, counter) pair sorted by key —
+// the deterministic, canonical view used by the codec and the engine
+// adapter. Each counter is an unbiased estimate of its label's total
+// appearances; LowerBound is not maintained by this sketch and is 0.
+func (s *UnbiasedSpaceSaving) Counters() []Result {
+	out := make([]Result, 0, len(s.counts))
+	for key, c := range s.counts {
+		out = append(out, Result{Key: key, Estimate: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Merge folds another Unbiased Space Saving sketch into s. Counter totals
+// are conserved exactly: shared labels sum their counters, and the union
+// is reduced back to m counters by repeatedly combining the two smallest
+// counters c_a <= c_b into one counter of value c_a + c_b that keeps
+// label a with probability c_a/(c_a+c_b) — so the expected value
+// attributed to each label is unchanged and every counter remains an
+// unbiased estimate of its label's total appearances across both input
+// streams. The argument is not modified. Candidate order is
+// deterministic (sorted by count, then key), so merge results depend
+// only on the receiver's RNG state, never on map iteration order.
+func (s *UnbiasedSpaceSaving) Merge(o *UnbiasedSpaceSaving) error {
+	if o == s {
+		return errors.New("topk: cannot merge an unbiased space-saving sketch into itself")
+	}
+	if o.m != s.m {
+		return fmt.Errorf("topk: cannot merge unbiased space-saving sketches with m=%d and m=%d", s.m, o.m)
+	}
+	s.n += o.n
+	for key, c := range o.counts {
+		s.counts[key] += c
+	}
+	if len(s.counts) <= s.m {
+		return nil
+	}
+	type counter struct {
+		key uint64
+		c   int64
+	}
+	ents := make([]counter, 0, len(s.counts))
+	for key, c := range s.counts {
+		ents = append(ents, counter{key, c})
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].c != ents[j].c {
+			return ents[i].c < ents[j].c
+		}
+		return ents[i].key < ents[j].key
+	})
+	for len(ents) > s.m {
+		a, b := ents[0], ents[1]
+		merged := counter{key: b.key, c: a.c + b.c}
+		if s.rng.Float64()*float64(a.c+b.c) < float64(a.c) {
+			merged.key = a.key
+		}
+		ents = ents[2:]
+		// Re-insert at the sorted position so the "two smallest" choice
+		// stays well-defined on the next round.
+		i := sort.Search(len(ents), func(i int) bool {
+			if ents[i].c != merged.c {
+				return ents[i].c > merged.c
+			}
+			return ents[i].key > merged.key
+		})
+		ents = append(ents, counter{})
+		copy(ents[i+1:], ents[i:])
+		ents[i] = merged
+	}
+	s.counts = make(map[uint64]int64, s.m)
+	for _, e := range ents {
+		s.counts[e.key] = e.c
+	}
+	return nil
 }

@@ -1,0 +1,107 @@
+package topk
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestUSSMergeConservesTotals(t *testing.T) {
+	z := stream.NewZipf(500, 1.2, 11)
+	a := NewUnbiasedSpaceSaving(32, 1)
+	b := NewUnbiasedSpaceSaving(32, 2)
+	for i := 0; i < 5000; i++ {
+		a.Add(z.Next())
+	}
+	for i := 0; i < 3000; i++ {
+		b.Add(z.Next() + 1_000_000) // mostly disjoint labels force reduction
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 8000 {
+		t.Errorf("merged n = %d, want 8000", a.N())
+	}
+	if got := a.SubsetSum(nil); got != 8000 {
+		t.Errorf("merged counter total %d, want exactly 8000 (USS conserves totals)", got)
+	}
+	if a.Len() > 32 {
+		t.Errorf("merged sketch tracks %d > m items", a.Len())
+	}
+}
+
+func TestUSSMergeErrors(t *testing.T) {
+	a := NewUnbiasedSpaceSaving(8, 1)
+	if err := a.Merge(a); err == nil {
+		t.Error("self-merge must fail")
+	}
+	b := NewUnbiasedSpaceSaving(16, 1)
+	if err := a.Merge(b); err == nil {
+		t.Error("m mismatch must fail")
+	}
+}
+
+// TestUSSMergeUnbiased: the pairwise smallest-two reduction keeps every
+// counter an unbiased estimate of its label's appearances across both
+// input streams.
+func TestUSSMergeUnbiased(t *testing.T) {
+	n := 12000
+	z := stream.NewZipf(600, 1.1, 21)
+	keys := make([]uint64, n)
+	var truth int64
+	for i := range keys {
+		keys[i] = z.Next()
+		if keys[i]%2 == 0 {
+			truth++
+		}
+	}
+	pred := func(key uint64) bool { return key%2 == 0 }
+	var est estimator.Running
+	for trial := 0; trial < 500; trial++ {
+		a := NewUnbiasedSpaceSaving(48, uint64(trial)*2+1000)
+		b := NewUnbiasedSpaceSaving(48, uint64(trial)*2+1001)
+		for _, k := range keys[:n/2] {
+			a.Add(k)
+		}
+		for _, k := range keys[n/2:] {
+			b.Add(k)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		est.Add(float64(a.SubsetSum(pred)))
+	}
+	if z := (est.Mean() - float64(truth)) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("merged USS subset sum biased: mean %v truth %d z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestUSSMergeDeterministic(t *testing.T) {
+	build := func() *UnbiasedSpaceSaving {
+		z := stream.NewZipf(400, 1.3, 31)
+		a := NewUnbiasedSpaceSaving(24, 7)
+		b := NewUnbiasedSpaceSaving(24, 8)
+		for i := 0; i < 4000; i++ {
+			a.Add(z.Next())
+			b.Add(z.Next() + 500)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	d1, err := build().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := build().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Error("identical merge runs produced different sketches (map-order dependence?)")
+	}
+}

@@ -1,0 +1,146 @@
+package varopt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Serialization format (little-endian):
+//
+//	magic      uint32  "ATSv"
+//	version    uint8   1
+//	k          uint32
+//	n          uint64
+//	tau        float64
+//	rng        4 × uint64  xoshiro256** state
+//	largeCount uint32
+//	smallCount uint32
+//	large      largeCount × (key uint64, weight float64, value float64)
+//	small      smallCount × same
+//
+// The format captures the sketch's full state including the RNG
+// position, so original and restored copies make identical drop
+// decisions under identical future arrivals. The large heap is written
+// in array order and rebuilt by in-order pushes, which reproduces the
+// array exactly — marshal ∘ unmarshal is the identity on bytes, the
+// property the store's bit-identical snapshot/restore relies on.
+
+const (
+	codecMagic   = 0x41545376 // "ATSv"
+	codecVersion = 1
+
+	codecHeader    = 4 + 1 + 4 + 8 + 8 + 32 + 4 + 4
+	codecEntrySize = 24
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("varopt: corrupt serialized sketch")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("varopt: unsupported serialization version")
+)
+
+// MarshalBinary serializes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, codecHeader+(len(s.large)+len(s.small))*codecEntrySize)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.tau))
+	for _, w := range s.rng.State() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.large)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.small)))
+	appendEntry := func(e Entry) {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Weight))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Value))
+	}
+	for _, e := range s.large {
+		appendEntry(e)
+	}
+	for _, e := range s.small {
+		appendEntry(e)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary,
+// overwriting the receiver.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < codecHeader {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[5:]))
+	if k <= 0 {
+		return fmt.Errorf("%w: non-positive k", ErrCorrupt)
+	}
+	n := int64(binary.LittleEndian.Uint64(data[9:]))
+	if n < 0 {
+		return fmt.Errorf("%w: negative n", ErrCorrupt)
+	}
+	tau := math.Float64frombits(binary.LittleEndian.Uint64(data[17:]))
+	if !(tau >= 0) || math.IsInf(tau, 1) {
+		return fmt.Errorf("%w: invalid tau %v", ErrCorrupt, tau)
+	}
+	var st [4]uint64
+	for i := range st {
+		st[i] = binary.LittleEndian.Uint64(data[25+8*i:])
+	}
+	largeCount := int(binary.LittleEndian.Uint32(data[57:]))
+	smallCount := int(binary.LittleEndian.Uint32(data[61:]))
+	if largeCount < 0 || smallCount < 0 || largeCount+smallCount > k {
+		return fmt.Errorf("%w: %d+%d entries for k=%d", ErrCorrupt, largeCount, smallCount, k)
+	}
+	// Length is validated against the declared counts BEFORE any
+	// count-sized allocation (decode-bomb guard).
+	if len(data) != codecHeader+(largeCount+smallCount)*codecEntrySize {
+		return fmt.Errorf("%w: body is %d bytes, want %d entries",
+			ErrCorrupt, len(data)-codecHeader, largeCount+smallCount)
+	}
+	restored := New(k, 0)
+	if err := restored.rng.SetState(st); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	restored.tau = tau
+	off := codecHeader
+	readEntry := func() (Entry, error) {
+		e := Entry{
+			Key:    binary.LittleEndian.Uint64(data[off:]),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+		}
+		off += codecEntrySize
+		if !(e.Weight > 0) || math.IsInf(e.Weight, 1) {
+			return Entry{}, fmt.Errorf("%w: invalid weight %v", ErrCorrupt, e.Weight)
+		}
+		return e, nil
+	}
+	for i := 0; i < largeCount; i++ {
+		e, err := readEntry()
+		if err != nil {
+			return err
+		}
+		pushLarge(&restored.large, e)
+	}
+	for i := 0; i < smallCount; i++ {
+		e, err := readEntry()
+		if err != nil {
+			return err
+		}
+		restored.small = append(restored.small, e)
+	}
+	restored.n = int(n)
+	*s = *restored
+	return nil
+}

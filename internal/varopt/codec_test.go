@@ -1,0 +1,129 @@
+package varopt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := stream.NewRNG(5)
+	orig := New(20, 6)
+	for i := 0; i < 3000; i++ {
+		orig.Add(uint64(i), rng.Open01()*10, rng.Float64())
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != orig.K() || got.N() != orig.N() || got.Tau() != orig.Tau() || got.Len() != orig.Len() {
+		t.Fatalf("identity changed: k %d->%d n %d->%d tau %v->%v len %d->%d",
+			orig.K(), got.K(), orig.N(), got.N(), orig.Tau(), got.Tau(), orig.Len(), got.Len())
+	}
+	again, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("marshal ∘ unmarshal is not the identity on bytes")
+	}
+	// The restored RNG continues the drop-decision stream exactly where
+	// the original left off.
+	for i := 0; i < 2000; i++ {
+		w := rng.Open01() * 10
+		orig.Add(uint64(i+10000), w, 1)
+		got.Add(uint64(i+10000), w, 1)
+	}
+	d1, _ := orig.MarshalBinary()
+	d2, _ := got.MarshalBinary()
+	if !bytes.Equal(d1, d2) {
+		t.Error("restored sketch diverged from the original under identical input")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	orig := New(8, 1)
+	for i := 0; i < 100; i++ {
+		orig.Add(uint64(i), 1+float64(i%5), 1)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": data[:len(data)-5],
+		"bad magic": append([]byte("XXXX"), data[4:]...),
+	}
+	badVersion := append([]byte(nil), data...)
+	badVersion[4] = 77
+	cases["bad version"] = badVersion
+	hugeCount := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(hugeCount[57:], 1<<30)
+	cases["count > k"] = hugeCount
+	negWeight := append([]byte(nil), data...)
+	// First large entry's weight field.
+	binary.LittleEndian.PutUint64(negWeight[codecHeader+8:], 0x8000000000000000)
+	cases["non-positive weight"] = negWeight
+	for name, c := range cases {
+		var s Sketch
+		if err := s.UnmarshalBinary(c); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary: inputs
+// that decode must survive a bit-stable re-marshal; inputs that do not
+// decode must fail cleanly without panicking or over-allocating.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seed := func(k int, seed uint64, n int) []byte {
+		rng := stream.NewRNG(seed)
+		s := New(k, seed)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i), rng.Open01()*8, 1)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(seed(4, 1, 0))
+	f.Add(seed(4, 1, 3))
+	f.Add(seed(8, 42, 500))
+	f.Add(seed(64, 7, 5000))
+	f.Add([]byte{})
+	f.Add([]byte("ATSvgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if s.k <= 0 || s.Len() > s.k {
+			t.Fatalf("decoded invalid sketch: k=%d len=%d", s.k, s.Len())
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var s2 Sketch
+		if err := s2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		out2, err := s2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("round trip is not bit-stable")
+		}
+	})
+}

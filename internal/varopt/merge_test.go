@@ -1,0 +1,108 @@
+package varopt
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+func TestMergeErrors(t *testing.T) {
+	a := New(8, 1)
+	if err := a.Merge(a); err == nil {
+		t.Error("self-merge must fail")
+	}
+	b := New(16, 1)
+	if err := a.Merge(b); err == nil {
+		t.Error("k mismatch must fail")
+	}
+}
+
+func TestMergeFixedSize(t *testing.T) {
+	rng := stream.NewRNG(4)
+	a, b := New(25, 1), New(25, 2)
+	for i := 0; i < 2000; i++ {
+		a.Add(uint64(i), rng.Open01()*10, 1)
+		b.Add(uint64(i+10000), rng.Open01()*10, 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 25 {
+		t.Errorf("merged size %d, want exactly k=25", a.Len())
+	}
+	if a.N() != 4000 {
+		t.Errorf("merged n = %d, want 4000", a.N())
+	}
+	if a.Tau() <= 0 {
+		t.Error("merged tau must be positive after overflow")
+	}
+	if !mutated(b, 2000) {
+		t.Error("merge must not modify the argument")
+	}
+}
+
+func mutated(s *Sketch, wantN int) bool { return s.N() == wantN && s.Len() == s.K() }
+
+// TestMergeUnbiased: subset sums over a merged sketch stay unbiased for
+// the union of the two input streams (values of subsampled items are
+// scaled by the inverse inclusion probability chain).
+func TestMergeUnbiased(t *testing.T) {
+	n := 3000
+	rng := stream.NewRNG(9)
+	type item struct {
+		key  uint64
+		w, v float64
+	}
+	items := make([]item, n)
+	truth := 0.0
+	for i := range items {
+		w := rng.Open01() * 10
+		items[i] = item{uint64(i), w, w}
+		if i%3 == 0 {
+			truth += w
+		}
+	}
+	pred := func(e Entry) bool { return e.Key%3 == 0 }
+	var est estimator.Running
+	for trial := 0; trial < 800; trial++ {
+		a := New(40, uint64(trial)*2+50)
+		b := New(40, uint64(trial)*2+51)
+		for _, it := range items[:n/2] {
+			a.Add(it.key, it.w, it.v)
+		}
+		for _, it := range items[n/2:] {
+			b.Add(it.key, it.w, it.v)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		est.Add(a.SubsetSum(pred))
+	}
+	if z := (est.Mean() - truth) / est.SE(); math.Abs(z) > 4.5 {
+		t.Errorf("merged varopt subset sum biased: mean %v truth %v z %v", est.Mean(), truth, z)
+	}
+}
+
+func TestEstimateWeightExact(t *testing.T) {
+	// VarOpt conserves the total adjusted weight exactly — the total
+	// weight estimate has zero variance, up to float summation order.
+	n := 2000
+	rng := stream.NewRNG(14)
+	ws := make([]float64, n)
+	truth := 0.0
+	for i := range ws {
+		ws[i] = rng.Open01() * 10
+		truth += ws[i]
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := New(30, uint64(trial)+900)
+		for i, w := range ws {
+			s.Add(uint64(i), w, 1)
+		}
+		if got := s.EstimateWeight(); math.Abs(got-truth)/truth > 1e-9 {
+			t.Fatalf("trial %d: EstimateWeight %v, want ~%v", trial, got, truth)
+		}
+	}
+}

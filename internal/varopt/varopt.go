@@ -14,6 +14,9 @@
 package varopt
 
 import (
+	"errors"
+	"fmt"
+
 	"ats/internal/stream"
 )
 
@@ -152,6 +155,60 @@ func (s *Sketch) InclusionProb(e Entry) float64 {
 		return 1
 	}
 	return e.Weight / s.tau
+}
+
+// EstimateWeight returns the unbiased estimate of the total weight
+// offered: each retained item contributes its adjusted weight
+// max(w, tau).
+func (s *Sketch) EstimateWeight() float64 {
+	sum := 0.0
+	for _, e := range s.large {
+		sum += e.Weight
+	}
+	for _, e := range s.small {
+		if e.Weight > s.tau {
+			sum += e.Weight
+		} else {
+			sum += s.tau
+		}
+	}
+	return sum
+}
+
+// Merge folds another VarOpt_k sketch into s by the scheme's classic
+// merge rule (Cohen et al., SODA 2009): the argument's sample is treated
+// as a weighted population in its own right — every retained item enters
+// with its ADJUSTED weight (w for large items, tau for small ones) — and
+// is resampled through the receiver's threshold. Values of subsampled
+// items are scaled by their inverse inclusion probability first, so the
+// composed Horvitz-Thompson estimator divides by the full inclusion
+// probability chain and subset-sum estimates over the merged sketch stay
+// unbiased for the union of both input streams. The argument is not
+// modified.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o == s {
+		return errors.New("varopt: cannot merge a sketch into itself")
+	}
+	if o.k != s.k {
+		return fmt.Errorf("varopt: cannot merge sketches with k=%d and k=%d", s.k, o.k)
+	}
+	total := s.n + o.n
+	for _, e := range o.large {
+		s.Add(e.Key, e.Weight, e.Value)
+	}
+	for _, e := range o.small {
+		v := e.Value
+		if p := o.InclusionProb(e); p < 1 {
+			v /= p
+		}
+		w := e.Weight
+		if o.tau > w {
+			w = o.tau
+		}
+		s.Add(e.Key, w, v)
+	}
+	s.n = total
+	return nil
 }
 
 // SubsetSum returns the HT estimate of Σ value over items matching pred
