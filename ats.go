@@ -258,8 +258,13 @@ func NewWeightedDistinctSketch(k int, seed uint64) *WeightedDistinctSketch {
 }
 
 // GroupByCounter estimates per-group distinct counts with m dedicated
-// sketches plus a shared sample pool (§3.6).
+// sketches plus a shared sample pool (§3.6). Counters sharing (m, k,
+// seed) are mergeable, and the canonical binary codec round-trips them
+// bit-identically.
 type GroupByCounter = groupby.Counter
+
+// GroupEstimate is one group of a GroupByCounter ranking.
+type GroupEstimate = groupby.GroupEstimate
 
 // NewGroupByCounter returns a group-by distinct counter with m dedicated
 // sketches of size k.
@@ -276,6 +281,22 @@ type StratifiedDesign = stratified.Design
 // dims dimensions and fits the item budget.
 func FitStratified(items []StratifiedItem, dims, budget int, seed uint64) StratifiedDesign {
 	return stratified.Fit(items, dims, budget, seed)
+}
+
+// StratifiedSampler is the streaming form of §3.7 multi-stratified
+// sampling: a budgeted sample that stays stratified along several
+// dimensions as the stream flows, with mergeable, bit-identically
+// serializable state.
+type StratifiedSampler = stratified.Sampler
+
+// StratumStat is one stratum's slice of a StratifiedSampler estimate.
+type StratumStat = stratified.StratumStat
+
+// NewStratifiedSampler returns a streaming multi-stratified sampler over
+// dims dimensions retaining at most budget items, with per-stratum
+// bottom-k parameter k.
+func NewStratifiedSampler(budget, k, dims int, seed uint64) *StratifiedSampler {
+	return stratified.NewSampler(budget, k, dims, seed)
 }
 
 // MultiObjectiveItem is a record with per-objective weights and values
@@ -396,6 +417,30 @@ func NewShardedDecayed(k int, lambda float64, seed uint64, shards int) *ShardedD
 	return engine.NewShardedDecayed(k, lambda, seed, shards)
 }
 
+// ShardedGroupBy is a concurrent grouped distinct counter (§3.6);
+// priorities are hash-coordinated, so its Collapse is a deterministic
+// function of the shard states.
+type ShardedGroupBy = engine.ShardedGroupBy
+
+// NewShardedGroupBy returns a sharded grouped distinct counter with m
+// dedicated sketches of size k per shard; shards <= 0 defaults to
+// GOMAXPROCS.
+func NewShardedGroupBy(m, k int, seed uint64, shards int) *ShardedGroupBy {
+	return engine.NewShardedGroupBy(m, k, seed, shards)
+}
+
+// ShardedStratified is a concurrent budgeted multi-stratified sampler
+// (§3.7); priorities are hash-coordinated, so its Collapse is a
+// deterministic function of the shard states.
+type ShardedStratified = engine.ShardedStratified
+
+// NewShardedStratified returns a sharded multi-stratified engine over
+// dims dimensions with item budget and per-stratum bottom-k parameter k
+// per shard; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedStratified(budget, k, dims int, seed uint64, shards int) *ShardedStratified {
+	return engine.NewShardedStratified(budget, k, dims, seed, shards)
+}
+
 // ---- Multi-tenant time-bucketed store and serving layer ----
 //
 // The store owns many named sketches, keyed by (namespace, metric), each
@@ -425,6 +470,14 @@ type StoreResult = store.Result
 // StoreTopKItem is one ranked entry of a top-k store query result.
 type StoreTopKItem = store.TopKItem
 
+// StoreGroupResult is one ranked entry of a grouped distinct-count store
+// query result.
+type StoreGroupResult = store.GroupResult
+
+// StoreStratumResult is the per-stratum slice of a stratified store
+// query result.
+type StoreStratumResult = store.StratumResult
+
 // SketchKind selects the sketch type of one store series. Every key
 // carries its own kind, fixed at first write; a store serves the whole
 // family at once.
@@ -432,12 +485,14 @@ type SketchKind = store.Kind
 
 // Store sketch kinds.
 const (
-	KindBottomK  SketchKind = store.BottomK
-	KindDistinct SketchKind = store.Distinct
-	KindWindow   SketchKind = store.Window
-	KindTopK     SketchKind = store.TopK
-	KindVarOpt   SketchKind = store.VarOpt
-	KindDecay    SketchKind = store.Decay
+	KindBottomK    SketchKind = store.BottomK
+	KindDistinct   SketchKind = store.Distinct
+	KindWindow     SketchKind = store.Window
+	KindTopK       SketchKind = store.TopK
+	KindVarOpt     SketchKind = store.VarOpt
+	KindDecay      SketchKind = store.Decay
+	KindGroupBy    SketchKind = store.GroupBy
+	KindStratified SketchKind = store.Stratified
 )
 
 // ErrSketchKindMismatch reports store ingest into an existing key under
@@ -460,7 +515,7 @@ func NewVarOptStore(cfg StoreConfig) *Store { cfg.Kind = store.VarOpt; return st
 func NewDecayStore(cfg StoreConfig) *Store { cfg.Kind = store.Decay; return store.New(cfg) }
 
 // ParseSketchKind parses "bottomk", "distinct", "window", "topk",
-// "varopt" or "decay".
+// "varopt", "decay", "groupby" or "stratified".
 func ParseSketchKind(s string) (SketchKind, error) { return store.ParseKind(s) }
 
 // SketchKinds lists every sketch kind a store can serve.
@@ -478,13 +533,14 @@ func NewStoreServer(st *Store, snapshotPath string) *StoreServer {
 
 // EncodeSketch wraps a sketch in a self-describing binary envelope using
 // the universal codec registry; bottom-k, distinct, sliding-window,
-// top-k (unbiased space-saving), varopt and time-decayed sketches are
-// supported out of the box.
+// top-k (unbiased space-saving), varopt, time-decayed, grouped
+// distinct-count and multi-stratified sketches are supported out of the
+// box.
 func EncodeSketch(v any) ([]byte, error) { return codec.Encode(v) }
 
 // DecodeSketch decodes an EncodeSketch envelope, returning the codec
-// name ("bottomk", "distinct", "window", "topk", "varopt", "decay") and
-// the decoded sketch.
+// name ("bottomk", "distinct", "window", "topk", "varopt", "decay",
+// "groupby", "stratified") and the decoded sketch.
 func DecodeSketch(data []byte) (name string, sketch any, err error) {
 	return codec.Unmarshal(data)
 }

@@ -362,6 +362,34 @@ func perfCases() []perfCase {
 				}
 			}
 		}},
+		{"store-groupby", "addbatch", "zipf", itemBytes + 8, true, func(b *testing.B) {
+			benchStoreIngest(b, store.GroupBy, perfLabeledItems())
+		}},
+		{"store-stratified", "addbatch", "zipf", itemBytes + 8, true, func(b *testing.B) {
+			benchStoreIngest(b, store.Stratified, perfLabeledItems())
+		}},
+		{"store-groupby", "query", "8-buckets", 0, true, func(b *testing.B) {
+			st := benchStoreEightBuckets(b, store.GroupBy)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epochBench, epochBench.Add(time.Hour))
+				if err != nil || len(res.Groups) == 0 {
+					b.Fatalf("bad query: %+v, %v", res, err)
+				}
+			}
+		}},
+		{"store-stratified", "query", "8-buckets", 0, true, func(b *testing.B) {
+			st := benchStoreEightBuckets(b, store.Stratified)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epochBench, epochBench.Add(time.Hour))
+				if err != nil || res.Sum <= 0 || len(res.Strata) == 0 {
+					b.Fatalf("bad query: %+v, %v", res, err)
+				}
+			}
+		}},
 		{"sharded-distinct", "addkeys", "zipf", keyBytes, false, func(b *testing.B) {
 			keys := perfZipfKeys()
 			eng := engine.NewShardedDistinct(256, 7, 0)
@@ -388,10 +416,12 @@ func perfCases() []perfCase {
 }
 
 var (
-	perfItemsOnce  sync.Once
-	perfItemsCache []engine.Item
-	perfKeysOnce   sync.Once
-	perfKeysCache  []uint64
+	perfItemsOnce    sync.Once
+	perfItemsCache   []engine.Item
+	perfLabeledOnce  sync.Once
+	perfLabeledCache []engine.Item
+	perfKeysOnce     sync.Once
+	perfKeysCache    []uint64
 )
 
 var epochBench = time.Unix(1_700_000_000, 0)
@@ -399,7 +429,10 @@ var epochBench = time.Unix(1_700_000_000, 0)
 // benchStoreKind measures the store's batched ingest hot path for one
 // sketch kind: one rotating key, synthetic clock, 128-item batches.
 func benchStoreKind(b *testing.B, kind store.Kind) {
-	items := perfItems()
+	benchStoreIngest(b, kind, perfItems())
+}
+
+func benchStoreIngest(b *testing.B, kind store.Kind, items []engine.Item) {
 	st := store.New(store.Config{
 		Kind: kind, K: 128, Seed: 42,
 		BucketWidth: time.Second, Retention: 8,
@@ -431,11 +464,14 @@ func benchStoreKind(b *testing.B, kind store.Kind) {
 // benchStoreEightBuckets builds a store of the given kind holding eight
 // sealed-ish buckets of 10k items each, the query-path fixture.
 func benchStoreEightBuckets(b *testing.B, kind store.Kind) *store.Store {
+	items := perfItems()
+	if kind == store.GroupBy || kind == store.Stratified {
+		items = perfLabeledItems()
+	}
 	st := store.New(store.Config{
 		Kind: kind, K: 256, Seed: 42,
 		BucketWidth: time.Second, Retention: 16,
 	})
-	items := perfItems()
 	for bk := 0; bk < 8; bk++ {
 		batch := make([]engine.Item, 10_000)
 		copy(batch, items[bk*10_000:(bk+1)*10_000])
@@ -460,6 +496,22 @@ func perfItems() []engine.Item {
 		}
 	})
 	return perfItemsCache
+}
+
+// perfLabeledItems is perfItems with group and stratum labels stamped
+// on (the grouped-analytics ingest fixture): 64 Zipf-correlated groups
+// and an 8×4 stratification grid.
+func perfLabeledItems() []engine.Item {
+	perfLabeledOnce.Do(func() {
+		base := perfItems()
+		perfLabeledCache = make([]engine.Item, len(base))
+		for i, it := range base {
+			it.Group = it.Key % 64
+			it.Strata = []uint32{uint32(it.Key % 8), uint32(it.Key % 4)}
+			perfLabeledCache[i] = it
+		}
+	})
+	return perfLabeledCache
 }
 
 func perfZipfKeys() []uint64 {

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	atsd [-addr :8321] [-kind bottomk|distinct|window|topk|varopt|decay]
+//	atsd [-addr :8321]
+//	     [-kind bottomk|distinct|window|topk|varopt|decay|groupby|stratified]
 //	     [-k 1024] [-seed 1] [-bucket 1m] [-retention 60] [-shards 1]
-//	     [-max-keys 0] [-window 0] [-lambda 0] [-snapshot path]
+//	     [-max-keys 0] [-window 0] [-lambda 0] [-group-m 64] [-stratum-k 64]
+//	     [-dims 2] [-snapshot path]
 //
 // -kind sets the DEFAULT sketch kind; each key's kind is fixed at first
 // write and ingest may pick any kind per batch with the "kind" field, so
@@ -16,8 +18,14 @@
 //	  "items":[{"key":1,"weight":3.5,"value":3.5}]}'
 //	curl -XPOST localhost:8321/v1/add -d '{"namespace":"acme","metric":"hot",
 //	  "kind":"topk","items":[{"key":7}]}'
+//	curl -XPOST localhost:8321/v1/add -d '{"namespace":"acme","metric":"per-country",
+//	  "kind":"groupby","items":[{"key":9,"group":44}]}'
+//	curl -XPOST localhost:8321/v1/add -d '{"namespace":"acme","metric":"strat",
+//	  "kind":"stratified","items":[{"key":9,"value":2.5,"strata":[44,3]}]}'
 //	curl 'localhost:8321/v1/query?namespace=acme&metric=bytes&from=0'
 //	curl 'localhost:8321/v1/query?namespace=acme&metric=hot&from=0&k=5'
+//	curl 'localhost:8321/v1/query?namespace=acme&metric=per-country&from=0&group_by=group'
+//	curl 'localhost:8321/v1/query?namespace=acme&metric=strat&from=0&group_by=1'
 //
 // With -snapshot, the daemon restores the keyspace from the file at
 // boot (if present), persists it there on POST /v1/snapshot, and writes
@@ -44,7 +52,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8321", "listen address")
-		kindFlag  = flag.String("kind", "bottomk", "default sketch kind: bottomk, distinct, window, topk, varopt or decay")
+		kindFlag  = flag.String("kind", "bottomk", "default sketch kind: bottomk, distinct, window, topk, varopt, decay, groupby or stratified")
 		k         = flag.Int("k", 1024, "per-bucket sketch size")
 		seed      = flag.Uint64("seed", 1, "coordination seed shared by all buckets")
 		bucket    = flag.Duration("bucket", time.Minute, "time-bucket width")
@@ -53,6 +61,9 @@ func main() {
 		maxKeys   = flag.Int("max-keys", 0, "LRU bound on live keys (0 = unbounded)")
 		windowSec = flag.Float64("window", 0, "sliding-window length in seconds (window kind; 0 = bucket width)")
 		lambda    = flag.Float64("lambda", 0, "decay rate per second (decay kind; 0 = ln2/bucket width)")
+		groupM    = flag.Int("group-m", 0, "dedicated per-group sketches (groupby kind; 0 = 64)")
+		stratumK  = flag.Int("stratum-k", 0, "per-stratum bottom-k parameter (stratified kind; 0 = 64)")
+		dims      = flag.Int("dims", 0, "stratification dimensions (stratified kind; 0 = 2)")
 		snapPath  = flag.String("snapshot", "", "snapshot file: restored at boot, written on POST /v1/snapshot and shutdown")
 	)
 	flag.Parse()
@@ -62,15 +73,18 @@ func main() {
 		log.Fatal(err)
 	}
 	st := store.New(store.Config{
-		Kind:        kind,
-		K:           *k,
-		Seed:        *seed,
-		BucketWidth: *bucket,
-		Retention:   *retention,
-		Shards:      *shards,
-		MaxKeys:     *maxKeys,
-		WindowDelta: *windowSec,
-		DecayLambda: *lambda,
+		Kind:           kind,
+		K:              *k,
+		Seed:           *seed,
+		BucketWidth:    *bucket,
+		Retention:      *retention,
+		Shards:         *shards,
+		MaxKeys:        *maxKeys,
+		WindowDelta:    *windowSec,
+		DecayLambda:    *lambda,
+		GroupM:         *groupM,
+		StratumK:       *stratumK,
+		StratifiedDims: *dims,
 	})
 
 	if *snapPath != "" {

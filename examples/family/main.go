@@ -1,12 +1,14 @@
 // One store, the whole sketch family.
 //
-// A single multi-tenant store serves six sketch kinds at once — each key
-// picks its kind at first write: a bottom-k subset-sum series, a
+// A single multi-tenant store serves eight sketch kinds at once — each
+// key picks its kind at first write: a bottom-k subset-sum series, a
 // distinct-count series, a sliding-window series, a top-k heavy-hitter
-// series, a varopt weighted sample, and an exponentially time-decayed
-// series. The program ingests one synthetic traffic stream into all six,
-// queries each through the store's merge-collapse path, then snapshots
-// the whole keyspace and proves the restored store answers identically.
+// series, a varopt weighted sample, an exponentially time-decayed
+// series, a grouped distinct counter (flows per region), and a budgeted
+// multi-stratified sample (bytes by region AND size class). The program
+// ingests one synthetic traffic stream into all eight, queries each
+// through the store's merge-collapse path, then snapshots the whole
+// keyspace and proves the restored store answers identically.
 //
 // Run with:
 //
@@ -15,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
 	"time"
@@ -48,7 +51,16 @@ func main() {
 			}
 			size := 1 + 50*rng.Float64()*rng.Float64()
 			endpoints[i] = ats.Item{Key: endpoint, Weight: size, Value: size}
-			flows[i] = ats.Item{Key: flow, Weight: size, Value: size}
+			// Each flow carries grouped-analytics labels: its region (the
+			// groupby attribute and stratification dim 0) and a size
+			// class (dim 1).
+			region := endpoint % 8
+			sizeClass := uint32(0)
+			if size > 10 {
+				sizeClass = 1
+			}
+			flows[i] = ats.Item{Key: flow, Weight: size, Value: size,
+				Group: region, Strata: []uint32{uint32(region), sizeClass}}
 			flow++
 		}
 		for _, kind := range ats.SketchKinds() {
@@ -94,11 +106,23 @@ func main() {
 		case ats.KindDecay:
 			fmt.Printf("decay     decayed bytes ≈ %.0f, decayed count ≈ %.0f (as of %s)\n",
 				res.DecayedSum, res.DecayedCount, time.Unix(res.AsOfUnix, 0).UTC().Format(time.TimeOnly))
+		case ats.KindGroupBy:
+			fmt.Printf("groupby   %d regions, flows per region:", res.GroupCount)
+			for _, g := range res.Groups[:3] {
+				fmt.Printf(" r%d(≈%.0f)", g.Group, g.DistinctEstimate)
+			}
+			fmt.Println(" …")
+		case ats.KindStratified:
+			fmt.Printf("stratified total bytes ≈ %.0f across %d region strata:", res.Sum, len(res.Strata))
+			for _, sr := range res.Strata[:3] {
+				fmt.Printf(" r%d(≈%.0f)", sr.Label, sr.SumEstimate)
+			}
+			fmt.Println(" …")
 		}
 	}
 
 	// Snapshot the whole keyspace and restore into a fresh store: every
-	// series — all six kinds — survives bit-identically.
+	// series — all eight kinds — survives bit-identically.
 	var snap bytes.Buffer
 	if err := st.Snapshot(&snap); err != nil {
 		log.Fatal(err)
@@ -117,7 +141,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		// Compare the wire (JSON) form: results may hold pointers, whose
+		// addresses a naive %+v comparison would flag as different.
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
 			same = false
 		}
 	}

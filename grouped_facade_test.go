@@ -1,0 +1,114 @@
+package ats_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ats"
+)
+
+// TestGroupedFacades drives the grouped and stratified sharded engines
+// and the grouped store queries purely through the public API.
+func TestGroupedFacades(t *testing.T) {
+	// Sharded group-by: group g owns 100*(g+1) distinct keys.
+	gb := ats.NewShardedGroupBy(8, 64, 1, 4)
+	exact := map[uint64]float64{}
+	for g := uint64(0); g < 6; g++ {
+		n := 100 * (int(g) + 1)
+		for i := 0; i < 3*n; i++ { // every key three times: distinct counting
+			gb.Observe(g, g<<32|uint64(i%n))
+		}
+		exact[g] = float64(n)
+	}
+	for g, want := range exact {
+		if got := gb.Estimate(g); math.Abs(got-want)/want > 0.3 {
+			t.Errorf("group %d estimate %v vs exact %v", g, got, want)
+		}
+	}
+	ranking := gb.GroupEstimates(3)
+	if len(ranking) != 3 || ranking[0].Group != 5 {
+		t.Errorf("ranking %+v, want group 5 on top", ranking)
+	}
+
+	// Sharded stratified: two dimensions, exact totals known.
+	st := ats.NewShardedStratified(300, 64, 2, 2, 4)
+	rng := ats.NewRNG(5)
+	exactTotal := 0.0
+	items := make([]ats.Item, 20000)
+	for i := range items {
+		v := 1 + 9*rng.Float64()
+		exactTotal += v
+		items[i] = ats.Item{
+			Key:    uint64(i)*2862933555777941757 + 1,
+			Value:  v,
+			Strata: []uint32{uint32(i % 5), uint32(i % 3)},
+		}
+	}
+	st.AddBatch(items)
+	sum, varEst := st.SubsetSum(nil)
+	if math.Abs(sum-exactTotal)/exactTotal > 0.2 {
+		t.Errorf("stratified sum %v vs exact %v", sum, exactTotal)
+	}
+	if varEst < 0 {
+		t.Errorf("negative variance estimate %v", varEst)
+	}
+	if got := len(st.StratumStats(0)); got != 5 {
+		t.Errorf("dimension 0 has %d strata, want 5", got)
+	}
+
+	// The streaming stratified sampler stands alone too.
+	ss := ats.NewStratifiedSampler(100, 32, 2, 7)
+	for i := 0; i < 5000; i++ {
+		ss.Add(uint64(i)*0x9e3779b97f4a7c15+1, []uint32{uint32(i % 4), uint32(i % 3)}, 1)
+	}
+	if ss.Len() > 100 {
+		t.Errorf("streaming sampler holds %d items over budget 100", ss.Len())
+	}
+
+	// Codec surface covers the new sketches.
+	for _, v := range []any{gb.Collapse(), st.Collapse()} {
+		data, err := ats.EncodeSketch(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ats.DecodeSketch(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mixed-kind store: groupby and stratified series side by side,
+	// queried through the grouped surface.
+	now := time.Unix(1_700_000_000, 0)
+	sto := ats.NewStore(ats.StoreConfig{
+		K: 256, GroupM: 8, StratumK: 32, StratifiedDims: 2, Seed: 9,
+		BucketWidth: time.Minute, Retention: 10,
+		Now: func() time.Time { return now },
+	})
+	var gItems, sItems []ats.Item
+	for i := 0; i < 8000; i++ {
+		gItems = append(gItems, ats.Item{Key: uint64(i % 900), Group: uint64(i % 4)})
+		sItems = append(sItems, ats.Item{Key: uint64(i)*6364136223846793005 + 1, Value: 1,
+			Strata: []uint32{uint32(i % 3), uint32(i % 2)}})
+	}
+	if err := sto.AddBatchKind("ns", "g", ats.KindGroupBy, gItems); err != nil {
+		t.Fatal(err)
+	}
+	if err := sto.AddBatchKind("ns", "s", ats.KindStratified, sItems); err != nil {
+		t.Fatal(err)
+	}
+	gRes, err := sto.Query("ns", "g", time.Unix(0, 0), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gRes.Kind != ats.KindGroupBy.String() || len(gRes.Groups) != 4 {
+		t.Errorf("groupby store result %+v", gRes)
+	}
+	sRes, err := sto.QueryGrouped("ns", "s", time.Unix(0, 0), now, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRes.Kind != ats.KindStratified.String() || len(sRes.Strata) != 2 || sRes.StratumDim == nil || *sRes.StratumDim != 1 {
+		t.Errorf("stratified store result %+v", sRes)
+	}
+}

@@ -6,6 +6,10 @@ import (
 	"testing"
 )
 
+// sameBits reports float equality by bit pattern, so NaNs compare equal
+// to themselves.
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
 // fuzzSeedSketch marshals a sketch populated with n items, for the seed
 // corpus.
 func fuzzSeedSketch(t testing.TB, k int, seed uint64, n int) []byte {
@@ -87,15 +91,18 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if len(a) != len(b) {
 			t.Fatalf("round trip changed sample size: %d -> %d", len(a), len(b))
 		}
+		// Compare by bit pattern: the codec legitimately round-trips NaN
+		// values, and NaN != NaN would flag identical entries as changed.
 		for i := range a {
-			if a[i] != b[i] {
+			if a[i].Key != b[i].Key || !sameBits(a[i].Weight, b[i].Weight) ||
+				!sameBits(a[i].Value, b[i].Value) || !sameBits(a[i].Priority, b[i].Priority) {
 				t.Fatalf("round trip changed sample[%d]: %+v -> %+v", i, a[i], b[i])
 			}
 		}
 		// Estimates must agree as well (exercises the heap invariant).
 		sum1, var1 := s.SubsetSum(nil)
 		sum2, var2 := s2.SubsetSum(nil)
-		if sum1 != sum2 || var1 != var2 {
+		if !sameBits(sum1, sum2) || !sameBits(var1, var2) {
 			t.Fatalf("round trip changed estimate: (%v,%v) -> (%v,%v)", sum1, var1, sum2, var2)
 		}
 	})

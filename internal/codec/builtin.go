@@ -6,6 +6,8 @@ import (
 	"ats/internal/bottomk"
 	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/groupby"
+	"ats/internal/stratified"
 	"ats/internal/topk"
 	"ats/internal/varopt"
 	"ats/internal/window"
@@ -24,6 +26,10 @@ const (
 	NameVarOpt = "varopt"
 	// NameDecay serializes the exponentially time-decayed sampler.
 	NameDecay = "decay"
+	// NameGroupBy serializes the grouped distinct-count counter.
+	NameGroupBy = "groupby"
+	// NameStratified serializes the budgeted multi-stratified sampler.
+	NameStratified = "stratified"
 )
 
 func init() {
@@ -134,5 +140,41 @@ func init() {
 			return &sk, nil
 		},
 		Owns: func(v any) bool { _, ok := v.(*decay.Sampler); return ok },
+	})
+	Register(Codec{
+		Name: NameGroupBy,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*groupby.Counter)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameGroupBy, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk groupby.Counter
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*groupby.Counter); return ok },
+	})
+	Register(Codec{
+		Name: NameStratified,
+		Marshal: func(v any) ([]byte, error) {
+			sk, ok := v.(*stratified.Sampler)
+			if !ok {
+				return nil, fmt.Errorf("codec: %s cannot marshal %T", NameStratified, v)
+			}
+			return sk.MarshalBinary()
+		},
+		Unmarshal: func(payload []byte) (any, error) {
+			var sk stratified.Sampler
+			if err := sk.UnmarshalBinary(payload); err != nil {
+				return nil, err
+			}
+			return &sk, nil
+		},
+		Owns: func(v any) bool { _, ok := v.(*stratified.Sampler); return ok },
 	})
 }

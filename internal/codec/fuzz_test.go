@@ -7,6 +7,8 @@ import (
 	"ats/internal/bottomk"
 	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/groupby"
+	"ats/internal/stratified"
 	"ats/internal/topk"
 	"ats/internal/varopt"
 	"ats/internal/window"
@@ -23,6 +25,8 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	tk := topk.NewUnbiasedSpaceSaving(6, 4)
 	vk := varopt.New(8, 5)
 	yk := decay.New(8, 1, 6)
+	gk := groupby.New(3, 4, 7)
+	sk := stratified.NewSampler(12, 4, 2, 8)
 	for i := 0; i < 200; i++ {
 		bk.Add(uint64(i), 1, 1)
 		dk.Add(uint64(i % 31))
@@ -30,10 +34,13 @@ func FuzzEnvelopeDecode(f *testing.F) {
 		tk.Add(uint64(i % 17))
 		vk.Add(uint64(i), 1+float64(i%4), 1)
 		yk.Add(uint64(i), 1, 1, float64(i)*0.05)
+		gk.Add(uint64(i%9), uint64(i))
+		sk.Add(uint64(i), []uint32{uint32(i % 5), uint32(i % 3)}, 1)
 	}
 	for name, v := range map[string]any{
 		NameBottomK: bk, NameDistinct: dk, NameWindow: wk,
 		NameTopK: tk, NameVarOpt: vk, NameDecay: yk,
+		NameGroupBy: gk, NameStratified: sk,
 	} {
 		if data, err := Marshal(name, v); err == nil {
 			f.Add(data)

@@ -1,0 +1,35 @@
+package decay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSelfMergeRejectedAndHarmless is the self-merge guard regression
+// for the time-decayed Merge: merging a sampler into itself must fail
+// with an error AND leave the sampler byte-identical — a partial
+// self-merge would duplicate retained entries under the union rule.
+func TestSelfMergeRejectedAndHarmless(t *testing.T) {
+	s := New(24, 0.5, 7)
+	for i := 0; i < 3000; i++ {
+		s.Add(uint64(i), 1+float64(i%5), 1, float64(i)*0.01)
+	}
+	before, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := s.DecayedCount(30)
+	if err := s.Merge(s); err == nil {
+		t.Fatal("self-merge must be rejected")
+	}
+	after, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected self-merge mutated the sampler")
+	}
+	if got := s.DecayedCount(30); got != wantCount {
+		t.Fatalf("decayed count %v after rejected self-merge, want %v", got, wantCount)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"ats/internal/core"
 	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/groupby"
+	"ats/internal/stratified"
 	"ats/internal/topk"
 	"ats/internal/varopt"
 	"ats/internal/window"
@@ -28,18 +30,24 @@ var (
 	_ Sampler        = (*TopKSampler)(nil)
 	_ Sampler        = (*VarOptSampler)(nil)
 	_ Sampler        = (*DecaySampler)(nil)
+	_ Sampler        = (*GroupBySampler)(nil)
+	_ Sampler        = (*StratifiedSampler)(nil)
 	_ BatchAdder     = (*BottomKSampler)(nil)
 	_ BatchAdder     = (*DistinctSampler)(nil)
 	_ BatchAdder     = (*WindowSampler)(nil)
 	_ BatchAdder     = (*TopKSampler)(nil)
 	_ BatchAdder     = (*VarOptSampler)(nil)
 	_ BatchAdder     = (*DecaySampler)(nil)
+	_ BatchAdder     = (*GroupBySampler)(nil)
+	_ BatchAdder     = (*StratifiedSampler)(nil)
 	_ SampleAppender = (*BottomKSampler)(nil)
 	_ SampleAppender = (*DistinctSampler)(nil)
 	_ SampleAppender = (*WindowSampler)(nil)
 	_ SampleAppender = (*TopKSampler)(nil)
 	_ SampleAppender = (*VarOptSampler)(nil)
 	_ SampleAppender = (*DecaySampler)(nil)
+	_ SampleAppender = (*GroupBySampler)(nil)
+	_ SampleAppender = (*StratifiedSampler)(nil)
 
 	_ SnapshotMarshaler = (*BottomKSampler)(nil)
 	_ SnapshotMarshaler = (*DistinctSampler)(nil)
@@ -47,6 +55,8 @@ var (
 	_ SnapshotMarshaler = (*TopKSampler)(nil)
 	_ SnapshotMarshaler = (*VarOptSampler)(nil)
 	_ SnapshotMarshaler = (*DecaySampler)(nil)
+	_ SnapshotMarshaler = (*GroupBySampler)(nil)
+	_ SnapshotMarshaler = (*StratifiedSampler)(nil)
 )
 
 // WrapDecoded wraps a sketch decoded by the codec registry back into its
@@ -78,6 +88,14 @@ func WrapDecoded(name string, v any) (Sampler, error) {
 	case codec.NameDecay:
 		if sk, ok := v.(*decay.Sampler); ok {
 			return WrapDecayed(sk), nil
+		}
+	case codec.NameGroupBy:
+		if sk, ok := v.(*groupby.Counter); ok {
+			return WrapGroupBy(sk), nil
+		}
+	case codec.NameStratified:
+		if sk, ok := v.(*stratified.Sampler); ok {
+			return WrapStratified(sk), nil
 		}
 	default:
 		return nil, fmt.Errorf("engine: no sampler adapter for codec %q", name)
@@ -481,4 +499,131 @@ func (d *DecaySampler) Merge(other Sampler) error {
 		return ErrIncompatible
 	}
 	return d.sk.Merge(o.sk)
+}
+
+// GroupBySampler adapts the §3.6 grouped distinct counter to the Sampler
+// interface. AddBatch reads each item's group from the batch item's
+// Group field (zero is a valid group); the three-argument Add, which has
+// no way to carry a label, counts the key under group 0. Weight and
+// value are ignored (distinct counting). Sample reports every retained
+// (group, hash) point as a unit-valued item whose Key is the GROUP
+// label, so a Horvitz-Thompson subset count filtered by Key reproduces
+// the per-group distinct estimate.
+type GroupBySampler struct {
+	sk *groupby.Counter
+}
+
+// WrapGroupBy wraps an existing grouped distinct counter.
+func WrapGroupBy(sk *groupby.Counter) *GroupBySampler { return &GroupBySampler{sk: sk} }
+
+// Sketch returns the underlying grouped distinct counter.
+func (g *GroupBySampler) Sketch() *groupby.Counter { return g.sk }
+
+// Add offers a key under group 0; weight and value are ignored.
+func (g *GroupBySampler) Add(key uint64, _, _ float64) { g.sk.Add(0, key) }
+
+// AddBatch offers a batch of labelled keys with direct calls.
+func (g *GroupBySampler) AddBatch(items []Item) {
+	sk := g.sk
+	for _, it := range items {
+		sk.Add(it.Group, it.Key)
+	}
+}
+
+// Sample returns the retained (group, hash) points as unit-valued
+// samples keyed by group.
+func (g *GroupBySampler) Sample() []Sample {
+	return g.AppendSample(nil)
+}
+
+// AppendSample appends the retained points to dst and returns the
+// extended slice. Dedicated groups report P equal to their own
+// thresholds, pooled points P equal to Tmax.
+func (g *GroupBySampler) AppendSample(dst []Sample) []Sample {
+	for _, p := range g.sk.Points() {
+		dst = append(dst, Sample{Key: p.Group, Weight: 1, Value: 1, Priority: p.Hash, P: p.P})
+	}
+	return dst
+}
+
+// Threshold returns Tmax, the shared pool's sampling threshold.
+func (g *GroupBySampler) Threshold() float64 { return g.sk.Tmax() }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (g *GroupBySampler) CodecName() string { return codec.NameGroupBy }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (g *GroupBySampler) MarshalBinary() ([]byte, error) { return g.sk.MarshalBinary() }
+
+// Merge folds another GroupBySampler into g.
+func (g *GroupBySampler) Merge(other Sampler) error {
+	o, ok := other.(*GroupBySampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return g.sk.Merge(o.sk)
+}
+
+// StratifiedSampler adapts the §3.7 budgeted multi-stratified sampler to
+// the Sampler interface. AddBatch reads each item's per-dimension
+// stratum labels from the batch item's Strata field (nil means stratum 0
+// everywhere); the three-argument Add lands in stratum 0 of every
+// dimension. Weight is ignored; Value is the aggregable quantity. Sample
+// reports each retained item with its max-of-strata pseudo-inclusion
+// probability, so generic HT estimation over the sample matches the
+// sampler's own SubsetSum.
+type StratifiedSampler struct {
+	sk *stratified.Sampler
+}
+
+// WrapStratified wraps an existing multi-stratified sampler.
+func WrapStratified(sk *stratified.Sampler) *StratifiedSampler { return &StratifiedSampler{sk: sk} }
+
+// Sketch returns the underlying multi-stratified sampler.
+func (s *StratifiedSampler) Sketch() *stratified.Sampler { return s.sk }
+
+// Add offers a value-carrying item in stratum 0 of every dimension;
+// weight is ignored.
+func (s *StratifiedSampler) Add(key uint64, _, value float64) { s.sk.Add(key, nil, value) }
+
+// AddBatch offers a batch of labelled items with direct calls.
+func (s *StratifiedSampler) AddBatch(items []Item) {
+	sk := s.sk
+	for _, it := range items {
+		sk.Add(it.Key, it.Strata, it.Value)
+	}
+}
+
+// Sample returns the retained items with their pseudo-inclusion
+// probabilities.
+func (s *StratifiedSampler) Sample() []Sample {
+	return s.AppendSample(nil)
+}
+
+// AppendSample appends the retained items (in key order) to dst and
+// returns the extended slice.
+func (s *StratifiedSampler) AppendSample(dst []Sample) []Sample {
+	for _, r := range s.sk.Sample() {
+		dst = append(dst, Sample{Key: r.Key, Weight: 1, Value: r.Value, Priority: r.Priority, P: r.P})
+	}
+	return dst
+}
+
+// Threshold returns the largest per-stratum threshold (+inf while every
+// stratum retains all of its members).
+func (s *StratifiedSampler) Threshold() float64 { return s.sk.MaxThreshold() }
+
+// CodecName names the registered codec serializing this sampler's sketch.
+func (s *StratifiedSampler) CodecName() string { return codec.NameStratified }
+
+// MarshalBinary serializes the underlying sketch (codec payload form).
+func (s *StratifiedSampler) MarshalBinary() ([]byte, error) { return s.sk.MarshalBinary() }
+
+// Merge folds another StratifiedSampler into s.
+func (s *StratifiedSampler) Merge(other Sampler) error {
+	o, ok := other.(*StratifiedSampler)
+	if !ok {
+		return ErrIncompatible
+	}
+	return s.sk.Merge(o.sk)
 }

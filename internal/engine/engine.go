@@ -10,6 +10,14 @@ type Item struct {
 	// zero is a valid instant (the axis origin). Time-oblivious samplers
 	// ignore it.
 	Time float64
+	// Group is the grouping attribute label, consumed by grouped samplers
+	// (the group-by distinct counter); zero is a valid group. Group-
+	// oblivious samplers ignore it.
+	Group uint64
+	// Strata are the per-dimension stratum labels, consumed by stratified
+	// samplers; nil means stratum 0 in every dimension. Stratum-oblivious
+	// samplers ignore it.
+	Strata []uint32
 }
 
 // Sample is one sampled item together with the pseudo-inclusion

@@ -4,6 +4,8 @@ import (
 	"ats/internal/bottomk"
 	"ats/internal/decay"
 	"ats/internal/distinct"
+	"ats/internal/groupby"
+	"ats/internal/stratified"
 	"ats/internal/stream"
 	"ats/internal/topk"
 	"ats/internal/varopt"
@@ -275,4 +277,98 @@ func (s *ShardedDecayed) DecayedSum(t float64, pred func(decay.Entry) bool) floa
 // population size at query time t.
 func (s *ShardedDecayed) DecayedCount(t float64) float64 {
 	return s.Collapse().DecayedCount(t)
+}
+
+// ShardedGroupBy is a concurrent grouped distinct counter (§3.6).
+// Priorities are hash-derived from item keys and coordinated across
+// shards by the shared seed, so Collapse — the canonical-order groupby
+// merge — is a deterministic function of the shard states. Items are
+// hash-partitioned by KEY (not group), so one group's items spread
+// across shards; the merge unions their coordinated samples back into
+// one adaptive state.
+type ShardedGroupBy struct {
+	*Sharded
+}
+
+// NewShardedGroupBy returns a sharded grouped distinct counter with m
+// dedicated sketches of size k per shard; shards <= 0 defaults to
+// GOMAXPROCS.
+func NewShardedGroupBy(m, k int, seed uint64, shards int) *ShardedGroupBy {
+	factory := func(int) Sampler { return WrapGroupBy(groupby.New(m, k, seed)) }
+	return &ShardedGroupBy{Sharded: NewSharded(shards, factory)}
+}
+
+// Observe offers an item belonging to the given group.
+func (s *ShardedGroupBy) Observe(group, key uint64) {
+	sh := s.shards[s.shardIndex(key)]
+	sh.mu.Lock()
+	sh.s.(*GroupBySampler).Sketch().Add(group, key)
+	sh.mu.Unlock()
+}
+
+// Collapse merges the shards into one grouped distinct counter (the
+// shards are left untouched).
+func (s *ShardedGroupBy) Collapse() *groupby.Counter {
+	snap, err := s.Snapshot()
+	if err != nil {
+		panic("engine: groupby snapshot failed: " + err.Error())
+	}
+	return snap.(*GroupBySampler).Sketch()
+}
+
+// Estimate returns the collapsed distinct-count estimate for a group.
+func (s *ShardedGroupBy) Estimate(group uint64) float64 { return s.Collapse().Estimate(group) }
+
+// GroupEstimates returns the collapsed per-group ranking (n > 0
+// truncates it to the n largest estimates).
+func (s *ShardedGroupBy) GroupEstimates(n int) []groupby.GroupEstimate {
+	return s.Collapse().GroupEstimates(n)
+}
+
+// ShardedStratified is a concurrent budgeted multi-stratified sampler
+// (§3.7). Priorities are hash-derived from item keys (coordinated by the
+// shared seed), so Collapse — per-stratum bottom-k unions followed by
+// re-filtering and budget enforcement, all in canonical order — is a
+// deterministic function of the shard states.
+type ShardedStratified struct {
+	*Sharded
+}
+
+// NewShardedStratified returns a sharded multi-stratified engine over
+// dims dimensions with per-shard (and collapsed) item budget and
+// per-stratum bottom-k parameter k; shards <= 0 defaults to GOMAXPROCS.
+func NewShardedStratified(budget, k, dims int, seed uint64, shards int) *ShardedStratified {
+	factory := func(int) Sampler { return WrapStratified(stratified.NewSampler(budget, k, dims, seed)) }
+	return &ShardedStratified{Sharded: NewSharded(shards, factory)}
+}
+
+// Observe offers an item with per-dimension stratum labels and an
+// aggregable value.
+func (s *ShardedStratified) Observe(key uint64, labels []uint32, value float64) {
+	sh := s.shards[s.shardIndex(key)]
+	sh.mu.Lock()
+	sh.s.(*StratifiedSampler).Sketch().Add(key, labels, value)
+	sh.mu.Unlock()
+}
+
+// Collapse merges the shards into one multi-stratified sampler (the
+// shards are left untouched).
+func (s *ShardedStratified) Collapse() *stratified.Sampler {
+	snap, err := s.Snapshot()
+	if err != nil {
+		panic("engine: stratified snapshot failed: " + err.Error())
+	}
+	return snap.(*StratifiedSampler).Sketch()
+}
+
+// SubsetSum returns the collapsed HT estimate (with its unbiased
+// variance estimate) of Σ value over items matching pred (nil for all).
+func (s *ShardedStratified) SubsetSum(pred func(key uint64, labels []uint32) bool) (sum, varianceEstimate float64) {
+	return s.Collapse().SubsetSum(pred)
+}
+
+// StratumStats returns the collapsed per-stratum HT estimates for one
+// dimension.
+func (s *ShardedStratified) StratumStats(dim int) []stratified.StratumStat {
+	return s.Collapse().StratumStats(dim)
 }

@@ -1,0 +1,241 @@
+package engine
+
+// Race-detector hammer tests for the grouped/stratified sharded facades,
+// mirroring the existing engine hammer tests: writers on Add/AddBatch,
+// concurrent Collapse/Snapshot readers, then semantic checks on the
+// final collapsed sketch (estimates near exact, budget respected,
+// deterministic collapse).
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"ats/internal/codec"
+)
+
+func TestConcurrentGroupByIsRaceFreeAndAccurate(t *testing.T) {
+	const (
+		m, k    = 16, 64
+		seed    = 41
+		writers = 8
+		perW    = 8000
+		groups  = 40
+	)
+	// Deterministic labelled stream: group g owns keys g<<32|i with
+	// 100*(g+1) distinct items, so exact counts are known.
+	items := make([]Item, writers*perW)
+	exact := make(map[uint64]map[uint64]struct{})
+	for i := range items {
+		g := uint64(i % groups)
+		key := g<<32 | uint64(i/groups)%uint64(100*(g+1))
+		items[i] = Item{Key: key, Group: g, Weight: 1, Value: 1}
+		if exact[g] == nil {
+			exact[g] = make(map[uint64]struct{})
+		}
+		exact[g][key] = struct{}{}
+	}
+
+	eng := NewShardedGroupBy(m, k, seed, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := items[w*perW : (w+1)*perW]
+			half := len(chunk) / 2
+			eng.AddBatch(chunk[:half])
+			for _, it := range chunk[half:] {
+				eng.Observe(it.Group, it.Key)
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for i := 0; i < 10; i++ {
+				col := eng.Collapse()
+				if tm := col.Tmax(); !(tm > 0) || tm > 1 {
+					t.Errorf("mid-write Tmax %v", tm)
+					return
+				}
+				for _, ge := range col.GroupEstimates(5) {
+					if ge.Estimate < 0 {
+						t.Errorf("mid-write negative estimate %+v", ge)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snapWG.Wait()
+
+	col := eng.Collapse()
+	if col.Groups() != groups {
+		t.Errorf("collapsed observed %d groups, want %d", col.Groups(), groups)
+	}
+	// Heavy groups (top half) must estimate within 35%.
+	for g := uint64(groups / 2); g < groups; g++ {
+		want := float64(len(exact[g]))
+		got := col.Estimate(g)
+		if rel := math.Abs(got-want) / want; rel > 0.35 {
+			t.Errorf("group %d: estimate %.1f vs exact %.0f (rel %.3f)", g, got, want, rel)
+		}
+	}
+	// Collapse is a pure function of the shard states: repeating it must
+	// be bit-identical.
+	b1, _ := col.MarshalBinary()
+	b2, _ := eng.Collapse().MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Error("repeated collapse of quiescent shards is not deterministic")
+	}
+}
+
+func TestConcurrentStratifiedIsRaceFreeAndAccurate(t *testing.T) {
+	const (
+		budget, k = 300, 64
+		dims      = 2
+		seed      = 43
+		writers   = 8
+		perW      = 6000
+	)
+	items := make([]Item, writers*perW)
+	exact := 0.0
+	for i := range items {
+		v := 1 + float64(i%7)
+		items[i] = Item{
+			Key:    uint64(i)*0x9e3779b97f4a7c15 + 1,
+			Value:  v,
+			Strata: []uint32{uint32(i % 6), uint32(i % 4)},
+		}
+		exact += v
+	}
+
+	eng := NewShardedStratified(budget, k, dims, seed, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := items[w*perW : (w+1)*perW]
+			half := len(chunk) / 2
+			eng.AddBatch(chunk[:half])
+			for _, it := range chunk[half:] {
+				eng.Observe(it.Key, it.Strata, it.Value)
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for i := 0; i < 10; i++ {
+				col := eng.Collapse()
+				if col.Len() > budget {
+					t.Errorf("mid-write collapsed sample %d over budget %d", col.Len(), budget)
+					return
+				}
+				if sum, _ := col.SubsetSum(nil); sum < 0 {
+					t.Errorf("mid-write negative sum %v", sum)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snapWG.Wait()
+
+	col := eng.Collapse()
+	if col.Len() > budget {
+		t.Fatalf("collapsed sample %d over budget %d", col.Len(), budget)
+	}
+	if col.N() != int64(len(items)) {
+		t.Errorf("collapsed N = %d, want %d", col.N(), len(items))
+	}
+	sum, _ := col.SubsetSum(nil)
+	if rel := math.Abs(sum-exact) / exact; rel > 0.25 {
+		t.Errorf("collapsed subset sum %.1f vs exact %.1f (rel %.3f)", sum, exact, rel)
+	}
+	// Every stratum of every dimension stays represented.
+	for d, want := range []int{6, 4} {
+		if got := len(col.StratumStats(d)); got != want {
+			t.Errorf("dimension %d: %d strata represented, want %d", d, got, want)
+		}
+	}
+	b1, _ := col.MarshalBinary()
+	b2, _ := eng.Collapse().MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Error("repeated collapse of quiescent shards is not deterministic")
+	}
+}
+
+// TestGroupedAdaptersThroughSamplerInterface drives the new adapters
+// through the generic Sampler/SnapshotMarshaler contracts the engine and
+// store rely on: cross-type merges rejected, codec round trips
+// re-wrapped by WrapDecoded, HT estimation over AppendSample matching
+// the sketch's own estimators.
+func TestGroupedAdaptersThroughSamplerInterface(t *testing.T) {
+	gb := NewShardedGroupBy(4, 16, 3, 2)
+	st := NewShardedStratified(50, 16, 2, 3, 2)
+	for i := 0; i < 5000; i++ {
+		gb.AddBatch([]Item{{Key: uint64(i), Group: uint64(i % 5)}})
+		st.AddBatch([]Item{{Key: uint64(i), Value: 1, Strata: []uint32{uint32(i % 3), 0}}})
+	}
+	gbs, err := gb.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gbs.Merge(sts); err != ErrIncompatible {
+		t.Errorf("cross-type merge: %v, want ErrIncompatible", err)
+	}
+	for _, s := range []Sampler{gbs, sts} {
+		sm := s.(SnapshotMarshaler)
+		payload, err := sm.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode through the registry name, as the store's restore does.
+		back, err := roundTripThroughCodec(sm.CodecName(), payload)
+		if err != nil {
+			t.Fatalf("%s: %v", sm.CodecName(), err)
+		}
+		s1 := s.Sample()
+		s2 := back.Sample()
+		if len(s1) != len(s2) {
+			t.Fatalf("%s: decoded sample has %d items, want %d", sm.CodecName(), len(s2), len(s1))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("%s: decoded sample[%d] = %+v, want %+v", sm.CodecName(), i, s2[i], s1[i])
+			}
+		}
+		if s.Threshold() != back.Threshold() {
+			t.Fatalf("%s: decoded threshold %v, want %v", sm.CodecName(), back.Threshold(), s.Threshold())
+		}
+	}
+}
+
+// roundTripThroughCodec decodes a codec payload by registry name and
+// re-wraps it into its engine adapter, the path the store's restore
+// walks.
+func roundTripThroughCodec(name string, payload []byte) (Sampler, error) {
+	c, ok := codec.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("codec %q not registered", name)
+	}
+	v, err := c.Unmarshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return WrapDecoded(name, v)
+}

@@ -1,0 +1,120 @@
+package groupby
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+// TestGroupedDistinctAccuracy is the statistical-accuracy harness for
+// grouped distinct counting: seeded synthetic streams with Zipf and
+// uniform group skew, estimates compared against exactly computed
+// per-group distinct counts, with relative-error bounds asserted on the
+// heavy groups (whose dedicated sketches adapt the sampling rate) and an
+// absolute bound — a fraction of the heavy-group scale, the paper's §3.6
+// guarantee — on the light ones.
+func TestGroupedDistinctAccuracy(t *testing.T) {
+	type tc struct {
+		name      string
+		m, k      int
+		seed      uint64
+		groups    int
+		items     int
+		zipfS     float64 // 0 = uniform group skew
+		heavyRel  float64 // max mean relative error over the top-m/2 groups
+		lightFrac float64 // max |err| on any group, as a fraction of the largest group
+	}
+	cases := []tc{
+		{"zipf-mild", 16, 128, 101, 400, 200000, 1.2, 0.20, 0.20},
+		{"zipf-steep", 16, 128, 103, 400, 200000, 1.6, 0.20, 0.20},
+		{"uniform", 16, 128, 107, 64, 200000, 0, 0.25, 0.25},
+		{"small-sketch-zipf", 8, 64, 109, 300, 150000, 1.4, 0.35, 0.30},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cnt := New(c.m, c.k, c.seed)
+			exact := make(map[uint64]map[uint64]struct{})
+			var z *stream.Zipf
+			if c.zipfS > 0 {
+				z = stream.NewZipf(c.groups, c.zipfS, c.seed+1)
+			}
+			rng := stream.NewRNG(c.seed + 2)
+			for i := 0; i < c.items; i++ {
+				var g uint64
+				if z != nil {
+					g = z.Next()
+				} else {
+					g = uint64(rng.Intn(c.groups))
+				}
+				key := g<<40 | uint64(rng.Intn(1<<16))
+				cnt.Add(g, key)
+				if exact[g] == nil {
+					exact[g] = make(map[uint64]struct{})
+				}
+				exact[g][key] = struct{}{}
+			}
+
+			// Rank groups by exact distinct count.
+			type gc struct {
+				g uint64
+				n int
+			}
+			ranked := make([]gc, 0, len(exact))
+			for g, set := range exact {
+				ranked = append(ranked, gc{g, len(set)})
+			}
+			sort.Slice(ranked, func(i, j int) bool {
+				if ranked[i].n != ranked[j].n {
+					return ranked[i].n > ranked[j].n
+				}
+				return ranked[i].g < ranked[j].g
+			})
+			largest := float64(ranked[0].n)
+
+			// Heavy groups: mean relative error bound.
+			heavy := c.m / 2
+			if heavy > len(ranked) {
+				heavy = len(ranked)
+			}
+			sumRel := 0.0
+			for _, r := range ranked[:heavy] {
+				est := cnt.Estimate(r.g)
+				sumRel += math.Abs(est-float64(r.n)) / float64(r.n)
+			}
+			if meanRel := sumRel / float64(heavy); meanRel > c.heavyRel {
+				t.Errorf("mean relative error over top %d groups = %.3f, bound %.3f",
+					heavy, meanRel, c.heavyRel)
+			}
+
+			// Every group: error bounded by a fraction of the heavy scale.
+			for _, r := range ranked {
+				est := cnt.Estimate(r.g)
+				if frac := math.Abs(est-float64(r.n)) / largest; frac > c.lightFrac {
+					t.Errorf("group %d (exact %d): estimate %.1f off by %.3f of heavy scale, bound %.3f",
+						r.g, r.n, est, frac, c.lightFrac)
+				}
+			}
+
+			// The ranking surface must put genuinely heavy groups on top:
+			// the top-5 estimated groups must all be within the top-m
+			// exact groups. Under uniform skew every group is statistically
+			// identical, so ranking order carries no signal — skip it.
+			if c.zipfS == 0 {
+				return
+			}
+			top := cnt.GroupEstimates(5)
+			exactTop := make(map[uint64]struct{})
+			for _, r := range ranked[:min(c.m, len(ranked))] {
+				exactTop[r.g] = struct{}{}
+			}
+			for _, ge := range top {
+				if _, ok := exactTop[ge.Group]; !ok {
+					t.Errorf("estimated-top group %d (est %.1f) is not among the exact top %d",
+						ge.Group, ge.Estimate, c.m)
+				}
+			}
+		})
+	}
+}

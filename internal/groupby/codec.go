@@ -1,0 +1,218 @@
+package groupby
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   uint32  "ATSG"
+//	version uint8   1
+//	m       uint32
+//	k       uint32
+//	seed    uint64
+//	tmax    float64
+//	nded    uint32  dedicated groups (<= m)
+//	npool   uint32  pool items
+//	ngroups uint64  observed group ids
+//	dedicated, sorted by group ascending, each:
+//	  group uint64, nh uint32 (1..k+1), then nh × hash float64 ascending
+//	pool, sorted by (group, hash) ascending: npool × (group uint64, hash float64)
+//	groups, sorted ascending: ngroups × uint64
+//
+// Everything a counter holds is either in the stream or derived from it
+// (poolByG is recomputed from the pool). Marshal canonicalizes map and
+// pool order, so marshal ∘ unmarshal is the identity on bytes and two
+// counters with equal logical state serialize identically.
+
+const (
+	codecMagic   = 0x41545347 // "ATSG"
+	codecVersion = 1
+
+	codecHeader = 4 + 1 + 4 + 4 + 8 + 8 + 4 + 4 + 8
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("groupby: corrupt serialized counter")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("groupby: unsupported serialization version")
+)
+
+// MarshalBinary serializes the counter in canonical form.
+func (c *Counter) MarshalBinary() ([]byte, error) {
+	ded := c.DedicatedGroups()
+	size := codecHeader + len(c.pool)*16 + len(c.groups)*8
+	for _, g := range ded {
+		size += 8 + 4 + len(c.dedicated[g].hashes)*8
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.m))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.k))
+	buf = binary.LittleEndian.AppendUint64(buf, c.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.tmax))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ded)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.pool)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(c.groups)))
+	for _, g := range ded {
+		hs := c.dedicated[g].hashes
+		buf = binary.LittleEndian.AppendUint64(buf, g)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hs)))
+		for _, h := range hs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h))
+		}
+	}
+	for _, it := range sortedPoolCopy(c.pool) {
+		buf = binary.LittleEndian.AppendUint64(buf, it.group)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.hash))
+	}
+	for _, g := range sortedGroups(c.groups) {
+		buf = binary.LittleEndian.AppendUint64(buf, g)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a counter serialized by MarshalBinary,
+// overwriting the receiver. Every section length is validated against the
+// actual data length before any count-sized allocation (decode-bomb
+// guard), and the counter's structural invariants are re-checked so a
+// crafted stream cannot materialize an impossible state.
+func (c *Counter) UnmarshalBinary(data []byte) error {
+	if len(data) < codecHeader {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	m := int(binary.LittleEndian.Uint32(data[5:]))
+	k := int(binary.LittleEndian.Uint32(data[9:]))
+	if m <= 0 || k <= 0 {
+		return fmt.Errorf("%w: non-positive m=%d or k=%d", ErrCorrupt, m, k)
+	}
+	seed := binary.LittleEndian.Uint64(data[13:])
+	tmax := math.Float64frombits(binary.LittleEndian.Uint64(data[21:]))
+	if !(tmax > 0) || tmax > 1 {
+		return fmt.Errorf("%w: tmax %v outside (0,1]", ErrCorrupt, tmax)
+	}
+	nded := int(binary.LittleEndian.Uint32(data[29:]))
+	npool := int(binary.LittleEndian.Uint32(data[33:]))
+	ngroups := binary.LittleEndian.Uint64(data[37:])
+	if nded > m {
+		return fmt.Errorf("%w: %d dedicated groups for m=%d", ErrCorrupt, nded, m)
+	}
+	if nded < m && tmax != 1 {
+		return fmt.Errorf("%w: tmax %v with %d/%d dedicated slots open", ErrCorrupt, tmax, m-nded, m)
+	}
+
+	// Built by hand rather than through New: New pre-sizes the dedicated
+	// map by m, and m here is attacker-controlled header input — map
+	// capacities must follow the actual data, not the claim.
+	restored := &Counter{
+		m: m, k: k, seed: seed, tmax: tmax,
+		dedicated: make(map[uint64]*groupSketch),
+		poolByG:   make(map[uint64]int),
+		poolSet:   make(map[poolItem]struct{}),
+		groups:    make(map[uint64]struct{}),
+	}
+	off := codecHeader
+	need := func(n int) error {
+		if n < 0 || len(data)-off < n {
+			return fmt.Errorf("%w: truncated body at offset %d", ErrCorrupt, off)
+		}
+		return nil
+	}
+
+	lastGroup, first := uint64(0), true
+	for i := 0; i < nded; i++ {
+		if err := need(12); err != nil {
+			return err
+		}
+		g := binary.LittleEndian.Uint64(data[off:])
+		nh := int(binary.LittleEndian.Uint32(data[off+8:]))
+		off += 12
+		if !first && g <= lastGroup {
+			return fmt.Errorf("%w: dedicated groups out of order", ErrCorrupt)
+		}
+		lastGroup, first = g, false
+		if nh < 1 || nh > k+1 {
+			return fmt.Errorf("%w: dedicated group %d holds %d hashes for k=%d", ErrCorrupt, g, nh, k)
+		}
+		if err := need(nh * 8); err != nil {
+			return err
+		}
+		hs := make([]float64, nh)
+		for j := range hs {
+			h := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+			if !(h > 0) || h >= 1 {
+				return fmt.Errorf("%w: dedicated hash %v outside (0,1)", ErrCorrupt, h)
+			}
+			if j > 0 && h <= hs[j-1] {
+				return fmt.Errorf("%w: dedicated hashes out of order", ErrCorrupt)
+			}
+			hs[j] = h
+		}
+		restored.dedicated[g] = &groupSketch{hashes: hs}
+	}
+
+	if err := need(npool * 16); err != nil {
+		return err
+	}
+	var lastPool poolItem
+	for i := 0; i < npool; i++ {
+		g := binary.LittleEndian.Uint64(data[off:])
+		h := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		off += 16
+		if !(h > 0) || h >= tmax {
+			return fmt.Errorf("%w: pool hash %v outside (0,tmax)", ErrCorrupt, h)
+		}
+		if i > 0 && (g < lastPool.group || (g == lastPool.group && h <= lastPool.hash)) {
+			return fmt.Errorf("%w: pool items out of order", ErrCorrupt)
+		}
+		if _, dedicated := restored.dedicated[g]; dedicated {
+			return fmt.Errorf("%w: group %d is both dedicated and pooled", ErrCorrupt, g)
+		}
+		lastPool = poolItem{group: g, hash: h}
+		restored.pool = append(restored.pool, lastPool)
+		restored.poolSet[lastPool] = struct{}{}
+		restored.poolByG[g]++
+		if restored.poolByG[g] > k {
+			return fmt.Errorf("%w: pooled group %d exceeds k=%d items", ErrCorrupt, g, k)
+		}
+	}
+
+	// The remaining bytes must be exactly the observed-group section.
+	if uint64(len(data)-off) != ngroups*8 || ngroups*8/8 != ngroups {
+		return fmt.Errorf("%w: trailing section is %d bytes, want %d groups", ErrCorrupt, len(data)-off, ngroups)
+	}
+	var lastObs uint64
+	for i := uint64(0); i < ngroups; i++ {
+		g := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if i > 0 && g <= lastObs {
+			return fmt.Errorf("%w: observed groups out of order", ErrCorrupt)
+		}
+		lastObs = g
+		restored.groups[g] = struct{}{}
+	}
+	for g := range restored.dedicated {
+		if _, ok := restored.groups[g]; !ok {
+			return fmt.Errorf("%w: dedicated group %d missing from observed set", ErrCorrupt, g)
+		}
+	}
+	for g := range restored.poolByG {
+		if _, ok := restored.groups[g]; !ok {
+			return fmt.Errorf("%w: pooled group %d missing from observed set", ErrCorrupt, g)
+		}
+	}
+	*c = *restored
+	return nil
+}

@@ -1,0 +1,216 @@
+package groupby
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+// loadedCounter builds a counter driven far enough to have promoted
+// groups, a populated pool and a Tmax below 1.
+func loadedCounter(t testing.TB, m, k int, seed uint64, items int) *Counter {
+	t.Helper()
+	c := New(m, k, seed)
+	z := stream.NewZipf(400, 1.3, seed^0x5eed)
+	rng := stream.NewRNG(seed + 1)
+	for i := 0; i < items; i++ {
+		g := z.Next()
+		c.Add(g, g<<32|uint64(rng.Intn(4000)))
+	}
+	return c
+}
+
+func TestCodecRoundTripBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    *Counter
+	}{
+		{"empty", New(4, 8, 1)},
+		{"pool-only", func() *Counter {
+			c := New(4, 8, 2)
+			for g := uint64(0); g < 3; g++ {
+				for i := uint64(0); i < 4; i++ {
+					c.Add(g, g*100+i)
+				}
+			}
+			return c
+		}()},
+		{"promoted", loadedCounter(t, 4, 8, 3, 20000)},
+		{"big", loadedCounter(t, 16, 32, 4, 100000)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := tc.c.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d Counter
+			if err := d.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+			again, err := d.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatalf("marshal ∘ unmarshal is not the identity on bytes: %d vs %d bytes", len(data), len(again))
+			}
+			// Logical state must match exactly.
+			if d.Tmax() != tc.c.Tmax() || d.Groups() != tc.c.Groups() ||
+				d.MemoryItems() != tc.c.MemoryItems() {
+				t.Fatalf("round trip changed state: tmax %v->%v, groups %d->%d",
+					tc.c.Tmax(), d.Tmax(), tc.c.Groups(), d.Groups())
+			}
+			if !reflect.DeepEqual(d.GroupEstimates(0), tc.c.GroupEstimates(0)) {
+				t.Fatal("round trip changed group estimates")
+			}
+			// A restored counter must keep ingesting identically.
+			c2 := tc.c
+			for i := uint64(0); i < 500; i++ {
+				c2.Add(i%7, i*0x9e3779b97f4a7c15)
+				d.Add(i%7, i*0x9e3779b97f4a7c15)
+			}
+			b1, _ := c2.MarshalBinary()
+			b2, _ := d.MarshalBinary()
+			if !bytes.Equal(b1, b2) {
+				t.Fatal("restored counter diverged from original under identical ingest")
+			}
+		})
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	c := loadedCounter(t, 4, 8, 5, 20000)
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), data...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"truncated":   data[:len(data)-3],
+		"bad magic":   mutate(func(b []byte) { b[0] ^= 0xff }),
+		"bad version": mutate(func(b []byte) { b[4] = 99 }),
+		"zero m":      mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[5:], 0) }),
+		"zero k":      mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[9:], 0) }),
+		"tmax > 1": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[21:], math.Float64bits(1.5))
+		}),
+		"tmax NaN": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[21:], math.Float64bits(math.NaN()))
+		}),
+		"trailing garbage": append(append([]byte(nil), data...), 1, 2, 3),
+	}
+	for name, bad := range cases {
+		var d Counter
+		if err := d.UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: error %v is not ErrCorrupt/ErrVersion", name, err)
+		}
+	}
+}
+
+// TestCodecDecodeBomb ensures a crafted header claiming huge section
+// counts cannot force a large allocation: the decoder must fail on the
+// actual (short) data length first.
+func TestCodecDecodeBomb(t *testing.T) {
+	buf := make([]byte, 0, codecHeader)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<31)               // m
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<31)               // k
+	buf = binary.LittleEndian.AppendUint64(buf, 1)                   // seed
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(1)) // tmax
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<31)               // nded
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<31)               // npool
+	buf = binary.LittleEndian.AppendUint64(buf, 1<<60)               // ngroups
+	var d Counter
+	if err := d.UnmarshalBinary(buf); err == nil {
+		t.Fatal("decode bomb accepted")
+	}
+}
+
+func TestMergeMatchesCombinedIngest(t *testing.T) {
+	// Split one stream across two counters, merge, and compare against a
+	// counter that saw everything: the heavy-group estimates must agree
+	// closely (the merged state is a valid state of the combined stream,
+	// not necessarily the identical one).
+	a, b, all := New(8, 32, 7), New(8, 32, 7), New(8, 32, 7)
+	z := stream.NewZipf(300, 1.4, 11)
+	rng := stream.NewRNG(12)
+	for i := 0; i < 60000; i++ {
+		g := z.Next()
+		key := g<<32 | uint64(rng.Intn(3000))
+		if i%2 == 0 {
+			a.Add(g, key)
+		} else {
+			b.Add(g, key)
+		}
+		all.Add(g, key)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, ge := range all.GroupEstimates(5) {
+		merged := a.Estimate(ge.Group)
+		if rel := math.Abs(merged-ge.Estimate) / ge.Estimate; rel > 0.35 {
+			t.Errorf("group %d: merged %v vs combined %v (rel %v)", ge.Group, merged, ge.Estimate, rel)
+		}
+	}
+	if a.Groups() != all.Groups() {
+		t.Errorf("merged observed %d groups, combined %d", a.Groups(), all.Groups())
+	}
+}
+
+func TestMergeDeterministicAcrossRepresentations(t *testing.T) {
+	// Merging a live counter and merging its decoded round trip into
+	// identical targets must produce byte-identical results: the store's
+	// restored-bucket queries depend on it.
+	b := loadedCounter(t, 4, 16, 13, 30000)
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Counter
+	if err := decoded.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	t1 := loadedCounter(t, 4, 16, 13, 10000)
+	t2 := loadedCounter(t, 4, 16, 13, 10000)
+	if err := t1.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Merge(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := t1.MarshalBinary()
+	m2, _ := t2.MarshalBinary()
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("merging a decoded counter diverged from merging the live counter")
+	}
+}
+
+func TestMergeGuards(t *testing.T) {
+	c := New(4, 8, 1)
+	if err := c.Merge(c); err == nil {
+		t.Error("self-merge must be rejected")
+	}
+	for _, o := range []*Counter{New(5, 8, 1), New(4, 9, 1), New(4, 8, 2)} {
+		if err := c.Merge(o); err == nil {
+			t.Errorf("incompatible merge (m=%d k=%d seed=%d) accepted", o.m, o.k, o.seed)
+		}
+	}
+	// The rejected merges must not have touched the counter.
+	if c.Groups() != 0 || c.MemoryItems() != 0 || c.Tmax() != 1 {
+		t.Error("rejected merge mutated the counter")
+	}
+}

@@ -1,0 +1,63 @@
+package groupby
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedCounter serializes a counter state for the fuzz seed corpus.
+func fuzzSeedCounter(t testing.TB, m, k int, seed uint64, items int) []byte {
+	data, err := loadedCounter(t, m, k, seed, items).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzGroupByCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary.
+// Decodable inputs must satisfy the counter's structural invariants and
+// survive a marshal/unmarshal round trip bit-identically (the codec is
+// canonical); everything else must be rejected with an error, never a
+// panic or an unbounded allocation.
+func FuzzGroupByCodecRoundTrip(f *testing.F) {
+	f.Add(fuzzSeedCounter(f, 4, 8, 1, 0))
+	f.Add(fuzzSeedCounter(f, 4, 8, 2, 50))
+	f.Add(fuzzSeedCounter(f, 4, 8, 3, 20000))
+	f.Add(fuzzSeedCounter(f, 16, 32, 4, 60000))
+	if data := fuzzSeedCounter(f, 8, 16, 5, 30000); len(data) > 10 {
+		f.Add(data[:len(data)-7])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ATSGgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Counter
+		if err := c.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if c.m <= 0 || c.k <= 0 || !(c.tmax > 0) || c.tmax > 1 {
+			t.Fatalf("decoded invalid counter: m=%d k=%d tmax=%v", c.m, c.k, c.tmax)
+		}
+		if len(c.dedicated) > c.m {
+			t.Fatalf("decoded %d dedicated groups for m=%d", len(c.dedicated), c.m)
+		}
+		for g, sk := range c.dedicated {
+			if len(sk.hashes) > c.k+1 {
+				t.Fatalf("dedicated group %d holds %d hashes for k=%d", g, len(sk.hashes), c.k)
+			}
+		}
+		out, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("codec is not canonical: %d bytes in, %d bytes out", len(data), len(out))
+		}
+		// Estimates over the decoded state must be finite and non-negative.
+		for _, ge := range c.GroupEstimates(0) {
+			if ge.Estimate < 0 || ge.Estimate != ge.Estimate {
+				t.Fatalf("group %d estimate %v", ge.Group, ge.Estimate)
+			}
+		}
+	})
+}

@@ -13,6 +13,8 @@
 package groupby
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"ats/internal/stream"
@@ -37,13 +39,15 @@ func (g *groupSketch) threshold(k int) float64 {
 	return g.hashes[k]
 }
 
-func (g *groupSketch) add(h float64, k int) {
+// add offers a hash and reports whether the sketch changed (a no-op add
+// cannot have moved the group's threshold).
+func (g *groupSketch) add(h float64, k int) bool {
 	i := sort.SearchFloat64s(g.hashes, h)
 	if i < len(g.hashes) && g.hashes[i] == h {
-		return
+		return false
 	}
 	if i > k {
-		return // beyond the (k+1)-th smallest; irrelevant
+		return false // beyond the (k+1)-th smallest; irrelevant
 	}
 	g.hashes = append(g.hashes, 0)
 	copy(g.hashes[i+1:], g.hashes[i:])
@@ -51,6 +55,7 @@ func (g *groupSketch) add(h float64, k int) {
 	if len(g.hashes) > k+1 {
 		g.hashes = g.hashes[:k+1]
 	}
+	return true
 }
 
 func (g *groupSketch) estimate(k int) float64 {
@@ -71,8 +76,12 @@ type Counter struct {
 	dedicated map[uint64]*groupSketch
 	pool      []poolItem
 	poolByG   map[uint64]int // group -> item count in pool
-	tmax      float64
-	groups    map[uint64]struct{} // all group ids ever seen
+	// poolSet is the derived membership index of pool, keeping the
+	// duplicate check (and therefore Merge replays) O(1) per point; it
+	// is rebuilt on decode, never serialized.
+	poolSet map[poolItem]struct{}
+	tmax    float64
+	groups  map[uint64]struct{} // all group ids ever seen
 }
 
 // New returns a Counter with at most m dedicated sketches of size k.
@@ -86,30 +95,49 @@ func New(m, k int, seed uint64) *Counter {
 		seed:      seed,
 		dedicated: make(map[uint64]*groupSketch, m),
 		poolByG:   make(map[uint64]int),
+		poolSet:   make(map[poolItem]struct{}),
 		tmax:      1,
 		groups:    make(map[uint64]struct{}),
 	}
 }
 
+// M returns the number of dedicated sketch slots.
+func (c *Counter) M() int { return c.m }
+
+// K returns the per-group sketch size.
+func (c *Counter) K() int { return c.k }
+
+// Seed returns the coordination seed; counters sharing a seed are
+// mergeable.
+func (c *Counter) Seed() uint64 { return c.seed }
+
 // Add offers an item belonging to the given group.
 func (c *Counter) Add(group, key uint64) {
 	c.groups[group] = struct{}{}
-	h := stream.HashU01(key, c.seed)
+	c.addHash(group, stream.HashU01(key, c.seed))
+}
+
+// addHash offers an already-hashed priority for group: the shared
+// building block of Add and Merge (merged points must not be re-hashed).
+func (c *Counter) addHash(group uint64, h float64) {
 	if g, ok := c.dedicated[group]; ok {
-		g.add(h, c.k)
-		c.refreshTmax()
+		// refreshTmax walks every dedicated sketch (O(m)); skip it when
+		// the add was a no-op — no threshold can have moved.
+		if g.add(h, c.k) {
+			c.refreshTmax()
+		}
 		return
 	}
 	if h >= c.tmax {
 		return
 	}
 	// Deduplicate within the pool (same group+hash).
-	for _, it := range c.pool {
-		if it.group == group && it.hash == h {
-			return
-		}
+	it := poolItem{group: group, hash: h}
+	if _, dup := c.poolSet[it]; dup {
+		return
 	}
-	c.pool = append(c.pool, poolItem{group: group, hash: h})
+	c.pool = append(c.pool, it)
+	c.poolSet[it] = struct{}{}
 	c.poolByG[group]++
 	if c.poolByG[group] > c.k {
 		c.promote(group)
@@ -124,6 +152,7 @@ func (c *Counter) promote(group uint64) {
 	for _, it := range c.pool {
 		if it.group == group {
 			gs.add(it.hash, c.k)
+			delete(c.poolSet, it)
 		} else {
 			rest = append(rest, it)
 		}
@@ -132,11 +161,13 @@ func (c *Counter) promote(group uint64) {
 	delete(c.poolByG, group)
 
 	if len(c.dedicated) >= c.m {
-		// Demote the dedicated group with the largest threshold.
+		// Demote the dedicated group with the largest threshold,
+		// tie-broken by smaller group id so eviction (and therefore Merge)
+		// is deterministic regardless of map iteration order.
 		var worst uint64
 		worstT := -1.0
 		for g, sk := range c.dedicated {
-			if t := sk.threshold(c.k); t > worstT {
+			if t := sk.threshold(c.k); t > worstT || (t == worstT && g < worst) {
 				worst, worstT = g, t
 			}
 		}
@@ -144,7 +175,9 @@ func (c *Counter) promote(group uint64) {
 		delete(c.dedicated, worst)
 		for _, h := range demoted.hashes {
 			if h < c.tmax {
-				c.pool = append(c.pool, poolItem{group: worst, hash: h})
+				it := poolItem{group: worst, hash: h}
+				c.pool = append(c.pool, it)
+				c.poolSet[it] = struct{}{}
 				c.poolByG[worst]++
 			}
 		}
@@ -175,6 +208,7 @@ func (c *Counter) refreshTmax() {
 		if it.hash < c.tmax {
 			rest = append(rest, it)
 		} else {
+			delete(c.poolSet, it)
 			c.poolByG[it.group]--
 			if c.poolByG[it.group] == 0 {
 				delete(c.poolByG, it.group)
@@ -210,6 +244,141 @@ func (c *Counter) MemoryItems() int {
 
 // Tmax returns the pool threshold.
 func (c *Counter) Tmax() float64 { return c.tmax }
+
+// Point is one retained (group, hash) sample point with the
+// pseudo-inclusion probability implied by its threshold: the owning
+// dedicated sketch's threshold for promoted groups, Tmax for pooled
+// points (1 when the threshold is still open). Only points strictly
+// below their threshold are reported — exactly the points the estimators
+// count.
+type Point struct {
+	Group uint64
+	Hash  float64
+	P     float64
+}
+
+// Points returns every retained sample point in canonical order (groups
+// ascending, hashes ascending), ready for Horvitz-Thompson estimation: a
+// subset count of the points of one group reproduces Estimate(group).
+func (c *Counter) Points() []Point {
+	out := make([]Point, 0, c.MemoryItems())
+	for _, g := range c.DedicatedGroups() {
+		sk := c.dedicated[g]
+		t := sk.threshold(c.k)
+		if t >= 1 {
+			for _, h := range sk.hashes {
+				out = append(out, Point{Group: g, Hash: h, P: 1})
+			}
+			continue
+		}
+		for _, h := range sk.hashes {
+			if h < t {
+				out = append(out, Point{Group: g, Hash: h, P: t})
+			}
+		}
+	}
+	p := c.tmax
+	for _, it := range c.pool {
+		out = append(out, Point{Group: it.group, Hash: it.hash, P: p})
+	}
+	// One final sort orders everything — dedicated and pooled points
+	// alike — so the pool needs no pre-sorting of its own.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// GroupEstimate is one group with its estimated distinct count.
+type GroupEstimate struct {
+	Group    uint64
+	Estimate float64
+	// Dedicated reports whether the group currently owns a dedicated
+	// sketch (heavy group) or is estimated from the shared pool.
+	Dedicated bool
+}
+
+// GroupEstimates returns the estimated distinct count of every group with
+// at least one retained point, sorted by estimate descending (ties broken
+// by ascending group id). n > 0 truncates the ranking to the n largest.
+// Groups whose points were all pruned from the pool are absent: their
+// estimate is statistically indistinguishable from zero at the current
+// sampling rate.
+func (c *Counter) GroupEstimates(n int) []GroupEstimate {
+	out := make([]GroupEstimate, 0, len(c.dedicated)+len(c.poolByG))
+	for g := range c.dedicated {
+		out = append(out, GroupEstimate{Group: g, Estimate: c.Estimate(g), Dedicated: true})
+	}
+	for g := range c.poolByG {
+		out = append(out, GroupEstimate{Group: g, Estimate: c.Estimate(g)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Group < out[j].Group
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Merge folds another counter into c. Both counters must share m, k and
+// seed (their hashes are coordinated, so the union of retained points is
+// a valid state of the combined stream); merging a counter into itself is
+// rejected. The other counter is not modified. Points are replayed in a
+// canonical order (groups ascending, hashes ascending), so merging equal
+// logical states always produces identical results regardless of map
+// iteration order.
+func (c *Counter) Merge(o *Counter) error {
+	if c == o {
+		return errors.New("groupby: cannot merge a counter into itself")
+	}
+	if c.m != o.m || c.k != o.k || c.seed != o.seed {
+		return fmt.Errorf("groupby: incompatible counters (m=%d/%d, k=%d/%d, seed=%d/%d)",
+			c.m, o.m, c.k, o.k, c.seed, o.seed)
+	}
+	for _, g := range sortedGroups(o.groups) {
+		c.groups[g] = struct{}{}
+	}
+	for _, g := range o.DedicatedGroups() {
+		for _, h := range o.dedicated[g].hashes {
+			c.addHash(g, h)
+		}
+	}
+	for _, it := range sortedPoolCopy(o.pool) {
+		c.addHash(it.group, it.hash)
+	}
+	return nil
+}
+
+// sortedPoolCopy returns the pool in canonical (group, hash) order — the
+// single definition of the order the codec serializes and Merge replays
+// in (the marshal ∘ unmarshal identity depends on all sites agreeing).
+func sortedPoolCopy(pool []poolItem) []poolItem {
+	out := make([]poolItem, len(pool))
+	copy(out, pool)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].group != out[j].group {
+			return out[i].group < out[j].group
+		}
+		return out[i].hash < out[j].hash
+	})
+	return out
+}
+
+func sortedGroups(set map[uint64]struct{}) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // DedicatedGroups returns the ids of currently promoted groups.
 func (c *Counter) DedicatedGroups() []uint64 {

@@ -122,8 +122,10 @@ func TestEndToEndSketchFamily(t *testing.T) {
 	type queryResp struct {
 		Result store.Result `json:"result"`
 	}
+	// to is pinned to a fixed future instant so byte-for-byte response
+	// comparisons cannot flake across a wall-clock second boundary.
 	query := func(metric, extra string) ([]byte, store.Result) {
-		body := get(t, srv.URL+"/v1/query?namespace=fam&metric="+metric+"&from=0"+extra)
+		body := get(t, srv.URL+"/v1/query?namespace=fam&metric="+metric+"&from=0&to=4102444800"+extra)
 		var qr queryResp
 		if err := json.Unmarshal(body, &qr); err != nil {
 			t.Fatal(err)
@@ -213,7 +215,7 @@ func TestEndToEndSketchFamily(t *testing.T) {
 		if metric == "hot-keys" {
 			extra = "&k=20"
 		}
-		got := get(t, srv2.URL+"/v1/query?namespace=fam&metric="+metric+"&from=0"+extra)
+		got := get(t, srv2.URL+"/v1/query?namespace=fam&metric="+metric+"&from=0&to=4102444800"+extra)
 		if !bytes.Equal(got, want) {
 			t.Fatalf("%s: restored query differs:\n  before: %s\n  after:  %s", metric, want, got)
 		}

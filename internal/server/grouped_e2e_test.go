@@ -1,0 +1,210 @@
+package server
+
+// End-to-end acceptance test of the grouped-analytics surface: groupby
+// and stratified series ingested and queried through the atsd HTTP wire
+// protocol (group_by=group rankings, per-stratum results per dimension),
+// kind mismatches staying 409, group_by validation as 400, and a
+// snapshot/restore cycle preserving every reply byte-for-byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ats/internal/store"
+	"ats/internal/stream"
+)
+
+type groupedItemT struct {
+	Key    uint64   `json:"key"`
+	Value  float64  `json:"value,omitempty"`
+	Group  uint64   `json:"group,omitempty"`
+	Strata []uint32 `json:"strata,omitempty"`
+}
+
+func groupedConfig() store.Config {
+	return store.Config{
+		Kind:           store.BottomK,
+		K:              256,
+		GroupM:         8,
+		StratumK:       64,
+		StratifiedDims: 2,
+		Seed:           71,
+		BucketWidth:    time.Hour,
+		Retention:      100,
+	}
+}
+
+func TestEndToEndGroupedAnalytics(t *testing.T) {
+	st := store.New(groupedConfig())
+	srv := httptest.NewServer(New(st, "").Handler())
+	defer srv.Close()
+
+	// --- ingest: one groupby series (8 groups with known distinct
+	// counts) and one stratified series (6×4 strata with known sums) ---
+	const groups = 8
+	exactDistinct := map[uint64]int{}
+	rng := stream.NewRNG(73)
+	exactTotal := 0.0
+	exactStratum := [2]map[uint32]float64{{}, {}}
+	const chunk = 4000
+	for off := 0; off < 20000; off += chunk {
+		grouped := make([]groupedItemT, chunk)
+		strat := make([]groupedItemT, chunk)
+		for i := range grouped {
+			n := off + i
+			g := uint64(n) % groups
+			// Group g cycles through 150*(g+1) distinct keys.
+			key := g<<32 | uint64(n/groups)%uint64(150*(int(g)+1))
+			grouped[i] = groupedItemT{Key: key, Group: g}
+			exactDistinct[g] = 150 * (int(g) + 1)
+
+			labels := []uint32{uint32(rng.Intn(6)), uint32(rng.Intn(4))}
+			v := 1 + 9*rng.Float64()
+			strat[i] = groupedItemT{Key: uint64(n)*2862933555777941757 + 1, Value: v, Strata: labels}
+			exactTotal += v
+			exactStratum[0][labels[0]] += v
+			exactStratum[1][labels[1]] += v
+		}
+		out := postJSON(t, srv.URL+"/v1/add", []map[string]any{
+			{"namespace": "ga", "metric": "per-country", "kind": "groupby", "items": grouped},
+			{"namespace": "ga", "metric": "by-country-age", "kind": "stratified", "items": strat},
+		})
+		if int(out["added"].(float64)) != 2*chunk {
+			t.Fatalf("added %v, want %d", out["added"], 2*chunk)
+		}
+	}
+
+	// --- kind mismatch stays 409 against the new kinds ---
+	body, _ := json.Marshal(map[string]any{
+		"namespace": "ga", "metric": "per-country", "kind": "stratified",
+		"items": []groupedItemT{{Key: 1}},
+	})
+	resp, err := http.Post(srv.URL+"/v1/add", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-kind ingest into a groupby series: status %d, want 409", resp.StatusCode)
+	}
+
+	// --- grouped ranking over HTTP ---
+	var qr struct {
+		Result store.Result `json:"result"`
+	}
+	groupedBody := get(t, srv.URL+"/v1/query?namespace=ga&metric=per-country&from=0&to=4102444800&group_by=group")
+	if err := json.Unmarshal(groupedBody, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Result.Kind != "groupby" || qr.Result.GroupCount != groups {
+		t.Fatalf("groupby result: %+v", qr.Result)
+	}
+	if len(qr.Result.Groups) != groups {
+		t.Fatalf("ranking has %d groups, want %d", len(qr.Result.Groups), groups)
+	}
+	for _, gr := range qr.Result.Groups {
+		want := float64(exactDistinct[gr.Group])
+		if rel := math.Abs(gr.DistinctEstimate-want) / want; rel > 0.30 {
+			t.Errorf("group %d: estimate %.1f vs exact %.0f (rel %.3f)",
+				gr.Group, gr.DistinctEstimate, want, rel)
+		}
+	}
+	// k bounds the group ranking.
+	get(t, srv.URL+"/v1/query?namespace=ga&metric=per-country&from=0&to=4102444800&group_by=group&k=3")
+	if err := json.Unmarshal(get(t, srv.URL+"/v1/query?namespace=ga&metric=per-country&from=0&to=4102444800&group_by=group&k=3"), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Result.Groups) != 3 {
+		t.Fatalf("k=3 ranking has %d groups", len(qr.Result.Groups))
+	}
+
+	// --- per-stratum results per dimension over HTTP ---
+	var stratBodies [2][]byte
+	for dim := 0; dim < 2; dim++ {
+		stratBodies[dim] = get(t, srv.URL+"/v1/query?namespace=ga&metric=by-country-age&from=0&to=4102444800&group_by="+
+			string(rune('0'+dim)))
+		if err := json.Unmarshal(stratBodies[dim], &qr); err != nil {
+			t.Fatal(err)
+		}
+		if qr.Result.Kind != "stratified" || qr.Result.StratumDim == nil || *qr.Result.StratumDim != dim {
+			t.Fatalf("stratified dim %d result: %+v", dim, qr.Result)
+		}
+		if rel := math.Abs(qr.Result.Sum-exactTotal) / exactTotal; rel > 0.15 {
+			t.Errorf("dim %d total %.1f vs exact %.1f (rel %.3f)", dim, qr.Result.Sum, exactTotal, rel)
+		}
+		if len(qr.Result.Strata) != len(exactStratum[dim]) {
+			t.Fatalf("dim %d: %d strata, want %d", dim, len(qr.Result.Strata), len(exactStratum[dim]))
+		}
+		for _, sr := range qr.Result.Strata {
+			want := exactStratum[dim][sr.Label]
+			if rel := math.Abs(sr.SumEstimate-want) / want; rel > 0.45 {
+				t.Errorf("dim %d stratum %d: %.1f vs exact %.1f (rel %.3f)",
+					dim, sr.Label, sr.SumEstimate, want, rel)
+			}
+		}
+	}
+
+	// --- group_by validation: wrong attribute for the kind is 400 ---
+	for _, bad := range []string{
+		"/v1/query?namespace=ga&metric=per-country&from=0&group_by=7",
+		"/v1/query?namespace=ga&metric=by-country-age&from=0&group_by=group",
+		"/v1/query?namespace=ga&metric=by-country-age&from=0&group_by=2",
+		"/v1/query?namespace=ga&metric=by-country-age&from=0&group_by=country",
+	} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// --- snapshot → restore into a fresh daemon → byte-identical replies ---
+	resp, err = http.Post(srv.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d, %v", resp.StatusCode, err)
+	}
+	st2 := store.New(groupedConfig())
+	if err := st2.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(New(st2, "").Handler())
+	defer srv2.Close()
+
+	restoredGrouped := get(t, srv2.URL+"/v1/query?namespace=ga&metric=per-country&from=0&to=4102444800&group_by=group")
+	if !bytes.Equal(restoredGrouped, groupedBody) {
+		t.Fatalf("restored groupby query differs:\n  before: %s\n  after:  %s", groupedBody, restoredGrouped)
+	}
+	for dim := 0; dim < 2; dim++ {
+		restored := get(t, srv2.URL+"/v1/query?namespace=ga&metric=by-country-age&from=0&to=4102444800&group_by="+
+			string(rune('0'+dim)))
+		if !bytes.Equal(restored, stratBodies[dim]) {
+			t.Fatalf("restored stratified dim %d query differs:\n  before: %s\n  after:  %s",
+				dim, stratBodies[dim], restored)
+		}
+	}
+	// The snapshot itself must be stable: a second snapshot of the
+	// restored store is bit-identical.
+	var snap2 bytes.Buffer
+	if err := st2.Snapshot(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, snap2.Bytes()) {
+		t.Fatal("snapshot → restore → snapshot is not bit-identical")
+	}
+}

@@ -3,16 +3,23 @@
 //
 // Endpoints (all JSON unless noted; docs/API.md is the full reference):
 //
-//	POST /v1/add       {"namespace","metric","kind","items":[{"key","weight","value"}]}
-//	                   or a JSON array of such objects; returns {"added":n}.
-//	                   "kind" (optional) selects the sketch kind of a key
-//	                   created by this ingest — bottomk, distinct, window,
-//	                   topk, varopt or decay; omitted means the store's
-//	                   default. Ingest into an existing key under a
-//	                   different kind is 409 Conflict.
-//	GET  /v1/query     ?namespace=&metric=&from=&to=&k=  range estimates
-//	                   (fields depend on the key's kind; k bounds the
-//	                   topk ranking)
+//	POST /v1/add       {"namespace","metric","kind","items":[{"key","weight",
+//	                   "value","group","strata"}]} or a JSON array of such
+//	                   objects; returns {"added":n}. "kind" (optional)
+//	                   selects the sketch kind of a key created by this
+//	                   ingest — bottomk, distinct, window, topk, varopt,
+//	                   decay, groupby or stratified; omitted means the
+//	                   store's default. "group" labels groupby items,
+//	                   "strata" carries per-dimension stratum labels for
+//	                   stratified items. Ingest into an existing key under
+//	                   a different kind is 409 Conflict.
+//	GET  /v1/query     ?namespace=&metric=&from=&to=&k=&group_by=
+//	                   range estimates (fields depend on the key's kind;
+//	                   k bounds topk and groupby rankings). group_by=group
+//	                   asks a groupby series for its per-group ranking;
+//	                   group_by=<dim> (an integer) asks a stratified
+//	                   series for per-stratum results along that
+//	                   dimension. group_by on any other kind is 400.
 //	GET  /v1/sample    ?namespace=&metric=&from=&to=   the merged sample
 //	GET  /v1/keys      live keys with their kinds
 //	GET  /v1/stats     store counters + daemon info
@@ -114,8 +121,8 @@ type addRequest struct {
 	Namespace string `json:"namespace"`
 	Metric    string `json:"metric"`
 	// Kind optionally names the sketch kind a key created by this batch
-	// gets ("bottomk", "distinct", "window", "topk", "varopt", "decay");
-	// empty means the store's default kind.
+	// gets ("bottomk", "distinct", "window", "topk", "varopt", "decay",
+	// "groupby", "stratified"); empty means the store's default kind.
 	Kind  string    `json:"kind,omitempty"`
 	Items []addItem `json:"items"`
 }
@@ -124,6 +131,11 @@ type addItem struct {
 	Key    uint64  `json:"key"`
 	Weight float64 `json:"weight"`
 	Value  float64 `json:"value"`
+	// Group is the grouping label consumed by groupby series.
+	Group uint64 `json:"group,omitempty"`
+	// Strata are the per-dimension stratum labels consumed by stratified
+	// series; missing dimensions default to stratum 0.
+	Strata []uint32 `json:"strata,omitempty"`
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -195,7 +207,8 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			if w == 0 {
 				w = 1 // unweighted ingest shorthand
 			}
-			items[j] = engine.Item{Key: it.Key, Weight: w, Value: it.Value}
+			items[j] = engine.Item{Key: it.Key, Weight: w, Value: it.Value,
+				Group: it.Group, Strata: it.Strata}
 		}
 		if err := s.st.AddBatchKind(b.Namespace, b.Metric, kinds[i], items); err != nil {
 			status := http.StatusInternalServerError
@@ -258,11 +271,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.st.QueryTopN(ns, metric, from, to, topn)
+	// group_by selects the grouped view: "group" (groupby series) or a
+	// stratification dimension index (stratified series). The attribute
+	// is validated against the answering series' kind below — the kind is
+	// only known once the store resolves the key.
+	groupBy := r.URL.Query().Get("group_by")
+	dim := 0
+	if groupBy != "" && groupBy != "group" {
+		dim, err = strconv.Atoi(groupBy)
+		if err != nil || dim < 0 {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad group_by %q (want \"group\" or a dimension index)", groupBy))
+			return
+		}
+	}
+	// Validate the attribute against the key's kind BEFORE querying: a
+	// wrong group_by on a long series must not pay for a full range
+	// merge just to be told 400. An unknown key falls through to the
+	// query's own 404.
+	if groupBy != "" {
+		if kind, kerr := s.st.KindOf(ns, metric); kerr == nil {
+			switch {
+			case groupBy == "group" && kind != store.GroupBy:
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("group_by=group needs a groupby series; %s/%s is %s", ns, metric, kind))
+				return
+			case groupBy != "group" && kind != store.Stratified:
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("group_by=%s needs a stratified series; %s/%s is %s", groupBy, ns, metric, kind))
+				return
+			}
+		}
+	}
+	res, err := s.st.QueryGrouped(ns, metric, from, to, topn, dim)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, store.ErrUnknownKey) {
+		switch {
+		case errors.Is(err, store.ErrUnknownKey):
 			status = http.StatusNotFound
+		case errors.Is(err, store.ErrBadDim):
+			status = http.StatusBadRequest
 		}
 		httpError(w, status, err.Error())
 		return
@@ -319,14 +367,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"store": s.st.Stats(),
 		"config": map[string]any{
-			"kind":         cfg.Kind.String(),
-			"k":            cfg.K,
-			"bucket_width": cfg.BucketWidth.String(),
-			"retention":    cfg.Retention,
-			"shards":       cfg.Shards,
-			"max_keys":     cfg.MaxKeys,
-			"window_delta": cfg.WindowDelta,
-			"decay_lambda": cfg.DecayLambda,
+			"kind":            cfg.Kind.String(),
+			"k":               cfg.K,
+			"bucket_width":    cfg.BucketWidth.String(),
+			"retention":       cfg.Retention,
+			"shards":          cfg.Shards,
+			"max_keys":        cfg.MaxKeys,
+			"window_delta":    cfg.WindowDelta,
+			"decay_lambda":    cfg.DecayLambda,
+			"group_m":         cfg.GroupM,
+			"stratum_k":       cfg.StratumK,
+			"stratified_dims": cfg.StratifiedDims,
 		},
 		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
 	})

@@ -140,8 +140,11 @@ func TestEndToEndIngestQuerySnapshotRestore(t *testing.T) {
 	}
 
 	// --- range queries within 5% of exact ---
+	// to is pinned to a fixed future instant: the default ("now") would
+	// make byte-for-byte response comparisons flake whenever the before
+	// and after requests straddle a wall-clock second boundary.
 	queryURL := func(ns, metric string) string {
-		return srv.URL + "/v1/query?namespace=" + ns + "&metric=" + metric + "&from=0"
+		return srv.URL + "/v1/query?namespace=" + ns + "&metric=" + metric + "&from=0&to=4102444800"
 	}
 	type queryResp struct {
 		Result store.Result `json:"result"`
@@ -203,7 +206,7 @@ func TestEndToEndIngestQuerySnapshotRestore(t *testing.T) {
 				break
 			}
 		}
-		got := get(t, srv2.URL+"/v1/query?namespace="+ns+"&metric="+metric+"&from=0")
+		got := get(t, srv2.URL+"/v1/query?namespace="+ns+"&metric="+metric+"&from=0&to=4102444800")
 		if !bytes.Equal(got, want) {
 			t.Fatalf("%s: restored query response differs:\n  before: %s\n  after:  %s", key, want, got)
 		}

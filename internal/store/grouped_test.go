@@ -1,0 +1,249 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/stream"
+)
+
+// TestStoreServesGroupedQueries drives a groupby series across several
+// buckets with known per-group distinct counts and checks the ranked
+// grouped answers, the topn bound, and the dim validation.
+func TestStoreServesGroupedQueries(t *testing.T) {
+	now := epoch
+	st := New(Config{
+		K: 128, GroupM: 8, Seed: 11, BucketWidth: time.Minute, Retention: 30, Shards: 2,
+		Now: func() time.Time { return now },
+	})
+	// Group g contributes 200*(g+1) distinct keys, spread over 4 buckets.
+	const groups = 6
+	exact := make(map[uint64]int)
+	for b := 0; b < 4; b++ {
+		var items []engine.Item
+		for g := uint64(0); g < groups; g++ {
+			n := 200 * (int(g) + 1)
+			for i := b; i < n; i += 4 {
+				items = append(items, engine.Item{Key: g<<32 | uint64(i), Group: g})
+			}
+			exact[g] = n
+		}
+		if err := st.AddBatchKindAt("ns", "per-country", GroupBy, items, now); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Minute)
+	}
+
+	res, err := st.Query("ns", "per-country", epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "groupby" || res.GroupCount != groups {
+		t.Fatalf("result kind %q group count %d, want groupby/%d", res.Kind, res.GroupCount, groups)
+	}
+	if len(res.Groups) != groups {
+		t.Fatalf("ranking has %d entries, want %d", len(res.Groups), groups)
+	}
+	// Ranked descending, and every estimate within 30% of exact (merged
+	// across 4 buckets).
+	for i, gr := range res.Groups {
+		if i > 0 && gr.DistinctEstimate > res.Groups[i-1].DistinctEstimate {
+			t.Errorf("ranking not descending at %d", i)
+		}
+		want := float64(exact[gr.Group])
+		if rel := relDiff(gr.DistinctEstimate, want); rel > 0.30 {
+			t.Errorf("group %d: estimate %.1f vs exact %.0f (rel %.3f)",
+				gr.Group, gr.DistinctEstimate, want, rel)
+		}
+	}
+	// topn bounds the ranking.
+	res, err = st.QueryTopN("ns", "per-country", epoch, now, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("topn=2 ranking has %d entries", len(res.Groups))
+	}
+	// Grouped dimensions are a stratified concept: dim != 0 is rejected.
+	if _, err := st.QueryGrouped("ns", "per-country", epoch, now, 0, 1); !errors.Is(err, ErrBadDim) {
+		t.Fatalf("dim=1 on a groupby series: %v, want ErrBadDim", err)
+	}
+}
+
+// TestStoreServesStratifiedQueries drives a stratified series across
+// buckets and checks overall and per-dimension answers against exact
+// sums.
+func TestStoreServesStratifiedQueries(t *testing.T) {
+	now := epoch
+	st := New(Config{
+		K: 256, StratumK: 64, StratifiedDims: 2, Seed: 13,
+		BucketWidth: time.Minute, Retention: 30, Shards: 2,
+		Now: func() time.Time { return now },
+	})
+	rng := stream.NewRNG(17)
+	exactTotal := 0.0
+	exactByDim := [2]map[uint32]float64{{}, {}}
+	for b := 0; b < 4; b++ {
+		items := make([]engine.Item, 3000)
+		for i := range items {
+			labels := []uint32{uint32(rng.Intn(6)), uint32(rng.Intn(4))}
+			v := 1 + 9*rng.Float64()
+			// Odd-multiplier bijection keeps keys distinct across buckets:
+			// the sampler deduplicates by key, so colliding keys would
+			// make the exact total the wrong ground truth.
+			items[i] = engine.Item{
+				Key:    uint64(b*3000+i)*2862933555777941757 + 1,
+				Value:  v,
+				Strata: labels,
+			}
+			exactTotal += v
+			exactByDim[0][labels[0]] += v
+			exactByDim[1][labels[1]] += v
+		}
+		if err := st.AddBatchKindAt("ns", "by-country-age", Stratified, items, now); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Minute)
+	}
+
+	for dim := 0; dim < 2; dim++ {
+		res, err := st.QueryGrouped("ns", "by-country-age", epoch, now, 0, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != "stratified" || res.StratumDim == nil || *res.StratumDim != dim {
+			t.Fatalf("result kind %q dim %v", res.Kind, res.StratumDim)
+		}
+		if rel := relDiff(res.Sum, exactTotal); rel > 0.15 {
+			t.Errorf("total %.1f vs exact %.1f (rel %.3f)", res.Sum, exactTotal, rel)
+		}
+		if len(res.Strata) != len(exactByDim[dim]) {
+			t.Fatalf("dim %d: %d strata, want %d", dim, len(res.Strata), len(exactByDim[dim]))
+		}
+		for _, sr := range res.Strata {
+			want := exactByDim[dim][sr.Label]
+			if rel := relDiff(sr.SumEstimate, want); rel > 0.45 {
+				t.Errorf("dim %d stratum %d: %.1f vs exact %.1f (rel %.3f)",
+					dim, sr.Label, sr.SumEstimate, want, rel)
+			}
+			if sr.Sampled <= 0 {
+				t.Errorf("dim %d stratum %d: empty", dim, sr.Label)
+			}
+		}
+	}
+	if _, err := st.QueryGrouped("ns", "by-country-age", epoch, now, 0, 2); !errors.Is(err, ErrBadDim) {
+		t.Fatalf("dim=2 on a 2-dim series: %v, want ErrBadDim", err)
+	}
+	if _, err := st.QueryGrouped("ns", "by-country-age", epoch, now, 0, -1); !errors.Is(err, ErrBadDim) {
+		t.Fatalf("dim=-1: %v, want ErrBadDim", err)
+	}
+}
+
+// TestMixedKindStoreConcurrentHammer hammers one store with concurrent
+// kind-labelled ingest across every sketch kind, range queries, grouped
+// queries and whole-keyspace snapshots while the synthetic clock rotates
+// buckets — the serving daemon's steady state, run under -race.
+func TestMixedKindStoreConcurrentHammer(t *testing.T) {
+	var mu sync.Mutex
+	now := epoch
+	tick := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(time.Second)
+		return now
+	}
+	st := New(Config{
+		K: 64, GroupM: 4, StratumK: 16, StratifiedDims: 2, Seed: 23,
+		BucketWidth: 250 * time.Millisecond, Retention: 20, Shards: 2,
+		Now: func() time.Time { mu.Lock(); defer mu.Unlock(); return now },
+	})
+
+	kinds := Kinds()
+	const writers = 8
+	const rounds = 60
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stream.NewRNG(uint64(100 + w))
+			for r := 0; r < rounds; r++ {
+				kind := kinds[(w+r)%len(kinds)]
+				items := make([]engine.Item, 50)
+				for i := range items {
+					key := rng.Uint64() % 5000
+					items[i] = engine.Item{
+						Key: key, Weight: 1 + rng.Float64(), Value: 1,
+						Group:  key % 5,
+						Strata: []uint32{uint32(key % 4), uint32(key % 3)},
+					}
+				}
+				if err := st.AddBatchKindAt("hammer", "m-"+kind.String(), kind, items, tick()); err != nil {
+					t.Errorf("ingest %s: %v", kind, err)
+					return
+				}
+			}
+		}(w)
+	}
+	var qg sync.WaitGroup
+	for q := 0; q < 3; q++ {
+		qg.Add(1)
+		go func(q int) {
+			defer qg.Done()
+			for r := 0; r < 30; r++ {
+				for _, kind := range kinds {
+					res, err := st.Query("hammer", "m-"+kind.String(), epoch, tick())
+					if err != nil && !errors.Is(err, ErrUnknownKey) {
+						t.Errorf("query %s: %v", kind, err)
+						return
+					}
+					if err == nil && res.Kind != kind.String() {
+						t.Errorf("query %s answered kind %q", kind, res.Kind)
+						return
+					}
+				}
+				var buf bytes.Buffer
+				if err := st.Snapshot(&buf); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	qg.Wait()
+
+	// Quiescent end state: snapshot → restore → re-query must agree for
+	// every kind, and the snapshot bytes must be stable.
+	var snap1 bytes.Buffer
+	if err := st.Snapshot(&snap1); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New(st.Config())
+	if err := st2.Restore(bytes.NewReader(snap1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var snap2 bytes.Buffer
+	if err := st2.Snapshot(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap1.Bytes(), snap2.Bytes()) {
+		t.Fatal("hammered keyspace does not round-trip bit-identically")
+	}
+	end := st.cfg.Now()
+	for _, kind := range kinds {
+		r1, err1 := st.Query("hammer", "m-"+kind.String(), epoch, end)
+		r2, err2 := st2.Query("hammer", "m-"+kind.String(), epoch, end)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: post-restore queries errored: %v / %v", kind, err1, err2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s: restored query %+v != original %+v", kind, r2, r1)
+		}
+	}
+}

@@ -32,7 +32,10 @@ func feedMixed(t *testing.T, st *Store, now *time.Time) map[Kind]string {
 		items := make([]engine.Item, 800)
 		for i := range items {
 			w := 1 + 4*rng.Float64()
-			items[i] = engine.Item{Key: z.Next(), Weight: w, Value: w}
+			key := z.Next()
+			items[i] = engine.Item{Key: key, Weight: w, Value: w,
+				Group:  key % 7,
+				Strata: []uint32{uint32(key % 5), uint32(key % 3)}}
 		}
 		for _, kind := range Kinds() {
 			metric := "m-" + kind.String()
@@ -117,6 +120,14 @@ func TestMixedKindStoreRoundTrip(t *testing.T) {
 			if res.DecayedSum <= 0 || res.DecayedCount <= 0 || res.AsOfUnix == 0 {
 				t.Errorf("decay: no decayed aggregates in %+v", res)
 			}
+		case GroupBy:
+			if len(res.Groups) == 0 || res.GroupCount != 7 {
+				t.Errorf("groupby: want 7 groups with a ranking in %+v", res)
+			}
+		case Stratified:
+			if res.Sum <= 0 || len(res.Strata) != 5 || res.StratumDim == nil || *res.StratumDim != 0 {
+				t.Errorf("stratified: want sum and 5 dim-0 strata in %+v", res)
+			}
 		}
 		if kindName, err := st.KindOf("mixed", metric); err != nil || kindName != kind {
 			t.Errorf("KindOf(%s) = %v, %v", metric, kindName, err)
@@ -179,9 +190,9 @@ func TestMixedKindSnapshotRejectsSwappedKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	// The series kind byte is right after the header (42 bytes) and the
-	// series marker.
-	i := 42 + 1
+	// The series kind byte is right after the header (54 bytes in v3) and
+	// the series marker.
+	i := 54 + 1
 	if Kind(data[i]) != TopK {
 		t.Fatalf("test assumption broken: byte %d is %d, want the series kind", i, data[i])
 	}

@@ -15,16 +15,19 @@ import (
 // Snapshot stream format (little-endian):
 //
 //	magic   uint32  "ATSS"
-//	version uint8   2
+//	version uint8   3
 //	kind    uint8   the store's DEFAULT kind
 //	k       uint32
 //	seed    uint64
 //	width   int64   bucket width in nanoseconds
 //	delta   float64 sliding-window length in seconds (Window series)
-//	lambda  float64 decay rate per second (Decay series; v2 only)
+//	lambda  float64 decay rate per second (Decay series; v2+)
+//	groupM  uint32  dedicated sketches of GroupBy series (v3+)
+//	stratK  uint32  per-stratum bottom-k of Stratified series (v3+)
+//	sdims   uint32  dimensions of Stratified series (v3+)
 //	series records, each:
 //	  marker      uint8  1
-//	  kind        uint8  the series' sketch kind (v2 only)
+//	  kind        uint8  the series' sketch kind (v2+)
 //	  nsLen       uint16, namespace bytes
 //	  metricLen   uint16, metric bytes
 //	  bucketCount uint32
@@ -32,8 +35,8 @@ import (
 //	marker uint8 0 (end of stream)
 //
 // Version 1 streams (no lambda field, no per-series kind byte: every
-// series is the header kind) are still readable; Snapshot always writes
-// version 2.
+// series is the header kind) and version 2 streams (no groupM/stratK/
+// sdims fields) are still readable; Snapshot always writes version 3.
 //
 // Every bucket payload goes through the universal codec registry, so the
 // stream stays decodable as sketch kinds evolve: the envelope names the
@@ -44,7 +47,7 @@ import (
 
 const (
 	snapMagic   = 0x41545353 // "ATSS"
-	snapVersion = 2
+	snapVersion = 3
 )
 
 var (
@@ -77,6 +80,9 @@ func (st *Store) Snapshot(w io.Writer) error {
 	head = binary.LittleEndian.AppendUint64(head, uint64(st.cfg.BucketWidth))
 	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(st.cfg.WindowDelta))
 	head = binary.LittleEndian.AppendUint64(head, math.Float64bits(st.cfg.DecayLambda))
+	head = binary.LittleEndian.AppendUint32(head, uint32(st.cfg.GroupM))
+	head = binary.LittleEndian.AppendUint32(head, uint32(st.cfg.StratumK))
+	head = binary.LittleEndian.AppendUint32(head, uint32(st.cfg.StratifiedDims))
 	if _, err := bw.Write(head); err != nil {
 		return err
 	}
@@ -174,7 +180,7 @@ func (st *Store) Restore(r io.Reader) error {
 		return fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
 	}
 	version := head[4]
-	if version != 1 && version != snapVersion {
+	if version < 1 || version > snapVersion {
 		return fmt.Errorf("%w: version %d", ErrSnapshotCorrupt, version)
 	}
 	if Kind(head[5]) != st.cfg.Kind {
@@ -203,6 +209,21 @@ func (st *Store) Restore(r io.Reader) error {
 			return fmt.Errorf("%w: snapshot decay lambda %v, store %v", ErrSnapshotConfig, lambda, st.cfg.DecayLambda)
 		}
 	}
+	if version >= 3 {
+		var grp [12]byte
+		if _, err := io.ReadFull(br, grp[:]); err != nil {
+			return fmt.Errorf("%w: header: %v", ErrSnapshotCorrupt, err)
+		}
+		if m := int(binary.LittleEndian.Uint32(grp[:])); m != st.cfg.GroupM {
+			return fmt.Errorf("%w: snapshot group m=%d, store %d", ErrSnapshotConfig, m, st.cfg.GroupM)
+		}
+		if sk := int(binary.LittleEndian.Uint32(grp[4:])); sk != st.cfg.StratumK {
+			return fmt.Errorf("%w: snapshot stratum k=%d, store %d", ErrSnapshotConfig, sk, st.cfg.StratumK)
+		}
+		if d := int(binary.LittleEndian.Uint32(grp[8:])); d != st.cfg.StratifiedDims {
+			return fmt.Errorf("%w: snapshot stratified dims=%d, store %d", ErrSnapshotConfig, d, st.cfg.StratifiedDims)
+		}
+	}
 
 	restored := make(map[Key]*series)
 	for {
@@ -222,7 +243,7 @@ func (st *Store) Restore(r io.Reader) error {
 			if err != nil {
 				return fmt.Errorf("%w: series kind: %v", ErrSnapshotCorrupt, err)
 			}
-			if kb > uint8(Decay) {
+			if kb > uint8(Stratified) {
 				return fmt.Errorf("%w: unknown series kind %d", ErrSnapshotCorrupt, kb)
 			}
 			kind = Kind(kb)
@@ -317,6 +338,10 @@ func kindCodecName(kind Kind) string {
 		return codec.NameVarOpt
 	case Decay:
 		return codec.NameDecay
+	case GroupBy:
+		return codec.NameGroupBy
+	case Stratified:
+		return codec.NameStratified
 	default:
 		return codec.NameBottomK
 	}

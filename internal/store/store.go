@@ -13,6 +13,8 @@ import (
 	"ats/internal/decay"
 	"ats/internal/distinct"
 	"ats/internal/engine"
+	"ats/internal/groupby"
+	"ats/internal/stratified"
 	"ats/internal/stream"
 	"ats/internal/topk"
 	"ats/internal/varopt"
@@ -46,6 +48,14 @@ const (
 	// answer decayed sums and counts evaluated at the query range's end.
 	// Arrival times are stamped by the store clock.
 	Decay
+	// GroupBy maintains grouped distinct counters (§3.6): range queries
+	// answer per-group distinct-count estimates grouped by the ingest
+	// items' Group label.
+	GroupBy
+	// Stratified maintains budgeted multi-stratified samplers (§3.7):
+	// range queries answer overall and per-stratum subset sums over the
+	// ingest items' Strata labels.
+	Stratified
 )
 
 // String returns the wire/flag name of the kind.
@@ -63,6 +73,10 @@ func (k Kind) String() string {
 		return "varopt"
 	case Decay:
 		return "decay"
+	case GroupBy:
+		return "groupby"
+	case Stratified:
+		return "stratified"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -82,12 +96,18 @@ func ParseKind(s string) (Kind, error) {
 		return VarOpt, nil
 	case "decay":
 		return Decay, nil
+	case "groupby":
+		return GroupBy, nil
+	case "stratified":
+		return Stratified, nil
 	}
 	return 0, fmt.Errorf("store: unknown sketch kind %q", s)
 }
 
 // Kinds lists every sketch kind a store can serve, in wire order.
-func Kinds() []Kind { return []Kind{BottomK, Distinct, Window, TopK, VarOpt, Decay} }
+func Kinds() []Kind {
+	return []Kind{BottomK, Distinct, Window, TopK, VarOpt, Decay, GroupBy, Stratified}
+}
 
 // Key identifies one sketch series: a tenant namespace and a metric name.
 type Key struct {
@@ -127,6 +147,15 @@ type Config struct {
 	// (default ln 2 / BucketWidth in seconds — a half-life of one
 	// bucket).
 	DecayLambda float64
+	// GroupM is the number of dedicated per-group sketches of GroupBy
+	// series; each dedicated sketch has size K (default 64).
+	GroupM int
+	// StratumK is the per-stratum bottom-k parameter of Stratified
+	// series, whose total item budget is K (default 64).
+	StratumK int
+	// StratifiedDims is the number of stratification dimensions of
+	// Stratified series (default 2).
+	StratifiedDims int
 	// Now is the store clock (default time.Now). Tests and benchmarks
 	// inject synthetic clocks to drive rotation deterministically.
 	Now func() time.Time
@@ -153,6 +182,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DecayLambda <= 0 {
 		c.DecayLambda = math.Ln2 / c.BucketWidth.Seconds()
+	}
+	if c.GroupM <= 0 {
+		c.GroupM = 64
+	}
+	if c.StratumK <= 0 {
+		c.StratumK = 64
+	}
+	if c.StratifiedDims <= 0 {
+		c.StratifiedDims = 2
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -270,6 +308,15 @@ func (st *Store) factoryFor(kind Kind, idx int64) engine.Factory {
 	case Decay:
 		return func(int) engine.Sampler {
 			return engine.WrapDecayed(decay.New(st.cfg.K, st.cfg.DecayLambda, st.cfg.Seed))
+		}
+	case GroupBy:
+		return func(int) engine.Sampler {
+			return engine.WrapGroupBy(groupby.New(st.cfg.GroupM, st.cfg.K, st.cfg.Seed))
+		}
+	case Stratified:
+		return func(int) engine.Sampler {
+			return engine.WrapStratified(stratified.NewSampler(
+				st.cfg.K, st.cfg.StratumK, st.cfg.StratifiedDims, st.cfg.Seed))
 		}
 	default:
 		return func(int) engine.Sampler {
@@ -432,6 +479,31 @@ type TopKItem struct {
 	Estimate float64 `json:"estimate"`
 }
 
+// GroupResult is one ranked entry of a grouped distinct-count query.
+type GroupResult struct {
+	Group uint64 `json:"group"`
+	// DistinctEstimate is the estimated number of distinct keys the
+	// group contributed over the queried range.
+	DistinctEstimate float64 `json:"distinct_estimate"`
+	// Dedicated reports whether the merged counter tracks the group with
+	// a dedicated sketch (heavy group) or estimates it from the shared
+	// pool.
+	Dedicated bool `json:"dedicated,omitempty"`
+}
+
+// StratumResult is the per-stratum slice of a stratified query along one
+// dimension.
+type StratumResult struct {
+	Label uint32 `json:"label"`
+	// Sampled is the number of retained sample items in the stratum.
+	Sampled int `json:"sampled"`
+	// SumEstimate is the HT estimate of Σ value over the stratum, with
+	// VarianceEstimate its unbiased variance estimate.
+	SumEstimate      float64 `json:"sum_estimate"`
+	CountEstimate    float64 `json:"count_estimate"`
+	VarianceEstimate float64 `json:"variance_estimate"`
+}
+
 // Result is the answer to a range query, with the estimator fields of
 // the series' kind populated.
 type Result struct {
@@ -457,6 +529,16 @@ type Result struct {
 	DecayedSum   float64 `json:"decayed_sum,omitempty"`
 	DecayedCount float64 `json:"decayed_count,omitempty"`
 	AsOfUnix     int64   `json:"as_of_unix,omitempty"`
+	// Groups ranks per-group distinct-count estimates and GroupCount is
+	// the number of distinct groups observed (GroupBy).
+	Groups     []GroupResult `json:"groups,omitempty"`
+	GroupCount int           `json:"group_count,omitempty"`
+	// Strata are the per-stratum estimates along dimension StratumDim;
+	// Sum/VarianceEstimate carry the overall subset sum (Stratified).
+	// StratumDim is a pointer so dimension 0 — the default — is still
+	// emitted on the wire, while non-stratified results omit the field.
+	Strata     []StratumResult `json:"strata,omitempty"`
+	StratumDim *int            `json:"stratum_dim,omitempty"`
 	// SampleSize and Threshold describe the merged sample. A bottom-k
 	// (or decayed) sketch below capacity has an infinite threshold
 	// (every item is retained and the estimate is exact); that state is
@@ -526,16 +608,43 @@ func (st *Store) collapseRange(key Key, from, to time.Time) (engine.Sampler, Kin
 // QueryTopN takes an explicit bound.
 const defaultTopN = 10
 
+// ErrBadDim reports a stratified query naming a dimension the series
+// does not have (or a grouped dimension on a kind without one).
+var ErrBadDim = errors.New("store: bad group-by dimension")
+
 // Query collapses the buckets of (namespace, metric) overlapping
 // [from, to] via sketch merges and returns the series kind's estimates.
 func (st *Store) Query(namespace, metric string, from, to time.Time) (Result, error) {
 	return st.QueryTopN(namespace, metric, from, to, defaultTopN)
 }
 
-// QueryTopN is Query with an explicit bound on the TopK ranking length
-// (topn <= 0 means the default); the bound only affects TopK series.
+// QueryTopN is Query with an explicit bound on the ranking length
+// (topn <= 0 means the default); the bound affects TopK rankings and
+// GroupBy group rankings. Stratified series report dimension 0.
 func (st *Store) QueryTopN(namespace, metric string, from, to time.Time, topn int) (Result, error) {
+	return st.QueryGrouped(namespace, metric, from, to, topn, 0)
+}
+
+// QueryGrouped is QueryTopN with an explicit stratification dimension
+// for Stratified series: the result's Strata slice describes dimension
+// dim. Any dim other than 0 on a non-stratified series, or a dim outside
+// the series' dimensionality, returns ErrBadDim.
+func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn, dim int) (Result, error) {
 	st.queries.Add(1)
+	// Validate the dimension before collapsing the range: a bad dim on a
+	// long series must not pay for (and then discard) a full merge.
+	if dim != 0 {
+		kind, err := st.KindOf(namespace, metric)
+		if err != nil {
+			return Result{}, err
+		}
+		if kind != Stratified {
+			return Result{}, fmt.Errorf("%w: %s series have no dimension %d", ErrBadDim, kind, dim)
+		}
+		if dim < 0 || dim >= st.cfg.StratifiedDims {
+			return Result{}, fmt.Errorf("%w: dimension %d outside [0,%d)", ErrBadDim, dim, st.cfg.StratifiedDims)
+		}
+	}
 	out, kind, merged, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
 	if err != nil {
 		return Result{}, err
@@ -584,6 +693,35 @@ func (st *Store) QueryTopN(namespace, metric string, from, to time.Time, topn in
 		res.DecayedCount = sk.DecayedCount(t)
 		res.AsOfUnix = asOf.Unix()
 		res.SampleSize = sk.SampleSize()
+	case GroupBy:
+		sk := out.(*engine.GroupBySampler).Sketch()
+		for _, ge := range sk.GroupEstimates(topn) {
+			res.Groups = append(res.Groups, GroupResult{
+				Group: ge.Group, DistinctEstimate: ge.Estimate, Dedicated: ge.Dedicated})
+		}
+		res.GroupCount = sk.Groups()
+		res.SampleSize = sk.MemoryItems()
+		// Threshold is Tmax, the shared pool's sampling rate; dedicated
+		// heavy groups sample at their own (lower) thresholds, so Tmax=1
+		// does not imply exactness and Exact is never claimed.
+		res.Threshold, res.Exact = sk.Tmax(), false
+	case Stratified:
+		sk := out.(*engine.StratifiedSampler).Sketch()
+		res.Sum, res.VarianceEstimate = sk.SubsetSum(nil)
+		for _, ss := range sk.StratumStats(dim) {
+			res.Strata = append(res.Strata, StratumResult{
+				Label: ss.Label, Sampled: ss.Sampled, SumEstimate: ss.SumEstimate,
+				CountEstimate: ss.CountEstimate, VarianceEstimate: ss.VarianceEstimate})
+		}
+		res.StratumDim = &dim
+		res.SampleSize = sk.Len()
+		// The generic inf-threshold inference above would claim exactness
+		// whenever ANY stratum is still open (MaxThreshold is a max);
+		// exact really means NO stratum has started subsampling.
+		res.Exact = sk.Exact()
+		if !res.Exact && math.IsInf(out.Threshold(), 1) {
+			res.Threshold = 0 // mixed state: open strata alongside subsampled ones
+		}
 	default:
 		sk := out.(*engine.BottomKSampler).Sketch()
 		res.Sum, res.VarianceEstimate = sk.SubsetSum(nil)

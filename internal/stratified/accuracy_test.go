@@ -1,0 +1,136 @@
+package stratified
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+// TestStratifiedSubsetSumAccuracy is the statistical-accuracy harness
+// for budgeted multi-stratified sampling: seeded synthetic streams with
+// Zipf-skewed and uniform stratum sizes, streaming estimates compared
+// against exactly computed totals, asserting relative error bounds on
+// the overall subset sum and on every large stratum of every dimension.
+// Efraimidis-Spirakis-style hash priorities make the HT estimator
+// exactly unbiased, so the bounds only absorb sampling variance.
+func TestStratifiedSubsetSumAccuracy(t *testing.T) {
+	type tc struct {
+		name      string
+		budget, k int
+		dims      int
+		seed      uint64
+		items     int
+		zipfS     float64 // 0 = uniform stratum skew
+		strata0   int     // label count of dimension 0
+		totalRel  float64 // bound on the overall sum's relative error
+		heavyRel  float64 // bound per stratum holding >= 10% of the mass
+	}
+	cases := []tc{
+		{"zipf-2d", 400, 64, 2, 211, 60000, 1.3, 12, 0.10, 0.30},
+		{"zipf-steep-2d", 700, 64, 2, 223, 60000, 1.7, 12, 0.10, 0.30},
+		{"uniform-2d", 400, 64, 2, 227, 60000, 0, 8, 0.10, 0.30},
+		{"zipf-3d", 600, 64, 3, 229, 80000, 1.4, 10, 0.10, 0.35},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewSampler(c.budget, c.k, c.dims, c.seed)
+			var z *stream.Zipf
+			if c.zipfS > 0 {
+				z = stream.NewZipf(c.strata0, c.zipfS, c.seed+1)
+			}
+			rng := stream.NewRNG(c.seed + 2)
+
+			exactTotal := 0.0
+			exactByStratum := make([]map[uint32]float64, c.dims)
+			for d := range exactByStratum {
+				exactByStratum[d] = make(map[uint32]float64)
+			}
+			for i := 0; i < c.items; i++ {
+				labels := make([]uint32, c.dims)
+				if z != nil {
+					labels[0] = uint32(z.Next())
+				} else {
+					labels[0] = uint32(rng.Intn(c.strata0))
+				}
+				for d := 1; d < c.dims; d++ {
+					labels[d] = uint32(rng.Intn(5))
+				}
+				v := 1 + 9*rng.Float64()
+				key := uint64(i)*0x9e3779b97f4a7c15 + 1
+				s.Add(key, labels, v)
+				exactTotal += v
+				for d := 0; d < c.dims; d++ {
+					exactByStratum[d][labels[d]] += v
+				}
+			}
+
+			if s.Len() > c.budget {
+				t.Fatalf("sample size %d exceeds budget %d", s.Len(), c.budget)
+			}
+			sum, varEst := s.SubsetSum(nil)
+			if rel := math.Abs(sum-exactTotal) / exactTotal; rel > c.totalRel {
+				t.Errorf("total: estimate %.1f vs exact %.1f (rel %.3f > %.3f)",
+					sum, exactTotal, rel, c.totalRel)
+			}
+			if varEst < 0 {
+				t.Errorf("negative variance estimate %v", varEst)
+			}
+
+			// Per-stratum estimates on every dimension: strata carrying at
+			// least 10% of the total mass must meet the relative bound.
+			for d := 0; d < c.dims; d++ {
+				stats := s.StratumStats(d)
+				got := make(map[uint32]float64, len(stats))
+				for _, st := range stats {
+					got[st.Label] = st.SumEstimate
+				}
+				for l, exact := range exactByStratum[d] {
+					if exact < 0.1*exactTotal {
+						continue
+					}
+					est := got[l]
+					if rel := math.Abs(est-exact) / exact; rel > c.heavyRel {
+						t.Errorf("dim %d stratum %d: estimate %.1f vs exact %.1f (rel %.3f > %.3f)",
+							d, l, est, exact, rel, c.heavyRel)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingTracksBatchFit cross-checks the streaming sampler against
+// the batch Fit reference on the same population: both must satisfy the
+// defining membership property, respect the budget, and produce subset
+// sums within sampling error of each other.
+func TestStreamingTracksBatchFit(t *testing.T) {
+	const n, budget = 15000, 250
+	pop := make([]Item, n)
+	sp := NewSampler(budget, 64, 2, 31)
+	z := stream.NewZipf(10, 1.4, 32)
+	rng := stream.NewRNG(33)
+	exact := 0.0
+	for i := range pop {
+		labels := []uint32{uint32(z.Next()), uint32(rng.Intn(4))}
+		v := 1 + rng.Float64()
+		key := uint64(i)*2862933555777941757 + 3037000493
+		pop[i] = Item{Key: key, Strata: []int{int(labels[0]), int(labels[1])}, Value: v}
+		sp.Add(key, labels, v)
+		exact += v
+	}
+	des := Fit(pop, 2, budget, 31)
+	if !des.Verify(pop, 31) {
+		t.Fatal("batch reference design does not verify")
+	}
+	batchSum, _ := des.SubsetSum(nil)
+	streamSum, _ := sp.SubsetSum(nil)
+	for name, est := range map[string]float64{"batch": batchSum, "streaming": streamSum} {
+		if rel := math.Abs(est-exact) / exact; rel > 0.15 {
+			t.Errorf("%s estimate %.1f vs exact %.1f (rel %.3f)", name, est, exact, rel)
+		}
+	}
+	if len(des.Sample) > budget || sp.Len() > budget {
+		t.Errorf("budget violated: batch %d, streaming %d, budget %d", len(des.Sample), sp.Len(), budget)
+	}
+}

@@ -1,0 +1,237 @@
+package stratified
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ats/internal/stream"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   uint32  "ATSt"
+//	version uint8   1
+//	budget  uint32
+//	k       uint32
+//	dims    uint32
+//	seed    uint64
+//	n       uint64  arrivals offered
+//	per dimension d in 0..dims-1:
+//	  nstrata uint32
+//	  strata sorted by label ascending, each:
+//	    label uint32
+//	    cap   uint32  (1..k)
+//	    ne    uint32  (1..cap+1)
+//	    ne × key uint64   in ascending (priority, key) order
+//	nitems uint32  (<= budget)
+//	items sorted by key ascending, each:
+//	  key uint64, value float64, dims × label uint32
+//
+// Priorities are derived state — HashU01(key, seed) — and are recomputed
+// on decode with exactly the expression Add uses, so nothing but keys is
+// stored and a round trip is bit-identical. Marshal walks maps in sorted
+// order, so the encoding is canonical: equal logical states serialize to
+// equal bytes.
+
+const (
+	codecMagic   = 0x41545374 // "ATSt"
+	codecVersion = 1
+
+	codecHeader = 4 + 1 + 4 + 4 + 4 + 8 + 8
+)
+
+var (
+	// ErrCorrupt reports malformed or truncated serialized data.
+	ErrCorrupt = errors.New("stratified: corrupt serialized sampler")
+	// ErrVersion reports an unsupported serialization version.
+	ErrVersion = errors.New("stratified: unsupported serialization version")
+)
+
+// MarshalBinary serializes the sampler in canonical form.
+func (s *Sampler) MarshalBinary() ([]byte, error) {
+	size := codecHeader + 4
+	for d := 0; d < s.dims; d++ {
+		size += 4
+		for _, st := range s.strata[d] {
+			size += 12 + len(st.entries)*8
+		}
+	}
+	size += len(s.items) * (8 + 8 + 4*s.dims)
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.budget))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.dims))
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	for d := 0; d < s.dims; d++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.strata[d])))
+		for _, l := range sortedLabels(s.strata[d]) {
+			st := s.strata[d][l]
+			buf = binary.LittleEndian.AppendUint32(buf, l)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(st.cap))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.entries)))
+			for _, e := range st.entries {
+				buf = binary.LittleEndian.AppendUint64(buf, e.key)
+			}
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.items)))
+	for _, k := range sortedItemKeys(s.items) {
+		it := s.items[k]
+		buf = binary.LittleEndian.AppendUint64(buf, it.key)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.value))
+		for d := 0; d < s.dims; d++ {
+			buf = binary.LittleEndian.AppendUint32(buf, it.labels[d])
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sampler serialized by MarshalBinary,
+// overwriting the receiver. Every section length is validated against the
+// actual data before any count-sized allocation (decode-bomb guard), and
+// the sampler's structural invariants — caps within k, entry order,
+// retained items covered by their thresholds, budget respected — are
+// re-checked so a crafted stream cannot materialize an impossible state.
+func (s *Sampler) UnmarshalBinary(data []byte) error {
+	if len(data) < codecHeader {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	budget := int(binary.LittleEndian.Uint32(data[5:]))
+	k := int(binary.LittleEndian.Uint32(data[9:]))
+	dims := int(binary.LittleEndian.Uint32(data[13:]))
+	if budget <= 0 || k <= 0 || dims <= 0 {
+		return fmt.Errorf("%w: non-positive budget=%d, k=%d or dims=%d", ErrCorrupt, budget, k, dims)
+	}
+	seed := binary.LittleEndian.Uint64(data[17:])
+	n := int64(binary.LittleEndian.Uint64(data[25:]))
+	if n < 0 {
+		return fmt.Errorf("%w: negative n", ErrCorrupt)
+	}
+	off := codecHeader
+	need := func(nb int) error {
+		if nb < 0 || len(data)-off < nb {
+			return fmt.Errorf("%w: truncated body at offset %d", ErrCorrupt, off)
+		}
+		return nil
+	}
+	// Dimension count is header input: the per-dimension loop reads at
+	// least 4 bytes each, so bound dims by the data length before
+	// allocating per-dimension maps.
+	if err := need(dims * 4); err != nil {
+		return err
+	}
+
+	restored := &Sampler{budget: budget, k: k, dims: dims, seed: seed, n: n,
+		strata: make([]map[uint32]*stratum, dims),
+		items:  make(map[uint64]*retainedItem),
+	}
+	totalStrata := 0
+	for d := 0; d < dims; d++ {
+		restored.strata[d] = make(map[uint32]*stratum)
+		if err := need(4); err != nil {
+			return err
+		}
+		nstrata := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		totalStrata += nstrata
+		lastLabel, first := uint32(0), true
+		for i := 0; i < nstrata; i++ {
+			if err := need(12); err != nil {
+				return err
+			}
+			label := binary.LittleEndian.Uint32(data[off:])
+			cap := int(binary.LittleEndian.Uint32(data[off+4:]))
+			ne := int(binary.LittleEndian.Uint32(data[off+8:]))
+			off += 12
+			if !first && label <= lastLabel {
+				return fmt.Errorf("%w: dimension %d labels out of order", ErrCorrupt, d)
+			}
+			lastLabel, first = label, false
+			if cap < 1 || cap > k {
+				return fmt.Errorf("%w: stratum (%d,%d) cap %d outside [1,%d]", ErrCorrupt, d, label, cap, k)
+			}
+			if ne < 1 || ne > cap+1 {
+				return fmt.Errorf("%w: stratum (%d,%d) holds %d entries for cap %d", ErrCorrupt, d, label, ne, cap)
+			}
+			if err := need(ne * 8); err != nil {
+				return err
+			}
+			st := &stratum{cap: cap, entries: make([]stratumEntry, ne)}
+			for j := 0; j < ne; j++ {
+				key := binary.LittleEndian.Uint64(data[off:])
+				off += 8
+				e := stratumEntry{pr: stream.HashU01(key, seed), key: key}
+				if j > 0 {
+					prev := st.entries[j-1]
+					if e.pr < prev.pr || (e.pr == prev.pr && e.key <= prev.key) {
+						return fmt.Errorf("%w: stratum (%d,%d) entries out of order", ErrCorrupt, d, label)
+					}
+				}
+				st.entries[j] = e
+			}
+			restored.strata[d][label] = st
+		}
+	}
+
+	if err := need(4); err != nil {
+		return err
+	}
+	nitems := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	// The live invariant is len(items) <= max(budget, total strata): the
+	// greedy decrement keeps at least one item per stratum, so a stream
+	// with more strata than budget legitimately retains one item per
+	// stratum (every stratum then covers at most one item). Rejecting
+	// anything beyond that keeps crafted streams from materializing an
+	// impossible state; the section length check below bounds allocation.
+	maxItems := budget
+	if totalStrata > maxItems {
+		maxItems = totalStrata
+	}
+	if nitems > maxItems {
+		return fmt.Errorf("%w: %d retained items for budget %d and %d strata", ErrCorrupt, nitems, budget, totalStrata)
+	}
+	itemSize := 8 + 8 + 4*dims
+	if nb := len(data) - off; nb != nitems*itemSize {
+		return fmt.Errorf("%w: item section is %d bytes, want %d items", ErrCorrupt, nb, nitems)
+	}
+	lastKey, first := uint64(0), true
+	for i := 0; i < nitems; i++ {
+		key := binary.LittleEndian.Uint64(data[off:])
+		value := math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		off += 16
+		if !first && key <= lastKey {
+			return fmt.Errorf("%w: items out of order", ErrCorrupt)
+		}
+		lastKey, first = key, false
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return fmt.Errorf("%w: item %d has non-finite value", ErrCorrupt, key)
+		}
+		labels := make([]uint32, dims)
+		for d := 0; d < dims; d++ {
+			labels[d] = binary.LittleEndian.Uint32(data[off:])
+			off += 4
+			if restored.strata[d][labels[d]] == nil {
+				return fmt.Errorf("%w: item %d references unknown stratum (%d,%d)", ErrCorrupt, key, d, labels[d])
+			}
+		}
+		pr := stream.HashU01(key, seed)
+		if pr >= restored.maxThresholdOf(labels) {
+			return fmt.Errorf("%w: item %d lies above its threshold", ErrCorrupt, key)
+		}
+		restored.items[key] = &retainedItem{key: key, labels: labels, value: value, pr: pr}
+	}
+	*s = *restored
+	return nil
+}

@@ -1,0 +1,114 @@
+package stratified
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func loadedSampler(t testing.TB, budget, k, dims int, seed uint64, items int) *Sampler {
+	t.Helper()
+	s := NewSampler(budget, k, dims, seed)
+	pop := synthPopulation(items, seed^0xabcd)
+	feed(s, pop)
+	return s
+}
+
+func TestStratifiedCodecRoundTripBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    *Sampler
+	}{
+		{"empty", NewSampler(10, 4, 2, 1)},
+		{"underfull", loadedSampler(t, 500, 32, 2, 2, 100)},
+		{"budgeted", loadedSampler(t, 120, 32, 2, 3, 20000)},
+		{"one-dim", loadedSampler(t, 64, 16, 1, 4, 8000)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := tc.s.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d Sampler
+			if err := d.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+			again, err := d.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatalf("marshal ∘ unmarshal is not the identity on bytes: %d vs %d", len(data), len(again))
+			}
+			if d.Len() != tc.s.Len() || d.N() != tc.s.N() || d.MaxThreshold() != tc.s.MaxThreshold() {
+				t.Fatal("round trip changed state")
+			}
+			s1, _ := tc.s.SubsetSum(nil)
+			s2, _ := d.SubsetSum(nil)
+			if s1 != s2 {
+				t.Fatalf("round trip changed the estimate: %v -> %v", s1, s2)
+			}
+			// A restored sampler must keep ingesting identically.
+			extra := synthPopulation(300, 999)
+			feed(tc.s, extra)
+			feed(&d, extra)
+			b1, _ := tc.s.MarshalBinary()
+			b2, _ := d.MarshalBinary()
+			if !bytes.Equal(b1, b2) {
+				t.Fatal("restored sampler diverged from original under identical ingest")
+			}
+		})
+	}
+}
+
+func TestStratifiedCodecRejectsCorrupt(t *testing.T) {
+	s := loadedSampler(t, 120, 16, 2, 5, 10000)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), data...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"truncated":   data[:len(data)-5],
+		"bad magic":   mutate(func(b []byte) { b[0] ^= 0xff }),
+		"bad version": mutate(func(b []byte) { b[4] = 42 }),
+		"zero budget": mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[5:], 0) }),
+		"zero k":      mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[9:], 0) }),
+		"zero dims":   mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[13:], 0) }),
+		"seed swap (entries out of order)": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[17:], 12345)
+		}),
+		"trailing garbage": append(append([]byte(nil), data...), 9, 9),
+	}
+	for name, bad := range cases {
+		var d Sampler
+		if err := d.UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: error %v is not ErrCorrupt/ErrVersion", name, err)
+		}
+	}
+}
+
+// TestStratifiedCodecDecodeBomb ensures a crafted header claiming huge
+// dimension/strata/item counts cannot force a large allocation.
+func TestStratifiedCodecDecodeBomb(t *testing.T) {
+	buf := make([]byte, 0, codecHeader)
+	buf = binary.LittleEndian.AppendUint32(buf, codecMagic)
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<31) // budget
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<31) // k
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<31) // dims
+	buf = binary.LittleEndian.AppendUint64(buf, 1)     // seed
+	buf = binary.LittleEndian.AppendUint64(buf, 0)     // n
+	var d Sampler
+	if err := d.UnmarshalBinary(buf); err == nil {
+		t.Fatal("decode bomb accepted")
+	}
+}

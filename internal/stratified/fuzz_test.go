@@ -1,0 +1,67 @@
+package stratified
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStratifiedCodecRoundTrip feeds arbitrary bytes to UnmarshalBinary.
+// Decodable inputs must satisfy the sampler's structural invariants and
+// re-marshal to the identical bytes (the codec is canonical); everything
+// else must be rejected with an error, never a panic or an unbounded
+// allocation.
+func FuzzStratifiedCodecRoundTrip(f *testing.F) {
+	seedCorpus := func(budget, k, dims int, seed uint64, items int) {
+		data, err := loadedSampler(f, budget, k, dims, seed, items).MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seedCorpus(10, 4, 2, 1, 0)
+	seedCorpus(500, 32, 2, 2, 100)
+	seedCorpus(120, 32, 2, 3, 20000)
+	seedCorpus(64, 16, 1, 4, 8000)
+	seedCorpus(90, 8, 3, 5, 5000)
+	f.Add([]byte{})
+	f.Add([]byte("ATStgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sampler
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		totalStrata := 0
+		for d := 0; d < s.dims; d++ {
+			totalStrata += len(s.strata[d])
+		}
+		// len(items) may exceed the budget only up to one item per stratum
+		// (the greedy decrement's >=1-per-stratum floor).
+		maxItems := s.budget
+		if totalStrata > maxItems {
+			maxItems = totalStrata
+		}
+		if s.budget <= 0 || s.k <= 0 || s.dims <= 0 || len(s.items) > maxItems {
+			t.Fatalf("decoded invalid sampler: budget=%d k=%d dims=%d strata=%d items=%d",
+				s.budget, s.k, s.dims, totalStrata, len(s.items))
+		}
+		for d := 0; d < s.dims; d++ {
+			for l, st := range s.strata[d] {
+				if st.cap < 1 || st.cap > s.k || len(st.entries) > st.cap+1 {
+					t.Fatalf("stratum (%d,%d): cap=%d entries=%d k=%d", d, l, st.cap, len(st.entries), s.k)
+				}
+			}
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("codec is not canonical: %d bytes in, %d bytes out", len(data), len(out))
+		}
+		sum, varEst := s.SubsetSum(nil)
+		if sum != sum || varEst < 0 {
+			t.Fatalf("degenerate estimates from decoded state: sum=%v var=%v", sum, varEst)
+		}
+	})
+}

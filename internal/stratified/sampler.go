@@ -1,0 +1,508 @@
+package stratified
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ats/internal/estimator"
+	"ats/internal/stream"
+)
+
+// Sampler is the streaming form of the §3.7 multi-stratified design: a
+// single bounded sample that is simultaneously stratified along several
+// attribute dimensions. Each stratum of each dimension maintains a
+// bottom-k threshold over the priorities of its members; an item's
+// threshold is the MAX over the thresholds of the strata it belongs to
+// (Theorem 9 keeps the max 1-substitutable, so Horvitz-Thompson subset
+// sums stay unbiased), and the item is retained while its priority lies
+// below that max. When the retained set exceeds the budget, per-stratum
+// kept-counts are decremented greedily — always the stratum currently
+// covering the most items, exactly the batch Fit rule — which only ever
+// lowers thresholds, preserving substitutability in the stream setting.
+//
+// Priorities are hash-derived from keys (coordinated by the seed), so
+// samplers sharing a configuration merge deterministically, and the
+// sampler deduplicates by key: re-offering a retained key overwrites its
+// value (labels are fixed at the key's first arrival).
+type Sampler struct {
+	budget int
+	k      int
+	dims   int
+	seed   uint64
+	n      int64
+
+	// strata[d] maps a stratum label of dimension d to its state.
+	strata []map[uint32]*stratum
+	// items holds the retained sample, keyed by item key.
+	items map[uint64]*retainedItem
+}
+
+// stratum is the per-(dimension, label) bottom-k threshold state.
+type stratum struct {
+	// entries holds the smallest-priority distinct keys seen in the
+	// stratum, ascending by priority, truncated to cap+1: the first
+	// min(cap, len) entries are covered, entry[cap] (when present) is the
+	// threshold witness.
+	entries []stratumEntry
+	// cap is the kept-count ceiling: k at creation, lowered (never
+	// raised) by the budget decrement.
+	cap int
+}
+
+type stratumEntry struct {
+	pr  float64
+	key uint64
+}
+
+// retainedItem is one sampled item.
+type retainedItem struct {
+	key    uint64
+	labels []uint32
+	value  float64
+	pr     float64
+}
+
+// covered returns the number of covered entries.
+func (s *stratum) covered() int {
+	if len(s.entries) < s.cap {
+		return len(s.entries)
+	}
+	return s.cap
+}
+
+// threshold returns the stratum's bottom-k threshold: the (cap+1)-th
+// smallest priority, or +inf while the stratum retains every member.
+func (s *stratum) threshold() float64 {
+	if len(s.entries) <= s.cap {
+		return math.Inf(1)
+	}
+	return s.entries[s.cap].pr
+}
+
+// insert offers (pr, key) to the stratum's bottom list. It returns the
+// key that fell out of the covered prefix as a result, if any.
+func (s *stratum) insert(pr float64, key uint64) (evicted uint64, hasEvicted bool) {
+	i := sort.Search(len(s.entries), func(i int) bool {
+		e := s.entries[i]
+		return e.pr > pr || (e.pr == pr && e.key >= key)
+	})
+	if i < len(s.entries) && s.entries[i].pr == pr && s.entries[i].key == key {
+		return 0, false // duplicate arrival of a tracked key
+	}
+	if i > s.cap {
+		return 0, false // beyond the (cap+1)-th smallest; irrelevant
+	}
+	cOld := s.covered()
+	s.entries = append(s.entries, stratumEntry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = stratumEntry{pr: pr, key: key}
+	if len(s.entries) > s.cap+1 {
+		s.entries = s.entries[:s.cap+1]
+	}
+	if cNew := s.covered(); cNew == cOld && i < cOld {
+		// The covered prefix did not grow, so the entry formerly at its
+		// edge (now at index cNew) lost coverage from this stratum.
+		return s.entries[cNew].key, true
+	}
+	return 0, false
+}
+
+// NewSampler returns a streaming multi-stratified sampler over dims
+// attribute dimensions, retaining at most budget items, with per-stratum
+// bottom-k parameter k. Samplers sharing (budget, k, dims, seed) are
+// mergeable.
+func NewSampler(budget, k, dims int, seed uint64) *Sampler {
+	if budget <= 0 || k <= 0 || dims <= 0 {
+		panic("stratified: budget, k and dims must be positive")
+	}
+	s := &Sampler{budget: budget, k: k, dims: dims, seed: seed,
+		strata: make([]map[uint32]*stratum, dims),
+		items:  make(map[uint64]*retainedItem),
+	}
+	for d := range s.strata {
+		s.strata[d] = make(map[uint32]*stratum)
+	}
+	return s
+}
+
+// Budget returns the retained-item budget B.
+func (s *Sampler) Budget() int { return s.budget }
+
+// K returns the per-stratum bottom-k parameter.
+func (s *Sampler) K() int { return s.k }
+
+// Dims returns the number of stratification dimensions.
+func (s *Sampler) Dims() int { return s.dims }
+
+// Seed returns the coordination seed.
+func (s *Sampler) Seed() uint64 { return s.seed }
+
+// Len returns the number of retained items.
+func (s *Sampler) Len() int { return len(s.items) }
+
+// N returns the number of arrivals offered.
+func (s *Sampler) N() int64 { return s.n }
+
+// normalize pads missing labels with 0 and drops extras, so callers with
+// fewer attributes than the sampler's dimensionality land in stratum 0 of
+// the remaining dimensions.
+func (s *Sampler) normalize(labels []uint32) []uint32 {
+	out := make([]uint32, s.dims)
+	copy(out, labels)
+	return out
+}
+
+// Add offers an item with per-dimension stratum labels and an aggregable
+// value. Labels beyond the sampler's dimensionality are ignored; missing
+// ones default to 0.
+func (s *Sampler) Add(key uint64, labels []uint32, value float64) {
+	s.n++
+	// Short-circuit retained re-arrivals before normalize's allocation:
+	// duplicate-heavy streams then ingest without touching the heap.
+	if it, ok := s.items[key]; ok {
+		it.value = value
+		return
+	}
+	s.addHashed(key, stream.HashU01(key, s.seed), s.normalize(labels), value)
+}
+
+// addHashed is the shared ingest path of Add and Merge: labels must
+// already be normalized and pr must be the item's coordinated priority.
+func (s *Sampler) addHashed(key uint64, pr float64, labels []uint32, value float64) {
+	if it, ok := s.items[key]; ok {
+		// Re-arrival of a retained key: refresh the value only. Labels
+		// are fixed at first arrival — adopting new labels here would
+		// leave the item pointing at strata it was never registered in,
+		// corrupting coverage accounting (and the serialized form).
+		it.value = value
+		return
+	}
+	// Offer the priority to every dimension's stratum, collecting items
+	// that fell off a covered prefix for a global recheck.
+	var rechecks []uint64
+	for d := 0; d < s.dims; d++ {
+		st := s.strata[d][labels[d]]
+		if st == nil {
+			st = &stratum{cap: s.k}
+			s.strata[d][labels[d]] = st
+		}
+		if evicted, ok := st.insert(pr, key); ok && evicted != key {
+			rechecks = append(rechecks, evicted)
+		}
+	}
+	for _, k := range rechecks {
+		s.recheck(k)
+	}
+	if pr < s.maxThresholdOf(labels) {
+		s.items[key] = &retainedItem{key: key, labels: labels, value: value, pr: pr}
+		s.enforceBudget()
+	}
+}
+
+// maxThresholdOf returns the per-item threshold: the max over the
+// thresholds of the item's strata (missing strata count as +inf — an
+// unseen stratum keeps everything).
+func (s *Sampler) maxThresholdOf(labels []uint32) float64 {
+	t := 0.0
+	for d := 0; d < s.dims; d++ {
+		st := s.strata[d][labels[d]]
+		if st == nil {
+			return math.Inf(1)
+		}
+		if th := st.threshold(); th > t {
+			t = th
+			if math.IsInf(t, 1) {
+				return t
+			}
+		}
+	}
+	return t
+}
+
+// recheck drops the keyed item from the sample if its priority no longer
+// lies below its max-threshold.
+func (s *Sampler) recheck(key uint64) {
+	it, ok := s.items[key]
+	if !ok {
+		return
+	}
+	if it.pr >= s.maxThresholdOf(it.labels) {
+		delete(s.items, key)
+	}
+}
+
+// enforceBudget runs the §3.7 greedy decrement until at most budget items
+// remain: repeatedly lower the kept-count of the stratum covering the
+// most items (every stratum keeps at least one). Ties break on the
+// smallest dimension, then the smallest label, so the walk is
+// deterministic.
+func (s *Sampler) enforceBudget() {
+	for len(s.items) > s.budget {
+		// Plain map walk with a (covered desc, dim asc, label asc) tuple
+		// comparison: deterministic without sortedLabels' per-iteration
+		// allocation and sort — this loop runs on nearly every retained
+		// Add once the sample sits at budget.
+		bd, bl, best := -1, uint32(0), 1
+		for d := 0; d < s.dims; d++ {
+			for l, st := range s.strata[d] {
+				c := st.covered()
+				if c > best || (c == best && d == bd && l < bl) {
+					bd, bl, best = d, l, c
+				}
+			}
+		}
+		if bd < 0 {
+			return // every stratum is at its floor; budget unreachable
+		}
+		st := s.strata[bd][bl]
+		c := st.covered()
+		dropped := st.entries[c-1].key
+		st.cap = c - 1
+		if len(st.entries) > st.cap+1 {
+			st.entries = st.entries[:st.cap+1]
+		}
+		s.recheck(dropped)
+	}
+}
+
+func sortedLabels(m map[uint32]*stratum) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Exact reports whether the sample is still lossless: every stratum of
+// every dimension retains all of its members (+inf threshold), so no
+// item has ever been dropped and every estimate is exact. Note the
+// asymmetry with MaxThreshold: a single open stratum makes MaxThreshold
+// +inf while other strata may already be subsampling.
+func (s *Sampler) Exact() bool {
+	for d := 0; d < s.dims; d++ {
+		for _, st := range s.strata[d] {
+			if !math.IsInf(st.threshold(), 1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxThreshold returns the largest per-stratum threshold across all
+// dimensions (+inf while any stratum still retains every member, or
+// before any arrival).
+func (s *Sampler) MaxThreshold() float64 {
+	if s.n == 0 {
+		return math.Inf(1)
+	}
+	t := 0.0
+	for d := 0; d < s.dims; d++ {
+		for _, st := range s.strata[d] {
+			if th := st.threshold(); th > t {
+				t = th
+				if math.IsInf(t, 1) {
+					return t
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Retained is one retained item with its inclusion information.
+type Retained struct {
+	Key uint64
+	// Labels[d] is the item's stratum label in dimension d.
+	Labels []uint32
+	Value  float64
+	// Priority is the item's coordinated hash priority.
+	Priority float64
+	// Threshold is the per-item threshold max_d T[d][Labels[d]].
+	Threshold float64
+	// P is the pseudo-inclusion probability min(1, Threshold).
+	P float64
+}
+
+// Sample returns the retained items in ascending key order with their
+// pseudo-inclusion probabilities.
+func (s *Sampler) Sample() []Retained {
+	keys := make([]uint64, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Retained, 0, len(keys))
+	for _, k := range keys {
+		it := s.items[k]
+		t := s.maxThresholdOf(it.labels)
+		p := t
+		if math.IsInf(p, 1) || p > 1 {
+			p = 1
+		}
+		out = append(out, Retained{Key: it.key, Labels: append([]uint32(nil), it.labels...),
+			Value: it.value, Priority: it.pr, Threshold: t, P: p})
+	}
+	return out
+}
+
+// SubsetSum returns the Horvitz-Thompson estimate (and unbiased variance
+// estimate) of Σ value over population items matching pred (nil for all).
+func (s *Sampler) SubsetSum(pred func(key uint64, labels []uint32) bool) (sum, varianceEstimate float64) {
+	sampled := make([]estimator.Sampled, 0, len(s.items))
+	// Walk in key order: float accumulation depends on summation order,
+	// and estimates must be bit-stable across serialization round trips.
+	for _, k := range sortedItemKeys(s.items) {
+		it := s.items[k]
+		if pred != nil && !pred(it.key, it.labels) {
+			continue
+		}
+		t := s.maxThresholdOf(it.labels)
+		if math.IsInf(t, 1) || t > 1 {
+			t = 1
+		}
+		sampled = append(sampled, estimator.Sampled{Value: it.value, P: t})
+	}
+	return estimator.SubsetSum(sampled), estimator.HTVarianceEstimate(sampled)
+}
+
+// StratumStat is the per-stratum slice of a stratified estimate.
+type StratumStat struct {
+	Label uint32
+	// Sampled is the number of retained items in the stratum.
+	Sampled int
+	// SumEstimate is the HT estimate of Σ value over the stratum.
+	SumEstimate float64
+	// CountEstimate is the HT estimate of the stratum's population size.
+	CountEstimate float64
+	// VarianceEstimate is the unbiased variance estimate of SumEstimate.
+	VarianceEstimate float64
+}
+
+// StratumStats returns per-stratum HT estimates for one dimension,
+// sorted by label. Only strata with retained items appear.
+func (s *Sampler) StratumStats(dim int) []StratumStat {
+	if dim < 0 || dim >= s.dims {
+		return nil
+	}
+	byLabel := make(map[uint32][]estimator.Sampled)
+	for _, k := range sortedItemKeys(s.items) {
+		it := s.items[k]
+		t := s.maxThresholdOf(it.labels)
+		if math.IsInf(t, 1) || t > 1 {
+			t = 1
+		}
+		l := it.labels[dim]
+		byLabel[l] = append(byLabel[l], estimator.Sampled{Value: it.value, P: t})
+	}
+	labels := make([]uint32, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	out := make([]StratumStat, 0, len(labels))
+	for _, l := range labels {
+		sm := byLabel[l]
+		st := StratumStat{Label: l, Sampled: len(sm),
+			SumEstimate:      estimator.SubsetSum(sm),
+			VarianceEstimate: estimator.HTVarianceEstimate(sm)}
+		st.CountEstimate = estimator.SubsetCount(sm)
+		out = append(out, st)
+	}
+	return out
+}
+
+// Merge folds another sampler into s. Both samplers must share budget, k,
+// dims and seed; merging a sampler into itself is rejected. The other
+// sampler is not modified. Per-stratum states merge under the bottom-k
+// union rule with the kept-count cap taken as the minimum of the two
+// sides (thresholds only ever fall), the retained sets are re-filtered
+// under the merged thresholds, and the budget is re-enforced; everything
+// walks in canonical sorted order, so merging equal logical states always
+// produces identical results.
+func (s *Sampler) Merge(o *Sampler) error {
+	if s == o {
+		return errors.New("stratified: cannot merge a sampler into itself")
+	}
+	if s.budget != o.budget || s.k != o.k || s.dims != o.dims || s.seed != o.seed {
+		return fmt.Errorf("stratified: incompatible samplers (budget=%d/%d, k=%d/%d, dims=%d/%d, seed=%d/%d)",
+			s.budget, o.budget, s.k, o.k, s.dims, o.dims, s.seed, o.seed)
+	}
+	for d := 0; d < s.dims; d++ {
+		for _, l := range sortedLabels(o.strata[d]) {
+			os := o.strata[d][l]
+			st := s.strata[d][l]
+			if st == nil {
+				st = &stratum{cap: s.k}
+				s.strata[d][l] = st
+			}
+			if os.cap < st.cap {
+				st.cap = os.cap
+			}
+			st.entries = mergeEntries(st.entries, os.entries, st.cap)
+		}
+	}
+	// Re-filter both retained sets under the merged thresholds. The
+	// receiver's items are rechecked first, then the other's are offered;
+	// order cannot matter (membership is a pure predicate of the merged
+	// thresholds) but sorted walks keep the map insertions deterministic.
+	for _, k := range sortedItemKeys(s.items) {
+		s.recheck(k)
+	}
+	for _, k := range sortedItemKeys(o.items) {
+		it := o.items[k]
+		if _, ok := s.items[k]; ok {
+			continue
+		}
+		if it.pr < s.maxThresholdOf(it.labels) {
+			s.items[k] = &retainedItem{key: it.key, labels: append([]uint32(nil), it.labels...),
+				value: it.value, pr: it.pr}
+		}
+	}
+	s.enforceBudget()
+	s.n += o.n
+	return nil
+}
+
+// mergeEntries unions two ascending entry lists, deduplicating by
+// (priority, key) and truncating to cap+1.
+func mergeEntries(a, b []stratumEntry, cap int) []stratumEntry {
+	out := make([]stratumEntry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case a[i].pr < b[j].pr || (a[i].pr == b[j].pr && a[i].key < b[j].key):
+			out = append(out, a[i])
+			i++
+		case a[i].pr == b[j].pr && a[i].key == b[j].key:
+			out = append(out, a[i])
+			i++
+			j++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	if len(out) > cap+1 {
+		out = out[:cap+1]
+	}
+	return out
+}
+
+func sortedItemKeys(m map[uint64]*retainedItem) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,303 @@
+package stratified
+
+import (
+	"math"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+// popItem is one synthetic population record used across the sampler
+// tests.
+type popItem struct {
+	key    uint64
+	labels []uint32
+	value  float64
+}
+
+// synthPopulation builds n distinct-keyed items over a country×age-style
+// two-dimensional stratification with Zipf-skewed stratum sizes.
+func synthPopulation(n int, seed uint64) []popItem {
+	zc := stream.NewZipf(12, 1.3, seed)
+	rng := stream.NewRNG(seed + 1)
+	out := make([]popItem, n)
+	for i := range out {
+		out[i] = popItem{
+			key:    uint64(i)*0x9e3779b97f4a7c15 + 1,
+			labels: []uint32{uint32(zc.Next()), uint32(rng.Intn(5))},
+			value:  1 + 9*rng.Float64(),
+		}
+	}
+	return out
+}
+
+func feed(s *Sampler, pop []popItem) {
+	for _, it := range pop {
+		s.Add(it.key, it.labels, it.value)
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	for _, c := range []struct{ b, k, d int }{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, -1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSampler(%d,%d,%d) must panic", c.b, c.k, c.d)
+				}
+			}()
+			NewSampler(c.b, c.k, c.d, 1)
+		}()
+	}
+}
+
+// TestDefiningProperty checks the §3.7 membership rule in the stream
+// setting: after any prefix, an item is retained iff its priority lies
+// below the max of its strata thresholds (thresholds only ever fall, so
+// the streaming sampler realizes the same defining property as the batch
+// Fit).
+func TestDefiningProperty(t *testing.T) {
+	pop := synthPopulation(5000, 21)
+	s := NewSampler(200, 32, 2, 42)
+	feed(s, pop)
+
+	inSample := make(map[uint64]struct{})
+	for _, r := range s.Sample() {
+		if r.Priority >= r.Threshold {
+			t.Fatalf("retained item %d has priority %v >= threshold %v", r.Key, r.Priority, r.Threshold)
+		}
+		inSample[r.Key] = struct{}{}
+	}
+	for _, it := range pop {
+		pr := stream.HashU01(it.key, 42)
+		covered := pr < s.maxThresholdOf(s.normalize(it.labels))
+		_, in := inSample[it.key]
+		if covered != in {
+			t.Fatalf("item %d: covered=%v but in-sample=%v", it.key, covered, in)
+		}
+	}
+}
+
+func TestBudgetAndRepresentation(t *testing.T) {
+	pop := synthPopulation(20000, 33)
+	s := NewSampler(150, 64, 2, 7)
+	feed(s, pop)
+	if s.Len() > s.Budget() {
+		t.Fatalf("retained %d items over budget %d", s.Len(), s.Budget())
+	}
+	if s.N() != 20000 {
+		t.Fatalf("N = %d", s.N())
+	}
+	// Every observed stratum of every dimension keeps at least one item:
+	// the greedy decrement never lowers a kept-count below one.
+	for dim := 0; dim < 2; dim++ {
+		seen := make(map[uint32]bool)
+		for _, it := range pop {
+			seen[it.labels[dim]] = true
+		}
+		got := make(map[uint32]bool)
+		for _, r := range s.Sample() {
+			got[r.Labels[dim]] = true
+		}
+		for l := range seen {
+			if !got[l] {
+				t.Errorf("dimension %d stratum %d lost representation", dim, l)
+			}
+		}
+	}
+}
+
+func TestDuplicateKeyOverwrites(t *testing.T) {
+	s := NewSampler(10, 4, 1, 5)
+	s.Add(1, []uint32{0}, 3)
+	s.Add(1, []uint32{0}, 8)
+	if s.Len() != 1 {
+		t.Fatalf("duplicate key retained twice: %d items", s.Len())
+	}
+	sum, _ := s.SubsetSum(nil)
+	if sum != 8 {
+		t.Fatalf("re-arrival did not overwrite the value: sum %v", sum)
+	}
+}
+
+// TestRelabeledReArrivalKeepsStateSerializable is the regression for a
+// bug where re-offering a retained key with DIFFERENT labels adopted the
+// new labels without registering the new strata, producing a state whose
+// own codec rejected it (the daemon could write a snapshot that no boot
+// could restore). Labels are now fixed at first arrival.
+func TestRelabeledReArrivalKeepsStateSerializable(t *testing.T) {
+	s := NewSampler(10, 4, 2, 5)
+	s.Add(1, []uint32{0, 0}, 1)
+	s.Add(1, []uint32{5, 9}, 2) // relabel attempt: value updates, labels stay
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sampler
+	if err := d.UnmarshalBinary(data); err != nil {
+		t.Fatalf("state written by the sampler is not restorable: %v", err)
+	}
+	r := d.Sample()
+	if len(r) != 1 || r[0].Labels[0] != 0 || r[0].Labels[1] != 0 {
+		t.Fatalf("labels not fixed at first arrival: %+v", r)
+	}
+	if sum, _ := d.SubsetSum(nil); sum != 2 {
+		t.Fatalf("value not refreshed: sum %v", sum)
+	}
+}
+
+// TestStratumFloorOverflowStaysSerializable is the regression for a bug
+// where a stream with more strata than budget — every stratum keeps at
+// least one item, so the sample legitimately overflows the budget — was
+// serialized into bytes the decoder itself rejected (nitems > budget),
+// leaving the daemon with snapshots no boot could restore.
+func TestStratumFloorOverflowStaysSerializable(t *testing.T) {
+	s := NewSampler(4, 2, 1, 11)
+	for i := uint64(0); i < 10; i++ {
+		s.Add(i*0x9e3779b97f4a7c15+1, []uint32{uint32(i)}, 1)
+	}
+	if s.Len() <= s.Budget() {
+		t.Fatalf("test premise broken: %d items should exceed budget %d via the stratum floor",
+			s.Len(), s.Budget())
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Sampler
+	if err := d.UnmarshalBinary(data); err != nil {
+		t.Fatalf("state written by the sampler is not restorable: %v", err)
+	}
+	if d.Len() != s.Len() {
+		t.Fatalf("round trip changed the sample: %d -> %d items", s.Len(), d.Len())
+	}
+}
+
+// TestExactReflectsAnySubsampling is the regression for a bug where a
+// single still-open stratum made the serving layer claim exact:true
+// (MaxThreshold is a max over strata) even after items had been dropped.
+func TestExactReflectsAnySubsampling(t *testing.T) {
+	s := NewSampler(4, 2, 1, 7)
+	if !s.Exact() {
+		t.Fatal("empty sampler must be exact")
+	}
+	for i := 0; i < 50; i++ {
+		s.Add(uint64(i)*0x9e3779b97f4a7c15+1, []uint32{0}, 1)
+	}
+	if s.Exact() {
+		t.Fatal("subsampled stratum must clear Exact")
+	}
+	// A brand-new open stratum must NOT restore exactness, even though
+	// it drives MaxThreshold back to +inf.
+	s.Add(999, []uint32{9}, 1)
+	if !math.IsInf(s.MaxThreshold(), 1) {
+		t.Fatal("test premise broken: new stratum should open the max threshold")
+	}
+	if s.Exact() {
+		t.Fatal("Exact claimed while another stratum is subsampling")
+	}
+}
+
+func TestLabelNormalization(t *testing.T) {
+	s := NewSampler(10, 4, 3, 5)
+	s.Add(1, []uint32{2}, 1)             // short: pads dims 1,2 with 0
+	s.Add(2, []uint32{1, 1, 1, 9, 9}, 1) // long: extras dropped
+	for _, r := range s.Sample() {
+		if len(r.Labels) != 3 {
+			t.Fatalf("labels not normalized to dims: %v", r.Labels)
+		}
+	}
+}
+
+func TestMergeMatchesDefiningProperty(t *testing.T) {
+	pop := synthPopulation(12000, 55)
+	a := NewSampler(180, 32, 2, 9)
+	b := NewSampler(180, 32, 2, 9)
+	for i, it := range pop {
+		if i%2 == 0 {
+			a.Add(it.key, it.labels, it.value)
+		} else {
+			b.Add(it.key, it.labels, it.value)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() > a.Budget() {
+		t.Fatalf("merged sample %d over budget %d", a.Len(), a.Budget())
+	}
+	if a.N() != 12000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	// The merged state must satisfy the defining property over the union
+	// population.
+	inSample := make(map[uint64]struct{})
+	for _, r := range a.Sample() {
+		inSample[r.Key] = struct{}{}
+	}
+	for _, it := range pop {
+		pr := stream.HashU01(it.key, 9)
+		covered := pr < a.maxThresholdOf(a.normalize(it.labels))
+		if _, in := inSample[it.key]; covered != in {
+			t.Fatalf("merged: item %d covered=%v in-sample=%v", it.key, covered, in)
+		}
+	}
+	// And its overall estimate must still track the exact sum.
+	exact := 0.0
+	for _, it := range pop {
+		exact += it.value
+	}
+	sum, _ := a.SubsetSum(nil)
+	if rel := math.Abs(sum-exact) / exact; rel > 0.25 {
+		t.Errorf("merged subset sum %v vs exact %v (rel %v)", sum, exact, rel)
+	}
+}
+
+func TestMergeGuards(t *testing.T) {
+	s := NewSampler(10, 4, 2, 1)
+	if err := s.Merge(s); err == nil {
+		t.Error("self-merge must be rejected")
+	}
+	for _, o := range []*Sampler{
+		NewSampler(11, 4, 2, 1), NewSampler(10, 5, 2, 1),
+		NewSampler(10, 4, 3, 1), NewSampler(10, 4, 2, 2),
+	} {
+		if err := s.Merge(o); err == nil {
+			t.Errorf("incompatible merge (%d,%d,%d,%d) accepted", o.budget, o.k, o.dims, o.seed)
+		}
+	}
+	if s.Len() != 0 || s.N() != 0 {
+		t.Error("rejected merge mutated the sampler")
+	}
+}
+
+func TestStratumStats(t *testing.T) {
+	pop := synthPopulation(8000, 77)
+	s := NewSampler(400, 64, 2, 13)
+	feed(s, pop)
+	for dim := 0; dim < 2; dim++ {
+		stats := s.StratumStats(dim)
+		if len(stats) == 0 {
+			t.Fatalf("dim %d: no stratum stats", dim)
+		}
+		totalFromStrata := 0.0
+		for i, st := range stats {
+			if i > 0 && stats[i-1].Label >= st.Label {
+				t.Fatalf("dim %d: stats out of label order", dim)
+			}
+			if st.Sampled <= 0 || st.SumEstimate < 0 || st.CountEstimate < 0 {
+				t.Fatalf("dim %d stratum %d: degenerate stats %+v", dim, st.Label, st)
+			}
+			totalFromStrata += st.SumEstimate
+		}
+		sum, _ := s.SubsetSum(nil)
+		if math.Abs(totalFromStrata-sum) > 1e-6*math.Abs(sum) {
+			t.Errorf("dim %d: stratum sums %v do not add up to the total %v", dim, totalFromStrata, sum)
+		}
+	}
+	if got := s.StratumStats(-1); got != nil {
+		t.Error("negative dim must return nil")
+	}
+	if got := s.StratumStats(2); got != nil {
+		t.Error("out-of-range dim must return nil")
+	}
+}

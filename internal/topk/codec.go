@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"ats/internal/stream"
 )
 
 // Serialization format of the Unbiased Space Saving sketch
@@ -92,7 +94,15 @@ func (s *UnbiasedSpaceSaving) UnmarshalBinary(data []byte) error {
 	if len(data) != ussHeader+count*ussEntrySize {
 		return fmt.Errorf("%w: body is %d bytes, want %d counters", ErrCorrupt, len(data)-ussHeader, count)
 	}
-	restored := NewUnbiasedSpaceSaving(m, 0)
+	// Built by hand rather than through New: the constructor pre-sizes
+	// the counter map by m, and m here is attacker-controlled header
+	// input — map capacity must follow the actual (already validated)
+	// entry count, not the claim.
+	restored := &UnbiasedSpaceSaving{
+		m:      m,
+		rng:    stream.NewRNG(0),
+		counts: make(map[uint64]int64, count),
+	}
 	if err := restored.rng.SetState(st); err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

@@ -1,0 +1,34 @@
+package topk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSelfMergeRejectedAndHarmless is the self-merge guard regression
+// for the unbiased space-saving Merge: merging a sketch into itself
+// must fail with an error AND leave the sketch byte-identical — a
+// partial self-merge would double counts before the iteration broke.
+func TestSelfMergeRejectedAndHarmless(t *testing.T) {
+	s := NewUnbiasedSpaceSaving(16, 3)
+	for i := 0; i < 5000; i++ {
+		s.Add(uint64(i % 37))
+	}
+	before, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Merge(s); err == nil {
+		t.Fatal("self-merge must be rejected")
+	}
+	after, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected self-merge mutated the sketch")
+	}
+	if got := s.SubsetSum(nil); got != 5000 {
+		t.Fatalf("total %d after rejected self-merge, want 5000", got)
+	}
+}

@@ -1,0 +1,36 @@
+package varopt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSelfMergeRejectedAndHarmless is the self-merge guard regression
+// for the VarOpt Merge: merging a sketch into itself must fail with an
+// error AND leave the sketch byte-identical — a partial self-merge
+// would resample the sketch against its own entries and double weight
+// mass.
+func TestSelfMergeRejectedAndHarmless(t *testing.T) {
+	s := New(32, 5)
+	for i := 0; i < 4000; i++ {
+		s.Add(uint64(i), 1+float64(i%9), 1)
+	}
+	before, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := s.SubsetSum(nil)
+	if err := s.Merge(s); err == nil {
+		t.Fatal("self-merge must be rejected")
+	}
+	after, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected self-merge mutated the sketch")
+	}
+	if got := s.SubsetSum(nil); got != wantSum {
+		t.Fatalf("subset sum %v after rejected self-merge, want %v", got, wantSum)
+	}
+}
