@@ -1,0 +1,82 @@
+package main
+
+// The compare subcommand is the perf regression gate: it diffs a fresh
+// perf report against the newest checked-in BENCH_<n>.json over the
+// named hot paths and exits non-zero when any of them slowed down by
+// more than the allowed fraction. CI runs it after regenerating a quick
+// report so hot-path drift fails the build instead of landing silently.
+//
+//	atsbench compare -new BENCH_fresh.json                  // vs newest checked-in
+//	atsbench compare -old BENCH_4.json -new BENCH_5.json -max-regress 0.2
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ats/internal/bench"
+)
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline report (default: newest checked-in BENCH_<n>.json)")
+	newPath := fs.String("new", "", "fresh report to gate (required)")
+	dir := fs.String("dir", ".", "directory searched for the default baseline")
+	maxRegress := fs.Float64("max-regress", 0.20, "max allowed ns/op slowdown fraction on hot paths")
+	paths := fs.String("paths", "", "comma-separated hot-path name prefixes (default: built-in list)")
+	_ = fs.Parse(args)
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "compare: -new is required")
+		os.Exit(2)
+	}
+	if *oldPath == "" {
+		p, err := bench.LatestPath(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(2)
+		}
+		*oldPath = p
+	}
+	old, err := bench.Load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(2)
+	}
+	fresh, err := bench.Load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(2)
+	}
+
+	var prefixes []string
+	if *paths != "" {
+		for _, p := range strings.Split(*paths, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				prefixes = append(prefixes, p)
+			}
+		}
+	}
+	all, regressions := bench.Compare(old, fresh, prefixes, *maxRegress)
+
+	fmt.Printf("comparing %s (pr %d) -> %s (pr %d), gate %.0f%%\n\n",
+		*oldPath, old.PR, *newPath, fresh.PR, *maxRegress*100)
+	if len(all) == 0 {
+		fmt.Fprintln(os.Stderr, "compare: no hot-path benchmarks present in both reports")
+		os.Exit(2)
+	}
+	fmt.Printf("%-34s %12s %12s %9s\n", "hot path", "old ns/op", "new ns/op", "change")
+	for _, d := range all {
+		mark := ""
+		if d.Change > *maxRegress {
+			mark = "  << REGRESSION"
+		}
+		fmt.Printf("%-34s %12.2f %12.2f %+8.1f%%%s\n", d.Name, d.OldNs, d.NewNs, d.Change*100, mark)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("\n%d hot path(s) regressed beyond %.0f%%\n", len(regressions), *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d hot paths within the %.0f%% gate\n", len(all), *maxRegress*100)
+}

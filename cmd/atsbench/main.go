@@ -36,6 +36,8 @@ func main() {
 	switch cmd {
 	case "perf":
 		runPerf(args)
+	case "compare":
+		runCompare(args)
 	case "all":
 		for _, name := range []string{
 			"fig1", "fig2", "fig3", "fig4", "budget", "merge-dominated",
@@ -207,6 +209,8 @@ experiments:
   parallel         sharded engine: single-thread vs concurrent ingest throughput
   perf             machine-readable ingest/query micro-benchmarks
                    (-json writes BENCH_<n>.json; -quick runs the CI subset)
+  compare          diff a fresh perf report against the checked-in baseline;
+                   exits 1 on >20% hot-path regression (-max-regress to tune)
   all              run everything with default configs
 
 pass -h after an experiment name for its flags`)

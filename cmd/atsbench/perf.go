@@ -11,7 +11,6 @@ package main
 //	atsbench -json -quick            // shorthand: flags imply perf
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"ats/internal/bench"
 	"ats/internal/bottomk"
 	"ats/internal/budget"
 	"ats/internal/decay"
@@ -31,40 +31,11 @@ import (
 	"ats/internal/topk"
 	"ats/internal/varopt"
 	"ats/internal/window"
+	"ats/internal/wire"
 )
 
-// perfSchema identifies the JSON layout for downstream tooling.
-const perfSchema = "ats-perf/v1"
-
 // perfPR is the sequence number stamped into the default output name.
-const perfPR = 4
-
-// PerfResult is one measured (sketch, op, shape) cell.
-type PerfResult struct {
-	Name        string  `json:"name"`
-	Sketch      string  `json:"sketch"`
-	Op          string  `json:"op"`
-	Shape       string  `json:"shape"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	ItemsPerSec float64 `json:"items_per_s"`
-	MBPerSec    float64 `json:"mb_per_s"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
-}
-
-// PerfReport is the checked-in BENCH_<n>.json document.
-type PerfReport struct {
-	Schema   string       `json:"schema"`
-	PR       int          `json:"pr"`
-	GoOS     string       `json:"goos"`
-	GoArch   string       `json:"goarch"`
-	NumCPU   int          `json:"num_cpu"`
-	GoVer    string       `json:"go_version"`
-	Quick    bool         `json:"quick"`
-	Duration string       `json:"wall_time"`
-	Results  []PerfResult `json:"results"`
-}
+const perfPR = 5
 
 type perfCase struct {
 	sketch, op, shape string
@@ -164,7 +135,7 @@ func perfCases() []perfCase {
 				s.Add(uint64(i), 1, 1, sizes[i&(1<<16-1)])
 			}
 		}},
-		{"window", "add", "steady", itemBytes, false, func(b *testing.B) {
+		{"window", "add", "steady", itemBytes, true, func(b *testing.B) {
 			w := window.New(100, 1, 3)
 			b.ResetTimer()
 			b.ReportAllocs()
@@ -172,7 +143,7 @@ func perfCases() []perfCase {
 				w.Add(uint64(i), float64(i)*0.001) // 1000 items per window
 			}
 		}},
-		{"varopt", "add", "uniform", itemBytes, false, func(b *testing.B) {
+		{"varopt", "add", "uniform", itemBytes, true, func(b *testing.B) {
 			rng := stream.NewRNG(13)
 			ws := make([]float64, 1<<16)
 			for i := range ws {
@@ -412,6 +383,38 @@ func perfCases() []perfCase {
 				done += m
 			}
 		}},
+		{"wire", "encode", "512-items", itemBytes, true, func(b *testing.B) {
+			items := perfItems()[:512]
+			buf := make([]byte, 0, 1<<14)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += len(items) {
+				var err error
+				buf, err = wire.AppendFrame(buf[:0], wire.Frame{
+					Namespace: "tenant", Metric: "bytes", Kind: wire.KindDefault, Items: items})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"wire", "decode", "512-items", itemBytes, true, func(b *testing.B) {
+			// The serving layer's per-item parse cost on /v1/addb: decode a
+			// pre-encoded 512-item frame, the shape atsload sends.
+			body, err := wire.AppendFrame(nil, wire.Frame{
+				Namespace: "tenant", Metric: "bytes", Kind: wire.KindDefault,
+				Items: perfItems()[:512]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += 512 {
+				f, rest, err := wire.DecodeFrame(body)
+				if err != nil || len(rest) != 0 || len(f.Items) != 512 {
+					b.Fatalf("decode: %d items, %d rest, %v", len(f.Items), len(rest), err)
+				}
+			}
+		}},
 	}
 }
 
@@ -533,8 +536,8 @@ func runPerf(args []string) {
 	_ = fs.Parse(args)
 
 	start := time.Now()
-	report := PerfReport{
-		Schema: perfSchema,
+	report := bench.Report{
+		Schema: bench.Schema,
 		PR:     perfPR,
 		GoOS:   runtime.GOOS,
 		GoArch: runtime.GOARCH,
@@ -550,7 +553,7 @@ func runPerf(args []string) {
 		r := testing.Benchmark(c.bench)
 		name := c.sketch + "/" + c.op + "/" + c.shape
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
-		res := PerfResult{
+		res := bench.Result{
 			Name:        name,
 			Sketch:      c.sketch,
 			Op:          c.op,
@@ -568,13 +571,7 @@ func runPerf(args []string) {
 	}
 	report.Duration = time.Since(start).Round(time.Millisecond).String()
 	if *jsonOut {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "perf: marshal:", err)
-			os.Exit(1)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := report.Write(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "perf: write:", err)
 			os.Exit(1)
 		}

@@ -8,6 +8,7 @@
 //	     [-k 1024] [-seed 1] [-bucket 1m] [-retention 60] [-shards 1]
 //	     [-max-keys 0] [-window 0] [-lambda 0] [-group-m 64] [-stratum-k 64]
 //	     [-dims 2] [-snapshot path]
+//	     [-max-inflight-items 4194304] [-max-batch-items 1048576]
 //
 // -kind sets the DEFAULT sketch kind; each key's kind is fixed at first
 // write and ingest may pick any kind per batch with the "kind" field, so
@@ -26,6 +27,13 @@
 //	curl 'localhost:8321/v1/query?namespace=acme&metric=hot&from=0&k=5'
 //	curl 'localhost:8321/v1/query?namespace=acme&metric=per-country&from=0&group_by=group'
 //	curl 'localhost:8321/v1/query?namespace=acme&metric=strat&from=0&group_by=1'
+//
+// High-volume ingest should prefer the binary frame endpoint POST
+// /v1/addb (docs/API.md "Binary ingest" has the byte spec; cmd/atsload
+// generates load in both transports). The admission flags bound ingest
+// memory: past -max-inflight-items the daemon answers 429 with
+// Retry-After, and a single request carrying more than -max-batch-items
+// items is rejected with 413.
 //
 // With -snapshot, the daemon restores the keyspace from the file at
 // boot (if present), persists it there on POST /v1/snapshot, and writes
@@ -65,6 +73,8 @@ func main() {
 		stratumK  = flag.Int("stratum-k", 0, "per-stratum bottom-k parameter (stratified kind; 0 = 64)")
 		dims      = flag.Int("dims", 0, "stratification dimensions (stratified kind; 0 = 2)")
 		snapPath  = flag.String("snapshot", "", "snapshot file: restored at boot, written on POST /v1/snapshot and shutdown")
+		inflight  = flag.Int64("max-inflight-items", 0, "admission-gate budget: items in flight across ingest requests before 429s (0 = default)")
+		maxBatch  = flag.Int("max-batch-items", 0, "per-request item limit before 413s (0 = default)")
 	)
 	flag.Parse()
 
@@ -101,7 +111,11 @@ func main() {
 		}
 	}
 
-	srv := server.New(st, *snapPath)
+	srv := server.NewWithOptions(st, server.Options{
+		SnapshotPath:     *snapPath,
+		MaxInflightItems: *inflight,
+		MaxBatchItems:    *maxBatch,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,364 @@
+// Command atsload is the seeded, reproducible load generator for the
+// atsd serving daemon: it drives the same synthetic workload through
+// the JSON (/v1/add) and binary (/v1/addb) ingest transports and
+// reports sustained items/s plus per-request latency quantiles, so the
+// serving layer's cost is measured end to end and recorded next to the
+// micro-benchmarks in BENCH_<n>.json.
+//
+// The stream is deterministic: -seed forks one decorrelated RNG stream
+// per worker (stream.ForkSeeds), so two runs with the same flags offer
+// the daemon byte-identical frames in the same per-worker order. Keys
+// follow a Zipf or uniform distribution over -keyspace; batches walk
+// the requested sketch kinds round-robin, stamping group labels for
+// groupby and stratum coordinates for stratified.
+//
+//	atsd -addr :8321 &
+//	atsload -addr http://localhost:8321 -mode both -items 400000 -out BENCH_5.json
+//
+// Admission-gate 429s are honored: the worker sleeps for the server's
+// Retry-After and resends the same batch, so a throttled run still
+// ingests every item and the rejection count lands in the report.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ats/internal/bench"
+	"ats/internal/engine"
+	"ats/internal/store"
+	"ats/internal/stream"
+	"ats/internal/wire"
+)
+
+type config struct {
+	addr      string
+	mode      string
+	kinds     []store.Kind
+	kindsFlag string
+	workers   int
+	items     int64
+	batch     int
+	dist      string
+	zipfS     float64
+	keyspace  int
+	seed      uint64
+	namespace string
+	out       string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://localhost:8321", "atsd base URL")
+	flag.StringVar(&cfg.mode, "mode", "both", "transport: json, binary, or both (binary after json)")
+	flag.StringVar(&cfg.kindsFlag, "kinds", "all", "comma-separated sketch kinds to spread the stream across, or all")
+	flag.IntVar(&cfg.workers, "workers", 4, "concurrent ingest workers per mode")
+	flag.Int64Var(&cfg.items, "items", 400_000, "items to ingest per mode")
+	flag.IntVar(&cfg.batch, "batch", 512, "items per request")
+	flag.StringVar(&cfg.dist, "dist", "zipf", "key distribution: zipf or uniform")
+	flag.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "zipf skew (with -dist zipf)")
+	flag.IntVar(&cfg.keyspace, "keyspace", 100_000, "distinct keys in the synthetic stream")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "root seed; forked per worker for decorrelated streams")
+	flag.StringVar(&cfg.namespace, "namespace", "load", "ingest namespace")
+	flag.StringVar(&cfg.out, "out", "", "BENCH_<n>.json to merge serving results into (created if absent)")
+	flag.Parse()
+
+	if cfg.mode != "json" && cfg.mode != "binary" && cfg.mode != "both" {
+		fmt.Fprintf(os.Stderr, "atsload: unknown -mode %q\n", cfg.mode)
+		os.Exit(2)
+	}
+	if cfg.dist != "zipf" && cfg.dist != "uniform" {
+		fmt.Fprintf(os.Stderr, "atsload: unknown -dist %q\n", cfg.dist)
+		os.Exit(2)
+	}
+	if cfg.kindsFlag == "all" {
+		cfg.kinds = store.Kinds()
+	} else {
+		for _, s := range strings.Split(cfg.kindsFlag, ",") {
+			k, err := store.ParseKind(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "atsload:", err)
+				os.Exit(2)
+			}
+			cfg.kinds = append(cfg.kinds, k)
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.workers * 4,
+		MaxIdleConnsPerHost: cfg.workers * 4,
+	}}
+	if err := waitReady(client, cfg.addr); err != nil {
+		fmt.Fprintln(os.Stderr, "atsload:", err)
+		os.Exit(1)
+	}
+
+	modes := []string{cfg.mode}
+	if cfg.mode == "both" {
+		modes = []string{"json", "binary"}
+	}
+	var servings []bench.Serving
+	for _, mode := range modes {
+		s := runMode(client, cfg, mode)
+		servings = append(servings, s)
+		fmt.Printf("%-22s %10.0f items/s  %8.1f ns/item  p50 %6.2fms  p99 %6.2fms  p999 %6.2fms  (%d items, %d reqs, %d x 429)\n",
+			s.Name, s.ItemsPerSec, s.NsPerItem, s.P50Ms, s.P99Ms, s.P999Ms, s.Items, s.Requests, s.Rejected429)
+	}
+	if len(servings) == 2 {
+		speedup := servings[0].NsPerItem / servings[1].NsPerItem
+		fmt.Printf("binary/json per-item speedup: %.2fx\n", speedup)
+	}
+
+	if cfg.out != "" {
+		report, err := bench.Load(cfg.out)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "atsload:", err)
+				os.Exit(1)
+			}
+			report = bench.Report{Schema: bench.Schema}
+		}
+		for _, s := range servings {
+			report.MergeServing(s)
+		}
+		if err := report.Write(cfg.out); err != nil {
+			fmt.Fprintln(os.Stderr, "atsload: write:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d serving result(s) into %s\n", len(servings), cfg.out)
+	}
+}
+
+// waitReady polls /v1/stats briefly so a freshly exec'd daemon has time
+// to bind before the measured run starts.
+func waitReady(client *http.Client, addr string) error {
+	var last error
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get(addr + "/v1/stats")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("%s/v1/stats: status %d", addr, resp.StatusCode)
+		} else {
+			last = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon not ready: %w", last)
+}
+
+// workerStats is one worker's tally, merged after the run.
+type workerStats struct {
+	items     int64
+	requests  int64
+	rejected  int64
+	latencies []time.Duration
+	err       error
+}
+
+// runMode ingests cfg.items items through one transport and measures it.
+func runMode(client *http.Client, cfg config, mode string) bench.Serving {
+	perWorker := cfg.items / int64(cfg.workers)
+	seeds := stream.ForkSeeds(cfg.seed, cfg.workers)
+	stats := make([]workerStats, cfg.workers)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := perWorker
+			if w == cfg.workers-1 {
+				n = cfg.items - perWorker*int64(cfg.workers-1)
+			}
+			stats[w] = runWorker(client, cfg, mode, seeds[w], w, n)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var total workerStats
+	for _, s := range stats {
+		if s.err != nil && total.err == nil {
+			total.err = s.err
+		}
+		total.items += s.items
+		total.requests += s.requests
+		total.rejected += s.rejected
+		total.latencies = append(total.latencies, s.latencies...)
+	}
+	if total.err != nil {
+		fmt.Fprintln(os.Stderr, "atsload:", total.err)
+		os.Exit(1)
+	}
+	if total.items != cfg.items {
+		fmt.Fprintf(os.Stderr, "atsload: ingested %d of %d items\n", total.items, cfg.items)
+		os.Exit(1)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+
+	ns := float64(wall.Nanoseconds()) / float64(total.items)
+	return bench.Serving{
+		Name:        "serve/ingest/" + mode,
+		Mode:        mode,
+		Kinds:       cfg.kindsFlag,
+		Dist:        cfg.dist,
+		Seed:        cfg.seed,
+		Workers:     cfg.workers,
+		BatchItems:  cfg.batch,
+		Items:       total.items,
+		WallSeconds: wall.Seconds(),
+		ItemsPerSec: 1e9 / ns,
+		NsPerItem:   ns,
+		P50Ms:       quantileMs(total.latencies, 0.50),
+		P99Ms:       quantileMs(total.latencies, 0.99),
+		P999Ms:      quantileMs(total.latencies, 0.999),
+		Requests:    total.requests,
+		Rejected429: total.rejected,
+	}
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// runWorker generates and sends this worker's share of the stream. The
+// item sequence depends only on (seed, worker index, kinds, dist), not
+// on the transport, so json and binary runs offer identical streams.
+func runWorker(client *http.Client, cfg config, mode string, seed uint64, w int, n int64) workerStats {
+	rng := stream.NewRNG(seed)
+	var zipf *stream.Zipf
+	if cfg.dist == "zipf" {
+		zipf = stream.NewZipf(cfg.keyspace, cfg.zipfS, seed^0x5bf03635)
+	}
+	nextKey := func() uint64 {
+		if zipf != nil {
+			return zipf.Next()
+		}
+		return rng.Uint64() % uint64(cfg.keyspace)
+	}
+
+	var st workerStats
+	st.latencies = make([]time.Duration, 0, n/int64(cfg.batch)+1)
+	items := make([]engine.Item, 0, cfg.batch)
+	var jsonBuf bytes.Buffer
+	var binBuf []byte
+
+	for batchNo := 0; st.items < n; batchNo++ {
+		kind := cfg.kinds[batchNo%len(cfg.kinds)]
+		m := int64(cfg.batch)
+		if m > n-st.items {
+			m = n - st.items
+		}
+		items = items[:0]
+		for i := int64(0); i < m; i++ {
+			wgt := 0.5 + 9.5*rng.Float64()
+			it := engine.Item{Key: nextKey(), Weight: wgt, Value: wgt}
+			switch kind {
+			case store.GroupBy:
+				it.Group = rng.Uint64() % 16
+			case store.Stratified:
+				it.Strata = []uint32{uint32(rng.Intn(8)), uint32(rng.Intn(4))}
+			case store.Distinct, store.TopK:
+				it.Weight, it.Value = 1, 0
+			}
+			items = append(items, it)
+		}
+
+		var url, ctype string
+		var body []byte
+		metric := "load-" + kind.String()
+		if mode == "binary" {
+			var err error
+			binBuf, err = wire.AppendFrame(binBuf[:0], wire.Frame{
+				Namespace: cfg.namespace, Metric: metric, Kind: byte(kind), Items: items})
+			if err != nil {
+				st.err = fmt.Errorf("worker %d: encode: %w", w, err)
+				return st
+			}
+			url, ctype, body = cfg.addr+"/v1/addb", "application/octet-stream", binBuf
+		} else {
+			jsonBuf.Reset()
+			fmt.Fprintf(&jsonBuf, `{"namespace":%q,"metric":%q,"kind":%q,"items":[`,
+				cfg.namespace, metric, kind.String())
+			for i, it := range items {
+				if i > 0 {
+					jsonBuf.WriteByte(',')
+				}
+				fmt.Fprintf(&jsonBuf, `{"key":%d,"weight":%g,"value":%g`, it.Key, it.Weight, it.Value)
+				if it.Group != 0 {
+					fmt.Fprintf(&jsonBuf, `,"group":%d`, it.Group)
+				}
+				if len(it.Strata) > 0 {
+					jsonBuf.WriteString(`,"strata":[`)
+					for j, s := range it.Strata {
+						if j > 0 {
+							jsonBuf.WriteByte(',')
+						}
+						fmt.Fprintf(&jsonBuf, "%d", s)
+					}
+					jsonBuf.WriteByte(']')
+				}
+				jsonBuf.WriteByte('}')
+			}
+			jsonBuf.WriteString(`]}`)
+			url, ctype, body = cfg.addr+"/v1/add", "application/json", jsonBuf.Bytes()
+		}
+
+		if err := st.send(client, url, ctype, body); err != nil {
+			st.err = fmt.Errorf("worker %d: %w", w, err)
+			return st
+		}
+		st.items += m
+	}
+	return st
+}
+
+// send posts one batch, retrying on admission-gate 429s per the
+// server's Retry-After. Only successful requests enter the latency
+// sample; rejections are counted separately.
+func (st *workerStats) send(client *http.Client, url, ctype string, body []byte) error {
+	for {
+		t0 := time.Now()
+		resp, err := client.Post(url, ctype, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		lat := time.Since(t0)
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			st.requests++
+			st.latencies = append(st.latencies, lat)
+			return nil
+		case http.StatusTooManyRequests:
+			st.rejected++
+			delay := 50 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			time.Sleep(delay)
+		default:
+			return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, msg)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package bench defines the machine-readable performance report the
+// repo checks in as BENCH_<n>.json: the schema shared by the perf
+// harness (cmd/atsbench perf), the serving-layer load generator
+// (cmd/atsload), and the regression gate (cmd/atsbench compare). One
+// report records both the micro-benchmark trajectory (Results) and the
+// end-to-end serving trajectory (Serving), so the bench file is the
+// single place the project's speed history lives.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the JSON layout for downstream tooling. Serving is
+// an additive extension of the original layout, so the name is stable.
+const Schema = "ats-perf/v1"
+
+// Result is one measured (sketch, op, shape) micro-benchmark cell.
+type Result struct {
+	Name        string  `json:"name"`
+	Sketch      string  `json:"sketch"`
+	Op          string  `json:"op"`
+	Shape       string  `json:"shape"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ItemsPerSec float64 `json:"items_per_s"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Serving is one end-to-end load-generator run against a live daemon:
+// sustained throughput and ingest latency quantiles as the client saw
+// them, plus enough parameters to reproduce the run.
+type Serving struct {
+	// Name is the stable comparison key, e.g. "serve/ingest/binary".
+	Name string `json:"name"`
+	// Mode is the transport: "json" (/v1/add) or "binary" (/v1/addb).
+	Mode string `json:"mode"`
+	// Kinds lists the sketch kinds the run spread its stream across.
+	Kinds string `json:"kinds"`
+	// Dist names the key distribution ("zipf" or "uniform") and Seed
+	// reproduces the exact stream.
+	Dist string `json:"dist"`
+	Seed uint64 `json:"seed"`
+	// Workers and BatchItems shape the offered load.
+	Workers    int `json:"workers"`
+	BatchItems int `json:"batch_items"`
+	// Items is the number of items ingested; WallSeconds the elapsed
+	// time; ItemsPerSec the sustained throughput; NsPerItem the
+	// amortized per-item cost seen by the client.
+	Items       int64   `json:"items"`
+	WallSeconds float64 `json:"wall_s"`
+	ItemsPerSec float64 `json:"items_per_s"`
+	NsPerItem   float64 `json:"ns_per_item"`
+	// P50/P99/P999 are per-request ingest latency quantiles in
+	// milliseconds, over successful requests.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	// Requests counts successful ingest requests; Rejected429 counts
+	// admission-gate rejections the client retried.
+	Requests    int64 `json:"requests"`
+	Rejected429 int64 `json:"rejected_429"`
+}
+
+// Report is the checked-in BENCH_<n>.json document.
+type Report struct {
+	Schema   string    `json:"schema"`
+	PR       int       `json:"pr"`
+	GoOS     string    `json:"goos"`
+	GoArch   string    `json:"goarch"`
+	NumCPU   int       `json:"num_cpu"`
+	GoVer    string    `json:"go_version"`
+	Quick    bool      `json:"quick"`
+	Duration string    `json:"wall_time"`
+	Results  []Result  `json:"results"`
+	Serving  []Serving `json:"serving,omitempty"`
+}
+
+// Load reads a report from path.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return Report{}, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// Write serializes the report to path.
+func (r Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MergeServing inserts s into the report, replacing any prior entry
+// with the same Name so re-runs update in place.
+func (r *Report) MergeServing(s Serving) {
+	for i := range r.Serving {
+		if r.Serving[i].Name == s.Name {
+			r.Serving[i] = s
+			return
+		}
+	}
+	r.Serving = append(r.Serving, s)
+}
+
+// benchFile matches checked-in report names, capturing the PR number.
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestPath returns the highest-numbered BENCH_<n>.json in dir — the
+// newest checked-in baseline for the regression gate.
+func LatestPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("bench: no BENCH_<n>.json under %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
+// DefaultHotPaths are the benchmark name prefixes the regression gate
+// watches by default: the ingest and query paths the ROADMAP names as
+// having drifted unnoticed, plus the per-kind store hot paths.
+var DefaultHotPaths = []string{
+	"bottomk/add",
+	"distinct/add/zipf",
+	"window/add",
+	"topk-uss/add",
+	"varopt/add",
+	"sharded-bottomk/addbatch/zipf",
+	"store/addbatch",
+	"store/query/8-buckets",
+	"store-topk/query",
+	"wire/decode",
+}
+
+// Delta is one hot-path comparison between two reports.
+type Delta struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Change float64 // (new-old)/old; positive is a slowdown
+}
+
+// Compare diffs new against old over the benchmarks whose names match
+// any of the given prefixes (DefaultHotPaths when nil) and are present
+// in both reports. It returns every matched delta, sorted worst first,
+// and the subset regressing by more than maxRegress.
+func Compare(old, fresh Report, prefixes []string, maxRegress float64) (all, regressions []Delta) {
+	if prefixes == nil {
+		prefixes = DefaultHotPaths
+	}
+	oldNs := make(map[string]float64, len(old.Results))
+	for _, r := range old.Results {
+		oldNs[r.Name] = r.NsPerOp
+	}
+	matches := func(name string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range fresh.Results {
+		prev, ok := oldNs[r.Name]
+		if !ok || !matches(r.Name) || prev <= 0 {
+			continue
+		}
+		d := Delta{Name: r.Name, OldNs: prev, NewNs: r.NsPerOp, Change: (r.NsPerOp - prev) / prev}
+		all = append(all, d)
+		if d.Change > maxRegress {
+			regressions = append(regressions, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Change > all[j].Change })
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Change > regressions[j].Change })
+	return all, regressions
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(results ...Result) Report {
+	return Report{Schema: Schema, PR: 1, Results: results}
+}
+
+func TestCompareGatesHotPaths(t *testing.T) {
+	old := report(
+		Result{Name: "window/add/steady", NsPerOp: 100},
+		Result{Name: "store/query/8-buckets", NsPerOp: 1000},
+		Result{Name: "bottomk/appendsample/steady", NsPerOp: 50}, // not a hot path
+		Result{Name: "varopt/add/uniform", NsPerOp: 400},
+	)
+	fresh := report(
+		Result{Name: "window/add/steady", NsPerOp: 150},           // +50%: regression
+		Result{Name: "store/query/8-buckets", NsPerOp: 1100},      // +10%: within gate
+		Result{Name: "bottomk/appendsample/steady", NsPerOp: 500}, // ignored
+		Result{Name: "varopt/add/uniform", NsPerOp: 300},          // improvement
+		Result{Name: "wire/decode/512-items", NsPerOp: 80},        // no baseline: skipped
+	)
+	all, regressions := Compare(old, fresh, nil, 0.20)
+	if len(all) != 3 {
+		t.Fatalf("matched %d deltas, want 3: %+v", len(all), all)
+	}
+	if len(regressions) != 1 || regressions[0].Name != "window/add/steady" {
+		t.Fatalf("regressions = %+v, want exactly window/add/steady", regressions)
+	}
+	// Sorted worst first.
+	if all[0].Name != "window/add/steady" || all[2].Name != "varopt/add/uniform" {
+		t.Fatalf("deltas not sorted by change: %+v", all)
+	}
+	if got := regressions[0].Change; got < 0.49 || got > 0.51 {
+		t.Fatalf("change = %v, want 0.50", got)
+	}
+
+	// Explicit prefixes narrow the gate.
+	_, narrowed := Compare(old, fresh, []string{"store/"}, 0.20)
+	if len(narrowed) != 0 {
+		t.Fatalf("narrowed gate flagged %+v", narrowed)
+	}
+}
+
+func TestReportRoundTripAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_3.json", "notes.md"} {
+		r := report(Result{Name: "bottomk/add/zipf", NsPerOp: 5})
+		if err := r.Write(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Numeric, not lexicographic: BENCH_10 beats BENCH_3.
+	latest, err := LatestPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != "BENCH_10.json" {
+		t.Fatalf("latest = %s, want BENCH_10.json", latest)
+	}
+
+	r := report(Result{Name: "bottomk/add/zipf", NsPerOp: 5})
+	r.MergeServing(Serving{Name: "serve/ingest/json", ItemsPerSec: 1})
+	r.MergeServing(Serving{Name: "serve/ingest/binary", ItemsPerSec: 2})
+	r.MergeServing(Serving{Name: "serve/ingest/json", ItemsPerSec: 3}) // replaces in place
+	if len(r.Serving) != 2 || r.Serving[0].ItemsPerSec != 3 {
+		t.Fatalf("MergeServing did not replace in place: %+v", r.Serving)
+	}
+	path := filepath.Join(dir, "BENCH_11.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Serving) != 2 || got.Serving[0].Name != "serve/ingest/json" ||
+		got.Serving[0].ItemsPerSec != 3 || got.Results[0].Name != "bottomk/add/zipf" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	// Wrong schema and missing file are errors.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_12.json"),
+		[]byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "BENCH_12.json")); err == nil {
+		t.Fatal("Load accepted a foreign schema")
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: err = %v, want IsNotExist", err)
+	}
+	if _, err := LatestPath(t.TempDir()); err == nil {
+		t.Fatal("LatestPath found a baseline in an empty dir")
+	}
+}

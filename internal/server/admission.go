@@ -1,0 +1,80 @@
+package server
+
+import "sync/atomic"
+
+// gate is the bounded ingest admission control: a lock-free budget of
+// in-flight items shared by the JSON and binary ingest paths. A request
+// whose batch does not fit the remaining budget is rejected up front
+// with a typed 429 — nothing is half-ingested — and a request that is
+// admitted is never dropped: its items are handed to the store
+// synchronously and the budget is released only after the store call
+// returns. The applied counter is fed by the store's own apply hook, so
+// /v1/stats can prove accepted work actually landed.
+type gate struct {
+	// capacity is the in-flight item budget (immutable after New).
+	capacity int64
+
+	inflight atomic.Int64
+	// accepted counts items admitted through the gate; applied counts
+	// items the store reported applied (they reconcile when every ingest
+	// flows through this server and no batch aborts mid-request).
+	accepted atomic.Int64
+	applied  atomic.Int64
+	// rejected counts 429'd requests, rejectedItems their items.
+	rejected      atomic.Int64
+	rejectedItems atomic.Int64
+}
+
+// tryAcquire admits n items if they fit the budget. A batch larger than
+// the whole capacity is admitted only when the gate is idle, so a
+// single over-sized (but under the per-request limit) batch cannot be
+// starved forever.
+func (g *gate) tryAcquire(n int64) bool {
+	for {
+		cur := g.inflight.Load()
+		if cur+n > g.capacity && cur > 0 {
+			return false
+		}
+		if g.inflight.CompareAndSwap(cur, cur+n) {
+			g.accepted.Add(n)
+			return true
+		}
+	}
+}
+
+func (g *gate) release(n int64) { g.inflight.Add(-n) }
+
+func (g *gate) reject(n int64) {
+	g.rejected.Add(1)
+	g.rejectedItems.Add(n)
+}
+
+// ingestStats is the admission section of /v1/stats.
+type ingestStats struct {
+	// CapacityItems is the in-flight budget; InflightItems the point-in-
+	// time occupancy.
+	CapacityItems int64 `json:"capacity_items"`
+	InflightItems int64 `json:"inflight_items"`
+	// MaxBatchItems is the per-request item limit (413 beyond it).
+	MaxBatchItems int `json:"max_batch_items"`
+	// AcceptedItems were admitted through the gate; AppliedItems is what
+	// the store reports actually landed (reconciles with the store's own
+	// adds counter).
+	AcceptedItems int64 `json:"accepted_items"`
+	AppliedItems  int64 `json:"applied_items"`
+	// Rejected* count 429 responses and the items they carried.
+	RejectedRequests int64 `json:"rejected_requests"`
+	RejectedItems    int64 `json:"rejected_items"`
+}
+
+func (g *gate) stats(maxBatch int) ingestStats {
+	return ingestStats{
+		CapacityItems:    g.capacity,
+		InflightItems:    g.inflight.Load(),
+		MaxBatchItems:    maxBatch,
+		AcceptedItems:    g.accepted.Load(),
+		AppliedItems:     g.applied.Load(),
+		RejectedRequests: g.rejected.Load(),
+		RejectedItems:    g.rejectedItems.Load(),
+	}
+}

@@ -1,0 +1,225 @@
+package server
+
+// Backpressure unit tests: the admission gate 429s whole requests with
+// Retry-After once the in-flight budget is spent, never drops an
+// admitted item, and its /v1/stats counters reconcile with what the
+// store actually applied.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/store"
+	"ats/internal/wire"
+)
+
+// postBytes POSTs an already-encoded body (binary frames) and decodes
+// the JSON response, failing the test on any non-200.
+func postBytes(t *testing.T, url string, body []byte) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func admissionServer(t *testing.T, o Options) (*Server, *httptest.Server) {
+	t.Helper()
+	st := store.New(store.Config{Kind: store.BottomK, K: 64, Seed: 3, BucketWidth: time.Hour})
+	srv := NewWithOptions(st, o)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func frameBody(t *testing.T, metric string, n int) []byte {
+	t.Helper()
+	items := make([]engine.Item, n)
+	for i := range items {
+		items[i] = engine.Item{Key: uint64(i), Weight: 2, Value: 2}
+	}
+	body, err := wire.AppendFrame(nil, wire.Frame{
+		Namespace: "bp", Metric: metric, Kind: wire.KindDefault, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestAdmissionGateAtCapacity429(t *testing.T) {
+	srv, ts := admissionServer(t, Options{MaxInflightItems: 100, MaxBatchItems: 100})
+
+	// Occupy the gate the way a slow in-flight request would.
+	if !srv.gate.tryAcquire(90) {
+		t.Fatal("gate must admit under capacity")
+	}
+	for _, ep := range []struct {
+		path, ctype string
+		body        []byte
+	}{
+		{"/v1/addb", "application/octet-stream", frameBody(t, "m", 20)},
+		{"/v1/add", "application/json", []byte(`{"namespace":"bp","metric":"m","items":[` +
+			repeatItems(20) + `]}`)},
+	} {
+		resp, err := http.Post(ts.URL+ep.path, ep.ctype, bytes.NewReader(ep.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s at capacity: got %d %s, want 429", ep.path, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("%s: 429 without Retry-After", ep.path)
+		}
+		var typed struct {
+			Reason        string `json:"reason"`
+			CapacityItems int64  `json:"capacity_items"`
+			RetryAfterMS  int64  `json:"retry_after_ms"`
+		}
+		if err := json.Unmarshal(body, &typed); err != nil {
+			t.Fatalf("%s: untyped 429 body %s", ep.path, body)
+		}
+		if typed.Reason != "admission" || typed.CapacityItems != 100 || typed.RetryAfterMS <= 0 {
+			t.Errorf("%s: 429 body not typed: %s", ep.path, body)
+		}
+	}
+
+	// A rejected request leaves no trace in the store.
+	if adds := srv.Store().Stats().Adds; adds != 0 {
+		t.Fatalf("rejected ingest leaked %d items into the store", adds)
+	}
+
+	// Releasing the budget lets the same request through.
+	srv.gate.release(90)
+	out := postBytes(t, ts.URL+"/v1/addb", frameBody(t, "m", 20))
+	if int(out["added"].(float64)) != 20 {
+		t.Fatalf("post-release ingest added %v, want 20", out["added"])
+	}
+}
+
+func repeatItems(n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"key":%d,"weight":1,"value":1}`, i)
+	}
+	return b.String()
+}
+
+func TestPerRequestBatchLimit413(t *testing.T) {
+	_, ts := admissionServer(t, Options{MaxInflightItems: 1000, MaxBatchItems: 10})
+	resp, err := http.Post(ts.URL+"/v1/addb", "application/octet-stream",
+		bytes.NewReader(frameBody(t, "m", 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-limit batch: got %d, want 413", resp.StatusCode)
+	}
+	// At the limit passes.
+	postBytes(t, ts.URL+"/v1/addb", frameBody(t, "m", 10))
+}
+
+// TestAdmissionReconciliation hammers the gate from many goroutines and
+// proves the core backpressure contract: every item in a 200 response
+// was applied, every 429'd request left nothing behind, and the stats
+// counters account for all of it exactly.
+func TestAdmissionReconciliation(t *testing.T) {
+	srv, ts := admissionServer(t, Options{MaxInflightItems: 150, MaxBatchItems: 100})
+
+	const workers, batches, perBatch = 8, 40, 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted, rejected := 0, 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				var resp *http.Response
+				var err error
+				if w%2 == 0 {
+					resp, err = http.Post(ts.URL+"/v1/addb", "application/octet-stream",
+						bytes.NewReader(frameBody(t, fmt.Sprintf("m%d", w), perBatch)))
+				} else {
+					body := []byte(fmt.Sprintf(`{"namespace":"bp","metric":"m%d","items":[%s]}`,
+						w, repeatItems(perBatch)))
+					resp, err = http.Post(ts.URL+"/v1/add", "application/json", bytes.NewReader(body))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					accepted++
+				case http.StatusTooManyRequests:
+					rejected++
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if accepted+rejected != workers*batches {
+		t.Fatalf("responses do not add up: %d + %d != %d", accepted, rejected, workers*batches)
+	}
+	gs := srv.gate.stats(srv.maxBatch)
+	adds := srv.Store().Stats().Adds
+	wantItems := int64(accepted * perBatch)
+	if gs.AcceptedItems != wantItems {
+		t.Errorf("gate accepted %d items, %d requests succeeded (%d items)",
+			gs.AcceptedItems, accepted, wantItems)
+	}
+	if gs.AppliedItems != wantItems || adds != wantItems {
+		t.Errorf("applied %d (store %d), want %d: accepted items were dropped",
+			gs.AppliedItems, adds, wantItems)
+	}
+	if gs.RejectedItems != int64(rejected*perBatch) || gs.RejectedRequests != int64(rejected) {
+		t.Errorf("rejection counters %d/%d do not match %d rejected requests",
+			gs.RejectedRequests, gs.RejectedItems, rejected)
+	}
+	if gs.InflightItems != 0 {
+		t.Errorf("gate still holds %d items after quiescence", gs.InflightItems)
+	}
+
+	// The /v1/stats endpoint surfaces the same reconciled numbers.
+	var stats struct {
+		Ingest ingestStats `json:"ingest"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/v1/stats"), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ingest != gs {
+		t.Errorf("/v1/stats ingest %+v != gate %+v", stats.Ingest, gs)
+	}
+}

@@ -1,0 +1,175 @@
+package server
+
+// The JSON/binary equivalence suite: one seeded stream, ingested once
+// through /v1/add and once through /v1/addb into two identically
+// configured stores driven by identically stepped synthetic clocks,
+// must leave the two stores bit-identical — same snapshot bytes, same
+// query response bytes — across all eight sketch kinds. This is the
+// proof that the binary frame is a pure transport change, not a
+// semantic fork.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/store"
+	"ats/internal/stream"
+	"ats/internal/wire"
+)
+
+// steppedClock is a manually advanced store clock. Two instances
+// advanced through the same schedule stay equal, which is what makes
+// the two ingest paths comparable bit for bit.
+type steppedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newSteppedClock() *steppedClock {
+	return &steppedClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *steppedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *steppedClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func equivConfig(clock *steppedClock) store.Config {
+	return store.Config{
+		Kind:           store.BottomK,
+		K:              256,
+		Seed:           7,
+		BucketWidth:    time.Second,
+		Retention:      64,
+		GroupM:         16,
+		StratumK:       32,
+		StratifiedDims: 2,
+		Now:            clock.Now,
+	}
+}
+
+// equivStream builds the per-kind chunks of the seeded workload. Chunks
+// are shared verbatim by both transports.
+func equivStream(kind store.Kind, chunks, perChunk int) [][]engine.Item {
+	rng := stream.NewRNG(1000 + uint64(kind))
+	zipf := stream.NewZipf(5000, 1.2, 2000+uint64(kind))
+	out := make([][]engine.Item, chunks)
+	for c := range out {
+		items := make([]engine.Item, perChunk)
+		for i := range items {
+			w := 0.5 + 9.5*rng.Float64()
+			items[i] = engine.Item{Key: zipf.Next(), Weight: w, Value: w}
+			switch kind {
+			case store.GroupBy:
+				items[i].Group = rng.Uint64() % 12
+			case store.Stratified:
+				items[i].Strata = []uint32{uint32(rng.Intn(6)), uint32(rng.Intn(3))}
+			case store.Distinct, store.TopK:
+				items[i].Weight, items[i].Value = 1, 0 // key-only kinds
+			}
+		}
+		out[c] = items
+	}
+	return out
+}
+
+func TestJSONBinaryEquivalence(t *testing.T) {
+	clockJSON, clockBin := newSteppedClock(), newSteppedClock()
+	stJSON := store.New(equivConfig(clockJSON))
+	stBin := store.New(equivConfig(clockBin))
+	srvJSON := httptest.NewServer(New(stJSON, "").Handler())
+	srvBin := httptest.NewServer(New(stBin, "").Handler())
+	defer srvJSON.Close()
+	defer srvBin.Close()
+
+	const chunks, perChunk = 6, 500
+	for _, kind := range store.Kinds() {
+		metric := "equiv-" + kind.String()
+		for c, items := range equivStream(kind, chunks, perChunk) {
+			// JSON transport.
+			jsonItems := make([]map[string]any, len(items))
+			for i, it := range items {
+				m := map[string]any{"key": it.Key, "weight": it.Weight, "value": it.Value}
+				if it.Group != 0 {
+					m["group"] = it.Group
+				}
+				if it.Strata != nil {
+					m["strata"] = it.Strata
+				}
+				jsonItems[i] = m
+			}
+			out := postJSON(t, srvJSON.URL+"/v1/add", map[string]any{
+				"namespace": "acme", "metric": metric, "kind": kind.String(), "items": jsonItems,
+			})
+			if int(out["added"].(float64)) != len(items) {
+				t.Fatalf("%s chunk %d: JSON added %v, want %d", kind, c, out["added"], len(items))
+			}
+
+			// Binary transport: the identical chunk as one frame. The wire
+			// items re-derive the JSON shorthand (weight omitted means 1),
+			// so both paths present the same logical items to the store.
+			frame := wire.Frame{Namespace: "acme", Metric: metric, Kind: byte(kind),
+				Items: append([]engine.Item(nil), items...)}
+			body, err := wire.AppendFrame(nil, frame)
+			if err != nil {
+				t.Fatalf("%s chunk %d: encode: %v", kind, c, err)
+			}
+			resp := postBytes(t, srvBin.URL+"/v1/addb", body)
+			if int(resp["added"].(float64)) != len(items) {
+				t.Fatalf("%s chunk %d: binary added %v, want %d", kind, c, resp["added"], len(items))
+			}
+
+			// Step both clocks through the same schedule; 400ms steps over
+			// 1s buckets force rotations mid-stream.
+			clockJSON.Advance(400 * time.Millisecond)
+			clockBin.Advance(400 * time.Millisecond)
+		}
+	}
+
+	// The two stores must now be bit-identical on disk...
+	var snapJSON, snapBin bytes.Buffer
+	if err := stJSON.Snapshot(&snapJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := stBin.Snapshot(&snapBin); err != nil {
+		t.Fatal(err)
+	}
+	if snapJSON.Len() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if !bytes.Equal(snapJSON.Bytes(), snapBin.Bytes()) {
+		t.Fatalf("snapshots differ: %d vs %d bytes", snapJSON.Len(), snapBin.Len())
+	}
+
+	// ...and on the wire: every kind's query response, byte for byte.
+	to := clockJSON.Now().Unix() + 10
+	for _, kind := range store.Kinds() {
+		q := fmt.Sprintf("/v1/query?namespace=acme&metric=equiv-%s&from=0&to=%d&k=10", kind, to)
+		switch kind {
+		case store.GroupBy:
+			q += "&group_by=group"
+		case store.Stratified:
+			q += "&group_by=1"
+		}
+		a, b := get(t, srvJSON.URL+q), get(t, srvBin.URL+q)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s query responses differ:\n json   %s\n binary %s", kind, a, b)
+		}
+		sq := fmt.Sprintf("/v1/sample?namespace=acme&metric=equiv-%s&from=0&to=%d", kind, to)
+		if a, b := get(t, srvJSON.URL+sq), get(t, srvBin.URL+sq); !bytes.Equal(a, b) {
+			t.Errorf("%s sample responses differ", kind)
+		}
+	}
+}

@@ -13,6 +13,17 @@
 //	                   "strata" carries per-dimension stratum labels for
 //	                   stratified items. Ingest into an existing key under
 //	                   a different kind is 409 Conflict.
+//	POST /v1/addb      the same ingest as concatenated binary batch
+//	                   frames (internal/wire; docs/API.md §/v1/addb has
+//	                   the byte spec); returns {"added":n,"frames":m}.
+//
+// Both ingest endpoints pass a bounded admission gate: when the in-
+// flight item budget is exhausted the request is rejected whole with
+// 429 Too Many Requests, a Retry-After header, and a typed JSON body —
+// admitted batches are never partially dropped. Batches beyond the
+// per-request item limit are 413. GET /v1/stats exposes the gate's
+// counters under "ingest".
+//
 //	GET  /v1/query     ?namespace=&metric=&from=&to=&k=&group_by=
 //	                   range estimates (fields depend on the key's kind;
 //	                   k bounds topk and groupby rankings). group_by=group
@@ -43,11 +54,32 @@ import (
 
 	"ats/internal/engine"
 	"ats/internal/store"
+	"ats/internal/wire"
 )
 
 // maxAddBody caps one ingest request body (decode-bomb guard at the
 // transport layer; the codecs guard the binary layer).
 const maxAddBody = 32 << 20
+
+// Options tunes the serving layer beyond the store it fronts.
+type Options struct {
+	// SnapshotPath, when non-empty, is where POST /v1/snapshot (and the
+	// daemon's shutdown hook) persist the keyspace.
+	SnapshotPath string
+	// MaxInflightItems is the admission gate's in-flight item budget
+	// across all concurrent ingest requests; 0 means the default (4M
+	// items). Requests that would exceed it are 429'd whole.
+	MaxInflightItems int64
+	// MaxBatchItems caps the items one ingest request may carry across
+	// its batches; 0 means the default (1M items). Larger requests are
+	// 413'd.
+	MaxBatchItems int
+}
+
+const (
+	defaultMaxInflightItems = 4 << 20
+	defaultMaxBatchItems    = 1 << 20
+)
 
 // Server wires a store to an http.Handler.
 type Server struct {
@@ -55,14 +87,31 @@ type Server struct {
 	snapshotPath string
 	started      time.Time
 	mux          *http.ServeMux
+	gate         gate
+	maxBatch     int
 }
 
-// New returns a server over st. snapshotPath, when non-empty, is where
-// POST /v1/snapshot (and the daemon's shutdown hook) persist the
-// keyspace.
+// New returns a server over st with default admission limits.
+// snapshotPath, when non-empty, is where POST /v1/snapshot (and the
+// daemon's shutdown hook) persist the keyspace.
 func New(st *store.Store, snapshotPath string) *Server {
-	s := &Server{st: st, snapshotPath: snapshotPath, started: time.Now(), mux: http.NewServeMux()}
+	return NewWithOptions(st, Options{SnapshotPath: snapshotPath})
+}
+
+// NewWithOptions is New with explicit serving options. It registers the
+// store's apply hook, so one store should front at most one server.
+func NewWithOptions(st *store.Store, o Options) *Server {
+	if o.MaxInflightItems <= 0 {
+		o.MaxInflightItems = defaultMaxInflightItems
+	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = defaultMaxBatchItems
+	}
+	s := &Server{st: st, snapshotPath: o.SnapshotPath, started: time.Now(), mux: http.NewServeMux(),
+		gate: gate{capacity: o.MaxInflightItems}, maxBatch: o.MaxBatchItems}
+	st.OnApply(func(items int) { s.gate.applied.Add(int64(items)) })
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
+	s.mux.HandleFunc("POST /v1/addb", s.handleAddBinary)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/sample", s.handleSample)
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
@@ -138,79 +187,145 @@ type addItem struct {
 	Strata []uint32 `json:"strata,omitempty"`
 }
 
+// ingestBatch is one decoded batch, the common shape behind the JSON
+// and binary ingest endpoints.
+type ingestBatch struct {
+	namespace, metric string
+	kind              store.Kind
+	items             []engine.Item
+}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAddBody))
 	if err != nil {
 		httpError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
 		return
 	}
-	var batches []addRequest
+	var reqs []addRequest
 	if len(body) > 0 && body[0] == '[' {
-		err = json.Unmarshal(body, &batches)
+		err = json.Unmarshal(body, &reqs)
 	} else {
 		var one addRequest
 		err = json.Unmarshal(body, &one)
-		batches = []addRequest{one}
+		reqs = []addRequest{one}
 	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
 		return
 	}
-	// Validate every batch before ingesting any: a mid-loop rejection
-	// after partial commits would make client retries double-ingest the
-	// earlier batches. Kind strings are parsed here and kinds are
-	// pre-checked against both existing keys and keys this same request
-	// would create; the ingest loop below can still race a concurrent
-	// create, in which case it stops at the conflicting batch and
-	// reports how much was committed.
-	kinds := make([]store.Kind, len(batches))
-	pending := make(map[store.Key]store.Kind, len(batches))
-	for i, b := range batches {
-		if b.Namespace == "" || b.Metric == "" {
-			httpError(w, http.StatusBadRequest, "namespace and metric are required")
-			return
-		}
-		kinds[i] = s.st.Config().Kind
+	batches := make([]ingestBatch, len(reqs))
+	for i, b := range reqs {
+		kind := s.st.Config().Kind
 		if b.Kind != "" {
-			k, err := store.ParseKind(b.Kind)
-			if err != nil {
+			if kind, err = store.ParseKind(b.Kind); err != nil {
 				httpError(w, http.StatusBadRequest, err.Error())
 				return
 			}
-			kinds[i] = k
 		}
-		key := store.Key{Namespace: b.Namespace, Metric: b.Metric}
+		items := make([]engine.Item, len(b.Items))
+		for j, it := range b.Items {
+			items[j] = engine.Item{Key: it.Key, Weight: it.Weight, Value: it.Value,
+				Group: it.Group, Strata: it.Strata}
+		}
+		batches[i] = ingestBatch{namespace: b.Namespace, metric: b.Metric, kind: kind, items: items}
+	}
+	s.ingest(w, batches, nil)
+}
+
+func (s *Server) handleAddBinary(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAddBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
+		return
+	}
+	frames, err := wire.DecodeFrames(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "malformed frame: "+err.Error())
+		return
+	}
+	batches := make([]ingestBatch, len(frames))
+	for i, f := range frames {
+		kind := s.st.Config().Kind
+		if f.Kind != wire.KindDefault {
+			kind = store.Kind(f.Kind)
+			if !kind.Valid() {
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("frame %d: unknown sketch kind byte %#x", i, f.Kind))
+				return
+			}
+		}
+		batches[i] = ingestBatch{namespace: f.Namespace, metric: f.Metric, kind: kind, items: f.Items}
+	}
+	s.ingest(w, batches, map[string]any{"frames": len(frames)})
+}
+
+// ingest validates and applies decoded batches — the shared tail of the
+// JSON and binary endpoints — and writes the response. extra fields, if
+// any, are merged into the success body.
+func (s *Server) ingest(w http.ResponseWriter, batches []ingestBatch, extra map[string]any) {
+	// Validate every batch before ingesting any: a mid-loop rejection
+	// after partial commits would make client retries double-ingest the
+	// earlier batches. Kinds are pre-checked against both existing keys
+	// and keys this same request would create; the ingest loop below can
+	// still race a concurrent create, in which case it stops at the
+	// conflicting batch and reports how much was committed.
+	total := 0
+	pending := make(map[store.Key]store.Kind, len(batches))
+	for _, b := range batches {
+		if b.namespace == "" || b.metric == "" {
+			httpError(w, http.StatusBadRequest, "namespace and metric are required")
+			return
+		}
+		total += len(b.items)
+		key := store.Key{Namespace: b.namespace, Metric: b.metric}
 		have, known := pending[key]
 		if !known {
-			if h, err := s.st.KindOf(b.Namespace, b.Metric); err == nil {
+			if h, err := s.st.KindOf(b.namespace, b.metric); err == nil {
 				have, known = h, true
 			}
 		}
-		if known && have != kinds[i] {
+		if known && have != b.kind {
 			writeJSON(w, http.StatusConflict, map[string]any{
 				"error": fmt.Sprintf("key %s/%s holds a %s sketch, ingest wants %s",
-					b.Namespace, b.Metric, have, kinds[i]),
+					b.namespace, b.metric, have, b.kind),
 				"added": 0,
 			})
 			return
 		}
-		pending[key] = kinds[i]
+		pending[key] = b.kind
 	}
+	if total > s.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request carries %d items, per-request limit is %d", total, s.maxBatch))
+		return
+	}
+	// Admission: the whole request enters or the whole request is told
+	// to come back — admitted items are never dropped on the floor.
+	if !s.gate.tryAcquire(int64(total)) {
+		s.gate.reject(int64(total))
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":          "ingest admission gate at capacity",
+			"reason":         "admission",
+			"inflight_items": s.gate.inflight.Load(),
+			"capacity_items": s.gate.capacity,
+			"retry_after_ms": 1000,
+		})
+		return
+	}
+	defer s.gate.release(int64(total))
+
 	added := 0
-	for i, b := range batches {
-		if len(b.Items) == 0 {
+	for _, b := range batches {
+		if len(b.items) == 0 {
 			continue
 		}
-		items := make([]engine.Item, len(b.Items))
-		for j, it := range b.Items {
-			w := it.Weight
-			if w == 0 {
-				w = 1 // unweighted ingest shorthand
+		for j := range b.items {
+			if b.items[j].Weight == 0 {
+				b.items[j].Weight = 1 // unweighted ingest shorthand
 			}
-			items[j] = engine.Item{Key: it.Key, Weight: w, Value: it.Value,
-				Group: it.Group, Strata: it.Strata}
 		}
-		if err := s.st.AddBatchKind(b.Namespace, b.Metric, kinds[i], items); err != nil {
+		if err := s.st.AddBatchKind(b.namespace, b.metric, b.kind, b.items); err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(err, store.ErrKindMismatch) {
 				status = http.StatusConflict
@@ -218,9 +333,13 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, status, map[string]any{"error": err.Error(), "added": added})
 			return
 		}
-		added += len(items)
+		added += len(b.items)
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"added": added})
+	body := map[string]any{"added": added}
+	for k, v := range extra {
+		body[k] = v
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // parseInstant accepts RFC 3339 or unix seconds.
@@ -365,7 +484,8 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cfg := s.st.Config()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"store": s.st.Stats(),
+		"store":  s.st.Stats(),
+		"ingest": s.gate.stats(s.maxBatch),
 		"config": map[string]any{
 			"kind":            cfg.Kind.String(),
 			"k":               cfg.K,

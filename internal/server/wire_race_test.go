@@ -1,0 +1,219 @@
+package server
+
+// Race hammer for the binary ingest path: concurrent /v1/addb and
+// /v1/add ingest across kinds, range queries, streamed snapshots, and
+// stats polling against a store whose small real-time buckets force
+// rotations mid-flight. Run under -race in CI alongside the engine's
+// grouped/store hammers.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/store"
+	"ats/internal/stream"
+	"ats/internal/wire"
+)
+
+func TestBinaryIngestRaceHammer(t *testing.T) {
+	st := store.New(store.Config{
+		Kind:        store.BottomK,
+		K:           64,
+		Seed:        11,
+		BucketWidth: 30 * time.Millisecond, // real clock: rotations happen under load
+		Retention:   8,
+		Shards:      2,
+		GroupM:      8,
+		StratumK:    16,
+	})
+	ts := httptest.NewServer(NewWithOptions(st, Options{MaxInflightItems: 5000}).Handler())
+	defer ts.Close()
+
+	kinds := store.Kinds()
+	iters := 150
+	if testing.Short() {
+		iters = 30
+	}
+
+	errc := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// Binary ingesters: each walks the kinds round-robin with its own
+	// forked deterministic stream.
+	var ingest sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		ingest.Add(1)
+		go func(w int) {
+			defer ingest.Done()
+			rng := stream.NewRNG(uint64(100 + w))
+			for i := 0; i < iters; i++ {
+				kind := kinds[(i+w)%len(kinds)]
+				items := make([]engine.Item, 32)
+				for j := range items {
+					items[j] = engine.Item{
+						Key: rng.Uint64() % 4096, Weight: 1 + rng.Float64(), Value: 1,
+						Group:  rng.Uint64() % 8,
+						Strata: []uint32{uint32(rng.Intn(4)), uint32(rng.Intn(3))},
+					}
+				}
+				body, err := wire.AppendFrame(nil, wire.Frame{
+					Namespace: "race", Metric: "k-" + kind.String(), Kind: byte(kind), Items: items})
+				if err != nil {
+					report(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/addb", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					report(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					report(fmt.Errorf("addb: status %d", resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// JSON ingesters share the same keys and kinds: the two transports
+	// must coexist on one store without tripping kind conflicts.
+	for w := 0; w < 2; w++ {
+		ingest.Add(1)
+		go func(w int) {
+			defer ingest.Done()
+			rng := stream.NewRNG(uint64(200 + w))
+			for i := 0; i < iters; i++ {
+				kind := kinds[(i+w)%len(kinds)]
+				var b bytes.Buffer
+				fmt.Fprintf(&b, `{"namespace":"race","metric":"k-%s","kind":%q,"items":[`, kind, kind.String())
+				for j := 0; j < 16; j++ {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, `{"key":%d,"weight":%.4f,"value":1,"group":%d,"strata":[%d,%d]}`,
+						rng.Uint64()%4096, 1+rng.Float64(), rng.Uint64()%8, rng.Intn(4), rng.Intn(3))
+				}
+				b.WriteString(`]}`)
+				resp, err := http.Post(ts.URL+"/v1/add", "application/json", bytes.NewReader(b.Bytes()))
+				if err != nil {
+					report(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					report(fmt.Errorf("add: status %d", resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers run until the ingesters finish: queriers sweep every
+	// kind's series, the snapshotter streams full-keyspace snapshots,
+	// the stats poller reads every counter.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				kind := kinds[(i+w)%len(kinds)]
+				q := fmt.Sprintf("%s/v1/query?namespace=race&metric=k-%s&from=0&k=5", ts.URL, kind)
+				switch kind {
+				case store.GroupBy:
+					q += "&group_by=group"
+				case store.Stratified:
+					q += "&group_by=1"
+				}
+				resp, err := http.Get(q)
+				if err != nil {
+					report(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// 404 is fine early on (key not created yet); anything else
+				// but 200 is a bug.
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					report(fmt.Errorf("query %s: status %d", kind, resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Post(ts.URL+"/v1/snapshot", "application/octet-stream", nil)
+			if err != nil {
+				report(err)
+				return
+			}
+			n, _ := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || n == 0 {
+				report(fmt.Errorf("snapshot: status %d, %d bytes", resp.StatusCode, n))
+				return
+			}
+			resp, err = http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				report(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	finished := make(chan struct{})
+	go func() { ingest.Wait(); close(finished) }()
+	select {
+	case err := <-errc:
+		close(done)
+		readers.Wait()
+		t.Fatal(err)
+	case <-time.After(120 * time.Second):
+		close(done)
+		readers.Wait()
+		t.Fatal("hammer timed out")
+	case <-finished:
+	}
+	close(done)
+	readers.Wait()
+
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if st.Stats().Adds == 0 {
+		t.Fatal("hammer ingested nothing")
+	}
+}

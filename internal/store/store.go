@@ -109,6 +109,10 @@ func Kinds() []Kind {
 	return []Kind{BottomK, Distinct, Window, TopK, VarOpt, Decay, GroupBy, Stratified}
 }
 
+// Valid reports whether k is a kind this store version serves; binary
+// ingest headers carry raw kind bytes that must be checked before use.
+func (k Kind) Valid() bool { return k <= Stratified }
+
 // Key identifies one sketch series: a tenant namespace and a metric name.
 type Key struct {
 	Namespace string `json:"namespace"`
@@ -226,6 +230,24 @@ type Store struct {
 	queries   atomic.Int64
 	snapshots atomic.Int64
 	restores  atomic.Int64
+
+	// onApply, when set, observes every applied ingest batch (the
+	// serving layer's admission gate reconciles accepted work against
+	// what actually landed through it).
+	onApply atomic.Pointer[func(items int)]
+}
+
+// OnApply registers fn to be called with the item count of every batch
+// the store applies, after the batch has landed in its bucket. One hook
+// is supported; registering again replaces it. The hook runs on the
+// ingest path under the series lock, so it must be cheap and must not
+// call back into the store.
+func (st *Store) OnApply(fn func(items int)) {
+	if fn == nil {
+		st.onApply.Store(nil)
+		return
+	}
+	st.onApply.Store(&fn)
 }
 
 // series is the per-key state: the current bucket's concurrent engine
@@ -443,6 +465,9 @@ func (st *Store) AddBatchKindAt(namespace, metric string, kind Kind, items []eng
 	// unbiased regardless of which bucket an item landed in.
 	s.cur.AddBatch(items)
 	st.adds.Add(int64(len(items)))
+	if fn := st.onApply.Load(); fn != nil {
+		(*fn)(len(items))
+	}
 	return nil
 }
 

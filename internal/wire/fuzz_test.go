@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ats/internal/engine"
+)
+
+// FuzzBatchFrameDecode feeds arbitrary bytes to the frame decoder.
+// Inputs that decode must re-encode to the identical bytes (the
+// canonical-form contract); inputs that do not must fail cleanly
+// without panicking or over-allocating. Crash inputs found during
+// development land in testdata/fuzz as regression seeds.
+func FuzzBatchFrameDecode(f *testing.F) {
+	seedFrames := [][]engine.Item{
+		nil,
+		{{Key: 1, Weight: 3.5, Value: 3.5}},
+		{{Key: 2, Weight: 1, Value: 1}, {Key: 1 << 62, Weight: 0.25, Time: 9.75}},
+		{{Key: 9, Weight: 1, Group: 44}, {Key: 10, Weight: 1, Strata: []uint32{3, 1, 7}}},
+		{{Key: 0, Weight: math.Inf(1), Value: math.Copysign(0, -1)}},
+	}
+	for i, items := range seedFrames {
+		data, err := AppendFrame(nil, Frame{
+			Namespace: "acme", Metric: "bytes", Kind: byte(i % 9), Items: items})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(append(append([]byte(nil), data...), data...)) // two frames
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ATSBgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, rest, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		again, err := AppendFrame(nil, frame)
+		if err != nil {
+			t.Fatalf("decoded frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(consumed, again) {
+			t.Fatalf("decode/re-encode not canonical:\n in  %x\n out %x", consumed, again)
+		}
+		// The whole-body decoder must agree with the single-frame one on
+		// a body that is exactly one frame.
+		if len(rest) == 0 {
+			frames, err := DecodeFrames(data)
+			if err != nil || len(frames) != 1 {
+				t.Fatalf("DecodeFrames disagrees with DecodeFrame: %v (%d frames)", err, len(frames))
+			}
+		}
+	})
+}

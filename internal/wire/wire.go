@@ -1,0 +1,332 @@
+// Package wire is the binary ingest protocol of the serving layer: a
+// compact, canonical batch-frame encoding that carries the same logical
+// payload as the JSON /v1/add body at a fraction of the decode cost.
+//
+// One frame is one ingest batch — a (namespace, metric, kind) header
+// followed by varint-framed item records — and an ingest body is one or
+// more frames concatenated. The layout (all multi-byte integers
+// little-endian, varints are unsigned LEB128):
+//
+//	magic     uint32  "ATSB"
+//	version   uint8   1
+//	kind      uint8   sketch kind wire value, or 0xFF for "store default"
+//	nsLen     uint8   (1..255)
+//	metricLen uint8   (1..255)
+//	namespace nsLen bytes
+//	metric    metricLen bytes
+//	count     uvarint item record count
+//	items     count records, each:
+//	  flags   uint8   bit 0 weight present (absent = 1)
+//	                  bit 1 value present  (absent = 0)
+//	                  bit 2 time present   (absent = 0)
+//	                  bit 3 group present  (absent = 0)
+//	                  bit 4 strata present (absent = none)
+//	                  bits 5..7 reserved, must be zero
+//	  key     uvarint
+//	  weight  float64 bits, if flag 0
+//	  value   float64 bits, if flag 1
+//	  time    float64 bits, if flag 2
+//	  group   uvarint, if flag 3
+//	  strata  uvarint dimension count then one uvarint label (< 2^32)
+//	          per dimension, if flag 4
+//
+// The encoding is canonical: there is exactly one accepted byte string
+// per logical frame. Decoders reject non-minimal varints, reserved flag
+// bits, and fields spelling out their own default (weight bits of 1.0,
+// value/time bits of +0.0, group 0, empty strata) — so decode followed
+// by re-encode reproduces the input byte for byte, the property the
+// fuzz target enforces. Decode-bomb discipline follows internal/codec:
+// every allocation is sized from counts validated against the bytes
+// actually present, never from an attacker-controlled header alone.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ats/internal/engine"
+)
+
+const (
+	// Magic opens every frame ("ATSB" little-endian).
+	Magic = 0x42535441
+	// Version is the frame layout version this package writes.
+	Version = 1
+	// KindDefault is the header kind byte meaning "the store's default
+	// sketch kind" (the binary analogue of an absent JSON "kind" field).
+	KindDefault = 0xFF
+	// MaxNameLen caps namespace and metric lengths (uint8-framed).
+	MaxNameLen = 255
+)
+
+// Item flag bits.
+const (
+	flagWeight = 1 << iota
+	flagValue
+	flagTime
+	flagGroup
+	flagStrata
+
+	flagReserved = 0xFF &^ (flagWeight | flagValue | flagTime | flagGroup | flagStrata)
+)
+
+// minItemBytes is the smallest possible item record: a flags byte plus a
+// one-byte key varint. Item-count headers are validated against it.
+const minItemBytes = 2
+
+// maxStrataDims caps per-item stratification dimensions; real stores run
+// a handful, and the bound keeps a crafted record from framing the rest
+// of the body as one giant label list.
+const maxStrataDims = 64
+
+var (
+	// ErrCorrupt reports a malformed, truncated, or non-canonical frame.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrVersion reports an unsupported frame version.
+	ErrVersion = errors.New("wire: unsupported frame version")
+)
+
+// Frame is one decoded ingest batch. Kind is the raw header byte: a
+// store kind wire value or KindDefault — interpretation (and rejection
+// of unknown kinds) belongs to the serving layer, exactly as JSON kind
+// strings are parsed there.
+type Frame struct {
+	Namespace string
+	Metric    string
+	Kind      byte
+	Items     []engine.Item
+}
+
+// AppendFrame appends the canonical encoding of f to dst and returns
+// the extended slice. Weight 1, value 0, time 0, group 0 and empty
+// strata are elided per the flag scheme; every other bit pattern
+// (including NaNs and -0.0) round-trips exactly.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if f.Namespace == "" || len(f.Namespace) > MaxNameLen {
+		return nil, fmt.Errorf("wire: namespace length %d outside [1,%d]", len(f.Namespace), MaxNameLen)
+	}
+	if f.Metric == "" || len(f.Metric) > MaxNameLen {
+		return nil, fmt.Errorf("wire: metric length %d outside [1,%d]", len(f.Metric), MaxNameLen)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = append(dst, Version, f.Kind, uint8(len(f.Namespace)), uint8(len(f.Metric)))
+	dst = append(dst, f.Namespace...)
+	dst = append(dst, f.Metric...)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Items)))
+	for i := range f.Items {
+		it := &f.Items[i]
+		if len(it.Strata) > maxStrataDims {
+			return nil, fmt.Errorf("wire: item %d has %d strata dimensions (max %d)", i, len(it.Strata), maxStrataDims)
+		}
+		flags := byte(0)
+		if math.Float64bits(it.Weight) != math.Float64bits(1) {
+			flags |= flagWeight
+		}
+		if math.Float64bits(it.Value) != 0 {
+			flags |= flagValue
+		}
+		if math.Float64bits(it.Time) != 0 {
+			flags |= flagTime
+		}
+		if it.Group != 0 {
+			flags |= flagGroup
+		}
+		if len(it.Strata) != 0 {
+			flags |= flagStrata
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendUvarint(dst, it.Key)
+		if flags&flagWeight != 0 {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(it.Weight))
+		}
+		if flags&flagValue != 0 {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(it.Value))
+		}
+		if flags&flagTime != 0 {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(it.Time))
+		}
+		if flags&flagGroup != 0 {
+			dst = binary.AppendUvarint(dst, it.Group)
+		}
+		if flags&flagStrata != 0 {
+			dst = binary.AppendUvarint(dst, uint64(len(it.Strata)))
+			for _, s := range it.Strata {
+				dst = binary.AppendUvarint(dst, uint64(s))
+			}
+		}
+	}
+	return dst, nil
+}
+
+// uvarint decodes a canonical (minimal-length) unsigned varint from the
+// front of data.
+func uvarint(data []byte) (v uint64, n int, err error) {
+	v, n = binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: truncated or oversized varint", ErrCorrupt)
+	}
+	// Reject non-minimal spellings (e.g. 0x80 0x00 for 0): canonical
+	// encodings have no redundant continuation bytes.
+	if n > 1 && data[n-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: non-minimal varint", ErrCorrupt)
+	}
+	return v, n, nil
+}
+
+// DecodeFrame decodes the frame at the front of data and returns the
+// remaining bytes, for iterating a concatenated frame stream. Only
+// canonical encodings are accepted; the error is ErrCorrupt-wrapped for
+// anything malformed and ErrVersion-wrapped for an unknown version.
+func DecodeFrame(data []byte) (Frame, []byte, error) {
+	var f Frame
+	if len(data) < 8 {
+		return f, nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != Magic {
+		return f, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != Version {
+		return f, nil, fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	f.Kind = data[5]
+	nsLen, metricLen := int(data[6]), int(data[7])
+	if nsLen == 0 || metricLen == 0 {
+		return f, nil, fmt.Errorf("%w: empty namespace or metric", ErrCorrupt)
+	}
+	rest := data[8:]
+	if len(rest) < nsLen+metricLen {
+		return f, nil, fmt.Errorf("%w: truncated names", ErrCorrupt)
+	}
+	f.Namespace = string(rest[:nsLen])
+	f.Metric = string(rest[nsLen : nsLen+metricLen])
+	rest = rest[nsLen+metricLen:]
+
+	count, n, err := uvarint(rest)
+	if err != nil {
+		return f, nil, fmt.Errorf("item count: %w", err)
+	}
+	rest = rest[n:]
+	// Decode-bomb guard: the claimed count must be coverable by the bytes
+	// actually present, so the allocation below is bounded by the input
+	// size regardless of what the header says.
+	if count > uint64(len(rest)/minItemBytes) {
+		return f, nil, fmt.Errorf("%w: %d items claimed, %d bytes remain", ErrCorrupt, count, len(rest))
+	}
+	if count > 0 {
+		f.Items = make([]engine.Item, count)
+	}
+	for i := range f.Items {
+		it := &f.Items[i]
+		if len(rest) == 0 {
+			return f, nil, fmt.Errorf("%w: truncated item %d", ErrCorrupt, i)
+		}
+		flags := rest[0]
+		if flags&flagReserved != 0 {
+			return f, nil, fmt.Errorf("%w: item %d sets reserved flag bits %#x", ErrCorrupt, i, flags&flagReserved)
+		}
+		rest = rest[1:]
+		if it.Key, n, err = uvarint(rest); err != nil {
+			return f, nil, fmt.Errorf("item %d key: %w", i, err)
+		}
+		rest = rest[n:]
+		it.Weight = 1
+		if flags&flagWeight != 0 {
+			bits, ok := takeU64(&rest)
+			if !ok {
+				return f, nil, fmt.Errorf("%w: truncated weight of item %d", ErrCorrupt, i)
+			}
+			if bits == math.Float64bits(1) {
+				return f, nil, fmt.Errorf("%w: item %d spells out default weight", ErrCorrupt, i)
+			}
+			it.Weight = math.Float64frombits(bits)
+		}
+		if flags&flagValue != 0 {
+			bits, ok := takeU64(&rest)
+			if !ok {
+				return f, nil, fmt.Errorf("%w: truncated value of item %d", ErrCorrupt, i)
+			}
+			if bits == 0 {
+				return f, nil, fmt.Errorf("%w: item %d spells out default value", ErrCorrupt, i)
+			}
+			it.Value = math.Float64frombits(bits)
+		}
+		if flags&flagTime != 0 {
+			bits, ok := takeU64(&rest)
+			if !ok {
+				return f, nil, fmt.Errorf("%w: truncated time of item %d", ErrCorrupt, i)
+			}
+			if bits == 0 {
+				return f, nil, fmt.Errorf("%w: item %d spells out default time", ErrCorrupt, i)
+			}
+			it.Time = math.Float64frombits(bits)
+		}
+		if flags&flagGroup != 0 {
+			if it.Group, n, err = uvarint(rest); err != nil {
+				return f, nil, fmt.Errorf("item %d group: %w", i, err)
+			}
+			if it.Group == 0 {
+				return f, nil, fmt.Errorf("%w: item %d spells out default group", ErrCorrupt, i)
+			}
+			rest = rest[n:]
+		}
+		if flags&flagStrata != 0 {
+			dims, n, err := uvarint(rest)
+			if err != nil {
+				return f, nil, fmt.Errorf("item %d strata count: %w", i, err)
+			}
+			rest = rest[n:]
+			if dims == 0 {
+				return f, nil, fmt.Errorf("%w: item %d spells out empty strata", ErrCorrupt, i)
+			}
+			if dims > maxStrataDims {
+				return f, nil, fmt.Errorf("%w: item %d claims %d strata dimensions (max %d)", ErrCorrupt, i, dims, maxStrataDims)
+			}
+			if dims > uint64(len(rest)) { // every label is at least one byte
+				return f, nil, fmt.Errorf("%w: truncated strata of item %d", ErrCorrupt, i)
+			}
+			it.Strata = make([]uint32, dims)
+			for d := range it.Strata {
+				label, n, err := uvarint(rest)
+				if err != nil {
+					return f, nil, fmt.Errorf("item %d stratum %d: %w", i, d, err)
+				}
+				if label > math.MaxUint32 {
+					return f, nil, fmt.Errorf("%w: item %d stratum %d label %d overflows uint32", ErrCorrupt, i, d, label)
+				}
+				it.Strata[d] = uint32(label)
+				rest = rest[n:]
+			}
+		}
+	}
+	return f, rest, nil
+}
+
+// takeU64 consumes 8 little-endian bytes from *rest.
+func takeU64(rest *[]byte) (uint64, bool) {
+	if len(*rest) < 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(*rest)
+	*rest = (*rest)[8:]
+	return v, true
+}
+
+// DecodeFrames decodes a whole body of concatenated frames, rejecting
+// trailing garbage and empty bodies.
+func DecodeFrames(data []byte) ([]Frame, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty body", ErrCorrupt)
+	}
+	var frames []Frame
+	for len(data) > 0 {
+		f, rest, err := DecodeFrame(data)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", len(frames), err)
+		}
+		frames = append(frames, f)
+		data = rest
+	}
+	return frames, nil
+}

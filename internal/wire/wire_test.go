@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"ats/internal/engine"
+)
+
+func mustAppend(t *testing.T, dst []byte, f Frame) []byte {
+	t.Helper()
+	out, err := AppendFrame(dst, f)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Namespace: "acme", Metric: "bytes", Kind: KindDefault, Items: []engine.Item{
+			{Key: 1, Weight: 3.5, Value: 3.5},
+			{Key: 2, Weight: 1, Value: 1},
+			{Key: 1 << 63, Weight: 0.25, Value: -2, Time: 17.5},
+		}},
+		{Namespace: "acme", Metric: "grouped", Kind: 6, Items: []engine.Item{
+			{Key: 9, Weight: 1, Group: 44},
+			{Key: 10, Weight: 1, Group: 7, Strata: []uint32{3, math.MaxUint32}},
+		}},
+		{Namespace: "n", Metric: "m", Kind: 0}, // empty batch
+		{Namespace: "edge", Metric: "floats", Kind: 4, Items: []engine.Item{
+			{Key: 0, Weight: math.Inf(1), Value: math.Copysign(0, -1)}, // -0.0 value is not the default
+			{Key: 7, Weight: math.NaN(), Value: 1e-308},
+		}},
+	}
+	var body []byte
+	for _, f := range frames {
+		body = mustAppend(t, body, f)
+	}
+	got, err := DecodeFrames(body)
+	if err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	// Re-encoding must reproduce the body byte for byte (canonical form).
+	var again []byte
+	for _, f := range got {
+		again = mustAppend(t, again, f)
+	}
+	if !bytes.Equal(body, again) {
+		t.Fatal("re-encode differs from the original encoding")
+	}
+	// Field-level checks, including bit-exact float round-trips.
+	if got[0].Namespace != "acme" || got[0].Metric != "bytes" || got[0].Kind != KindDefault {
+		t.Fatalf("frame 0 header: %+v", got[0])
+	}
+	if got[0].Items[1].Weight != 1 {
+		t.Fatalf("elided weight must decode to 1, got %v", got[0].Items[1].Weight)
+	}
+	if w := got[3].Items[1].Weight; !math.IsNaN(w) {
+		t.Fatalf("NaN weight lost: %v", w)
+	}
+	if v := got[3].Items[0].Value; math.Float64bits(v) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("-0.0 value lost: %v", v)
+	}
+	if s := got[1].Items[1].Strata; len(s) != 2 || s[1] != math.MaxUint32 {
+		t.Fatalf("strata round-trip: %v", s)
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	if _, err := AppendFrame(nil, Frame{Namespace: "", Metric: "m"}); err == nil {
+		t.Error("empty namespace must be rejected")
+	}
+	if _, err := AppendFrame(nil, Frame{Namespace: string(make([]byte, 256)), Metric: "m"}); err == nil {
+		t.Error("over-long namespace must be rejected")
+	}
+	if _, err := AppendFrame(nil, Frame{Namespace: "n", Metric: "m",
+		Items: []engine.Item{{Strata: make([]uint32, maxStrataDims+1)}}}); err == nil {
+		t.Error("over-dimensional strata must be rejected")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	base := mustAppend(t, nil, Frame{Namespace: "acme", Metric: "bytes", Kind: KindDefault,
+		Items: []engine.Item{{Key: 5, Weight: 2, Value: 2}}})
+
+	corrupt := func(name string, mutate func([]byte) []byte, wantErr error) {
+		t.Helper()
+		data := mutate(append([]byte(nil), base...))
+		if _, _, err := DecodeFrame(data); err == nil {
+			t.Errorf("%s: decode accepted a corrupt frame", name)
+		} else if wantErr != nil && !errors.Is(err, wantErr) {
+			t.Errorf("%s: got %v, want %v", name, err, wantErr)
+		}
+	}
+	corrupt("empty", func(b []byte) []byte { return nil }, ErrCorrupt)
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrCorrupt)
+	corrupt("bad version", func(b []byte) []byte { b[4] = 99; return b }, ErrVersion)
+	corrupt("zero ns len", func(b []byte) []byte { b[6] = 0; return b }, ErrCorrupt)
+	corrupt("truncated items", func(b []byte) []byte { return b[:len(b)-4] }, ErrCorrupt)
+	corrupt("reserved flags", func(b []byte) []byte {
+		// flags byte of item 0 sits right after the count varint.
+		b[8+len("acme")+len("bytes")+1] |= 0x80
+		return b
+	}, ErrCorrupt)
+
+	// Claimed item count far beyond the bytes present must be rejected
+	// before allocating (decode-bomb guard).
+	head := binary.LittleEndian.AppendUint32(nil, Magic)
+	head = append(head, Version, KindDefault, 1, 1, 'n', 'm')
+	bomb := binary.AppendUvarint(head, 1<<40)
+	if _, _, err := DecodeFrame(bomb); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("decode bomb: got %v, want ErrCorrupt", err)
+	}
+
+	// Non-canonical spellings of defaults must be rejected: weight 1.
+	withW := append([]byte(nil), head...)
+	withW = binary.AppendUvarint(withW, 1)
+	withW = append(withW, flagWeight, 0x05)
+	withW = binary.LittleEndian.AppendUint64(withW, math.Float64bits(1))
+	if _, _, err := DecodeFrame(withW); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("explicit default weight: got %v, want ErrCorrupt", err)
+	}
+
+	// Non-minimal varint key.
+	nonMin := append([]byte(nil), head...)
+	nonMin = binary.AppendUvarint(nonMin, 1)
+	nonMin = append(nonMin, 0 /* flags */, 0x85, 0x00 /* key 5, two bytes */)
+	if _, _, err := DecodeFrame(nonMin); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("non-minimal varint: got %v, want ErrCorrupt", err)
+	}
+
+	// Trailing garbage after the last frame fails the body decoder.
+	if _, err := DecodeFrames(append(append([]byte(nil), base...), 0xAA)); err == nil {
+		t.Error("trailing garbage must be rejected")
+	}
+	if _, err := DecodeFrames(nil); err == nil {
+		t.Error("empty body must be rejected")
+	}
+}
+
+// TestCompactness pins the protocol's reason to exist: the binary frame
+// must be much smaller than the equivalent JSON body.
+func TestCompactness(t *testing.T) {
+	items := make([]engine.Item, 1000)
+	for i := range items {
+		items[i] = engine.Item{Key: uint64(i) * 2654435761, Weight: 1.5, Value: 1.5}
+	}
+	body := mustAppend(t, nil, Frame{Namespace: "acme", Metric: "bytes", Kind: KindDefault, Items: items})
+	perItem := float64(len(body)) / float64(len(items))
+	if perItem > 24 {
+		t.Fatalf("binary frame costs %.1f bytes/item, want <= 24", perItem)
+	}
+}
