@@ -8,6 +8,8 @@
 //	     [-k 1024] [-seed 1] [-bucket 1m] [-retention 60] [-shards 1]
 //	     [-max-keys 0] [-window 0] [-lambda 0] [-group-m 64] [-stratum-k 64]
 //	     [-dims 2] [-snapshot path]
+//	     [-wal-dir dir] [-fsync always|interval|none] [-fsync-interval 100ms]
+//	     [-wal-segment-bytes 67108864] [-shutdown-timeout 10s]
 //	     [-max-inflight-items 4194304] [-max-batch-items 1048576]
 //
 // -kind sets the DEFAULT sketch kind; each key's kind is fixed at first
@@ -35,10 +37,24 @@
 // Retry-After, and a single request carrying more than -max-batch-items
 // items is rejected with 413.
 //
-// With -snapshot, the daemon restores the keyspace from the file at
-// boot (if present), persists it there on POST /v1/snapshot, and writes
-// a final snapshot during graceful shutdown (SIGINT/SIGTERM), so a
-// restart resumes serving the same estimates.
+// # Durability
+//
+// With -wal-dir, the daemon runs crash-safe: every accepted ingest
+// batch is appended to a write-ahead log (fsynced per -fsync) before it
+// is applied and acknowledged, POST /v1/snapshot cuts atomic snapshot
+// generations in the same directory, and boot recovers by restoring the
+// newest sound generation and replaying the log's uncovered suffix —
+// truncating a torn tail and quarantining (not dying on) mid-log
+// corruption. /readyz answers 503 until recovery completes and during
+// shutdown drain; docs/ARCHITECTURE.md "Durability" has the full
+// design. -wal-dir and -snapshot are mutually exclusive.
+//
+// With -snapshot (the lighter, non-durable mode), the daemon restores
+// the keyspace from the file at boot (if present), persists it there on
+// POST /v1/snapshot, and writes a final snapshot during graceful
+// shutdown (SIGINT/SIGTERM), so a restart resumes serving the same
+// estimates. Acknowledged writes since the last snapshot do NOT survive
+// a crash in this mode.
 package main
 
 import (
@@ -47,7 +63,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,30 +71,43 @@ import (
 
 	"ats/internal/server"
 	"ats/internal/store"
+	"ats/internal/wal"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8321", "listen address")
-		kindFlag  = flag.String("kind", "bottomk", "default sketch kind: bottomk, distinct, window, topk, varopt, decay, groupby or stratified")
-		k         = flag.Int("k", 1024, "per-bucket sketch size")
-		seed      = flag.Uint64("seed", 1, "coordination seed shared by all buckets")
-		bucket    = flag.Duration("bucket", time.Minute, "time-bucket width")
-		retention = flag.Int("retention", 60, "sealed buckets kept per key")
-		shards    = flag.Int("shards", 1, "engine shards per current bucket")
-		maxKeys   = flag.Int("max-keys", 0, "LRU bound on live keys (0 = unbounded)")
-		windowSec = flag.Float64("window", 0, "sliding-window length in seconds (window kind; 0 = bucket width)")
-		lambda    = flag.Float64("lambda", 0, "decay rate per second (decay kind; 0 = ln2/bucket width)")
-		groupM    = flag.Int("group-m", 0, "dedicated per-group sketches (groupby kind; 0 = 64)")
-		stratumK  = flag.Int("stratum-k", 0, "per-stratum bottom-k parameter (stratified kind; 0 = 64)")
-		dims      = flag.Int("dims", 0, "stratification dimensions (stratified kind; 0 = 2)")
-		snapPath  = flag.String("snapshot", "", "snapshot file: restored at boot, written on POST /v1/snapshot and shutdown")
-		inflight  = flag.Int64("max-inflight-items", 0, "admission-gate budget: items in flight across ingest requests before 429s (0 = default)")
-		maxBatch  = flag.Int("max-batch-items", 0, "per-request item limit before 413s (0 = default)")
+		addr        = flag.String("addr", ":8321", "listen address")
+		kindFlag    = flag.String("kind", "bottomk", "default sketch kind: bottomk, distinct, window, topk, varopt, decay, groupby or stratified")
+		k           = flag.Int("k", 1024, "per-bucket sketch size")
+		seed        = flag.Uint64("seed", 1, "coordination seed shared by all buckets")
+		bucket      = flag.Duration("bucket", time.Minute, "time-bucket width")
+		retention   = flag.Int("retention", 60, "sealed buckets kept per key")
+		shards      = flag.Int("shards", 1, "engine shards per current bucket")
+		maxKeys     = flag.Int("max-keys", 0, "LRU bound on live keys (0 = unbounded)")
+		windowSec   = flag.Float64("window", 0, "sliding-window length in seconds (window kind; 0 = bucket width)")
+		lambda      = flag.Float64("lambda", 0, "decay rate per second (decay kind; 0 = ln2/bucket width)")
+		groupM      = flag.Int("group-m", 0, "dedicated per-group sketches (groupby kind; 0 = 64)")
+		stratumK    = flag.Int("stratum-k", 0, "per-stratum bottom-k parameter (stratified kind; 0 = 64)")
+		dims        = flag.Int("dims", 0, "stratification dimensions (stratified kind; 0 = 2)")
+		snapPath    = flag.String("snapshot", "", "snapshot file: restored at boot, written on POST /v1/snapshot and shutdown (non-durable mode)")
+		walDir      = flag.String("wal-dir", "", "durability directory: write-ahead log + snapshot generations; enables crash-safe mode")
+		fsyncFlag   = flag.String("fsync", "interval", "WAL fsync policy: always, interval or none")
+		fsyncEvery  = flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period under -fsync interval")
+		segBytes    = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation threshold")
+		shutdownTmo = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline for draining connections")
+		inflight    = flag.Int64("max-inflight-items", 0, "admission-gate budget: items in flight across ingest requests before 429s (0 = default)")
+		maxBatch    = flag.Int("max-batch-items", 0, "per-request item limit before 413s (0 = default)")
 	)
 	flag.Parse()
 
 	kind, err := store.ParseKind(*kindFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *walDir != "" && *snapPath != "" {
+		log.Fatal("-wal-dir and -snapshot are mutually exclusive: the WAL directory owns its own snapshot generations")
+	}
+	fsync, err := wal.ParseFsyncPolicy(*fsyncFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +126,17 @@ func main() {
 		StratifiedDims: *dims,
 	})
 
-	if *snapPath != "" {
+	var mgr *wal.Manager
+	if *walDir != "" {
+		mgr, err = wal.Open(*walDir, st, wal.Options{
+			Fsync:         fsync,
+			FsyncInterval: *fsyncEvery,
+			SegmentBytes:  *segBytes,
+		})
+		if err != nil {
+			log.Fatalf("open wal %s: %v", *walDir, err)
+		}
+	} else if *snapPath != "" {
 		if f, err := os.Open(*snapPath); err == nil {
 			err = st.Restore(f)
 			f.Close()
@@ -115,18 +154,40 @@ func main() {
 		SnapshotPath:     *snapPath,
 		MaxInflightItems: *inflight,
 		MaxBatchItems:    *maxBatch,
+		Durable:          mgr,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := server.NewHTTPServer(*addr, srv.Handler())
+
+	// Bind before recovery so probes and clients see a live socket that
+	// answers /healthz and a 503 /readyz instead of connection refused;
+	// recovery can take a while on a large log.
+	if mgr != nil {
+		srv.SetReady(false)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("atsd listening on %s", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() {
-		log.Printf("atsd serving %s sketches on %s (k=%d, bucket=%v, retention=%d)",
-			kind, *addr, *k, *bucket, *retention)
-		errc <- httpSrv.ListenAndServe()
-	}()
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	if mgr != nil {
+		rs, err := mgr.Recover()
+		if err != nil {
+			log.Fatalf("wal recovery: %v", err)
+		}
+		log.Printf("recovered from %s: snapshot seq %d, %d records replayed, %d skipped (rejected snapshots %d, torn bytes %d, quarantined %d)",
+			*walDir, rs.SnapshotSeq, rs.RecordsApplied, rs.RecordsSkipped,
+			rs.SnapshotsRejected, rs.TornBytesTruncated, rs.QuarantinedBytes)
+		srv.SetReady(true)
+	}
+	log.Printf("atsd serving %s sketches on %s (k=%d, bucket=%v, retention=%d, fsync=%s)",
+		kind, *addr, *k, *bucket, *retention, durMode(mgr, fsync))
 
 	select {
 	case err := <-errc:
@@ -134,17 +195,36 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Drain: flip /readyz to 503 and refuse new ingest, let in-flight
+	// requests finish, then cut the final durable state.
 	log.Print("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	srv.StartDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTmo)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	if *snapPath != "" {
+	if mgr != nil {
+		if info, err := mgr.Snapshot(); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else {
+			fmt.Printf("snapshot: seq %d, %d bytes -> %s\n", info.Seq, info.Bytes, info.Path)
+		}
+		if err := mgr.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	} else if *snapPath != "" {
 		n, err := srv.SnapshotToPath()
 		if err != nil {
 			log.Fatalf("final snapshot: %v", err)
 		}
 		fmt.Printf("snapshot: %d bytes -> %s\n", n, *snapPath)
 	}
+}
+
+func durMode(mgr *wal.Manager, fsync wal.FsyncPolicy) string {
+	if mgr == nil {
+		return "off"
+	}
+	return fsync.String()
 }

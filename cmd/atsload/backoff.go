@@ -1,0 +1,39 @@
+package main
+
+import "time"
+
+// Retry tuning for transient ingest failures: transport errors (the
+// daemon died or restarted mid-request), admission 429s without a
+// usable Retry-After, and gateway-style 502/503/504s (a proxy in front
+// of a restarting daemon, or atsd's own drain/recovery 503s).
+const (
+	backoffBase = 50 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
+// backoffDelay is the nth (1-based) retry's sleep: exponential from
+// backoffBase, capped at backoffCap, with ±50% jitter so a worker fleet
+// retrying the same outage does not stampede the daemon in lockstep.
+// jitter must be in [0, 1) — callers draw it from their seeded worker
+// RNG, keeping runs reproducible.
+func backoffDelay(attempt int, jitter float64) time.Duration {
+	d := backoffBase
+	for i := 1; i < attempt && d < backoffCap; i++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	// Scale into [0.5x, 1.5x).
+	return time.Duration(float64(d) * (0.5 + jitter))
+}
+
+// retryableStatus reports response codes worth resending the same
+// batch for. 429 is handled separately (it carries Retry-After).
+func retryableStatus(code int) bool {
+	switch code {
+	case 502, 503, 504:
+		return true
+	}
+	return false
+}

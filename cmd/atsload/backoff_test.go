@@ -1,0 +1,146 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ats/internal/stream"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	// Zero jitter maps to exactly 0.5x the nominal delay.
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 25 * time.Millisecond},   // 50ms * 0.5
+		{2, 50 * time.Millisecond},   // 100ms * 0.5
+		{3, 100 * time.Millisecond},  // 200ms * 0.5
+		{8, 2500 * time.Millisecond}, // capped at 5s * 0.5
+		{30, 2500 * time.Millisecond},
+	} {
+		if got := backoffDelay(tc.attempt, 0); got != tc.want {
+			t.Errorf("backoffDelay(%d, 0) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	// Full jitter stays under 1.5x nominal and respects the cap.
+	if got := backoffDelay(4, 0.999); got < 200*time.Millisecond || got > 600*time.Millisecond {
+		t.Errorf("backoffDelay(4, 0.999) = %v, want ~[200ms, 600ms)", got)
+	}
+	for a := 1; a <= 40; a++ {
+		if got := backoffDelay(a, 0.999); got >= time.Duration(1.5*float64(backoffCap))+time.Millisecond {
+			t.Errorf("attempt %d: delay %v exceeds jittered cap", a, got)
+		}
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{502: true, 503: true, 504: true,
+		200: false, 400: false, 409: false, 429: false, 500: false} {
+		if got := retryableStatus(code); got != want {
+			t.Errorf("retryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+// TestSendRetries503ThenSucceeds drives send through a daemon that is
+// "draining" for two requests and healthy on the third.
+func TestSendRetries503ThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"added":1}`))
+	}))
+	defer ts.Close()
+
+	var st workerStats
+	err := st.send(ts.Client(), ts.URL+"/v1/add", "application/json",
+		[]byte(`{}`), stream.NewRNG(1), 5)
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if st.retries != 2 || st.requests != 1 {
+		t.Fatalf("retries=%d requests=%d, want 2 and 1", st.retries, st.requests)
+	}
+}
+
+// TestSendReconnectsAfterTransportError drives send through a listener
+// that kills the first two connections at the socket level — the shape
+// of a daemon SIGKILLed mid-request — then serves normally.
+func TestSendReconnectsAfterTransportError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0) // RST, not FIN: the client sees a hard error
+			}
+			conn.Close()
+			return
+		}
+		w.Write([]byte(`{"added":1}`))
+	}))
+	defer ts.Close()
+
+	var st workerStats
+	err := st.send(ts.Client(), ts.URL+"/v1/add", "application/json",
+		[]byte(`{}`), stream.NewRNG(1), 5)
+	if err != nil {
+		t.Fatalf("send after transport errors: %v", err)
+	}
+	if st.retries != 2 || st.requests != 1 {
+		t.Fatalf("retries=%d requests=%d, want 2 and 1", st.retries, st.requests)
+	}
+}
+
+// TestSendGivesUpAtRetryCap proves the cap is a cap: a daemon that
+// never recovers fails the batch instead of spinning forever.
+func TestSendGivesUpAtRetryCap(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"bad gateway"}`, http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	var st workerStats
+	err := st.send(ts.Client(), ts.URL+"/v1/add", "application/json",
+		[]byte(`{}`), stream.NewRNG(1), 2)
+	if err == nil {
+		t.Fatal("send succeeded against a permanently failing daemon")
+	}
+	if !strings.Contains(err.Error(), "status 502") {
+		t.Fatalf("error does not name the failure: %v", err)
+	}
+	if st.retries != 3 {
+		t.Fatalf("retries=%d, want 3 (cap of 2 + the final attempt)", st.retries)
+	}
+}
+
+// TestSendNonRetryableIsFatal: a 400 must fail immediately — resending
+// a malformed batch can never help.
+func TestSendNonRetryableIsFatal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"malformed"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	var st workerStats
+	err := st.send(ts.Client(), ts.URL+"/v1/add", "application/json",
+		[]byte(`{}`), stream.NewRNG(1), 5)
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err=%v calls=%d, want one fatal attempt", err, calls.Load())
+	}
+}

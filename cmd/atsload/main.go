@@ -54,6 +54,7 @@ type config struct {
 	seed      uint64
 	namespace string
 	out       string
+	retries   int
 }
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 42, "root seed; forked per worker for decorrelated streams")
 	flag.StringVar(&cfg.namespace, "namespace", "load", "ingest namespace")
 	flag.StringVar(&cfg.out, "out", "", "BENCH_<n>.json to merge serving results into (created if absent)")
+	flag.IntVar(&cfg.retries, "retries", 8, "consecutive retries per batch before a worker gives up (transport errors, 429s and 502/503/504s)")
 	flag.Parse()
 
 	if cfg.mode != "json" && cfg.mode != "binary" && cfg.mode != "both" {
@@ -164,6 +166,7 @@ type workerStats struct {
 	items     int64
 	requests  int64
 	rejected  int64
+	retries   int64
 	latencies []time.Duration
 	err       error
 }
@@ -198,7 +201,11 @@ func runMode(client *http.Client, cfg config, mode string) bench.Serving {
 		total.items += s.items
 		total.requests += s.requests
 		total.rejected += s.rejected
+		total.retries += s.retries
 		total.latencies = append(total.latencies, s.latencies...)
+	}
+	if total.retries > 0 {
+		fmt.Fprintf(os.Stderr, "atsload: %s: %d transient failures retried\n", mode, total.retries)
 	}
 	if total.err != nil {
 		fmt.Fprintln(os.Stderr, "atsload:", total.err)
@@ -322,7 +329,7 @@ func runWorker(client *http.Client, cfg config, mode string, seed uint64, w int,
 			url, ctype, body = cfg.addr+"/v1/add", "application/json", jsonBuf.Bytes()
 		}
 
-		if err := st.send(client, url, ctype, body); err != nil {
+		if err := st.send(client, url, ctype, body, rng, cfg.retries); err != nil {
 			st.err = fmt.Errorf("worker %d: %w", w, err)
 			return st
 		}
@@ -331,32 +338,58 @@ func runWorker(client *http.Client, cfg config, mode string, seed uint64, w int,
 	return st
 }
 
-// send posts one batch, retrying on admission-gate 429s per the
-// server's Retry-After. Only successful requests enter the latency
-// sample; rejections are counted separately.
-func (st *workerStats) send(client *http.Client, url, ctype string, body []byte) error {
+// send posts one batch, retrying transient failures with jittered
+// exponential backoff: admission-gate 429s (honoring Retry-After when
+// present), gateway-style 502/503/504s, and transport errors — the
+// daemon dying or restarting mid-request — where pooled connections are
+// dropped so the retry reconnects instead of reusing a dead socket.
+// After maxRetries consecutive failures the batch is given up on. Only
+// successful requests enter the latency sample; 429s and retried
+// failures are counted separately.
+func (st *workerStats) send(client *http.Client, url, ctype string, body []byte, rng *stream.RNG, maxRetries int) error {
+	attempt := 0
 	for {
 		t0 := time.Now()
 		resp, err := client.Post(url, ctype, bytes.NewReader(body))
 		if err != nil {
-			return err
+			attempt++
+			st.retries++
+			if attempt > maxRetries {
+				return fmt.Errorf("POST %s: giving up after %d attempts: %w", url, attempt, err)
+			}
+			// Reconnect path: the pool may hold sockets into a daemon
+			// that died; force fresh dials before the resend.
+			client.CloseIdleConnections()
+			time.Sleep(backoffDelay(attempt, rng.Float64()))
+			continue
 		}
 		lat := time.Since(t0)
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
+		switch {
+		case resp.StatusCode == http.StatusOK:
 			st.requests++
 			st.latencies = append(st.latencies, lat)
 			return nil
-		case http.StatusTooManyRequests:
+		case resp.StatusCode == http.StatusTooManyRequests:
 			st.rejected++
-			delay := 50 * time.Millisecond
+			attempt++
+			if attempt > maxRetries {
+				return fmt.Errorf("POST %s: still throttled after %d attempts: %s", url, attempt, msg)
+			}
+			delay := backoffDelay(attempt, rng.Float64())
 			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
 				delay = time.Duration(ra) * time.Second
 			}
 			time.Sleep(delay)
+		case retryableStatus(resp.StatusCode):
+			st.retries++
+			attempt++
+			if attempt > maxRetries {
+				return fmt.Errorf("POST %s: status %d after %d attempts: %s", url, resp.StatusCode, attempt, msg)
+			}
+			time.Sleep(backoffDelay(attempt, rng.Float64()))
 		default:
 			return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, msg)
 		}

@@ -1,0 +1,212 @@
+// Package fail is the fault-injection layer of the durability stack: a
+// registry of named failpoints compiled into the hot paths of the WAL,
+// snapshot and serving code, armed from the environment and dormant —
+// one atomic load — when unarmed.
+//
+// A failpoint is named like a path ("wal/append/torn") and armed with
+//
+//	ATS_FAILPOINTS="wal/fsync=error@3,wal/append/torn=exit@17"
+//
+// meaning: the 3rd hit of wal/fsync returns an injected error, and the
+// 17th hit of wal/append/torn fires its custom action and then the
+// process dies with SIGKILL (simulating a hard crash — no deferred
+// cleanup, no flushes). Actions:
+//
+//	error  the call site receives ErrInjected (wrapped with the name)
+//	exit   the process SIGKILLs itself at the point
+//	torn   the call site performs its own partial-effect variant (for
+//	       write points: write a prefix of the record) and then exits;
+//	       sites opt in via Triggered
+//
+// Hits are counted per point across the process, so "@N" is
+// deterministic for a serialized path (the WAL ingest path is exactly
+// that). Tests arm points programmatically with Arm/Reset.
+package fail
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// EnvVar is the environment variable holding the armed failpoint spec.
+const EnvVar = "ATS_FAILPOINTS"
+
+// ErrInjected is the sentinel wrapped by every injected error.
+var ErrInjected = errors.New("fail: injected fault")
+
+// Action is what an armed failpoint does when its hit count is reached.
+type Action uint8
+
+const (
+	// None means the point is not armed (or not yet reached).
+	None Action = iota
+	// Error makes Check return an ErrInjected-wrapped error.
+	Error
+	// Exit SIGKILLs the process at the point.
+	Exit
+	// Torn is Exit preceded by a site-specific partial effect; only
+	// sites that consult Triggered honor it, Check treats it as Exit.
+	Torn
+)
+
+// point is one armed failpoint.
+type point struct {
+	action Action
+	// nth is the 1-based hit that fires; hits counts calls so far.
+	nth  int64
+	hits atomic.Int64
+}
+
+var (
+	mu     sync.Mutex
+	points map[string]*point
+	// armed is the fast-path gate: false means every helper returns
+	// immediately after one atomic load.
+	armed    atomic.Bool
+	initOnce sync.Once
+)
+
+// initFromEnv parses EnvVar once, on first use.
+func initFromEnv() {
+	initOnce.Do(func() {
+		if spec := os.Getenv(EnvVar); spec != "" {
+			if err := Arm(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "fail: bad %s: %v\n", EnvVar, err)
+				os.Exit(2)
+			}
+		}
+	})
+}
+
+// Arm parses a spec ("name=action@N[,name=action@N...]") and arms the
+// named points, replacing any previous arming of the same names. Tests
+// use it directly; the daemon arms from the environment.
+func Arm(spec string) error {
+	parsed := make(map[string]*point)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("fail: bad entry %q (want name=action@N)", entry)
+		}
+		actName, nStr, ok := strings.Cut(rest, "@")
+		nth := int64(1)
+		if ok {
+			v, err := strconv.ParseInt(nStr, 10, 64)
+			if err != nil || v < 1 {
+				return fmt.Errorf("fail: bad hit count in %q", entry)
+			}
+			nth = v
+		}
+		var act Action
+		switch actName {
+		case "error":
+			act = Error
+		case "exit":
+			act = Exit
+		case "torn":
+			act = Torn
+		default:
+			return fmt.Errorf("fail: unknown action %q in %q", actName, entry)
+		}
+		parsed[name] = &point{action: act, nth: nth}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	for name, p := range parsed {
+		points[name] = p
+	}
+	armed.Store(len(points) > 0)
+	return nil
+}
+
+// Reset disarms every failpoint (test teardown).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(false)
+}
+
+// Enabled reports whether any failpoint is armed. One atomic load, so
+// callers may gate larger setup on it.
+func Enabled() bool {
+	initFromEnv()
+	return armed.Load()
+}
+
+// lookup counts a hit against name and returns the action to take now,
+// or None.
+func lookup(name string) Action {
+	initFromEnv()
+	if !armed.Load() {
+		return None
+	}
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return None
+	}
+	if p.hits.Add(1) != p.nth {
+		return None
+	}
+	return p.action
+}
+
+// Check fires name: it returns nil when unarmed or not yet at the
+// armed hit, an ErrInjected-wrapped error for an error action, and
+// does not return for exit/torn actions (the process SIGKILLs itself).
+func Check(name string) error {
+	switch lookup(name) {
+	case None:
+		return nil
+	case Error:
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	default:
+		Crash(name)
+		return nil // unreachable
+	}
+}
+
+// Triggered reports whether name's torn action fires at this hit. The
+// caller performs its partial effect and then must call Crash. Error
+// and exit actions behave as in Check (so one call site serves all
+// three), which means Triggered can return an error too.
+func Triggered(name string) (torn bool, err error) {
+	switch lookup(name) {
+	case None:
+		return false, nil
+	case Error:
+		return false, fmt.Errorf("%w at %s", ErrInjected, name)
+	case Torn:
+		return true, nil
+	default:
+		Crash(name)
+		return false, nil // unreachable
+	}
+}
+
+// Crash terminates the process the hard way — SIGKILL to self, so no
+// deferred cleanup, exit hooks or buffered writes run — simulating a
+// machine-level crash at the call site. The small stderr note helps
+// harnesses attribute the death; it may or may not flush, by design.
+func Crash(name string) {
+	fmt.Fprintf(os.Stderr, "fail: crashing at %s\n", name)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGKILL); err != nil {
+		os.Exit(137)
+	}
+	select {} // SIGKILL delivery is asynchronous; never proceed past here
+}

@@ -1,0 +1,95 @@
+package fail
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestDisarmedIsSilent(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("no points armed but Enabled() is true")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Check("wal/append/before"); err != nil {
+			t.Fatalf("disarmed Check returned %v", err)
+		}
+	}
+}
+
+func TestErrorFiresOnNthHitOnly(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("wal/fsync=error@3"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("armed but Enabled() is false")
+	}
+	for i := 1; i <= 5; i++ {
+		err := Check("wal/fsync")
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: want injected error, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected error %v", i, err)
+		}
+	}
+	// Unarmed sibling point never fires.
+	if err := Check("wal/fsync/other"); err != nil {
+		t.Fatalf("sibling point fired: %v", err)
+	}
+}
+
+func TestTornTriggersExactlyOnce(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("wal/append/torn=torn@2"); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := Triggered("wal/append/torn")
+	if torn || err != nil {
+		t.Fatalf("hit 1: torn=%v err=%v", torn, err)
+	}
+	torn, err = Triggered("wal/append/torn")
+	if !torn || err != nil {
+		t.Fatalf("hit 2: torn=%v err=%v, want torn", torn, err)
+	}
+	torn, err = Triggered("wal/append/torn")
+	if torn || err != nil {
+		t.Fatalf("hit 3: torn=%v err=%v", torn, err)
+	}
+}
+
+func TestArmRejectsMalformedSpecs(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{"noequals", "x=", "x=boom", "x=error@0", "x=error@-1", "x=error@huge"} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+}
+
+// TestExitKillsProcess re-execs the test binary with an armed exit
+// point and expects the child to die from SIGKILL, not exit cleanly.
+func TestExitKillsProcess(t *testing.T) {
+	if os.Getenv("FAIL_TEST_CHILD") == "1" {
+		// Child: the first hit must not return.
+		_ = Check("crash/here")
+		os.Exit(0) // reaching this is the failure
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestExitKillsProcess$", "-test.v=false")
+	cmd.Env = append(os.Environ(), "FAIL_TEST_CHILD=1", EnvVar+"=crash/here=exit@1")
+	err := cmd.Run()
+	var xerr *exec.ExitError
+	if !errors.As(err, &xerr) {
+		t.Fatalf("child exited cleanly (err=%v); Crash did not kill it", err)
+	}
+	if code := xerr.ExitCode(); code == 0 {
+		t.Fatalf("child exit code 0, want a kill")
+	}
+}

@@ -1,0 +1,304 @@
+package server
+
+// Durability-mode serving tests: acknowledged ingest goes through the
+// WAL and survives a simulated crash (new store + new server over the
+// same directory), readiness gates the API around recovery and drain,
+// and damaged logs surface in /v1/stats instead of failing boot.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ats/internal/store"
+	"ats/internal/wal"
+)
+
+func durConfig() store.Config {
+	return store.Config{
+		Kind:        store.BottomK,
+		K:           256,
+		Seed:        5,
+		BucketWidth: time.Hour,
+		Retention:   10,
+	}
+}
+
+// newDurableServer builds a recovered durable server over dir and
+// returns it with its test transport.
+func newDurableServer(t *testing.T, dir string) (*Server, *store.Store, *httptest.Server, wal.RecoveryStats) {
+	t.Helper()
+	st := store.New(durConfig())
+	mgr, err := wal.Open(dir, st, wal.Options{Fsync: wal.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := mgr.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	srv := NewWithOptions(st, Options{Durable: mgr})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, st, ts, rs
+}
+
+func getStats(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func durabilitySection(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	stats := getStats(t, ts)
+	ingest, ok := stats["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no ingest section: %v", stats)
+	}
+	dur, ok := ingest["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("ingest has no durability section: %v", ingest)
+	}
+	return dur
+}
+
+func streamSnapshot(t *testing.T, ts *httptest.Server) []byte {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/snapshot?stream=1", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream snapshot: %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDurableIngestSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, _, ts, _ := newDurableServer(t, dir)
+
+	for i := 0; i < 20; i++ {
+		postJSON(t, ts.URL+"/v1/add", map[string]any{
+			"namespace": "acme", "metric": "bytes",
+			"items": []map[string]any{{"key": i, "weight": float64(i + 1)}},
+		})
+	}
+	want := streamSnapshot(t, ts)
+	ts.Close()
+
+	// "Crash": a brand-new store and server recover from the directory
+	// alone and serve the identical keyspace.
+	_, _, ts2, rs := newDurableServer(t, dir)
+	if rs.RecordsApplied != 20 {
+		t.Fatalf("replayed %d records, want 20", rs.RecordsApplied)
+	}
+	if got := streamSnapshot(t, ts2); !bytes.Equal(got, want) {
+		t.Fatal("recovered keyspace diverges from acknowledged state")
+	}
+
+	dur := durabilitySection(t, ts2)
+	rec, ok := dur["recovery"].(map[string]any)
+	if !ok || rec["records_applied"].(float64) != 20 {
+		t.Fatalf("durability.recovery not reported: %v", dur)
+	}
+}
+
+func TestDurableSnapshotEndpointCutsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	_, _, ts, _ := newDurableServer(t, dir)
+	postJSON(t, ts.URL+"/v1/add", map[string]any{
+		"namespace": "acme", "metric": "bytes",
+		"items": []map[string]any{{"key": 1, "weight": 2.0}},
+	})
+	resp := postJSON(t, ts.URL+"/v1/snapshot", nil)
+	if resp["seq"].(float64) != 1 {
+		t.Fatalf("generation covers seq %v, want 1", resp["seq"])
+	}
+	gens, _ := filepath.Glob(filepath.Join(dir, "snap-*.ats"))
+	if len(gens) != 1 {
+		t.Fatalf("generations on disk: %v", gens)
+	}
+}
+
+func TestTornTailReportedInStatsNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	_, _, ts, _ := newDurableServer(t, dir)
+	for i := 0; i < 5; i++ {
+		postJSON(t, ts.URL+"/v1/add", map[string]any{
+			"namespace": "acme", "metric": "bytes",
+			"items": []map[string]any{{"key": i, "weight": 1.0}},
+		})
+	}
+	want := streamSnapshot(t, ts)
+	ts.Close()
+
+	// Tear the tail: append garbage to the single segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, ts2, rs := newDurableServer(t, dir)
+	if rs.TornBytesTruncated != 6 {
+		t.Fatalf("torn bytes %d, want 6", rs.TornBytesTruncated)
+	}
+	if got := streamSnapshot(t, ts2); !bytes.Equal(got, want) {
+		t.Fatal("acknowledged state lost to a torn tail")
+	}
+	dur := durabilitySection(t, ts2)
+	rec := dur["recovery"].(map[string]any)
+	if rec["torn_bytes_truncated"].(float64) != 6 {
+		t.Fatalf("torn tail not surfaced in stats: %v", rec)
+	}
+}
+
+func TestCorruptMidLogQuarantineReportedInStats(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New(durConfig())
+	mgr, err := wal.Open(dir, st, wal.Options{Fsync: wal.FsyncNone, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(st, Options{Durable: mgr})
+	ts := httptest.NewServer(srv.Handler())
+	for i := 0; i < 30; i++ {
+		postJSON(t, ts.URL+"/v1/add", map[string]any{
+			"namespace": "acme", "metric": "bytes",
+			"items": []map[string]any{{"key": i, "weight": 1.0}},
+		})
+	}
+	ts.Close()
+	mgr.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("want rotation, got %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := store.New(durConfig())
+	mgr2, err := wal.Open(dir, st2, wal.Options{Fsync: wal.FsyncNone, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := mgr2.Recover()
+	if err != nil {
+		t.Fatalf("mid-log corruption must not fail boot: %v", err)
+	}
+	defer mgr2.Close()
+	if rs.QuarantineEvents != 1 || rs.QuarantinedBytes == 0 {
+		t.Fatalf("quarantine not counted: %+v", rs)
+	}
+	srv2 := NewWithOptions(st2, Options{Durable: mgr2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	dur := durabilitySection(t, ts2)
+	rec := dur["recovery"].(map[string]any)
+	if rec["quarantine_events"].(float64) != 1 {
+		t.Fatalf("quarantine not surfaced in stats: %v", rec)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	st := store.New(durConfig())
+	srv := NewWithOptions(st, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d", got)
+	}
+
+	// Not ready: API 503s, liveness stays 200.
+	srv.SetReady(false)
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while starting = %d", got)
+	}
+	if got := get("/v1/stats"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/v1/stats while starting = %d", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz while starting = %d", got)
+	}
+
+	// Ready again: API serves; draining refuses ingest but not queries.
+	srv.SetReady(true)
+	if got := get("/v1/stats"); got != http.StatusOK {
+		t.Fatalf("/v1/stats when ready = %d", got)
+	}
+	srv.StartDraining()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d", got)
+	}
+	if got := get("/v1/stats"); got != http.StatusOK {
+		t.Fatalf("/v1/stats while draining = %d", got)
+	}
+	resp, err := http.Post(ts.URL+"/v1/add", "application/json",
+		bytes.NewReader([]byte(`{"namespace":"a","metric":"b","items":[{"key":1}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest while draining = %d", resp.StatusCode)
+	}
+}
+
+func TestHardenedHTTPServerTimeouts(t *testing.T) {
+	h := NewHTTPServer(":0", http.NewServeMux())
+	if h.ReadHeaderTimeout == 0 || h.ReadTimeout == 0 || h.WriteTimeout == 0 ||
+		h.IdleTimeout == 0 || h.MaxHeaderBytes == 0 {
+		t.Fatalf("unhardened server: %+v", h)
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// NewHTTPServer returns a hardened http.Server for h: header, read,
+// write and idle deadlines plus a header size cap, so one stalled or
+// abusive client cannot pin a connection (and its goroutine) forever.
+// Write timeouts are generous because snapshot streaming is a legal
+// slow response.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    64 << 10,
+	}
+}
+
+// SetReady flips the readiness gate. The daemon binds its listener
+// before recovery (so probes see a live socket, not a refused
+// connection) and calls SetReady(true) only after snapshot restore and
+// WAL replay complete; until then /v1/* answers 503.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// StartDraining marks the server as shutting down: /readyz flips to 503
+// so load balancers stop routing here, and new ingest is refused while
+// in-flight requests finish and the final snapshot is cut.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process is up and the handler goroutine runs. Always
+	// 200 — restarts are for hangs, not for drains or slow boots.
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting", "reason": "recovery in progress"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
+}
+
+// withReadiness gates the API behind boot recovery and drain: until
+// recovery completes no /v1 endpoint serves (the store is mid-replay
+// and would answer with partial state), and during drain ingest is
+// refused so the final snapshot is a superset of everything ever
+// acknowledged.
+func (s *Server) withReadiness(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			if !s.ready.Load() {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, "starting: recovery in progress")
+				return
+			}
+			if s.draining.Load() && r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/add") {
+				httpError(w, http.StatusServiceUnavailable, "draining: ingest is closed")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

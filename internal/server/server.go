@@ -35,7 +35,18 @@
 //	GET  /v1/keys      live keys with their kinds
 //	GET  /v1/stats     store counters + daemon info
 //	POST /v1/snapshot  persist the keyspace; with no configured path the
-//	                   snapshot streams back as application/octet-stream
+//	                   snapshot streams back as application/octet-stream.
+//	                   With a WAL manager attached it cuts an atomic
+//	                   snapshot generation instead; ?stream=1 always
+//	                   streams a sequence-consistent copy of the store.
+//	GET  /healthz      liveness: 200 whenever the process serves
+//	GET  /readyz       readiness: 503 until boot recovery (snapshot
+//	                   restore + WAL replay) completes and during
+//	                   shutdown drain
+//
+// With Options.Durable set, every accepted ingest batch is appended to
+// the write-ahead log and fsynced per policy before it is applied and
+// acknowledged — a 200 means the batch survives a crash.
 //
 // from/to accept RFC 3339 timestamps or unix seconds (integer or
 // decimal); from defaults to the epoch and to defaults to now.
@@ -50,10 +61,12 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ats/internal/engine"
 	"ats/internal/store"
+	"ats/internal/wal"
 	"ats/internal/wire"
 )
 
@@ -74,6 +87,12 @@ type Options struct {
 	// its batches; 0 means the default (1M items). Larger requests are
 	// 413'd.
 	MaxBatchItems int
+	// Durable, when non-nil, routes every accepted ingest batch through
+	// the write-ahead log before it is applied and acknowledged: a 200
+	// means the batch survives a crash. POST /v1/snapshot cuts an atomic
+	// snapshot generation instead of writing SnapshotPath, and /v1/stats
+	// grows an ingest.durability section.
+	Durable *wal.Manager
 }
 
 const (
@@ -84,11 +103,18 @@ const (
 // Server wires a store to an http.Handler.
 type Server struct {
 	st           *store.Store
+	dur          *wal.Manager
 	snapshotPath string
 	started      time.Time
 	mux          *http.ServeMux
 	gate         gate
 	maxBatch     int
+	now          func() time.Time
+
+	// ready gates /v1/* until boot recovery completes; draining flips
+	// /readyz to 503 and closes ingest during shutdown.
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 // New returns a server over st with default admission limits.
@@ -107,8 +133,12 @@ func NewWithOptions(st *store.Store, o Options) *Server {
 	if o.MaxBatchItems <= 0 {
 		o.MaxBatchItems = defaultMaxBatchItems
 	}
-	s := &Server{st: st, snapshotPath: o.SnapshotPath, started: time.Now(), mux: http.NewServeMux(),
-		gate: gate{capacity: o.MaxInflightItems}, maxBatch: o.MaxBatchItems}
+	s := &Server{st: st, dur: o.Durable, snapshotPath: o.SnapshotPath, started: time.Now(),
+		mux: http.NewServeMux(), gate: gate{capacity: o.MaxInflightItems}, maxBatch: o.MaxBatchItems,
+		now: st.Config().Now}
+	// Servers without a recovery phase are born ready; the daemon flips
+	// this off before boot recovery when a WAL directory is configured.
+	s.ready.Store(true)
 	st.OnApply(func(items int) { s.gate.applied.Add(int64(items)) })
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
 	s.mux.HandleFunc("POST /v1/addb", s.handleAddBinary)
@@ -117,11 +147,14 @@ func NewWithOptions(st *store.Store, o Options) *Server {
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the API mux behind the
+// readiness gate.
+func (s *Server) Handler() http.Handler { return s.withReadiness(s.mux) }
 
 // Store returns the underlying store (the daemon's shutdown hook
 // snapshots it directly).
@@ -320,15 +353,32 @@ func (s *Server) ingest(w http.ResponseWriter, batches []ingestBatch, extra map[
 		if len(b.items) == 0 {
 			continue
 		}
+		// Weight defaulting happens BEFORE the WAL append so the logged
+		// bytes are exactly what the store applies — replay and live
+		// ingest see identical items.
 		for j := range b.items {
 			if b.items[j].Weight == 0 {
 				b.items[j].Weight = 1 // unweighted ingest shorthand
 			}
 		}
-		if err := s.st.AddBatchKind(b.namespace, b.metric, b.kind, b.items); err != nil {
+		var err error
+		if s.dur != nil {
+			// Durable path: the batch is logged, fsynced per policy and
+			// applied before the 200 — an acknowledged batch survives a
+			// crash.
+			err = s.dur.Ingest(b.namespace, b.metric, b.kind, b.items, s.now())
+		} else {
+			err = s.st.AddBatchKind(b.namespace, b.metric, b.kind, b.items)
+		}
+		if err != nil {
 			status := http.StatusInternalServerError
-			if errors.Is(err, store.ErrKindMismatch) {
+			switch {
+			case errors.Is(err, store.ErrKindMismatch):
 				status = http.StatusConflict
+			case errors.Is(err, wal.ErrFailed):
+				// The log fail-stopped: this daemon can no longer promise
+				// durability, so shed load rather than lie.
+				status = http.StatusServiceUnavailable
 			}
 			writeJSON(w, status, map[string]any{"error": err.Error(), "added": added})
 			return
@@ -483,9 +533,16 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cfg := s.st.Config()
+	var ingest any = s.gate.stats(s.maxBatch)
+	if s.dur != nil {
+		ingest = struct {
+			ingestStats
+			Durability wal.Stats `json:"durability"`
+		}{s.gate.stats(s.maxBatch), s.dur.Stats()}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"store":  s.st.Stats(),
-		"ingest": s.gate.stats(s.maxBatch),
+		"ingest": ingest,
 		"config": map[string]any{
 			"kind":            cfg.Kind.String(),
 			"k":               cfg.K,
@@ -504,8 +561,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.snapshotPath == "" {
-		// No configured path: stream the snapshot to the caller.
+	stream := r.URL.Query().Get("stream") == "1"
+	if s.dur != nil {
+		if stream {
+			// Stream the plain store bytes under the durability lock: a
+			// sequence-consistent cut the crash harness byte-compares.
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if err := s.dur.SnapshotTo(w); err != nil {
+				panic(http.ErrAbortHandler)
+			}
+			return
+		}
+		info, err := s.dur.Snapshot()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"path": info.Path, "bytes": info.Bytes, "seq": info.Seq,
+		})
+		return
+	}
+	if s.snapshotPath == "" || stream {
+		// No configured path (or an explicit stream request): stream the
+		// snapshot to the caller.
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if err := s.st.Snapshot(w); err != nil {
 			// Headers are gone; all we can do is drop the connection.

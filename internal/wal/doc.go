@@ -1,0 +1,64 @@
+// Package wal is the crash-safe durability layer of the serving stack:
+// a write-ahead log of accepted ingest batches plus atomic, checksummed
+// snapshot generations, with recovery that replays the log through the
+// store's normal ingest path and reproduces the pre-crash state
+// bit-for-bit.
+//
+// # Log records
+//
+// One record is one accepted ingest batch: the canonical internal/wire
+// batch frame (with the sketch kind resolved — never the "store
+// default" byte) prefixed by the assigned sequence number and the
+// store-clock ingest instant, framed and checksummed (all integers
+// little-endian):
+//
+//	length uint32  body length (seq through frame end)
+//	seq    uint64  assigned append sequence, strictly increasing
+//	at     int64   ingest instant, unix nanoseconds
+//	frame  bytes   one canonical internal/wire batch frame
+//	crc    uint32  CRC32C over the length prefix and the body
+//
+// Recording the instant is what makes replay deterministic: the store
+// stamps Window arrival times and Decay time axes from the ingest
+// clock, and bucket placement is a pure function of the instant, so
+// replaying (namespace, metric, kind, items, at) tuples in log order
+// reproduces identical sketch state — the property the crash e2e
+// harness checks bit-for-bit against a reference store.
+//
+// Records live in segment files ("wal-%016x.log", named and headed by
+// their first sequence number) that rotate at a size threshold and are
+// reclaimed once a durable snapshot covers them.
+//
+// # Snapshot generations
+//
+// Snapshots are the store's own stream (internal/store Snapshot) made
+// atomic and self-verifying: written to a temp file, fsynced, renamed
+// into place as "snap-%016x.ats" (named by the last WAL sequence the
+// snapshot covers), with a checksummed footer:
+//
+//	magic      uint32  "ATSF"
+//	seq        uint64  last WAL sequence covered by the payload
+//	payloadLen uint64  store-stream byte length
+//	crc        uint32  CRC32C over the payload and the fields above
+//
+// Boot verifies the newest generation end to end before restoring it;
+// a half-written or bit-rotted generation is rejected and boot falls
+// back to the previous one (generations N and N-1 are retained), then
+// replays every log record past the restored generation's sequence.
+//
+// # Recovery state machine
+//
+// Open → restore newest verifiable snapshot (else N-1, else empty) →
+// scan segments in order, skipping records the snapshot covers and
+// applying the rest → a torn tail in the final segment is truncated
+// (it can only be an unacknowledged append) → corrupt bytes mid-log
+// quarantine the remainder of that segment, counted and surfaced in
+// stats rather than failing boot → position the writer after the last
+// valid record. Failed writes and fsyncs after recovery fail-stop the
+// manager: later ingests are rejected rather than acknowledged into a
+// log that can no longer promise durability.
+//
+// Failpoints (internal/fail) cover the append, fsync, snapshot-write
+// and rename steps, so the crash harness can SIGKILL the daemon at
+// every interesting instant.
+package wal

@@ -1,0 +1,800 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/fail"
+	"ats/internal/store"
+	"ats/internal/wire"
+)
+
+// FsyncPolicy selects when appended records reach stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways syncs before every acknowledgment: no acknowledged
+	// write is lost even to power failure. Slowest.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval group-commits: a background ticker syncs dirty
+	// segments every Options.FsyncInterval. A process crash (SIGKILL)
+	// loses nothing — page cache survives the process — but power loss
+	// may lose up to one interval of acknowledged writes.
+	FsyncInterval
+	// FsyncNone never syncs explicitly; the OS flushes on its own
+	// schedule. Process crashes still lose nothing.
+	FsyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("fsync(%d)", uint8(p))
+}
+
+// ParseFsyncPolicy is the inverse of FsyncPolicy.String.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or none)", s)
+}
+
+// Applier is the store surface the manager drives: live ingest and
+// replay go through AddBatchKindAt, snapshots through Snapshot and
+// Restore. *store.Store satisfies it.
+type Applier interface {
+	AddBatchKindAt(namespace, metric string, kind store.Kind, items []engine.Item, at time.Time) error
+	Snapshot(w io.Writer) error
+	Restore(r io.Reader) error
+}
+
+// Options tunes a Manager. The zero value gets sensible defaults.
+type Options struct {
+	// Fsync is the durability policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncInterval is the group-commit period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the rotation threshold of one log segment
+	// (default 64 MiB). Tests shrink it to force rotation.
+	SegmentBytes int64
+	// Generations is how many verified snapshot generations to retain
+	// (default 2: the newest plus the fallback).
+	Generations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.Generations <= 0 {
+		o.Generations = 2
+	}
+	return o
+}
+
+// Segment file layout: a 13-byte header (magic "ATSW", version, base
+// sequence) followed by records.
+const (
+	segMagic   = 0x57535441 // "ATSW"
+	segVersion = 1
+	segHeadLen = 4 + 1 + 8
+	segPre     = "wal-"
+	segExt     = ".log"
+)
+
+// ErrFailed reports a manager that has fail-stopped after a write or
+// fsync error: the log can no longer promise durability, so ingest is
+// rejected instead of acknowledged.
+var ErrFailed = errors.New("wal: log failed, ingest disabled")
+
+// ErrNotRecovered reports use of a manager before Recover.
+var ErrNotRecovered = errors.New("wal: not recovered yet")
+
+type segMeta struct {
+	base uint64
+	path string
+}
+
+func segName(base uint64) string { return fmt.Sprintf("%s%016x%s", segPre, base, segExt) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPre) || !strings.HasSuffix(name, segExt) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPre), segExt)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// RecoveryStats describes what boot-time recovery found and did; it is
+// surfaced verbatim in /v1/stats so quarantined damage is visible, not
+// silently swallowed.
+type RecoveryStats struct {
+	// SnapshotSeq is the covered sequence of the restored generation
+	// (0 = booted from an empty store).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotsRejected counts generations that failed verification or
+	// restore and were skipped (the N-1 fallback path).
+	SnapshotsRejected int `json:"snapshots_rejected,omitempty"`
+	// TmpFilesRemoved counts stray temp files from crashed snapshot
+	// writes cleaned at boot.
+	TmpFilesRemoved int `json:"tmp_files_removed,omitempty"`
+	// RecordsApplied replayed through the ingest path; RecordsSkipped
+	// were already covered by the restored snapshot.
+	RecordsApplied int `json:"records_applied"`
+	RecordsSkipped int `json:"records_skipped,omitempty"`
+	// ApplyErrors counts records the store rejected during replay (for
+	// example a kind mismatch) — deterministic re-rejections of writes
+	// the live path also rejected.
+	ApplyErrors int `json:"apply_errors,omitempty"`
+	// TornBytesTruncated were cut off the final segment's tail — a
+	// write that died mid-record and was never acknowledged.
+	TornBytesTruncated int64 `json:"torn_bytes_truncated,omitempty"`
+	// QuarantineEvents and QuarantinedBytes count corrupt mid-log
+	// stretches that were skipped (the rest of their segment) rather
+	// than aborting boot.
+	QuarantineEvents int   `json:"quarantine_events,omitempty"`
+	QuarantinedBytes int64 `json:"quarantined_bytes,omitempty"`
+}
+
+// Stats is the durability section of /v1/stats.
+type Stats struct {
+	Fsync           string        `json:"fsync"`
+	LastSeq         uint64        `json:"last_seq"`
+	AppendedRecords int64         `json:"appended_records"`
+	AppendedBytes   int64         `json:"appended_bytes"`
+	Fsyncs          int64         `json:"fsyncs"`
+	Segments        int           `json:"segments"`
+	SegmentBytes    int64         `json:"segment_bytes"`
+	SnapshotSeq     uint64        `json:"snapshot_seq"`
+	Snapshots       int64         `json:"snapshots"`
+	Reclaimed       int64         `json:"reclaimed_segments"`
+	Failed          string        `json:"failed,omitempty"`
+	Recovery        RecoveryStats `json:"recovery"`
+}
+
+// SnapshotInfo describes one written generation.
+type SnapshotInfo struct {
+	Seq   uint64 `json:"seq"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Manager owns one durability directory: the WAL segments, the
+// snapshot generations, and the serialized append→apply ingest path.
+// With a manager attached, WAL order IS apply order — the property
+// that makes crash replay bit-deterministic — so ingest through it is
+// serialized by design; queries and snapshots-to-stream still run
+// concurrently against the store's own locks.
+type Manager struct {
+	dir  string
+	opts Options
+	app  Applier
+
+	mu        sync.Mutex
+	recovered bool
+	failed    error
+	seg       *os.File
+	segs      []segMeta // ascending by base; last is the active segment
+	segSize   int64
+	nextSeq   uint64
+	snapSeq   uint64
+	dirty     bool
+	closed    bool
+
+	frameBuf []byte
+	recBuf   []byte
+
+	appended  int64
+	appendedB int64
+	fsyncs    int64
+	snapshots int64
+	reclaimed int64
+	recStats  RecoveryStats
+
+	stopTick chan struct{}
+	tickDone chan struct{}
+}
+
+// Open prepares a manager over dir (created if absent) applying to
+// app. Nothing is read until Recover, and ingest is rejected before it.
+func Open(dir string, app Applier, opts Options) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{dir: dir, opts: opts.withDefaults(), app: app, nextSeq: 1}, nil
+}
+
+// Dir returns the durability directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Recover runs the boot state machine documented in the package
+// comment: restore the newest sound snapshot generation, replay the
+// uncovered log suffix through the applier, truncate a torn tail,
+// quarantine mid-log corruption, and position the writer. It must be
+// called exactly once, before any Ingest.
+func (m *Manager) Recover() (RecoveryStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recovered {
+		return m.recStats, errors.New("wal: already recovered")
+	}
+	var rs RecoveryStats
+
+	// Stray temp files are crashed snapshot writes: never renamed in,
+	// never trusted, always removed.
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return rs, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpExt) {
+			if err := os.Remove(filepath.Join(m.dir, e.Name())); err == nil {
+				rs.TmpFilesRemoved++
+			}
+		}
+	}
+
+	// Newest verifiable generation wins; damaged ones are skipped, not
+	// fatal — the WAL suffix re-derives what they would have held.
+	gens, err := listGenerations(m.dir)
+	if err != nil {
+		return rs, err
+	}
+	for _, g := range gens {
+		seq, err := restoreGeneration(g.path, m.app.Restore)
+		if err != nil {
+			rs.SnapshotsRejected++
+			continue
+		}
+		m.snapSeq = seq
+		rs.SnapshotSeq = seq
+		break
+	}
+
+	segs, err := m.listSegments()
+	if err != nil {
+		return rs, err
+	}
+	maxSeq := m.snapSeq
+	live := segs[:0]
+	for i, sm := range segs {
+		last := i == len(segs)-1
+		ok, segMax := m.replaySegment(sm, last, &rs)
+		if segMax > maxSeq {
+			maxSeq = segMax
+		}
+		if !ok {
+			// Unusable (torn or mismatched) header on the last segment:
+			// the file holds nothing replayable, recycle the name.
+			if last {
+				if err := os.Remove(sm.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+					return rs, err
+				}
+				continue
+			}
+		}
+		live = append(live, sm)
+	}
+	m.segs = append([]segMeta(nil), live...)
+	m.nextSeq = maxSeq + 1
+
+	if err := m.openWriterLocked(); err != nil {
+		return rs, err
+	}
+	m.reclaimLocked(m.snapSeq)
+	m.recStats = rs
+	m.recovered = true
+
+	if m.opts.Fsync == FsyncInterval {
+		m.stopTick = make(chan struct{})
+		m.tickDone = make(chan struct{})
+		go m.tick()
+	}
+	return rs, nil
+}
+
+// listSegments returns dir's segment files ascending by base sequence.
+func (m *Manager) listSegments() ([]segMeta, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segMeta
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if base, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segMeta{base: base, path: filepath.Join(m.dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// replaySegment scans one segment, applying records past the restored
+// snapshot. It returns header-ok and the highest valid sequence seen.
+// Damage policy: an invalid suffix of the LAST segment is a torn tail
+// (truncated — it can only be an unacknowledged append in progress at
+// the crash); invalid bytes in any earlier segment are quarantined (the
+// segment's remainder is skipped and counted) because later segments
+// hold later, sound data that must still boot.
+func (m *Manager) replaySegment(sm segMeta, last bool, rs *RecoveryStats) (headerOK bool, maxSeq uint64) {
+	data, err := os.ReadFile(sm.path)
+	if err != nil {
+		// Unreadable file: quarantine rather than abort.
+		rs.QuarantineEvents++
+		return !last, 0
+	}
+	if len(data) < segHeadLen ||
+		binary.LittleEndian.Uint32(data) != segMagic ||
+		data[4] != segVersion ||
+		binary.LittleEndian.Uint64(data[5:]) != sm.base {
+		if last {
+			rs.TornBytesTruncated += int64(len(data))
+			return false, 0
+		}
+		rs.QuarantineEvents++
+		rs.QuarantinedBytes += int64(len(data))
+		return false, 0
+	}
+	off := segHeadLen
+	expect := sm.base
+	for off < len(data) {
+		rec, n, err := DecodeRecord(data[off:])
+		if err == nil && rec.Seq != expect {
+			err = fmt.Errorf("%w: sequence %d where %d expected", ErrRecordCorrupt, rec.Seq, expect)
+		}
+		if err != nil {
+			if last {
+				rs.TornBytesTruncated += int64(len(data) - off)
+				if terr := os.Truncate(sm.path, int64(off)); terr != nil {
+					rs.QuarantineEvents++
+				}
+			} else {
+				rs.QuarantineEvents++
+				rs.QuarantinedBytes += int64(len(data) - off)
+			}
+			return true, maxSeq
+		}
+		if rec.Seq > m.snapSeq {
+			if aerr := m.app.AddBatchKindAt(rec.Frame.Namespace, rec.Frame.Metric,
+				store.Kind(rec.Frame.Kind), rec.Frame.Items, time.Unix(0, rec.At)); aerr != nil {
+				rs.ApplyErrors++
+			} else {
+				rs.RecordsApplied++
+			}
+		} else {
+			rs.RecordsSkipped++
+		}
+		maxSeq = rec.Seq
+		expect++
+		off += n
+	}
+	return true, maxSeq
+}
+
+// openWriterLocked positions the appender: reuse the final segment
+// when it is intact and under the rotation threshold, else start a
+// fresh one at nextSeq.
+func (m *Manager) openWriterLocked() error {
+	if n := len(m.segs); n > 0 {
+		sm := m.segs[n-1]
+		st, err := os.Stat(sm.path)
+		if err == nil && st.Size() >= segHeadLen && st.Size() < m.opts.SegmentBytes {
+			f, err := os.OpenFile(sm.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			m.seg, m.segSize = f, st.Size()
+			return nil
+		}
+	}
+	return m.newSegmentLocked()
+}
+
+// newSegmentLocked seals the active segment (sync + close) and starts
+// a fresh one based at nextSeq.
+func (m *Manager) newSegmentLocked() error {
+	if m.seg != nil {
+		if m.opts.Fsync != FsyncNone {
+			if err := m.seg.Sync(); err != nil {
+				m.seg.Close()
+				return err
+			}
+			m.fsyncs++
+		}
+		if err := m.seg.Close(); err != nil {
+			return err
+		}
+		m.seg = nil
+	}
+	path := filepath.Join(m.dir, segName(m.nextSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	head := binary.LittleEndian.AppendUint32(nil, segMagic)
+	head = append(head, segVersion)
+	head = binary.LittleEndian.AppendUint64(head, m.nextSeq)
+	if _, err := f.Write(head); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(m.dir); err != nil {
+		f.Close()
+		return err
+	}
+	m.seg, m.segSize = f, segHeadLen
+	m.segs = append(m.segs, segMeta{base: m.nextSeq, path: path})
+	return nil
+}
+
+// Ingest is the durable write path: encode the batch as a WAL record,
+// append it (rotating and syncing per policy), and only then apply it
+// to the store — the caller acknowledges only after Ingest returns
+// nil. Append order is apply order, by construction.
+func (m *Manager) Ingest(namespace, metric string, kind store.Kind, items []engine.Item, at time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.recovered {
+		return ErrNotRecovered
+	}
+	if m.failed != nil {
+		return fmt.Errorf("%w: %v", ErrFailed, m.failed)
+	}
+	if err := fail.Check("wal/append/before"); err != nil {
+		return err
+	}
+
+	var err error
+	m.frameBuf, err = wire.AppendFrame(m.frameBuf[:0], wire.Frame{
+		Namespace: namespace, Metric: metric, Kind: byte(kind), Items: items})
+	if err != nil {
+		return err // unloggable batch (e.g. name too long for the frame): reject, do not apply
+	}
+	m.recBuf = AppendRecord(m.recBuf[:0], m.nextSeq, at.UnixNano(), m.frameBuf)
+
+	if m.segSize+int64(len(m.recBuf)) > m.opts.SegmentBytes && m.segSize > segHeadLen {
+		if err := m.newSegmentLocked(); err != nil {
+			m.failed = err
+			return fmt.Errorf("%w: %v", ErrFailed, err)
+		}
+	}
+	if torn, err := fail.Triggered("wal/append/torn"); err != nil {
+		return err
+	} else if torn {
+		m.seg.Write(m.recBuf[:len(m.recBuf)/2])
+		m.seg.Sync()
+		fail.Crash("wal/append/torn")
+	}
+	if _, err := m.seg.Write(m.recBuf); err != nil {
+		m.failed = err
+		return fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	m.segSize += int64(len(m.recBuf))
+	m.appended++
+	m.appendedB += int64(len(m.recBuf))
+	if m.opts.Fsync == FsyncAlways {
+		if err := m.syncLocked(); err != nil {
+			m.failed = err
+			return fmt.Errorf("%w: %v", ErrFailed, err)
+		}
+	} else {
+		m.dirty = true
+	}
+	if err := fail.Check("wal/append/after"); err != nil {
+		return err
+	}
+
+	m.nextSeq++
+	if err := m.app.AddBatchKindAt(namespace, metric, kind, items, at); err != nil {
+		// The record is logged but the store rejected it (kind
+		// mismatch). Replay re-rejects identically, so log and store
+		// stay consistent; the client is NOT acknowledged.
+		return err
+	}
+	if err := fail.Check("wal/apply/after"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncLocked fsyncs the active segment, honoring the wal/fsync
+// failpoint.
+func (m *Manager) syncLocked() error {
+	if err := fail.Check("wal/fsync"); err != nil {
+		return err
+	}
+	if err := m.seg.Sync(); err != nil {
+		return err
+	}
+	m.fsyncs++
+	m.dirty = false
+	return nil
+}
+
+// tick is the FsyncInterval group-commit loop.
+func (m *Manager) tick() {
+	defer close(m.tickDone)
+	t := time.NewTicker(m.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopTick:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			if m.dirty && m.failed == nil && !m.closed {
+				if err := m.syncLocked(); err != nil {
+					m.failed = err
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Snapshot writes a new generation covering everything appended so
+// far, then reclaims fully-covered segments and prunes generations
+// beyond Options.Generations. It holds the ingest lock for the
+// duration, so the generation is an exact sequence-consistent cut.
+func (m *Manager) Snapshot() (SnapshotInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.recovered {
+		return SnapshotInfo{}, ErrNotRecovered
+	}
+	if m.failed != nil {
+		return SnapshotInfo{}, fmt.Errorf("%w: %v", ErrFailed, m.failed)
+	}
+	seq := m.nextSeq - 1
+	info, err := m.writeGenerationLocked(seq)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	m.snapSeq = seq
+	m.snapshots++
+	m.pruneGenerationsLocked()
+	m.reclaimLocked(seq)
+	return info, nil
+}
+
+func (m *Manager) writeGenerationLocked(seq uint64) (SnapshotInfo, error) {
+	if err := fail.Check("snap/before"); err != nil {
+		return SnapshotInfo{}, err
+	}
+	final := filepath.Join(m.dir, snapName(seq))
+	tmp := final + tmpExt
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	cw := &crcWriter{w: f}
+	if err := m.app.Snapshot(cw); err != nil {
+		cleanup()
+		return SnapshotInfo{}, err
+	}
+	foot := footer(seq, cw.n, cw.crc)
+	if torn, ferr := fail.Triggered("snap/footer/torn"); ferr != nil {
+		cleanup()
+		return SnapshotInfo{}, ferr
+	} else if torn {
+		// A torn generation is a FINAL-named file with a broken footer:
+		// write the partial footer, rename into place, crash. Boot must
+		// reject it and fall back to generation N-1.
+		f.Write(foot[:len(foot)/2])
+		f.Sync()
+		f.Close()
+		os.Rename(tmp, final)
+		fail.Crash("snap/footer/torn")
+	}
+	if _, err := f.Write(foot); err != nil {
+		cleanup()
+		return SnapshotInfo{}, err
+	}
+	if err := fail.Check("snap/sync"); err != nil {
+		cleanup()
+		return SnapshotInfo{}, err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return SnapshotInfo{}, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return SnapshotInfo{}, err
+	}
+	if err := fail.Check("snap/rename/before"); err != nil {
+		os.Remove(tmp)
+		return SnapshotInfo{}, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return SnapshotInfo{}, err
+	}
+	if err := syncDir(m.dir); err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Seq: seq, Path: final, Bytes: int64(cw.n) + footLen}, nil
+}
+
+// pruneGenerationsLocked deletes generations beyond the retention
+// count, oldest first.
+func (m *Manager) pruneGenerationsLocked() {
+	gens, err := listGenerations(m.dir)
+	if err != nil {
+		return
+	}
+	for i := m.opts.Generations; i < len(gens); i++ {
+		os.Remove(gens[i].path)
+	}
+}
+
+// reclaimLocked deletes sealed segments every record of which is
+// covered by the durable snapshot at seq. The active segment and any
+// segment with newer records survive.
+func (m *Manager) reclaimLocked(seq uint64) {
+	for len(m.segs) > 1 {
+		// Sealed segment i ends where segment i+1 begins.
+		end := m.segs[1].base - 1
+		if end > seq {
+			return
+		}
+		if err := os.Remove(m.segs[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return
+		}
+		m.reclaimed++
+		m.segs = m.segs[1:]
+	}
+}
+
+// SnapshotTo streams a plain store snapshot (no footer) to w under the
+// ingest lock, giving callers a sequence-consistent byte-exact view —
+// the crash harness compares these bytes against a reference store.
+func (m *Manager) SnapshotTo(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.recovered {
+		return ErrNotRecovered
+	}
+	return m.app.Snapshot(w)
+}
+
+// Stats returns the durability counters for /v1/stats.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Fsync:           m.opts.Fsync.String(),
+		LastSeq:         m.nextSeq - 1,
+		AppendedRecords: m.appended,
+		AppendedBytes:   m.appendedB,
+		Fsyncs:          m.fsyncs,
+		Segments:        len(m.segs),
+		SnapshotSeq:     m.snapSeq,
+		Snapshots:       m.snapshots,
+		Reclaimed:       m.reclaimed,
+		Recovery:        m.recStats,
+	}
+	for _, sm := range m.segs {
+		if st, err := os.Stat(sm.path); err == nil {
+			s.SegmentBytes += st.Size()
+		}
+	}
+	if m.failed != nil {
+		s.Failed = m.failed.Error()
+	}
+	return s
+}
+
+// Close stops the fsync ticker and syncs and closes the active
+// segment. The manager is unusable afterwards.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	stop := m.stopTick
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-m.tickDone
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seg == nil {
+		return nil
+	}
+	var err error
+	if m.failed == nil && m.opts.Fsync != FsyncNone {
+		if serr := m.seg.Sync(); serr != nil {
+			err = serr
+		} else {
+			m.fsyncs++
+		}
+	}
+	if cerr := m.seg.Close(); err == nil {
+		err = cerr
+	}
+	m.seg = nil
+	return err
+}
+
+// ReadAll decodes every intact record in dir's segments in order — a
+// verification helper for harnesses and tools, not a serving path. It
+// stops reading a segment at the first invalid byte (mirroring
+// recovery's quarantine/truncate boundary) and never mutates files.
+func ReadAll(dir string) ([]Record, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segMeta
+	for _, e := range ents {
+		if base, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, segMeta{base: base, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	var recs []Record
+	for _, sm := range segs {
+		data, err := os.ReadFile(sm.path)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) < segHeadLen || binary.LittleEndian.Uint32(data) != segMagic ||
+			data[4] != segVersion || binary.LittleEndian.Uint64(data[5:]) != sm.base {
+			continue
+		}
+		off := segHeadLen
+		expect := sm.base
+		for off < len(data) {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil || rec.Seq != expect {
+				break
+			}
+			recs = append(recs, rec)
+			expect++
+			off += n
+		}
+	}
+	return recs, nil
+}

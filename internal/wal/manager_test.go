@@ -1,0 +1,481 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/fail"
+	"ats/internal/store"
+	"ats/internal/wire"
+)
+
+func encodeTestFrame(t *testing.T, ns, metric string, kind store.Kind, items []engine.Item) []byte {
+	t.Helper()
+	frame, err := wire.AppendFrame(nil, wire.Frame{Namespace: ns, Metric: metric, Kind: byte(kind), Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+var testEpoch = time.Unix(1_700_000_000, 0)
+
+func testStore() *store.Store {
+	return store.New(store.Config{
+		K:           64,
+		Seed:        7,
+		BucketWidth: time.Minute,
+		Retention:   8,
+		GroupM:      8,
+		StratumK:    16,
+		Now:         func() time.Time { return testEpoch },
+	})
+}
+
+// testBatch derives a deterministic batch from i, cycling through the
+// sketch kinds so replay exercises every time-sensitive path.
+func testBatch(i int) (ns, metric string, kind store.Kind, items []engine.Item, at time.Time) {
+	kinds := store.Kinds()
+	kind = kinds[i%len(kinds)]
+	ns = fmt.Sprintf("ns%d", i%3)
+	metric = fmt.Sprintf("m-%s", kind)
+	rng := rand.New(rand.NewSource(int64(i) + 1))
+	items = make([]engine.Item, 1+i%5)
+	for j := range items {
+		items[j] = engine.Item{
+			Key:    rng.Uint64(),
+			Weight: 1 + rng.Float64()*10,
+			Value:  rng.Float64() * 100,
+			Group:  rng.Uint64() % 8,
+			Strata: []uint32{uint32(j % 4), uint32(i % 4)},
+		}
+	}
+	at = testEpoch.Add(time.Duration(i) * 7 * time.Second)
+	return ns, metric, kind, items, at
+}
+
+func ingestN(t *testing.T, m *Manager, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		ns, metric, kind, items, at := testBatch(i)
+		if err := m.Ingest(ns, metric, kind, items, at); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+}
+
+// referenceStore builds the state batches [0, n) should produce by
+// feeding the store directly, bypassing the log.
+func referenceStore(t *testing.T, n int) *store.Store {
+	t.Helper()
+	ref := testStore()
+	for i := 0; i < n; i++ {
+		ns, metric, kind, items, at := testBatch(i)
+		if err := ref.AddBatchKindAt(ns, metric, kind, items, at); err != nil {
+			t.Fatalf("reference ingest %d: %v", i, err)
+		}
+	}
+	return ref
+}
+
+func snapshotBytes(t *testing.T, st *store.Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openRecovered(t *testing.T, dir string, st *store.Store, opts Options) (*Manager, RecoveryStats) {
+	t.Helper()
+	m, err := Open(dir, st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, rs
+}
+
+func TestIngestRecoverRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 40
+
+	st := testStore()
+	m, rs := openRecovered(t, dir, st, Options{Fsync: FsyncNone})
+	if rs.RecordsApplied != 0 || rs.SnapshotSeq != 0 {
+		t.Fatalf("fresh dir recovery: %+v", rs)
+	}
+	ingestN(t, m, 0, n)
+	want := snapshotBytes(t, st)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-style reopen: nothing but the log to go on.
+	st2 := testStore()
+	_, rs2 := openRecovered(t, dir, st2, Options{Fsync: FsyncNone})
+	if rs2.RecordsApplied != n {
+		t.Fatalf("replayed %d records, want %d (%+v)", rs2.RecordsApplied, n, rs2)
+	}
+	if got := snapshotBytes(t, st2); !bytes.Equal(got, want) {
+		t.Fatalf("replayed store diverges: %d vs %d snapshot bytes", len(got), len(want))
+	}
+	// And against a store that never saw the log at all.
+	if got := snapshotBytes(t, referenceStore(t, n)); !bytes.Equal(got, want) {
+		t.Fatalf("reference store diverges from logged store")
+	}
+}
+
+func TestRecoverAfterSnapshotSkipsCovered(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncNone})
+	ingestN(t, m, 0, 10)
+	if _, err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, m, 10, 25)
+	want := snapshotBytes(t, st)
+	m.Close()
+
+	st2 := testStore()
+	m2, rs := openRecovered(t, dir, st2, Options{Fsync: FsyncNone})
+	if rs.SnapshotSeq != 10 {
+		t.Fatalf("restored snapshot seq %d, want 10", rs.SnapshotSeq)
+	}
+	if rs.RecordsApplied != 15 {
+		t.Fatalf("applied %d, want 15 (%+v)", rs.RecordsApplied, rs)
+	}
+	if got := snapshotBytes(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("snapshot+replay diverges from pre-crash state")
+	}
+	// Sequencing continues where it left off.
+	ns, metric, kind, items, at := testBatch(25)
+	if err := m2.Ingest(ns, metric, kind, items, at); err != nil {
+		t.Fatal(err)
+	}
+	if s := m2.Stats(); s.LastSeq != 26 {
+		t.Fatalf("last seq %d after continuing, want 26", s.LastSeq)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncNone})
+	ingestN(t, m, 0, 12)
+	want := snapshotBytes(t, st)
+	m.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v err %v", segs, err)
+	}
+	// A torn append: half of a plausible record's bytes.
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := AppendRecord(nil, 13, testEpoch.UnixNano(), bytes.Repeat([]byte{0xAB}, 40))
+	if _, err := f.Write(torn[:len(torn)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2 := testStore()
+	m2, rs := openRecovered(t, dir, st2, Options{Fsync: FsyncNone})
+	if rs.RecordsApplied != 12 {
+		t.Fatalf("applied %d, want 12", rs.RecordsApplied)
+	}
+	if rs.TornBytesTruncated != int64(len(torn)/2) {
+		t.Fatalf("truncated %d bytes, want %d", rs.TornBytesTruncated, len(torn)/2)
+	}
+	if got := snapshotBytes(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("state after torn-tail recovery diverges")
+	}
+	// The tail is gone from disk too: a third boot sees a clean log.
+	ingestN(t, m2, 12, 13)
+	m2.Close()
+	st3 := testStore()
+	_, rs3 := openRecovered(t, dir, st3, Options{Fsync: FsyncNone})
+	if rs3.TornBytesTruncated != 0 || rs3.RecordsApplied != 13 {
+		t.Fatalf("third boot: %+v", rs3)
+	}
+}
+
+func TestMidLogCorruptionQuarantinesSegmentRemainder(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	// Tiny segments force several files.
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncNone, SegmentBytes: 2 << 10})
+	ingestN(t, m, 0, 60)
+	m.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d", len(segs))
+	}
+	// Flip a byte early in the FIRST segment's record area: everything
+	// after it in that file is quarantined, later segments still boot.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeadLen+20] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := testStore()
+	m2, rs := openRecovered(t, dir, st2, Options{Fsync: FsyncNone, SegmentBytes: 2 << 10})
+	if rs.QuarantineEvents != 1 || rs.QuarantinedBytes == 0 {
+		t.Fatalf("quarantine not reported: %+v", rs)
+	}
+	if rs.RecordsApplied == 0 || rs.RecordsApplied >= 60 {
+		t.Fatalf("applied %d records, want a strict subset of 60", rs.RecordsApplied)
+	}
+	if rs.TornBytesTruncated != 0 {
+		t.Fatalf("mid-log damage must quarantine, not truncate: %+v", rs)
+	}
+	// The damaged file is untouched on disk.
+	after, _ := os.ReadFile(segs[0])
+	if !bytes.Equal(after, data) {
+		t.Fatal("quarantine mutated the damaged segment")
+	}
+	// And the manager still serves writes.
+	ingestN(t, m2, 60, 61)
+}
+
+func TestRotationAndReclaim(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncNone, SegmentBytes: 2 << 10})
+	ingestN(t, m, 0, 80)
+	pre := m.Stats()
+	if pre.Segments < 3 {
+		t.Fatalf("want rotation into >=3 segments, got %d", pre.Segments)
+	}
+	recs, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 80 {
+		t.Fatalf("ReadAll saw %d records, want 80", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+
+	info, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 80 {
+		t.Fatalf("snapshot covers seq %d, want 80", info.Seq)
+	}
+	post := m.Stats()
+	if post.Reclaimed == 0 || post.Segments != 1 {
+		t.Fatalf("reclaim left %d segments (%d reclaimed)", post.Segments, post.Reclaimed)
+	}
+	if post.SnapshotSeq != 80 {
+		t.Fatalf("snapshot seq %d", post.SnapshotSeq)
+	}
+	// Reopen from snapshot + surviving tail only.
+	want := snapshotBytes(t, st)
+	m.Close()
+	st2 := testStore()
+	_, rs := openRecovered(t, dir, st2, Options{Fsync: FsyncNone, SegmentBytes: 2 << 10})
+	if rs.SnapshotSeq != 80 {
+		t.Fatalf("recovered snapshot seq %d", rs.SnapshotSeq)
+	}
+	if got := snapshotBytes(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("post-reclaim recovery diverges")
+	}
+}
+
+func TestGenerationFallback(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncNone})
+	ingestN(t, m, 0, 10)
+	if _, err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, m, 10, 20)
+	info, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, m, 20, 24)
+	want := snapshotBytes(t, st)
+	m.Close()
+
+	// Corrupt the NEWEST generation mid-payload.
+	data, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(info.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := testStore()
+	_, rs := openRecovered(t, dir, st2, Options{Fsync: FsyncNone})
+	if rs.SnapshotsRejected != 1 {
+		t.Fatalf("rejected %d generations, want 1 (%+v)", rs.SnapshotsRejected, rs)
+	}
+	if rs.SnapshotSeq != 10 {
+		t.Fatalf("fell back to seq %d, want generation N-1 at 10", rs.SnapshotSeq)
+	}
+	// WAL replay past seq 10 still rebuilds the full state: the reclaim
+	// pass keeps segments until a DURABLE snapshot covers them, and the
+	// corrupted generation's reclaim only removed segments covered by
+	// it... so records 11..24 must still be present.
+	if got := snapshotBytes(t, st2); !bytes.Equal(got, want) {
+		t.Fatal("generation fallback + replay diverges from pre-crash state")
+	}
+}
+
+func TestRecordByteFlipAlwaysDetected(t *testing.T) {
+	ns, metric, kind, items, at := testBatch(3)
+	frame := encodeTestFrame(t, ns, metric, kind, items)
+	rec := AppendRecord(nil, 42, at.UnixNano(), frame)
+	if _, n, err := DecodeRecord(rec); err != nil || n != len(rec) {
+		t.Fatalf("pristine record: n=%d err=%v", n, err)
+	}
+	for i := range rec {
+		mut := append([]byte(nil), rec...)
+		mut[i] ^= 0x01
+		r, n, err := DecodeRecord(mut)
+		if err == nil && n == len(mut) && bytesEqualRecord(r, 42, at.UnixNano(), frame) {
+			t.Fatalf("flip at byte %d went unnoticed", i)
+		}
+	}
+}
+
+func bytesEqualRecord(r Record, seq uint64, at int64, frame []byte) bool {
+	if r.Seq != seq || r.At != at {
+		return false
+	}
+	enc, err := EncodeRecord(nil, r)
+	if err != nil {
+		return false
+	}
+	ref := AppendRecord(nil, seq, at, frame)
+	return bytes.Equal(enc, ref)
+}
+
+func TestFsyncErrorFailStops(t *testing.T) {
+	fail.Reset()
+	t.Cleanup(fail.Reset)
+	if err := fail.Arm("wal/fsync=error@2"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := testStore()
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncAlways})
+	ingestN(t, m, 0, 1)
+	ns, metric, kind, items, at := testBatch(1)
+	if err := m.Ingest(ns, metric, kind, items, at); !errors.Is(err, ErrFailed) {
+		t.Fatalf("fsync failure surfaced as %v, want ErrFailed", err)
+	}
+	// Fail-stop: everything after is rejected without touching disk.
+	if err := m.Ingest(ns, metric, kind, items, at); !errors.Is(err, ErrFailed) {
+		t.Fatalf("post-failure ingest returned %v, want ErrFailed", err)
+	}
+	if s := m.Stats(); s.Failed == "" {
+		t.Fatal("failed state missing from stats")
+	}
+	if _, err := m.Snapshot(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("snapshot on failed log returned %v", err)
+	}
+}
+
+func TestInjectedAppendErrorIsNotAcknowledged(t *testing.T) {
+	fail.Reset()
+	t.Cleanup(fail.Reset)
+	if err := fail.Arm("wal/append/before=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := testStore()
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncNone})
+	ns, metric, kind, items, at := testBatch(0)
+	if err := m.Ingest(ns, metric, kind, items, at); !errors.Is(err, fail.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	// Injected faults are transient, not fail-stop.
+	ingestN(t, m, 0, 3)
+	if s := m.Stats(); s.LastSeq != 3 || s.Failed != "" {
+		t.Fatalf("stats after transient fault: %+v", s)
+	}
+}
+
+func TestTmpFilesCleanedAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, snapName(99)+tmpExt)
+	if err := os.WriteFile(stray, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := testStore()
+	_, rs := openRecovered(t, dir, st, Options{Fsync: FsyncNone})
+	if rs.TmpFilesRemoved != 1 {
+		t.Fatalf("cleaned %d tmp files, want 1", rs.TmpFilesRemoved)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stray tmp file survived boot: %v", err)
+	}
+}
+
+func TestGenerationPruneKeepsTwo(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore()
+	m, _ := openRecovered(t, dir, st, Options{Fsync: FsyncNone})
+	for i := 0; i < 4; i++ {
+		ingestN(t, m, i*5, (i+1)*5)
+		if _, err := m.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := filepath.Glob(filepath.Join(dir, "snap-*.ats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("retained %d generations %v, want 2", len(gens), gens)
+	}
+	for _, g := range gens {
+		base := filepath.Base(g)
+		if !strings.Contains(base, fmt.Sprintf("%016x", 20)) && !strings.Contains(base, fmt.Sprintf("%016x", 15)) {
+			t.Fatalf("unexpected surviving generation %s", base)
+		}
+	}
+}
+
+func TestParseFsyncPolicyRoundtrip(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("roundtrip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("accepted bogus policy")
+	}
+}

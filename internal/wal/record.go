@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"ats/internal/store"
+	"ats/internal/wire"
+)
+
+// castagnoli is the CRC32C polynomial table shared by records and
+// snapshot footers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one decoded WAL record: an accepted ingest batch with its
+// assigned sequence and ingest instant.
+type Record struct {
+	// Seq is the append sequence, strictly increasing across the log.
+	Seq uint64
+	// At is the store-clock ingest instant in unix nanoseconds; replay
+	// feeds it back through AddBatchKindAt so bucket placement and
+	// time-axis stamping reproduce exactly.
+	At int64
+	// Frame is the batch payload. Frame.Kind is always a resolved store
+	// kind wire value, never wire.KindDefault.
+	Frame wire.Frame
+}
+
+const (
+	// recHeadLen is the fixed prefix: length + seq + at.
+	recHeadLen = 4 + 8 + 8
+	// recCRCLen trails every record.
+	recCRCLen = 4
+	// minFrameLen is the smallest canonical wire frame (8-byte header,
+	// 1-byte namespace, 1-byte metric, 1-byte zero count).
+	minFrameLen = 11
+	// MaxRecordBytes bounds one record on disk — a decode-bomb guard
+	// mirroring the serving layer's request body cap.
+	MaxRecordBytes = 64 << 20
+)
+
+// ErrRecordCorrupt reports a malformed, truncated or checksum-failing
+// WAL record.
+var ErrRecordCorrupt = errors.New("wal: corrupt record")
+
+// AppendRecord appends the canonical encoding of (seq, at, frame) to
+// dst, where frame is an already-encoded canonical wire batch frame.
+func AppendRecord(dst []byte, seq uint64, at int64, frame []byte) []byte {
+	body := 8 + 8 + len(frame)
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(at))
+	dst = append(dst, frame...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// EncodeRecord is AppendRecord from a Record, re-encoding the frame;
+// it is the inverse the fuzz target holds DecodeRecord to.
+func EncodeRecord(dst []byte, r Record) ([]byte, error) {
+	frame, err := wire.AppendFrame(nil, r.Frame)
+	if err != nil {
+		return nil, err
+	}
+	return AppendRecord(dst, r.Seq, r.At, frame), nil
+}
+
+// DecodeRecord decodes the record at the front of data, returning the
+// bytes consumed. Every failure mode — truncation, a checksum
+// mismatch, a non-canonical or trailing-garbage frame, an unresolved
+// or unknown kind byte — is ErrRecordCorrupt-wrapped; data[n:] is
+// untouched so callers iterate a segment by re-slicing.
+func DecodeRecord(data []byte) (r Record, n int, err error) {
+	if len(data) < recHeadLen {
+		return r, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrRecordCorrupt, len(data))
+	}
+	body := int(binary.LittleEndian.Uint32(data))
+	if body < 8+8+minFrameLen {
+		return r, 0, fmt.Errorf("%w: body length %d below minimum", ErrRecordCorrupt, body)
+	}
+	if body > MaxRecordBytes {
+		return r, 0, fmt.Errorf("%w: body length %d exceeds %d", ErrRecordCorrupt, body, MaxRecordBytes)
+	}
+	total := 4 + body + recCRCLen
+	if len(data) < total {
+		return r, 0, fmt.Errorf("%w: %d bytes framed, %d present", ErrRecordCorrupt, total, len(data))
+	}
+	want := binary.LittleEndian.Uint32(data[4+body:])
+	if got := crc32.Checksum(data[:4+body], castagnoli); got != want {
+		return r, 0, fmt.Errorf("%w: checksum %08x, want %08x", ErrRecordCorrupt, got, want)
+	}
+	r.Seq = binary.LittleEndian.Uint64(data[4:])
+	r.At = int64(binary.LittleEndian.Uint64(data[12:]))
+	frame, rest, err := wire.DecodeFrame(data[recHeadLen : 4+body])
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("%w: frame: %v", ErrRecordCorrupt, err)
+	}
+	if len(rest) != 0 {
+		return Record{}, 0, fmt.Errorf("%w: %d trailing bytes after frame", ErrRecordCorrupt, len(rest))
+	}
+	if frame.Kind == wire.KindDefault || !store.Kind(frame.Kind).Valid() {
+		return Record{}, 0, fmt.Errorf("%w: unresolved or unknown kind byte %#x", ErrRecordCorrupt, frame.Kind)
+	}
+	r.Frame = frame
+	return r, total, nil
+}

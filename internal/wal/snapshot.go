@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot generation file layout: the store's own snapshot stream
+// followed by the footer documented in the package comment. The file
+// is named snap-%016x.ats by the last WAL sequence it covers and only
+// ever appears under its final name complete and fsynced (temp file +
+// fsync + rename + directory fsync).
+
+const (
+	footMagic = 0x46535441 // "ATSF"
+	footLen   = 4 + 8 + 8 + 4
+	snapPre   = "snap-"
+	snapExt   = ".ats"
+	tmpExt    = ".tmp"
+)
+
+// ErrSnapshotInvalid reports a generation file that fails footer or
+// checksum verification — a half-written or bit-rotted snapshot.
+var ErrSnapshotInvalid = errors.New("wal: invalid snapshot generation")
+
+// generation is one on-disk snapshot generation.
+type generation struct {
+	seq  uint64
+	path string
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("%s%016x%s", snapPre, seq, snapExt) }
+
+// parseGenName extracts the covered sequence from a generation file
+// name, reporting ok=false for anything else.
+func parseGenName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPre) || !strings.HasSuffix(name, snapExt) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPre), snapExt)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listGenerations returns the snapshot generations in dir, newest
+// (highest covered sequence) first.
+func listGenerations(dir string) ([]generation, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []generation
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseGenName(e.Name()); ok {
+			gens = append(gens, generation{seq: seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].seq > gens[j].seq })
+	return gens, nil
+}
+
+// crcWriter tees writes into a running CRC32C and a byte count.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   uint64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += uint64(n)
+	return n, err
+}
+
+// footer builds the 24 footer bytes for a payload summary, computing
+// the final CRC over payload CRC state continued across the footer's
+// own leading fields.
+func footer(seq, payloadLen uint64, payloadCRC uint32) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, footMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, payloadLen)
+	crc := crc32.Update(payloadCRC, castagnoli, buf)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// verifyGeneration streams path, checking the footer frame and the
+// CRC32C over the whole payload. It returns the covered sequence and
+// payload length on success and an ErrSnapshotInvalid-wrapped error on
+// any mismatch.
+func verifyGeneration(path string) (seq, payloadLen uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if size < footLen {
+		return 0, 0, fmt.Errorf("%w: %s is %d bytes, shorter than the footer", ErrSnapshotInvalid, path, size)
+	}
+	var foot [footLen]byte
+	if _, err := f.ReadAt(foot[:], size-footLen); err != nil {
+		return 0, 0, err
+	}
+	if binary.LittleEndian.Uint32(foot[:]) != footMagic {
+		return 0, 0, fmt.Errorf("%w: %s: bad footer magic", ErrSnapshotInvalid, path)
+	}
+	seq = binary.LittleEndian.Uint64(foot[4:])
+	payloadLen = binary.LittleEndian.Uint64(foot[12:])
+	if payloadLen != uint64(size-footLen) {
+		return 0, 0, fmt.Errorf("%w: %s: footer claims %d payload bytes, file has %d",
+			ErrSnapshotInvalid, path, payloadLen, size-footLen)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	crc := uint32(0)
+	buf := make([]byte, 256<<10)
+	remaining := payloadLen
+	for remaining > 0 {
+		n := uint64(len(buf))
+		if n > remaining {
+			n = remaining
+		}
+		m, err := io.ReadFull(f, buf[:n])
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: %s: payload read: %v", ErrSnapshotInvalid, path, err)
+		}
+		crc = crc32.Update(crc, castagnoli, buf[:m])
+		remaining -= uint64(m)
+	}
+	crc = crc32.Update(crc, castagnoli, foot[:footLen-4])
+	if want := binary.LittleEndian.Uint32(foot[footLen-4:]); crc != want {
+		return 0, 0, fmt.Errorf("%w: %s: checksum %08x, want %08x", ErrSnapshotInvalid, path, crc, want)
+	}
+	return seq, payloadLen, nil
+}
+
+// restoreGeneration verifies path and, if sound, feeds its payload to
+// restore (the store's Restore).
+func restoreGeneration(path string, restore func(io.Reader) error) (seq uint64, err error) {
+	seq, payloadLen, err := verifyGeneration(path)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := restore(io.LimitReader(f, int64(payloadLen))); err != nil {
+		return 0, fmt.Errorf("wal: restoring %s: %w", path, err)
+	}
+	return seq, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives power loss. Errors are returned; SIGKILL-style crashes do
+// not need it, real crashes do.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
