@@ -24,6 +24,7 @@ func runCompare(args []string) {
 	newPath := fs.String("new", "", "fresh report to gate (required)")
 	dir := fs.String("dir", ".", "directory searched for the default baseline")
 	maxRegress := fs.Float64("max-regress", 0.20, "max allowed ns/op slowdown fraction on hot paths")
+	maxOverhead := fs.Float64("max-overhead", 0.05, "max allowed instrumentation overhead on paired observed rows in the fresh report")
 	paths := fs.String("paths", "", "comma-separated hot-path name prefixes (default: built-in list)")
 	_ = fs.Parse(args)
 
@@ -74,8 +75,32 @@ func runCompare(args []string) {
 		}
 		fmt.Printf("%-34s %12.2f %12.2f %+8.1f%%%s\n", d.Name, d.OldNs, d.NewNs, d.Change*100, mark)
 	}
+	// The overhead gate is intra-report: it pairs each instrumented
+	// benchmark row with its uninstrumented twin inside the fresh report,
+	// so machine speed cancels out and the diff is pure instrumentation
+	// cost.
+	pairs, over := bench.Overhead(fresh, bench.OverheadPairs, *maxOverhead)
+	if len(pairs) > 0 {
+		fmt.Printf("\n%-44s %12s %12s %9s\n", "instrumentation overhead", "base ns/op", "obs ns/op", "change")
+		for _, d := range pairs {
+			mark := ""
+			if d.Change > *maxOverhead {
+				mark = "  << OVER BUDGET"
+			}
+			fmt.Printf("%-44s %12.2f %12.2f %+8.1f%%%s\n", d.Name, d.OldNs, d.NewNs, d.Change*100, mark)
+		}
+	}
+
+	failed := false
 	if len(regressions) > 0 {
 		fmt.Printf("\n%d hot path(s) regressed beyond %.0f%%\n", len(regressions), *maxRegress*100)
+		failed = true
+	}
+	if len(over) > 0 {
+		fmt.Printf("\n%d instrumented row(s) above the %.0f%% overhead budget\n", len(over), *maxOverhead*100)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Printf("\nall %d hot paths within the %.0f%% gate\n", len(all), *maxRegress*100)

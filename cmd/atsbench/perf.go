@@ -26,6 +26,7 @@ import (
 	"ats/internal/distinct"
 	"ats/internal/engine"
 	"ats/internal/estimator"
+	"ats/internal/obs"
 	"ats/internal/store"
 	"ats/internal/stream"
 	"ats/internal/topk"
@@ -35,7 +36,7 @@ import (
 )
 
 // perfPR is the sequence number stamped into the default output name.
-const perfPR = 5
+const perfPR = 8
 
 type perfCase struct {
 	sketch, op, shape string
@@ -216,37 +217,22 @@ func perfCases() []perfCase {
 			// The serving subsystem's hot path: keyed ingest fanned out
 			// across 1000 namespaces with the synthetic clock driving
 			// bucket rotation (one rotation per key per bucket width).
-			items := perfItems()
-			st := store.New(store.Config{
-				Kind: store.BottomK, K: 128, Seed: 42,
-				BucketWidth: time.Second, Retention: 8,
-			})
-			namespaces := make([]string, 1000)
-			for i := range namespaces {
-				namespaces[i] = fmt.Sprintf("tenant-%03d", i)
-			}
-			epoch := time.Unix(1_700_000_000, 0)
-			const batch = 128
+			benchStoreNamespaces(b, newNamespacesStore())
+		}},
+		{"store", "addbatch", "1k-namespaces-observed", itemBytes, true, func(b *testing.B) {
+			// The same workload with the metrics registry attached: the
+			// pair bounds the ingest-path cost of instrumentation, gated
+			// by `atsbench compare -max-overhead`.
+			st := newNamespacesStore()
+			st.Instrument(obs.NewRegistry(), nil, 0)
+			benchStoreNamespaces(b, st)
+		}},
+		{"obs", "observe", "histogram", 0, true, func(b *testing.B) {
+			h := obs.NewRegistry().Histogram("bench_observe_seconds", "bench fixture")
 			b.ResetTimer()
 			b.ReportAllocs()
-			batches := 0
-			for done := 0; done < b.N; {
-				m := batch
-				if m > b.N-done {
-					m = b.N - done
-				}
-				lo := done & (len(items) - 1)
-				hi := lo + m
-				if hi > len(items) {
-					hi = len(items)
-					m = hi - lo
-				}
-				// ~8 batches per namespace per bucket: the clock advances
-				// one bucket width every 8000 batches.
-				at := epoch.Add(time.Duration(batches/8000) * time.Second)
-				st.AddBatchAt(namespaces[batches%len(namespaces)], "bytes", items[lo:hi], at)
-				batches++
-				done += m
+			for i := 0; i < b.N; i++ {
+				h.ObserveValue(int64(i)&0xffff + 1)
 			}
 		}},
 		{"store", "query", "8-buckets", 0, true, func(b *testing.B) {
@@ -429,6 +415,46 @@ var (
 
 var epochBench = time.Unix(1_700_000_000, 0)
 
+// newNamespacesStore builds the 1k-namespaces ingest fixture's store.
+func newNamespacesStore() *store.Store {
+	return store.New(store.Config{
+		Kind: store.BottomK, K: 128, Seed: 42,
+		BucketWidth: time.Second, Retention: 8,
+	})
+}
+
+// benchStoreNamespaces drives keyed ingest fanned out across 1000
+// namespaces with the synthetic clock advancing one bucket width every
+// 8000 batches (~8 batches per namespace per bucket).
+func benchStoreNamespaces(b *testing.B, st *store.Store) {
+	items := perfItems()
+	namespaces := make([]string, 1000)
+	for i := range namespaces {
+		namespaces[i] = fmt.Sprintf("tenant-%03d", i)
+	}
+	epoch := time.Unix(1_700_000_000, 0)
+	const batch = 128
+	b.ResetTimer()
+	b.ReportAllocs()
+	batches := 0
+	for done := 0; done < b.N; {
+		m := batch
+		if m > b.N-done {
+			m = b.N - done
+		}
+		lo := done & (len(items) - 1)
+		hi := lo + m
+		if hi > len(items) {
+			hi = len(items)
+			m = hi - lo
+		}
+		at := epoch.Add(time.Duration(batches/8000) * time.Second)
+		st.AddBatchAt(namespaces[batches%len(namespaces)], "bytes", items[lo:hi], at)
+		batches++
+		done += m
+	}
+}
+
 // benchStoreKind measures the store's batched ingest hot path for one
 // sketch kind: one rotating key, synthetic clock, 128-item batches.
 func benchStoreKind(b *testing.B, kind store.Kind) {
@@ -528,6 +554,15 @@ func perfZipfKeys() []uint64 {
 	return perfKeysCache
 }
 
+// bestOf damps scheduler noise on the rows the intra-report overhead
+// gate pairs: each side runs three times and keeps its fastest result,
+// so a one-off GC cycle or frequency dip on either side of a pair does
+// not read as instrumentation cost.
+var bestOf = map[string]int{
+	"store/addbatch/1k-namespaces":          3,
+	"store/addbatch/1k-namespaces-observed": 3,
+}
+
 func runPerf(args []string) {
 	fs := flag.NewFlagSet("perf", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "write results as JSON")
@@ -550,8 +585,14 @@ func runPerf(args []string) {
 		if *quick && !c.quick {
 			continue
 		}
-		r := testing.Benchmark(c.bench)
 		name := c.sketch + "/" + c.op + "/" + c.shape
+		r := testing.Benchmark(c.bench)
+		for extra := 1; extra < bestOf[name]; extra++ {
+			r2 := testing.Benchmark(c.bench)
+			if float64(r2.T.Nanoseconds())/float64(r2.N) < float64(r.T.Nanoseconds())/float64(r.N) {
+				r = r2
+			}
+		}
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		res := bench.Result{
 			Name:        name,

@@ -11,6 +11,8 @@
 //	     [-wal-dir dir] [-fsync always|interval|none] [-fsync-interval 100ms]
 //	     [-wal-segment-bytes 67108864] [-shutdown-timeout 10s]
 //	     [-max-inflight-items 4194304] [-max-batch-items 1048576]
+//	     [-log-format text|json] [-log-level info] [-slow-query 250ms]
+//	     [-pprof-addr ""]
 //
 // -kind sets the DEFAULT sketch kind; each key's kind is fixed at first
 // write and ingest may pick any kind per batch with the "kind" field, so
@@ -37,6 +39,19 @@
 // Retry-After, and a single request carrying more than -max-batch-items
 // items is rejected with 413.
 //
+// # Observability
+//
+// The daemon always serves GET /metrics (Prometheus text exposition):
+// per-endpoint request counters and latency histograms, ingest pipeline
+// stage timings (admission → decode → wal_append → fsync → apply),
+// store rotation/query histograms, and WAL counters. Logs are
+// structured (log/slog): -log-format text (default, human-readable
+// key=value lines) or json; -log-level debug additionally logs every
+// request with a request ID. Queries slower than -slow-query emit a
+// structured warning naming the series and merge width. -pprof-addr
+// serves net/http/pprof on a separate listener (off by default; bind it
+// to localhost). docs/OBSERVABILITY.md is the full reference.
+//
 // # Durability
 //
 // With -wal-dir, the daemon runs crash-safe: every accepted ingest
@@ -62,13 +77,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"ats/internal/obs"
 	"ats/internal/server"
 	"ats/internal/store"
 	"ats/internal/wal"
@@ -97,19 +114,33 @@ func main() {
 		shutdownTmo = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown deadline for draining connections")
 		inflight    = flag.Int64("max-inflight-items", 0, "admission-gate budget: items in flight across ingest requests before 429s (0 = default)")
 		maxBatch    = flag.Int("max-batch-items", 0, "per-request item limit before 413s (0 = default)")
+		logFormat   = flag.String("log-format", "text", "log output format: text (key=value) or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error (debug logs every request)")
+		slowQuery   = flag.Duration("slow-query", 250*time.Millisecond, "log queries slower than this (0 disables the slow-query log)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; bind to localhost)")
 	)
 	flag.Parse()
 
+	lg, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		lg.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	kind, err := store.ParseKind(*kindFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	if *walDir != "" && *snapPath != "" {
-		log.Fatal("-wal-dir and -snapshot are mutually exclusive: the WAL directory owns its own snapshot generations")
+		fatal("-wal-dir and -snapshot are mutually exclusive: the WAL directory owns its own snapshot generations")
 	}
 	fsync, err := wal.ParseFsyncPolicy(*fsyncFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	st := store.New(store.Config{
 		Kind:           kind,
@@ -126,27 +157,34 @@ func main() {
 		StratifiedDims: *dims,
 	})
 
+	// One registry spans the whole daemon: the store, the WAL manager
+	// and the HTTP server all record into it, and GET /metrics renders
+	// it in one scrape.
+	reg := obs.NewRegistry()
+	st.Instrument(reg, lg, *slowQuery)
+
 	var mgr *wal.Manager
 	if *walDir != "" {
 		mgr, err = wal.Open(*walDir, st, wal.Options{
 			Fsync:         fsync,
 			FsyncInterval: *fsyncEvery,
 			SegmentBytes:  *segBytes,
+			Obs:           reg,
 		})
 		if err != nil {
-			log.Fatalf("open wal %s: %v", *walDir, err)
+			fatal("open wal", "dir", *walDir, "err", err)
 		}
 	} else if *snapPath != "" {
 		if f, err := os.Open(*snapPath); err == nil {
 			err = st.Restore(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("restore %s: %v", *snapPath, err)
+				fatal("restore snapshot", "path", *snapPath, "err", err)
 			}
 			s := st.Stats()
-			log.Printf("restored %d keys / %d buckets from %s", s.Keys, s.Buckets, *snapPath)
+			lg.Info("restored snapshot", "path", *snapPath, "keys", s.Keys, "buckets", s.Buckets)
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("open snapshot %s: %v", *snapPath, err)
+			fatal("open snapshot", "path", *snapPath, "err", err)
 		}
 	}
 
@@ -155,8 +193,22 @@ func main() {
 		MaxInflightItems: *inflight,
 		MaxBatchItems:    *maxBatch,
 		Durable:          mgr,
+		Obs:              reg,
+		Log:              lg,
 	})
 	httpSrv := server.NewHTTPServer(*addr, srv.Handler())
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serve it on its
+		// own listener so profiling never shares the API's port (or its
+		// exposure).
+		go func() {
+			lg.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				lg.Error("pprof server", "err", err)
+			}
+		}()
+	}
 
 	// Bind before recovery so probes and clients see a live socket that
 	// answers /healthz and a 503 /readyz instead of connection refused;
@@ -166,9 +218,9 @@ func main() {
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
-	log.Printf("atsd listening on %s", ln.Addr())
+	lg.Info("atsd listening", "addr", ln.Addr().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -179,44 +231,47 @@ func main() {
 	if mgr != nil {
 		rs, err := mgr.Recover()
 		if err != nil {
-			log.Fatalf("wal recovery: %v", err)
+			fatal("wal recovery", "err", err)
 		}
-		log.Printf("recovered from %s: snapshot seq %d, %d records replayed, %d skipped (rejected snapshots %d, torn bytes %d, quarantined %d)",
-			*walDir, rs.SnapshotSeq, rs.RecordsApplied, rs.RecordsSkipped,
-			rs.SnapshotsRejected, rs.TornBytesTruncated, rs.QuarantinedBytes)
+		lg.Info("recovered",
+			"dir", *walDir, "snapshot_seq", rs.SnapshotSeq,
+			"records_replayed", rs.RecordsApplied, "records_skipped", rs.RecordsSkipped,
+			"snapshots_rejected", rs.SnapshotsRejected, "torn_bytes", rs.TornBytesTruncated,
+			"quarantined_bytes", rs.QuarantinedBytes)
 		srv.SetReady(true)
 	}
-	log.Printf("atsd serving %s sketches on %s (k=%d, bucket=%v, retention=%d, fsync=%s)",
-		kind, *addr, *k, *bucket, *retention, durMode(mgr, fsync))
+	lg.Info("atsd serving",
+		"kind", kind.String(), "addr", *addr, "k", *k, "bucket", bucket.String(),
+		"retention", *retention, "fsync", durMode(mgr, fsync))
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(err.Error())
 	case <-ctx.Done():
 	}
 
 	// Drain: flip /readyz to 503 and refuse new ingest, let in-flight
 	// requests finish, then cut the final durable state.
-	log.Print("shutting down")
+	lg.Info("shutting down")
 	srv.StartDraining()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTmo)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		lg.Warn("shutdown", "err", err)
 	}
 	if mgr != nil {
 		if info, err := mgr.Snapshot(); err != nil {
-			log.Printf("final snapshot: %v", err)
+			lg.Warn("final snapshot", "err", err)
 		} else {
 			fmt.Printf("snapshot: seq %d, %d bytes -> %s\n", info.Seq, info.Bytes, info.Path)
 		}
 		if err := mgr.Close(); err != nil {
-			log.Printf("wal close: %v", err)
+			lg.Warn("wal close", "err", err)
 		}
 	} else if *snapPath != "" {
 		n, err := srv.SnapshotToPath()
 		if err != nil {
-			log.Fatalf("final snapshot: %v", err)
+			fatal("final snapshot", "err", err)
 		}
 		fmt.Printf("snapshot: %d bytes -> %s\n", n, *snapPath)
 	}

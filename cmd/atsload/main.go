@@ -55,6 +55,7 @@ type config struct {
 	namespace string
 	out       string
 	retries   int
+	checkSrv  bool
 }
 
 func main() {
@@ -72,6 +73,7 @@ func main() {
 	flag.StringVar(&cfg.namespace, "namespace", "load", "ingest namespace")
 	flag.StringVar(&cfg.out, "out", "", "BENCH_<n>.json to merge serving results into (created if absent)")
 	flag.IntVar(&cfg.retries, "retries", 8, "consecutive retries per batch before a worker gives up (transport errors, 429s and 502/503/504s)")
+	flag.BoolVar(&cfg.checkSrv, "check-server-quantiles", true, "cross-check client p99 against the server-side /metrics histograms and fail on disagreement")
 	flag.Parse()
 
 	if cfg.mode != "json" && cfg.mode != "binary" && cfg.mode != "both" {
@@ -108,12 +110,41 @@ func main() {
 	if cfg.mode == "both" {
 		modes = []string{"json", "binary"}
 	}
+	endpoints := map[string]string{"json": "/v1/add", "binary": "/v1/addb"}
 	var servings []bench.Serving
+	checkFailed := false
 	for _, mode := range modes {
+		before, err := scrapeMetrics(client, cfg.addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atsload: scrape before run:", err)
+			os.Exit(1)
+		}
 		s := runMode(client, cfg, mode)
+		after, err := scrapeMetrics(client, cfg.addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atsload: scrape after run:", err)
+			os.Exit(1)
+		}
+		s.Server = serverSide(before, after, endpoints[mode])
 		servings = append(servings, s)
 		fmt.Printf("%-22s %10.0f items/s  %8.1f ns/item  p50 %6.2fms  p99 %6.2fms  p999 %6.2fms  (%d items, %d reqs, %d x 429)\n",
 			s.Name, s.ItemsPerSec, s.NsPerItem, s.P50Ms, s.P99Ms, s.P999Ms, s.Items, s.Requests, s.Rejected429)
+		if s.Server == nil {
+			fmt.Printf("%-22s (daemon exposes no /metrics; server-side view skipped)\n", "")
+			continue
+		}
+		fmt.Printf("%-22s server %s p50 ≤%.2fms p99 ≤%.2fms", "", endpoints[mode],
+			s.Server.EndpointP50Ms, s.Server.EndpointP99Ms)
+		for _, st := range s.Server.Stages {
+			fmt.Printf("  %s %.1fms", st.Stage, st.TotalMs)
+		}
+		fmt.Println()
+		if cfg.checkSrv {
+			if err := checkQuantiles(s); err != nil {
+				fmt.Fprintln(os.Stderr, "atsload: quantile cross-check:", err)
+				checkFailed = true
+			}
+		}
 	}
 	if len(servings) == 2 {
 		speedup := servings[0].NsPerItem / servings[1].NsPerItem
@@ -137,6 +168,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged %d serving result(s) into %s\n", len(servings), cfg.out)
+	}
+	if checkFailed {
+		// The report (with both views) is written above so the
+		// disagreement can be diagnosed; the run still fails.
+		os.Exit(1)
 	}
 }
 

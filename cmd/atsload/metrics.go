@@ -1,0 +1,130 @@
+package main
+
+// Server-side metrics scraping: atsload scrapes the daemon's /metrics
+// before and after each mode's run and diffs the cumulative histogram
+// buckets, giving the server's own view of exactly this run's traffic
+// (concurrent scrapes or earlier modes cannot leak in). The endpoint
+// latency quantiles derived from the delta are cross-checked against
+// the client-observed quantiles: the two measure the same requests
+// from opposite ends of the socket, so they must agree to within the
+// histogram's factor-of-two bucket resolution — a cheap end-to-end
+// proof that the instrumentation measures what it claims.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"ats/internal/bench"
+	"ats/internal/obs"
+)
+
+// scrapeMetrics fetches and parses /metrics. A 404 (a daemon predating
+// the exposition endpoint) returns nil samples and no error, which
+// disables the server-side section for the run.
+func scrapeMetrics(client *http.Client, addr string) ([]obs.Sample, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// histDelta reassembles the named histogram series from both scrapes
+// and subtracts: the returned buckets hold this run's observations
+// only. Histograms absent from the before scrape count as zero.
+func histDelta(before, after []obs.Sample, name string, labels map[string]string) (buckets []obs.BucketCount, count uint64, sumSeconds float64, found bool) {
+	aB, aSum, aCount, ok := obs.HistogramFromSamples(after, name, labels)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	bB, bSum, bCount, _ := obs.HistogramFromSamples(before, name, labels)
+	prior := make(map[float64]uint64, len(bB))
+	for _, b := range bB {
+		prior[b.Le] = b.Cumulative
+	}
+	buckets = make([]obs.BucketCount, len(aB))
+	for i, b := range aB {
+		buckets[i] = obs.BucketCount{Le: b.Le, Cumulative: b.Cumulative - prior[b.Le]}
+	}
+	return buckets, aCount - bCount, aSum - bSum, true
+}
+
+// ingestStages is the pipeline order of the stage breakdown.
+var ingestStages = []string{"admission", "decode", "wal_append", "fsync", "apply"}
+
+// serverSide builds the bench report's server section for one mode:
+// quantiles of the mode's ingest endpoint histogram plus the pipeline
+// stage breakdown, all as before/after deltas. Returns nil when the
+// daemon exposes no /metrics.
+func serverSide(before, after []obs.Sample, endpoint string) *bench.ServerSide {
+	if after == nil {
+		return nil
+	}
+	buckets, count, _, ok := histDelta(before, after, "ats_http_request_seconds",
+		map[string]string{"endpoint": endpoint})
+	if !ok || count == 0 {
+		return nil
+	}
+	out := &bench.ServerSide{
+		EndpointP50Ms: obs.QuantileFromBuckets(buckets, 0.50) * 1e3,
+		EndpointP99Ms: obs.QuantileFromBuckets(buckets, 0.99) * 1e3,
+	}
+	for _, stage := range ingestStages {
+		sb, sc, sSum, ok := histDelta(before, after, "ats_ingest_stage_seconds",
+			map[string]string{"stage": stage})
+		if !ok || sc == 0 {
+			continue
+		}
+		out.Stages = append(out.Stages, bench.ServerStage{
+			Stage:   stage,
+			Count:   sc,
+			P50Ms:   obs.QuantileFromBuckets(sb, 0.50) * 1e3,
+			P99Ms:   obs.QuantileFromBuckets(sb, 0.99) * 1e3,
+			TotalMs: sSum * 1e3,
+		})
+	}
+	return out
+}
+
+// checkQuantiles cross-validates the client-observed p99 against the
+// server-side endpoint histogram. The server histogram has factor-of-
+// two buckets, its p99 is the BUCKET UPPER BOUND, and the client's
+// number additionally includes network and client-side overhead — so
+// the check is a band, not an equality: the client p99 may not sit
+// below half the server bucket's lower bound (the client cannot be
+// faster than the server-side portion of the same requests), nor above
+// four times the bucket's upper bound plus scheduling slack (the
+// server histogram cannot be wildly under-reporting). Runs under 200
+// requests are skipped: there the client "p99" is the literal maximum,
+// and a single request queued in the kernel before the handler starts
+// — time the server middleware cannot see — would fail the band
+// without any histogram defect.
+const checkMinRequests = 200
+
+func checkQuantiles(s bench.Serving) error {
+	if s.Server == nil || s.Requests < checkMinRequests {
+		return nil
+	}
+	serverUpper := s.Server.EndpointP99Ms
+	serverLower := serverUpper / 2
+	client := s.P99Ms
+	if client > serverUpper*4+5 {
+		return fmt.Errorf("%s: client p99 %.2fms far above server-side p99 bucket (≤%.2fms): server histogram under-reports",
+			s.Name, client, serverUpper)
+	}
+	if client*2+1 < serverLower {
+		return fmt.Errorf("%s: client p99 %.2fms below server-side p99 bucket lower bound %.2fms: impossible ordering, histogram broken",
+			s.Name, client, serverLower)
+	}
+	return nil
+}

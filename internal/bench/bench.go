@@ -69,6 +69,34 @@ type Serving struct {
 	// admission-gate rejections the client retried.
 	Requests    int64 `json:"requests"`
 	Rejected429 int64 `json:"rejected_429"`
+	// Server, when the daemon exposes /metrics, is the server's own view
+	// of this run: endpoint latency quantiles from the server-side
+	// histograms (cross-checked against the client-observed quantiles
+	// above) and the ingest pipeline stage breakdown.
+	Server *ServerSide `json:"server,omitempty"`
+}
+
+// ServerSide is the server-reported slice of one load run, scraped
+// from /metrics as a before/after delta so concurrent or prior traffic
+// does not leak in.
+type ServerSide struct {
+	// EndpointP50Ms/P99Ms are quantiles of the mode's ingest endpoint
+	// latency histogram. Histogram buckets are powers of two in
+	// nanoseconds, so these are upper bounds exact to a factor of two.
+	EndpointP50Ms float64 `json:"endpoint_p50_ms"`
+	EndpointP99Ms float64 `json:"endpoint_p99_ms"`
+	// Stages is the ingest pipeline breakdown (admission, decode,
+	// wal_append, fsync, apply) over the run, in pipeline order.
+	Stages []ServerStage `json:"stages,omitempty"`
+}
+
+// ServerStage is one pipeline stage's histogram summary over a run.
+type ServerStage struct {
+	Stage   string  `json:"stage"`
+	Count   uint64  `json:"count"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	TotalMs float64 `json:"total_ms"`
 }
 
 // Report is the checked-in BENCH_<n>.json document.
@@ -162,6 +190,40 @@ var DefaultHotPaths = []string{
 	"store/query/8-buckets",
 	"store-topk/query",
 	"wire/decode",
+}
+
+// OverheadPairs lists (base, instrumented) benchmark name pairs whose
+// ns/op ratio within a single fresh report bounds the cost of
+// observability instrumentation. Both rows run in the same process on
+// the same machine, so the ratio is noise-resistant in a way the
+// cross-report regression gate is not.
+var OverheadPairs = [][2]string{
+	{"store/addbatch/1k-namespaces", "store/addbatch/1k-namespaces-observed"},
+}
+
+// Overhead computes the instrumented-vs-base slowdown for each pair
+// present in the report, sorted worst first, and the subset exceeding
+// maxOverhead. Pairs with a missing row are skipped.
+func Overhead(r Report, pairs [][2]string, maxOverhead float64) (all, violations []Delta) {
+	ns := make(map[string]float64, len(r.Results))
+	for _, res := range r.Results {
+		ns[res.Name] = res.NsPerOp
+	}
+	for _, p := range pairs {
+		base, okBase := ns[p[0]]
+		inst, okInst := ns[p[1]]
+		if !okBase || !okInst || base <= 0 {
+			continue
+		}
+		d := Delta{Name: p[1], OldNs: base, NewNs: inst, Change: (inst - base) / base}
+		all = append(all, d)
+		if d.Change > maxOverhead {
+			violations = append(violations, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Change > all[j].Change })
+	sort.Slice(violations, func(i, j int) bool { return violations[i].Change > violations[j].Change })
+	return all, violations
 }
 
 // Delta is one hot-path comparison between two reports.

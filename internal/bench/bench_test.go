@@ -46,6 +46,33 @@ func TestCompareGatesHotPaths(t *testing.T) {
 	}
 }
 
+func TestOverheadGate(t *testing.T) {
+	fresh := report(
+		Result{Name: "store/addbatch/1k-namespaces", NsPerOp: 100},
+		Result{Name: "store/addbatch/1k-namespaces-observed", NsPerOp: 103},
+	)
+	all, over := Overhead(fresh, OverheadPairs, 0.05)
+	if len(all) != 1 || len(over) != 0 {
+		t.Fatalf("all=%+v over=%+v, want one pair within budget", all, over)
+	}
+	if got := all[0].Change; got < 0.029 || got > 0.031 {
+		t.Fatalf("change = %v, want 0.03", got)
+	}
+
+	// Over budget: the observed row is flagged by its own name.
+	fresh.Results[1].NsPerOp = 110
+	_, over = Overhead(fresh, OverheadPairs, 0.05)
+	if len(over) != 1 || over[0].Name != "store/addbatch/1k-namespaces-observed" {
+		t.Fatalf("over = %+v", over)
+	}
+
+	// A pair missing either row is skipped, not an error.
+	partial := report(Result{Name: "store/addbatch/1k-namespaces", NsPerOp: 100})
+	if all, over := Overhead(partial, OverheadPairs, 0.05); len(all) != 0 || len(over) != 0 {
+		t.Fatalf("partial pair matched: %+v %+v", all, over)
+	}
+}
+
 func TestReportRoundTripAndLatest(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_3.json", "notes.md"} {

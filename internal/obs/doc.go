@@ -1,0 +1,36 @@
+// Package obs is the dependency-free observability layer shared by the
+// serving daemon's subsystems: a metrics registry of atomic counters,
+// gauges and fixed-bucket latency histograms rendered in Prometheus
+// text exposition format, plus a minimal structured logger (log/slog)
+// with per-request IDs.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost. Histogram.Observe is the primitive every ingest
+//     batch and every query pays, so it is lock-free — two atomic adds
+//     and a bit-length — O(ns) with zero allocations (benchmarked and
+//     gated by the perf harness). Counters and gauges are single
+//     atomics.
+//   - No dependencies. The registry renders the Prometheus text format
+//     itself (exposition is just text), so the server imports no
+//     client library.
+//   - Buckets that survive merging. Histogram buckets are fixed powers
+//     of two in nanoseconds (le 2^k ns for k in [0, 39], then +Inf):
+//     every histogram in the process shares the same bucket boundaries,
+//     so scrape-side aggregation across endpoints, stages and future
+//     cluster nodes never has to align differing schemes. The price is
+//     resolution — quantiles are exact only to within a factor of two —
+//     which is the right trade for a gate that must run on the ingest
+//     hot path.
+//
+// The registry is the rendezvous point between subsystems: creating a
+// metric that already exists (same name and labels) returns the
+// existing instance, so the WAL manager and the HTTP server can both
+// write to the ats_ingest_stage_seconds family without knowing about
+// each other.
+//
+// ParseText is the inverse of WritePrometheus for the subset this
+// package emits; cmd/atsload uses it to scrape a live daemon and
+// cross-validate client-observed latency quantiles against the
+// server-side histograms.
+package obs

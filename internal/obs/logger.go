@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+)
+
+// NewLogger builds the daemon's structured logger. format selects the
+// handler: "text" (the default; key=value lines that keep boot output
+// human-readable) or "json" (one JSON object per line for log
+// shippers). level is a slog level name ("debug", "info", "warn",
+// "error"); empty means info.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// reqBase decorrelates request IDs across process restarts so two IDs
+// from different daemon lifetimes never collide in aggregated logs.
+var reqBase = rand.Uint32()
+
+var reqCounter atomic.Uint64
+
+// NextRequestID returns a process-unique request ID: a per-process
+// random prefix plus a sequence number.
+func NextRequestID() string {
+	return fmt.Sprintf("%08x-%06d", reqBase, reqCounter.Add(1))
+}

@@ -1,0 +1,484 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension, rendered as name{key="value"}.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; negative adds corrupt rate queries).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic point-in-time value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of finite histogram buckets: bucket k holds
+// observations in (2^(k-1), 2^k] nanoseconds (or raw units for value
+// histograms), so the finite range tops out at 2^39 ns ≈ 9.2 minutes.
+// Observations beyond it clamp into the last bucket — the +Inf bucket
+// required by the exposition format is rendered with the same
+// cumulative count, and quantile estimates stay finite.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket power-of-two histogram with a lock-free
+// Observe: one bit-length plus two atomic adds, zero allocations. All
+// histograms share the same bucket boundaries so they merge exactly
+// across endpoints, stages and nodes.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64 // nanoseconds (durations) or raw units (values)
+}
+
+// bucketIdx maps a non-negative observation to its bucket: the smallest
+// k with v <= 2^k.
+func bucketIdx(v int64) int {
+	idx := 0
+	if v > 1 {
+		idx = bits.Len64(uint64(v - 1))
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration. Safe for concurrent use; never
+// allocates.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.sum.Add(ns)
+	h.counts[bucketIdx(ns)].Add(1)
+}
+
+// ObserveValue records one raw (unitless) observation, e.g. a merge
+// fan-in width. Negative values clamp to zero.
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.sum.Add(v)
+	h.counts[bucketIdx(v)].Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	Count  uint64
+	Sum    int64 // nanoseconds or raw units, matching the histogram
+}
+
+// Snapshot copies the histogram's counters. Concurrent observations may
+// tear between buckets by a few counts; quantile estimates do not care.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.Snapshot().Count }
+
+// Quantile returns the upper bucket bound at or below which a fraction
+// q of the observations fall — exact to within the factor-of-two bucket
+// resolution. An empty histogram returns 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return int64(1) << i
+		}
+	}
+	return int64(1) << (histBuckets - 1)
+}
+
+// Summary is the JSON digest of a duration histogram surfaced in
+// /v1/stats and the bench report: counts plus millisecond quantile
+// bounds (upper bucket bounds, resolution one power of two).
+type Summary struct {
+	Count   uint64  `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// Summary digests a duration histogram. All quantiles are upper bucket
+// bounds; MaxMs is the upper bound of the highest occupied bucket.
+func (h *Histogram) Summary() Summary {
+	s := h.Snapshot()
+	out := Summary{Count: s.Count, TotalMs: float64(s.Sum) / 1e6}
+	if s.Count == 0 {
+		return out
+	}
+	out.P50Ms = float64(s.Quantile(0.50)) / 1e6
+	out.P99Ms = float64(s.Quantile(0.99)) / 1e6
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Counts[i] > 0 {
+			out.MaxMs = float64(int64(1)<<i) / 1e6
+			break
+		}
+	}
+	return out
+}
+
+// metricKind discriminates what one registry family holds.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram      // durations, rendered in seconds
+	kindValueHistogram // raw units
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// series is one (family, label set) time series.
+type series struct {
+	labels string // rendered `key="value",...` (no braces), sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() int64
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	series     map[string]*series
+}
+
+// Registry is a set of named metrics rendered together as one
+// Prometheus text exposition page. Creating a metric that already
+// exists (same name and label set) returns the existing instance, so
+// independent subsystems can contribute to shared families. Metric
+// creation takes a lock; the returned metrics are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// get returns the series for (name, labels), creating family and series
+// as needed. Panics on invalid names or a kind conflict — both are
+// boot-time programmer errors, not runtime conditions.
+func (r *Registry) get(name, help string, kind metricKind, labels []Label) *series {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind.promType(), kind.promType()))
+	}
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram, kindValueHistogram:
+			s.h = &Histogram{}
+		}
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns the counter named name with the given labels,
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.get(name, help, kindCounter, labels).c
+}
+
+// Gauge returns the gauge named name with the given labels, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.get(name, help, kindGauge, labels).g
+}
+
+// Histogram returns the duration histogram named name with the given
+// labels (rendered in seconds), creating it on first use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.get(name, help, kindHistogram, labels).h
+}
+
+// ValueHistogram returns the unitless histogram named name with the
+// given labels (rendered in raw units), creating it on first use.
+func (r *Registry) ValueHistogram(name, help string, labels ...Label) *Histogram {
+	return r.get(name, help, kindValueHistogram, labels).h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for mirroring counters another subsystem already maintains.
+// Registering the same series again replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.get(name, help, kindCounterFunc, labels).fn = fn
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.get(name, help, kindGaugeFunc, labels).fn = fn
+}
+
+// FindHistogram returns the histogram series previously created under
+// (name, labels), or nil — for read paths (stats summaries) that must
+// not create empty series as a side effect.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		if s := f.series[ls]; s != nil {
+			return s.h
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders every metric in text exposition format
+// (families sorted by name, series by label set).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		// Snapshot the family's series under the lock; values are read
+		// outside it (funcs may take subsystem locks of their own).
+		r.mu.Lock()
+		sers := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			sers = append(sers, s)
+		}
+		r.mu.Unlock()
+		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
+
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind.promType())
+		for _, s := range sers {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, s.labels, "", strconv.FormatInt(s.c.Value(), 10))
+			case kindGauge:
+				writeSample(&b, f.name, s.labels, "", strconv.FormatInt(s.g.Value(), 10))
+			case kindCounterFunc, kindGaugeFunc:
+				v := int64(0)
+				if s.fn != nil {
+					v = s.fn()
+				}
+				writeSample(&b, f.name, s.labels, "", strconv.FormatInt(v, 10))
+			case kindHistogram, kindValueHistogram:
+				writeHistogram(&b, f.name, s.labels, s.h, f.kind == kindHistogram)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one `name{labels,extra} value` line.
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// bucketLe renders the upper bound of finite bucket i: seconds for
+// duration histograms, raw units otherwise.
+func bucketLe(i int, isTime bool) string {
+	bound := float64(int64(1) << i)
+	if isTime {
+		bound /= 1e9
+	}
+	return formatFloat(bound)
+}
+
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram, isTime bool) {
+	s := h.Snapshot()
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Counts[i]
+		writeSample(b, name+"_bucket", labels, `le="`+bucketLe(i, isTime)+`"`, strconv.FormatUint(cum, 10))
+	}
+	writeSample(b, name+"_bucket", labels, `le="+Inf"`, strconv.FormatUint(s.Count, 10))
+	sum := float64(s.Sum)
+	if isTime {
+		sum /= 1e9
+	}
+	writeSample(b, name+"_sum", labels, "", formatFloat(sum))
+	writeSample(b, name+"_count", labels, "", strconv.FormatUint(s.Count, 10))
+}
+
+// validName checks the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels canonicalizes a label set: sorted by key, values
+// escaped, joined as `k1="v1",k2="v2"`.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validName(l.Key) || l.Key == "le" {
+			panic("obs: invalid label key " + strconv.Quote(l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ats_test_total", "help", L("x", "1"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("ats_test_total", "help", L("x", "1")); again != c {
+		t.Fatal("same name+labels did not return the same counter")
+	}
+	if other := r.Counter("ats_test_total", "help", L("x", "2")); other == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	g := r.Gauge("ats_test_gauge", "help")
+	g.Set(7)
+	g.Dec()
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{1 << 39, 39},              // last finite bound
+		{1<<39 + 1, 39},            // clamps
+		{1 << 60, histBuckets - 1}, // way past the range: clamps
+		{-5, 0},                    // negative durations clamp to zero
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(time.Duration(c.ns))
+		s := h.Snapshot()
+		got := -1
+		for i, n := range s.Counts {
+			if n > 0 {
+				got = i
+				break
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%dns) landed in bucket %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileAndSummary(t *testing.T) {
+	var h Histogram
+	// 99 fast observations (1µs) and one slow (1ms).
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// 1µs = 1024ns bucket bound is 2^10; p50 must report that bound.
+	if q := s.Quantile(0.50); q != 1<<10 {
+		t.Errorf("p50 = %dns, want %d", q, 1<<10)
+	}
+	// p100 covers the slow observation: 1ms rounds up to 2^20 ns.
+	if q := s.Quantile(1); q != 1<<20 {
+		t.Errorf("p100 = %dns, want %d", q, 1<<20)
+	}
+	sum := h.Summary()
+	if sum.Count != 100 || sum.P50Ms <= 0 || sum.MaxMs < sum.P50Ms {
+		t.Errorf("summary = %+v", sum)
+	}
+	var empty Histogram
+	if s := empty.Summary(); s.Count != 0 || s.P99Ms != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ats_reqs_total", "requests", L("endpoint", "/v1/add"), L("code", "2xx")).Add(3)
+	r.Gauge("ats_inflight", "in flight").Set(2)
+	r.GaugeFunc("ats_keys", "live keys", func() int64 { return 17 })
+	h := r.Histogram("ats_lat_seconds", "latency", L("endpoint", "/v1/add"))
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	vh := r.ValueHistogram("ats_merge_buckets", "fan-in")
+	vh.ObserveValue(8)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`ats_reqs_total{code="2xx",endpoint="/v1/add"} 3`,
+		"ats_inflight 2",
+		"ats_keys 17",
+		"# TYPE ats_lat_seconds histogram",
+		`ats_lat_seconds_bucket{endpoint="/v1/add",le="+Inf"} 2`,
+		"ats_lat_seconds_count{endpoint=\"/v1/add\"} 2",
+		`ats_merge_buckets_bucket{le="8"} 1`,
+		"ats_merge_buckets_sum 8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The parser must reassemble what the writer rendered.
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets, sum, count, found := HistogramFromSamples(samples, "ats_lat_seconds",
+		map[string]string{"endpoint": "/v1/add"})
+	if !found || count != 2 {
+		t.Fatalf("histogram not reassembled: found=%v count=%d", found, count)
+	}
+	if sum <= 0 {
+		t.Fatalf("sum = %g", sum)
+	}
+	// p50 covers the 100µs observation: upper bound 2^17 ns in seconds.
+	p50 := QuantileFromBuckets(buckets, 0.50)
+	if want := float64(int64(1)<<17) / 1e9; p50 != want {
+		t.Errorf("scraped p50 = %g, want %g", p50, want)
+	}
+	// p100 covers 3ms -> 2^22 ns.
+	if q, want := QuantileFromBuckets(buckets, 1), float64(int64(1)<<22)/1e9; q != want {
+		t.Errorf("scraped p100 = %g, want %g", q, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ats_esc_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\n"`) {
+		t.Fatalf("bad escaping:\n%s", b.String())
+	}
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples[0].Labels["path"]; got != `a"b\c`+"\n" {
+		t.Fatalf("parsed label = %q", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ats_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on counter/gauge name conflict")
+		}
+	}()
+	r.Gauge("ats_conflict", "")
+}
+
+func TestFindHistogram(t *testing.T) {
+	r := NewRegistry()
+	if r.FindHistogram("nope") != nil {
+		t.Fatal("found a histogram that was never created")
+	}
+	h := r.Histogram("ats_h_seconds", "", L("stage", "apply"))
+	if got := r.FindHistogram("ats_h_seconds", L("stage", "apply")); got != h {
+		t.Fatal("FindHistogram did not return the created histogram")
+	}
+	if r.FindHistogram("ats_h_seconds", L("stage", "other")) != nil {
+		t.Fatal("found a label set that was never created")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ats_conc_seconds", "")
+	c := r.Counter("ats_conc_total", "")
+	var wg sync.WaitGroup
+	const workers, per = 8, 10_000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				c.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestNextRequestID(t *testing.T) {
+	a, b := NextRequestID(), NextRequestID()
+	if a == b || a == "" {
+		t.Fatalf("ids not unique: %q %q", a, b)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, "text", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("boot", "addr", ":8321")
+	if !strings.Contains(b.String(), "msg=boot") || !strings.Contains(b.String(), "addr=:8321") {
+		t.Fatalf("text log = %q", b.String())
+	}
+	b.Reset()
+	lg, err = NewLogger(&b, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "k", 1)
+	out := b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, `"msg":"kept"`) {
+		t.Fatalf("json log = %q", out)
+	}
+	if _, err := NewLogger(&b, "xml", ""); err == nil {
+		t.Fatal("no error for unknown format")
+	}
+	if _, err := NewLogger(&b, "text", "loud"); err == nil {
+		t.Fatal("no error for unknown level")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if h.Count() == 0 {
+		b.Fatal("no observations")
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set
+// and the sample value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses Prometheus text exposition format — the inverse of
+// Registry.WritePrometheus for the subset this package emits (no
+// timestamps, no exemplars). Comment and blank lines are skipped.
+// cmd/atsload uses it to scrape a live daemon.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {k="v",...} block starting at in[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(in string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("unterminated label set in %q", in)
+		}
+		key := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", in)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("unterminated label value in %q", in)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(in[i])
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		out[key] = b.String()
+	}
+}
+
+// MatchLabels reports whether the sample carries every key=value pair
+// in want (extra labels on the sample are allowed).
+func (s Sample) MatchLabels(want map[string]string) bool {
+	for k, v := range want {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramFromSamples reassembles one histogram series from parsed
+// samples: the cumulative bucket counts (sorted by le ascending, +Inf
+// last), the sum and the count of the series of the given family name
+// whose labels match want. Found reports whether any bucket line
+// matched.
+func HistogramFromSamples(samples []Sample, name string, want map[string]string) (buckets []BucketCount, sum float64, count uint64, found bool) {
+	for _, s := range samples {
+		switch s.Name {
+		case name + "_bucket":
+			if !s.MatchLabels(want) {
+				continue
+			}
+			le, err := parseLe(s.Labels["le"])
+			if err != nil {
+				continue
+			}
+			buckets = append(buckets, BucketCount{Le: le, Cumulative: uint64(s.Value)})
+			found = true
+		case name + "_sum":
+			if s.MatchLabels(want) {
+				sum = s.Value
+			}
+		case name + "_count":
+			if s.MatchLabels(want) {
+				count = uint64(s.Value)
+			}
+		}
+	}
+	sortBuckets(buckets)
+	return buckets, sum, count, found
+}
+
+// BucketCount is one cumulative histogram bucket: observations <= Le.
+type BucketCount struct {
+	Le         float64 // upper bound; +Inf for the last bucket
+	Cumulative uint64
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func sortBuckets(b []BucketCount) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j].Le < b[j-1].Le; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}
+
+// QuantileFromBuckets estimates quantile q from cumulative buckets: the
+// upper bound of the first bucket whose cumulative count reaches rank
+// q*total. The +Inf bucket defers to the highest finite bound.
+func QuantileFromBuckets(buckets []BucketCount, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Cumulative
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var lastFinite float64
+	for _, b := range buckets {
+		if !math.IsInf(b.Le, 1) {
+			lastFinite = b.Le
+		}
+		if b.Cumulative >= rank {
+			if math.IsInf(b.Le, 1) {
+				return lastFinite
+			}
+			return b.Le
+		}
+	}
+	return lastFinite
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ats/internal/obs"
+)
+
+// endpointNames is the fixed label vocabulary of the per-endpoint HTTP
+// metrics. Unmatched paths collapse into "other" so an URL-scanning
+// client cannot grow metric cardinality without bound.
+var endpointNames = []string{
+	"/v1/add", "/v1/addb", "/v1/query", "/v1/sample", "/v1/keys",
+	"/v1/stats", "/v1/snapshot", "/healthz", "/readyz", "/metrics", "other",
+}
+
+// statusClasses are the response-code label values; index i covers
+// (i+1)*100 .. (i+1)*100+99.
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// endpointMetrics are one endpoint's pre-created handles, so the
+// request path never takes the registry mutex.
+type endpointMetrics struct {
+	inflight *obs.Gauge
+	latency  *obs.Histogram
+	codes    [5]*obs.Counter
+}
+
+// initObs wires the serving layer's metrics into the registry and
+// pre-builds the per-endpoint handles. Called once from NewWithOptions
+// when Options.Obs is set.
+func (s *Server) initObs(reg *obs.Registry) {
+	s.reg = reg
+	s.endpoints = make(map[string]*endpointMetrics, len(endpointNames))
+	for _, name := range endpointNames {
+		ep := &endpointMetrics{
+			inflight: reg.Gauge("ats_http_inflight_requests", "Requests currently being served.", obs.L("endpoint", name)),
+			latency:  reg.Histogram("ats_http_request_seconds", "Request durations.", obs.L("endpoint", name)),
+		}
+		for i, class := range statusClasses {
+			ep.codes[i] = reg.Counter("ats_http_requests_total", "Requests served by status class.",
+				obs.L("endpoint", name), obs.L("code", class))
+		}
+		s.endpoints[name] = ep
+	}
+
+	const stageHelp = "Ingest pipeline stage durations."
+	s.hAdmission = reg.Histogram("ats_ingest_stage_seconds", stageHelp, obs.L("stage", "admission"))
+	s.hDecode = reg.Histogram("ats_ingest_stage_seconds", stageHelp, obs.L("stage", "decode"))
+	// In durable mode the WAL manager owns the apply timing (it runs
+	// inside its append→apply critical section); the server only
+	// observes this histogram on the non-durable path, so the shared
+	// family never double-counts.
+	s.hApply = reg.Histogram("ats_ingest_stage_seconds", stageHelp, obs.L("stage", "apply"))
+
+	reg.GaugeFunc("ats_ingest_inflight_items", "Items inside the admission gate.", s.gate.inflight.Load)
+	reg.GaugeFunc("ats_ingest_capacity_items", "Admission gate item budget.", func() int64 { return s.gate.capacity })
+	reg.CounterFunc("ats_ingest_accepted_items_total", "Items admitted through the gate.", s.gate.accepted.Load)
+	reg.CounterFunc("ats_ingest_applied_items_total", "Items the store reported applied.", s.gate.applied.Load)
+	reg.CounterFunc("ats_ingest_rejected_requests_total", "Requests 429'd by the admission gate.", s.gate.rejected.Load)
+	reg.CounterFunc("ats_ingest_rejected_items_total", "Items carried by 429'd requests.", s.gate.rejectedItems.Load)
+	reg.GaugeFunc("go_goroutines", "Live goroutines.", func() int64 { return int64(runtime.NumGoroutine()) })
+
+	s.mux.Handle("GET /metrics", reg.Handler())
+}
+
+// normalizeEndpoint maps a request path onto the bounded endpoint
+// vocabulary.
+func (s *Server) normalizeEndpoint(path string) *endpointMetrics {
+	if ep, ok := s.endpoints[path]; ok {
+		return ep
+	}
+	return s.endpoints["other"]
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withObs is the outermost middleware: per-endpoint request counts by
+// status class, in-flight gauges, latency histograms, and (when a
+// logger is attached) per-request structured log lines carrying a
+// request ID. 5xx responses log at Warn regardless of level; the
+// per-request line is Debug so the default Info level stays quiet
+// under load.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	if s.reg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := s.normalizeEndpoint(r.URL.Path)
+		ep.inflight.Inc()
+		defer ep.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		ep.latency.Observe(elapsed)
+		if class := sw.code/100 - 1; class >= 0 && class < len(ep.codes) {
+			ep.codes[class].Inc()
+		}
+		if s.log == nil {
+			return
+		}
+		switch {
+		case sw.code >= 500:
+			s.log.Warn("request failed",
+				"req_id", obs.NextRequestID(), "method", r.Method, "path", r.URL.Path,
+				"status", sw.code, "elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+		case s.log.Enabled(context.Background(), slog.LevelDebug):
+			s.log.Debug("request",
+				"req_id", obs.NextRequestID(), "method", r.Method, "path", r.URL.Path,
+				"status", sw.code, "elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+		}
+	})
+}
+
+// ingestStages are the pipeline stage labels surfaced in /v1/stats, in
+// pipeline order.
+var ingestStages = []string{"admission", "decode", "wal_append", "fsync", "apply"}
+
+// obsStats is the "observability" section of /v1/stats: histogram
+// summaries of the ingest pipeline stages and the per-endpoint request
+// latencies. Stages and endpoints with no observations yet are
+// omitted.
+func (s *Server) obsStats() map[string]map[string]obs.Summary {
+	stages := make(map[string]obs.Summary)
+	for _, stage := range ingestStages {
+		if h := s.reg.FindHistogram("ats_ingest_stage_seconds", obs.L("stage", stage)); h != nil && h.Count() > 0 {
+			stages[stage] = h.Summary()
+		}
+	}
+	endpoints := make(map[string]obs.Summary)
+	for name, ep := range s.endpoints {
+		if ep.latency.Count() > 0 {
+			endpoints[name] = ep.latency.Summary()
+		}
+	}
+	return map[string]map[string]obs.Summary{"stages": stages, "endpoints": endpoints}
+}

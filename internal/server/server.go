@@ -57,6 +57,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -65,6 +66,7 @@ import (
 	"time"
 
 	"ats/internal/engine"
+	"ats/internal/obs"
 	"ats/internal/store"
 	"ats/internal/wal"
 	"ats/internal/wire"
@@ -93,6 +95,17 @@ type Options struct {
 	// snapshot generation instead of writing SnapshotPath, and /v1/stats
 	// grows an ingest.durability section.
 	Durable *wal.Manager
+	// Obs, when non-nil, enables the serving layer's metrics: GET
+	// /metrics (Prometheus text exposition), per-endpoint request
+	// counters/gauges/latency histograms, ingest pipeline stage timings,
+	// admission gate counters, and an "observability" section in
+	// /v1/stats. Share the registry with the WAL manager and the store
+	// so one scrape covers the whole daemon.
+	Obs *obs.Registry
+	// Log, when non-nil alongside Obs, receives structured request logs:
+	// one Debug line per request (with a request ID) and a Warn line per
+	// 5xx response.
+	Log *slog.Logger
 }
 
 const (
@@ -110,6 +123,16 @@ type Server struct {
 	gate         gate
 	maxBatch     int
 	now          func() time.Time
+
+	// Observability (nil without Options.Obs): the registry, the
+	// pre-created per-endpoint handles, the request logger, and the
+	// ingest stage histograms the handlers record into.
+	reg        *obs.Registry
+	log        *slog.Logger
+	endpoints  map[string]*endpointMetrics
+	hAdmission *obs.Histogram
+	hDecode    *obs.Histogram
+	hApply     *obs.Histogram
 
 	// ready gates /v1/* until boot recovery completes; draining flips
 	// /readyz to 503 and closes ingest during shutdown.
@@ -149,12 +172,18 @@ func NewWithOptions(st *store.Store, o Options) *Server {
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if o.Obs != nil {
+		s.log = o.Log
+		s.initObs(o.Obs)
+	}
 	return s
 }
 
 // Handler returns the daemon's HTTP handler: the API mux behind the
-// readiness gate.
-func (s *Server) Handler() http.Handler { return s.withReadiness(s.mux) }
+// readiness gate, behind the metrics middleware (outermost, so 503s
+// from the readiness gate are counted too; /metrics itself is outside
+// the /v1 readiness gate and serves during recovery).
+func (s *Server) Handler() http.Handler { return s.withObs(s.withReadiness(s.mux)) }
 
 // Store returns the underlying store (the daemon's shutdown hook
 // snapshots it directly).
@@ -229,6 +258,10 @@ type ingestBatch struct {
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var decodeStart time.Time
+	if s.hDecode != nil {
+		decodeStart = time.Now()
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAddBody))
 	if err != nil {
 		httpError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
@@ -262,10 +295,17 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		}
 		batches[i] = ingestBatch{namespace: b.Namespace, metric: b.Metric, kind: kind, items: items}
 	}
+	if s.hDecode != nil {
+		s.hDecode.Observe(time.Since(decodeStart))
+	}
 	s.ingest(w, batches, nil)
 }
 
 func (s *Server) handleAddBinary(w http.ResponseWriter, r *http.Request) {
+	var decodeStart time.Time
+	if s.hDecode != nil {
+		decodeStart = time.Now()
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAddBody))
 	if err != nil {
 		httpError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
@@ -288,6 +328,9 @@ func (s *Server) handleAddBinary(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		batches[i] = ingestBatch{namespace: f.Namespace, metric: f.Metric, kind: kind, items: f.Items}
+	}
+	if s.hDecode != nil {
+		s.hDecode.Observe(time.Since(decodeStart))
 	}
 	s.ingest(w, batches, map[string]any{"frames": len(frames)})
 }
@@ -334,7 +377,15 @@ func (s *Server) ingest(w http.ResponseWriter, batches []ingestBatch, extra map[
 	}
 	// Admission: the whole request enters or the whole request is told
 	// to come back — admitted items are never dropped on the floor.
-	if !s.gate.tryAcquire(int64(total)) {
+	var admitStart time.Time
+	if s.hAdmission != nil {
+		admitStart = time.Now()
+	}
+	admitted := s.gate.tryAcquire(int64(total))
+	if s.hAdmission != nil {
+		s.hAdmission.Observe(time.Since(admitStart))
+	}
+	if !admitted {
 		s.gate.reject(int64(total))
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
@@ -365,10 +416,17 @@ func (s *Server) ingest(w http.ResponseWriter, batches []ingestBatch, extra map[
 		if s.dur != nil {
 			// Durable path: the batch is logged, fsynced per policy and
 			// applied before the 200 — an acknowledged batch survives a
-			// crash.
+			// crash. The WAL manager times wal_append/fsync/apply itself.
 			err = s.dur.Ingest(b.namespace, b.metric, b.kind, b.items, s.now())
 		} else {
+			var applyStart time.Time
+			if s.hApply != nil {
+				applyStart = time.Now()
+			}
 			err = s.st.AddBatchKind(b.namespace, b.metric, b.kind, b.items)
+			if s.hApply != nil && err == nil {
+				s.hApply.Observe(time.Since(applyStart))
+			}
 		}
 		if err != nil {
 			status := http.StatusInternalServerError
@@ -533,14 +591,15 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cfg := s.st.Config()
-	var ingest any = s.gate.stats(s.maxBatch)
+	gateStats := s.gate.stats(s.maxBatch)
+	var ingest any = gateStats
 	if s.dur != nil {
 		ingest = struct {
 			ingestStats
 			Durability wal.Stats `json:"durability"`
-		}{s.gate.stats(s.maxBatch), s.dur.Stats()}
+		}{gateStats, s.dur.Stats()}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"store":  s.st.Stats(),
 		"ingest": ingest,
 		"config": map[string]any{
@@ -557,7 +616,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stratified_dims": cfg.StratifiedDims,
 		},
 		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
-	})
+	}
+	if s.reg != nil {
+		body["observability"] = s.obsStats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

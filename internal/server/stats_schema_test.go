@@ -1,0 +1,253 @@
+package server
+
+// Golden-shape tests of the /v1/stats response: the full schema is
+// spelled out as typed structs decoded with DisallowUnknownFields, so
+// any field added to (or dropped from) the response breaks a test
+// instead of silently breaking dashboards.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ats/internal/obs"
+	"ats/internal/store"
+	"ats/internal/wal"
+)
+
+// statsConfig mirrors the "config" section.
+type statsConfig struct {
+	Kind           string  `json:"kind"`
+	K              int     `json:"k"`
+	BucketWidth    string  `json:"bucket_width"`
+	Retention      int     `json:"retention"`
+	Shards         int     `json:"shards"`
+	MaxKeys        int     `json:"max_keys"`
+	WindowDelta    float64 `json:"window_delta"`
+	DecayLambda    float64 `json:"decay_lambda"`
+	GroupM         int     `json:"group_m"`
+	StratumK       int     `json:"stratum_k"`
+	StratifiedDims int     `json:"stratified_dims"`
+}
+
+// statsIngest mirrors the "ingest" section; Durability is present only
+// in WAL mode.
+type statsIngest struct {
+	CapacityItems    int64      `json:"capacity_items"`
+	InflightItems    int64      `json:"inflight_items"`
+	MaxBatchItems    int        `json:"max_batch_items"`
+	AcceptedItems    int64      `json:"accepted_items"`
+	AppliedItems     int64      `json:"applied_items"`
+	RejectedRequests int64      `json:"rejected_requests"`
+	RejectedItems    int64      `json:"rejected_items"`
+	Durability       *wal.Stats `json:"durability,omitempty"`
+}
+
+// statsObservability mirrors the "observability" section, present only
+// when the daemon runs with a metrics registry.
+type statsObservability struct {
+	Stages    map[string]obs.Summary `json:"stages"`
+	Endpoints map[string]obs.Summary `json:"endpoints"`
+}
+
+// statsResponse is the full /v1/stats schema.
+type statsResponse struct {
+	Store         store.Stats         `json:"store"`
+	Ingest        statsIngest         `json:"ingest"`
+	Config        statsConfig         `json:"config"`
+	Uptime        string              `json:"uptime"`
+	Observability *statsObservability `json:"observability,omitempty"`
+}
+
+// decodeStatsStrict fetches /v1/stats and decodes it rejecting unknown
+// fields at every nesting level of the typed schema.
+func decodeStatsStrict(t *testing.T, ts *httptest.Server) statsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats = %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	var out statsResponse
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("stats schema drifted: %v", err)
+	}
+	return out
+}
+
+func ingestOne(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	body := `{"namespace":"ns","metric":"m","items":[{"key":1,"weight":1,"value":2}]}`
+	resp, err := http.Post(ts.URL+"/v1/add", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsSchemaGolden(t *testing.T) {
+	t.Run("plain", func(t *testing.T) {
+		srv := New(store.New(durConfig()), "")
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		ingestOne(t, ts)
+		got := decodeStatsStrict(t, ts)
+		if got.Ingest.Durability != nil {
+			t.Error("durability section present without a WAL")
+		}
+		if got.Observability != nil {
+			t.Error("observability section present without a registry")
+		}
+		if got.Ingest.AcceptedItems != 1 || got.Store.Adds != 1 {
+			t.Errorf("counters: %+v", got.Ingest)
+		}
+		if got.Config.Kind != "bottomk" || got.Config.K != 256 {
+			t.Errorf("config: %+v", got.Config)
+		}
+	})
+
+	t.Run("durable-observed", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		st := store.New(durConfig())
+		mgr, err := wal.Open(t.TempDir(), st, wal.Options{Fsync: wal.FsyncAlways, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		srv := NewWithOptions(st, Options{Durable: mgr, Obs: reg})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		ingestOne(t, ts)
+		got := decodeStatsStrict(t, ts)
+		if got.Ingest.Durability == nil {
+			t.Fatal("durability section missing in WAL mode")
+		}
+		if got.Ingest.Durability.AppendedRecords != 1 {
+			t.Errorf("durability: %+v", got.Ingest.Durability)
+		}
+		if got.Observability == nil {
+			t.Fatal("observability section missing with a registry")
+		}
+		for _, stage := range []string{"admission", "decode", "wal_append", "fsync", "apply"} {
+			s, ok := got.Observability.Stages[stage]
+			if !ok || s.Count != 1 {
+				t.Errorf("stage %q summary = %+v (present %v)", stage, s, ok)
+			}
+		}
+		if _, ok := got.Observability.Endpoints["/v1/add"]; !ok {
+			t.Errorf("endpoints: %+v", got.Observability.Endpoints)
+		}
+	})
+}
+
+// TestMetricsEndpoint scrapes GET /metrics of an instrumented server
+// and checks the HTTP and ingest families are present with the counts
+// the traffic implies.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewWithOptions(store.New(durConfig()), Options{Obs: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ingestOne(t, ts)
+	resp, err := http.Get(ts.URL + "/v1/query?namespace=ns&metric=m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// An unmatched path must collapse into the "other" endpoint label.
+	resp, err = http.Get(ts.URL + "/no/such/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`ats_http_requests_total{code="2xx",endpoint="/v1/add"} 1`,
+		`ats_http_requests_total{code="2xx",endpoint="/v1/query"} 1`,
+		`ats_http_requests_total{code="4xx",endpoint="other"} 1`,
+		`ats_http_request_seconds_count{endpoint="/v1/add"} 1`,
+		"ats_ingest_accepted_items_total 1",
+		"ats_ingest_applied_items_total 1",
+		"ats_ingest_capacity_items",
+		"go_goroutines",
+		`ats_ingest_stage_seconds_count{stage="decode"} 1`,
+		`ats_ingest_stage_seconds_count{stage="apply"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", text)
+	}
+
+	// The scrape itself must parse with the package's own parser.
+	if _, err := obs.ParseText(strings.NewReader(text)); err != nil {
+		t.Fatalf("self-scrape does not parse: %v", err)
+	}
+}
+
+// TestRequestLogging checks the middleware's structured log lines: a
+// Debug line per request when the level allows it, a Warn line for 5xx
+// regardless.
+func TestRequestLogging(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf strings.Builder
+	lg, err := obs.NewLogger(&logBuf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(store.New(durConfig()), Options{Obs: reg, Log: lg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ingestOne(t, ts)
+	out := logBuf.String()
+	for _, want := range []string{`"msg":"request"`, `"req_id":"`, `"path":"/v1/add"`, `"status":200`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("request log missing %q: %q", want, out)
+		}
+	}
+
+	// At info level the per-request Debug line disappears.
+	logBuf.Reset()
+	lg2, err := obs.NewLogger(&logBuf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewWithOptions(store.New(durConfig()), Options{Obs: obs.NewRegistry(), Log: lg2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	ingestOne(t, ts2)
+	if logBuf.Len() != 0 {
+		t.Errorf("request logged at info level: %q", logBuf.String())
+	}
+}

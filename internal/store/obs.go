@@ -1,0 +1,77 @@
+package store
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"ats/internal/obs"
+)
+
+// observer bundles the metric handles the store records into. It lives
+// behind an atomic pointer so the uninstrumented store pays exactly one
+// nil-check on the paths that would record — nothing on the per-item
+// ingest path, which is the <5%-overhead budget's hot loop.
+type observer struct {
+	rotation   *obs.Histogram
+	query      *obs.Histogram
+	mergeWidth *obs.Histogram
+	slowTotal  *obs.Counter
+	log        *slog.Logger
+	slowAfter  time.Duration
+}
+
+// Instrument registers the store's metrics with reg and enables
+// recording: bucket rotation durations, range-query durations, the
+// merge fan-in width of each range query, and scrape-time views of the
+// store counters. When log is non-nil, queries slower than slowAfter
+// additionally emit one structured log line naming the series and the
+// merge width (slowAfter <= 0 disables the log, not the metrics).
+// Instrument is not a hot-path call; use it once at boot.
+func (st *Store) Instrument(reg *obs.Registry, log *slog.Logger, slowAfter time.Duration) {
+	if reg == nil {
+		st.obs.Store(nil)
+		return
+	}
+	ob := &observer{
+		rotation:   reg.Histogram("ats_store_rotation_seconds", "Bucket seal (collapse) durations."),
+		query:      reg.Histogram("ats_store_query_seconds", "Range query durations, collapse through estimation."),
+		mergeWidth: reg.ValueHistogram("ats_store_query_merge_buckets", "Buckets merged per range query (fan-in width)."),
+		slowTotal:  reg.Counter("ats_store_slow_queries_total", "Range queries slower than the slow-query threshold."),
+		slowAfter:  slowAfter,
+	}
+	if slowAfter > 0 {
+		ob.log = log
+	}
+	fromAtomic := func(a *atomic.Int64) func() int64 { return a.Load }
+	reg.CounterFunc("ats_store_adds_total", "Items applied to the store.", fromAtomic(&st.adds))
+	reg.CounterFunc("ats_store_rotations_total", "Bucket rotations (seals).", fromAtomic(&st.rotations))
+	reg.CounterFunc("ats_store_evictions_total", "LRU key evictions.", fromAtomic(&st.evictions))
+	reg.CounterFunc("ats_store_queries_total", "Range queries served.", fromAtomic(&st.queries))
+	reg.CounterFunc("ats_store_snapshots_total", "Store snapshots written.", fromAtomic(&st.snapshots))
+	reg.CounterFunc("ats_store_restores_total", "Store snapshots restored.", fromAtomic(&st.restores))
+	reg.GaugeFunc("ats_store_keys", "Live series keys.", func() int64 {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		return int64(len(st.series))
+	})
+	st.obs.Store(ob)
+}
+
+// observeQuery records one finished range query: duration, merge
+// fan-in, and the threshold-gated slow-query log line.
+func (ob *observer) observeQuery(namespace, metric string, merged int, start time.Time) {
+	elapsed := time.Since(start)
+	ob.query.Observe(elapsed)
+	ob.mergeWidth.ObserveValue(int64(merged))
+	if ob.slowAfter > 0 && elapsed >= ob.slowAfter {
+		ob.slowTotal.Inc()
+		if ob.log != nil {
+			ob.log.Warn("slow query",
+				"namespace", namespace,
+				"metric", metric,
+				"merged_buckets", merged,
+				"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+		}
+	}
+}

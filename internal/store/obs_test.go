@@ -1,0 +1,105 @@
+package store
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/obs"
+)
+
+// TestInstrumentedStore drives rotations and queries through an
+// instrumented store and checks the histograms, the merge-width value
+// histogram, and the threshold-gated slow-query log line.
+func TestInstrumentedStore(t *testing.T) {
+	epoch := time.Unix(1_700_000_000, 0)
+	now := epoch
+	st := New(Config{Kind: BottomK, K: 32, Seed: 1, BucketWidth: time.Minute, Retention: 100,
+		Now: func() time.Time { return now }})
+
+	reg := obs.NewRegistry()
+	var logBuf strings.Builder
+	lg, err := obs.NewLogger(&logBuf, "text", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0ns... use 1ns so every query counts as slow: the gate
+	// logic is what's under test, not wall-clock behavior.
+	st.Instrument(reg, lg, time.Nanosecond)
+
+	const buckets = 5
+	for b := 0; b < buckets; b++ {
+		at := epoch.Add(time.Duration(b) * time.Minute)
+		items := []engine.Item{{Key: uint64(b), Weight: 1, Value: 1}}
+		if err := st.AddBatchAt("ns", "m", items, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// buckets-1 rotations happened (first add creates, no seal).
+	if h := reg.FindHistogram("ats_store_rotation_seconds"); h == nil || h.Count() != buckets-1 {
+		t.Fatalf("rotation histogram count = %v, want %d", h, buckets-1)
+	}
+
+	if _, err := st.Query("ns", "m", epoch, epoch.Add(buckets*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if h := reg.FindHistogram("ats_store_query_seconds"); h == nil || h.Count() != 1 {
+		t.Fatal("query duration not recorded")
+	}
+	mw := reg.FindHistogram("ats_store_query_merge_buckets")
+	if mw == nil {
+		t.Fatal("merge-width histogram not registered")
+	}
+	// The query covered 4 sealed buckets + the current one = 5 merged;
+	// the value histogram's sum is the raw merged count.
+	if s := mw.Snapshot(); s.Count != 1 || s.Sum != buckets {
+		t.Fatalf("merge width snapshot = %+v, want count 1 sum %d", s, buckets)
+	}
+
+	out := logBuf.String()
+	for _, want := range []string{"slow query", "namespace=ns", "metric=m", "merged_buckets=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-query log missing %q: %q", want, out)
+		}
+	}
+
+	// Counter funcs must agree with Stats().
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	for _, want := range []string{
+		"ats_store_adds_total 5",
+		"ats_store_rotations_total 4",
+		"ats_store_queries_total 1",
+		"ats_store_keys 1",
+		"ats_store_slow_queries_total 1",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q (stats %+v):\n%s", want, stats, b.String())
+		}
+	}
+
+	// Disabled slow-query log (slowAfter <= 0) keeps metrics flowing but
+	// never logs.
+	var quiet strings.Builder
+	qlg := slog.New(slog.NewTextHandler(&quiet, nil))
+	st2 := New(Config{Kind: BottomK, K: 32, Seed: 1, Now: func() time.Time { return now }})
+	reg2 := obs.NewRegistry()
+	st2.Instrument(reg2, qlg, 0)
+	if err := st2.AddBatch("ns", "m", []engine.Item{{Key: 1, Weight: 1, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Query("ns", "m", epoch.Add(-time.Minute), epoch.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Len() != 0 {
+		t.Errorf("slow-query log emitted with threshold disabled: %q", quiet.String())
+	}
+	if h := reg2.FindHistogram("ats_store_query_seconds"); h == nil || h.Count() != 1 {
+		t.Error("metrics stopped flowing with slow log disabled")
+	}
+}

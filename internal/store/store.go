@@ -235,6 +235,10 @@ type Store struct {
 	// serving layer's admission gate reconciles accepted work against
 	// what actually landed through it).
 	onApply atomic.Pointer[func(items int)]
+
+	// obs, when set via Instrument, receives rotation and query timings.
+	// The per-item ingest loop never touches it.
+	obs atomic.Pointer[observer]
 }
 
 // OnApply registers fn to be called with the item count of every batch
@@ -476,6 +480,11 @@ func (st *Store) AddBatchKindAt(namespace, metric string, kind Kind, items []eng
 // holds the series lock.
 func (st *Store) rotateLocked(s *series, idx int64) {
 	if s.cur != nil {
+		ob := st.obs.Load()
+		var start time.Time
+		if ob != nil {
+			start = time.Now()
+		}
 		collapsed, err := s.cur.Snapshot()
 		if err != nil {
 			// All buckets share one factory; merge cannot fail.
@@ -483,6 +492,9 @@ func (st *Store) rotateLocked(s *series, idx int64) {
 		}
 		s.sealed = append(s.sealed, bucket{idx: s.curIdx, s: collapsed})
 		st.rotations.Add(1)
+		if ob != nil {
+			ob.rotation.Observe(time.Since(start))
+		}
 	}
 	cut := idx - int64(st.cfg.Retention)
 	drop := 0
@@ -656,6 +668,11 @@ func (st *Store) QueryTopN(namespace, metric string, from, to time.Time, topn in
 // the series' dimensionality, returns ErrBadDim.
 func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn, dim int) (Result, error) {
 	st.queries.Add(1)
+	ob := st.obs.Load()
+	var qStart time.Time
+	if ob != nil {
+		qStart = time.Now()
+	}
 	// Validate the dimension before collapsing the range: a bad dim on a
 	// long series must not pay for (and then discard) a full merge.
 	if dim != 0 {
@@ -752,6 +769,9 @@ func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn
 		res.Sum, res.VarianceEstimate = sk.SubsetSum(nil)
 		res.SampleSize = len(sk.Sample())
 	}
+	if ob != nil {
+		ob.observeQuery(namespace, metric, merged, qStart)
+	}
 	return res, nil
 }
 
@@ -760,9 +780,17 @@ func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn
 // own estimators.
 func (st *Store) QuerySample(namespace, metric string, from, to time.Time) ([]engine.Sample, error) {
 	st.queries.Add(1)
-	out, _, _, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
+	ob := st.obs.Load()
+	var qStart time.Time
+	if ob != nil {
+		qStart = time.Now()
+	}
+	out, _, merged, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
 	if err != nil {
 		return nil, err
+	}
+	if ob != nil {
+		ob.observeQuery(namespace, metric, merged, qStart)
 	}
 	return out.Sample(), nil
 }

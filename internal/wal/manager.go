@@ -15,6 +15,7 @@ import (
 
 	"ats/internal/engine"
 	"ats/internal/fail"
+	"ats/internal/obs"
 	"ats/internal/store"
 	"ats/internal/wire"
 )
@@ -84,6 +85,11 @@ type Options struct {
 	// Generations is how many verified snapshot generations to retain
 	// (default 2: the newest plus the fallback).
 	Generations int
+	// Obs, when set, receives per-stage ingest timings (the
+	// ats_ingest_stage_seconds family shared with the HTTP server),
+	// segment-rotation durations, and scrape-time views of the WAL
+	// counters. Nil disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +231,14 @@ type Manager struct {
 	reclaimed int64
 	recStats  RecoveryStats
 
+	// Stage histograms, nil when Options.Obs is unset. Observe is
+	// lock-free, so recording happens inside the ingest critical
+	// section without widening it.
+	hAppend *obs.Histogram
+	hFsync  *obs.Histogram
+	hApply  *obs.Histogram
+	hRotate *obs.Histogram
+
 	stopTick chan struct{}
 	tickDone chan struct{}
 }
@@ -235,7 +249,33 @@ func Open(dir string, app Applier, opts Options) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Manager{dir: dir, opts: opts.withDefaults(), app: app, nextSeq: 1}, nil
+	m := &Manager{dir: dir, opts: opts.withDefaults(), app: app, nextSeq: 1}
+	if r := m.opts.Obs; r != nil {
+		const stageHelp = "Ingest pipeline stage durations."
+		m.hAppend = r.Histogram("ats_ingest_stage_seconds", stageHelp, obs.L("stage", "wal_append"))
+		m.hFsync = r.Histogram("ats_ingest_stage_seconds", stageHelp, obs.L("stage", "fsync"))
+		m.hApply = r.Histogram("ats_ingest_stage_seconds", stageHelp, obs.L("stage", "apply"))
+		m.hRotate = r.Histogram("ats_wal_segment_rotation_seconds", "WAL segment seal+open durations.")
+		lockedInt := func(p *int64) func() int64 {
+			return func() int64 { m.mu.Lock(); defer m.mu.Unlock(); return *p }
+		}
+		r.CounterFunc("ats_wal_appended_records_total", "Records appended to the WAL.", lockedInt(&m.appended))
+		r.CounterFunc("ats_wal_appended_bytes_total", "Bytes appended to the WAL.", lockedInt(&m.appendedB))
+		r.CounterFunc("ats_wal_fsyncs_total", "WAL fsync calls.", lockedInt(&m.fsyncs))
+		r.CounterFunc("ats_wal_snapshots_total", "Snapshot generations written.", lockedInt(&m.snapshots))
+		r.CounterFunc("ats_wal_reclaimed_segments_total", "Sealed segments reclaimed after snapshots.", lockedInt(&m.reclaimed))
+		r.GaugeFunc("ats_wal_segments", "Live WAL segment files.", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(len(m.segs))
+		})
+		r.GaugeFunc("ats_wal_last_seq", "Highest assigned WAL sequence number.", func() int64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return int64(m.nextSeq - 1)
+		})
+	}
+	return m, nil
 }
 
 // Dir returns the durability directory.
@@ -430,6 +470,9 @@ func (m *Manager) openWriterLocked() error {
 // newSegmentLocked seals the active segment (sync + close) and starts
 // a fresh one based at nextSeq.
 func (m *Manager) newSegmentLocked() error {
+	if m.hRotate != nil {
+		defer func(start time.Time) { m.hRotate.Observe(time.Since(start)) }(time.Now())
+	}
 	if m.seg != nil {
 		if m.opts.Fsync != FsyncNone {
 			if err := m.seg.Sync(); err != nil {
@@ -502,9 +545,16 @@ func (m *Manager) Ingest(namespace, metric string, kind store.Kind, items []engi
 		m.seg.Sync()
 		fail.Crash("wal/append/torn")
 	}
+	var stageStart time.Time
+	if m.hAppend != nil {
+		stageStart = time.Now()
+	}
 	if _, err := m.seg.Write(m.recBuf); err != nil {
 		m.failed = err
 		return fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	if m.hAppend != nil {
+		m.hAppend.Observe(time.Since(stageStart))
 	}
 	m.segSize += int64(len(m.recBuf))
 	m.appended++
@@ -522,11 +572,17 @@ func (m *Manager) Ingest(namespace, metric string, kind store.Kind, items []engi
 	}
 
 	m.nextSeq++
+	if m.hApply != nil {
+		stageStart = time.Now()
+	}
 	if err := m.app.AddBatchKindAt(namespace, metric, kind, items, at); err != nil {
 		// The record is logged but the store rejected it (kind
 		// mismatch). Replay re-rejects identically, so log and store
 		// stay consistent; the client is NOT acknowledged.
 		return err
+	}
+	if m.hApply != nil {
+		m.hApply.Observe(time.Since(stageStart))
 	}
 	if err := fail.Check("wal/apply/after"); err != nil {
 		return err
@@ -540,8 +596,15 @@ func (m *Manager) syncLocked() error {
 	if err := fail.Check("wal/fsync"); err != nil {
 		return err
 	}
+	var start time.Time
+	if m.hFsync != nil {
+		start = time.Now()
+	}
 	if err := m.seg.Sync(); err != nil {
 		return err
+	}
+	if m.hFsync != nil {
+		m.hFsync.Observe(time.Since(start))
 	}
 	m.fsyncs++
 	m.dirty = false

@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+
+	"ats/internal/obs"
+)
+
+// TestObservedIngest proves an instrumented manager records every
+// pipeline stage and that the WAL counters surface through the
+// registry's Prometheus rendering with the same values as Stats().
+func TestObservedIngest(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := testStore()
+	m, _ := openRecovered(t, t.TempDir(), st, Options{
+		Fsync:        FsyncAlways,
+		SegmentBytes: 512, // force rotations
+		Obs:          reg,
+	})
+	const n = 20
+	ingestN(t, m, 0, n)
+
+	for _, stage := range []string{"wal_append", "fsync", "apply"} {
+		h := reg.FindHistogram("ats_ingest_stage_seconds", obs.L("stage", stage))
+		if h == nil {
+			t.Fatalf("stage %q histogram not registered", stage)
+		}
+		if got := h.Count(); got != n {
+			t.Errorf("stage %q recorded %d observations, want %d", stage, got, n)
+		}
+	}
+	if h := reg.FindHistogram("ats_wal_segment_rotation_seconds"); h == nil || h.Count() == 0 {
+		t.Error("no segment rotations recorded despite tiny SegmentBytes")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := m.Stats()
+	want := map[string]float64{
+		"ats_wal_appended_records_total": float64(stats.AppendedRecords),
+		"ats_wal_appended_bytes_total":   float64(stats.AppendedBytes),
+		"ats_wal_fsyncs_total":           float64(stats.Fsyncs),
+		"ats_wal_segments":               float64(stats.Segments),
+		"ats_wal_last_seq":               float64(stats.LastSeq),
+	}
+	for _, s := range samples {
+		if v, ok := want[s.Name]; ok {
+			if s.Value != v {
+				t.Errorf("%s = %g, want %g", s.Name, s.Value, v)
+			}
+			delete(want, s.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("metric %s missing from exposition", name)
+	}
+}
