@@ -25,6 +25,7 @@ func runCompare(args []string) {
 	dir := fs.String("dir", ".", "directory searched for the default baseline")
 	maxRegress := fs.Float64("max-regress", 0.20, "max allowed ns/op slowdown fraction on hot paths")
 	maxOverhead := fs.Float64("max-overhead", 0.05, "max allowed instrumentation overhead on paired observed rows in the fresh report")
+	maxWarmRatio := fs.Float64("max-warm-ratio", 0.5, "max allowed warm/cold time ratio on plan-cache paired rows in the fresh report")
 	paths := fs.String("paths", "", "comma-separated hot-path name prefixes (default: built-in list)")
 	_ = fs.Parse(args)
 
@@ -91,6 +92,21 @@ func runCompare(args []string) {
 		}
 	}
 
+	// The warm-query gate is also intra-report: the plan cache must keep
+	// a repeated range query under the allowed fraction of the cold
+	// (cache-disabled) collapse on the same machine.
+	warm, slow := bench.WarmRatio(fresh, bench.WarmPairs, *maxWarmRatio)
+	if len(warm) > 0 {
+		fmt.Printf("\n%-44s %12s %12s %9s\n", "plan-cache warm query", "cold ns/op", "warm ns/op", "ratio")
+		for _, d := range warm {
+			mark := ""
+			if d.Change > *maxWarmRatio {
+				mark = "  << TOO SLOW"
+			}
+			fmt.Printf("%-44s %12.2f %12.2f %8.2fx%s\n", d.Name, d.OldNs, d.NewNs, d.Change, mark)
+		}
+	}
+
 	failed := false
 	if len(regressions) > 0 {
 		fmt.Printf("\n%d hot path(s) regressed beyond %.0f%%\n", len(regressions), *maxRegress*100)
@@ -98,6 +114,10 @@ func runCompare(args []string) {
 	}
 	if len(over) > 0 {
 		fmt.Printf("\n%d instrumented row(s) above the %.0f%% overhead budget\n", len(over), *maxOverhead*100)
+		failed = true
+	}
+	if len(slow) > 0 {
+		fmt.Printf("\n%d warm row(s) above the %.2fx warm/cold ratio gate\n", len(slow), *maxWarmRatio)
 		failed = true
 	}
 	if failed {

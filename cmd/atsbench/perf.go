@@ -36,7 +36,7 @@ import (
 )
 
 // perfPR is the sequence number stamped into the default output name.
-const perfPR = 8
+const perfPR = 9
 
 type perfCase struct {
 	sketch, op, shape string
@@ -236,23 +236,36 @@ func perfCases() []perfCase {
 			}
 		}},
 		{"store", "query", "8-buckets", 0, true, func(b *testing.B) {
-			st := store.New(store.Config{
-				Kind: store.BottomK, K: 256, Seed: 42,
-				BucketWidth: time.Second, Retention: 16,
-			})
-			items := perfItems()
-			epoch := time.Unix(1_700_000_000, 0)
-			for bk := 0; bk < 8; bk++ {
-				st.AddBatchAt("tenant", "bytes", items[bk*10_000:(bk+1)*10_000],
-					epoch.Add(time.Duration(bk)*time.Second))
-			}
-			to := epoch.Add(time.Hour)
+			// Cold row of the plan-cache warm/cold pair: the cache is
+			// disabled so every iteration re-collapses the eight sealed
+			// buckets the range covers. (Before the plan cache this row
+			// merged seven sealed buckets plus the live one; the sealed
+			// shape is what the warm twin is measured against.)
+			st := benchStoreEightBuckets(b, store.BottomK, -1, true)
 			b.ResetTimer()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := st.Query("tenant", "bytes", epoch, to)
-				if err != nil || res.Sum <= 0 {
+				res, err := st.Query("tenant", "bytes", epochBench, sealedEightEnd)
+				if err != nil || res.Sum <= 0 || res.Buckets != 8 {
 					b.Fatalf("bad query: %+v, %v", res, err)
+				}
+			}
+		}},
+		{"store", "query", "8-buckets-warm", 0, true, func(b *testing.B) {
+			// Warm twin: plan cache on, one warm-up query, then repeated
+			// queries decode the cached merged prefix instead of
+			// re-collapsing the eight sealed buckets. Gated against the
+			// cold row by `atsbench compare -max-warm-ratio`.
+			st := benchStoreEightBuckets(b, store.BottomK, 0, true)
+			if res, err := st.Query("tenant", "bytes", epochBench, sealedEightEnd); err != nil || res.Planned {
+				b.Fatalf("warm-up query: %+v, %v", res, err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epochBench, sealedEightEnd)
+				if err != nil || res.Sum <= 0 || res.Buckets != 8 || !res.Planned {
+					b.Fatalf("bad warm query: %+v, %v", res, err)
 				}
 			}
 		}},
@@ -283,18 +296,38 @@ func perfCases() []perfCase {
 			benchStoreKind(b, store.Decay)
 		}},
 		{"store-topk", "query", "8-buckets", 0, true, func(b *testing.B) {
-			st := benchStoreEightBuckets(b, store.TopK)
+			// Cold row of the USS warm/cold pair; same sealed-range shape
+			// as store/query/8-buckets.
+			st := benchStoreEightBuckets(b, store.TopK, -1, true)
 			b.ResetTimer()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := st.Query("tenant", "bytes", epochBench, epochBench.Add(time.Hour))
-				if err != nil || len(res.TopK) == 0 {
+				res, err := st.Query("tenant", "bytes", epochBench, sealedEightEnd)
+				if err != nil || len(res.TopK) == 0 || res.Buckets != 8 {
 					b.Fatalf("bad query: %+v, %v", res, err)
 				}
 			}
 		}},
+		{"store-topk", "query", "8-buckets-warm", 0, true, func(b *testing.B) {
+			// Warm twin of the USS query row: the cached prefix carries
+			// the collapse target's full state including its RNG, so the
+			// warm path stays bit-identical while skipping the eight
+			// sealed merges.
+			st := benchStoreEightBuckets(b, store.TopK, 0, true)
+			if res, err := st.Query("tenant", "bytes", epochBench, sealedEightEnd); err != nil || res.Planned {
+				b.Fatalf("warm-up query: %+v, %v", res, err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := st.Query("tenant", "bytes", epochBench, sealedEightEnd)
+				if err != nil || len(res.TopK) == 0 || res.Buckets != 8 || !res.Planned {
+					b.Fatalf("bad warm query: %+v, %v", res, err)
+				}
+			}
+		}},
 		{"store-varopt", "query", "8-buckets", 0, true, func(b *testing.B) {
-			st := benchStoreEightBuckets(b, store.VarOpt)
+			st := benchStoreEightBuckets(b, store.VarOpt, -1, false)
 			b.ResetTimer()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -305,7 +338,7 @@ func perfCases() []perfCase {
 			}
 		}},
 		{"store-decay", "query", "8-buckets", 0, true, func(b *testing.B) {
-			st := benchStoreEightBuckets(b, store.Decay)
+			st := benchStoreEightBuckets(b, store.Decay, -1, false)
 			// Query as-of just past the last bucket: the default
 			// half-life is one bucket width, so an as-of far in the
 			// future would decay every estimate to zero.
@@ -326,7 +359,7 @@ func perfCases() []perfCase {
 			benchStoreIngest(b, store.Stratified, perfLabeledItems())
 		}},
 		{"store-groupby", "query", "8-buckets", 0, true, func(b *testing.B) {
-			st := benchStoreEightBuckets(b, store.GroupBy)
+			st := benchStoreEightBuckets(b, store.GroupBy, -1, false)
 			b.ResetTimer()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -337,7 +370,7 @@ func perfCases() []perfCase {
 			}
 		}},
 		{"store-stratified", "query", "8-buckets", 0, true, func(b *testing.B) {
-			st := benchStoreEightBuckets(b, store.Stratified)
+			st := benchStoreEightBuckets(b, store.Stratified, -1, false)
 			b.ResetTimer()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -491,8 +524,14 @@ func benchStoreIngest(b *testing.B, kind store.Kind, items []engine.Item) {
 }
 
 // benchStoreEightBuckets builds a store of the given kind holding eight
-// sealed-ish buckets of 10k items each, the query-path fixture.
-func benchStoreEightBuckets(b *testing.B, kind store.Kind) *store.Store {
+// buckets of 10k items each, the query-path fixture. planBytes selects
+// the plan-cache mode: negative disables it (the cold rows, comparable
+// to pre-plan-cache baselines), zero enables the default budget (the
+// warm rows). With sealAll a ninth one-item bucket is ingested so all
+// eight data buckets are sealed: the warm/cold pair rows query exactly
+// that sealed prefix — the work the plan cache memoizes — while the
+// other query rows keep the original seven-sealed-plus-live shape.
+func benchStoreEightBuckets(b *testing.B, kind store.Kind, planBytes int64, sealAll bool) *store.Store {
 	items := perfItems()
 	if kind == store.GroupBy || kind == store.Stratified {
 		items = perfLabeledItems()
@@ -500,6 +539,7 @@ func benchStoreEightBuckets(b *testing.B, kind store.Kind) *store.Store {
 	st := store.New(store.Config{
 		Kind: kind, K: 256, Seed: 42,
 		BucketWidth: time.Second, Retention: 16,
+		PlanCacheBytes: planBytes,
 	})
 	for bk := 0; bk < 8; bk++ {
 		batch := make([]engine.Item, 10_000)
@@ -509,8 +549,21 @@ func benchStoreEightBuckets(b *testing.B, kind store.Kind) *store.Store {
 			b.Fatal(err)
 		}
 	}
+	if sealAll {
+		batch := make([]engine.Item, 1)
+		copy(batch, items[:1])
+		if err := st.AddBatchAt("tenant", "bytes", batch,
+			epochBench.Add(8*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
 	return st
 }
+
+// sealedEightEnd ends a query range inside the eighth bucket: with the
+// sealAll fixture the range [epochBench, sealedEightEnd] covers exactly
+// the eight sealed buckets and excludes the live ninth.
+var sealedEightEnd = epochBench.Add(7500 * time.Millisecond)
 
 // perfItems is a 1M-item Zipf(1.1) weighted stream shared by the cases.
 func perfItems() []engine.Item {
@@ -561,6 +614,10 @@ func perfZipfKeys() []uint64 {
 var bestOf = map[string]int{
 	"store/addbatch/1k-namespaces":          3,
 	"store/addbatch/1k-namespaces-observed": 3,
+	"store/query/8-buckets":                 3,
+	"store/query/8-buckets-warm":            3,
+	"store-topk/query/8-buckets":            3,
+	"store-topk/query/8-buckets-warm":       3,
 }
 
 func runPerf(args []string) {
@@ -586,8 +643,13 @@ func runPerf(args []string) {
 			continue
 		}
 		name := c.sketch + "/" + c.op + "/" + c.shape
+		// Collect the previous case's fixture garbage before measuring:
+		// without the barrier a large fixture (the query-path stores)
+		// leaks GC cost into whichever case happens to run next.
+		runtime.GC()
 		r := testing.Benchmark(c.bench)
 		for extra := 1; extra < bestOf[name]; extra++ {
+			runtime.GC()
 			r2 := testing.Benchmark(c.bench)
 			if float64(r2.T.Nanoseconds())/float64(r2.N) < float64(r.T.Nanoseconds())/float64(r.N) {
 				r = r2

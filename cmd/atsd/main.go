@@ -7,7 +7,7 @@
 //	     [-kind bottomk|distinct|window|topk|varopt|decay|groupby|stratified]
 //	     [-k 1024] [-seed 1] [-bucket 1m] [-retention 60] [-shards 1]
 //	     [-max-keys 0] [-window 0] [-lambda 0] [-group-m 64] [-stratum-k 64]
-//	     [-dims 2] [-snapshot path]
+//	     [-dims 2] [-plan-cache-bytes 0] [-snapshot path]
 //	     [-wal-dir dir] [-fsync always|interval|none] [-fsync-interval 100ms]
 //	     [-wal-segment-bytes 67108864] [-shutdown-timeout 10s]
 //	     [-max-inflight-items 4194304] [-max-batch-items 1048576]
@@ -106,6 +106,7 @@ func main() {
 		groupM      = flag.Int("group-m", 0, "dedicated per-group sketches (groupby kind; 0 = 64)")
 		stratumK    = flag.Int("stratum-k", 0, "per-stratum bottom-k parameter (stratified kind; 0 = 64)")
 		dims        = flag.Int("dims", 0, "stratification dimensions (stratified kind; 0 = 2)")
+		planBytes   = flag.Int64("plan-cache-bytes", 0, "query plan-cache byte budget (0 = 16 MiB default, negative = disabled)")
 		snapPath    = flag.String("snapshot", "", "snapshot file: restored at boot, written on POST /v1/snapshot and shutdown (non-durable mode)")
 		walDir      = flag.String("wal-dir", "", "durability directory: write-ahead log + snapshot generations; enables crash-safe mode")
 		fsyncFlag   = flag.String("fsync", "interval", "WAL fsync policy: always, interval or none")
@@ -155,6 +156,7 @@ func main() {
 		GroupM:         *groupM,
 		StratumK:       *stratumK,
 		StratifiedDims: *dims,
+		PlanCacheBytes: *planBytes,
 	})
 
 	// One registry spans the whole daemon: the store, the WAL manager

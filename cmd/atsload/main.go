@@ -18,10 +18,15 @@
 // Admission-gate 429s are honored: the worker sleeps for the server's
 // Retry-After and resends the same batch, so a throttled run still
 // ingests every item and the rejection count lands in the report.
+//
+// -queries N appends a read phase after ingest: the same full-range
+// query repeated N times, recording the cold first request (a full
+// sealed-bucket collapse) against the plan-cache-warm repeats.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +61,7 @@ type config struct {
 	out       string
 	retries   int
 	checkSrv  bool
+	queries   int64
 }
 
 func main() {
@@ -74,6 +80,7 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "", "BENCH_<n>.json to merge serving results into (created if absent)")
 	flag.IntVar(&cfg.retries, "retries", 8, "consecutive retries per batch before a worker gives up (transport errors, 429s and 502/503/504s)")
 	flag.BoolVar(&cfg.checkSrv, "check-server-quantiles", true, "cross-check client p99 against the server-side /metrics histograms and fail on disagreement")
+	flag.Int64Var(&cfg.queries, "queries", 0, "after ingest, repeat a full-range query this many times and report the cold-vs-warm latency split (0 = skip)")
 	flag.Parse()
 
 	if cfg.mode != "json" && cfg.mode != "binary" && cfg.mode != "both" {
@@ -149,6 +156,14 @@ func main() {
 	if len(servings) == 2 {
 		speedup := servings[0].NsPerItem / servings[1].NsPerItem
 		fmt.Printf("binary/json per-item speedup: %.2fx\n", speedup)
+	}
+	if cfg.queries > 0 {
+		s, err := runQueries(client, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atsload:", err)
+			os.Exit(1)
+		}
+		servings = append(servings, s)
 	}
 
 	if cfg.out != "" {
@@ -272,6 +287,71 @@ func runMode(client *http.Client, cfg config, mode string) bench.Serving {
 		Requests:    total.requests,
 		Rejected429: total.rejected,
 	}
+}
+
+// runQueries measures the repeated-range-query path after ingest: the
+// first full-range query over the run's sealed buckets is cold (the
+// store collapses every sealed sketch), repeats are answered from the
+// plan cache when the daemon has it enabled. The reported quantiles
+// cover all requests; the cold first request and the number of
+// plan-cache-answered responses are printed so the warm payoff is
+// visible end to end. Requests are sequential — this row measures
+// per-query latency, not query throughput.
+func runQueries(client *http.Client, cfg config) (bench.Serving, error) {
+	metric := "load-" + cfg.kinds[0].String()
+	url := fmt.Sprintf("%s/v1/query?namespace=%s&metric=%s&from=0", cfg.addr, cfg.namespace, metric)
+	latencies := make([]time.Duration, 0, cfg.queries)
+	var planned int64
+	start := time.Now()
+	for i := int64(0); i < cfg.queries; i++ {
+		t0 := time.Now()
+		resp, err := client.Get(url)
+		if err != nil {
+			return bench.Serving{}, fmt.Errorf("query %d: %w", i, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return bench.Serving{}, fmt.Errorf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		latencies = append(latencies, time.Since(t0))
+		var res struct {
+			Result struct {
+				Planned bool `json:"planned"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(body, &res); err != nil {
+			return bench.Serving{}, fmt.Errorf("query %d: parse response: %w", i, err)
+		}
+		if res.Result.Planned {
+			planned++
+		}
+	}
+	wall := time.Since(start)
+	cold := latencies[0]
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ns := float64(wall.Nanoseconds()) / float64(cfg.queries)
+	s := bench.Serving{
+		Name:        "serve/query/range",
+		Mode:        "query",
+		Kinds:       cfg.kinds[0].String(),
+		Dist:        cfg.dist,
+		Seed:        cfg.seed,
+		Workers:     1,
+		Items:       cfg.queries,
+		WallSeconds: wall.Seconds(),
+		ItemsPerSec: 1e9 / ns,
+		NsPerItem:   ns,
+		P50Ms:       quantileMs(sorted, 0.50),
+		P99Ms:       quantileMs(sorted, 0.99),
+		P999Ms:      quantileMs(sorted, 0.999),
+		Requests:    cfg.queries,
+	}
+	fmt.Printf("%-22s %10.0f queries/s  p50 %6.2fms  p99 %6.2fms  cold %6.2fms  (%d queries, %d plan-cache answered)\n",
+		s.Name, s.ItemsPerSec, s.P50Ms, s.P99Ms, float64(cold)/float64(time.Millisecond), cfg.queries, planned)
+	return s, nil
 }
 
 func quantileMs(sorted []time.Duration, q float64) float64 {

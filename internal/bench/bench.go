@@ -201,6 +201,44 @@ var OverheadPairs = [][2]string{
 	{"store/addbatch/1k-namespaces", "store/addbatch/1k-namespaces-observed"},
 }
 
+// WarmPairs lists (cold, warm) benchmark name pairs whose ns/op ratio
+// within a single fresh report bounds the payoff of the store's query
+// plan cache: the cold row queries a cache-disabled store, the warm row
+// repeats a range query whose sealed prefix the cache has already
+// planned. Like OverheadPairs, both rows run in the same process on the
+// same machine, so the ratio is noise-resistant.
+var WarmPairs = [][2]string{
+	{"store/query/8-buckets", "store/query/8-buckets-warm"},
+	{"store-topk/query/8-buckets", "store-topk/query/8-buckets-warm"},
+}
+
+// WarmRatio computes the warm-vs-cold time ratio for each pair present
+// in the report, sorted worst (slowest warm) first, and the subset
+// exceeding maxRatio. Delta.Change carries the ratio itself, not a
+// slowdown fraction: 0.5 means the warm query runs in half the cold
+// time. Pairs with a missing row are skipped.
+func WarmRatio(r Report, pairs [][2]string, maxRatio float64) (all, violations []Delta) {
+	ns := make(map[string]float64, len(r.Results))
+	for _, res := range r.Results {
+		ns[res.Name] = res.NsPerOp
+	}
+	for _, p := range pairs {
+		cold, okCold := ns[p[0]]
+		warm, okWarm := ns[p[1]]
+		if !okCold || !okWarm || cold <= 0 {
+			continue
+		}
+		d := Delta{Name: p[1], OldNs: cold, NewNs: warm, Change: warm / cold}
+		all = append(all, d)
+		if d.Change > maxRatio {
+			violations = append(violations, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Change > all[j].Change })
+	sort.Slice(violations, func(i, j int) bool { return violations[i].Change > violations[j].Change })
+	return all, violations
+}
+
 // Overhead computes the instrumented-vs-base slowdown for each pair
 // present in the report, sorted worst first, and the subset exceeding
 // maxOverhead. Pairs with a missing row are skipped.

@@ -79,11 +79,17 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*32)
 	}
 	off := header
-	// Rebuild via AddWithPriority so the keeper invariant is restored
-	// regardless of serialization order. The keeper's scratch buffer grows
-	// on demand, so a crafted header claiming k in the billions with a
-	// tiny body cannot force a huge allocation.
+	// Rebuild by adopting exact-size buffers: count is already validated
+	// against both k and the bytes actually present, so this allocates at
+	// most what the body holds — a crafted header claiming k in the
+	// billions with a tiny body cannot force a huge allocation. Adopting
+	// is equivalent to re-adding every entry (at most k+1 entries fit, so
+	// a sequential rebuild never compacts) while skipping per-entry calls
+	// and growth reallocations — the store's plan cache decodes on every
+	// warm query, so this is a hot path.
 	restored := New(k, seed)
+	pri := make([]float64, count)
+	entries := make([]Entry, count)
 	for i := 0; i < count; i++ {
 		e := Entry{
 			Key:      binary.LittleEndian.Uint64(data[off:]),
@@ -95,9 +101,15 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 			return fmt.Errorf("%w: invalid entry %d", ErrCorrupt, i)
 		}
 		off += 32
-		restored.AddWithPriority(e)
+		pri[i], entries[i] = e.Priority, e
 	}
+	restored.kp.Adopt(pri, entries)
 	restored.n = int(n)
+	// MarshalBinary serialized a settled keeper (threshold entry at index
+	// k); adopt that layout verbatim so the restored sketch is
+	// bit-identical to the serialized one — a fresh Settle would re-scan
+	// for the maximum and could reorder entries tied at the threshold.
+	restored.kp.AdoptSettled()
 	*s = *restored
 	return nil
 }

@@ -101,6 +101,36 @@ func (s *Sketch) AppendSample(dst []Entry) []Entry {
 	return dst
 }
 
+// SampleSize settles and returns the number of entries in the current
+// sample (the retained entries strictly below the threshold), without
+// materializing it.
+func (s *Sketch) SampleSize() int {
+	t := s.kp.Threshold()
+	n := 0
+	for _, p := range s.kp.Priorities() {
+		if p < t {
+			n++
+		}
+	}
+	return n
+}
+
+// Settle compacts the keeper to its canonical settled layout (at most
+// k+1 entries, the threshold entry at index k). The store's query
+// planner settles at every plan boundary so that a sketch rebuilt from
+// its serialized form continues bit-identically to the original: float
+// accumulation in SubsetSum follows the keeper's internal entry order,
+// which only round-trips through the codec from a settled state.
+func (s *Sketch) Settle() { s.kp.Settle() }
+
+// Reset empties the sketch for reuse as a merge target, keeping the
+// keeper's allocated buffers. A reset sketch behaves exactly like a
+// fresh New(k, seed) sketch.
+func (s *Sketch) Reset() {
+	s.kp.Reset()
+	s.n = 0
+}
+
 // InclusionProb returns the pseudo-inclusion probability min(1, w*T) of a
 // sampled entry under the current threshold.
 func (s *Sketch) InclusionProb(e Entry) float64 {

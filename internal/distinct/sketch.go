@@ -74,6 +74,18 @@ func (s *Sketch) addHash(h float64) {
 	s.hk.Add(math.Float64bits(h))
 }
 
+// Settle compacts the keeper to its canonical layout: the k+1 smallest
+// distinct hashes, sorted ascending. The logical state of a distinct
+// sketch is fully canonical (a sorted set), so settling never changes
+// query answers; the store's query planner settles at plan boundaries
+// for uniformity with the order-sensitive sketches.
+func (s *Sketch) Settle() { s.hk.Settle() }
+
+// Reset empties the sketch for reuse as a merge target, keeping the
+// keeper's allocated buffers. A reset sketch retains exactly the hashes
+// a fresh NewSketch(k, seed) would.
+func (s *Sketch) Reset() { s.hk.Reset() }
+
 // Threshold returns the sketch's threshold: the (k+1)-th smallest distinct
 // hash seen, or 1 while fewer than k+1 distinct keys have been added. Every
 // distinct key with hash below the threshold is retained, each with
@@ -109,6 +121,16 @@ func (s *Sketch) AppendHashes(dst []float64) []float64 {
 		dst = append(dst, math.Float64frombits(b))
 	}
 	return dst
+}
+
+// SampleSize returns the number of sample hashes (len(Hashes())) without
+// materializing them: k once the threshold is set, else every retained
+// value.
+func (s *Sketch) SampleSize() int {
+	if _, ok := s.hk.Threshold(); ok {
+		return s.k
+	}
+	return s.hk.Len()
 }
 
 // Estimate returns the unbiased HT cardinality estimate |sample| / T.

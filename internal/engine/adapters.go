@@ -49,6 +49,11 @@ var (
 	_ SampleAppender = (*GroupBySampler)(nil)
 	_ SampleAppender = (*StratifiedSampler)(nil)
 
+	_ Settler  = (*BottomKSampler)(nil)
+	_ Settler  = (*DistinctSampler)(nil)
+	_ Resetter = (*BottomKSampler)(nil)
+	_ Resetter = (*DistinctSampler)(nil)
+
 	_ SnapshotMarshaler = (*BottomKSampler)(nil)
 	_ SnapshotMarshaler = (*DistinctSampler)(nil)
 	_ SnapshotMarshaler = (*WindowSampler)(nil)
@@ -158,6 +163,13 @@ func (b *BottomKSampler) CodecName() string { return codec.NameBottomK }
 // MarshalBinary serializes the underlying sketch (codec payload form).
 func (b *BottomKSampler) MarshalBinary() ([]byte, error) { return b.sk.MarshalBinary() }
 
+// Settle compacts the sketch to its canonical settled layout (see
+// Settler).
+func (b *BottomKSampler) Settle() { b.sk.Settle() }
+
+// Reset empties the sampler for reuse as a merge target (see Resetter).
+func (b *BottomKSampler) Reset() { b.sk.Reset() }
+
 // Merge folds another BottomKSampler into b.
 func (b *BottomKSampler) Merge(other Sampler) error {
 	o, ok := other.(*BottomKSampler)
@@ -220,6 +232,12 @@ func (d *DistinctSampler) CodecName() string { return codec.NameDistinct }
 
 // MarshalBinary serializes the underlying sketch (codec payload form).
 func (d *DistinctSampler) MarshalBinary() ([]byte, error) { return d.sk.MarshalBinary() }
+
+// Settle compacts the sketch to its canonical layout (see Settler).
+func (d *DistinctSampler) Settle() { d.sk.Settle() }
+
+// Reset empties the sampler for reuse as a merge target (see Resetter).
+func (d *DistinctSampler) Reset() { d.sk.Reset() }
 
 // Merge folds another DistinctSampler into d.
 func (d *DistinctSampler) Merge(other Sampler) error {

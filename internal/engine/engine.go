@@ -76,3 +76,25 @@ type SnapshotMarshaler interface {
 	CodecName() string
 	MarshalBinary() ([]byte, error)
 }
+
+// Settler is implemented by samplers whose internal entry order is
+// lazily compacted and order-sensitive at query time (float accumulation
+// in the estimators follows it). The store's query planner settles its
+// merge target at every plan boundary so that a target rebuilt from a
+// cached serialized prefix continues bit-identically to one that merged
+// the buckets directly. Samplers whose state is fully canonical do not
+// implement it.
+type Settler interface {
+	Settle()
+}
+
+// Resetter is implemented by samplers that can be emptied for reuse as a
+// collapse/merge target, keeping allocated buffers. Reset must leave the
+// sampler behaviorally indistinguishable from a freshly constructed one;
+// only samplers whose collapse targets carry no per-bucket randomness
+// (so a reset target is valid for any bucket range) implement it. The
+// store keeps one reset target per series to take allocations off the
+// range-query path.
+type Resetter interface {
+	Reset()
+}

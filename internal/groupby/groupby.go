@@ -327,6 +327,48 @@ func (c *Counter) GroupEstimates(n int) []GroupEstimate {
 	return out
 }
 
+// AppendGroupEstimates appends the n largest group estimates to dst in
+// the same order GroupEstimates(n) returns them (estimate descending,
+// ties by ascending group id) and returns the extended slice. It
+// materializes only n entries: one scan over the groups maintaining an
+// n-length insertion buffer instead of building and sorting the full
+// ranking, the bounded form the store's query planner pushes below the
+// merge.
+func (c *Counter) AppendGroupEstimates(dst []GroupEstimate, n int) []GroupEstimate {
+	if n <= 0 {
+		return dst
+	}
+	base := len(dst)
+	before := func(a, b GroupEstimate) bool {
+		if a.Estimate != b.Estimate {
+			return a.Estimate > b.Estimate
+		}
+		return a.Group < b.Group
+	}
+	add := func(e GroupEstimate) {
+		if len(dst)-base == n {
+			if !before(e, dst[len(dst)-1]) {
+				return
+			}
+			dst = dst[:len(dst)-1]
+		}
+		i := len(dst)
+		dst = append(dst, e)
+		for i > base && before(e, dst[i-1]) {
+			dst[i] = dst[i-1]
+			i--
+		}
+		dst[i] = e
+	}
+	for g := range c.dedicated {
+		add(GroupEstimate{Group: g, Estimate: c.Estimate(g), Dedicated: true})
+	}
+	for g := range c.poolByG {
+		add(GroupEstimate{Group: g, Estimate: c.Estimate(g)})
+	}
+	return dst
+}
+
 // Merge folds another counter into c. Both counters must share m, k and
 // seed (their hashes are coordinated, so the union of retained points is
 // a valid state of the combined stream); merging a counter into itself is

@@ -100,6 +100,18 @@ func (h *Hashes) addMiss(bits uint64) bool {
 	return true
 }
 
+// Reset empties the keeper for reuse, keeping the allocated buffers.
+// The duplicate filter is cleared (stale retained values from the
+// previous stream must not suppress new ones); since compaction only
+// triggers at the buffer limit, a reset keeper retains exactly the
+// values a fresh one would.
+func (h *Hashes) Reset() {
+	h.buf = h.buf[:0]
+	h.sorted = 0
+	h.thresh = NoThreshold
+	clear(h.filter)
+}
+
 func (h *Hashes) room() {
 	if cap(h.buf) >= h.limit {
 		if h.mask == 0 {

@@ -111,6 +111,45 @@ func (kp *Keeper[E]) Settle() {
 	kp.thresh = kp.pri[kp.k]
 }
 
+// Adopt replaces the keeper's scratch with the given parallel buffers,
+// as decoded from a serialized keeper: entries in serialized order with
+// no threshold set (AdoptSettled installs it when the layout is a
+// settled one). Adopting is equivalent to Add-ing each entry into a
+// fresh keeper — a serialized keeper holds at most k+1 entries, so the
+// sequential rebuild could never have triggered compaction — but costs
+// one slice install instead of per-entry calls and growth reallocations.
+func (kp *Keeper[E]) Adopt(pri []float64, items []E) {
+	if len(pri) != len(items) || len(pri) > kp.k+1 {
+		panic("keeper: adopted buffers must be parallel with at most k+1 entries")
+	}
+	kp.pri, kp.items = pri, items
+	kp.thresh = math.Inf(1)
+}
+
+// AdoptSettled installs the threshold of a buffer rebuilt from a
+// serialized settled layout: exactly k+1 entries appended in canonical
+// order with the threshold entry at index k. Unlike Settle it trusts
+// that layout instead of re-scanning for the maximum, so entries tied
+// at the threshold keep their serialized positions and the rebuilt
+// keeper is bit-identical to the one that was serialized. It is a no-op
+// unless the buffer holds exactly k+1 entries with no threshold set.
+func (kp *Keeper[E]) AdoptSettled() {
+	if len(kp.pri) == kp.k+1 && math.IsInf(kp.thresh, 1) {
+		kp.thresh = kp.pri[kp.k]
+	}
+}
+
+// Reset empties the keeper for reuse, keeping the allocated scratch
+// buffers. A reset keeper behaves exactly like a fresh one: compaction
+// triggers only when the buffer length reaches the limit, so retained
+// capacity changes when allocations happen, never which entries are
+// kept or in what order.
+func (kp *Keeper[E]) Reset() {
+	kp.pri = kp.pri[:0]
+	kp.items = kp.items[:0]
+	kp.thresh = math.Inf(1)
+}
+
 // Threshold settles and returns the (k+1)-th smallest priority seen, or
 // +inf while fewer than k+1 entries have been retained.
 func (kp *Keeper[E]) Threshold() float64 {

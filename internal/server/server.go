@@ -603,17 +603,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"store":  s.st.Stats(),
 		"ingest": ingest,
 		"config": map[string]any{
-			"kind":            cfg.Kind.String(),
-			"k":               cfg.K,
-			"bucket_width":    cfg.BucketWidth.String(),
-			"retention":       cfg.Retention,
-			"shards":          cfg.Shards,
-			"max_keys":        cfg.MaxKeys,
-			"window_delta":    cfg.WindowDelta,
-			"decay_lambda":    cfg.DecayLambda,
-			"group_m":         cfg.GroupM,
-			"stratum_k":       cfg.StratumK,
-			"stratified_dims": cfg.StratifiedDims,
+			"kind":             cfg.Kind.String(),
+			"k":                cfg.K,
+			"bucket_width":     cfg.BucketWidth.String(),
+			"retention":        cfg.Retention,
+			"shards":           cfg.Shards,
+			"max_keys":         cfg.MaxKeys,
+			"window_delta":     cfg.WindowDelta,
+			"decay_lambda":     cfg.DecayLambda,
+			"group_m":          cfg.GroupM,
+			"stratum_k":        cfg.StratumK,
+			"stratified_dims":  cfg.StratifiedDims,
+			"plan_cache_bytes": cfg.PlanCacheBytes,
 		},
 		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
 	}

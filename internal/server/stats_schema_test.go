@@ -31,6 +31,7 @@ type statsConfig struct {
 	GroupM         int     `json:"group_m"`
 	StratumK       int     `json:"stratum_k"`
 	StratifiedDims int     `json:"stratified_dims"`
+	PlanCacheBytes int64   `json:"plan_cache_bytes"`
 }
 
 // statsIngest mirrors the "ingest" section; Durability is present only

@@ -55,6 +55,20 @@ func (st *Store) Instrument(reg *obs.Registry, log *slog.Logger, slowAfter time.
 		defer st.mu.RUnlock()
 		return int64(len(st.series))
 	})
+	if pc := st.plans; pc != nil {
+		reg.CounterFunc("ats_store_plan_hits_total", "Range queries whose sealed prefix came from the plan cache.", fromAtomic(&pc.hits))
+		reg.CounterFunc("ats_store_plan_misses_total", "Range queries that rebuilt their sealed prefix cold.", fromAtomic(&pc.misses))
+		reg.CounterFunc("ats_store_plan_invalidations_total", "Cached plans dropped by pruning, eviction or restore.", fromAtomic(&pc.invalidations))
+		reg.CounterFunc("ats_store_plan_evictions_total", "Cached plans evicted by the byte-budget LRU.", fromAtomic(&pc.evictions))
+		reg.GaugeFunc("ats_store_plan_cache_bytes", "Bytes held by the plan cache.", func() int64 {
+			b, _ := pc.usage()
+			return b
+		})
+		reg.GaugeFunc("ats_store_plan_cache_entries", "Plans held by the plan cache.", func() int64 {
+			_, n := pc.usage()
+			return int64(n)
+		})
+	}
 	st.obs.Store(ob)
 }
 

@@ -1,0 +1,236 @@
+package store
+
+// Query planning: memoized merged-prefix plans.
+//
+// Every range query used to re-collapse the same sealed buckets from
+// scratch. The sketches are mergeable by construction, so the expensive
+// part of a repeated query — the merged prefix of sealed buckets — is a
+// materialized view that only one update can grow (bucket rotation
+// appends a sealed bucket after the prefix) and only two can destroy
+// (retention pruning drops buckets from the front, key eviction drops
+// the series). The plan cache memoizes that prefix per (key, first
+// sealed bucket) as one encoded canonical snapshot: the codecs give
+// exact bytes, so a warm query decodes the prefix and merges only the
+// live bucket's snapshot instead of re-merging N sealed sketches.
+//
+// Keying and validity. A plan is keyed by (series key, lo) where lo is
+// the index of the first sealed bucket it covers, and records (hi,
+// count): the last covered index and the number of buckets folded in.
+// Within one series, sealed buckets are only ever appended after the
+// tail (indices strictly increase) and pruned from the front, so the
+// first `count` sealed buckets starting at lo are immutable while they
+// exist: a lookup whose current overlap starts at lo and whose
+// count-th bucket ends at hi is guaranteed to name exactly the buckets
+// the plan folded. Staleness is therefore impossible by construction
+// for live series; the cases that could resurrect a (key, lo) pair
+// with different contents — key eviction followed by re-creation, and
+// whole-store restore — invalidate eagerly (invalidateKey /
+// invalidateAll), and retention pruning invalidates the plans whose lo
+// fell behind the horizon (invalidateBelow).
+//
+// Rotation alone invalidates nothing: the cached prefix stays a valid
+// prefix of the grown range, and the next query extends it — decode,
+// merge the new sealed suffix, re-encode — instead of rebuilding.
+//
+// The cache is bounded by a byte budget with LRU eviction and is safe
+// for concurrent use; entries hold immutable encoded bytes, so a
+// decode can proceed after its entry is evicted.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"ats/internal/codec"
+	"ats/internal/engine"
+)
+
+// defaultPlanCacheBytes is the plan-cache budget when the config leaves
+// PlanCacheBytes zero.
+const defaultPlanCacheBytes = 16 << 20
+
+// planEntryOverhead approximates the per-entry bookkeeping (map slot,
+// LRU element, struct) charged against the byte budget alongside the
+// encoded snapshot, so a flood of tiny plans cannot grow the cache
+// unboundedly.
+const planEntryOverhead = 160
+
+// planKey identifies one cached merged prefix: the series key plus the
+// index of the first sealed bucket the plan covers. Queries with
+// different range starts over the same series cache independently.
+type planKey struct {
+	key Key
+	lo  int64
+}
+
+// planEntry is one cached plan. env is the codec envelope of the merged
+// prefix and is immutable once stored.
+type planEntry struct {
+	pk    planKey
+	hi    int64
+	count int
+	env   []byte
+	elem  *list.Element
+}
+
+func (e *planEntry) size() int64 { return int64(len(e.env)) + planEntryOverhead }
+
+// planCache is the store-wide plan cache. All structural state is
+// guarded by mu; the counters are atomics so Stats and the metrics
+// registry read them without the lock.
+type planCache struct {
+	max int64
+
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
+	lru     *list.List // front = most recently used; values are *planEntry
+	bytes   int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+}
+
+// newPlanCache returns the cache for the given budget: nil (disabled)
+// for a negative budget, the default budget for zero.
+func newPlanCache(budget int64) *planCache {
+	if budget < 0 {
+		return nil
+	}
+	if budget == 0 {
+		budget = defaultPlanCacheBytes
+	}
+	return &planCache{
+		max:     budget,
+		entries: make(map[planKey]*planEntry),
+		lru:     list.New(),
+	}
+}
+
+// lookup returns the cached plan for pk, bumping its LRU position. The
+// returned env must be treated as read-only.
+func (pc *planCache) lookup(pk planKey) (env []byte, hi int64, count int, ok bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e := pc.entries[pk]
+	if e == nil {
+		return nil, 0, 0, false
+	}
+	pc.lru.MoveToFront(e.elem)
+	return e.env, e.hi, e.count, true
+}
+
+// store inserts or replaces the plan for pk and evicts least-recently
+// used plans until the cache fits the budget again. A plan larger than
+// the whole budget is not cached.
+func (pc *planCache) store(pk planKey, hi int64, count int, env []byte) {
+	e := &planEntry{pk: pk, hi: hi, count: count, env: env}
+	if e.size() > pc.max {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if old := pc.entries[pk]; old != nil {
+		pc.bytes -= old.size()
+		pc.lru.Remove(old.elem)
+	}
+	e.elem = pc.lru.PushFront(e)
+	pc.entries[pk] = e
+	pc.bytes += e.size()
+	for pc.bytes > pc.max {
+		victim := pc.lru.Back().Value.(*planEntry)
+		pc.removeLocked(victim)
+		pc.evictions.Add(1)
+	}
+}
+
+// drop removes the plan for pk (a decode failure makes the entry
+// useless), counting it as an invalidation.
+func (pc *planCache) drop(pk planKey) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e := pc.entries[pk]; e != nil {
+		pc.removeLocked(e)
+		pc.invalidations.Add(1)
+	}
+}
+
+// invalidateKey removes every plan of one series key (series eviction:
+// a later series under the same key could regrow the same bucket
+// indices with different contents).
+func (pc *planCache) invalidateKey(key Key) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for pk, e := range pc.entries {
+		if pk.key == key {
+			pc.removeLocked(e)
+			pc.invalidations.Add(1)
+		}
+	}
+}
+
+// invalidateBelow removes the plans of key whose first covered bucket
+// fell behind the retention horizon. Plans with lo >= cut still cover
+// exactly their original buckets and stay valid.
+func (pc *planCache) invalidateBelow(key Key, cut int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for pk, e := range pc.entries {
+		if pk.key == key && pk.lo < cut {
+			pc.removeLocked(e)
+			pc.invalidations.Add(1)
+		}
+	}
+}
+
+// invalidateAll empties the cache (whole-store restore).
+func (pc *planCache) invalidateAll() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	n := len(pc.entries)
+	pc.entries = make(map[planKey]*planEntry)
+	pc.lru.Init()
+	pc.bytes = 0
+	pc.invalidations.Add(int64(n))
+}
+
+func (pc *planCache) removeLocked(e *planEntry) {
+	delete(pc.entries, e.pk)
+	pc.lru.Remove(e.elem)
+	pc.bytes -= e.size()
+}
+
+// usage returns the current byte footprint and entry count.
+func (pc *planCache) usage() (bytes int64, entries int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.bytes, len(pc.entries)
+}
+
+// encodePlan serializes a merged prefix as one self-describing codec
+// envelope, the exact bytes a snapshot of the same sampler would carry.
+func encodePlan(out engine.Sampler) ([]byte, error) {
+	sm, ok := out.(engine.SnapshotMarshaler)
+	if !ok {
+		return nil, engine.ErrIncompatible
+	}
+	payload, err := sm.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return codec.Envelope(sm.CodecName(), payload)
+}
+
+// decodePlan rebuilds a merged prefix from its envelope, cross-checking
+// the codec name against the series kind.
+func decodePlan(env []byte, kind Kind) (engine.Sampler, error) {
+	name, v, err := codec.Unmarshal(env)
+	if err != nil {
+		return nil, err
+	}
+	if name != kindCodecName(kind) {
+		return nil, ErrSnapshotConfig
+	}
+	return engine.WrapDecoded(name, v)
+}

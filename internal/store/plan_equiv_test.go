@@ -1,0 +1,184 @@
+package store
+
+// The plan-cache equivalence harness: a store with the plan cache
+// enabled must be indistinguishable — bit for bit — from a twin with
+// the cache disabled, at every step of a workload that interleaves
+// ingest, rotation, retention pruning and repeated range queries across
+// every sketch kind. "Indistinguishable" is checked two ways at each
+// step: the JSON encoding of every query Result (after clearing the
+// Planned marker, the one field allowed to differ) and the exact bytes
+// of a whole-store snapshot.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"ats/internal/engine"
+	"ats/internal/stream"
+)
+
+// planEquivConfig pins a shared synthetic clock; planBytes selects the
+// twin (0 = default-enabled cache, negative = disabled).
+func planEquivConfig(now *time.Time, planBytes int64) Config {
+	return Config{
+		K: 128, Seed: 9, BucketWidth: time.Minute, Retention: 8, Shards: 2,
+		PlanCacheBytes: planBytes,
+		Now:            func() time.Time { return *now },
+	}
+}
+
+// planEquivItems builds one deterministic batch usable by every kind.
+func planEquivItems(rng *stream.RNG, z *stream.Zipf, n int) []engine.Item {
+	items := make([]engine.Item, n)
+	for i := range items {
+		w := 1 + 4*rng.Float64()
+		key := z.Next()
+		items[i] = engine.Item{Key: key, Weight: w, Value: w,
+			Group:  key % 7,
+			Strata: []uint32{uint32(key % 5), uint32(key % 3)}}
+	}
+	return items
+}
+
+// checkPlanEquiv queries both twins twice (cold-or-extended, then
+// certainly-warm) and fails unless all responses agree bit-identically.
+// liveIn is the number of non-sealed buckets the range covers (the
+// current bucket, when included): Buckets minus liveIn is the sealed
+// overlap, and a repeated query over >= 2 sealed buckets must be
+// answered from the plan cache.
+func checkPlanEquiv(t *testing.T, enabled, disabled *Store, metric string, from, to time.Time, dim, liveIn int, ctx string) {
+	t.Helper()
+	run := func(st *Store) Result {
+		res, err := st.QueryGrouped("plan", metric, from, to, 0, dim)
+		if err != nil {
+			t.Fatalf("%s: query %s: %v", ctx, metric, err)
+		}
+		return res
+	}
+	e1, d1 := run(enabled), run(disabled)
+	e2, d2 := run(enabled), run(disabled)
+	if d1.Planned || d2.Planned {
+		t.Fatalf("%s: %s: disabled store reported a planned query", ctx, metric)
+	}
+	sealed := e1.Buckets - liveIn
+	if sealed >= 2 && !e2.Planned {
+		t.Fatalf("%s: %s: repeated query over %d sealed buckets was not planned", ctx, metric, sealed)
+	}
+	if sealed < 2 && e2.Planned {
+		t.Fatalf("%s: %s: query over %d sealed buckets claimed a plan", ctx, metric, sealed)
+	}
+	for i, pair := range [][2]Result{{e1, d1}, {e2, d2}} {
+		ea, da := pair[0], pair[1]
+		ea.Planned = false
+		ja, err := json.Marshal(ea)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := json.Marshal(da)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("%s: %s: response %d diverges\n  enabled:  %s\n  disabled: %s", ctx, metric, i+1, ja, jb)
+		}
+	}
+}
+
+// TestPlanCacheEquivalence drives 14 buckets of seeded ingest across all
+// 8 kinds (rotation every bucket, retention pruning from bucket 9 on)
+// through a cache-enabled store and a cache-disabled twin, asserting at
+// every step that repeated range queries — full-range, mid-range-start,
+// and sealed-only — return bit-identical results and that the two
+// stores' snapshots stay byte-identical. It then proves the restored
+// store (empty plan cache) re-converges: cold queries after Restore
+// still match the twin, and repeats are planned again.
+func TestPlanCacheEquivalence(t *testing.T) {
+	now := epoch
+	enabled := New(planEquivConfig(&now, 0))
+	disabled := New(planEquivConfig(&now, -1))
+
+	rng := stream.NewRNG(23)
+	z := stream.NewZipf(400, 1.2, 24)
+
+	const buckets = 14
+	for bucketN := 0; bucketN < buckets; bucketN++ {
+		items := planEquivItems(rng, z, 600)
+		for _, kind := range Kinds() {
+			for _, st := range []*Store{enabled, disabled} {
+				// Each store gets its own copy: Window/Decay ingest stamps
+				// the items' time fields in place.
+				batch := make([]engine.Item, len(items))
+				copy(batch, items)
+				if err := st.AddBatchKindAt("plan", "m-"+kind.String(), kind, batch, now); err != nil {
+					t.Fatalf("bucket %d, kind %s: %v", bucketN, kind, err)
+				}
+			}
+		}
+
+		for _, kind := range Kinds() {
+			metric := "m-" + kind.String()
+			ctx := fmt.Sprintf("bucket %d", bucketN)
+			// Full range: all sealed buckets plus the live one.
+			checkPlanEquiv(t, enabled, disabled, metric, epoch, now.Add(time.Minute), 0, 1, ctx+" full")
+			// Mid-range start: a distinct (key, lo) plan.
+			if bucketN >= 2 {
+				checkPlanEquiv(t, enabled, disabled, metric, epoch.Add(2*time.Minute), now.Add(time.Minute), 0, 1, ctx+" mid")
+			}
+			// Sealed-only range: exercises plans with no live merge.
+			if bucketN >= 1 {
+				checkPlanEquiv(t, enabled, disabled, metric, epoch, now.Add(-time.Minute), 0, 0, ctx+" sealed")
+			}
+			if kind == Stratified {
+				checkPlanEquiv(t, enabled, disabled, metric, epoch, now.Add(time.Minute), 1, 1, ctx+" dim1")
+			}
+		}
+
+		var se, sd bytes.Buffer
+		if err := enabled.Snapshot(&se); err != nil {
+			t.Fatal(err)
+		}
+		if err := disabled.Snapshot(&sd); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(se.Bytes(), sd.Bytes()) {
+			t.Fatalf("bucket %d: snapshots diverge (%d vs %d bytes)", bucketN, se.Len(), sd.Len())
+		}
+
+		now = now.Add(time.Minute)
+	}
+
+	es, ds := enabled.Stats(), disabled.Stats()
+	if es.PlanHits == 0 || es.PlanMisses == 0 || es.PlanInvalidations == 0 {
+		t.Fatalf("enabled plan stats did not move: %+v", es)
+	}
+	if es.PlanCacheEntries == 0 || es.PlanCacheBytes == 0 {
+		t.Fatalf("plan cache empty after warm queries: %+v", es)
+	}
+	if ds.PlanHits != 0 || ds.PlanMisses != 0 || ds.PlanCacheEntries != 0 {
+		t.Fatalf("disabled store has plan activity: %+v", ds)
+	}
+
+	// Restore continuation: the restored store starts with an empty plan
+	// cache, must answer cold exactly like the long-lived disabled twin,
+	// and re-warms.
+	var snap bytes.Buffer
+	if err := enabled.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(planEquivConfig(&now, 0))
+	if err := restored.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if rs := restored.Stats(); rs.PlanCacheEntries != 0 {
+		t.Fatalf("restored store has %d cached plans", rs.PlanCacheEntries)
+	}
+	for _, kind := range Kinds() {
+		metric := "m-" + kind.String()
+		// The restored store holds only sealed buckets (no live bucket
+		// until the next ingest), so the full range has liveIn 0.
+		checkPlanEquiv(t, restored, disabled, metric, epoch, now, 0, 0, "restored full")
+	}
+}

@@ -1,0 +1,320 @@
+package store
+
+// Plan-cache lifecycle tests: each mutation that can change which
+// buckets a (key, lo) pair names must invalidate exactly the affected
+// plans — rotation none, retention pruning the plans behind the
+// horizon, series eviction the victim's plans, Restore all of them —
+// plus the byte-budget LRU and a concurrency hammer.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func planTestConfig(now *time.Time, retention, maxKeys int, planBytes int64) Config {
+	return Config{
+		K: 32, Seed: 5, BucketWidth: time.Minute, Retention: retention,
+		MaxKeys: maxKeys, PlanCacheBytes: planBytes,
+		Now: func() time.Time { return *now },
+	}
+}
+
+func planIngest(t *testing.T, st *Store, metric string, bucketN int, seed uint64) {
+	t.Helper()
+	at := epoch.Add(time.Duration(bucketN) * time.Minute)
+	if err := st.AddBatchAt("ns", metric, zipfItems(200, seed), at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanRotationExtendsPlans: sealing a new bucket invalidates
+// nothing — the cached prefix stays valid and the next query extends it
+// instead of rebuilding.
+func TestPlanRotationExtendsPlans(t *testing.T) {
+	now := epoch
+	st := New(planTestConfig(&now, 16, 0, 0))
+	for b := 0; b < 4; b++ {
+		planIngest(t, st, "m", b, uint64(b)+1)
+	}
+	now = epoch.Add(4 * time.Minute)
+
+	res, err := st.Query("ns", "m", epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Planned {
+		t.Fatal("first query claimed a plan")
+	}
+
+	// Rotate: bucket 3 seals, bucket 4 opens.
+	planIngest(t, st, "m", 4, 5)
+	now = epoch.Add(5 * time.Minute)
+
+	res, err = st.Query("ns", "m", epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Planned {
+		t.Fatal("post-rotation query did not extend the cached plan")
+	}
+	if res.Buckets != 5 {
+		t.Fatalf("merged %d buckets, want 5", res.Buckets)
+	}
+	s := st.Stats()
+	if s.PlanInvalidations != 0 {
+		t.Fatalf("rotation invalidated %d plans, want 0", s.PlanInvalidations)
+	}
+	if s.PlanHits != 1 || s.PlanMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", s.PlanHits, s.PlanMisses)
+	}
+}
+
+// TestPlanRetentionPruneInvalidates: pruning drops exactly the plans
+// whose first bucket fell behind the horizon.
+func TestPlanRetentionPruneInvalidates(t *testing.T) {
+	now := epoch
+	st := New(planTestConfig(&now, 3, 0, 0))
+	for b := 0; b < 4; b++ {
+		planIngest(t, st, "m", b, uint64(b)+1)
+	}
+	now = epoch.Add(4 * time.Minute)
+	if _, err := st.Query("ns", "m", epoch, now); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.PlanCacheEntries != 1 {
+		t.Fatalf("cached %d plans, want 1", s.PlanCacheEntries)
+	}
+
+	// Jump to bucket 7: the rotation prunes every sealed bucket behind
+	// cut = 7 - 3, taking the cached plan (lo = bucket 0) with it.
+	planIngest(t, st, "m", 7, 8)
+	now = epoch.Add(8 * time.Minute)
+	s := st.Stats()
+	if s.PlanInvalidations != 1 {
+		t.Fatalf("prune invalidated %d plans, want 1", s.PlanInvalidations)
+	}
+	if s.PlanCacheEntries != 0 {
+		t.Fatalf("stale plans survive the prune: %d entries", s.PlanCacheEntries)
+	}
+}
+
+// TestPlanSeriesEvictionInvalidates: LRU key eviction purges the
+// victim's plans, so a re-created series at the same bucket indices is
+// answered from its own data, never a stale plan.
+func TestPlanSeriesEvictionInvalidates(t *testing.T) {
+	now := epoch
+	st := New(planTestConfig(&now, 16, 2, 0))
+	for b := 0; b < 3; b++ {
+		planIngest(t, st, "a", b, uint64(b)+1)
+	}
+	// Cache a plan for a's sealed prefix.
+	if _, err := st.Query("ns", "a", epoch, epoch.Add(3*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// b is touched later than a's query, then c evicts a.
+	planIngest(t, st, "b", 5, 9)
+	planIngest(t, st, "c", 6, 10)
+	s := st.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.PlanInvalidations == 0 || s.PlanCacheEntries != 0 {
+		t.Fatalf("victim's plans survive eviction: %+v", s)
+	}
+
+	// Re-create a at the same bucket indices with DIFFERENT data; the
+	// answer must match a fresh store fed only the new data.
+	for b := 0; b < 3; b++ {
+		planIngest(t, st, "a", b, uint64(b)+100)
+	}
+	got, err := st.Query("ns", "a", epoch, epoch.Add(3*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(planTestConfig(&now, 16, 2, 0))
+	for b := 0; b < 3; b++ {
+		planIngest(t, fresh, "a", b, uint64(b)+100)
+	}
+	want, err := fresh.Query("ns", "a", epoch, epoch.Add(3*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jg, _ := json.Marshal(got)
+	jw, _ := json.Marshal(want)
+	if !bytes.Equal(jg, jw) {
+		t.Fatalf("re-created series answered stale data:\n  got:  %s\n  want: %s", jg, jw)
+	}
+}
+
+// TestPlanLRUEvictionByBudget: the byte budget holds — least-recently
+// used plans are evicted, the footprint never exceeds the budget, and
+// an evicted plan simply rebuilds on the next query.
+func TestPlanLRUEvictionByBudget(t *testing.T) {
+	now := epoch
+	const budget = 2048
+	st := New(planTestConfig(&now, 16, 0, budget))
+	metrics := []string{"m0", "m1", "m2", "m3", "m4", "m5"}
+	for _, m := range metrics {
+		for b := 0; b < 3; b++ {
+			planIngest(t, st, m, b, uint64(b)+3)
+		}
+	}
+	now = epoch.Add(3 * time.Minute)
+	for _, m := range metrics {
+		if _, err := st.Query("ns", m, epoch, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.Stats()
+	if s.PlanEvictions == 0 {
+		t.Fatalf("budget %d held %d plans without evicting: %+v", budget, len(metrics), s)
+	}
+	if s.PlanCacheBytes > budget {
+		t.Fatalf("cache footprint %d exceeds budget %d", s.PlanCacheBytes, budget)
+	}
+	if s.PlanCacheEntries == 0 {
+		t.Fatal("cache emptied itself")
+	}
+	// An evicted plan is a miss, not an error: the query rebuilds and
+	// re-caches.
+	res, err := st.Query("ns", metrics[0], epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := st.Query("ns", metrics[0], epoch, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Planned {
+		t.Fatal("rebuilt plan was not reused")
+	}
+	res2.Planned = res.Planned
+	jg, _ := json.Marshal(res)
+	jw, _ := json.Marshal(res2)
+	if !bytes.Equal(jg, jw) {
+		t.Fatalf("rebuild diverged:\n  %s\n  %s", jg, jw)
+	}
+}
+
+// TestPlanCacheUnit exercises the cache structure directly: LRU order
+// honors lookups, replacement accounting stays consistent, and the
+// invalidation entry points drop exactly the matching plans.
+func TestPlanCacheUnit(t *testing.T) {
+	k1 := Key{Namespace: "n", Metric: "a"}
+	k2 := Key{Namespace: "n", Metric: "b"}
+	env := bytes.Repeat([]byte{7}, 16)
+	entrySize := int64(len(env)) + planEntryOverhead
+
+	pc := newPlanCache(2 * entrySize)
+	pc.store(planKey{k1, 0}, 1, 2, env)
+	pc.store(planKey{k1, 5}, 6, 2, env)
+	// Bump (k1, 0), then overflow: (k1, 5) must be the victim.
+	if _, _, _, ok := pc.lookup(planKey{k1, 0}); !ok {
+		t.Fatal("lookup lost a stored plan")
+	}
+	pc.store(planKey{k2, 0}, 1, 2, env)
+	if _, _, _, ok := pc.lookup(planKey{k1, 5}); ok {
+		t.Fatal("LRU evicted the wrong plan")
+	}
+	if _, _, _, ok := pc.lookup(planKey{k1, 0}); !ok {
+		t.Fatal("LRU evicted the bumped plan")
+	}
+	if got := pc.evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	// Replacement keeps one entry per (key, lo) and exact byte accounting.
+	pc = newPlanCache(1 << 20)
+	pc.store(planKey{k1, 0}, 1, 2, env)
+	pc.store(planKey{k1, 0}, 3, 4, bytes.Repeat([]byte{8}, 32))
+	if b, n := pc.usage(); n != 1 || b != 32+planEntryOverhead {
+		t.Fatalf("after replace: %d entries, %d bytes", n, b)
+	}
+	if _, hi, count, _ := pc.lookup(planKey{k1, 0}); hi != 3 || count != 4 {
+		t.Fatalf("replace kept the old plan: hi=%d count=%d", hi, count)
+	}
+
+	// invalidateBelow drops only the plans behind the cut, only for the
+	// named key.
+	pc = newPlanCache(1 << 20)
+	for _, lo := range []int64{0, 5, 9} {
+		pc.store(planKey{k1, lo}, lo+1, 2, env)
+	}
+	pc.store(planKey{k2, 0}, 1, 2, env)
+	pc.invalidateBelow(k1, 5)
+	for _, tc := range []struct {
+		pk   planKey
+		want bool
+	}{{planKey{k1, 0}, false}, {planKey{k1, 5}, true}, {planKey{k1, 9}, true}, {planKey{k2, 0}, true}} {
+		if _, _, _, ok := pc.lookup(tc.pk); ok != tc.want {
+			t.Fatalf("after invalidateBelow: %+v present=%v, want %v", tc.pk, ok, tc.want)
+		}
+	}
+	pc.invalidateKey(k1)
+	if _, n := pc.usage(); n != 1 {
+		t.Fatalf("invalidateKey left %d entries, want 1 (other key)", n)
+	}
+	pc.invalidateAll()
+	if b, n := pc.usage(); n != 0 || b != 0 {
+		t.Fatalf("invalidateAll left %d entries, %d bytes", n, b)
+	}
+}
+
+// TestPlanCacheRaceHammer mixes ingest (with rotation and retention
+// pruning), range queries, key eviction and whole-store snapshots
+// against a hot plan cache; run under -race it proves the cache's
+// locking composes with the store's. Estimates are not asserted — the
+// equivalence harness owns correctness — only absence of races, panics
+// and unexpected errors.
+func TestPlanCacheRaceHammer(t *testing.T) {
+	st := New(Config{
+		K: 64, Seed: 3, BucketWidth: 2 * time.Millisecond, Retention: 4,
+		MaxKeys: 3, PlanCacheBytes: 8 << 10,
+	})
+	kinds := []Kind{BottomK, TopK, Distinct, Window}
+	metric := func(i int) string { return fmt.Sprintf("m%d", i) }
+
+	const dur = 150 * time.Millisecond
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(2)
+		go func() { // ingester: rotations, prunes, evictions
+			defer wg.Done()
+			items := zipfItems(50, uint64(i)+1)
+			for time.Now().Before(deadline) {
+				if err := st.AddBatchKind("ns", metric(i), kinds[i], items); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() { // querier: hot plans over a rolling range
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				now := time.Now()
+				_, _ = st.Query("ns", metric(i), now.Add(-time.Second), now)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // snapshotter
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			var b bytes.Buffer
+			if err := st.Snapshot(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if s := st.Stats(); s.Queries == 0 || s.Rotations == 0 {
+		t.Fatalf("hammer did not exercise the store: %+v", s)
+	}
+}

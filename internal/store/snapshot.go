@@ -265,6 +265,13 @@ func (st *Store) Restore(r io.Reader) error {
 	}
 	st.series = restored
 	st.restores.Add(1)
+	if st.plans != nil {
+		// Restore replaces the whole keyspace; no cached plan can name
+		// the restored buckets. (Restore requires an empty store, but
+		// evicted series may have raced plans in before emptiness was
+		// checked.)
+		st.plans.invalidateAll()
+	}
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"ats/internal/decay"
 	"ats/internal/distinct"
 	"ats/internal/engine"
+	"ats/internal/estimator"
 	"ats/internal/groupby"
 	"ats/internal/stratified"
 	"ats/internal/stream"
@@ -160,6 +161,12 @@ type Config struct {
 	// StratifiedDims is the number of stratification dimensions of
 	// Stratified series (default 2).
 	StratifiedDims int
+	// PlanCacheBytes is the byte budget of the query-plan cache, which
+	// memoizes merged sealed-bucket prefixes so repeated range queries
+	// decode one cached snapshot instead of re-merging every sealed
+	// bucket. Zero means the 16 MiB default; a negative value disables
+	// the cache.
+	PlanCacheBytes int64
 	// Now is the store clock (default time.Now). Tests and benchmarks
 	// inject synthetic clocks to drive rotation deterministically.
 	Now func() time.Time
@@ -196,6 +203,9 @@ func (c Config) withDefaults() Config {
 	if c.StratifiedDims <= 0 {
 		c.StratifiedDims = 2
 	}
+	if c.PlanCacheBytes == 0 {
+		c.PlanCacheBytes = defaultPlanCacheBytes
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -212,6 +222,17 @@ type Stats struct {
 	Queries   int64 `json:"queries"`
 	Snapshots int64 `json:"snapshots"`
 	Restores  int64 `json:"restores"`
+	// Plan-cache counters: queries answered from a cached merged-prefix
+	// plan (hits, including extensions of a shorter cached prefix),
+	// queries that had to rebuild (misses), plans dropped because their
+	// buckets changed identity (invalidations), plans dropped by the LRU
+	// byte budget (evictions), and the cache's current footprint.
+	PlanHits          int64 `json:"plan_hits"`
+	PlanMisses        int64 `json:"plan_misses"`
+	PlanInvalidations int64 `json:"plan_invalidations"`
+	PlanEvictions     int64 `json:"plan_evictions"`
+	PlanCacheBytes    int64 `json:"plan_cache_bytes"`
+	PlanCacheEntries  int   `json:"plan_cache_entries"`
 }
 
 // Store is a concurrent, multi-tenant, time-bucketed sketch store. All
@@ -221,6 +242,10 @@ type Store struct {
 
 	mu     sync.RWMutex
 	series map[Key]*series
+
+	// plans memoizes merged sealed-bucket prefixes per (key, range
+	// start); nil when the cache is disabled. See plan.go.
+	plans *planCache
 
 	// clock is monotonic across the store: lastNano prevents a stalled
 	// producer from seeing time move backwards across buckets.
@@ -266,6 +291,12 @@ type series struct {
 	curIdx int64
 	// sealed holds collapsed historical buckets, ascending by index.
 	sealed []bucket
+	// scratch is the series' parked collapse target, checked out by
+	// range queries (under mu) and returned via the collapsed release
+	// hook, so repeated queries reuse one allocation instead of building
+	// a fresh target each time. Only kinds whose targets implement
+	// engine.Resetter park here.
+	scratch engine.Sampler
 	// touched is the LRU clock: unix nanos of the last add or query.
 	touched atomic.Int64
 }
@@ -280,7 +311,11 @@ type bucket struct {
 // New returns an empty store with cfg's zero fields defaulted.
 func New(cfg Config) *Store {
 	cfg = cfg.withDefaults()
-	return &Store{cfg: cfg, series: make(map[Key]*series)}
+	return &Store{
+		cfg:    cfg,
+		series: make(map[Key]*series),
+		plans:  newPlanCache(cfg.PlanCacheBytes),
+	}
 }
 
 // Config returns the store's effective (defaulted) configuration.
@@ -399,6 +434,12 @@ func (st *Store) evictLRULocked() {
 	}
 	delete(st.series, victim)
 	st.evictions.Add(1)
+	if st.plans != nil {
+		// A later series under the victim's key could regrow the same
+		// bucket indices with different contents; its plans must not
+		// outlive it.
+		st.plans.invalidateKey(victim)
+	}
 }
 
 // Add offers one item to (namespace, metric) at the store clock, under
@@ -461,7 +502,7 @@ func (st *Store) AddBatchKindAt(namespace, metric string, kind Kind, items []eng
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cur == nil || idx > s.curIdx {
-		st.rotateLocked(s, idx)
+		st.rotateLocked(key, s, idx)
 	}
 	// A batch carrying an instant at or before the current bucket (clock
 	// skew between producers) still lands in the current bucket: bucket
@@ -477,8 +518,10 @@ func (st *Store) AddBatchKindAt(namespace, metric string, kind Kind, items []eng
 
 // rotateLocked seals the current bucket (if any) and starts a fresh one
 // at idx, pruning sealed buckets beyond the retention horizon. Caller
-// holds the series lock.
-func (st *Store) rotateLocked(s *series, idx int64) {
+// holds the series lock. Sealing alone never invalidates cached plans —
+// the new bucket lands after every cached prefix — but pruning drops
+// the plans whose first bucket fell behind the horizon.
+func (st *Store) rotateLocked(key Key, s *series, idx int64) {
 	if s.cur != nil {
 		ob := st.obs.Load()
 		var start time.Time
@@ -503,6 +546,9 @@ func (st *Store) rotateLocked(s *series, idx int64) {
 	}
 	if drop > 0 {
 		s.sealed = append(s.sealed[:0], s.sealed[drop:]...)
+		if st.plans != nil {
+			st.plans.invalidateBelow(key, cut)
+		}
 	}
 	s.cur = engine.NewSharded(st.cfg.Shards, st.factoryFor(s.kind, idx))
 	s.curIdx = idx
@@ -586,6 +632,11 @@ type Result struct {
 	SampleSize int     `json:"sample_size"`
 	Threshold  float64 `json:"threshold"`
 	Exact      bool    `json:"exact,omitempty"`
+	// Planned reports that the sealed prefix of this query was answered
+	// from the plan cache (decoded, possibly extended) instead of
+	// re-merging every sealed bucket. Planned and unplanned responses
+	// are bit-identical apart from this marker.
+	Planned bool `json:"planned,omitempty"`
 }
 
 // ErrUnknownKey reports a query for a key the store does not hold.
@@ -595,50 +646,157 @@ var ErrUnknownKey = errors.New("store: unknown key")
 // sketch kind than the one the key was created with.
 var ErrKindMismatch = errors.New("store: sketch kind mismatch")
 
-// collapseRange merges every bucket overlapping [from, to] into a fresh
-// sampler, in ascending bucket order (current bucket last), and returns
-// it with the series kind and the number of buckets merged. The series
+// collapsed is the outcome of collapsing a query range: the merged
+// sampler with the series kind and the number of buckets folded in,
+// whether the sealed prefix came from a cached plan, and a release hook
+// the caller must invoke once its estimators are done with out (it may
+// park the sampler on the series for reuse). release is never nil.
+type collapsed struct {
+	out     engine.Sampler
+	kind    Kind
+	merged  int
+	planned bool
+	release func()
+}
+
+func noRelease() {}
+
+// collapseRange merges every bucket overlapping [from, to] into one
+// sampler, in ascending bucket order (current bucket last). The series
 // lock is held for the duration: sealed sketches settle their internal
 // representation during merges, so even read-style access must be
 // exclusive per key.
-func (st *Store) collapseRange(key Key, from, to time.Time) (engine.Sampler, Kind, int, error) {
+//
+// When the plan cache is enabled and the range covers at least two
+// sealed buckets, the sealed prefix is memoized under (key, first
+// sealed index): a repeated query decodes the cached canonical snapshot
+// — exact bytes, including RNG state for the kinds whose targets draw
+// randomness while merging — and merges only the buckets the plan does
+// not cover (none, when the range is unchanged) plus the live bucket's
+// snapshot. dim, when nonzero, is validated against the series before
+// any merging so a bad dimension never pays for a collapse.
+func (st *Store) collapseRange(key Key, from, to time.Time, dim int) (collapsed, error) {
 	st.mu.RLock()
 	s := st.series[key]
 	st.mu.RUnlock()
 	if s == nil {
-		return nil, 0, 0, fmt.Errorf("%w: %s/%s", ErrUnknownKey, key.Namespace, key.Metric)
+		return collapsed{}, fmt.Errorf("%w: %s/%s", ErrUnknownKey, key.Namespace, key.Metric)
+	}
+	if dim != 0 {
+		if s.kind != Stratified {
+			return collapsed{}, fmt.Errorf("%w: %s series have no dimension %d", ErrBadDim, s.kind, dim)
+		}
+		if dim < 0 || dim >= st.cfg.StratifiedDims {
+			return collapsed{}, fmt.Errorf("%w: dimension %d outside [0,%d)", ErrBadDim, dim, st.cfg.StratifiedDims)
+		}
 	}
 	s.touched.Store(st.cfg.Now().UnixNano())
 	fromIdx := st.bucketIndex(from)
 	toIdx := st.bucketIndex(to)
 	if to.Before(from) {
-		return nil, 0, 0, fmt.Errorf("store: query range ends (%v) before it starts (%v)", to, from)
+		return collapsed{}, fmt.Errorf("store: query range ends (%v) before it starts (%v)", to, from)
 	}
 
-	out := st.factoryFor(s.kind, 0)(-1)
-	merged := 0
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, b := range s.sealed {
-		if b.idx < fromIdx || b.idx > toIdx {
-			continue
-		}
-		if err := out.Merge(b.s); err != nil {
-			return nil, 0, 0, fmt.Errorf("store: merging bucket %d: %w", b.idx, err)
-		}
-		merged++
+
+	// The sealed buckets overlapping the range form one contiguous run
+	// (sealed is ascending by index).
+	lo := 0
+	for lo < len(s.sealed) && s.sealed[lo].idx < fromIdx {
+		lo++
 	}
+	hi := lo
+	for hi < len(s.sealed) && s.sealed[hi].idx <= toIdx {
+		hi++
+	}
+	overlap := s.sealed[lo:hi]
+
+	c := collapsed{kind: s.kind, release: noRelease}
+	start := 0 // overlap position the sealed merge loop continues from
+
+	// Warm path: reuse the cached merged prefix for this (key, range
+	// start), whole or extended with the buckets sealed since it was
+	// built.
+	var pk planKey
+	plannable := st.plans != nil && len(overlap) >= 2
+	if plannable {
+		pk = planKey{key: key, lo: overlap[0].idx}
+		if env, phi, pcount, ok := st.plans.lookup(pk); ok && pcount <= len(overlap) && overlap[pcount-1].idx == phi {
+			dec, err := decodePlan(env, s.kind)
+			if err != nil {
+				// An undecodable plan is useless; drop it, rebuild cold.
+				st.plans.drop(pk)
+			} else {
+				c.out = dec
+				c.planned = true
+				c.merged = pcount
+				start = pcount
+			}
+		}
+		if c.planned {
+			st.plans.hits.Add(1)
+		} else {
+			st.plans.misses.Add(1)
+		}
+	}
+
+	if c.out == nil {
+		// Cold path: check out the series' parked collapse target when
+		// the kind supports reset-for-reuse, else build a fresh one.
+		if r, ok := s.scratch.(engine.Resetter); ok {
+			c.out = s.scratch
+			s.scratch = nil
+			r.Reset()
+		} else {
+			c.out = st.factoryFor(s.kind, 0)(-1)
+		}
+	}
+
+	// Merge the remaining sealed buckets, settling the target at every
+	// plan boundary: a target decoded from a cached prefix must continue
+	// bit-identically to one that merged every bucket directly, so every
+	// path compacts at the same points.
+	settler, _ := c.out.(engine.Settler)
+	for _, b := range overlap[start:] {
+		if err := c.out.Merge(b.s); err != nil {
+			return collapsed{}, fmt.Errorf("store: merging bucket %d: %w", b.idx, err)
+		}
+		if settler != nil {
+			settler.Settle()
+		}
+		c.merged++
+	}
+
+	// Memoize the merged sealed prefix before the live bucket folds in.
+	if plannable && start < len(overlap) {
+		if env, err := encodePlan(c.out); err == nil {
+			st.plans.store(pk, overlap[len(overlap)-1].idx, len(overlap), env)
+		}
+	}
+
 	if s.cur != nil && s.curIdx >= fromIdx && s.curIdx <= toIdx {
 		snap, err := s.cur.Snapshot()
 		if err != nil {
-			return nil, 0, 0, fmt.Errorf("store: collapsing current bucket: %w", err)
+			return collapsed{}, fmt.Errorf("store: collapsing current bucket: %w", err)
 		}
-		if err := out.Merge(snap); err != nil {
-			return nil, 0, 0, fmt.Errorf("store: merging current bucket: %w", err)
+		if err := c.out.Merge(snap); err != nil {
+			return collapsed{}, fmt.Errorf("store: merging current bucket: %w", err)
 		}
-		merged++
+		c.merged++
 	}
-	return out, s.kind, merged, nil
+
+	if _, ok := c.out.(engine.Resetter); ok {
+		out := c.out
+		c.release = func() {
+			s.mu.Lock()
+			if s.scratch == nil {
+				s.scratch = out
+			}
+			s.mu.Unlock()
+		}
+	}
+	return c, nil
 }
 
 // defaultTopN bounds the ranking returned by Query for TopK series;
@@ -666,6 +824,11 @@ func (st *Store) QueryTopN(namespace, metric string, from, to time.Time, topn in
 // for Stratified series: the result's Strata slice describes dimension
 // dim. Any dim other than 0 on a non-stratified series, or a dim outside
 // the series' dimensionality, returns ErrBadDim.
+// estScratches pools estimator scratch buffers across queries: the
+// bottom-k estimate appends every sampled entry, and a per-query buffer
+// would re-grow from empty on every query of the hot range-query path.
+var estScratches = sync.Pool{New: func() any { return new(estimator.Scratch) }}
+
 func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn, dim int) (Result, error) {
 	st.queries.Add(1)
 	ob := st.obs.Load()
@@ -673,28 +836,20 @@ func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn
 	if ob != nil {
 		qStart = time.Now()
 	}
-	// Validate the dimension before collapsing the range: a bad dim on a
-	// long series must not pay for (and then discard) a full merge.
-	if dim != 0 {
-		kind, err := st.KindOf(namespace, metric)
-		if err != nil {
-			return Result{}, err
-		}
-		if kind != Stratified {
-			return Result{}, fmt.Errorf("%w: %s series have no dimension %d", ErrBadDim, kind, dim)
-		}
-		if dim < 0 || dim >= st.cfg.StratifiedDims {
-			return Result{}, fmt.Errorf("%w: dimension %d outside [0,%d)", ErrBadDim, dim, st.cfg.StratifiedDims)
-		}
-	}
-	out, kind, merged, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
+	// Dimension validation is pushed into collapseRange, which resolves
+	// the series anyway: a bad dim on a long series must not pay for
+	// (and then discard) a full merge, and the valid case must not pay
+	// for a second key lookup.
+	c, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to, dim)
 	if err != nil {
 		return Result{}, err
 	}
+	defer c.release()
+	out, kind, merged := c.out, c.kind, c.merged
 	if topn <= 0 {
 		topn = defaultTopN
 	}
-	res := Result{Kind: kind.String(), Buckets: merged, Threshold: out.Threshold()}
+	res := Result{Kind: kind.String(), Buckets: merged, Planned: c.planned, Threshold: out.Threshold()}
 	if math.IsInf(res.Threshold, 1) {
 		res.Threshold, res.Exact = 0, true
 	}
@@ -702,7 +857,7 @@ func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn
 	case Distinct:
 		sk := out.(*engine.DistinctSampler).Sketch()
 		res.DistinctEstimate = sk.Estimate()
-		res.SampleSize = len(sk.Hashes())
+		res.SampleSize = sk.SampleSize()
 	case Window:
 		sample := out.Sample()
 		res.SampleSize = len(sample)
@@ -713,7 +868,7 @@ func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn
 		sk := out.(*engine.TopKSampler).Sketch()
 		res.Sum = float64(sk.SubsetSum(nil)) // exact: USS conserves totals
 		res.SampleSize = sk.Len()
-		for _, r := range sk.TopK(topn) {
+		for _, r := range sk.AppendTopK(nil, topn) {
 			res.TopK = append(res.TopK, TopKItem{Key: r.Key, Estimate: float64(r.Estimate)})
 		}
 	case VarOpt:
@@ -737,7 +892,7 @@ func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn
 		res.SampleSize = sk.SampleSize()
 	case GroupBy:
 		sk := out.(*engine.GroupBySampler).Sketch()
-		for _, ge := range sk.GroupEstimates(topn) {
+		for _, ge := range sk.AppendGroupEstimates(nil, topn) {
 			res.Groups = append(res.Groups, GroupResult{
 				Group: ge.Group, DistinctEstimate: ge.Estimate, Dedicated: ge.Dedicated})
 		}
@@ -766,8 +921,10 @@ func (st *Store) QueryGrouped(namespace, metric string, from, to time.Time, topn
 		}
 	default:
 		sk := out.(*engine.BottomKSampler).Sketch()
-		res.Sum, res.VarianceEstimate = sk.SubsetSum(nil)
-		res.SampleSize = len(sk.Sample())
+		sc := estScratches.Get().(*estimator.Scratch)
+		res.Sum, res.VarianceEstimate = sk.SubsetSumInto(nil, sc)
+		estScratches.Put(sc)
+		res.SampleSize = sk.SampleSize()
 	}
 	if ob != nil {
 		ob.observeQuery(namespace, metric, merged, qStart)
@@ -785,14 +942,16 @@ func (st *Store) QuerySample(namespace, metric string, from, to time.Time) ([]en
 	if ob != nil {
 		qStart = time.Now()
 	}
-	out, _, merged, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to)
+	c, err := st.collapseRange(Key{Namespace: namespace, Metric: metric}, from, to, 0)
 	if err != nil {
 		return nil, err
 	}
+	sample := c.out.Sample()
+	c.release()
 	if ob != nil {
-		ob.observeQuery(namespace, metric, merged, qStart)
+		ob.observeQuery(namespace, metric, c.merged, qStart)
 	}
-	return out.Sample(), nil
+	return sample, nil
 }
 
 // KindOf returns the sketch kind of an existing key.
@@ -856,6 +1015,13 @@ func (st *Store) Stats() Stats {
 		Queries:   st.queries.Load(),
 		Snapshots: st.snapshots.Load(),
 		Restores:  st.restores.Load(),
+	}
+	if pc := st.plans; pc != nil {
+		s.PlanHits = pc.hits.Load()
+		s.PlanMisses = pc.misses.Load()
+		s.PlanInvalidations = pc.invalidations.Load()
+		s.PlanEvictions = pc.evictions.Load()
+		s.PlanCacheBytes, s.PlanCacheEntries = pc.usage()
 	}
 	st.mu.RLock()
 	snapshot := make([]*series, 0, len(st.series))

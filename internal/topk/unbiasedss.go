@@ -95,6 +95,42 @@ func (s *UnbiasedSpaceSaving) TopK(k int) []Result {
 	return out
 }
 
+// AppendTopK appends the n items with the largest counters to dst in
+// decreasing order (ties by ascending key) and returns the extended
+// slice. It produces exactly TopK(n) but materializes only n results:
+// one O(m) scan maintaining an n-length insertion buffer instead of
+// sorting all m counters, the bounded form the store's query planner
+// pushes below the merge. With a reused dst it performs no allocation.
+func (s *UnbiasedSpaceSaving) AppendTopK(dst []Result, n int) []Result {
+	if n <= 0 {
+		return dst
+	}
+	base := len(dst)
+	before := func(a, b Result) bool {
+		if a.Estimate != b.Estimate {
+			return a.Estimate > b.Estimate
+		}
+		return a.Key < b.Key
+	}
+	for key, c := range s.counts {
+		r := Result{Key: key, Estimate: c}
+		if len(dst)-base == n {
+			if !before(r, dst[len(dst)-1]) {
+				continue
+			}
+			dst = dst[:len(dst)-1]
+		}
+		i := len(dst)
+		dst = append(dst, r)
+		for i > base && before(r, dst[i-1]) {
+			dst[i] = dst[i-1]
+			i--
+		}
+		dst[i] = r
+	}
+	return dst
+}
+
 // EstimateCount returns the (unbiased) counter for key, 0 if untracked.
 func (s *UnbiasedSpaceSaving) EstimateCount(key uint64) int64 {
 	return s.counts[key]
