@@ -60,7 +60,7 @@ func runCompare(args []string) {
 			}
 		}
 	}
-	all, regressions := bench.Compare(old, fresh, prefixes, *maxRegress)
+	all, regressions, allocRegressions := bench.Compare(old, fresh, prefixes, *maxRegress)
 
 	fmt.Printf("comparing %s (pr %d) -> %s (pr %d), gate %.0f%%\n\n",
 		*oldPath, old.PR, *newPath, fresh.PR, *maxRegress*100)
@@ -68,13 +68,17 @@ func runCompare(args []string) {
 		fmt.Fprintln(os.Stderr, "compare: no hot-path benchmarks present in both reports")
 		os.Exit(2)
 	}
-	fmt.Printf("%-34s %12s %12s %9s\n", "hot path", "old ns/op", "new ns/op", "change")
+	fmt.Printf("%-34s %12s %12s %9s %13s\n", "hot path", "old ns/op", "new ns/op", "change", "allocs/op")
 	for _, d := range all {
 		mark := ""
 		if d.Change > *maxRegress {
 			mark = "  << REGRESSION"
 		}
-		fmt.Printf("%-34s %12.2f %12.2f %+8.1f%%%s\n", d.Name, d.OldNs, d.NewNs, d.Change*100, mark)
+		if d.NewAllocs > d.OldAllocs {
+			mark += "  << ALLOC REGRESSION"
+		}
+		fmt.Printf("%-34s %12.2f %12.2f %+8.1f%% %6d -> %-4d%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Change*100, d.OldAllocs, d.NewAllocs, mark)
 	}
 	// The overhead gate is intra-report: it pairs each instrumented
 	// benchmark row with its uninstrumented twin inside the fresh report,
@@ -110,6 +114,12 @@ func runCompare(args []string) {
 	failed := false
 	if len(regressions) > 0 {
 		fmt.Printf("\n%d hot path(s) regressed beyond %.0f%%\n", len(regressions), *maxRegress*100)
+		failed = true
+	}
+	// Alloc counts are deterministic, so the alloc gate is strict: any
+	// hot-path row allocating more per op than the baseline fails.
+	if len(allocRegressions) > 0 {
+		fmt.Printf("\n%d hot path(s) allocate more per op than the baseline\n", len(allocRegressions))
 		failed = true
 	}
 	if len(over) > 0 {

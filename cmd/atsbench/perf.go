@@ -36,7 +36,7 @@ import (
 )
 
 // perfPR is the sequence number stamped into the default output name.
-const perfPR = 9
+const perfPR = 10
 
 type perfCase struct {
 	sketch, op, shape string

@@ -270,19 +270,28 @@ type Delta struct {
 	OldNs  float64
 	NewNs  float64
 	Change float64 // (new-old)/old; positive is a slowdown
+	// OldAllocs/NewAllocs carry the rows' allocs/op for the alloc gate;
+	// intra-report gates (Overhead, WarmRatio) leave them zero.
+	OldAllocs int64
+	NewAllocs int64
 }
 
 // Compare diffs new against old over the benchmarks whose names match
 // any of the given prefixes (DefaultHotPaths when nil) and are present
 // in both reports. It returns every matched delta, sorted worst first,
-// and the subset regressing by more than maxRegress.
-func Compare(old, fresh Report, prefixes []string, maxRegress float64) (all, regressions []Delta) {
+// the subset regressing by more than maxRegress, and the subset whose
+// allocs/op grew at all. The alloc gate is strict — unlike ns/op,
+// allocation counts are deterministic, so any increase on a hot path is
+// a real regression (the class of drift where the warm query path
+// silently picked up five allocations per decode) and fails the gate
+// with no noise allowance.
+func Compare(old, fresh Report, prefixes []string, maxRegress float64) (all, regressions, allocRegressions []Delta) {
 	if prefixes == nil {
 		prefixes = DefaultHotPaths
 	}
-	oldNs := make(map[string]float64, len(old.Results))
+	oldRows := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
-		oldNs[r.Name] = r.NsPerOp
+		oldRows[r.Name] = r
 	}
 	matches := func(name string) bool {
 		for _, p := range prefixes {
@@ -293,17 +302,28 @@ func Compare(old, fresh Report, prefixes []string, maxRegress float64) (all, reg
 		return false
 	}
 	for _, r := range fresh.Results {
-		prev, ok := oldNs[r.Name]
-		if !ok || !matches(r.Name) || prev <= 0 {
+		prev, ok := oldRows[r.Name]
+		if !ok || !matches(r.Name) || prev.NsPerOp <= 0 {
 			continue
 		}
-		d := Delta{Name: r.Name, OldNs: prev, NewNs: r.NsPerOp, Change: (r.NsPerOp - prev) / prev}
+		d := Delta{
+			Name: r.Name, OldNs: prev.NsPerOp, NewNs: r.NsPerOp,
+			Change:    (r.NsPerOp - prev.NsPerOp) / prev.NsPerOp,
+			OldAllocs: prev.AllocsPerOp, NewAllocs: r.AllocsPerOp,
+		}
 		all = append(all, d)
 		if d.Change > maxRegress {
 			regressions = append(regressions, d)
 		}
+		if d.NewAllocs > d.OldAllocs {
+			allocRegressions = append(allocRegressions, d)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Change > all[j].Change })
 	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Change > regressions[j].Change })
-	return all, regressions
+	sort.Slice(allocRegressions, func(i, j int) bool {
+		return allocRegressions[i].NewAllocs-allocRegressions[i].OldAllocs >
+			allocRegressions[j].NewAllocs-allocRegressions[j].OldAllocs
+	})
+	return all, regressions, allocRegressions
 }

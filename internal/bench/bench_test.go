@@ -24,12 +24,15 @@ func TestCompareGatesHotPaths(t *testing.T) {
 		Result{Name: "varopt/add/uniform", NsPerOp: 300},          // improvement
 		Result{Name: "wire/decode/512-items", NsPerOp: 80},        // no baseline: skipped
 	)
-	all, regressions := Compare(old, fresh, nil, 0.20)
+	all, regressions, allocs := Compare(old, fresh, nil, 0.20)
 	if len(all) != 3 {
 		t.Fatalf("matched %d deltas, want 3: %+v", len(all), all)
 	}
 	if len(regressions) != 1 || regressions[0].Name != "window/add/steady" {
 		t.Fatalf("regressions = %+v, want exactly window/add/steady", regressions)
+	}
+	if len(allocs) != 0 {
+		t.Fatalf("alloc gate flagged %+v with no alloc data", allocs)
 	}
 	// Sorted worst first.
 	if all[0].Name != "window/add/steady" || all[2].Name != "varopt/add/uniform" {
@@ -40,9 +43,40 @@ func TestCompareGatesHotPaths(t *testing.T) {
 	}
 
 	// Explicit prefixes narrow the gate.
-	_, narrowed := Compare(old, fresh, []string{"store/"}, 0.20)
+	_, narrowed, _ := Compare(old, fresh, []string{"store/"}, 0.20)
 	if len(narrowed) != 0 {
 		t.Fatalf("narrowed gate flagged %+v", narrowed)
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	old := report(
+		Result{Name: "store/query/8-buckets-warm", NsPerOp: 7000, AllocsPerOp: 2},
+		Result{Name: "topk-uss/add/zipf", NsPerOp: 1000, AllocsPerOp: 0},
+		Result{Name: "store-topk/query/8-buckets-warm", NsPerOp: 20000, AllocsPerOp: 19},
+	)
+	fresh := report(
+		Result{Name: "store/query/8-buckets-warm", NsPerOp: 7100, AllocsPerOp: 7},        // ns within gate, allocs grew
+		Result{Name: "topk-uss/add/zipf", NsPerOp: 1000, AllocsPerOp: 0},                 // unchanged
+		Result{Name: "store-topk/query/8-buckets-warm", NsPerOp: 19000, AllocsPerOp: 19}, // equal allocs: fine
+	)
+	all, regressions, allocs := Compare(old, fresh, nil, 0.20)
+	if len(all) != 3 || len(regressions) != 0 {
+		t.Fatalf("all=%+v regressions=%+v, want 3 deltas and no time regressions", all, regressions)
+	}
+	// The alloc gate is strict: +5 allocs/op fails even though ns/op is
+	// inside the time gate; equal or improved alloc counts pass.
+	if len(allocs) != 1 || allocs[0].Name != "store/query/8-buckets-warm" {
+		t.Fatalf("alloc regressions = %+v, want exactly store/query/8-buckets-warm", allocs)
+	}
+	if allocs[0].OldAllocs != 2 || allocs[0].NewAllocs != 7 {
+		t.Fatalf("alloc delta = %+v, want 2 -> 7", allocs[0])
+	}
+
+	// Reducing allocations clears the gate.
+	fresh.Results[0].AllocsPerOp = 2
+	if _, _, allocs := Compare(old, fresh, nil, 0.20); len(allocs) != 0 {
+		t.Fatalf("alloc gate flagged %+v after the fix", allocs)
 	}
 }
 

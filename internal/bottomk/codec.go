@@ -113,3 +113,62 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	*s = *restored
 	return nil
 }
+
+// UnmarshalBinaryReuse is UnmarshalBinary refilling the receiver's
+// existing keeper buffers instead of allocating fresh ones, for decode
+// paths that run per query (the store's cached-plan decode). The decoded
+// state is bit-identical to UnmarshalBinary's — the keeper's compaction
+// behavior is capacity-independent — and when the receiver's k matches
+// the serialized k the call performs no allocation. On a k mismatch it
+// falls back to UnmarshalBinary; on corrupt input the receiver is left
+// reset and must be discarded.
+func (s *Sketch) UnmarshalBinaryReuse(data []byte) error {
+	const header = 4 + 1 + 4 + 8 + 8 + 4
+	if len(data) < header {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[5:]))
+	if k != s.k {
+		return s.UnmarshalBinary(data)
+	}
+	seed := binary.LittleEndian.Uint64(data[9:])
+	n := binary.LittleEndian.Uint64(data[17:])
+	count := int(binary.LittleEndian.Uint32(data[25:]))
+	if count < 0 || count > k+1 {
+		return fmt.Errorf("%w: %d entries for k=%d", ErrCorrupt, count, k)
+	}
+	if len(data) != header+count*32 {
+		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*32)
+	}
+	pri, entries := s.kp.Buffers()
+	off := header
+	for i := 0; i < count; i++ {
+		e := Entry{
+			Key:      binary.LittleEndian.Uint64(data[off:]),
+			Weight:   math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			Value:    math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+			Priority: math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+		}
+		if !(e.Priority >= 0) || math.IsNaN(e.Weight) {
+			// Buffers already emptied the keeper; finish the reset so a
+			// discarded receiver holds no partial state.
+			s.kp.Reset()
+			s.n = 0
+			return fmt.Errorf("%w: invalid entry %d", ErrCorrupt, i)
+		}
+		off += 32
+		pri = append(pri, e.Priority)
+		entries = append(entries, e)
+	}
+	s.kp.Adopt(pri, entries)
+	s.kp.AdoptSettled()
+	s.seed = seed
+	s.n = int(n)
+	return nil
+}

@@ -133,6 +133,45 @@ func Envelope(name string, payload []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// Payload returns the payload of the single envelope occupying exactly
+// data, verifying that the embedded codec name equals name. Unlike
+// Unmarshal it performs no registry lookup and no decoding — and no
+// allocation: the returned slice aliases data. It exists for hot paths
+// (the store's cached-plan decode) that already hold a typed target and
+// only need the framing stripped.
+func Payload(data []byte, name string) ([]byte, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != envMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != envVersion {
+		return nil, fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	nameLen := int(data[5])
+	if nameLen == 0 {
+		return nil, fmt.Errorf("%w: empty codec name", ErrCorrupt)
+	}
+	if len(data) < 6+nameLen+4 {
+		return nil, fmt.Errorf("%w: truncated name", ErrCorrupt)
+	}
+	// The byte-slice-to-string conversion in a pure comparison does not
+	// allocate.
+	if string(data[6:6+nameLen]) != name {
+		return nil, fmt.Errorf("codec: envelope names codec %q, want %q", data[6:6+nameLen], name)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[6+nameLen:]))
+	if payloadLen > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	body := data[6+nameLen+4:]
+	if len(body) != payloadLen {
+		return nil, fmt.Errorf("%w: payload is %d bytes, want %d", ErrCorrupt, len(body), payloadLen)
+	}
+	return body, nil
+}
+
 // Encode is Marshal with the codec inferred from the value's type.
 func Encode(v any) ([]byte, error) {
 	name, ok := NameFor(v)

@@ -85,3 +85,49 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	*s = *restored
 	return nil
 }
+
+// UnmarshalBinaryReuse is UnmarshalBinary refilling the receiver's
+// existing keeper scratch instead of allocating a fresh sketch, for
+// decode paths that run per query (the store's cached-plan decode). The
+// decoded state is bit-identical to UnmarshalBinary's — a reset keeper
+// retains exactly what a fresh one would — and once the scratch has
+// grown to the serialized size the call performs no allocation. On a k
+// mismatch it falls back to UnmarshalBinary; on corrupt input the
+// receiver is left reset and must be discarded.
+func (s *Sketch) UnmarshalBinaryReuse(data []byte) error {
+	const header = 4 + 1 + 4 + 8 + 4
+	if len(data) < header {
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != codecMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: got %d", ErrVersion, data[4])
+	}
+	k := int(binary.LittleEndian.Uint32(data[5:]))
+	if k != s.k {
+		return s.UnmarshalBinary(data)
+	}
+	seed := binary.LittleEndian.Uint64(data[9:])
+	count := int(binary.LittleEndian.Uint32(data[17:]))
+	if count < 0 || count > k+1 {
+		return fmt.Errorf("%w: %d hashes for k=%d", ErrCorrupt, count, k)
+	}
+	if len(data) != header+count*8 {
+		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCorrupt, len(data)-header, count*8)
+	}
+	s.seed = seed
+	s.hk.Reset()
+	off := header
+	for i := 0; i < count; i++ {
+		h := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		if !(h > 0 && h < 1) {
+			s.hk.Reset()
+			return fmt.Errorf("%w: hash %d out of (0,1)", ErrCorrupt, i)
+		}
+		s.addHash(h)
+		off += 8
+	}
+	return nil
+}

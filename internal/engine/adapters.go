@@ -54,6 +54,9 @@ var (
 	_ Resetter = (*BottomKSampler)(nil)
 	_ Resetter = (*DistinctSampler)(nil)
 
+	_ SnapshotUnmarshaler = (*BottomKSampler)(nil)
+	_ SnapshotUnmarshaler = (*DistinctSampler)(nil)
+
 	_ SnapshotMarshaler = (*BottomKSampler)(nil)
 	_ SnapshotMarshaler = (*DistinctSampler)(nil)
 	_ SnapshotMarshaler = (*WindowSampler)(nil)
@@ -163,6 +166,12 @@ func (b *BottomKSampler) CodecName() string { return codec.NameBottomK }
 // MarshalBinary serializes the underlying sketch (codec payload form).
 func (b *BottomKSampler) MarshalBinary() ([]byte, error) { return b.sk.MarshalBinary() }
 
+// UnmarshalSnapshot overwrites the underlying sketch in place from a
+// codec payload, reusing its keeper buffers (see SnapshotUnmarshaler).
+func (b *BottomKSampler) UnmarshalSnapshot(payload []byte) error {
+	return b.sk.UnmarshalBinaryReuse(payload)
+}
+
 // Settle compacts the sketch to its canonical settled layout (see
 // Settler).
 func (b *BottomKSampler) Settle() { b.sk.Settle() }
@@ -232,6 +241,12 @@ func (d *DistinctSampler) CodecName() string { return codec.NameDistinct }
 
 // MarshalBinary serializes the underlying sketch (codec payload form).
 func (d *DistinctSampler) MarshalBinary() ([]byte, error) { return d.sk.MarshalBinary() }
+
+// UnmarshalSnapshot overwrites the underlying sketch in place from a
+// codec payload, reusing its keeper scratch (see SnapshotUnmarshaler).
+func (d *DistinctSampler) UnmarshalSnapshot(payload []byte) error {
+	return d.sk.UnmarshalBinaryReuse(payload)
+}
 
 // Settle compacts the sketch to its canonical layout (see Settler).
 func (d *DistinctSampler) Settle() { d.sk.Settle() }

@@ -88,6 +88,20 @@ type Settler interface {
 	Settle()
 }
 
+// SnapshotUnmarshaler is implemented by samplers that can overwrite
+// their state in place from a codec payload (the inverse of
+// SnapshotMarshaler's MarshalBinary), reusing the receiver's existing
+// buffers instead of allocating a fresh sketch. The decoded state must
+// be bit-identical to a fresh decode of the same payload. The store's
+// plan cache decodes a cached envelope on every warm query, so this is
+// the hot-path counterpart of WrapDecoded; only samplers that also
+// implement Resetter (their state carries no construction-time
+// randomness a reused instance could lose) implement it. On error the
+// receiver must be treated as undefined and discarded.
+type SnapshotUnmarshaler interface {
+	UnmarshalSnapshot(payload []byte) error
+}
+
 // Resetter is implemented by samplers that can be emptied for reuse as a
 // collapse/merge target, keeping allocated buffers. Reset must leave the
 // sampler behaviorally indistinguishable from a freshly constructed one;

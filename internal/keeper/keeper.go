@@ -150,6 +150,19 @@ func (kp *Keeper[E]) Reset() {
 	kp.thresh = math.Inf(1)
 }
 
+// Buffers resets the keeper and returns its empty scratch buffers for a
+// caller-driven refill (e.g. a codec decoding into a reused keeper):
+// append decoded entries to both slices in serialized order, then install
+// them with Adopt (and AdoptSettled for a settled layout). Refilling
+// retained capacity is equivalent to rebuilding from fresh exact-size
+// buffers — Reset guarantees capacity never changes which entries are
+// kept — so a decode through Buffers stays bit-identical to one through
+// freshly allocated buffers while performing no allocation.
+func (kp *Keeper[E]) Buffers() (pri []float64, items []E) {
+	kp.Reset()
+	return kp.pri, kp.items
+}
+
 // Threshold settles and returns the (k+1)-th smallest priority seen, or
 // +inf while fewer than k+1 entries have been retained.
 func (kp *Keeper[E]) Threshold() float64 {

@@ -234,3 +234,28 @@ func decodePlan(env []byte, kind Kind) (engine.Sampler, error) {
 	}
 	return engine.WrapDecoded(name, v)
 }
+
+// decodePlanInto is decodePlan preferring an in-place decode into the
+// series' parked scratch sampler: when the scratch supports
+// SnapshotUnmarshaler, the envelope payload overwrites it with no
+// sketch, adapter, or name-string allocation — the warm-path analogue
+// of the cold path's Resetter checkout. Falls back to decodePlan when
+// no suitable scratch is parked. Must be called with s.mu held.
+func (st *Store) decodePlanInto(s *series, env []byte) (engine.Sampler, error) {
+	if su, ok := s.scratch.(engine.SnapshotUnmarshaler); ok {
+		payload, err := codec.Payload(env, kindCodecName(s.kind))
+		if err != nil {
+			return nil, err
+		}
+		if err := su.UnmarshalSnapshot(payload); err != nil {
+			// A failed in-place decode leaves the target undefined; it
+			// must not be parked again.
+			s.scratch = nil
+			return nil, err
+		}
+		out := s.scratch
+		s.scratch = nil
+		return out, nil
+	}
+	return decodePlan(env, s.kind)
+}

@@ -723,7 +723,7 @@ func (st *Store) collapseRange(key Key, from, to time.Time, dim int) (collapsed,
 	if plannable {
 		pk = planKey{key: key, lo: overlap[0].idx}
 		if env, phi, pcount, ok := st.plans.lookup(pk); ok && pcount <= len(overlap) && overlap[pcount-1].idx == phi {
-			dec, err := decodePlan(env, s.kind)
+			dec, err := st.decodePlanInto(s, env)
 			if err != nil {
 				// An undecodable plan is useless; drop it, rebuild cold.
 				st.plans.drop(pk)

@@ -95,13 +95,18 @@ func (s *UnbiasedSpaceSaving) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: body is %d bytes, want %d counters", ErrCorrupt, len(data)-ussHeader, count)
 	}
 	// Built by hand rather than through New: the constructor pre-sizes
-	// the counter map by m, and m here is attacker-controlled header
-	// input — map capacity must follow the actual (already validated)
-	// entry count, not the claim.
+	// the counter table and map by m, and m here is attacker-controlled
+	// header input — capacity must follow the actual (already validated)
+	// entry count, not the claim. Entries land in the flat table in key
+	// order; slot order is behaviorally irrelevant (victim selection is a
+	// pure function of the (count, key) multiset), and the band starts
+	// empty so the first eviction rebuilds it.
 	restored := &UnbiasedSpaceSaving{
-		m:      m,
-		rng:    stream.NewRNG(0),
-		counts: make(map[uint64]int64, count),
+		m:       m,
+		rng:     stream.NewRNG(0),
+		ents:    make([]ussEntry, 0, count),
+		slots:   make(map[uint64]int32, count),
+		bandCap: bandCapFor(m),
 	}
 	if err := restored.rng.SetState(st); err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -121,7 +126,8 @@ func (s *UnbiasedSpaceSaving) UnmarshalBinary(data []byte) error {
 			return fmt.Errorf("%w: non-positive counter %d for key %d", ErrCorrupt, c, key)
 		}
 		total += c
-		restored.counts[key] = c
+		restored.slots[key] = int32(len(restored.ents))
+		restored.ents = append(restored.ents, ussEntry{key: key, c: c})
 	}
 	// Unbiased Space Saving conserves counter totals exactly: every
 	// stream point adds 1 to exactly one counter, and merges sum them.

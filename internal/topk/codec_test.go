@@ -105,8 +105,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		if err := s.UnmarshalBinary(data); err != nil {
 			return
 		}
-		if s.m <= 0 || len(s.counts) > s.m {
-			t.Fatalf("decoded invalid sketch: m=%d tracked=%d", s.m, len(s.counts))
+		if s.m <= 0 || s.Len() > s.m {
+			t.Fatalf("decoded invalid sketch: m=%d tracked=%d", s.m, s.Len())
 		}
 		out, err := s.MarshalBinary()
 		if err != nil {

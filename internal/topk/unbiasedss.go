@@ -3,10 +3,17 @@ package topk
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"ats/internal/stream"
 )
+
+// ussEntry is one tracked (label, counter) slot of the flat table.
+type ussEntry struct {
+	key uint64
+	c   int64
+}
 
 // UnbiasedSpaceSaving is the Unbiased Space Saving sketch of Ting (SIGMOD
 // 2018), cited as [30]: §3.3 describes the paper's adaptive top-k sampler
@@ -18,11 +25,55 @@ import (
 // conserved exactly, and each counter is an unbiased estimate of the total
 // appearances of its label-distribution — giving unbiased disaggregated
 // subset sums.
+//
+// Counters live in a flat slot table indexed by a key→slot map, and the
+// takeover victim — the minimum counter, ties to the smallest key — comes
+// from a cached minimum band instead of a full-table scan, making the
+// evicting insert amortized O(√m) instead of O(m). Victim selection is a
+// pure function of the (counter, key) multiset, so no observable behavior
+// (takeovers, merges, serialization) depends on slot order, and the flat
+// sketch stays bit-identical to the reference map implementation (see
+// ussref_test.go).
 type UnbiasedSpaceSaving struct {
-	m      int
-	rng    *stream.RNG
-	counts map[uint64]int64
-	n      int64
+	m   int
+	rng *stream.RNG
+	n   int64
+
+	// ents is the flat counter table; slots maps each tracked label to
+	// its index. Slot positions are stable across increments and
+	// takeovers (a takeover reuses the victim's slot), which keeps the
+	// band's slot references valid.
+	ents  []ussEntry
+	slots map[uint64]int32
+
+	// The minimum band: the bandCap slots whose (count, key) composites
+	// were the smallest in the table when the band was last rebuilt,
+	// sorted ascending by the count cached at that point (bandC) and
+	// consumed from front. Counts only ever grow, so a front entry whose
+	// actual count still equals its cached count is the exact global
+	// minimum; one whose count grew (a tracked increment landed since) is
+	// lazily re-sorted into the band, or retired from it once its
+	// composite passes the build-time boundary (boundC, boundKey) — past
+	// the boundary its order relative to the slots outside the band is
+	// unknown. When the band drains, a quickselect over the full table
+	// rebuilds it (see minSlot). bandCap ≈ √m balances the O(m) rebuild
+	// against the O(bandCap) re-sort, for O(√m) amortized evictions.
+	band     []int32
+	bandC    []int64
+	front    int
+	boundC   int64
+	boundKey uint64
+	bandCap  int
+	sel      []int32 // rebuild scratch: slot indices fed to quickselect
+}
+
+// bandCapFor sizes the minimum band as ⌈√m⌉.
+func bandCapFor(m int) int {
+	b := 1
+	for b*b < m {
+		b++
+	}
+	return b
 }
 
 // NewUnbiasedSpaceSaving returns a sketch with m counters.
@@ -31,14 +82,16 @@ func NewUnbiasedSpaceSaving(m int, seed uint64) *UnbiasedSpaceSaving {
 		panic("topk: m must be positive")
 	}
 	return &UnbiasedSpaceSaving{
-		m:      m,
-		rng:    stream.NewRNG(seed),
-		counts: make(map[uint64]int64, m),
+		m:       m,
+		rng:     stream.NewRNG(seed),
+		ents:    make([]ussEntry, 0, m),
+		slots:   make(map[uint64]int32, m),
+		bandCap: bandCapFor(m),
 	}
 }
 
 // Len returns the number of tracked items (at most m).
-func (s *UnbiasedSpaceSaving) Len() int { return len(s.counts) }
+func (s *UnbiasedSpaceSaving) Len() int { return len(s.ents) }
 
 // N returns the number of stream points processed.
 func (s *UnbiasedSpaceSaving) N() int64 { return s.n }
@@ -46,64 +99,209 @@ func (s *UnbiasedSpaceSaving) N() int64 { return s.n }
 // Add processes one stream point.
 func (s *UnbiasedSpaceSaving) Add(key uint64) {
 	s.n++
-	if _, ok := s.counts[key]; ok {
-		s.counts[key]++
+	if i, ok := s.slots[key]; ok {
+		// A tracked increment may leave a stale (too-small) cached count
+		// in the band; minSlot re-validates lazily.
+		s.ents[i].c++
 		return
 	}
-	if len(s.counts) < s.m {
-		s.counts[key] = 1
+	if len(s.ents) < s.m {
+		s.slots[key] = int32(len(s.ents))
+		s.ents = append(s.ents, ussEntry{key: key, c: 1})
 		return
 	}
-	// Find the minimum counter (linear scan: m is small; a production
-	// variant would keep the stream-summary structure). Ties break to the
-	// smallest key so the takeover victim never depends on map iteration
-	// order — the property that keeps serialized/restored copies in
-	// lockstep and merges reproducible.
-	var minKey uint64
-	var minC int64 = -1
-	for k, c := range s.counts {
-		if minC < 0 || c < minC || (c == minC && k < minKey) {
-			minKey, minC = k, c
-		}
-	}
+	slot := s.minSlot()
+	e := &s.ents[slot]
+	minC := e.c
 	// Increment the minimum and hand over the label with probability
 	// 1/(c_min + 1).
 	if s.rng.Float64()*float64(minC+1) < 1 {
-		delete(s.counts, minKey)
-		s.counts[key] = minC + 1
-	} else {
-		s.counts[minKey] = minC + 1
+		delete(s.slots, e.key)
+		s.slots[key] = slot
+		e.key = key
+	}
+	e.c = minC + 1
+	s.resortFront(slot)
+}
+
+// minSlot returns the slot holding the minimum counter, ties to the
+// smallest key. The band's front entry is the answer whenever its cached
+// count is still current; stale entries are re-sorted (or retired) until
+// a current one surfaces, and a drained band is rebuilt from the full
+// table.
+func (s *UnbiasedSpaceSaving) minSlot() int32 {
+	for {
+		if s.front >= len(s.band) {
+			s.rebuildBand()
+		}
+		slot := s.band[s.front]
+		if s.ents[slot].c == s.bandC[s.front] {
+			return slot
+		}
+		s.resortFront(slot)
+	}
+}
+
+// resortFront re-positions the band's front entry by its current
+// (count, key) composite: retired from the band when the composite passed
+// the build-time boundary (slots outside the band are only known to be
+// above the boundary), otherwise bubbled right to its sorted position
+// with its cache refreshed.
+func (s *UnbiasedSpaceSaving) resortFront(slot int32) {
+	e := s.ents[slot]
+	if e.c > s.boundC || (e.c == s.boundC && e.key > s.boundKey) {
+		s.front++
+		return
+	}
+	j := s.front
+	for j+1 < len(s.band) {
+		nslot, nc := s.band[j+1], s.bandC[j+1]
+		nkey := s.ents[nslot].key
+		if !(nc < e.c || (nc == e.c && nkey < e.key)) {
+			break
+		}
+		s.band[j], s.bandC[j] = nslot, nc
+		j++
+	}
+	s.band[j], s.bandC[j] = slot, e.c
+}
+
+// rebuildBand selects the bandCap smallest (count, key) composites from
+// the full table — expected O(m) quickselect plus an insertion sort of
+// the ~√m selected slots — and resets the boundary.
+func (s *UnbiasedSpaceSaving) rebuildBand() {
+	m := len(s.ents)
+	if s.sel == nil {
+		s.sel = make([]int32, 0, s.m)
+		s.band = make([]int32, 0, s.bandCap)
+		s.bandC = make([]int64, 0, s.bandCap)
+	}
+	sel := s.sel[:0]
+	for i := range s.ents {
+		sel = append(sel, int32(i))
+	}
+	s.sel = sel
+	b := s.bandCap
+	if b > m {
+		b = m
+	}
+	selectSmallestSlots(s.ents, sel, b)
+	for i := 1; i < b; i++ {
+		v := sel[i]
+		j := i - 1
+		for j >= 0 && ussSlotLess(s.ents, v, sel[j]) {
+			sel[j+1] = sel[j]
+			j--
+		}
+		sel[j+1] = v
+	}
+	s.band = s.band[:0]
+	s.bandC = s.bandC[:0]
+	for _, slot := range sel[:b] {
+		s.band = append(s.band, slot)
+		s.bandC = append(s.bandC, s.ents[slot].c)
+	}
+	s.front = 0
+	last := s.band[b-1]
+	s.boundC, s.boundKey = s.bandC[b-1], s.ents[last].key
+}
+
+// invalidateBand empties the band so the next eviction rebuilds it; any
+// wholesale change to counts or membership (merge, decode) must call it.
+func (s *UnbiasedSpaceSaving) invalidateBand() {
+	s.band = s.band[:0]
+	s.bandC = s.bandC[:0]
+	s.front = 0
+}
+
+// ussSlotLess orders slots by (count, key) composite — the victim order.
+func ussSlotLess(ents []ussEntry, a, b int32) bool {
+	ea, eb := ents[a], ents[b]
+	return ea.c < eb.c || (ea.c == eb.c && ea.key < eb.key)
+}
+
+// selectSmallestSlots partially orders sel so that its first k slots hold
+// the k smallest (count, key) composites of ents. Expected O(len(sel))
+// quickselect with median-of-3 pivots and an insertion-sort base case,
+// mirroring the keeper's compaction (internal/keeper.selectKth).
+func selectSmallestSlots(ents []ussEntry, sel []int32, k int) {
+	const cutoff = 12
+	lo, hi := 0, len(sel)-1
+	target := k - 1
+	for hi-lo >= cutoff {
+		mid := lo + (hi-lo)/2
+		if ussSlotLess(ents, sel[mid], sel[lo]) {
+			sel[mid], sel[lo] = sel[lo], sel[mid]
+		}
+		if ussSlotLess(ents, sel[hi], sel[lo]) {
+			sel[hi], sel[lo] = sel[lo], sel[hi]
+		}
+		if ussSlotLess(ents, sel[hi], sel[mid]) {
+			sel[hi], sel[mid] = sel[mid], sel[hi]
+		}
+		p := sel[mid]
+		i, j := lo, hi
+		for i <= j {
+			for ussSlotLess(ents, sel[i], p) {
+				i++
+			}
+			for ussSlotLess(ents, p, sel[j]) {
+				j--
+			}
+			if i <= j {
+				sel[i], sel[j] = sel[j], sel[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+	for i := lo + 1; i <= hi; i++ {
+		v := sel[i]
+		j := i - 1
+		for j >= lo && ussSlotLess(ents, v, sel[j]) {
+			sel[j+1] = sel[j]
+			j--
+		}
+		sel[j+1] = v
 	}
 }
 
 // TopK returns the k items with the largest counters, in decreasing order
-// (ties by key).
+// (ties by ascending key). It delegates to AppendTopK so the two ranking
+// paths cannot drift.
 func (s *UnbiasedSpaceSaving) TopK(k int) []Result {
-	out := make([]Result, 0, len(s.counts))
-	for key, c := range s.counts {
-		out = append(out, Result{Key: key, Estimate: c, LowerBound: 0})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Estimate != out[j].Estimate {
-			return out[i].Estimate > out[j].Estimate
-		}
-		return out[i].Key < out[j].Key
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out
+	return s.AppendTopK(nil, k)
 }
 
 // AppendTopK appends the n items with the largest counters to dst in
 // decreasing order (ties by ascending key) and returns the extended
-// slice. It produces exactly TopK(n) but materializes only n results:
-// one O(m) scan maintaining an n-length insertion buffer instead of
-// sorting all m counters, the bounded form the store's query planner
-// pushes below the merge. With a reused dst it performs no allocation.
+// slice. It materializes only n results: one O(m) scan maintaining an
+// n-length insertion buffer instead of sorting all m counters, the
+// bounded form the store's query planner pushes below the merge. With a
+// reused dst it performs no allocation.
 func (s *UnbiasedSpaceSaving) AppendTopK(dst []Result, n int) []Result {
 	if n <= 0 {
 		return dst
+	}
+	// Reserve the full result length up front: at most min(n, tracked)
+	// results materialize, so one grow replaces the doubling chain a nil
+	// dst would otherwise pay.
+	need := n
+	if need > len(s.ents) {
+		need = len(s.ents)
+	}
+	if cap(dst)-len(dst) < need {
+		grown := make([]Result, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
 	}
 	base := len(dst)
 	before := func(a, b Result) bool {
@@ -112,8 +310,8 @@ func (s *UnbiasedSpaceSaving) AppendTopK(dst []Result, n int) []Result {
 		}
 		return a.Key < b.Key
 	}
-	for key, c := range s.counts {
-		r := Result{Key: key, Estimate: c}
+	for _, t := range s.ents {
+		r := Result{Key: t.key, Estimate: t.c}
 		if len(dst)-base == n {
 			if !before(r, dst[len(dst)-1]) {
 				continue
@@ -133,16 +331,19 @@ func (s *UnbiasedSpaceSaving) AppendTopK(dst []Result, n int) []Result {
 
 // EstimateCount returns the (unbiased) counter for key, 0 if untracked.
 func (s *UnbiasedSpaceSaving) EstimateCount(key uint64) int64 {
-	return s.counts[key]
+	if i, ok := s.slots[key]; ok {
+		return s.ents[i].c
+	}
+	return 0
 }
 
 // SubsetSum returns the unbiased estimate of the total appearances of
 // items matching pred — the disaggregated subset sum of [30].
 func (s *UnbiasedSpaceSaving) SubsetSum(pred func(key uint64) bool) int64 {
 	var total int64
-	for key, c := range s.counts {
-		if pred == nil || pred(key) {
-			total += c
+	for _, e := range s.ents {
+		if pred == nil || pred(e.key) {
+			total += e.c
 		}
 	}
 	return total
@@ -152,13 +353,13 @@ func (s *UnbiasedSpaceSaving) SubsetSum(pred func(key uint64) bool) int64 {
 // below capacity. It is the sketch's takeover threshold: an untracked
 // item needs ~MinCount appearances before it is likely to claim a label.
 func (s *UnbiasedSpaceSaving) MinCount() int64 {
-	if len(s.counts) < s.m {
+	if len(s.ents) < s.m {
 		return 0
 	}
 	var min int64 = -1
-	for _, c := range s.counts {
-		if min < 0 || c < min {
-			min = c
+	for _, e := range s.ents {
+		if min < 0 || e.c < min {
+			min = e.c
 		}
 	}
 	if min < 0 {
@@ -172,11 +373,22 @@ func (s *UnbiasedSpaceSaving) MinCount() int64 {
 // adapter. Each counter is an unbiased estimate of its label's total
 // appearances; LowerBound is not maintained by this sketch and is 0.
 func (s *UnbiasedSpaceSaving) Counters() []Result {
-	out := make([]Result, 0, len(s.counts))
-	for key, c := range s.counts {
-		out = append(out, Result{Key: key, Estimate: c})
+	out := make([]Result, 0, len(s.ents))
+	for _, e := range s.ents {
+		out = append(out, Result{Key: e.key, Estimate: e.c})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	// slices.SortFunc rather than sort.Slice: no reflection, so the sort
+	// itself is allocation-free — Counters runs on the store's snapshot
+	// path once per warm query.
+	slices.SortFunc(out, func(a, b Result) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 
@@ -189,7 +401,7 @@ func (s *UnbiasedSpaceSaving) Counters() []Result {
 // unbiased estimate of its label's total appearances across both input
 // streams. The argument is not modified. Candidate order is
 // deterministic (sorted by count, then key), so merge results depend
-// only on the receiver's RNG state, never on map iteration order.
+// only on the receiver's RNG state, never on table order.
 func (s *UnbiasedSpaceSaving) Merge(o *UnbiasedSpaceSaving) error {
 	if o == s {
 		return errors.New("topk: cannot merge an unbiased space-saving sketch into itself")
@@ -198,29 +410,40 @@ func (s *UnbiasedSpaceSaving) Merge(o *UnbiasedSpaceSaving) error {
 		return fmt.Errorf("topk: cannot merge unbiased space-saving sketches with m=%d and m=%d", s.m, o.m)
 	}
 	s.n += o.n
-	for key, c := range o.counts {
-		s.counts[key] += c
+	for _, e := range o.ents {
+		if i, ok := s.slots[e.key]; ok {
+			s.ents[i].c += e.c
+		} else {
+			s.slots[e.key] = int32(len(s.ents))
+			s.ents = append(s.ents, e)
+		}
 	}
-	if len(s.counts) <= s.m {
+	// Counts and membership changed wholesale: cached band composites no
+	// longer bound the slots outside the band.
+	s.invalidateBand()
+	if len(s.ents) <= s.m {
 		return nil
 	}
-	type counter struct {
-		key uint64
-		c   int64
-	}
-	ents := make([]counter, 0, len(s.counts))
-	for key, c := range s.counts {
-		ents = append(ents, counter{key, c})
-	}
-	sort.Slice(ents, func(i, j int) bool {
-		if ents[i].c != ents[j].c {
-			return ents[i].c < ents[j].c
+	ents := make([]ussEntry, len(s.ents))
+	copy(ents, s.ents)
+	slices.SortFunc(ents, func(a, b ussEntry) int {
+		if a.c != b.c {
+			if a.c < b.c {
+				return -1
+			}
+			return 1
 		}
-		return ents[i].key < ents[j].key
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
 	})
 	for len(ents) > s.m {
 		a, b := ents[0], ents[1]
-		merged := counter{key: b.key, c: a.c + b.c}
+		merged := ussEntry{key: b.key, c: a.c + b.c}
 		if s.rng.Float64()*float64(a.c+b.c) < float64(a.c) {
 			merged.key = a.key
 		}
@@ -233,13 +456,15 @@ func (s *UnbiasedSpaceSaving) Merge(o *UnbiasedSpaceSaving) error {
 			}
 			return ents[i].key > merged.key
 		})
-		ents = append(ents, counter{})
+		ents = append(ents, ussEntry{})
 		copy(ents[i+1:], ents[i:])
 		ents[i] = merged
 	}
-	s.counts = make(map[uint64]int64, s.m)
+	s.ents = s.ents[:0]
+	clear(s.slots)
 	for _, e := range ents {
-		s.counts[e.key] = e.c
+		s.slots[e.key] = int32(len(s.ents))
+		s.ents = append(s.ents, e)
 	}
 	return nil
 }

@@ -1,0 +1,350 @@
+package topk
+
+// This file preserves the pre-flat map-based Unbiased Space Saving
+// implementation as a test-only reference: the flat-table sketch with its
+// cached minimum band must stay BIT-IDENTICAL to it — same counters, same
+// takeover decisions, same RNG consumption — on any stream, across codec
+// round trips, and through merges. The fixture is the hot-path rewrite
+// contract (see ARCHITECTURE.md): any future rewrite of the ingest path
+// must come with an equivalence suite of this shape.
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+// refUSS is the original map-backed Unbiased Space Saving sketch,
+// preserved verbatim (minimum by full linear scan, ties to the smallest
+// key).
+type refUSS struct {
+	m      int
+	rng    *stream.RNG
+	counts map[uint64]int64
+	n      int64
+}
+
+func newRefUSS(m int, seed uint64) *refUSS {
+	return &refUSS{
+		m:      m,
+		rng:    stream.NewRNG(seed),
+		counts: make(map[uint64]int64, m),
+	}
+}
+
+func (s *refUSS) Add(key uint64) {
+	s.n++
+	if _, ok := s.counts[key]; ok {
+		s.counts[key]++
+		return
+	}
+	if len(s.counts) < s.m {
+		s.counts[key] = 1
+		return
+	}
+	var minKey uint64
+	var minC int64 = -1
+	for k, c := range s.counts {
+		if minC < 0 || c < minC || (c == minC && k < minKey) {
+			minKey, minC = k, c
+		}
+	}
+	if s.rng.Float64()*float64(minC+1) < 1 {
+		delete(s.counts, minKey)
+		s.counts[key] = minC + 1
+	} else {
+		s.counts[minKey] = minC + 1
+	}
+}
+
+func (s *refUSS) Counters() []Result {
+	out := make([]Result, 0, len(s.counts))
+	for key, c := range s.counts {
+		out = append(out, Result{Key: key, Estimate: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (s *refUSS) Merge(o *refUSS) {
+	s.n += o.n
+	for key, c := range o.counts {
+		s.counts[key] += c
+	}
+	if len(s.counts) <= s.m {
+		return
+	}
+	type counter struct {
+		key uint64
+		c   int64
+	}
+	ents := make([]counter, 0, len(s.counts))
+	for key, c := range s.counts {
+		ents = append(ents, counter{key, c})
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].c != ents[j].c {
+			return ents[i].c < ents[j].c
+		}
+		return ents[i].key < ents[j].key
+	})
+	for len(ents) > s.m {
+		a, b := ents[0], ents[1]
+		merged := counter{key: b.key, c: a.c + b.c}
+		if s.rng.Float64()*float64(a.c+b.c) < float64(a.c) {
+			merged.key = a.key
+		}
+		ents = ents[2:]
+		i := sort.Search(len(ents), func(i int) bool {
+			if ents[i].c != merged.c {
+				return ents[i].c > merged.c
+			}
+			return ents[i].key > merged.key
+		})
+		ents = append(ents, counter{})
+		copy(ents[i+1:], ents[i:])
+		ents[i] = merged
+	}
+	s.counts = make(map[uint64]int64, s.m)
+	for _, e := range ents {
+		s.counts[e.key] = e.c
+	}
+}
+
+// ussStream names one deterministic key stream; the generator must be a
+// pure function of (i, rng) so flat and reference sketches can be fed the
+// identical sequence.
+type ussStream struct {
+	name string
+	gen  func(i int, rng *stream.RNG) uint64
+}
+
+func ussStreams(m int) []ussStream {
+	zipf := stream.NewZipf(1<<16, 1.2, 99)
+	return []ussStream{
+		{"zipf", func(i int, rng *stream.RNG) uint64 { return zipf.Next() }},
+		{"uniform", func(i int, rng *stream.RNG) uint64 { return rng.Uint64() % uint64(8*m) }},
+		// Adversarial for the minimum band: fresh never-seen keys force a
+		// takeover on every arrival (the band drains at full speed), with
+		// interleaved bursts that re-increment a recent key (staling its
+		// cached band count) and low-key arrivals that tie on count and
+		// fight over the smallest-key tie-break.
+		{"adversarial", func(i int, rng *stream.RNG) uint64 {
+			switch i % 7 {
+			case 0, 1, 2:
+				return uint64(1<<32) + uint64(i) // fresh key, forced takeover
+			case 3:
+				return uint64(1<<32) + uint64(i-1) // re-hit the newest label
+			case 4:
+				return uint64(i % (m + 1)) // small keys: count ties
+			default:
+				return rng.Uint64() % uint64(2*m)
+			}
+		}},
+	}
+}
+
+// assertUSSEqual asserts the flat sketch and the reference are in exactly
+// the same settled state: same size, counters, stream count, and RNG
+// position (the last catches consumption drift that no counter check
+// would see until the next takeover).
+func assertUSSEqual(t *testing.T, flat *UnbiasedSpaceSaving, ref *refUSS, at string) {
+	t.Helper()
+	if flat.N() != ref.n {
+		t.Fatalf("%s: n=%d, reference has %d", at, flat.N(), ref.n)
+	}
+	if flat.Len() != len(ref.counts) {
+		t.Fatalf("%s: %d tracked labels, reference has %d", at, flat.Len(), len(ref.counts))
+	}
+	fc, rc := flat.Counters(), ref.Counters()
+	for i := range fc {
+		if fc[i] != rc[i] {
+			t.Fatalf("%s: counter[%d] = %+v, reference has %+v", at, i, fc[i], rc[i])
+		}
+	}
+	if flat.rng.State() != ref.rng.State() {
+		t.Fatalf("%s: RNG state diverged: %v vs %v", at, flat.rng.State(), ref.rng.State())
+	}
+}
+
+// TestFlatMatchesMapReference drives flat and reference sketches in
+// lockstep over zipf, uniform, and band-adversarial streams, checking
+// bit-identical settled state at regular checkpoints and at the end,
+// for table sizes from degenerate to the benchmark shape.
+func TestFlatMatchesMapReference(t *testing.T) {
+	for _, m := range []int{1, 2, 16, 256} {
+		for _, ss := range ussStreams(m) {
+			t.Run(ss.name, func(t *testing.T) {
+				keyRNG := stream.NewRNG(uint64(m)*7919 + 5)
+				flat := NewUnbiasedSpaceSaving(m, 77)
+				ref := newRefUSS(m, 77)
+				for i := 0; i < 5000; i++ {
+					key := ss.gen(i, keyRNG)
+					flat.Add(key)
+					ref.Add(key)
+					if i%997 == 0 {
+						assertUSSEqual(t, flat, ref, ss.name)
+						if got, want := flat.EstimateCount(key), ref.counts[key]; got != want {
+							t.Fatalf("%s: EstimateCount(%d)=%d, reference has %d", ss.name, key, got, want)
+						}
+					}
+				}
+				assertUSSEqual(t, flat, ref, ss.name+" final")
+			})
+		}
+	}
+}
+
+// TestFlatMatchesReferenceAcrossRoundTrip snapshots the flat sketch
+// mid-stream, restores it, and continues the restored copy against the
+// reference: the codec must preserve the full state (counters AND RNG
+// position) so the restored sketch stays in lockstep. It also pins the
+// canonical-bytes property: re-marshaling the restored sketch yields the
+// identical envelope.
+func TestFlatMatchesReferenceAcrossRoundTrip(t *testing.T) {
+	for _, m := range []int{1, 16, 256} {
+		for _, ss := range ussStreams(m) {
+			t.Run(ss.name, func(t *testing.T) {
+				keyRNG := stream.NewRNG(uint64(m)*104729 + 11)
+				flat := NewUnbiasedSpaceSaving(m, 3)
+				ref := newRefUSS(m, 3)
+				for i := 0; i < 2500; i++ {
+					key := ss.gen(i, keyRNG)
+					flat.Add(key)
+					ref.Add(key)
+				}
+				env, err := flat.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored := NewUnbiasedSpaceSaving(1, 0)
+				if err := restored.UnmarshalBinary(env); err != nil {
+					t.Fatal(err)
+				}
+				env2, err := restored.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(env, env2) {
+					t.Fatal("marshal ∘ unmarshal is not the identity on bytes")
+				}
+				assertUSSEqual(t, restored, ref, ss.name+" restored")
+				for i := 2500; i < 5000; i++ {
+					key := ss.gen(i, keyRNG)
+					restored.Add(key)
+					ref.Add(key)
+				}
+				assertUSSEqual(t, restored, ref, ss.name+" continued")
+			})
+		}
+	}
+}
+
+// TestFlatMergeMatchesReference builds two lockstep pairs on disjoint-ish
+// streams and merges them: the flat merge (sort + pairwise reduction over
+// the flat table) must consume the same RNG draws and settle into the
+// same counters as the reference's map-based merge.
+func TestFlatMergeMatchesReference(t *testing.T) {
+	for _, m := range []int{1, 2, 16, 256} {
+		for _, ss := range ussStreams(m) {
+			t.Run(ss.name, func(t *testing.T) {
+				keyRNG := stream.NewRNG(uint64(m)*31337 + 1)
+				flatA, refA := NewUnbiasedSpaceSaving(m, 5), newRefUSS(m, 5)
+				flatB, refB := NewUnbiasedSpaceSaving(m, 6), newRefUSS(m, 6)
+				for i := 0; i < 3000; i++ {
+					key := ss.gen(i, keyRNG)
+					if i%2 == 0 {
+						flatA.Add(key)
+						refA.Add(key)
+					} else {
+						flatB.Add(key + uint64(m)) // shifted: partial overlap
+						refB.Add(key + uint64(m))
+					}
+				}
+				if err := flatA.Merge(flatB); err != nil {
+					t.Fatal(err)
+				}
+				refA.Merge(refB)
+				assertUSSEqual(t, flatA, refA, ss.name+" merged")
+				// The merged sketch must keep ingesting in lockstep (the
+				// band was invalidated wholesale; first eviction rebuilds).
+				for i := 0; i < 1000; i++ {
+					key := ss.gen(i, keyRNG)
+					flatA.Add(key)
+					refA.Add(key)
+				}
+				assertUSSEqual(t, flatA, refA, ss.name+" merged+stream")
+			})
+		}
+	}
+}
+
+// TestTopKDelegatesToAppendTopK pins the satellite fix: the two ranking
+// paths must return identical results (TopK is AppendTopK with a nil
+// buffer), including when k exceeds the tracked count.
+func TestTopKDelegatesToAppendTopK(t *testing.T) {
+	s := NewUnbiasedSpaceSaving(64, 9)
+	zipf := stream.NewZipf(1<<12, 1.3, 4)
+	for i := 0; i < 20000; i++ {
+		s.Add(zipf.Next())
+	}
+	for _, k := range []int{0, 1, 10, 64, 100} {
+		got := s.TopK(k)
+		want := s.AppendTopK(nil, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: TopK returned %d results, AppendTopK %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: result[%d] %+v != %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestUSSAddSteadyStateZeroAllocs pins the tentpole alloc property: a
+// full table absorbing a mix of tracked hits and takeover-forcing misses
+// allocates nothing, band rebuilds included.
+func TestUSSAddSteadyStateZeroAllocs(t *testing.T) {
+	s := NewUnbiasedSpaceSaving(256, 21)
+	zipf := stream.NewZipf(1<<16, 1.1, 8)
+	keys := make([]uint64, 1<<14)
+	for i := range keys {
+		keys[i] = zipf.Next()
+	}
+	for _, k := range keys {
+		s.Add(k)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(5000, func() {
+		s.Add(keys[i&(1<<14-1)])
+		i++
+	}); allocs != 0 {
+		t.Errorf("Add allocates %v per op in steady state, want 0", allocs)
+	}
+	buf := make([]Result, 0, 16)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendTopK(buf[:0], 16)
+	}); allocs != 0 {
+		t.Errorf("AppendTopK allocates %v per op with a reused buffer, want 0", allocs)
+	}
+}
+
+// BenchmarkUSSAddMapBaseline is the preserved map implementation under
+// the benchmark workload (compare with the facade's topk-uss/add row or
+// BenchmarkUnbiassedSpaceSavingAdd via benchstat).
+func BenchmarkUSSAddMapBaseline(b *testing.B) {
+	zipf := stream.NewZipf(1<<16, 1.2, 42)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = zipf.Next()
+	}
+	s := newRefUSS(256, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(keys[i&(1<<16-1)])
+	}
+}

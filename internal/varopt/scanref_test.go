@@ -1,0 +1,319 @@
+package varopt
+
+// This file preserves the pre-closed-form VarOpt implementation — the one
+// whose dropOne walked the whole small pool accumulating drop
+// probabilities — as a test-only reference: the closed-form sketch must
+// stay BIT-IDENTICAL to it (same pools in the same order, same tau, same
+// RNG consumption) on any stream, across codec round trips, and through
+// merges. Both implementations draw exactly one uniform per drop, and the
+// closed-form index is the same grid crossing the walk finds, so the
+// comparison is exact equality, not tolerance.
+
+import (
+	"bytes"
+	"testing"
+
+	"ats/internal/stream"
+)
+
+// refSketch is the original VarOpt_k implementation, preserved verbatim:
+// Add is identical to the current one except that dropOne accumulates the
+// per-item drop probabilities in a linear walk.
+type refSketch struct {
+	k     int
+	rng   *stream.RNG
+	large []Entry
+	small []Entry
+	tau   float64
+	n     int
+}
+
+func newRefSketch(k int, seed uint64) *refSketch {
+	return &refSketch{k: k, rng: stream.NewRNG(seed)}
+}
+
+func (s *refSketch) Len() int { return len(s.large) + len(s.small) }
+
+func (s *refSketch) Add(key uint64, w, x float64) {
+	if w <= 0 {
+		return
+	}
+	s.n++
+	e := Entry{Key: key, Weight: w, Value: x}
+	if s.Len() < s.k {
+		pushLarge(&s.large, e)
+		return
+	}
+	sumSmall := float64(len(s.small)) * s.tau
+	demotedStart := len(s.small)
+	if 0 < s.tau && w <= s.tau {
+		s.small = append(s.small, e)
+		sumSmall += w
+	} else {
+		pushLarge(&s.large, e)
+	}
+	for {
+		nLarge := len(s.large)
+		if nLarge < s.k {
+			tauCandidate := sumSmall / float64(s.k-nLarge)
+			if nLarge == 0 || s.large[0].Weight >= tauCandidate {
+				s.dropOne(tauCandidate, demotedStart)
+				s.tau = tauCandidate
+				return
+			}
+		}
+		d := popLarge(&s.large)
+		sumSmall += d.Weight
+		s.small = append(s.small, d)
+	}
+}
+
+func (s *refSketch) dropOne(tauPrime float64, demotedStart int) {
+	u := s.rng.Float64()
+	acc := 0.0
+	drop := len(s.small) - 1 // fallback for floating-point slack
+	for i, e := range s.small {
+		adj := s.tau
+		if i >= demotedStart {
+			adj = e.Weight
+		}
+		p := 1 - adj/tauPrime
+		if p < 0 {
+			p = 0
+		}
+		acc += p
+		if u < acc {
+			drop = i
+			break
+		}
+	}
+	last := len(s.small) - 1
+	s.small[drop] = s.small[last]
+	s.small = s.small[:last]
+}
+
+func (s *refSketch) InclusionProb(e Entry) float64 {
+	if s.tau <= 0 || e.Weight >= s.tau {
+		return 1
+	}
+	return e.Weight / s.tau
+}
+
+func (s *refSketch) Merge(o *refSketch) {
+	total := s.n + o.n
+	for _, e := range o.large {
+		s.Add(e.Key, e.Weight, e.Value)
+	}
+	for _, e := range o.small {
+		v := e.Value
+		if p := o.InclusionProb(e); p < 1 {
+			v /= p
+		}
+		w := e.Weight
+		if o.tau > w {
+			w = o.tau
+		}
+		s.Add(e.Key, w, v)
+	}
+	s.n = total
+}
+
+// weightStream names one deterministic (key, weight) stream; generators
+// are pure functions of (i, rng) so both sketches see identical input.
+type weightStream struct {
+	name string
+	gen  func(i int, rng *stream.RNG) (uint64, float64)
+}
+
+func weightStreams() []weightStream {
+	return []weightStream{
+		{"uniform", func(i int, rng *stream.RNG) (uint64, float64) {
+			return rng.Uint64(), 1 + 9*rng.Float64()
+		}},
+		{"zipf-weights", func(i int, rng *stream.RNG) (uint64, float64) {
+			// Heavy-tailed weights: occasional items far above tau exercise
+			// the large heap and multi-demotion rounds.
+			w := 1 / (1 - rng.Open01())
+			return rng.Uint64(), w
+		}},
+		// Adversarial for the closed-form grid: long runs of EQUAL weights
+		// make every prefix probability identical (u/p0 lands exactly on
+		// grid lines), ascending ramps force chains of demotions (the
+		// demoted tail accumulates), and interleaved zero-ish spreads keep
+		// tau' barely above tau so p0 underflows toward 0.
+		{"adversarial", func(i int, rng *stream.RNG) (uint64, float64) {
+			switch (i / 64) % 3 {
+			case 0:
+				return uint64(i), 1.0 // equal weights: exact ties everywhere
+			case 1:
+				return uint64(i), float64(1 + i%128) // ascending ramp: demotions
+			default:
+				return uint64(i), 1 + 1e-12*float64(i%7) // near-equal: tiny p0
+			}
+		}},
+	}
+}
+
+// assertVaroptEqual asserts both sketches are in exactly the same state:
+// same pools in the same order (dropOne's swap-remove makes order
+// deterministic), same threshold, same stream count, same RNG position.
+func assertVaroptEqual(t *testing.T, got *Sketch, ref *refSketch, at string) {
+	t.Helper()
+	if got.n != ref.n || got.tau != ref.tau {
+		t.Fatalf("%s: (n=%d tau=%v), reference has (n=%d tau=%v)", at, got.n, got.tau, ref.n, ref.tau)
+	}
+	if len(got.large) != len(ref.large) || len(got.small) != len(ref.small) {
+		t.Fatalf("%s: pools %d/%d, reference has %d/%d",
+			at, len(got.large), len(got.small), len(ref.large), len(ref.small))
+	}
+	for i := range got.large {
+		if got.large[i] != ref.large[i] {
+			t.Fatalf("%s: large[%d] = %+v, reference has %+v", at, i, got.large[i], ref.large[i])
+		}
+	}
+	for i := range got.small {
+		if got.small[i] != ref.small[i] {
+			t.Fatalf("%s: small[%d] = %+v, reference has %+v", at, i, got.small[i], ref.small[i])
+		}
+	}
+	if got.rng.State() != ref.rng.State() {
+		t.Fatalf("%s: RNG state diverged: %v vs %v", at, got.rng.State(), ref.rng.State())
+	}
+}
+
+// TestClosedFormMatchesLinearWalkReference drives the closed-form sketch
+// and the preserved linear-walk reference in lockstep over uniform,
+// heavy-tailed, and grid-adversarial weight streams, checking
+// bit-identical state at checkpoints and at the end.
+func TestClosedFormMatchesLinearWalkReference(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 64, 256} {
+		for _, ws := range weightStreams() {
+			t.Run(ws.name, func(t *testing.T) {
+				inRNG := stream.NewRNG(uint64(k)*6151 + 13)
+				got := New(k, 23)
+				ref := newRefSketch(k, 23)
+				for i := 0; i < 4000; i++ {
+					key, w := ws.gen(i, inRNG)
+					got.Add(key, w, w)
+					ref.Add(key, w, w)
+					if i%499 == 0 {
+						assertVaroptEqual(t, got, ref, ws.name)
+					}
+				}
+				assertVaroptEqual(t, got, ref, ws.name+" final")
+			})
+		}
+	}
+}
+
+// TestClosedFormMatchesReferenceAcrossRoundTrip snapshots the sketch
+// mid-stream, restores it, and continues the restored copy against the
+// reference: the codec preserves pools, tau, and RNG position, so the
+// restored sketch must stay in lockstep. Re-marshaling the restored
+// sketch must yield the identical canonical bytes.
+func TestClosedFormMatchesReferenceAcrossRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 7, 256} {
+		for _, ws := range weightStreams() {
+			t.Run(ws.name, func(t *testing.T) {
+				inRNG := stream.NewRNG(uint64(k)*12289 + 17)
+				got := New(k, 31)
+				ref := newRefSketch(k, 31)
+				for i := 0; i < 2000; i++ {
+					key, w := ws.gen(i, inRNG)
+					got.Add(key, w, w)
+					ref.Add(key, w, w)
+				}
+				env, err := got.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored := New(1, 0)
+				if err := restored.UnmarshalBinary(env); err != nil {
+					t.Fatal(err)
+				}
+				env2, err := restored.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(env, env2) {
+					t.Fatal("marshal ∘ unmarshal is not the identity on bytes")
+				}
+				for i := 2000; i < 4000; i++ {
+					key, w := ws.gen(i, inRNG)
+					restored.Add(key, w, w)
+					ref.Add(key, w, w)
+				}
+				assertVaroptEqual(t, restored, ref, ws.name+" continued")
+			})
+		}
+	}
+}
+
+// TestClosedFormMergeMatchesReference merges two lockstep pairs: the
+// merge resamples through Add, so the closed-form drop index must match
+// the walk's on every resampled item.
+func TestClosedFormMergeMatchesReference(t *testing.T) {
+	for _, k := range []int{1, 7, 64} {
+		for _, ws := range weightStreams() {
+			t.Run(ws.name, func(t *testing.T) {
+				inRNG := stream.NewRNG(uint64(k)*24593 + 29)
+				gotA, refA := New(k, 41), newRefSketch(k, 41)
+				gotB, refB := New(k, 43), newRefSketch(k, 43)
+				for i := 0; i < 3000; i++ {
+					key, w := ws.gen(i, inRNG)
+					if i%2 == 0 {
+						gotA.Add(key, w, w)
+						refA.Add(key, w, w)
+					} else {
+						gotB.Add(key, w, w)
+						refB.Add(key, w, w)
+					}
+				}
+				if err := gotA.Merge(gotB); err != nil {
+					t.Fatal(err)
+				}
+				refA.Merge(refB)
+				assertVaroptEqual(t, gotA, refA, ws.name+" merged")
+			})
+		}
+	}
+}
+
+// TestVaroptAddSteadyStateZeroAllocs pins the tentpole alloc property: a
+// full sketch absorbing small items performs no allocation (the small
+// pool's append reuses the slot dropOne just vacated).
+func TestVaroptAddSteadyStateZeroAllocs(t *testing.T) {
+	s := New(256, 3)
+	wRNG := stream.NewRNG(71)
+	weights := make([]float64, 1<<14)
+	for i := range weights {
+		weights[i] = 1 + 9*wRNG.Float64()
+	}
+	for i, w := range weights {
+		s.Add(uint64(i), w, w)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(5000, func() {
+		s.Add(uint64(i), weights[i&(1<<14-1)], 1)
+		i++
+	}); allocs != 0 {
+		t.Errorf("Add allocates %v per op in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkVaroptAddLinearWalkBaseline is the preserved linear-walk
+// implementation under the benchmark workload (compare with the facade's
+// varopt/add row via benchstat).
+func BenchmarkVaroptAddLinearWalkBaseline(b *testing.B) {
+	wRNG := stream.NewRNG(42)
+	weights := make([]float64, 1<<16)
+	for i := range weights {
+		weights[i] = 1 + 9*wRNG.Float64()
+	}
+	s := newRefSketch(256, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), weights[i&(1<<16-1)], 1)
+	}
+}

@@ -116,23 +116,52 @@ func (s *Sketch) Add(key uint64, w, x float64) {
 // are 1 - (adjusted weight)/tau', which sum to exactly 1 over the k+1
 // candidates; items at or before demotedStart carry adjusted weight tau,
 // demoted items carry their original weight.
+//
+// Every item before demotedStart carries the same drop probability
+// p0 = 1 - tau/tau', so that prefix of the walk is a uniform grid: the
+// smallest index j with u < (j+1)·p0 is located by one division instead
+// of a linear scan, with short ulp-correction loops restoring the exact
+// grid crossing (int(u/p0) can land one cell off after rounding). Only
+// the few items demoted THIS call (at most the heap prefix that tau'
+// passed, usually zero or one) still accumulate individually. One
+// uniform draw per drop, so RNG consumption is unchanged from the
+// linear-walk implementation preserved in scanref_test.go.
 func (s *Sketch) dropOne(tauPrime float64, demotedStart int) {
 	u := s.rng.Float64()
-	acc := 0.0
 	drop := len(s.small) - 1 // fallback for floating-point slack
-	for i, e := range s.small {
-		adj := s.tau
-		if i >= demotedStart {
-			adj = e.Weight
+	p0 := 1 - s.tau/tauPrime
+	if p0 < 0 {
+		p0 = 0
+	}
+	// The overflow-prone float→int conversion is gated on u falling
+	// inside the grid, which also keeps the p0 == 0 case (every prefix
+	// probability exactly zero) on the accumulation path below with
+	// acc = 0, matching the reference bit for bit.
+	limit := float64(demotedStart) * p0
+	if u < limit {
+		j := int(u / p0)
+		if j >= demotedStart {
+			j = demotedStart - 1
 		}
-		p := 1 - adj/tauPrime
-		if p < 0 {
-			p = 0
+		for j > 0 && u < float64(j)*p0 {
+			j--
 		}
-		acc += p
-		if u < acc {
-			drop = i
-			break
+		for j+1 < demotedStart && u >= float64(j+1)*p0 {
+			j++
+		}
+		drop = j
+	} else {
+		acc := limit
+		for i := demotedStart; i < len(s.small); i++ {
+			p := 1 - s.small[i].Weight/tauPrime
+			if p < 0 {
+				p = 0
+			}
+			acc += p
+			if u < acc {
+				drop = i
+				break
+			}
 		}
 	}
 	last := len(s.small) - 1

@@ -110,7 +110,9 @@ func (s *Sampler) Add(key uint64, t float64) float64 {
 // for deterministic tests.
 func (s *Sampler) AddWithPriority(key uint64, t, r float64) float64 {
 	s.Advance(t)
-	it := Item{Key: key, Time: t, R: r, T: 1}
+	// The Item value is built per-branch rather than up front: the
+	// steady-state rejection below never stores one, and keeping the
+	// composite literal off that path keeps it store-free.
 	if t <= s.now-s.delta {
 		// Late arrival already outside the current window (possible when
 		// several producers share a sampler, e.g. through the sharded
@@ -121,18 +123,21 @@ func (s *Sampler) AddWithPriority(key uint64, t, r float64) float64 {
 			if t < s.oldestExp {
 				s.oldestExp = t
 			}
-			s.expired = append(s.expired, it)
+			s.expired = append(s.expired, Item{Key: key, Time: t, R: r, T: 1})
 		}
 		return s.lastBoundary
 	}
 	if len(s.current) < s.k {
-		// maxIdx is necessarily -1 here: it is only ever computed while
-		// the sample is full, and every path that shrinks the sample
-		// resets it.
 		if t < s.oldestCur {
 			s.oldestCur = t
 		}
-		s.current = append(s.current, it)
+		// advanceSlow refreshes maxIdx when it shrinks the sample, so the
+		// cache can be live here; extend it over the appended item (ties
+		// keep the earlier index, matching the lazy rescan).
+		if s.maxIdx >= 0 && r > s.current[s.maxIdx].R {
+			s.maxIdx = len(s.current)
+		}
+		s.current = append(s.current, Item{Key: key, Time: t, R: r, T: 1})
 		s.maxT = 1 // the new item enters with T = 1
 		s.lastBoundary = 1
 		return 1
@@ -162,7 +167,7 @@ func (s *Sampler) AddWithPriority(key uint64, t, r float64) float64 {
 		return boundary
 	}
 	// Evict the stored maximum, accept the new item.
-	s.current[s.maxIdx] = it
+	s.current[s.maxIdx] = Item{Key: key, Time: t, R: r, T: 1}
 	s.maxIdx = -1
 	s.maxT = 1 // the accepted item enters with T = 1 (clamped just below)
 	if t < s.oldestCur {
@@ -185,9 +190,14 @@ func (s *Sampler) clamp(boundary float64) {
 		return
 	}
 	for i := range s.current {
-		if boundary < s.current[i].T {
-			s.current[i].T = boundary
+		// Unconditional store: min(T, boundary) leaves already-low
+		// thresholds untouched, and writing always avoids a
+		// data-dependent branch on the hot clamp loop.
+		t := s.current[i].T
+		if boundary < t {
+			t = boundary
 		}
+		s.current[i].T = t
 	}
 	s.maxT = boundary
 }
@@ -195,20 +205,46 @@ func (s *Sampler) clamp(boundary float64) {
 // Advance moves the sampler's clock to time t (monotonically): current
 // examples older than t-Δ become expired; expired examples older than 2Δ
 // are discarded.
+//
+// The method is only the expiry gate — small enough to inline into the
+// per-arrival hot path — and the expiry scans live in advanceSlow, which
+// runs only when the clock has actually reached the oldest stored item.
 func (s *Sampler) Advance(t float64) {
 	if t < s.now {
 		return
 	}
 	s.now = t
+	// No emptiness checks: oldestCur/oldestExp are +Inf whenever their
+	// slice is empty (advanceSlow restores that invariant), so the time
+	// comparisons alone decide — and keep this gate inlinable.
+	if s.oldestCur <= t-s.delta || s.oldestExp <= t-2*s.delta {
+		s.advanceSlow(t)
+	}
+}
+
+// advanceSlow re-buckets storage against the advanced clock: current
+// examples older than t-Δ become expired; expired examples older than 2Δ
+// are discarded.
+func (s *Sampler) advanceSlow(t float64) {
 	cutCur := t - s.delta
 	cutExp := t - 2*s.delta
 	if len(s.current) > 0 && s.oldestCur <= cutCur {
 		keep := s.current[:0]
 		oldest := math.Inf(1)
+		maxIdx := -1
+		maxR := math.Inf(-1)
 		for _, it := range s.current {
 			if it.Time > cutCur {
 				if it.Time < oldest {
 					oldest = it.Time
+				}
+				// Track the survivors' max-R index in the same pass (ties
+				// keep the earliest, like the lazy rescan), so shrinking
+				// the sample does not force a second O(k) scan on the
+				// next full-sample arrival.
+				if it.R > maxR {
+					maxR = it.R
+					maxIdx = len(keep)
 				}
 				keep = append(keep, it)
 			} else if it.Time > cutExp {
@@ -219,7 +255,7 @@ func (s *Sampler) Advance(t float64) {
 			}
 		}
 		if len(keep) != len(s.current) {
-			s.maxIdx = -1 // indices shifted; recompute lazily
+			s.maxIdx = maxIdx // indices shifted; recomputed above
 		}
 		s.current = keep
 		s.oldestCur = oldest
